@@ -1,0 +1,102 @@
+// E2 — Table 2, row 1, column "deterministic": confidence computation is
+// PTIME for deterministic transducers (Theorem 4.6, O(|o|·n·|Σ|²·|Q|²));
+// the k-uniform fast path drops the |o| factor. The sweeps verify the
+// claimed polynomial scaling in n, |Q|, and |o|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/confidence.h"
+#include "workload/random_models.h"
+
+namespace tms {
+namespace {
+
+constexpr int kSigma = 4;
+
+struct Instance {
+  markov::MarkovSequence mu;
+  transducer::Transducer t;
+  Str answer;
+};
+
+Instance MakeInstance(int n, int states, bool uniform, uint64_t seed) {
+  Rng rng(seed);
+  markov::MarkovSequence mu =
+      workload::RandomMarkovSequence(kSigma, n, kSigma, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = states;
+  opts.deterministic = true;
+  opts.uniform_k = uniform ? 1 : -1;
+  opts.max_emission = 2;
+  opts.accept_prob = 1.0;  // non-selective keeps answers plentiful
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  auto answer = bench::SampleAnswer(mu, t, rng);
+  return Instance{std::move(mu), std::move(t),
+                  answer.has_value() ? *answer : Str{}};
+}
+
+// Scaling in the Markov-sequence length n (|Q| fixed).
+void BM_DetConfidence_N(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)), 4,
+                               /*uniform=*/false, 1);
+  for (auto _ : state) {
+    auto conf = query::ConfidenceDeterministic(inst.mu, inst.t, inst.answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["answer_len"] = static_cast<double>(inst.answer.size());
+}
+BENCHMARK(BM_DetConfidence_N)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+// Scaling in the number of transducer states |Q| (n fixed).
+void BM_DetConfidence_Q(benchmark::State& state) {
+  Instance inst = MakeInstance(128, static_cast<int>(state.range(0)),
+                               /*uniform=*/false, 2);
+  for (auto _ : state) {
+    auto conf = query::ConfidenceDeterministic(inst.mu, inst.t, inst.answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["Q"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DetConfidence_Q)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// The k-uniform fast path vs the general DP on the same instance
+// (Theorem 4.6's two bounds).
+void BM_DetConfidenceUniformFastPath(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)), 4,
+                               /*uniform=*/true, 3);
+  for (auto _ : state) {
+    auto conf =
+        query::ConfidenceDeterministicUniform(inst.mu, inst.t, inst.answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DetConfidenceUniformFastPath)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DetConfidenceGeneralOnUniform(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)), 4,
+                               /*uniform=*/true, 3);
+  for (auto _ : state) {
+    auto conf = query::ConfidenceDeterministic(inst.mu, inst.t, inst.answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DetConfidenceGeneralOnUniform)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace tms
+
+int main(int argc, char** argv) {
+  tms::bench::PrintHeader(
+      "E2: confidence computation, deterministic transducers (Theorem 4.6)",
+      "PTIME — O(|o|·n·|Σ|²·|Q|²); O(k·n·|Σ|²·|Q|²) when k-uniform. "
+      "Expected shape: time roughly quadratic in n for the general DP "
+      "(|o| grows with n), linear in n for the uniform fast path, and "
+      "polynomial in |Q|.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

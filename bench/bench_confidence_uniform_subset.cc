@@ -1,0 +1,97 @@
+// E3 — Table 2, row 1, column "uniform emission": confidence for
+// nondeterministic k-uniform transducers is computable in
+// O(n·k·|Σ|²·4^{|Q|}) (Theorem 4.8) — polynomial in the data, exponential
+// only in the (small) transducer. The sweep shows the exponential growth
+// in |Q| and the linear growth in n.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/confidence.h"
+#include "workload/random_models.h"
+
+namespace tms {
+namespace {
+
+struct Instance {
+  markov::MarkovSequence mu;
+  transducer::Transducer t;
+  Str answer;
+};
+
+Instance MakeInstance(int n, int states, uint64_t seed) {
+  Rng rng(seed);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(3, n, 3, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = states;
+  opts.deterministic = false;
+  opts.density = 2.0;  // real nondeterminism so subsets grow
+  opts.uniform_k = 1;
+  opts.output_symbols = 2;
+  opts.accept_prob = 0.8;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  auto answer = bench::SampleAnswer(mu, t, rng);
+  return Instance{std::move(mu), std::move(t),
+                  answer.has_value() ? *answer : Str{}};
+}
+
+// Scaling in |Q| — the 4^{|Q|} regime (only reachable state sets are
+// materialized, so growth is capped by the instance's actual subset
+// diversity).
+void BM_UniformSubset_Q(benchmark::State& state) {
+  Instance inst = MakeInstance(64, static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    auto conf = query::ConfidenceUniformSubset(inst.mu, inst.t, inst.answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["Q"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_UniformSubset_Q)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14);
+
+// Scaling in n — linear (Theorem 4.8's n factor).
+void BM_UniformSubset_N(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)), 6, 13);
+  for (auto _ : state) {
+    auto conf = query::ConfidenceUniformSubset(inst.mu, inst.t, inst.answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_UniformSubset_N)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The deterministic special case through the same code path, as the
+// baseline the nondeterminism overhead is measured against.
+void BM_UniformSubset_DeterministicBaseline(benchmark::State& state) {
+  Rng rng(17);
+  markov::MarkovSequence mu =
+      workload::RandomMarkovSequence(3, 64, 3, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = static_cast<int>(state.range(0));
+  opts.deterministic = true;
+  opts.uniform_k = 1;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  Str answer = *bench::SampleAnswer(mu, t, rng);
+  for (auto _ : state) {
+    auto conf = query::ConfidenceUniformSubset(mu, t, answer);
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["Q"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_UniformSubset_DeterministicBaseline)->Arg(2)->Arg(8)->Arg(14);
+
+}  // namespace
+}  // namespace tms
+
+int main(int argc, char** argv) {
+  tms::bench::PrintHeader(
+      "E3: confidence, nondeterministic uniform emission (Theorem 4.8)",
+      "O(n·k·|Σ|²·4^{|Q|}) via subset construction interleaved with the "
+      "probability DP. Expected shape: super-polynomial growth in |Q| on "
+      "dense nondeterministic machines, linear growth in n, and a flat "
+      "deterministic baseline (singleton subsets).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

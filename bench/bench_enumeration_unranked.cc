@@ -1,0 +1,97 @@
+// E5 — Table 2, row 2, column "general" / "no order (PSPACE)": unranked
+// enumeration runs with polynomial delay and polynomial space
+// (Theorem 4.1). The reproduction table measures the worst per-answer
+// delay (in emptiness-oracle calls and wall time) as n grows: the paper
+// predicts it stays polynomial — in particular, the PER-ANSWER cost must
+// not grow with the (exponential) number of answers already emitted.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "query/unranked_enum.h"
+#include "workload/random_models.h"
+
+namespace tms {
+namespace {
+
+struct Instance {
+  markov::MarkovSequence mu;
+  transducer::Transducer t;
+};
+
+Instance MakeInstance(int n, uint64_t seed) {
+  Rng rng(seed);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(3, n, 2, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 3;
+  opts.deterministic = true;
+  opts.max_emission = 1;
+  opts.output_symbols = 2;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  return Instance{std::move(mu), std::move(t)};
+}
+
+void PrintReproduction() {
+  bench::PrintHeader(
+      "E5: unranked enumeration (Theorem 4.1)",
+      "polynomial delay + polynomial space. Expected shape: the maximum "
+      "per-answer oracle-call count grows polynomially with n and is flat "
+      "in the number of answers already emitted.");
+
+  std::printf("%-6s %-10s %-16s %-16s %-14s\n", "n", "answers",
+              "max delay", "mean delay", "max delay");
+  std::printf("%-6s %-10s %-16s %-16s %-14s\n", "", "(first 200)",
+              "(oracle calls)", "(oracle calls)", "(ms)");
+  for (int n : {8, 16, 32, 64, 128}) {
+    Instance inst = MakeInstance(n, 31);
+    query::UnrankedEnumerator it(inst.mu, inst.t);
+    int64_t prev_calls = 0;
+    int64_t max_delay_calls = 0;
+    double max_delay_ms = 0;
+    int64_t total_calls = 0;
+    int count = 0;
+    Stopwatch watch;
+    while (count < 200) {
+      watch.Restart();
+      auto answer = it.Next();
+      double ms = watch.ElapsedSeconds() * 1e3;
+      if (!answer.has_value()) break;
+      ++count;
+      max_delay_calls =
+          std::max(max_delay_calls, it.oracle_calls() - prev_calls);
+      total_calls = it.oracle_calls();
+      prev_calls = it.oracle_calls();
+      max_delay_ms = std::max(max_delay_ms, ms);
+    }
+    std::printf("%-6d %-10d %-16lld %-16.1f %-14.3f\n", n, count,
+                static_cast<long long>(max_delay_calls),
+                count > 0 ? static_cast<double>(total_calls) / count : 0.0,
+                max_delay_ms);
+  }
+}
+
+void BM_UnrankedFirst50(benchmark::State& state) {
+  Instance inst = MakeInstance(static_cast<int>(state.range(0)), 37);
+  for (auto _ : state) {
+    query::UnrankedEnumerator it(inst.mu, inst.t);
+    int count = 0;
+    while (count < 50 && it.Next().has_value()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_UnrankedFirst50)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace tms
+
+int main(int argc, char** argv) {
+  tms::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,214 @@
+// E8 — Table 2, columns "s-projectors": ranked evaluation by I_max is an
+// n-approximation of the confidence order (Theorem 5.2 / Prop. 5.9), and
+// confidence computation costs O(n·|o|²·|Σ|²·|Q_B|²·4^{|Q_E|})
+// (Theorem 5.5) — exponential only in the suffix constraint. The
+// reproduction tables measure (a) the realized I_max/conf ratio against
+// the Prop. 5.9 bound and (b) the concatenation-DFA blowup as |Q_E| grows.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "automata/regex.h"
+#include "bench_util.h"
+#include "markov/world_iter.h"
+#include "projector/imax_enum.h"
+#include "projector/indexed_confidence.h"
+#include "projector/sprojector.h"
+#include "projector/sprojector_confidence.h"
+#include "workload/random_models.h"
+
+namespace tms {
+namespace {
+
+projector::SProjector RandomProjector(const Alphabet& ab, Rng& rng) {
+  auto p = projector::SProjector::Create(
+      workload::RandomDfa(ab, 2, rng, 0.6), workload::RandomDfa(ab, 2, rng, 0.6),
+      workload::RandomDfa(ab, 2, rng, 0.6));
+  return std::move(p).value();
+}
+
+void PrintImaxRatioTable() {
+  bench::PrintHeader(
+      "E8: s-projectors — I_max as an n-approximate confidence order "
+      "(Thm 5.2 / Prop 5.9)",
+      "I_max(o) ≤ conf(o) ≤ n·I_max(o); the I_max order is an n-approximate "
+      "confidence order — exponentially better than the |Σ|^n ratio for "
+      "general transducers.");
+
+  std::printf("%-8s %-6s %-10s %-18s %-10s\n", "seed", "n", "answers",
+              "max conf/I_max", "bound n+1");
+  for (uint64_t seed : {73, 79, 83, 89}) {
+    const int n = 6;
+    Rng rng(seed);
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, n, 2, rng);
+    projector::SProjector p = RandomProjector(mu.nodes(), rng);
+    auto conf_computer = projector::IndexedConfidence::Create(&mu, &p);
+
+    // Ground-truth confidences by brute force.
+    std::map<Str, double> conf;
+    markov::ForEachWorld(mu, [&](const Str& world, double mass) {
+      std::set<Str> outputs;
+      for (int i = 1; i <= n + 1; ++i) {
+        for (int len = 0; i + len - 1 <= n; ++len) {
+          if (len > 0 && i > n) break;
+          Str o(world.begin() + (i - 1), world.begin() + (i - 1 + len));
+          if (p.MatchesIndexed(world, projector::IndexedAnswer{o, i})) {
+            outputs.insert(o);
+          }
+        }
+      }
+      for (const Str& o : outputs) conf[o] += mass;
+    });
+
+    double max_ratio = 0;
+    for (const auto& [o, c] : conf) {
+      double imax = projector::ImaxOfAnswer(*conf_computer, o);
+      if (imax > 0) max_ratio = std::max(max_ratio, c / imax);
+    }
+    std::printf("%-8llu %-6d %-10zu %-18.3f %d\n",
+                static_cast<unsigned long long>(seed), n, conf.size(),
+                max_ratio, n + 1);
+  }
+}
+
+void PrintConcatBlowupTable() {
+  // The Theorem 5.4 hard shape: B = Σ*, A = {ε}, and a SMALL suffix DFA
+  // E_k = "n1 followed by exactly k−1 more symbols" (k+2 states). The
+  // concatenation Σ*·ε·E_k is the classic "k-th symbol from the end is 1"
+  // language whose minimal DFA needs 2^k states — the 4^{|Q_E|} factor of
+  // Theorem 5.5 made visible.
+  std::printf(
+      "\nTheorem 5.5 / 5.4: the exponential-in-|Q_E| factor — "
+      "concatenation-DFA size for\nB = Σ*, A = {ε}, E_k = \"n1 .^(k-1)\" "
+      "(a (k+2)-state DFA):\n");
+  std::printf("%-6s %-12s %-18s %-14s\n", "k", "|Q_E|",
+              "concat DFA states", "2^k");
+  Rng rng(97);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 24, 2, rng);
+  for (int k = 1; k <= 10; ++k) {
+    std::string pattern = "n1";
+    for (int i = 0; i < k - 1; ++i) pattern += " .";
+    auto e2 = automata::CompileRegexToDfa(mu.nodes(), pattern);
+    auto p2 = projector::SProjector::Create(
+        automata::Dfa::AcceptAll(mu.nodes()),
+        automata::Dfa::EmptyStringOnly(mu.nodes()), *e2);
+    projector::SProjectorConfidenceStats stats;
+    auto conf = projector::SProjectorConfidence(mu, *p2, Str{}, &stats);
+    std::printf("%-6d %-12d %-18d %-14.0f\n", k, e2->num_states(),
+                stats.concat_dfa_states, std::pow(2.0, k));
+  }
+}
+
+void BM_SProjectorConfidence_SuffixStates(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(101);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 24, 2, rng);
+  std::string pattern = "n1";
+  for (int i = 0; i < k - 1; ++i) pattern += " .";
+  auto e = automata::CompileRegexToDfa(mu.nodes(), pattern);
+  auto p = projector::SProjector::Create(
+      automata::Dfa::AcceptAll(mu.nodes()),
+      automata::Dfa::EmptyStringOnly(mu.nodes()), *e);
+  for (auto _ : state) {
+    auto conf = projector::SProjectorConfidence(mu, *p, Str{});
+    benchmark::DoNotOptimize(conf);
+  }
+  state.counters["QE"] = static_cast<double>(e->num_states());
+}
+BENCHMARK(BM_SProjectorConfidence_SuffixStates)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+// Ablation (Lemma 5.10): the Lawler-based I_max enumerator (polynomial
+// delay) vs the dedup-based one (incremental polynomial time only — it
+// may wade through "a large chunk of duplicates" between outputs).
+void PrintDedupAblation() {
+  std::printf(
+      "\nAblation — Lemma 5.10 strategies (first 20 outputs):\n");
+  std::printf("%-6s %-22s %-26s\n", "n", "Lawler subspace solves",
+              "dedup indexed-answers consumed");
+  for (int n : {8, 16, 32}) {
+    Rng rng(211);
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, n, 2, rng);
+    // Simple projector [*]"n1+"[*]: every run of n1 symbols is an
+    // occurrence, so the same output recurs at many indices — the
+    // duplicate-heavy regime Lemma 5.10 warns about.
+    auto pattern = automata::CompileRegexToDfa(mu.nodes(), "n1 +");
+    projector::SProjector p =
+        std::move(projector::SProjector::Simple(std::move(*pattern))).value();
+
+    auto lawler = projector::ImaxEnumerator::Create(&mu, &p);
+    int lawler_outputs = 0;
+    while (lawler_outputs < 20 && lawler->Next().has_value()) {
+      ++lawler_outputs;
+    }
+    auto simple = projector::SimpleImaxEnumerator::Create(&mu, &p);
+    int simple_outputs = 0;
+    while (simple_outputs < 20 && simple->Next().has_value()) {
+      ++simple_outputs;
+    }
+    // Lawler solves ≤ |answer|+1 subspaces per output — report the bound
+    // side by side with the dedup enumerator's duplicate consumption.
+    std::printf("%-6d ≤ %-20d %-26lld\n", n, lawler_outputs * (n + 2),
+                static_cast<long long>(simple->consumed()));
+  }
+}
+
+void BM_SimpleImaxTop20(benchmark::State& state) {
+  Rng rng(223);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(
+      2, static_cast<int>(state.range(0)), 2, rng);
+  projector::SProjector p = RandomProjector(mu.nodes(), rng);
+  for (auto _ : state) {
+    auto it = projector::SimpleImaxEnumerator::Create(&mu, &p);
+    int count = 0;
+    while (count < 20 && it->Next().has_value()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SimpleImaxTop20)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LawlerImaxTop20(benchmark::State& state) {
+  Rng rng(223);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(
+      2, static_cast<int>(state.range(0)), 2, rng);
+  projector::SProjector p = RandomProjector(mu.nodes(), rng);
+  for (auto _ : state) {
+    auto it = projector::ImaxEnumerator::Create(&mu, &p);
+    int count = 0;
+    while (count < 20 && it->Next().has_value()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LawlerImaxTop20)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ImaxTopK(benchmark::State& state) {
+  Rng rng(103);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(
+      2, static_cast<int>(state.range(0)), 2, rng);
+  projector::SProjector p = RandomProjector(mu.nodes(), rng);
+  for (auto _ : state) {
+    auto topk = projector::TopKByImax(mu, p, 10);
+    benchmark::DoNotOptimize(topk);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ImaxTopK)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace tms
+
+int main(int argc, char** argv) {
+  tms::PrintImaxRatioTable();
+  tms::PrintConcatBlowupTable();
+  tms::PrintDedupAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

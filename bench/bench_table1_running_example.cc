@@ -1,0 +1,100 @@
+// E1 — reproduces Figure 1, Figure 2 and Table 1 of the paper, plus the
+// derived quantities of Examples 3.2, 3.4 and 4.2, and times the core
+// operations on the running example.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/confidence.h"
+#include "query/emax.h"
+#include "query/emax_enum.h"
+#include "query/unranked_enum.h"
+#include "workload/running_example.h"
+
+namespace tms {
+namespace {
+
+void PrintReproduction() {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  const Alphabet& delta = fig2.output_alphabet();
+
+  bench::PrintHeader(
+      "E1: Table 1 — random strings and their output",
+      "probabilities 0.3969/0.0049/0.002/0.0315/0.0252/0.007; outputs "
+      "12/12/12/21λ/ε/N-A; conf(12)=0.4038 over the listed worlds; "
+      "E_max(12)=0.3969");
+
+  std::printf("%-4s %-24s %-12s %s\n", "", "value", "probability", "output");
+  for (const workload::Table1Row& row : workload::Table1Rows()) {
+    Str world = *ParseStr(mu.nodes(), row.world);
+    auto output = fig2.TransduceDeterministic(world);
+    std::printf("%-4s %-24s %-12.4f %s\n", row.name, row.world,
+                mu.WorldProbability(world),
+                output.has_value()
+                    ? FormatStrCompact(delta, *output).c_str()
+                    : "N/A");
+  }
+
+  Str twelve = *ParseStr(delta, "1 2");
+  double listed = 0.3969 + 0.0049 + 0.002;
+  auto conf = query::ConfidenceDeterministic(mu, fig2, twelve);
+  auto emax = query::EmaxOfAnswer(mu, fig2, twelve);
+  std::printf("\nconf(12) over the worlds the paper lists (s,t,u): %.4f "
+              "(paper: 0.4038)\n", listed);
+  std::printf("conf(12), full reconstruction (Theorem 4.6 DP) : %.4f "
+              "(includes the forced 4th world r1b r1b la r1a r2a — see "
+              "DESIGN.md)\n", *conf);
+  std::printf("E_max(12) (Example 4.2)                         : %.4f "
+              "(paper: 0.3969)\n", emax->prob);
+
+  std::printf("\nAll answers by decreasing E_max (Theorem 4.3):\n");
+  query::EmaxEnumerator it(mu, fig2);
+  while (auto answer = it.Next()) {
+    auto c = query::ConfidenceDeterministic(mu, fig2, answer->output);
+    std::printf("  %-8s E_max=%.4f conf=%.4f\n",
+                FormatStrCompact(delta, answer->output).c_str(),
+                answer->score, *c);
+  }
+}
+
+void BM_Table1Confidence(benchmark::State& state) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  Str twelve = *ParseStr(fig2.output_alphabet(), "1 2");
+  for (auto _ : state) {
+    auto conf = query::ConfidenceDeterministic(mu, fig2, twelve);
+    benchmark::DoNotOptimize(conf);
+  }
+}
+BENCHMARK(BM_Table1Confidence);
+
+void BM_Table1TopAnswer(benchmark::State& state) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  for (auto _ : state) {
+    auto top = query::TopAnswerByEmax(mu, fig2);
+    benchmark::DoNotOptimize(top);
+  }
+}
+BENCHMARK(BM_Table1TopAnswer);
+
+void BM_Table1FullEnumeration(benchmark::State& state) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  for (auto _ : state) {
+    auto answers = query::AllAnswers(mu, fig2);
+    benchmark::DoNotOptimize(answers);
+  }
+}
+BENCHMARK(BM_Table1FullEnumeration);
+
+}  // namespace
+}  // namespace tms
+
+int main(int argc, char** argv) {
+  tms::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

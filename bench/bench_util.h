@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark harness.
+
+#ifndef TMS_BENCH_BENCH_UTIL_H_
+#define TMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <optional>
+
+#include "common/rng.h"
+#include "markov/markov_sequence.h"
+#include "markov/world_iter.h"
+#include "transducer/transducer.h"
+
+namespace tms::bench {
+
+/// The output of one (uniformly random) accepting run of `t` on `world`,
+/// or nullopt if no accepting run exists. Used to draw realistic answers
+/// for confidence benchmarks without enumerating all outputs.
+inline std::optional<Str> RandomRunOutput(const transducer::Transducer& t,
+                                          const Str& world, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    automata::StateId q = t.initial();
+    Str out;
+    bool stuck = false;
+    for (Symbol s : world) {
+      const auto& edges = t.Next(q, s);
+      if (edges.empty()) {
+        stuck = true;
+        break;
+      }
+      const transducer::Edge& e =
+          edges[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(edges.size()) - 1))];
+      out.insert(out.end(), e.output.begin(), e.output.end());
+      q = e.target;
+    }
+    if (!stuck && t.IsAccepting(q)) return out;
+  }
+  return std::nullopt;
+}
+
+/// Samples a world and returns the output of one of its accepting runs
+/// (retrying until one exists); an answer with nonzero confidence.
+inline std::optional<Str> SampleAnswer(const markov::MarkovSequence& mu,
+                                       const transducer::Transducer& t,
+                                       Rng& rng) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Str world = markov::SampleWorld(mu, rng);
+    auto out = RandomRunOutput(t, world, rng);
+    if (out.has_value()) return out;
+  }
+  return std::nullopt;
+}
+
+/// Prints a section header for the reproduction tables.
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace tms::bench
+
+#endif  // TMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,117 @@
+// Speech decoding: phoneme lattices as Markov sequences.
+//
+// The paper's introduction lists speech as a core application: "the
+// observations are acoustic signals, and the hidden states are sequences
+// of words or phonemes". This example builds a toy phoneme HMM for a
+// two-word vocabulary ("go", "no" — phonemes g/n/oh plus silence),
+// decodes a noisy utterance into a posterior Markov sequence over
+// phonemes, and queries it with a word-segmenting transducer that emits a
+// word symbol per recognized phoneme group — ranked transcription with
+// confidences, the paper's semantics end to end.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "hmm/translate.h"
+#include "query/evaluator.h"
+
+int main() {
+  using namespace tms;
+
+  // Phoneme HMM: states {sil, g, n, oh}; acoustic observations are 6
+  // coarse signal classes with overlapping emissions (g and n confusable).
+  Alphabet phonemes = *Alphabet::FromNames({"sil", "g", "n", "oh"});
+  Alphabet acoustics =
+      *Alphabet::FromNames({"quiet", "burst1", "burst2", "nasal", "vowel1",
+                            "vowel2"});
+  // Transition structure: sil -> {sil, g, n}; g/n -> oh; oh -> {oh, sil}.
+  std::vector<double> transition = {
+      // sil    g     n     oh
+      0.5, 0.25, 0.25, 0.0,   // from sil
+      0.0, 0.2, 0.0, 0.8,     // from g (may stretch)
+      0.0, 0.0, 0.2, 0.8,     // from n
+      0.3, 0.0, 0.0, 0.7,     // from oh
+  };
+  std::vector<double> emission = {
+      // quiet burst1 burst2 nasal vowel1 vowel2
+      0.8, 0.05, 0.05, 0.05, 0.025, 0.025,  // sil
+      0.05, 0.5, 0.3, 0.15, 0.0, 0.0,       // g  (bursty, some nasal leak)
+      0.05, 0.2, 0.15, 0.6, 0.0, 0.0,       // n  (nasal, confusable with g)
+      0.0, 0.0, 0.0, 0.0, 0.55, 0.45,       // oh
+  };
+  auto hmm = hmm::Hmm::Create(phonemes, acoustics, {1.0, 0.0, 0.0, 0.0},
+                              transition, emission);
+  if (!hmm.ok()) {
+    std::printf("error: %s\n", hmm.status().ToString().c_str());
+    return 1;
+  }
+
+  // Simulate an utterance: silence, "go", silence, "no", silence.
+  Rng rng(7);
+  auto [true_phonemes, observed] = hmm->Sample(16, rng);
+  std::printf("true phonemes : %s\n",
+              FormatStr(phonemes, true_phonemes).c_str());
+  std::printf("acoustic frames: %s\n",
+              FormatStr(acoustics, observed).c_str());
+
+  auto mu = hmm::PosteriorMarkovSequence(*hmm, observed);
+  if (!mu.ok()) {
+    std::printf("error: %s\n", mu.status().ToString().c_str());
+    return 1;
+  }
+
+  // Word segmenter: emits "GO" when a g→oh group completes, "NO" for
+  // n→oh. States: 0 = idle/sil, 1 = saw g, 2 = saw n, 3 = in oh.
+  Alphabet words = *Alphabet::FromNames({"GO", "NO"});
+  transducer::Transducer segmenter(phonemes, words, 5);
+  segmenter.SetInitial(0);
+  segmenter.SetAllAccepting();
+  const Symbol sil = 0, g = 1, nn = 2, oh = 3;
+  auto add = [&](automata::StateId from, Symbol s, automata::StateId to,
+                 Str emit) {
+    Status st = segmenter.AddTransition(from, s, to, std::move(emit));
+    if (!st.ok()) std::printf("edge error: %s\n", st.ToString().c_str());
+  };
+  // idle
+  add(0, sil, 0, {});
+  add(0, g, 1, {});
+  add(0, nn, 2, {});
+  add(0, oh, 0, {});  // stray vowel: ignore
+  // after g
+  add(1, g, 1, {});
+  add(1, oh, 3, {0});  // "GO"
+  add(1, sil, 0, {});
+  add(1, nn, 2, {});
+  // after n
+  add(2, nn, 2, {});
+  add(2, oh, 4, {1});  // "NO"
+  add(2, sil, 0, {});
+  add(2, g, 1, {});
+  // inside the vowel of GO (state 3) / NO (state 4)
+  for (automata::StateId q : {3, 4}) {
+    add(q, oh, q, {});
+    add(q, sil, 0, {});
+    add(q, g, 1, {});
+    add(q, nn, 2, {});
+  }
+
+  auto eval = query::Evaluator::Create(&*mu, &segmenter);
+  if (!eval.ok()) {
+    std::printf("error: %s\n", eval.status().ToString().c_str());
+    return 1;
+  }
+  auto topk = eval->TopK(5);
+  auto true_words = segmenter.TransduceDeterministic(true_phonemes);
+  std::printf("\ntrue transcription: %s\n",
+              FormatStr(words, *true_words).c_str());
+  std::printf("\nTop-%zu transcriptions (E_max order, confidences):\n",
+              topk->size());
+  for (size_t i = 0; i < topk->size(); ++i) {
+    const query::AnswerInfo& info = (*topk)[i];
+    std::printf("  %zu. %-16s E_max=%-10.4g conf=%-10.4g%s\n", i + 1,
+                FormatStr(words, info.output).c_str(), info.emax,
+                info.confidence,
+                info.output == *true_words ? "  <-- truth" : "");
+  }
+  return 0;
+}

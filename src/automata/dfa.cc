@@ -1,0 +1,114 @@
+#include "automata/dfa.h"
+
+#include "common/check.h"
+
+namespace tms::automata {
+
+Dfa::Dfa(Alphabet alphabet, int num_states) : alphabet_(std::move(alphabet)) {
+  TMS_CHECK(num_states >= 1);
+  accepting_.assign(static_cast<size_t>(num_states), false);
+  delta_.assign(static_cast<size_t>(num_states) * alphabet_.size(), 0);
+}
+
+StateId Dfa::AddState() {
+  StateId id = static_cast<StateId>(accepting_.size());
+  accepting_.push_back(false);
+  delta_.resize(delta_.size() + alphabet_.size(), id);  // self-loops
+  for (size_t s = 0; s < alphabet_.size(); ++s) {
+    delta_[static_cast<size_t>(id) * alphabet_.size() + s] = id;
+  }
+  return id;
+}
+
+size_t Dfa::Index(StateId q, Symbol symbol) const {
+  TMS_DCHECK(q >= 0 && q < num_states());
+  TMS_DCHECK(alphabet_.IsValid(symbol));
+  return static_cast<size_t>(q) * alphabet_.size() +
+         static_cast<size_t>(symbol);
+}
+
+void Dfa::SetTransition(StateId q, Symbol symbol, StateId q2) {
+  TMS_CHECK(q2 >= 0 && q2 < num_states());
+  delta_[Index(q, symbol)] = q2;
+}
+
+void Dfa::SetInitial(StateId q) {
+  TMS_CHECK(q >= 0 && q < num_states());
+  initial_ = q;
+}
+
+void Dfa::SetAccepting(StateId q, bool accepting) {
+  TMS_CHECK(q >= 0 && q < num_states());
+  accepting_[static_cast<size_t>(q)] = accepting;
+}
+
+bool Dfa::IsAccepting(StateId q) const {
+  TMS_CHECK(q >= 0 && q < num_states());
+  return accepting_[static_cast<size_t>(q)];
+}
+
+StateId Dfa::Next(StateId q, Symbol symbol) const {
+  return delta_[Index(q, symbol)];
+}
+
+StateId Dfa::Run(StateId from, const Str& s) const {
+  StateId q = from;
+  for (Symbol symbol : s) q = Next(q, symbol);
+  return q;
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa out(alphabet_, num_states());
+  out.SetInitial(initial_);
+  for (StateId q = 0; q < num_states(); ++q) {
+    out.SetAccepting(q, IsAccepting(q));
+    for (size_t s = 0; s < alphabet_.size(); ++s) {
+      out.AddTransition(q, static_cast<Symbol>(s),
+                        Next(q, static_cast<Symbol>(s)));
+    }
+  }
+  return out;
+}
+
+Status Dfa::Validate() const {
+  if (num_states() == 0) {
+    return Status::InvalidArgument("DFA has no states");
+  }
+  if (initial_ < 0 || initial_ >= num_states()) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  for (StateId q : delta_) {
+    if (q < 0 || q >= num_states()) {
+      return Status::InvalidArgument("transition target out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+Dfa Dfa::AcceptAll(Alphabet alphabet) {
+  Dfa out(std::move(alphabet), 1);
+  out.SetAccepting(0, true);
+  return out;
+}
+
+Dfa Dfa::AcceptNone(Alphabet alphabet) { return Dfa(std::move(alphabet), 1); }
+
+Dfa Dfa::ExactString(Alphabet alphabet, const Str& w) {
+  // States 0..|w| along the spine plus a dead state.
+  int n = static_cast<int>(w.size());
+  Dfa out(std::move(alphabet), n + 2);
+  const StateId dead = static_cast<StateId>(n + 1);
+  for (StateId q = 0; q <= static_cast<StateId>(n + 1); ++q) {
+    for (size_t s = 0; s < out.alphabet().size(); ++s) {
+      out.SetTransition(q, static_cast<Symbol>(s), dead);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    out.SetTransition(static_cast<StateId>(i), w[static_cast<size_t>(i)],
+                      static_cast<StateId>(i + 1));
+  }
+  out.SetAccepting(static_cast<StateId>(n), true);
+  return out;
+}
+
+}  // namespace tms::automata

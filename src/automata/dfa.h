@@ -1,0 +1,86 @@
+// Deterministic finite automata.
+//
+// A Dfa is *complete*: δ(q, s) is defined for every state and symbol, as
+// the paper requires (|δ_A(q,s)| = 1 for all q, s). Rejection happens by
+// ending a run in a non-accepting (possibly dead) state.
+
+#ifndef TMS_AUTOMATA_DFA_H_
+#define TMS_AUTOMATA_DFA_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/status.h"
+#include "strings/alphabet.h"
+#include "strings/str.h"
+
+namespace tms::automata {
+
+/// A complete deterministic finite automaton.
+class Dfa {
+ public:
+  /// A DFA over `alphabet` with `num_states` states, initial state 0, no
+  /// accepting states, and every transition pointing at state 0 (callers
+  /// are expected to set all transitions they care about).
+  explicit Dfa(Alphabet alphabet, int num_states = 1);
+
+  /// Adds a state (all its transitions initially self-loop) and returns it.
+  StateId AddState();
+
+  /// Sets δ(q, symbol) = q2.
+  void SetTransition(StateId q, Symbol symbol, StateId q2);
+
+  void SetInitial(StateId q);
+  void SetAccepting(StateId q, bool accepting = true);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  StateId initial() const { return initial_; }
+  bool IsAccepting(StateId q) const;
+
+  /// δ(q, symbol).
+  StateId Next(StateId q, Symbol symbol) const;
+
+  /// The state reached from `from` after reading `s`.
+  StateId Run(StateId from, const Str& s) const;
+
+  /// True iff s ∈ L(A).
+  bool Accepts(const Str& s) const { return IsAccepting(Run(initial_, s)); }
+
+  /// True iff L(A) contains the empty string.
+  bool AcceptsEmpty() const { return IsAccepting(initial_); }
+
+  /// View of this DFA as an Nfa (singleton transition sets).
+  Nfa ToNfa() const;
+
+  /// Checks internal consistency.
+  Status Validate() const;
+
+  // --- Constructors for common languages -----------------------------
+
+  /// DFA accepting every string of alphabet* (including ε).
+  static Dfa AcceptAll(Alphabet alphabet);
+
+  /// DFA accepting nothing.
+  static Dfa AcceptNone(Alphabet alphabet);
+
+  /// DFA accepting exactly {w}.
+  static Dfa ExactString(Alphabet alphabet, const Str& w);
+
+  /// DFA accepting exactly {ε}.
+  static Dfa EmptyStringOnly(Alphabet alphabet) {
+    return ExactString(std::move(alphabet), {});
+  }
+
+ private:
+  Alphabet alphabet_;
+  StateId initial_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<StateId> delta_;  // delta_[q * |Σ| + s]
+
+  size_t Index(StateId q, Symbol symbol) const;
+};
+
+}  // namespace tms::automata
+
+#endif  // TMS_AUTOMATA_DFA_H_

@@ -1,0 +1,108 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tms::automata {
+
+Nfa::Nfa(Alphabet alphabet, int num_states) : alphabet_(std::move(alphabet)) {
+  TMS_CHECK(num_states >= 0);
+  accepting_.assign(static_cast<size_t>(num_states), false);
+  delta_.assign(static_cast<size_t>(num_states) * alphabet_.size(), {});
+}
+
+StateId Nfa::AddState() {
+  StateId id = static_cast<StateId>(accepting_.size());
+  accepting_.push_back(false);
+  delta_.resize(delta_.size() + alphabet_.size());
+  return id;
+}
+
+size_t Nfa::Index(StateId q, Symbol symbol) const {
+  TMS_DCHECK(q >= 0 && q < num_states());
+  TMS_DCHECK(alphabet_.IsValid(symbol));
+  return static_cast<size_t>(q) * alphabet_.size() +
+         static_cast<size_t>(symbol);
+}
+
+void Nfa::AddTransition(StateId q, Symbol symbol, StateId q2) {
+  TMS_CHECK(q2 >= 0 && q2 < num_states());
+  std::vector<StateId>& set = delta_[Index(q, symbol)];
+  auto it = std::lower_bound(set.begin(), set.end(), q2);
+  if (it == set.end() || *it != q2) set.insert(it, q2);
+}
+
+void Nfa::SetInitial(StateId q) {
+  TMS_CHECK(q >= 0 && q < num_states());
+  initial_ = q;
+}
+
+void Nfa::SetAccepting(StateId q, bool accepting) {
+  TMS_CHECK(q >= 0 && q < num_states());
+  accepting_[static_cast<size_t>(q)] = accepting;
+}
+
+bool Nfa::IsAccepting(StateId q) const {
+  TMS_CHECK(q >= 0 && q < num_states());
+  return accepting_[static_cast<size_t>(q)];
+}
+
+const std::vector<StateId>& Nfa::Next(StateId q, Symbol symbol) const {
+  return delta_[Index(q, symbol)];
+}
+
+bool Nfa::IsDeterministic() const {
+  for (const std::vector<StateId>& set : delta_) {
+    if (set.size() != 1) return false;
+  }
+  return true;
+}
+
+std::vector<StateId> Nfa::ReachableSet(const std::vector<StateId>& from,
+                                       const Str& s) const {
+  std::vector<bool> cur(static_cast<size_t>(num_states()), false);
+  for (StateId q : from) {
+    TMS_CHECK(q >= 0 && q < num_states());
+    cur[static_cast<size_t>(q)] = true;
+  }
+  for (Symbol symbol : s) {
+    std::vector<bool> next(static_cast<size_t>(num_states()), false);
+    for (StateId q = 0; q < num_states(); ++q) {
+      if (!cur[static_cast<size_t>(q)]) continue;
+      for (StateId q2 : Next(q, symbol)) next[static_cast<size_t>(q2)] = true;
+    }
+    cur = std::move(next);
+  }
+  std::vector<StateId> out;
+  for (StateId q = 0; q < num_states(); ++q) {
+    if (cur[static_cast<size_t>(q)]) out.push_back(q);
+  }
+  return out;
+}
+
+bool Nfa::Accepts(const Str& s) const {
+  for (StateId q : ReachableSet({initial_}, s)) {
+    if (IsAccepting(q)) return true;
+  }
+  return false;
+}
+
+Status Nfa::Validate() const {
+  if (num_states() == 0) {
+    return Status::InvalidArgument("automaton has no states");
+  }
+  if (initial_ < 0 || initial_ >= num_states()) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  for (const std::vector<StateId>& set : delta_) {
+    for (StateId q : set) {
+      if (q < 0 || q >= num_states()) {
+        return Status::InvalidArgument("transition target out of range");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tms::automata

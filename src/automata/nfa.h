@@ -1,0 +1,73 @@
+// Nondeterministic finite automata (Section 2.1 of the paper).
+//
+// An Nfa has no ε-transitions (the paper's NFAs read one symbol per step);
+// the regex compiler builds Thompson automata with ε-edges internally and
+// eliminates them before returning an Nfa.
+
+#ifndef TMS_AUTOMATA_NFA_H_
+#define TMS_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "strings/alphabet.h"
+#include "strings/str.h"
+
+namespace tms::automata {
+
+/// Dense automaton state id.
+using StateId = int32_t;
+
+/// A nondeterministic finite automaton ⟨Σ, Q, q0, F, δ⟩ over an interned
+/// alphabet. δ(q, s) is a (possibly empty) set of states, so an Nfa may
+/// reject by getting stuck.
+class Nfa {
+ public:
+  /// An automaton over `alphabet` with `num_states` states, initial state 0,
+  /// and no accepting states or transitions.
+  explicit Nfa(Alphabet alphabet, int num_states = 0);
+
+  /// Adds a state and returns its id.
+  StateId AddState();
+
+  /// Adds q' to δ(q, symbol). Duplicate additions are ignored.
+  void AddTransition(StateId q, Symbol symbol, StateId q2);
+
+  void SetInitial(StateId q);
+  void SetAccepting(StateId q, bool accepting = true);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  StateId initial() const { return initial_; }
+  bool IsAccepting(StateId q) const;
+
+  /// δ(q, symbol) as a sorted vector.
+  const std::vector<StateId>& Next(StateId q, Symbol symbol) const;
+
+  /// True iff |δ(q, s)| == 1 for all q, s (the paper's DFA condition).
+  bool IsDeterministic() const;
+
+  /// True iff some accepting run on `s` exists (s ∈ L(A)).
+  bool Accepts(const Str& s) const;
+
+  /// The set of states reachable from `from` by reading `s` (any run).
+  std::vector<StateId> ReachableSet(const std::vector<StateId>& from,
+                                    const Str& s) const;
+
+  /// Checks internal consistency (state ids in range, initial valid).
+  Status Validate() const;
+
+ private:
+  Alphabet alphabet_;
+  StateId initial_ = 0;
+  std::vector<bool> accepting_;
+  // delta_[q * |Σ| + s] = sorted set of next states.
+  std::vector<std::vector<StateId>> delta_;
+
+  size_t Index(StateId q, Symbol symbol) const;
+};
+
+}  // namespace tms::automata
+
+#endif  // TMS_AUTOMATA_NFA_H_

@@ -1,0 +1,454 @@
+#include "automata/regex.h"
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "automata/ops.h"
+#include "common/check.h"
+
+namespace tms::automata {
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+enum class TokType {
+  kSymbol,   // one alphabet symbol
+  kLParen,
+  kRParen,
+  kBar,
+  kStar,
+  kPlus,
+  kQuestion,
+  kDot,
+  kLBracket,
+  kRBracket,
+  kCaret,
+  kDash,
+  kEnd,
+};
+
+struct Token {
+  TokType type;
+  Symbol symbol = -1;       // for kSymbol
+  std::string text;         // for diagnostics
+};
+
+bool IsBarewordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == ',';
+}
+
+// Tokenizes in name mode: barewords and 'quoted' names are symbols.
+Status TokenizeNames(const Alphabet& alphabet, std::string_view pattern,
+                     std::vector<Token>* out) {
+  size_t i = 0;
+  while (i < pattern.size()) {
+    char c = pattern[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        out->push_back({TokType::kLParen, -1, "("});
+        ++i;
+        continue;
+      case ')':
+        out->push_back({TokType::kRParen, -1, ")"});
+        ++i;
+        continue;
+      case '|':
+        out->push_back({TokType::kBar, -1, "|"});
+        ++i;
+        continue;
+      case '*':
+        out->push_back({TokType::kStar, -1, "*"});
+        ++i;
+        continue;
+      case '+':
+        out->push_back({TokType::kPlus, -1, "+"});
+        ++i;
+        continue;
+      case '?':
+        out->push_back({TokType::kQuestion, -1, "?"});
+        ++i;
+        continue;
+      case '.':
+        out->push_back({TokType::kDot, -1, "."});
+        ++i;
+        continue;
+      case '[':
+        out->push_back({TokType::kLBracket, -1, "["});
+        ++i;
+        continue;
+      case ']':
+        out->push_back({TokType::kRBracket, -1, "]"});
+        ++i;
+        continue;
+      case '^':
+        out->push_back({TokType::kCaret, -1, "^"});
+        ++i;
+        continue;
+      case '-':
+        out->push_back({TokType::kDash, -1, "-"});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    std::string name;
+    if (c == '\'') {
+      size_t end = pattern.find('\'', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quoted symbol");
+      }
+      name = std::string(pattern.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else if (IsBarewordChar(c)) {
+      size_t end = i;
+      while (end < pattern.size() && IsBarewordChar(pattern[end])) ++end;
+      name = std::string(pattern.substr(i, end - i));
+      i = end;
+    } else {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in pattern");
+    }
+    auto sym = alphabet.Find(name);
+    if (!sym.ok()) return sym.status();
+    out->push_back({TokType::kSymbol, *sym, name});
+  }
+  out->push_back({TokType::kEnd, -1, "<end>"});
+  return Status::Ok();
+}
+
+// Tokenizes in character mode: every non-operator character is a symbol;
+// '\' escapes the next character to a literal symbol.
+Status TokenizeChars(const Alphabet& alphabet, std::string_view pattern,
+                     std::vector<Token>* out) {
+  size_t i = 0;
+  while (i < pattern.size()) {
+    char c = pattern[i];
+    TokType op = TokType::kEnd;
+    switch (c) {
+      case '(': op = TokType::kLParen; break;
+      case ')': op = TokType::kRParen; break;
+      case '|': op = TokType::kBar; break;
+      case '*': op = TokType::kStar; break;
+      case '+': op = TokType::kPlus; break;
+      case '?': op = TokType::kQuestion; break;
+      case '.': op = TokType::kDot; break;
+      case '[': op = TokType::kLBracket; break;
+      case ']': op = TokType::kRBracket; break;
+      case '^': op = TokType::kCaret; break;
+      case '-': op = TokType::kDash; break;
+      default: break;
+    }
+    if (op != TokType::kEnd) {
+      out->push_back({op, -1, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    if (c == '\\') {
+      if (i + 1 >= pattern.size()) {
+        return Status::InvalidArgument("trailing backslash in pattern");
+      }
+      c = pattern[i + 1];
+      i += 2;
+    } else {
+      ++i;
+    }
+    auto sym = alphabet.Find(std::string(1, c));
+    if (!sym.ok()) return sym.status();
+    out->push_back({TokType::kSymbol, *sym, std::string(1, c)});
+  }
+  out->push_back({TokType::kEnd, -1, "<end>"});
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Thompson construction over an ε-NFA
+// ---------------------------------------------------------------------
+
+struct EpsNfa {
+  // eps[q] = ε-successors; sym[q] = list of (symbol, successor).
+  std::vector<std::vector<int>> eps;
+  std::vector<std::vector<std::pair<Symbol, int>>> sym;
+
+  int AddState() {
+    eps.emplace_back();
+    sym.emplace_back();
+    return static_cast<int>(eps.size()) - 1;
+  }
+};
+
+// A fragment with one entry and one exit state.
+struct Frag {
+  int start;
+  int accept;
+};
+
+class Parser {
+ public:
+  Parser(const Alphabet& alphabet, std::vector<Token> tokens)
+      : alphabet_(alphabet), tokens_(std::move(tokens)) {}
+
+  StatusOr<Frag> Parse() {
+    auto frag = ParseAlt();
+    if (!frag.ok()) return frag.status();
+    if (Peek().type != TokType::kEnd) {
+      return Status::InvalidArgument("unexpected token '" + Peek().text +
+                                     "' in pattern");
+    }
+    return frag;
+  }
+
+  EpsNfa& graph() { return graph_; }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Frag MakeSymbolSet(const std::set<Symbol>& symbols) {
+    Frag f{graph_.AddState(), graph_.AddState()};
+    for (Symbol s : symbols) graph_.sym[static_cast<size_t>(f.start)].push_back({s, f.accept});
+    return f;
+  }
+
+  StatusOr<Frag> ParseAlt() {
+    auto lhs = ParseConcat();
+    if (!lhs.ok()) return lhs.status();
+    Frag result = *lhs;
+    while (Peek().type == TokType::kBar) {
+      Take();
+      auto rhs = ParseConcat();
+      if (!rhs.ok()) return rhs.status();
+      Frag merged{graph_.AddState(), graph_.AddState()};
+      graph_.eps[static_cast<size_t>(merged.start)].push_back(result.start);
+      graph_.eps[static_cast<size_t>(merged.start)].push_back(rhs->start);
+      graph_.eps[static_cast<size_t>(result.accept)].push_back(merged.accept);
+      graph_.eps[static_cast<size_t>(rhs->accept)].push_back(merged.accept);
+      result = merged;
+    }
+    return result;
+  }
+
+  bool StartsAtom(TokType t) const {
+    return t == TokType::kSymbol || t == TokType::kLParen ||
+           t == TokType::kDot || t == TokType::kLBracket;
+  }
+
+  StatusOr<Frag> ParseConcat() {
+    // An empty concatenation matches ε.
+    Frag result{graph_.AddState(), graph_.AddState()};
+    graph_.eps[static_cast<size_t>(result.start)].push_back(result.accept);
+    bool first = true;
+    while (StartsAtom(Peek().type)) {
+      auto piece = ParseRepeat();
+      if (!piece.ok()) return piece.status();
+      if (first) {
+        result = *piece;
+        first = false;
+      } else {
+        graph_.eps[static_cast<size_t>(result.accept)].push_back(piece->start);
+        result.accept = piece->accept;
+      }
+    }
+    return result;
+  }
+
+  StatusOr<Frag> ParseRepeat() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    Frag result = *atom;
+    while (Peek().type == TokType::kStar || Peek().type == TokType::kPlus ||
+           Peek().type == TokType::kQuestion) {
+      TokType op = Take().type;
+      Frag wrapped{graph_.AddState(), graph_.AddState()};
+      graph_.eps[static_cast<size_t>(wrapped.start)].push_back(result.start);
+      graph_.eps[static_cast<size_t>(result.accept)].push_back(wrapped.accept);
+      if (op == TokType::kStar || op == TokType::kQuestion) {
+        graph_.eps[static_cast<size_t>(wrapped.start)].push_back(
+            wrapped.accept);
+      }
+      if (op == TokType::kStar || op == TokType::kPlus) {
+        graph_.eps[static_cast<size_t>(result.accept)].push_back(result.start);
+      }
+      result = wrapped;
+    }
+    return result;
+  }
+
+  StatusOr<Frag> ParseAtom() {
+    const Token tok = Take();
+    switch (tok.type) {
+      case TokType::kSymbol:
+        return MakeSymbolSet({tok.symbol});
+      case TokType::kDot: {
+        std::set<Symbol> all;
+        for (size_t s = 0; s < alphabet_.size(); ++s) {
+          all.insert(static_cast<Symbol>(s));
+        }
+        return MakeSymbolSet(all);
+      }
+      case TokType::kLParen: {
+        auto inner = ParseAlt();
+        if (!inner.ok()) return inner.status();
+        if (Peek().type != TokType::kRParen) {
+          return Status::InvalidArgument("expected ')' in pattern");
+        }
+        Take();
+        return inner;
+      }
+      case TokType::kLBracket:
+        return ParseClass();
+      default:
+        return Status::InvalidArgument("unexpected token '" + tok.text +
+                                       "' in pattern");
+    }
+  }
+
+  StatusOr<Frag> ParseClass() {
+    bool negated = false;
+    if (Peek().type == TokType::kCaret) {
+      Take();
+      negated = true;
+    }
+    std::set<Symbol> members;
+    while (Peek().type != TokType::kRBracket) {
+      if (Peek().type == TokType::kEnd) {
+        return Status::InvalidArgument("unterminated character class");
+      }
+      Token tok = Take();
+      if (tok.type != TokType::kSymbol) {
+        return Status::InvalidArgument("unexpected token '" + tok.text +
+                                       "' in character class");
+      }
+      if (Peek().type == TokType::kDash) {
+        Take();
+        Token hi = Take();
+        if (hi.type != TokType::kSymbol) {
+          return Status::InvalidArgument("malformed range in character class");
+        }
+        if (tok.text.size() != 1 || hi.text.size() != 1) {
+          return Status::InvalidArgument(
+              "ranges require single-character symbol names");
+        }
+        for (char c = tok.text[0]; c <= hi.text[0]; ++c) {
+          auto sym = alphabet_.Find(std::string(1, c));
+          if (sym.ok()) members.insert(*sym);
+        }
+      } else {
+        members.insert(tok.symbol);
+      }
+    }
+    Take();  // ']'
+    if (negated) {
+      std::set<Symbol> inverted;
+      for (size_t s = 0; s < alphabet_.size(); ++s) {
+        if (!members.count(static_cast<Symbol>(s))) {
+          inverted.insert(static_cast<Symbol>(s));
+        }
+      }
+      members = std::move(inverted);
+    }
+    if (members.empty()) {
+      return Status::InvalidArgument("empty character class matches nothing");
+    }
+    return MakeSymbolSet(members);
+  }
+
+  const Alphabet& alphabet_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  EpsNfa graph_;
+};
+
+// ε-closure of a single state.
+std::vector<int> EpsClosure(const EpsNfa& g, int q) {
+  std::vector<bool> seen(g.eps.size(), false);
+  std::vector<int> stack = {q};
+  seen[static_cast<size_t>(q)] = true;
+  std::vector<int> out;
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (int next : g.eps[static_cast<size_t>(cur)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+// Converts the Thompson ε-NFA fragment into an ε-free Nfa.
+Nfa EliminateEpsilon(const Alphabet& alphabet, const EpsNfa& g, Frag frag) {
+  const int n = static_cast<int>(g.eps.size());
+  Nfa out(alphabet, n);
+  out.SetInitial(frag.start);
+  for (int q = 0; q < n; ++q) {
+    std::vector<int> closure = EpsClosure(g, q);
+    bool accepting = false;
+    for (int p : closure) {
+      if (p == frag.accept) accepting = true;
+      for (const auto& [symbol, next] : g.sym[static_cast<size_t>(p)]) {
+        out.AddTransition(q, symbol, next);
+      }
+    }
+    out.SetAccepting(q, accepting);
+  }
+  return out;
+}
+
+StatusOr<Nfa> CompileTokens(const Alphabet& alphabet,
+                            std::vector<Token> tokens) {
+  Parser parser(alphabet, std::move(tokens));
+  auto frag = parser.Parse();
+  if (!frag.ok()) return frag.status();
+  return EliminateEpsilon(alphabet, parser.graph(), *frag);
+}
+
+}  // namespace
+
+StatusOr<Nfa> CompileRegex(const Alphabet& alphabet,
+                           std::string_view pattern) {
+  std::vector<Token> tokens;
+  TMS_RETURN_IF_ERROR(TokenizeNames(alphabet, pattern, &tokens));
+  return CompileTokens(alphabet, std::move(tokens));
+}
+
+StatusOr<Nfa> CompileCharRegex(const Alphabet& alphabet,
+                               std::string_view pattern) {
+  for (const std::string& name : alphabet.names()) {
+    if (name.size() != 1) {
+      return Status::InvalidArgument(
+          "CompileCharRegex requires single-character symbol names; got: " +
+          name);
+    }
+  }
+  std::vector<Token> tokens;
+  TMS_RETURN_IF_ERROR(TokenizeChars(alphabet, pattern, &tokens));
+  return CompileTokens(alphabet, std::move(tokens));
+}
+
+StatusOr<Dfa> CompileRegexToDfa(const Alphabet& alphabet,
+                                std::string_view pattern) {
+  auto nfa = CompileRegex(alphabet, pattern);
+  if (!nfa.ok()) return nfa.status();
+  return Minimize(Determinize(*nfa));
+}
+
+StatusOr<Dfa> CompileCharRegexToDfa(const Alphabet& alphabet,
+                                    std::string_view pattern) {
+  auto nfa = CompileCharRegex(alphabet, pattern);
+  if (!nfa.ok()) return nfa.status();
+  return Minimize(Determinize(*nfa));
+}
+
+}  // namespace tms::automata

@@ -1,0 +1,54 @@
+// Regular-expression compiler.
+//
+// The paper specifies s-projector components as regular expressions over
+// the node alphabet (Example 5.1 uses Perl-style expressions such as
+// ".*Name:" and "[a-zA-Z,]+"). This compiler turns such patterns into
+// ε-free NFAs (Thompson construction followed by ε-elimination); callers
+// then Determinize() to obtain the DFAs the s-projector definition needs.
+//
+// Two token modes are supported:
+//
+//  * Compile(): atoms are whitespace-separated symbol *names* (barewords of
+//    [A-Za-z0-9_:,] or 'single-quoted' strings), suitable for alphabets
+//    with multi-character names such as the running example's r_1a.
+//        "( r1a | r1b ) * la"
+//  * CompileChars(): every non-operator character is one symbol, suitable
+//    for character alphabets:  ".*Name:" , "[a-zA-Z,]+".
+//
+// Operators in both modes: concatenation (juxtaposition), alternation '|',
+// grouping '(...)', postfix '*' '+' '?', wildcard '.', classes
+// '[...]' / '[^...]' with 'a-z' ranges between single-character names.
+
+#ifndef TMS_AUTOMATA_REGEX_H_
+#define TMS_AUTOMATA_REGEX_H_
+
+#include <string_view>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "common/status.h"
+#include "strings/alphabet.h"
+
+namespace tms::automata {
+
+/// Compiles a pattern whose atoms are symbol names. Fails on syntax errors
+/// or names not in `alphabet`.
+StatusOr<Nfa> CompileRegex(const Alphabet& alphabet, std::string_view pattern);
+
+/// Compiles a pattern whose atoms are single characters. Fails on syntax
+/// errors or characters not in `alphabet` (every symbol name in `alphabet`
+/// must be a single character).
+StatusOr<Nfa> CompileCharRegex(const Alphabet& alphabet,
+                               std::string_view pattern);
+
+/// Convenience: compile (name-token mode), determinize, and minimize.
+StatusOr<Dfa> CompileRegexToDfa(const Alphabet& alphabet,
+                                std::string_view pattern);
+
+/// Convenience: compile (character mode), determinize, and minimize.
+StatusOr<Dfa> CompileCharRegexToDfa(const Alphabet& alphabet,
+                                    std::string_view pattern);
+
+}  // namespace tms::automata
+
+#endif  // TMS_AUTOMATA_REGEX_H_

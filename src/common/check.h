@@ -1,0 +1,45 @@
+// CHECK-style assertion macros for internal invariants.
+//
+// These abort the process with a diagnostic; they are for programmer errors
+// only. Recoverable, input-dependent failures use Status (common/status.h).
+
+#ifndef TMS_COMMON_CHECK_H_
+#define TMS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tms::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: TMS_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace tms::internal
+
+/// Aborts if `cond` is false. Always enabled (not compiled out in release
+/// builds); use only on cold paths or where correctness trumps speed.
+#define TMS_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) ::tms::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define TMS_CHECK_EQ(a, b) TMS_CHECK((a) == (b))
+#define TMS_CHECK_NE(a, b) TMS_CHECK((a) != (b))
+#define TMS_CHECK_LT(a, b) TMS_CHECK((a) < (b))
+#define TMS_CHECK_LE(a, b) TMS_CHECK((a) <= (b))
+#define TMS_CHECK_GT(a, b) TMS_CHECK((a) > (b))
+#define TMS_CHECK_GE(a, b) TMS_CHECK((a) >= (b))
+
+/// Debug-only check; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define TMS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define TMS_DCHECK(cond) TMS_CHECK(cond)
+#endif
+
+#endif  // TMS_COMMON_CHECK_H_

@@ -1,0 +1,85 @@
+// Seeded random-number utilities shared by the workload generators,
+// the randomized property tests, and HMM sampling.
+
+#ifndef TMS_COMMON_RNG_H_
+#define TMS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tms {
+
+/// A deterministic PRNG wrapper (mt19937_64) with convenience samplers.
+/// All randomized code in tms takes an Rng& so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TMS_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples an index according to the given nonnegative weights.
+  /// Weights need not sum to 1; at least one must be positive.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    TMS_CHECK(total > 0);
+    double u = UniformDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Generates a random probability vector of the given size with exactly
+  /// `support` nonzero entries (Dirichlet-like via normalized exponentials).
+  std::vector<double> RandomDistribution(size_t size, size_t support);
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+inline std::vector<double> Rng::RandomDistribution(size_t size,
+                                                   size_t support) {
+  TMS_CHECK(support >= 1 && support <= size);
+  std::vector<double> out(size, 0.0);
+  // Choose `support` distinct positions.
+  std::vector<size_t> idx(size);
+  for (size_t i = 0; i < size; ++i) idx[i] = i;
+  for (size_t i = 0; i < support; ++i) {
+    size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i),
+                                              static_cast<int64_t>(size - 1)));
+    std::swap(idx[i], idx[j]);
+  }
+  double total = 0;
+  std::vector<double> mass(support);
+  for (size_t i = 0; i < support; ++i) {
+    mass[i] = -std::log(1.0 - UniformDouble());
+    total += mass[i];
+  }
+  for (size_t i = 0; i < support; ++i) out[idx[i]] = mass[i] / total;
+  return out;
+}
+
+}  // namespace tms
+
+#endif  // TMS_COMMON_RNG_H_

@@ -1,0 +1,11 @@
+#include "common/stopwatch.h"
+
+namespace tms {
+
+int64_t Stopwatch::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+      .count();
+}
+
+}  // namespace tms

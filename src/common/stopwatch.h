@@ -1,0 +1,35 @@
+// Wall-clock stopwatch used by the benchmark harness and the
+// polynomial-delay measurements.
+
+#ifndef TMS_COMMON_STOPWATCH_H_
+#define TMS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tms {
+
+/// Measures elapsed wall time with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const;
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tms
+
+#endif  // TMS_COMMON_STOPWATCH_H_

@@ -1,0 +1,98 @@
+#include "db/collection.h"
+
+#include <algorithm>
+
+#include "projector/sprojector_confidence.h"
+#include "query/confidence.h"
+#include "query/emax_enum.h"
+
+namespace tms::db {
+
+Status SequenceCollection::Insert(const std::string& key,
+                                  markov::MarkovSequence mu) {
+  if (!(mu.nodes() == nodes_)) {
+    return Status::InvalidArgument(
+        "sequence node set does not match the collection alphabet");
+  }
+  sequences_.insert_or_assign(key, std::move(mu));
+  return Status::Ok();
+}
+
+bool SequenceCollection::Erase(const std::string& key) {
+  return sequences_.erase(key) > 0;
+}
+
+std::vector<std::string> SequenceCollection::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(sequences_.size());
+  for (const auto& [key, mu] : sequences_) out.push_back(key);
+  return out;
+}
+
+StatusOr<const markov::MarkovSequence*> SequenceCollection::Get(
+    const std::string& key) const {
+  auto it = sequences_.find(key);
+  if (it == sequences_.end()) {
+    return Status::NotFound("no sequence under key: " + key);
+  }
+  return &it->second;
+}
+
+StatusOr<std::vector<SequenceCollection::Row>>
+SequenceCollection::TopKPerSequence(const transducer::Transducer& t,
+                                    int k) const {
+  if (!(t.input_alphabet() == nodes_)) {
+    return Status::InvalidArgument(
+        "transducer input alphabet does not match the collection");
+  }
+  std::vector<Row> out;
+  for (const auto& [key, mu] : sequences_) {
+    auto eval = query::Evaluator::Create(&mu, &t);
+    if (!eval.ok()) return eval.status();
+    auto topk = eval->TopK(k);
+    if (!topk.ok()) return topk.status();
+    for (query::AnswerInfo& info : *topk) {
+      out.push_back(Row{key, std::move(info)});
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::pair<std::string, double>>>
+SequenceCollection::AcceptanceByKey(const automata::Dfa& dfa) const {
+  if (!(dfa.alphabet() == nodes_)) {
+    return Status::InvalidArgument(
+        "DFA alphabet does not match the collection");
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, mu] : sequences_) {
+    out.emplace_back(key, projector::AcceptanceProbability(mu, dfa));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+StatusOr<std::vector<std::pair<std::string, double>>>
+SequenceCollection::RankSequencesByAnswer(const transducer::Transducer& t,
+                                          const Str& o) const {
+  if (!(t.input_alphabet() == nodes_)) {
+    return Status::InvalidArgument(
+        "transducer input alphabet does not match the collection");
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, mu] : sequences_) {
+    auto conf = query::Confidence(mu, t, o);
+    if (!conf.ok()) return conf.status();
+    out.emplace_back(key, *conf);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace tms::db

@@ -1,0 +1,76 @@
+// A Lahar-style collection of Markov sequences.
+//
+// The paper situates itself inside Lahar, "a Markov-sequence database that
+// supports query processing over a collection of Markov sequences", and
+// studies the single-sequence core. SequenceCollection supplies the thin
+// database layer around that core: named sequences sharing one node
+// alphabet, per-sequence transducer evaluation, collection-wide Boolean
+// automaton queries (Lahar's original query class — the probability that
+// a DFA accepts), and cross-sequence ranking.
+
+#ifndef TMS_DB_COLLECTION_H_
+#define TMS_DB_COLLECTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "query/evaluator.h"
+#include "transducer/transducer.h"
+
+namespace tms::db {
+
+/// A named collection of Markov sequences over one shared node alphabet
+/// (e.g. one sequence per tracked RFID object).
+class SequenceCollection {
+ public:
+  /// A collection whose members must use exactly this node alphabet.
+  explicit SequenceCollection(Alphabet nodes) : nodes_(std::move(nodes)) {}
+
+  /// Inserts (or replaces) a sequence under `key`. Fails on alphabet
+  /// mismatch. Sequences may have different lengths.
+  Status Insert(const std::string& key, markov::MarkovSequence mu);
+
+  /// Removes a sequence; false if absent.
+  bool Erase(const std::string& key);
+
+  const Alphabet& nodes() const { return nodes_; }
+  size_t size() const { return sequences_.size(); }
+  std::vector<std::string> Keys() const;
+
+  /// The sequence under `key`.
+  StatusOr<const markov::MarkovSequence*> Get(const std::string& key) const;
+
+  /// One (key, answer) result row.
+  struct Row {
+    std::string key;
+    query::AnswerInfo answer;
+  };
+
+  /// Evaluates a transducer on every sequence and returns the per-sequence
+  /// top-k answers by E_max, with confidences.
+  StatusOr<std::vector<Row>> TopKPerSequence(const transducer::Transducer& t,
+                                             int k) const;
+
+  /// Lahar-style Boolean query: Pr(S ∈ L(dfa)) for every sequence, sorted
+  /// by decreasing probability.
+  StatusOr<std::vector<std::pair<std::string, double>>> AcceptanceByKey(
+      const automata::Dfa& dfa) const;
+
+  /// Cross-sequence ranking: the k (key, answer) pairs with the highest
+  /// confidence for a given answer string — "which cart most likely took
+  /// route o?".
+  StatusOr<std::vector<std::pair<std::string, double>>> RankSequencesByAnswer(
+      const transducer::Transducer& t, const Str& o) const;
+
+ private:
+  Alphabet nodes_;
+  std::map<std::string, markov::MarkovSequence> sequences_;
+};
+
+}  // namespace tms::db
+
+#endif  // TMS_DB_COLLECTION_H_

@@ -1,0 +1,96 @@
+#include "db/event_query.h"
+
+#include "common/check.h"
+
+namespace tms::db {
+namespace {
+
+// Forward mass over (node, DFA state); `absorb` keeps runs in accepting
+// states once reached (for the "fired by time t" semantics).
+std::vector<double> SeriesImpl(const markov::MarkovSequence& mu,
+                               const automata::Dfa& dfa, bool absorb) {
+  TMS_CHECK(mu.nodes() == dfa.alphabet());
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(dfa.num_states());
+
+  auto next_state = [&](size_t q, Symbol u) {
+    if (absorb && dfa.IsAccepting(static_cast<automata::StateId>(q))) {
+      return q;  // accepting states absorb: once fired, always fired
+    }
+    return static_cast<size_t>(
+        dfa.Next(static_cast<automata::StateId>(q), u));
+  };
+
+  std::vector<double> series;
+  series.reserve(static_cast<size_t>(n));
+  std::vector<double> cur(sigma * nq, 0.0);
+  for (size_t s = 0; s < sigma; ++s) {
+    double p0 = mu.Initial(static_cast<Symbol>(s));
+    if (p0 <= 0) continue;
+    // The empty prefix never counts as a firing, so the first symbol
+    // always advances from the initial state (no absorption yet).
+    cur[s * nq +
+        static_cast<size_t>(dfa.Next(dfa.initial(), static_cast<Symbol>(s)))] +=
+        p0;
+  }
+  auto accepting_mass = [&]() {
+    double total = 0;
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        if (dfa.IsAccepting(static_cast<automata::StateId>(q))) {
+          total += cur[s * nq + q];
+        }
+      }
+    }
+    return total;
+  };
+  series.push_back(accepting_mass());
+  for (int t = 2; t <= n; ++t) {
+    std::vector<double> next(sigma * nq, 0.0);
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        double mass = cur[s * nq + q];
+        if (mass <= 0) continue;
+        for (size_t u = 0; u < sigma; ++u) {
+          double step = mu.Transition(t - 1, static_cast<Symbol>(s),
+                                      static_cast<Symbol>(u));
+          if (step <= 0) continue;
+          next[u * nq + next_state(q, static_cast<Symbol>(u))] += mass * step;
+        }
+      }
+    }
+    cur = std::move(next);
+    series.push_back(accepting_mass());
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<double> PrefixAcceptanceSeries(const markov::MarkovSequence& mu,
+                                           const automata::Dfa& dfa) {
+  return SeriesImpl(mu, dfa, /*absorb=*/false);
+}
+
+std::vector<double> EventFiredSeries(const markov::MarkovSequence& mu,
+                                     const automata::Dfa& dfa) {
+  return SeriesImpl(mu, dfa, /*absorb=*/true);
+}
+
+StatusOr<std::map<std::string, std::vector<double>>> CollectionEventSeries(
+    const SequenceCollection& collection, const automata::Dfa& dfa) {
+  if (!(dfa.alphabet() == collection.nodes())) {
+    return Status::InvalidArgument(
+        "DFA alphabet does not match the collection");
+  }
+  std::map<std::string, std::vector<double>> out;
+  for (const std::string& key : collection.Keys()) {
+    auto mu = collection.Get(key);
+    if (!mu.ok()) return mu.status();
+    out[key] = EventFiredSeries(**mu, dfa);
+  }
+  return out;
+}
+
+}  // namespace tms::db

@@ -1,0 +1,40 @@
+// Lahar-style event queries.
+//
+// Lahar's original query class (paper §6: "queries are essentially linear
+// DFAs… at each time period it returns the probability that it is
+// evaluated to true") asks, per time step, for the probability that an
+// event pattern has been observed. This module provides that per-time
+// probability series for a single sequence and across a collection.
+
+#ifndef TMS_DB_EVENT_QUERY_H_
+#define TMS_DB_EVENT_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "common/status.h"
+#include "db/collection.h"
+#include "markov/markov_sequence.h"
+
+namespace tms::db {
+
+/// series[t-1] = Pr(S_[1,t] ∈ L(dfa)) for t = 1..n — the probability that
+/// the event pattern has matched by time t. O(n·|Σ|²·|Q|).
+std::vector<double> PrefixAcceptanceSeries(const markov::MarkovSequence& mu,
+                                           const automata::Dfa& dfa);
+
+/// series[t-1] = Pr(∃ t' ≤ t with S_[1,t'] ∈ L(dfa)): the event has FIRED
+/// at or before time t (monotone nondecreasing). Computed by absorbing the
+/// DFA's accepting states first. O(n·|Σ|²·|Q|).
+std::vector<double> EventFiredSeries(const markov::MarkovSequence& mu,
+                                     const automata::Dfa& dfa);
+
+/// The fired-series for every sequence of a collection.
+StatusOr<std::map<std::string, std::vector<double>>> CollectionEventSeries(
+    const SequenceCollection& collection, const automata::Dfa& dfa);
+
+}  // namespace tms::db
+
+#endif  // TMS_DB_EVENT_QUERY_H_

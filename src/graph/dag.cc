@@ -1,0 +1,134 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace tms::graph {
+
+WeightedDag::WeightedDag(int num_nodes) {
+  TMS_CHECK(num_nodes >= 0);
+  out_.assign(static_cast<size_t>(num_nodes), {});
+}
+
+NodeId WeightedDag::AddNode() {
+  out_.emplace_back();
+  return static_cast<NodeId>(out_.size()) - 1;
+}
+
+EdgeId WeightedDag::AddEdge(NodeId from, NodeId to, double cost,
+                            int64_t payload) {
+  TMS_CHECK(from >= 0 && from < num_nodes());
+  TMS_CHECK(to >= 0 && to < num_nodes());
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(DagEdge{from, to, cost, payload});
+  out_[static_cast<size_t>(from)].push_back(id);
+  return id;
+}
+
+const DagEdge& WeightedDag::edge(EdgeId id) const {
+  TMS_CHECK(id >= 0 && static_cast<size_t>(id) < edges_.size());
+  return edges_[static_cast<size_t>(id)];
+}
+
+const std::vector<EdgeId>& WeightedDag::OutEdges(NodeId v) const {
+  TMS_CHECK(v >= 0 && v < num_nodes());
+  return out_[static_cast<size_t>(v)];
+}
+
+StatusOr<std::vector<NodeId>> WeightedDag::TopologicalOrder() const {
+  std::vector<int> indegree(static_cast<size_t>(num_nodes()), 0);
+  for (const DagEdge& e : edges_) ++indegree[static_cast<size_t>(e.to)];
+  std::queue<NodeId> ready;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (indegree[static_cast<size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(num_nodes()));
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (EdgeId id : out_[static_cast<size_t>(v)]) {
+      NodeId to = edges_[static_cast<size_t>(id)].to;
+      if (--indegree[static_cast<size_t>(to)] == 0) ready.push(to);
+    }
+  }
+  if (order.size() != static_cast<size_t>(num_nodes())) {
+    return Status::FailedPrecondition("graph contains a cycle");
+  }
+  return order;
+}
+
+StatusOr<std::vector<double>> WeightedDag::MinCostToSink(NodeId sink) const {
+  TMS_CHECK(sink >= 0 && sink < num_nodes());
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  std::vector<double> dist(static_cast<size_t>(num_nodes()), kInf);
+  dist[static_cast<size_t>(sink)] = 0.0;
+  // Process in reverse topological order so successors are final.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    NodeId v = *it;
+    for (EdgeId id : out_[static_cast<size_t>(v)]) {
+      const DagEdge& e = edges_[static_cast<size_t>(id)];
+      double cand = e.cost + dist[static_cast<size_t>(e.to)];
+      if (cand < dist[static_cast<size_t>(v)]) {
+        dist[static_cast<size_t>(v)] = cand;
+      }
+    }
+  }
+  return dist;
+}
+
+StatusOr<int64_t> WeightedDag::CountPaths(NodeId source, NodeId sink) const {
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  constexpr int64_t kCap = std::numeric_limits<int64_t>::max();
+  std::vector<int64_t> count(static_cast<size_t>(num_nodes()), 0);
+  count[static_cast<size_t>(sink)] = 1;
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    NodeId v = *it;
+    if (v == sink) continue;
+    int64_t total = 0;
+    for (EdgeId id : out_[static_cast<size_t>(v)]) {
+      int64_t c = count[static_cast<size_t>(edges_[static_cast<size_t>(id)].to)];
+      if (c > kCap - total) {
+        total = kCap;
+        break;
+      }
+      total += c;
+    }
+    count[static_cast<size_t>(v)] = total;
+  }
+  return count[static_cast<size_t>(source)];
+}
+
+StatusOr<Path> BestPath(const WeightedDag& dag, NodeId source, NodeId sink) {
+  auto dist = dag.MinCostToSink(sink);
+  if (!dist.ok()) return dist.status();
+  if ((*dist)[static_cast<size_t>(source)] == WeightedDag::kInf) {
+    return Status::NotFound("no source->sink path");
+  }
+  Path out;
+  NodeId v = source;
+  while (v != sink) {
+    EdgeId best = -1;
+    double best_cost = WeightedDag::kInf;
+    for (EdgeId id : dag.OutEdges(v)) {
+      const DagEdge& e = dag.edge(id);
+      double cand = e.cost + (*dist)[static_cast<size_t>(e.to)];
+      if (cand < best_cost) {
+        best_cost = cand;
+        best = id;
+      }
+    }
+    TMS_CHECK(best >= 0);
+    out.edges.push_back(best);
+    out.cost += dag.edge(best).cost;
+    v = dag.edge(best).to;
+  }
+  return out;
+}
+
+}  // namespace tms::graph

@@ -1,0 +1,79 @@
+// Edge-weighted directed acyclic graphs.
+//
+// The substrate for Theorem 5.7: ranked enumeration for indexed
+// s-projectors reduces to enumerating the source→sink paths of an
+// edge-weighted DAG in increasing weight (the paper cites Eppstein [14]).
+// Costs are additive doubles; probability products are mapped to costs via
+// cost = −log p, so min-cost paths are max-probability answers.
+
+#ifndef TMS_GRAPH_DAG_H_
+#define TMS_GRAPH_DAG_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tms::graph {
+
+/// Node and edge ids are dense ints.
+using NodeId = int32_t;
+using EdgeId = int32_t;
+
+/// An edge with an additive cost and an opaque payload for callers (the
+/// indexed-s-projector enumeration stores emitted symbols / indices there).
+struct DagEdge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double cost = 0.0;
+  int64_t payload = 0;
+};
+
+/// A directed graph intended to be acyclic; acyclicity is verified by
+/// TopologicalOrder() and required by the path algorithms.
+class WeightedDag {
+ public:
+  explicit WeightedDag(int num_nodes = 0);
+
+  NodeId AddNode();
+
+  /// Adds an edge and returns its id. Parallel edges are allowed (they
+  /// represent distinct answers in the s-projector reduction).
+  EdgeId AddEdge(NodeId from, NodeId to, double cost, int64_t payload = 0);
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const DagEdge& edge(EdgeId id) const;
+  const std::vector<EdgeId>& OutEdges(NodeId v) const;
+
+  /// A topological order, or an error if the graph has a cycle.
+  StatusOr<std::vector<NodeId>> TopologicalOrder() const;
+
+  /// For every node v, the minimum cost of a v→sink path
+  /// (+inf where no path exists; 0 at the sink). Requires acyclicity.
+  StatusOr<std::vector<double>> MinCostToSink(NodeId sink) const;
+
+  /// The number of source→sink paths (can be huge; exact BigInt-free count
+  /// capped at 2^63-1, saturating).
+  StatusOr<int64_t> CountPaths(NodeId source, NodeId sink) const;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ private:
+  std::vector<DagEdge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+/// A complete source→sink path: edge ids in order plus the total cost.
+struct Path {
+  std::vector<EdgeId> edges;
+  double cost = 0.0;
+};
+
+/// The single minimum-cost source→sink path, if any.
+StatusOr<Path> BestPath(const WeightedDag& dag, NodeId source, NodeId sink);
+
+}  // namespace tms::graph
+
+#endif  // TMS_GRAPH_DAG_H_

@@ -1,0 +1,87 @@
+#include "graph/k_best_paths.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tms::graph {
+
+KBestPathsEnumerator::KBestPathsEnumerator(const WeightedDag& dag,
+                                           NodeId source, NodeId sink)
+    : dag_(dag), sink_(sink) {
+  auto dist = dag.MinCostToSink(sink);
+  TMS_CHECK(dist.ok());  // acyclicity is a precondition
+  to_sink_ = std::move(dist).value();
+  double h0 = to_sink_[static_cast<size_t>(source)];
+  if (h0 == WeightedDag::kInf) {
+    exhausted_ = true;
+    return;
+  }
+  frontier_.push(Partial{h0, 0.0, source, -1});
+}
+
+void KBestPathsEnumerator::ExpandUntilSinkOnTop() {
+  while (!frontier_.empty() && frontier_.top().node != sink_) {
+    Partial cur = frontier_.top();
+    frontier_.pop();
+    for (EdgeId id : dag_.OutEdges(cur.node)) {
+      const DagEdge& e = dag_.edge(id);
+      double h = to_sink_[static_cast<size_t>(e.to)];
+      if (h == WeightedDag::kInf) continue;
+      arena_.push_back(ArenaEntry{id, cur.arena});
+      Partial next;
+      next.g = cur.g + e.cost;
+      next.f = next.g + h;
+      next.node = e.to;
+      next.arena = static_cast<int32_t>(arena_.size()) - 1;
+      frontier_.push(next);
+    }
+  }
+}
+
+Path KBestPathsEnumerator::Reconstruct(const Partial& p) const {
+  Path out;
+  out.cost = p.g;
+  for (int32_t idx = p.arena; idx >= 0;
+       idx = arena_[static_cast<size_t>(idx)].parent) {
+    out.edges.push_back(arena_[static_cast<size_t>(idx)].edge);
+  }
+  std::reverse(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+std::optional<Path> KBestPathsEnumerator::Next() {
+  if (exhausted_) return std::nullopt;
+  ExpandUntilSinkOnTop();
+  if (frontier_.empty()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  Partial top = frontier_.top();
+  frontier_.pop();
+  return Reconstruct(top);
+}
+
+std::optional<double> KBestPathsEnumerator::PeekCost() {
+  if (exhausted_) return std::nullopt;
+  ExpandUntilSinkOnTop();
+  if (frontier_.empty()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  return frontier_.top().g;
+}
+
+std::vector<Path> KBestPaths(const WeightedDag& dag, NodeId source,
+                             NodeId sink, int k) {
+  KBestPathsEnumerator it(dag, source, sink);
+  std::vector<Path> out;
+  for (int i = 0; i < k; ++i) {
+    auto path = it.Next();
+    if (!path.has_value()) break;
+    out.push_back(std::move(*path));
+  }
+  return out;
+}
+
+}  // namespace tms::graph

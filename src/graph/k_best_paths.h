@@ -1,0 +1,77 @@
+// Incremental enumeration of source→sink paths in nondecreasing cost.
+//
+// This is the engine behind Theorem 5.7 (exact ranked enumeration for
+// indexed s-projectors). The implementation is a lazy best-first search
+// over the prefix tree of paths with the *exact* completion heuristic
+// h(v) = min-cost(v → sink), precomputed by one backward DAG sweep. With an
+// exact heuristic, partial paths pop from the frontier in the order of the
+// best complete path extending them, so complete paths emerge in exactly
+// nondecreasing total cost.
+//
+// Complexity: amortized O(out-degree · log F) heap work per emitted path
+// (F = frontier size); every popped partial path is a prefix of some
+// eventually-emitted path, so the total number of pops for the first k
+// paths is at most k·L (L = max path length). The frontier grows with the
+// number of emitted answers — the paper's polynomial-space variant (via
+// Eppstein's implicit heap [14]) trades this for a more intricate
+// structure; see DESIGN.md.
+
+#ifndef TMS_GRAPH_K_BEST_PATHS_H_
+#define TMS_GRAPH_K_BEST_PATHS_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace tms::graph {
+
+/// Streams source→sink paths of a DAG in nondecreasing cost. The DAG must
+/// outlive the enumerator and must not change during enumeration.
+class KBestPathsEnumerator {
+ public:
+  KBestPathsEnumerator(const WeightedDag& dag, NodeId source, NodeId sink);
+
+  /// The next cheapest path, or nullopt when exhausted. Paths with equal
+  /// cost are emitted in an arbitrary (deterministic) order.
+  std::optional<Path> Next();
+
+  /// Peek at the cost of the next path without consuming it.
+  std::optional<double> PeekCost();
+
+ private:
+  struct Partial {
+    double f = 0.0;        // cost so far + exact completion heuristic
+    double g = 0.0;        // cost so far
+    NodeId node = 0;
+    int32_t arena = -1;    // index of last edge record in arena_, -1 = none
+  };
+  struct ArenaEntry {
+    EdgeId edge;
+    int32_t parent;
+  };
+  struct PartialGreater {
+    bool operator()(const Partial& a, const Partial& b) const {
+      return a.f > b.f;
+    }
+  };
+
+  void ExpandUntilSinkOnTop();
+  Path Reconstruct(const Partial& p) const;
+
+  const WeightedDag& dag_;
+  NodeId sink_;
+  std::vector<double> to_sink_;  // exact heuristic
+  std::vector<ArenaEntry> arena_;
+  std::priority_queue<Partial, std::vector<Partial>, PartialGreater> frontier_;
+  bool exhausted_ = false;
+};
+
+/// Convenience: the k cheapest paths (fewer if the DAG has fewer).
+std::vector<Path> KBestPaths(const WeightedDag& dag, NodeId source,
+                             NodeId sink, int k);
+
+}  // namespace tms::graph
+
+#endif  // TMS_GRAPH_K_BEST_PATHS_H_

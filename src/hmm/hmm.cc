@@ -1,0 +1,99 @@
+#include "hmm/hmm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tms::hmm {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+Status CheckRows(const std::vector<double>& data, size_t rows, size_t cols,
+                 const char* what) {
+  if (data.size() != rows * cols) {
+    return Status::InvalidArgument(std::string(what) + " has wrong size");
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    double sum = 0;
+    for (size_t c = 0; c < cols; ++c) {
+      double p = data[r * cols + c];
+      if (!(p >= 0.0)) {
+        return Status::InvalidArgument(std::string(what) +
+                                       " has a negative probability");
+      }
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > kTol) {
+      return Status::InvalidArgument(std::string(what) + " row " +
+                                     std::to_string(r) +
+                                     " does not sum to 1");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Hmm> Hmm::Create(Alphabet states, Alphabet observations,
+                          std::vector<double> initial,
+                          std::vector<double> transition,
+                          std::vector<double> emission) {
+  const size_t ns = states.size();
+  const size_t no = observations.size();
+  if (ns == 0 || no == 0) {
+    return Status::InvalidArgument("HMM needs states and observations");
+  }
+  TMS_RETURN_IF_ERROR(CheckRows(initial, 1, ns, "initial distribution"));
+  TMS_RETURN_IF_ERROR(CheckRows(transition, ns, ns, "transition matrix"));
+  TMS_RETURN_IF_ERROR(CheckRows(emission, ns, no, "emission matrix"));
+  Hmm out;
+  out.states_ = std::move(states);
+  out.observations_ = std::move(observations);
+  out.initial_ = std::move(initial);
+  out.transition_ = std::move(transition);
+  out.emission_ = std::move(emission);
+  return out;
+}
+
+double Hmm::Initial(Symbol state) const {
+  TMS_DCHECK(states_.IsValid(state));
+  return initial_[static_cast<size_t>(state)];
+}
+
+double Hmm::Transition(Symbol from, Symbol to) const {
+  TMS_DCHECK(states_.IsValid(from) && states_.IsValid(to));
+  return transition_[static_cast<size_t>(from) * states_.size() +
+                     static_cast<size_t>(to)];
+}
+
+double Hmm::Emission(Symbol state, Symbol obs) const {
+  TMS_DCHECK(states_.IsValid(state) && observations_.IsValid(obs));
+  return emission_[static_cast<size_t>(state) * observations_.size() +
+                   static_cast<size_t>(obs)];
+}
+
+std::pair<Str, Str> Hmm::Sample(int n, Rng& rng) const {
+  TMS_CHECK(n >= 1);
+  Str hidden, observed;
+  hidden.reserve(static_cast<size_t>(n));
+  observed.reserve(static_cast<size_t>(n));
+  std::vector<double> weights(states_.size());
+  std::vector<double> obs_weights(observations_.size());
+  for (int t = 0; t < n; ++t) {
+    for (size_t s = 0; s < states_.size(); ++s) {
+      weights[s] = (t == 0) ? Initial(static_cast<Symbol>(s))
+                            : Transition(hidden.back(),
+                                         static_cast<Symbol>(s));
+    }
+    Symbol x = static_cast<Symbol>(rng.Categorical(weights));
+    hidden.push_back(x);
+    for (size_t o = 0; o < observations_.size(); ++o) {
+      obs_weights[o] = Emission(x, static_cast<Symbol>(o));
+    }
+    observed.push_back(static_cast<Symbol>(rng.Categorical(obs_weights)));
+  }
+  return {hidden, observed};
+}
+
+}  // namespace tms::hmm

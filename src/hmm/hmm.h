@@ -1,0 +1,57 @@
+// Hidden Markov models.
+//
+// The paper's data model (Markov sequences) "represent[s] the output of
+// statistical models such as HMMs; in particular, the distribution encoded
+// by an HMM and a sequence of observations can be efficiently translated
+// into a Markov sequence" (§1, footnote 1; Example 3.1 derives the
+// hospital-RFID Markov sequence this way). This module provides the HMM
+// substrate; hmm/translate.h implements the translation.
+
+#ifndef TMS_HMM_HMM_H_
+#define TMS_HMM_HMM_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "strings/alphabet.h"
+#include "strings/str.h"
+
+namespace tms::hmm {
+
+/// A time-homogeneous HMM: hidden states X_t over `states`, observations
+/// O_t over `observations`, with initial distribution π, transition matrix
+/// T and emission matrix Ω (row = hidden state).
+class Hmm {
+ public:
+  /// Validates and builds. `transition` and `emission` are row-major with
+  /// |states| rows; rows must sum to 1 (tolerance 1e-9).
+  static StatusOr<Hmm> Create(Alphabet states, Alphabet observations,
+                              std::vector<double> initial,
+                              std::vector<double> transition,
+                              std::vector<double> emission);
+
+  const Alphabet& states() const { return states_; }
+  const Alphabet& observations() const { return observations_; }
+
+  double Initial(Symbol state) const;
+  double Transition(Symbol from, Symbol to) const;
+  double Emission(Symbol state, Symbol obs) const;
+
+  /// Samples a length-n trajectory: (hidden states, observations).
+  std::pair<Str, Str> Sample(int n, Rng& rng) const;
+
+ private:
+  Hmm() = default;
+
+  Alphabet states_;
+  Alphabet observations_;
+  std::vector<double> initial_;
+  std::vector<double> transition_;  // row-major |S|×|S|
+  std::vector<double> emission_;    // row-major |S|×|O|
+};
+
+}  // namespace tms::hmm
+
+#endif  // TMS_HMM_HMM_H_

@@ -1,0 +1,149 @@
+#include "hmm/translate.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tms::hmm {
+namespace {
+
+struct ForwardBackward {
+  // alpha[t][s] = Pr(X_{t+1} = s | o_1..o_{t+1}) (filtered, normalized);
+  // c[t] = per-step normalizer; beta[t][s] = scaled backward variable with
+  // beta[n-1][s] = 1 and
+  //   beta[t][s] = (1/c[t+1]) Σ_u T[s][u] Ω[u](o_{t+2}) beta[t+1][u].
+  std::vector<std::vector<double>> alpha;
+  std::vector<std::vector<double>> beta;
+  std::vector<double> c;
+  bool possible = true;
+};
+
+ForwardBackward RunForwardBackward(const Hmm& hmm, const Str& o) {
+  const int n = static_cast<int>(o.size());
+  const size_t ns = hmm.states().size();
+  ForwardBackward fb;
+  fb.alpha.assign(static_cast<size_t>(n), std::vector<double>(ns, 0.0));
+  fb.beta.assign(static_cast<size_t>(n), std::vector<double>(ns, 0.0));
+  fb.c.assign(static_cast<size_t>(n), 0.0);
+
+  for (size_t s = 0; s < ns; ++s) {
+    fb.alpha[0][s] = hmm.Initial(static_cast<Symbol>(s)) *
+                     hmm.Emission(static_cast<Symbol>(s), o[0]);
+    fb.c[0] += fb.alpha[0][s];
+  }
+  if (fb.c[0] <= 0) {
+    fb.possible = false;
+    return fb;
+  }
+  for (size_t s = 0; s < ns; ++s) fb.alpha[0][s] /= fb.c[0];
+
+  for (int t = 1; t < n; ++t) {
+    auto& cur = fb.alpha[static_cast<size_t>(t)];
+    const auto& prev = fb.alpha[static_cast<size_t>(t - 1)];
+    for (size_t u = 0; u < ns; ++u) {
+      double acc = 0;
+      for (size_t s = 0; s < ns; ++s) {
+        acc += prev[s] * hmm.Transition(static_cast<Symbol>(s),
+                                        static_cast<Symbol>(u));
+      }
+      cur[u] = acc * hmm.Emission(static_cast<Symbol>(u),
+                                  o[static_cast<size_t>(t)]);
+      fb.c[static_cast<size_t>(t)] += cur[u];
+    }
+    if (fb.c[static_cast<size_t>(t)] <= 0) {
+      fb.possible = false;
+      return fb;
+    }
+    for (size_t u = 0; u < ns; ++u) cur[u] /= fb.c[static_cast<size_t>(t)];
+  }
+
+  for (size_t s = 0; s < ns; ++s) fb.beta[static_cast<size_t>(n - 1)][s] = 1.0;
+  for (int t = n - 2; t >= 0; --t) {
+    auto& cur = fb.beta[static_cast<size_t>(t)];
+    const auto& next = fb.beta[static_cast<size_t>(t + 1)];
+    for (size_t s = 0; s < ns; ++s) {
+      double acc = 0;
+      for (size_t u = 0; u < ns; ++u) {
+        acc += hmm.Transition(static_cast<Symbol>(s), static_cast<Symbol>(u)) *
+               hmm.Emission(static_cast<Symbol>(u),
+                            o[static_cast<size_t>(t + 1)]) *
+               next[u];
+      }
+      cur[s] = acc / fb.c[static_cast<size_t>(t + 1)];
+    }
+  }
+  return fb;
+}
+
+}  // namespace
+
+StatusOr<markov::MarkovSequence> PosteriorMarkovSequence(
+    const Hmm& hmm, const Str& observations) {
+  if (observations.empty()) {
+    return Status::InvalidArgument("observation sequence must be nonempty");
+  }
+  const int n = static_cast<int>(observations.size());
+  const size_t ns = hmm.states().size();
+  ForwardBackward fb = RunForwardBackward(hmm, observations);
+  if (!fb.possible) {
+    return Status::InvalidArgument(
+        "observation sequence has probability zero under the HMM");
+  }
+
+  // Initial posterior: γ_1(s) = α̂_1(s)·β̂_1(s) (already normalized).
+  std::vector<double> initial(ns, 0.0);
+  double norm = 0;
+  for (size_t s = 0; s < ns; ++s) {
+    initial[s] = fb.alpha[0][s] * fb.beta[0][s];
+    norm += initial[s];
+  }
+  TMS_CHECK(norm > 0);
+  for (size_t s = 0; s < ns; ++s) initial[s] /= norm;
+
+  // Posterior transitions:
+  //   μ_t→(s,u) = T[s][u]·Ω[u](o_{t+1})·β̂_{t+1}(u) / (c_{t+1}·β̂_t(s)).
+  std::vector<std::vector<double>> transitions(static_cast<size_t>(n - 1));
+  for (int t = 1; t < n; ++t) {
+    auto& matrix = transitions[static_cast<size_t>(t - 1)];
+    matrix.assign(ns * ns, 0.0);
+    for (size_t s = 0; s < ns; ++s) {
+      double denom = fb.c[static_cast<size_t>(t)] *
+                     fb.beta[static_cast<size_t>(t - 1)][s];
+      double row_sum = 0;
+      if (denom > 0) {
+        for (size_t u = 0; u < ns; ++u) {
+          double val =
+              hmm.Transition(static_cast<Symbol>(s), static_cast<Symbol>(u)) *
+              hmm.Emission(static_cast<Symbol>(u),
+                           observations[static_cast<size_t>(t)]) *
+              fb.beta[static_cast<size_t>(t)][u] / denom;
+          matrix[s * ns + u] = val;
+          row_sum += val;
+        }
+      }
+      if (row_sum > 0) {
+        // Re-normalize away floating-point drift.
+        for (size_t u = 0; u < ns; ++u) matrix[s * ns + u] /= row_sum;
+      } else {
+        // State s is unreachable at time t given the observations; give it
+        // an arbitrary valid row (it carries zero posterior mass).
+        matrix[s * ns + s] = 1.0;
+      }
+    }
+  }
+  return markov::MarkovSequence::Create(hmm.states(), std::move(initial),
+                                        std::move(transitions));
+}
+
+double ObservationLogLikelihood(const Hmm& hmm, const Str& observations) {
+  if (observations.empty()) return 0.0;
+  ForwardBackward fb = RunForwardBackward(hmm, observations);
+  if (!fb.possible) return -std::numeric_limits<double>::infinity();
+  double log_likelihood = 0;
+  for (double c : fb.c) log_likelihood += std::log(c);
+  return log_likelihood;
+}
+
+}  // namespace tms::hmm

@@ -1,0 +1,34 @@
+// HMM + observations → posterior Markov sequence (the paper's translation).
+//
+// Given an HMM and an observation string o_1…o_n, the conditional
+// distribution of the hidden trajectory X_1…X_n given O = o is itself a
+// (time-inhomogeneous) Markov chain — precisely a Markov sequence:
+//
+//   μ_0→(s)    = Pr(X_1 = s | O = o)
+//   μ_i→(s, t) = Pr(X_{i+1} = t | X_i = s, O = o)
+//
+// computed here by the scaled forward–backward recursions. This is the
+// step the paper assumes "has already taken place" (§1): tms queries the
+// resulting Markov sequence, never the raw observations.
+
+#ifndef TMS_HMM_TRANSLATE_H_
+#define TMS_HMM_TRANSLATE_H_
+
+#include "common/status.h"
+#include "hmm/hmm.h"
+#include "markov/markov_sequence.h"
+
+namespace tms::hmm {
+
+/// The posterior Markov sequence of `hmm` given `observations` (length n ≥
+/// 1). Fails if the observation sequence has probability zero under the
+/// model. Node set = the HMM's hidden-state alphabet.
+StatusOr<markov::MarkovSequence> PosteriorMarkovSequence(
+    const Hmm& hmm, const Str& observations);
+
+/// log Pr(O = observations) under the HMM (−inf if impossible).
+double ObservationLogLikelihood(const Hmm& hmm, const Str& observations);
+
+}  // namespace tms::hmm
+
+#endif  // TMS_HMM_TRANSLATE_H_

@@ -1,0 +1,460 @@
+#include "io/text_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "automata/regex.h"
+#include "common/check.h"
+#include "numeric/rational.h"
+
+namespace tms::io {
+namespace {
+
+using numeric::Rational;
+
+// Splits `text` into whitespace-token lines, dropping comments and blanks.
+std::vector<std::vector<std::string>> TokenizeLines(std::string_view text) {
+  std::vector<std::vector<std::string>> out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::vector<std::string> parts;
+    std::string token;
+    while (tokens >> token) parts.push_back(token);
+    if (!parts.empty()) out.push_back(std::move(parts));
+  }
+  return out;
+}
+
+Status Expect(bool cond, const std::string& message) {
+  if (!cond) return Status::InvalidArgument(message);
+  return Status::Ok();
+}
+
+StatusOr<int> ParseInt(const std::string& token) {
+  try {
+    size_t pos = 0;
+    int value = std::stoi(token, &pos);
+    if (pos != token.size()) {
+      return Status::InvalidArgument("invalid integer: " + token);
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument("invalid integer: " + token);
+  }
+}
+
+// A probability literal: "a/b", an integer, or a decimal like "0.25"
+// (decimals are converted to their exact decimal rational).
+StatusOr<Rational> ParseProbability(const std::string& token) {
+  size_t dot = token.find('.');
+  if (dot == std::string::npos) return Rational::FromString(token);
+  // <int>.<frac> → (int·10^k + frac) / 10^k.
+  std::string digits = token.substr(0, dot) + token.substr(dot + 1);
+  auto num = numeric::BigInt::FromString(digits.empty() ? "0" : digits);
+  if (!num.ok()) {
+    return Status::InvalidArgument("invalid probability literal: " + token);
+  }
+  numeric::BigInt den(1);
+  const numeric::BigInt ten(10);
+  for (size_t i = dot + 1; i < token.size(); ++i) den *= ten;
+  return Rational(std::move(num).value(), std::move(den));
+}
+
+}  // namespace
+
+StatusOr<markov::MarkovSequence> ParseMarkovSequence(std::string_view text) {
+  auto lines = TokenizeLines(text);
+  TMS_RETURN_IF_ERROR(Expect(
+      !lines.empty() && lines[0][0] == "markov-sequence",
+      "expected 'markov-sequence' header"));
+
+  Alphabet nodes;
+  int length = -1;
+  std::vector<Rational> initial;
+  std::vector<std::vector<Rational>> transitions;
+  bool saw_end = false;
+
+  for (size_t l = 1; l < lines.size(); ++l) {
+    const auto& parts = lines[l];
+    const std::string& keyword = parts[0];
+    if (keyword == "end") {
+      saw_end = true;
+      TMS_RETURN_IF_ERROR(
+          Expect(l + 1 == lines.size(), "content after 'end'"));
+      break;
+    }
+    if (keyword == "nodes") {
+      TMS_RETURN_IF_ERROR(Expect(nodes.size() == 0, "duplicate 'nodes'"));
+      TMS_RETURN_IF_ERROR(Expect(parts.size() >= 2, "'nodes' needs names"));
+      for (size_t i = 1; i < parts.size(); ++i) {
+        if (nodes.Contains(parts[i])) {
+          return Status::InvalidArgument("duplicate node: " + parts[i]);
+        }
+        nodes.Intern(parts[i]);
+      }
+      continue;
+    }
+    if (keyword == "length") {
+      TMS_RETURN_IF_ERROR(Expect(parts.size() == 2, "'length' needs a value"));
+      auto n = ParseInt(parts[1]);
+      if (!n.ok()) return n.status();
+      TMS_RETURN_IF_ERROR(Expect(*n >= 1, "length must be >= 1"));
+      length = *n;
+      initial.assign(nodes.size(), Rational());
+      transitions.assign(static_cast<size_t>(length - 1),
+                         std::vector<Rational>(nodes.size() * nodes.size()));
+      TMS_RETURN_IF_ERROR(
+          Expect(nodes.size() > 0, "'nodes' must precede 'length'"));
+      continue;
+    }
+    if (keyword == "initial") {
+      TMS_RETURN_IF_ERROR(Expect(length > 0, "'length' must precede 'initial'"));
+      TMS_RETURN_IF_ERROR(Expect(parts.size() % 2 == 1,
+                                 "'initial' expects node/prob pairs"));
+      for (size_t i = 1; i + 1 < parts.size(); i += 2) {
+        auto sym = nodes.Find(parts[i]);
+        if (!sym.ok()) return sym.status();
+        auto p = ParseProbability(parts[i + 1]);
+        if (!p.ok()) return p.status();
+        initial[static_cast<size_t>(*sym)] = *p;
+      }
+      continue;
+    }
+    if (keyword == "transition") {
+      TMS_RETURN_IF_ERROR(
+          Expect(length > 0, "'length' must precede 'transition'"));
+      TMS_RETURN_IF_ERROR(Expect(parts.size() >= 6 && parts[3] == "->",
+                                 "transition syntax: transition i from -> "
+                                 "to p [to p ...]"));
+      auto step = ParseInt(parts[1]);
+      if (!step.ok()) return step.status();
+      TMS_RETURN_IF_ERROR(Expect(*step >= 1 && *step < length,
+                                 "transition step out of range"));
+      auto from = nodes.Find(parts[2]);
+      if (!from.ok()) return from.status();
+      TMS_RETURN_IF_ERROR(Expect((parts.size() - 4) % 2 == 0,
+                                 "transition expects to/prob pairs"));
+      auto& matrix = transitions[static_cast<size_t>(*step - 1)];
+      for (size_t i = 4; i + 1 < parts.size(); i += 2) {
+        auto to = nodes.Find(parts[i]);
+        if (!to.ok()) return to.status();
+        auto p = ParseProbability(parts[i + 1]);
+        if (!p.ok()) return p.status();
+        matrix[static_cast<size_t>(*from) * nodes.size() +
+               static_cast<size_t>(*to)] = *p;
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unknown keyword: " + keyword);
+  }
+  TMS_RETURN_IF_ERROR(Expect(saw_end, "missing 'end'"));
+  TMS_RETURN_IF_ERROR(Expect(length > 0, "missing 'length'"));
+
+  // Rows with no mass at all get a self-loop so unreachable nodes do not
+  // fail validation; track whether every distribution sums to exactly 1.
+  const Rational one(1);
+  bool exact = true;
+  {
+    Rational sum;
+    for (const Rational& p : initial) sum += p;
+    if (sum != one) exact = false;
+  }
+  for (auto& matrix : transitions) {
+    for (size_t s = 0; s < nodes.size(); ++s) {
+      Rational sum;
+      for (size_t t = 0; t < nodes.size(); ++t) {
+        sum += matrix[s * nodes.size() + t];
+      }
+      if (sum.IsZero()) {
+        matrix[s * nodes.size() + s] = Rational(1);
+      } else if (sum != one) {
+        exact = false;
+      }
+    }
+  }
+  if (exact) {
+    return markov::MarkovSequence::CreateExact(std::move(nodes),
+                                               std::move(initial),
+                                               std::move(transitions));
+  }
+  // Sums are off by rounding (e.g. a serialized double-valued sequence):
+  // fall back to the tolerance-validated double representation.
+  std::vector<double> dinitial(initial.size());
+  for (size_t s = 0; s < initial.size(); ++s) {
+    dinitial[s] = initial[s].ToDouble();
+  }
+  std::vector<std::vector<double>> dtransitions(transitions.size());
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    dtransitions[i].resize(transitions[i].size());
+    for (size_t j = 0; j < transitions[i].size(); ++j) {
+      dtransitions[i][j] = transitions[i][j].ToDouble();
+    }
+  }
+  return markov::MarkovSequence::Create(std::move(nodes), std::move(dinitial),
+                                        std::move(dtransitions));
+}
+
+StatusOr<transducer::Transducer> ParseTransducer(std::string_view text) {
+  auto lines = TokenizeLines(text);
+  TMS_RETURN_IF_ERROR(Expect(!lines.empty() && lines[0][0] == "transducer",
+                             "expected 'transducer' header"));
+
+  Alphabet input, output;
+  int states = -1;
+  int initial = 0;
+  std::vector<int> accepting;
+  struct PendingEdge {
+    int from;
+    std::string symbol;
+    int to;
+    std::vector<std::string> emission;
+  };
+  std::vector<PendingEdge> edges;
+  bool saw_end = false;
+
+  for (size_t l = 1; l < lines.size(); ++l) {
+    const auto& parts = lines[l];
+    const std::string& keyword = parts[0];
+    if (keyword == "end") {
+      saw_end = true;
+      TMS_RETURN_IF_ERROR(Expect(l + 1 == lines.size(), "content after 'end'"));
+      break;
+    }
+    if (keyword == "input" || keyword == "output") {
+      Alphabet& target = keyword == "input" ? input : output;
+      for (size_t i = 1; i < parts.size(); ++i) {
+        if (target.Contains(parts[i])) {
+          return Status::InvalidArgument("duplicate symbol: " + parts[i]);
+        }
+        target.Intern(parts[i]);
+      }
+      continue;
+    }
+    if (keyword == "states") {
+      TMS_RETURN_IF_ERROR(Expect(parts.size() == 2, "'states' needs a count"));
+      auto n = ParseInt(parts[1]);
+      if (!n.ok()) return n.status();
+      states = *n;
+      continue;
+    }
+    if (keyword == "initial") {
+      TMS_RETURN_IF_ERROR(Expect(parts.size() == 2, "'initial' needs a state"));
+      auto q = ParseInt(parts[1]);
+      if (!q.ok()) return q.status();
+      initial = *q;
+      continue;
+    }
+    if (keyword == "accepting") {
+      for (size_t i = 1; i < parts.size(); ++i) {
+        auto q = ParseInt(parts[i]);
+        if (!q.ok()) return q.status();
+        accepting.push_back(*q);
+      }
+      continue;
+    }
+    if (keyword == "edge") {
+      // edge FROM SYMBOL -> TO : [emission...]
+      TMS_RETURN_IF_ERROR(Expect(parts.size() >= 6 && parts[3] == "->" &&
+                                     parts[5] == ":",
+                                 "edge syntax: edge q sym -> q' : [out...]"));
+      auto from = ParseInt(parts[1]);
+      if (!from.ok()) return from.status();
+      auto to = ParseInt(parts[4]);
+      if (!to.ok()) return to.status();
+      PendingEdge edge{*from, parts[2], *to, {}};
+      for (size_t i = 6; i < parts.size(); ++i) {
+        edge.emission.push_back(parts[i]);
+      }
+      edges.push_back(std::move(edge));
+      continue;
+    }
+    return Status::InvalidArgument("unknown keyword: " + keyword);
+  }
+  TMS_RETURN_IF_ERROR(Expect(saw_end, "missing 'end'"));
+  TMS_RETURN_IF_ERROR(Expect(states >= 1, "missing or invalid 'states'"));
+  TMS_RETURN_IF_ERROR(Expect(input.size() > 0, "missing 'input'"));
+
+  transducer::Transducer t(input, output, states);
+  if (initial < 0 || initial >= states) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  t.SetInitial(initial);
+  for (int q : accepting) {
+    if (q < 0 || q >= states) {
+      return Status::InvalidArgument("accepting state out of range");
+    }
+    t.SetAccepting(q, true);
+  }
+  for (const PendingEdge& edge : edges) {
+    auto sym = input.Find(edge.symbol);
+    if (!sym.ok()) return sym.status();
+    Str emission;
+    for (const std::string& name : edge.emission) {
+      auto d = output.Find(name);
+      if (!d.ok()) return d.status();
+      emission.push_back(*d);
+    }
+    if (edge.from < 0 || edge.from >= states || edge.to < 0 ||
+        edge.to >= states) {
+      return Status::InvalidArgument("edge state out of range");
+    }
+    TMS_RETURN_IF_ERROR(
+        t.AddTransition(edge.from, *sym, edge.to, std::move(emission)));
+  }
+  return t;
+}
+
+StatusOr<projector::SProjector> ParseSProjector(std::string_view text) {
+  auto lines = TokenizeLines(text);
+  TMS_RETURN_IF_ERROR(Expect(!lines.empty() && lines[0][0] == "s-projector",
+                             "expected 's-projector' header"));
+  Alphabet alphabet;
+  std::string prefix = ". *", pattern, suffix = ". *";
+  bool saw_pattern = false, saw_end = false;
+
+  auto rejoin = [](const std::vector<std::string>& parts) {
+    std::string out;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      if (i > 1) out += ' ';
+      out += parts[i];
+    }
+    return out;
+  };
+
+  for (size_t l = 1; l < lines.size(); ++l) {
+    const auto& parts = lines[l];
+    const std::string& keyword = parts[0];
+    if (keyword == "end") {
+      saw_end = true;
+      TMS_RETURN_IF_ERROR(Expect(l + 1 == lines.size(), "content after 'end'"));
+      break;
+    }
+    if (keyword == "alphabet") {
+      for (size_t i = 1; i < parts.size(); ++i) {
+        if (alphabet.Contains(parts[i])) {
+          return Status::InvalidArgument("duplicate symbol: " + parts[i]);
+        }
+        alphabet.Intern(parts[i]);
+      }
+      continue;
+    }
+    if (keyword == "prefix") {
+      prefix = rejoin(parts);
+      continue;
+    }
+    if (keyword == "pattern") {
+      pattern = rejoin(parts);
+      saw_pattern = true;
+      continue;
+    }
+    if (keyword == "suffix") {
+      suffix = rejoin(parts);
+      continue;
+    }
+    return Status::InvalidArgument("unknown keyword: " + keyword);
+  }
+  TMS_RETURN_IF_ERROR(Expect(saw_end, "missing 'end'"));
+  TMS_RETURN_IF_ERROR(Expect(alphabet.size() > 0, "missing 'alphabet'"));
+  TMS_RETURN_IF_ERROR(Expect(saw_pattern, "missing 'pattern'"));
+  return projector::SProjector::FromRegex(alphabet, prefix, pattern, suffix);
+}
+
+std::string FormatMarkovSequence(const markov::MarkovSequence& mu) {
+  std::ostringstream out;
+  out << "markov-sequence\nnodes";
+  for (const std::string& name : mu.nodes().names()) out << ' ' << name;
+  out << "\nlength " << mu.length() << "\ninitial";
+  auto rational_of = [&](double value, const Rational* exact) {
+    return exact != nullptr ? *exact : Rational::FromDouble(value);
+  };
+  for (size_t s = 0; s < mu.nodes().size(); ++s) {
+    Symbol sym = static_cast<Symbol>(s);
+    if (mu.Initial(sym) <= 0) continue;
+    const Rational* exact =
+        mu.has_exact() ? &mu.InitialExact(sym) : nullptr;
+    out << ' ' << mu.nodes().Name(sym) << ' '
+        << rational_of(mu.Initial(sym), exact).ToString();
+  }
+  out << '\n';
+  for (int i = 1; i < mu.length(); ++i) {
+    for (size_t s = 0; s < mu.nodes().size(); ++s) {
+      Symbol from = static_cast<Symbol>(s);
+      bool any = false;
+      std::ostringstream row;
+      for (size_t u = 0; u < mu.nodes().size(); ++u) {
+        Symbol to = static_cast<Symbol>(u);
+        if (mu.Transition(i, from, to) <= 0) continue;
+        const Rational* exact =
+            mu.has_exact() ? &mu.TransitionExact(i, from, to) : nullptr;
+        row << ' ' << mu.nodes().Name(to) << ' '
+            << rational_of(mu.Transition(i, from, to), exact).ToString();
+        any = true;
+      }
+      if (any) {
+        out << "transition " << i << ' ' << mu.nodes().Name(from) << " ->"
+            << row.str() << '\n';
+      }
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+std::string FormatTransducer(const transducer::Transducer& t) {
+  std::ostringstream out;
+  out << "transducer\ninput";
+  for (const std::string& name : t.input_alphabet().names()) {
+    out << ' ' << name;
+  }
+  out << "\noutput";
+  for (const std::string& name : t.output_alphabet().names()) {
+    out << ' ' << name;
+  }
+  out << "\nstates " << t.num_states() << "\ninitial " << t.initial()
+      << "\naccepting";
+  for (automata::StateId q = 0; q < t.num_states(); ++q) {
+    if (t.IsAccepting(q)) out << ' ' << q;
+  }
+  out << '\n';
+  for (automata::StateId q = 0; q < t.num_states(); ++q) {
+    for (size_t s = 0; s < t.input_alphabet().size(); ++s) {
+      for (const transducer::Edge& e : t.Next(q, static_cast<Symbol>(s))) {
+        out << "edge " << q << ' '
+            << t.input_alphabet().Name(static_cast<Symbol>(s)) << " -> "
+            << e.target << " :";
+        for (Symbol d : e.output) {
+          out << ' ' << t.output_alphabet().Name(d);
+        }
+        out << '\n';
+      }
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+StatusOr<std::string> DetectFormat(std::string_view text) {
+  auto lines = TokenizeLines(text);
+  if (lines.empty()) return Status::InvalidArgument("empty input");
+  const std::string& keyword = lines[0][0];
+  if (keyword == "markov-sequence" || keyword == "transducer" ||
+      keyword == "s-projector") {
+    return keyword;
+  }
+  return Status::InvalidArgument("unknown format: " + keyword);
+}
+
+}  // namespace tms::io

@@ -1,0 +1,78 @@
+// Human-readable text formats for Markov sequences, transducers, and
+// s-projectors — the serialization layer behind the tms_cli tool and a
+// convenient interchange format for test fixtures.
+//
+// Markov sequence (probabilities are exact rationals, "7/10" or "1"):
+//
+//     markov-sequence
+//     nodes r1a r1b la
+//     length 3
+//     initial r1a 7/10 la 3/10
+//     transition 1 r1a -> la 9/10 r1a 1/10
+//     transition 2 la -> la 1
+//     ...
+//     end
+//
+// Unlisted probabilities are zero; every listed distribution must sum to
+// exactly 1. Transducer:
+//
+//     transducer
+//     input r1a r1b la
+//     output 1 2
+//     states 2
+//     initial 0
+//     accepting 1
+//     edge 0 la -> 1 :            # emits ε
+//     edge 1 r1a -> 1 : 1         # emits "1"
+//     end
+//
+// s-projector (regexes in the name-token syntax of automata/regex.h):
+//
+//     s-projector
+//     alphabet a b c
+//     prefix . *
+//     pattern a +
+//     suffix . *
+//     end
+//
+// '#' starts a comment; blank lines are ignored.
+
+#ifndef TMS_IO_TEXT_FORMAT_H_
+#define TMS_IO_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "projector/sprojector.h"
+#include "transducer/transducer.h"
+
+namespace tms::io {
+
+/// Parses a Markov sequence (exact probabilities retained).
+StatusOr<markov::MarkovSequence> ParseMarkovSequence(std::string_view text);
+
+/// Parses a transducer.
+StatusOr<transducer::Transducer> ParseTransducer(std::string_view text);
+
+/// Parses an s-projector.
+StatusOr<projector::SProjector> ParseSProjector(std::string_view text);
+
+/// Serializes a Markov sequence. Uses the exact rationals when available,
+/// otherwise the exact dyadic value of each double.
+std::string FormatMarkovSequence(const markov::MarkovSequence& mu);
+
+/// Serializes a transducer.
+std::string FormatTransducer(const transducer::Transducer& t);
+
+/// Reads a whole file into a string.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// The format keyword on the first non-comment line ("markov-sequence",
+/// "transducer", or "s-projector"), for dispatching.
+StatusOr<std::string> DetectFormat(std::string_view text);
+
+}  // namespace tms::io
+
+#endif  // TMS_IO_TEXT_FORMAT_H_

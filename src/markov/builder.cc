@@ -1,0 +1,75 @@
+#include "markov/builder.h"
+
+#include "common/check.h"
+
+namespace tms::markov {
+
+MarkovSequenceBuilder::MarkovSequenceBuilder(
+    const std::vector<std::string>& node_names, int length)
+    : length_(length) {
+  auto alphabet = Alphabet::FromNames(node_names);
+  if (!alphabet.ok()) {
+    deferred_error_ = alphabet.status();
+    return;
+  }
+  if (length < 1) {
+    deferred_error_ =
+        Status::InvalidArgument("Markov sequence length must be >= 1");
+    return;
+  }
+  nodes_ = std::move(alphabet).value();
+  initial_.assign(nodes_.size(), numeric::Rational());
+  transitions_.assign(
+      static_cast<size_t>(length - 1),
+      std::vector<numeric::Rational>(nodes_.size() * nodes_.size()));
+}
+
+Symbol MarkovSequenceBuilder::MustFind(const std::string& name) const {
+  auto sym = nodes_.Find(name);
+  TMS_CHECK(sym.ok());
+  return *sym;
+}
+
+MarkovSequenceBuilder& MarkovSequenceBuilder::SetInitial(
+    const std::string& node, numeric::Rational p) {
+  if (!deferred_error_.ok()) return *this;
+  if (!nodes_.Contains(node)) {
+    deferred_error_ = Status::NotFound("unknown node: " + node);
+    return *this;
+  }
+  initial_[static_cast<size_t>(MustFind(node))] = std::move(p);
+  return *this;
+}
+
+MarkovSequenceBuilder& MarkovSequenceBuilder::SetTransition(
+    int i, const std::string& from, const std::string& to,
+    numeric::Rational p) {
+  if (!deferred_error_.ok()) return *this;
+  if (i < 1 || i >= length_) {
+    deferred_error_ = Status::OutOfRange("transition index out of range: " +
+                                         std::to_string(i));
+    return *this;
+  }
+  if (!nodes_.Contains(from) || !nodes_.Contains(to)) {
+    deferred_error_ = Status::NotFound("unknown node in transition: " + from +
+                                       " -> " + to);
+    return *this;
+  }
+  size_t idx = static_cast<size_t>(MustFind(from)) * nodes_.size() +
+               static_cast<size_t>(MustFind(to));
+  transitions_[static_cast<size_t>(i - 1)][idx] = std::move(p);
+  return *this;
+}
+
+MarkovSequenceBuilder& MarkovSequenceBuilder::SetAllTransitions(
+    const std::string& from, const std::string& to, numeric::Rational p) {
+  for (int i = 1; i < length_; ++i) SetTransition(i, from, to, p);
+  return *this;
+}
+
+StatusOr<MarkovSequence> MarkovSequenceBuilder::Build() const {
+  if (!deferred_error_.ok()) return deferred_error_;
+  return MarkovSequence::CreateExact(nodes_, initial_, transitions_);
+}
+
+}  // namespace tms::markov

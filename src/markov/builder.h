@@ -1,0 +1,62 @@
+// Convenience builder for Markov sequences with named nodes.
+
+#ifndef TMS_MARKOV_BUILDER_H_
+#define TMS_MARKOV_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "markov/markov_sequence.h"
+#include "numeric/rational.h"
+
+namespace tms::markov {
+
+/// Builds a MarkovSequence incrementally by node name. Unset probabilities
+/// default to zero; Build() validates that every distribution sums to 1
+/// (exactly, since entries are rationals).
+///
+///   MarkovSequenceBuilder b({"r1a", "r1b", "la"}, /*length=*/3);
+///   b.SetInitial("r1a", {7, 10});
+///   b.SetTransition(1, "r1a", "la", {9, 10});
+///   ...
+///   auto mu = b.Build();   // StatusOr<MarkovSequence>, has_exact() == true
+class MarkovSequenceBuilder {
+ public:
+  /// A builder over the given node names (must be distinct) for a sequence
+  /// of the given length (≥ 1).
+  MarkovSequenceBuilder(const std::vector<std::string>& node_names,
+                        int length);
+
+  /// Sets μ_0→(node) = p. Returns *this for chaining.
+  MarkovSequenceBuilder& SetInitial(const std::string& node,
+                                    numeric::Rational p);
+
+  /// Sets μ_i→(from, to) = p for 1 ≤ i < length. Returns *this.
+  MarkovSequenceBuilder& SetTransition(int i, const std::string& from,
+                                       const std::string& to,
+                                       numeric::Rational p);
+
+  /// Sets μ_i→(from, to) = p for every step i simultaneously
+  /// (time-homogeneous shorthand). Returns *this.
+  MarkovSequenceBuilder& SetAllTransitions(const std::string& from,
+                                           const std::string& to,
+                                           numeric::Rational p);
+
+  /// Validates and builds (exact rationals retained).
+  StatusOr<MarkovSequence> Build() const;
+
+  const Alphabet& nodes() const { return nodes_; }
+
+ private:
+  Symbol MustFind(const std::string& name) const;
+
+  Alphabet nodes_;
+  int length_;
+  std::vector<numeric::Rational> initial_;
+  std::vector<std::vector<numeric::Rational>> transitions_;
+  Status deferred_error_;
+};
+
+}  // namespace tms::markov
+
+#endif  // TMS_MARKOV_BUILDER_H_

@@ -1,0 +1,161 @@
+#include "markov/condition.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace tms::markov {
+
+Str ConditionedSequence::ProjectWorld(const Str& lifted) const {
+  Str out;
+  out.reserve(lifted.size());
+  for (Symbol s : lifted) {
+    out.push_back(base_symbol[static_cast<size_t>(s)]);
+  }
+  return out;
+}
+
+StatusOr<transducer::Transducer> ConditionedSequence::LiftTransducer(
+    const transducer::Transducer& t) const {
+  if (!(t.input_alphabet() == original_nodes)) {
+    return Status::InvalidArgument(
+        "transducer input alphabet does not match the original node set");
+  }
+  transducer::Transducer out(mu.nodes(), t.output_alphabet(), t.num_states());
+  out.SetInitial(t.initial());
+  for (automata::StateId q = 0; q < t.num_states(); ++q) {
+    if (t.IsAccepting(q)) out.SetAccepting(q, true);
+    for (size_t lifted_sym = 0; lifted_sym < mu.nodes().size();
+         ++lifted_sym) {
+      Symbol original = base_symbol[lifted_sym];
+      for (const transducer::Edge& e : t.Next(q, original)) {
+        TMS_RETURN_IF_ERROR(out.AddTransition(
+            q, static_cast<Symbol>(lifted_sym), e.target, e.output));
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<ConditionedSequence> ConditionOnAcceptance(const MarkovSequence& mu,
+                                                    const automata::Dfa& dfa) {
+  if (!(mu.nodes() == dfa.alphabet())) {
+    return Status::InvalidArgument(
+        "DFA alphabet does not match the Markov sequence node set");
+  }
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(dfa.num_states());
+
+  // Backward masses h[t][(s, q)] = Pr(S_[t+1,n] drives q into F | S_t = s)
+  // for t = 1..n (h[n] = acceptance indicator).
+  std::vector<std::vector<double>> h(
+      static_cast<size_t>(n) + 1, std::vector<double>(sigma * nq, 0.0));
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      h[static_cast<size_t>(n)][s * nq + q] =
+          dfa.IsAccepting(static_cast<automata::StateId>(q)) ? 1.0 : 0.0;
+    }
+  }
+  for (int t = n - 1; t >= 1; --t) {
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        double acc = 0;
+        for (size_t u = 0; u < sigma; ++u) {
+          double step = mu.Transition(t, static_cast<Symbol>(s),
+                                      static_cast<Symbol>(u));
+          if (step <= 0) continue;
+          size_t q2 = static_cast<size_t>(
+              dfa.Next(static_cast<automata::StateId>(q),
+                       static_cast<Symbol>(u)));
+          acc += step * h[static_cast<size_t>(t + 1)][u * nq + q2];
+        }
+        h[static_cast<size_t>(t)][s * nq + q] = acc;
+      }
+    }
+  }
+
+  // Event probability Z = Σ_s μ0(s) · h_1(s, δ(q0, s)).
+  double z = 0;
+  for (size_t s = 0; s < sigma; ++s) {
+    double p0 = mu.Initial(static_cast<Symbol>(s));
+    if (p0 <= 0) continue;
+    size_t q1 = static_cast<size_t>(
+        dfa.Next(dfa.initial(), static_cast<Symbol>(s)));
+    z += p0 * h[1][s * nq + q1];
+  }
+  if (!(z > 0)) {
+    return Status::FailedPrecondition(
+        "the conditioning event has probability zero");
+  }
+
+  // Lifted alphabet: (node, DFA state) pairs.
+  Alphabet lifted;
+  std::vector<Symbol> base_symbol;
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      lifted.Intern(mu.nodes().Name(static_cast<Symbol>(s)) + "@" +
+                    std::to_string(q));
+      base_symbol.push_back(static_cast<Symbol>(s));
+    }
+  }
+  auto lifted_id = [nq](size_t s, size_t q) { return s * nq + q; };
+  const size_t lifted_count = sigma * nq;
+
+  std::vector<double> initial(lifted_count, 0.0);
+  for (size_t s = 0; s < sigma; ++s) {
+    double p0 = mu.Initial(static_cast<Symbol>(s));
+    if (p0 <= 0) continue;
+    size_t q1 = static_cast<size_t>(
+        dfa.Next(dfa.initial(), static_cast<Symbol>(s)));
+    double mass = p0 * h[1][s * nq + q1] / z;
+    if (mass > 0) initial[lifted_id(s, q1)] = mass;
+  }
+
+  std::vector<std::vector<double>> transitions(
+      static_cast<size_t>(n - 1),
+      std::vector<double>(lifted_count * lifted_count, 0.0));
+  for (int t = 1; t < n; ++t) {
+    auto& matrix = transitions[static_cast<size_t>(t - 1)];
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        const size_t row = lifted_id(s, q);
+        double denom = h[static_cast<size_t>(t)][s * nq + q];
+        double row_sum = 0;
+        if (denom > 0) {
+          for (size_t u = 0; u < sigma; ++u) {
+            double step = mu.Transition(t, static_cast<Symbol>(s),
+                                        static_cast<Symbol>(u));
+            if (step <= 0) continue;
+            size_t q2 = static_cast<size_t>(
+                dfa.Next(static_cast<automata::StateId>(q),
+                         static_cast<Symbol>(u)));
+            double mass =
+                step * h[static_cast<size_t>(t + 1)][u * nq + q2] / denom;
+            if (mass > 0) {
+              matrix[row * lifted_count + lifted_id(u, q2)] = mass;
+              row_sum += mass;
+            }
+          }
+        }
+        if (row_sum > 0) {
+          // Normalize away floating-point drift.
+          for (size_t col = 0; col < lifted_count; ++col) {
+            matrix[row * lifted_count + col] /= row_sum;
+          }
+        } else {
+          matrix[row * lifted_count + row] = 1.0;  // dead lifted state
+        }
+      }
+    }
+  }
+
+  auto lifted_mu = MarkovSequence::Create(lifted, std::move(initial),
+                                          std::move(transitions));
+  if (!lifted_mu.ok()) return lifted_mu.status();
+  ConditionedSequence out{std::move(lifted_mu).value(),
+                          std::move(base_symbol), mu.nodes(), z};
+  return out;
+}
+
+}  // namespace tms::markov

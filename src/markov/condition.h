@@ -1,0 +1,57 @@
+// Conditioning a Markov sequence on a regular event.
+//
+// Example 3.4 of the paper conditions the query on side knowledge ("we
+// know the cart was not contaminated in its first visit to the lab").
+// This module makes such knowledge first-class: given μ and a DFA event
+// E ⊆ Σ^n, it builds the posterior distribution Pr(S = · | S ∈ L(E)).
+// That posterior is not Markov over Σ, but it IS Markov over the pairs
+// (node, DFA state): with q_t = δ(q0, S_[1,t]) and the backward
+// acceptance masses h_t(s, q) = Pr(S_[t+1,n] drives q into F | S_t = s),
+//
+//   Pr(S_{t+1} = u | S_t = s, q_t = q, accept)
+//       = μ_t→(s, u) · h_{t+1}(u, δ(q, u)) / h_t(s, q).
+//
+// ConditionOnAcceptance() returns that lifted chain plus the projection
+// back to Σ and a transducer-lifting helper, so every query algorithm
+// applies to conditioned data unchanged (the same device korder.h uses).
+
+#ifndef TMS_MARKOV_CONDITION_H_
+#define TMS_MARKOV_CONDITION_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::markov {
+
+/// The posterior chain Pr(S = · | S ∈ L(E)) in lifted form.
+struct ConditionedSequence {
+  /// The lifted chain over (node, DFA-state) pairs (names "s@q").
+  MarkovSequence mu;
+  /// For each lifted symbol, the original node it stands for.
+  std::vector<Symbol> base_symbol;
+  /// The original node alphabet.
+  Alphabet original_nodes;
+  /// Pr(S ∈ L(E)) under the unconditioned μ.
+  double event_probability = 0.0;
+
+  /// Projects a lifted world back to the original node string.
+  Str ProjectWorld(const Str& lifted) const;
+
+  /// Rewrites a transducer over the original alphabet to read lifted
+  /// symbols (answers and conditional confidences are preserved exactly).
+  StatusOr<transducer::Transducer> LiftTransducer(
+      const transducer::Transducer& t) const;
+};
+
+/// Builds the conditioned chain. Fails on alphabet mismatch or when the
+/// event has probability 0.
+StatusOr<ConditionedSequence> ConditionOnAcceptance(const MarkovSequence& mu,
+                                                    const automata::Dfa& dfa);
+
+}  // namespace tms::markov
+
+#endif  // TMS_MARKOV_CONDITION_H_

@@ -1,0 +1,233 @@
+#include "markov/korder.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace tms::markov {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// The history at the next step: append s, keep the last `order` symbols.
+Str NextHistory(const Str& history, Symbol s, int order) {
+  Str out = history;
+  out.push_back(s);
+  if (static_cast<int>(out.size()) > order) {
+    out.erase(out.begin(),
+              out.end() - static_cast<long>(order));
+  }
+  return out;
+}
+
+std::string HistoryName(const Alphabet& nodes, const Str& h) {
+  std::string out;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (i > 0) out += "·";
+    out += nodes.Name(h[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<KOrderMarkovSequence> KOrderMarkovSequence::Create(
+    Alphabet nodes, int order, std::vector<double> initial,
+    std::vector<ConditionalRows> transitions) {
+  const size_t sigma = nodes.size();
+  if (sigma == 0) {
+    return Status::InvalidArgument("k-order sequence needs nodes");
+  }
+  if (order < 1) return Status::InvalidArgument("order must be >= 1");
+  if (initial.size() != sigma) {
+    return Status::InvalidArgument("initial distribution has wrong size");
+  }
+  double sum = 0;
+  for (double p : initial) {
+    if (!(p >= 0)) {
+      return Status::InvalidArgument("negative initial probability");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > kTol) {
+    return Status::InvalidArgument("initial distribution does not sum to 1");
+  }
+
+  const int n = static_cast<int>(transitions.size()) + 1;
+
+  // Walk the reachable histories layer by layer and validate their rows.
+  std::set<Str> reachable;
+  for (size_t s = 0; s < sigma; ++s) {
+    if (initial[s] > 0) reachable.insert({static_cast<Symbol>(s)});
+  }
+  for (int i = 1; i < n; ++i) {
+    const ConditionalRows& rows = transitions[static_cast<size_t>(i - 1)];
+    std::set<Str> next;
+    for (const Str& h : reachable) {
+      auto it = rows.find(h);
+      if (it == rows.end()) {
+        return Status::InvalidArgument(
+            "missing conditional row at step " + std::to_string(i) +
+            " for history " + HistoryName(nodes, h));
+      }
+      const std::vector<double>& row = it->second;
+      if (row.size() != sigma) {
+        return Status::InvalidArgument("conditional row has wrong size");
+      }
+      double row_sum = 0;
+      for (size_t s = 0; s < sigma; ++s) {
+        if (!(row[s] >= 0)) {
+          return Status::InvalidArgument("negative conditional probability");
+        }
+        row_sum += row[s];
+      }
+      if (std::abs(row_sum - 1.0) > kTol) {
+        return Status::InvalidArgument(
+            "conditional row does not sum to 1 at step " + std::to_string(i) +
+            " for history " + HistoryName(nodes, h));
+      }
+      for (size_t s = 0; s < sigma; ++s) {
+        if (row[s] > 0) {
+          next.insert(NextHistory(h, static_cast<Symbol>(s), order));
+        }
+      }
+    }
+    reachable = std::move(next);
+  }
+
+  KOrderMarkovSequence out;
+  out.nodes_ = std::move(nodes);
+  out.order_ = order;
+  out.length_ = n;
+  out.initial_ = std::move(initial);
+  out.transitions_ = std::move(transitions);
+  return out;
+}
+
+double KOrderMarkovSequence::WorldProbability(const Str& world) const {
+  TMS_CHECK_EQ(static_cast<int>(world.size()), length_);
+  double p = initial_[static_cast<size_t>(world[0])];
+  Str history = {world[0]};
+  for (int i = 1; i < length_ && p > 0; ++i) {
+    const ConditionalRows& rows = transitions_[static_cast<size_t>(i - 1)];
+    auto it = rows.find(history);
+    if (it == rows.end()) return 0.0;
+    p *= it->second[static_cast<size_t>(world[static_cast<size_t>(i)])];
+    history = NextHistory(history, world[static_cast<size_t>(i)], order_);
+  }
+  return p;
+}
+
+StatusOr<KOrderMarkovSequence::FirstOrder>
+KOrderMarkovSequence::ToFirstOrder() const {
+  const size_t sigma = nodes_.size();
+
+  // Lifted node set: every history of length ≤ order that can occur at
+  // any step (we enumerate all — bounded by Σ + Σ² + … + Σ^k — so one
+  // alphabet serves every layer).
+  Alphabet lifted;
+  std::vector<Str> histories;
+  std::vector<Symbol> last_symbol;
+  {
+    std::vector<Str> layer;
+    for (size_t s = 0; s < sigma; ++s) layer.push_back({static_cast<Symbol>(s)});
+    for (int len = 1; len <= order_; ++len) {
+      for (const Str& h : layer) {
+        lifted.Intern(HistoryName(nodes_, h));
+        histories.push_back(h);
+        last_symbol.push_back(h.back());
+      }
+      if (len == order_) break;
+      std::vector<Str> next;
+      for (const Str& h : layer) {
+        for (size_t s = 0; s < sigma; ++s) {
+          Str h2 = h;
+          h2.push_back(static_cast<Symbol>(s));
+          next.push_back(std::move(h2));
+        }
+      }
+      layer = std::move(next);
+    }
+  }
+  const size_t lifted_count = histories.size();
+  auto lifted_id = [&](const Str& h) {
+    return *lifted.Find(HistoryName(nodes_, h));
+  };
+
+  std::vector<double> lifted_initial(lifted_count, 0.0);
+  for (size_t s = 0; s < sigma; ++s) {
+    lifted_initial[static_cast<size_t>(lifted_id({static_cast<Symbol>(s)}))] =
+        initial_[s];
+  }
+
+  std::vector<std::vector<double>> lifted_transitions(
+      static_cast<size_t>(length_ - 1),
+      std::vector<double>(lifted_count * lifted_count, 0.0));
+  for (int i = 1; i < length_; ++i) {
+    auto& matrix = lifted_transitions[static_cast<size_t>(i - 1)];
+    const ConditionalRows& rows = transitions_[static_cast<size_t>(i - 1)];
+    for (size_t hid = 0; hid < lifted_count; ++hid) {
+      const Str& h = histories[hid];
+      auto it = rows.find(h);
+      if (it != rows.end()) {
+        for (size_t s = 0; s < sigma; ++s) {
+          double p = it->second[s];
+          if (p <= 0) continue;
+          Str h2 = NextHistory(h, static_cast<Symbol>(s), order_);
+          matrix[hid * lifted_count +
+                 static_cast<size_t>(lifted_id(h2))] = p;
+        }
+      } else {
+        // History unreachable at this step: arbitrary valid row.
+        matrix[hid * lifted_count + hid] = 1.0;
+      }
+      // Normalize away any unreachable-history rows that got no mass.
+      double row_sum = 0;
+      for (size_t t = 0; t < lifted_count; ++t) {
+        row_sum += matrix[hid * lifted_count + t];
+      }
+      if (row_sum == 0) matrix[hid * lifted_count + hid] = 1.0;
+    }
+  }
+
+  auto mu = MarkovSequence::Create(lifted, std::move(lifted_initial),
+                                   std::move(lifted_transitions));
+  if (!mu.ok()) return mu.status();
+
+  FirstOrder out{std::move(mu).value(), std::move(last_symbol), nodes_};
+  return out;
+}
+
+StatusOr<transducer::Transducer>
+KOrderMarkovSequence::FirstOrder::LiftTransducer(
+    const transducer::Transducer& t) const {
+  if (!(t.input_alphabet() == original_nodes)) {
+    return Status::InvalidArgument(
+        "transducer input alphabet does not match the original node set");
+  }
+  transducer::Transducer out(mu.nodes(), t.output_alphabet(),
+                             t.num_states());
+  out.SetInitial(t.initial());
+  for (automata::StateId q = 0; q < t.num_states(); ++q) {
+    if (t.IsAccepting(q)) out.SetAccepting(q, true);
+    for (size_t lifted_sym = 0; lifted_sym < mu.nodes().size();
+         ++lifted_sym) {
+      Symbol original = last_symbol[lifted_sym];
+      for (const transducer::Edge& e : t.Next(q, original)) {
+        TMS_RETURN_IF_ERROR(out.AddTransition(
+            q, static_cast<Symbol>(lifted_sym), e.target, e.output));
+      }
+    }
+  }
+  return out;
+}
+
+Str KOrderMarkovSequence::FirstOrder::ProjectWorld(const Str& lifted) const {
+  Str out;
+  out.reserve(lifted.size());
+  for (Symbol s : lifted) out.push_back(last_symbol[static_cast<size_t>(s)]);
+  return out;
+}
+
+}  // namespace tms::markov

@@ -1,0 +1,89 @@
+// k-order Markov sequences (paper footnote 3: "all our results generalize
+// to k-order Markov sequences, provided that k is fixed").
+//
+// A k-order Markov sequence conditions each node on the previous
+// min(i−1, k) nodes. KOrderMarkovSequence stores the conditional
+// distributions keyed by history; ToFirstOrder() performs the standard
+// order reduction — nodes of the first-order chain are histories
+// (strings of length ≤ k over Σ), with Pr preserved world-for-world —
+// and LiftTransducer() rewrites any transducer over Σ to read the lifted
+// history symbols, so every algorithm in query/ and projector/ applies to
+// k-order data unchanged, realizing the footnote.
+
+#ifndef TMS_MARKOV_KORDER_H_
+#define TMS_MARKOV_KORDER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "strings/alphabet.h"
+#include "strings/str.h"
+#include "transducer/transducer.h"
+
+namespace tms::markov {
+
+/// A validated k-order Markov sequence over a finite node set.
+class KOrderMarkovSequence {
+ public:
+  /// One conditional row: given `history` (the last min(i−1, k) nodes at
+  /// step i), the distribution over the next node.
+  using ConditionalRows = std::map<Str, std::vector<double>>;
+
+  /// Creates a k-order sequence of length n.
+  ///
+  /// `initial` is the distribution of S_1 (|Σ| entries). `transitions`
+  /// has n−1 entries; entry i−1 holds the conditionals for step i → i+1,
+  /// keyed by histories of length min(i, k). Every *reachable* history
+  /// must have a row that sums to 1 (tolerance 1e-9); unreachable
+  /// histories may be omitted.
+  static StatusOr<KOrderMarkovSequence> Create(
+      Alphabet nodes, int order, std::vector<double> initial,
+      std::vector<ConditionalRows> transitions);
+
+  const Alphabet& nodes() const { return nodes_; }
+  int order() const { return order_; }
+  int length() const { return length_; }
+
+  /// Pr of a full world (0 if any needed conditional row is absent).
+  double WorldProbability(const Str& world) const;
+
+  /// The order-reduction result.
+  struct FirstOrder {
+    /// The lifted chain; its node names are '·'-joined histories
+    /// (e.g. "a·b" is the history [a, b]).
+    MarkovSequence mu;
+    /// For each lifted node, the original node it ends with.
+    std::vector<Symbol> last_symbol;
+    /// The original node alphabet.
+    Alphabet original_nodes;
+
+    /// Rewrites a transducer over the original alphabet to the lifted
+    /// alphabet (each lifted symbol behaves as its last original node).
+    /// Answers and confidences are preserved exactly.
+    StatusOr<transducer::Transducer> LiftTransducer(
+        const transducer::Transducer& t) const;
+
+    /// Projects a lifted world back to the original node string.
+    Str ProjectWorld(const Str& lifted) const;
+  };
+
+  /// The equivalent first-order Markov sequence (node set = reachable
+  /// histories of length ≤ k; world probabilities preserved under
+  /// ProjectWorld, which is a bijection on supports).
+  StatusOr<FirstOrder> ToFirstOrder() const;
+
+ private:
+  KOrderMarkovSequence() = default;
+
+  Alphabet nodes_;
+  int order_ = 1;
+  int length_ = 1;
+  std::vector<double> initial_;
+  std::vector<ConditionalRows> transitions_;
+};
+
+}  // namespace tms::markov
+
+#endif  // TMS_MARKOV_KORDER_H_

@@ -1,0 +1,222 @@
+#include "markov/markov_sequence.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tms::markov {
+namespace {
+
+constexpr double kSumTolerance = 1e-9;
+
+Status CheckDistribution(const std::vector<double>& row, const char* what) {
+  double sum = 0;
+  for (double p : row) {
+    if (!(p >= 0.0) || p > 1.0 + kSumTolerance) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " contains a probability outside [0,1]");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > kSumTolerance) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " does not sum to 1 (sum=" +
+                                   std::to_string(sum) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<MarkovSequence> MarkovSequence::Create(
+    Alphabet nodes, std::vector<double> initial,
+    std::vector<std::vector<double>> transitions) {
+  const size_t sigma = nodes.size();
+  if (sigma == 0) {
+    return Status::InvalidArgument("Markov sequence needs at least one node");
+  }
+  if (initial.size() != sigma) {
+    return Status::InvalidArgument("initial distribution has wrong size");
+  }
+  TMS_RETURN_IF_ERROR(CheckDistribution(initial, "initial distribution"));
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    if (transitions[i].size() != sigma * sigma) {
+      return Status::InvalidArgument("transition matrix " + std::to_string(i + 1) +
+                                     " has wrong size");
+    }
+    for (size_t s = 0; s < sigma; ++s) {
+      std::vector<double> row(transitions[i].begin() + static_cast<long>(s * sigma),
+                              transitions[i].begin() + static_cast<long>((s + 1) * sigma));
+      TMS_RETURN_IF_ERROR(CheckDistribution(
+          row, ("transition matrix " + std::to_string(i + 1) + " row " +
+                nodes.Name(static_cast<Symbol>(s)))
+                   .c_str()));
+    }
+  }
+  MarkovSequence out;
+  out.nodes_ = std::move(nodes);
+  out.length_ = static_cast<int>(transitions.size()) + 1;
+  out.initial_ = std::move(initial);
+  out.transitions_ = std::move(transitions);
+  return out;
+}
+
+StatusOr<MarkovSequence> MarkovSequence::CreateExact(
+    Alphabet nodes, std::vector<numeric::Rational> initial,
+    std::vector<std::vector<numeric::Rational>> transitions) {
+  const size_t sigma = nodes.size();
+  if (sigma == 0) {
+    return Status::InvalidArgument("Markov sequence needs at least one node");
+  }
+  if (initial.size() != sigma) {
+    return Status::InvalidArgument("initial distribution has wrong size");
+  }
+  const numeric::Rational one(1);
+  auto check_exact_row = [&](const numeric::Rational* row,
+                             const char* what) -> Status {
+    numeric::Rational sum;
+    for (size_t t = 0; t < sigma; ++t) {
+      if (row[t].Sign() < 0 || row[t] > one) {
+        return Status::InvalidArgument(
+            std::string(what) + " contains a probability outside [0,1]");
+      }
+      sum += row[t];
+    }
+    if (sum != one) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " does not sum to exactly 1");
+    }
+    return Status::Ok();
+  };
+  TMS_RETURN_IF_ERROR(
+      check_exact_row(initial.data(), "initial distribution"));
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    if (transitions[i].size() != sigma * sigma) {
+      return Status::InvalidArgument("transition matrix " +
+                                     std::to_string(i + 1) + " has wrong size");
+    }
+    for (size_t s = 0; s < sigma; ++s) {
+      TMS_RETURN_IF_ERROR(check_exact_row(
+          transitions[i].data() + s * sigma,
+          ("transition matrix " + std::to_string(i + 1)).c_str()));
+    }
+  }
+  std::vector<double> dinitial(sigma);
+  for (size_t s = 0; s < sigma; ++s) dinitial[s] = initial[s].ToDouble();
+  std::vector<std::vector<double>> dtrans(transitions.size());
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    dtrans[i].resize(sigma * sigma);
+    for (size_t j = 0; j < sigma * sigma; ++j) {
+      dtrans[i][j] = transitions[i][j].ToDouble();
+    }
+  }
+  MarkovSequence out;
+  out.nodes_ = std::move(nodes);
+  out.length_ = static_cast<int>(transitions.size()) + 1;
+  out.initial_ = std::move(dinitial);
+  out.transitions_ = std::move(dtrans);
+  out.exact_initial_ = std::move(initial);
+  out.exact_transitions_ = std::move(transitions);
+  return out;
+}
+
+double MarkovSequence::Initial(Symbol s) const {
+  TMS_DCHECK(nodes_.IsValid(s));
+  return initial_[static_cast<size_t>(s)];
+}
+
+size_t MarkovSequence::TransIndex(int i, Symbol s, Symbol t) const {
+  TMS_DCHECK(i >= 1 && i < length_);
+  TMS_DCHECK(nodes_.IsValid(s) && nodes_.IsValid(t));
+  (void)i;
+  return static_cast<size_t>(s) * nodes_.size() + static_cast<size_t>(t);
+}
+
+double MarkovSequence::Transition(int i, Symbol s, Symbol t) const {
+  return transitions_[static_cast<size_t>(i - 1)][TransIndex(i, s, t)];
+}
+
+double MarkovSequence::WorldProbability(const Str& s) const {
+  TMS_CHECK_EQ(static_cast<int>(s.size()), length_);
+  double p = Initial(s[0]);
+  for (int i = 1; i < length_ && p > 0; ++i) {
+    p *= Transition(i, s[static_cast<size_t>(i - 1)],
+                    s[static_cast<size_t>(i)]);
+  }
+  return p;
+}
+
+numeric::LogProb MarkovSequence::WorldLogProbability(const Str& s) const {
+  TMS_CHECK_EQ(static_cast<int>(s.size()), length_);
+  numeric::LogProb p = numeric::LogProb::FromLinear(Initial(s[0]));
+  for (int i = 1; i < length_ && !p.IsZero(); ++i) {
+    p *= numeric::LogProb::FromLinear(Transition(
+        i, s[static_cast<size_t>(i - 1)], s[static_cast<size_t>(i)]));
+  }
+  return p;
+}
+
+const numeric::Rational& MarkovSequence::InitialExact(Symbol s) const {
+  TMS_CHECK(has_exact());
+  TMS_DCHECK(nodes_.IsValid(s));
+  return (*exact_initial_)[static_cast<size_t>(s)];
+}
+
+const numeric::Rational& MarkovSequence::TransitionExact(int i, Symbol s,
+                                                         Symbol t) const {
+  TMS_CHECK(has_exact());
+  return (*exact_transitions_)[static_cast<size_t>(i - 1)][TransIndex(i, s, t)];
+}
+
+numeric::Rational MarkovSequence::WorldProbabilityExact(const Str& s) const {
+  TMS_CHECK(has_exact());
+  TMS_CHECK_EQ(static_cast<int>(s.size()), length_);
+  numeric::Rational p = InitialExact(s[0]);
+  for (int i = 1; i < length_ && !p.IsZero(); ++i) {
+    p *= TransitionExact(i, s[static_cast<size_t>(i - 1)],
+                         s[static_cast<size_t>(i)]);
+  }
+  return p;
+}
+
+std::vector<double> MarkovSequence::Marginal(int i) const {
+  TMS_CHECK(i >= 1 && i <= length_);
+  std::vector<double> cur = initial_;
+  for (int step = 1; step < i; ++step) {
+    std::vector<double> next(nodes_.size(), 0.0);
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+      if (cur[s] == 0) continue;
+      for (size_t t = 0; t < nodes_.size(); ++t) {
+        next[t] += cur[s] * Transition(step, static_cast<Symbol>(s),
+                                       static_cast<Symbol>(t));
+      }
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+numeric::BigInt MarkovSequence::CountSupportWorlds() const {
+  std::vector<numeric::BigInt> count(nodes_.size());
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    if (initial_[s] > 0) count[s] = numeric::BigInt(1);
+  }
+  for (int i = 1; i < length_; ++i) {
+    std::vector<numeric::BigInt> next(nodes_.size());
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+      if (count[s].IsZero()) continue;
+      for (size_t t = 0; t < nodes_.size(); ++t) {
+        if (Transition(i, static_cast<Symbol>(s), static_cast<Symbol>(t)) >
+            0) {
+          next[t] += count[s];
+        }
+      }
+    }
+    count = std::move(next);
+  }
+  numeric::BigInt total;
+  for (const numeric::BigInt& c : count) total += c;
+  return total;
+}
+
+}  // namespace tms::markov

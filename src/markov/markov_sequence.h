@@ -1,0 +1,106 @@
+// Markov sequences — the paper's data model (Section 3.1).
+//
+// A Markov sequence μ[n] over a finite set Σ of state nodes consists of an
+// initial distribution μ_0→ : Σ → [0,1] and, for each 1 ≤ i < n, a
+// transition function μ_i→ : Σ×Σ → [0,1] whose rows sum to one. μ defines
+// the probability space (Σ^n, p) with
+//     p(s) = μ_0→(s_1) · Π_{i=1}^{n-1} μ_i→(s_i, s_{i+1}).      (Eq. 1)
+//
+// Transitions are *time-inhomogeneous* (one matrix per index), exactly as
+// in the paper: the representation of μ[n] "consists of a transition matrix
+// for each index 1 ≤ i < n, and an array for μ_0→" (Section 3.2).
+//
+// Probabilities are doubles on the hot path. A MarkovSequence can
+// additionally carry exact rational probabilities (the paper's
+// numerator/denominator convention); the *_exact query algorithms and the
+// ground-truth tests use those.
+
+#ifndef TMS_MARKOV_MARKOV_SEQUENCE_H_
+#define TMS_MARKOV_MARKOV_SEQUENCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "numeric/log_prob.h"
+#include "numeric/rational.h"
+#include "strings/alphabet.h"
+#include "strings/str.h"
+
+namespace tms::markov {
+
+/// An immutable Markov sequence. Use MarkovSequenceBuilder (builder.h) for
+/// convenient construction with named nodes, or Create() with raw vectors.
+class MarkovSequence {
+ public:
+  /// Creates a validated Markov sequence.
+  ///
+  /// `initial` has |Σ| entries summing to 1. `transitions` has n-1
+  /// matrices; matrix i-1 is μ_i→, stored row-major (|Σ|·|Σ| entries, row =
+  /// source node), every row summing to 1. Tolerance for sums is 1e-9.
+  static StatusOr<MarkovSequence> Create(
+      Alphabet nodes, std::vector<double> initial,
+      std::vector<std::vector<double>> transitions);
+
+  /// As Create(), but from exact rationals; the double representation is
+  /// derived and exact probabilities are retained (has_exact() == true).
+  /// Distribution sums must be exactly 1.
+  static StatusOr<MarkovSequence> CreateExact(
+      Alphabet nodes, std::vector<numeric::Rational> initial,
+      std::vector<std::vector<numeric::Rational>> transitions);
+
+  /// The node set Σ_μ.
+  const Alphabet& nodes() const { return nodes_; }
+
+  /// The length n of the random string.
+  int length() const { return length_; }
+
+  /// μ_0→(s).
+  double Initial(Symbol s) const;
+
+  /// μ_i→(s, t) for 1 ≤ i ≤ n-1.
+  double Transition(int i, Symbol s, Symbol t) const;
+
+  /// p(s) per Eq. 1; s must have length n.
+  double WorldProbability(const Str& s) const;
+
+  /// p(s) in the log domain (underflow-safe for large n).
+  numeric::LogProb WorldLogProbability(const Str& s) const;
+
+  /// True iff exact rational probabilities are available.
+  bool has_exact() const { return exact_initial_.has_value(); }
+
+  /// Exact μ_0→(s); requires has_exact().
+  const numeric::Rational& InitialExact(Symbol s) const;
+
+  /// Exact μ_i→(s, t); requires has_exact().
+  const numeric::Rational& TransitionExact(int i, Symbol s, Symbol t) const;
+
+  /// Exact p(s); requires has_exact().
+  numeric::Rational WorldProbabilityExact(const Str& s) const;
+
+  /// Marginal distribution Pr(S_i = ·) for 1 ≤ i ≤ n (forward recursion).
+  std::vector<double> Marginal(int i) const;
+
+  /// Number of strings with nonzero probability (may be exponential in n;
+  /// counted exactly with BigInt arithmetic).
+  numeric::BigInt CountSupportWorlds() const;
+
+ private:
+  MarkovSequence() = default;
+
+  size_t TransIndex(int i, Symbol s, Symbol t) const;
+
+  Alphabet nodes_;
+  int length_ = 0;
+  std::vector<double> initial_;
+  // transitions_[i-1] is μ_i→ row-major.
+  std::vector<std::vector<double>> transitions_;
+  std::optional<std::vector<numeric::Rational>> exact_initial_;
+  std::optional<std::vector<std::vector<numeric::Rational>>>
+      exact_transitions_;
+};
+
+}  // namespace tms::markov
+
+#endif  // TMS_MARKOV_MARKOV_SEQUENCE_H_

@@ -1,0 +1,171 @@
+#include "markov/world_iter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/k_best_paths.h"
+
+namespace tms::markov {
+namespace {
+
+void ForEachWorldRec(const MarkovSequence& mu, Str* prefix, double p,
+                     const std::function<void(const Str&, double)>& fn) {
+  const int i = static_cast<int>(prefix->size());
+  if (i == mu.length()) {
+    fn(*prefix, p);
+    return;
+  }
+  for (size_t t = 0; t < mu.nodes().size(); ++t) {
+    const Symbol sym = static_cast<Symbol>(t);
+    double step =
+        (i == 0) ? mu.Initial(sym) : mu.Transition(i, prefix->back(), sym);
+    if (step <= 0) continue;
+    prefix->push_back(sym);
+    ForEachWorldRec(mu, prefix, p * step, fn);
+    prefix->pop_back();
+  }
+}
+
+void ForEachWorldExactRec(
+    const MarkovSequence& mu, Str* prefix, const numeric::Rational& p,
+    const std::function<void(const Str&, const numeric::Rational&)>& fn) {
+  const int i = static_cast<int>(prefix->size());
+  if (i == mu.length()) {
+    fn(*prefix, p);
+    return;
+  }
+  for (size_t t = 0; t < mu.nodes().size(); ++t) {
+    const Symbol sym = static_cast<Symbol>(t);
+    numeric::Rational step = (i == 0)
+                                 ? mu.InitialExact(sym)
+                                 : mu.TransitionExact(i, prefix->back(), sym);
+    if (step.IsZero()) continue;
+    prefix->push_back(sym);
+    ForEachWorldExactRec(mu, prefix, p * step, fn);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+void ForEachWorld(const MarkovSequence& mu,
+                  const std::function<void(const Str&, double)>& fn) {
+  Str prefix;
+  prefix.reserve(static_cast<size_t>(mu.length()));
+  ForEachWorldRec(mu, &prefix, 1.0, fn);
+}
+
+void ForEachWorldExact(
+    const MarkovSequence& mu,
+    const std::function<void(const Str&, const numeric::Rational&)>& fn) {
+  TMS_CHECK(mu.has_exact());
+  Str prefix;
+  prefix.reserve(static_cast<size_t>(mu.length()));
+  ForEachWorldExactRec(mu, &prefix, numeric::Rational(1), fn);
+}
+
+Str SampleWorld(const MarkovSequence& mu, Rng& rng) {
+  Str out;
+  out.reserve(static_cast<size_t>(mu.length()));
+  std::vector<double> weights(mu.nodes().size());
+  for (int i = 0; i < mu.length(); ++i) {
+    for (size_t t = 0; t < mu.nodes().size(); ++t) {
+      const Symbol sym = static_cast<Symbol>(t);
+      weights[t] =
+          (i == 0) ? mu.Initial(sym) : mu.Transition(i, out.back(), sym);
+    }
+    out.push_back(static_cast<Symbol>(rng.Categorical(weights)));
+  }
+  return out;
+}
+
+std::pair<Str, double> MostLikelyWorld(const MarkovSequence& mu) {
+  const size_t sigma = mu.nodes().size();
+  const int n = mu.length();
+  // best[t] = max probability of a prefix ending in node t; back[i][t] = arg.
+  std::vector<double> best(sigma);
+  std::vector<std::vector<Symbol>> back(
+      static_cast<size_t>(n), std::vector<Symbol>(sigma, -1));
+  for (size_t t = 0; t < sigma; ++t) best[t] = mu.Initial(static_cast<Symbol>(t));
+  for (int i = 1; i < n; ++i) {
+    std::vector<double> next(sigma, 0.0);
+    for (size_t s = 0; s < sigma; ++s) {
+      if (best[s] <= 0) continue;
+      for (size_t t = 0; t < sigma; ++t) {
+        double cand = best[s] * mu.Transition(i, static_cast<Symbol>(s),
+                                              static_cast<Symbol>(t));
+        if (cand > next[t]) {
+          next[t] = cand;
+          back[static_cast<size_t>(i)][t] = static_cast<Symbol>(s);
+        }
+      }
+    }
+    best = std::move(next);
+  }
+  size_t argmax = 0;
+  for (size_t t = 1; t < sigma; ++t) {
+    if (best[t] > best[argmax]) argmax = t;
+  }
+  Str world(static_cast<size_t>(n));
+  world[static_cast<size_t>(n - 1)] = static_cast<Symbol>(argmax);
+  for (int i = n - 1; i >= 1; --i) {
+    world[static_cast<size_t>(i - 1)] =
+        back[static_cast<size_t>(i)][static_cast<size_t>(world[static_cast<size_t>(i)])];
+  }
+  return {world, best[argmax]};
+}
+
+}  // namespace tms::markov
+
+namespace tms::markov {
+
+std::vector<std::pair<Str, double>> TopKWorlds(const MarkovSequence& mu,
+                                               int k) {
+  TMS_CHECK(k >= 0);
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  // Trellis DAG: 0 = source, 1 = sink, 2 + (t-1)·|Σ| + s = node s at t.
+  graph::WeightedDag dag(2 + n * static_cast<int>(sigma));
+  auto node = [&](int t, size_t s) {
+    return static_cast<graph::NodeId>(2 + (t - 1) * static_cast<int>(sigma) +
+                                      static_cast<int>(s));
+  };
+  for (size_t s = 0; s < sigma; ++s) {
+    double p = mu.Initial(static_cast<Symbol>(s));
+    if (p > 0) {
+      dag.AddEdge(0, node(1, s), -std::log(p), static_cast<int64_t>(s));
+    }
+  }
+  for (int t = 1; t < n; ++t) {
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t u = 0; u < sigma; ++u) {
+        double p = mu.Transition(t, static_cast<Symbol>(s),
+                                 static_cast<Symbol>(u));
+        if (p > 0) {
+          dag.AddEdge(node(t, s), node(t + 1, u), -std::log(p),
+                      static_cast<int64_t>(u));
+        }
+      }
+    }
+  }
+  for (size_t s = 0; s < sigma; ++s) {
+    dag.AddEdge(node(n, s), 1, 0.0, -1);
+  }
+
+  std::vector<std::pair<Str, double>> out;
+  graph::KBestPathsEnumerator it(dag, 0, 1);
+  for (int i = 0; i < k; ++i) {
+    auto path = it.Next();
+    if (!path.has_value()) break;
+    Str world;
+    world.reserve(static_cast<size_t>(n));
+    for (graph::EdgeId id : path->edges) {
+      int64_t payload = dag.edge(id).payload;
+      if (payload >= 0) world.push_back(static_cast<Symbol>(payload));
+    }
+    out.emplace_back(std::move(world), std::exp(-path->cost));
+  }
+  return out;
+}
+
+}  // namespace tms::markov

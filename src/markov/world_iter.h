@@ -1,0 +1,41 @@
+// Possible-world utilities: exhaustive enumeration (the brute-force ground
+// truth used by tests and baseline benchmarks) and sampling.
+
+#ifndef TMS_MARKOV_WORLD_ITER_H_
+#define TMS_MARKOV_WORLD_ITER_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "markov/markov_sequence.h"
+#include "numeric/rational.h"
+#include "strings/str.h"
+
+namespace tms::markov {
+
+/// Invokes `fn(world, probability)` for every string of Σ^n with p > 0, in
+/// lexicographic order of node ids. Exponential in n; intended for ground
+/// truth on small instances and for the "possible worlds" baseline.
+void ForEachWorld(const MarkovSequence& mu,
+                  const std::function<void(const Str&, double)>& fn);
+
+/// Exact-arithmetic variant; requires mu.has_exact().
+void ForEachWorldExact(
+    const MarkovSequence& mu,
+    const std::function<void(const Str&, const numeric::Rational&)>& fn);
+
+/// Draws one world according to p (ancestral sampling).
+Str SampleWorld(const MarkovSequence& mu, Rng& rng);
+
+/// The most probable world and its probability (Viterbi over μ alone).
+std::pair<Str, double> MostLikelyWorld(const MarkovSequence& mu);
+
+/// The k most probable worlds in nonincreasing probability (fewer if the
+/// support is smaller), via k-best paths over the chain trellis — the
+/// same Lawler/Eppstein machinery Theorem 5.7 uses, applied to μ alone.
+std::vector<std::pair<Str, double>> TopKWorlds(const MarkovSequence& mu,
+                                               int k);
+
+}  // namespace tms::markov
+
+#endif  // TMS_MARKOV_WORLD_ITER_H_

@@ -1,0 +1,266 @@
+#include "numeric/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tms::numeric {
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) return;
+  negative_ = value < 0;
+  // Avoid overflow on INT64_MIN by working in unsigned space.
+  uint64_t mag =
+      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (mag != 0) {
+    digits_.push_back(static_cast<Digit>(mag & 0xffffffffULL));
+    mag >>= 32;
+  }
+}
+
+BigInt::BigInt(bool negative, std::vector<Digit> digits)
+    : negative_(negative), digits_(std::move(digits)) {
+  Trim(&digits_);
+  if (digits_.empty()) negative_ = false;
+}
+
+StatusOr<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer literal");
+  bool negative = false;
+  size_t pos = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) {
+    return Status::InvalidArgument("integer literal has no digits");
+  }
+  BigInt out;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid digit in integer literal: " +
+                                     std::string(text));
+    }
+    out = out * ten + BigInt(c - '0');
+  }
+  if (negative && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+void BigInt::Trim(std::vector<Digit>* v) {
+  while (!v->empty() && v->back() == 0) v->pop_back();
+}
+
+int BigInt::CompareMag(const std::vector<Digit>& a,
+                       const std::vector<Digit>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Digit> BigInt::AddMag(const std::vector<Digit>& a,
+                                          const std::vector<Digit>& b) {
+  std::vector<Digit> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<Digit>(sum & 0xffffffffULL));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<Digit>(carry));
+  return out;
+}
+
+std::vector<BigInt::Digit> BigInt::SubMag(const std::vector<Digit>& a,
+                                          const std::vector<Digit>& b) {
+  TMS_DCHECK(CompareMag(a, b) >= 0);
+  std::vector<Digit> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= static_cast<int64_t>(b[i]);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Digit>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<BigInt::Digit> BigInt::MulMag(const std::vector<Digit>& a,
+                                          const std::vector<Digit>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint64_t> acc(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      // acc[i+j] < 2^33 here, product < 2^64 - 2^33, so no overflow:
+      // we flush acc to < 2^32 after each inner iteration.
+      uint64_t cur =
+          acc[i + j] + static_cast<uint64_t>(a[i]) * b[j] + carry;
+      acc[i + j] = cur & 0xffffffffULL;
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t cur = acc[k] + carry;
+      acc[k] = cur & 0xffffffffULL;
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  std::vector<Digit> out(acc.size());
+  for (size_t i = 0; i < acc.size(); ++i) out[i] = static_cast<Digit>(acc[i]);
+  Trim(&out);
+  return out;
+}
+
+void BigInt::DivModMag(const std::vector<Digit>& a,
+                       const std::vector<Digit>& b, std::vector<Digit>* q,
+                       std::vector<Digit>* r) {
+  TMS_CHECK(!b.empty());
+  q->clear();
+  r->clear();
+  if (CompareMag(a, b) < 0) {
+    *r = a;
+    return;
+  }
+  // Long division, one bit at a time (simple and correct; exact arithmetic
+  // is off the hot path).
+  size_t total_bits = a.size() * 32;
+  q->assign(a.size(), 0);
+  std::vector<Digit> rem;  // running remainder
+  for (size_t bit = total_bits; bit-- > 0;) {
+    // rem = rem * 2 + bit(a, bit)
+    uint32_t carry = (a[bit / 32] >> (bit % 32)) & 1u;
+    for (size_t i = 0; i < rem.size(); ++i) {
+      uint32_t next = rem[i] >> 31;
+      rem[i] = (rem[i] << 1) | carry;
+      carry = next;
+    }
+    if (carry != 0) rem.push_back(carry);
+    if (CompareMag(rem, b) >= 0) {
+      rem = SubMag(rem, b);
+      (*q)[bit / 32] |= (1u << (bit % 32));
+    }
+  }
+  Trim(q);
+  *r = std::move(rem);
+  Trim(r);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (negative_ == other.negative_) {
+    return BigInt(negative_, AddMag(digits_, other.digits_));
+  }
+  int cmp = CompareMag(digits_, other.digits_);
+  if (cmp == 0) return BigInt();
+  if (cmp > 0) return BigInt(negative_, SubMag(digits_, other.digits_));
+  return BigInt(other.negative_, SubMag(other.digits_, digits_));
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  return *this + (-other);
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  return BigInt(negative_ != other.negative_, MulMag(digits_, other.digits_));
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  TMS_CHECK(!other.IsZero());
+  std::vector<Digit> q, r;
+  DivModMag(digits_, other.digits_, &q, &r);
+  return BigInt(negative_ != other.negative_, std::move(q));
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  TMS_CHECK(!other.IsZero());
+  std::vector<Digit> q, r;
+  DivModMag(digits_, other.digits_, &q, &r);
+  return BigInt(negative_, std::move(r));
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMag(digits_, other.digits_);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a = a.Abs();
+  b = b.Abs();
+  while (!b.IsZero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  std::string out;
+  std::vector<Digit> mag = digits_;
+  const std::vector<Digit> billion = {1000000000u};
+  while (!mag.empty()) {
+    std::vector<Digit> q, r;
+    DivModMag(mag, billion, &q, &r);
+    uint32_t chunk = r.empty() ? 0 : r[0];
+    for (int i = 0; i < 9; ++i) {
+      out.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+    mag = std::move(q);
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (negative_) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double BigInt::ToDouble() const {
+  double out = 0;
+  for (size_t i = digits_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(digits_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+size_t BigInt::BitLength() const {
+  if (digits_.empty()) return 0;
+  uint32_t top = digits_.back();
+  size_t bits = 0;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return (digits_.size() - 1) * 32 + bits;
+}
+
+}  // namespace tms::numeric

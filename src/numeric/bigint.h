@@ -1,0 +1,123 @@
+// Arbitrary-precision signed integers.
+//
+// BigInt backs numeric::Rational, which tms uses for *exact* probability
+// arithmetic: the paper ("Transducing Markov Sequences", PODS 2010, Section
+// 3.2) represents every probability in a Markov sequence as a pair of
+// binary-encoded integers. Exact arithmetic is used by the *_exact
+// confidence APIs and by the cross-validation tests; the hot paths use
+// doubles.
+//
+// The representation is sign + magnitude, with the magnitude stored as
+// base-2^32 digits in little-endian order (no leading zero digit; zero is
+// the empty digit vector with sign_ = +1).
+
+#ifndef TMS_NUMERIC_BIGINT_H_
+#define TMS_NUMERIC_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tms::numeric {
+
+/// An arbitrary-precision signed integer with value semantics.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversion from a machine integer.
+  BigInt(int64_t value);  // NOLINT(runtime/explicit)
+
+  /// Parses a base-10 string with an optional leading '-'.
+  static StatusOr<BigInt> FromString(std::string_view text);
+
+  /// True iff the value is zero.
+  bool IsZero() const { return digits_.empty(); }
+  /// True iff the value is negative (zero is not negative).
+  bool IsNegative() const { return negative_; }
+
+  /// -1, 0, or +1.
+  int Sign() const {
+    if (IsZero()) return 0;
+    return negative_ ? -1 : 1;
+  }
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (rounds toward zero). Divisor must be nonzero.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend. Divisor must be nonzero.
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  bool operator==(const BigInt& other) const {
+    return negative_ == other.negative_ && digits_ == other.digits_;
+  }
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  /// Three-way comparison: negative, zero, or positive.
+  int Compare(const BigInt& other) const;
+
+  /// Greatest common divisor of the absolute values; Gcd(0, 0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Base-10 representation.
+  std::string ToString() const;
+
+  /// Closest double (may overflow to +/-inf for huge values).
+  double ToDouble() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+
+ private:
+  using Digit = uint32_t;
+  static constexpr uint64_t kBase = 1ULL << 32;
+
+  // Magnitude helpers (ignore sign).
+  static std::vector<Digit> AddMag(const std::vector<Digit>& a,
+                                   const std::vector<Digit>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Digit> SubMag(const std::vector<Digit>& a,
+                                   const std::vector<Digit>& b);
+  static std::vector<Digit> MulMag(const std::vector<Digit>& a,
+                                   const std::vector<Digit>& b);
+  static int CompareMag(const std::vector<Digit>& a,
+                        const std::vector<Digit>& b);
+  // Quotient and remainder of magnitudes; b must be nonzero.
+  static void DivModMag(const std::vector<Digit>& a,
+                        const std::vector<Digit>& b, std::vector<Digit>* q,
+                        std::vector<Digit>* r);
+  static void Trim(std::vector<Digit>* v);
+
+  BigInt(bool negative, std::vector<Digit> digits);
+
+  bool negative_ = false;
+  std::vector<Digit> digits_;  // little-endian base 2^32; empty == 0
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToString();
+}
+
+}  // namespace tms::numeric
+
+#endif  // TMS_NUMERIC_BIGINT_H_

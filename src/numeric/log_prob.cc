@@ -1,0 +1,9 @@
+#include "numeric/log_prob.h"
+
+namespace tms::numeric {
+
+std::ostream& operator<<(std::ostream& os, LogProb p) {
+  return os << p.ToLinear() << " (log " << p.log() << ")";
+}
+
+}  // namespace tms::numeric

@@ -1,0 +1,81 @@
+// Log-domain probabilities.
+//
+// Viterbi-style best-evidence computations (E_max, Section 4.2 of the
+// paper) multiply up to n transition probabilities; on long Markov
+// sequences this underflows doubles. LogProb stores log(p) and provides
+// the max-product semiring operations.
+
+#ifndef TMS_NUMERIC_LOG_PROB_H_
+#define TMS_NUMERIC_LOG_PROB_H_
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace tms::numeric {
+
+/// A probability stored as its natural logarithm. Zero is representable
+/// (log = -inf). Values may exceed 1 transiently (e.g. unnormalized
+/// weights); this class does not clamp.
+class LogProb {
+ public:
+  /// Probability zero.
+  LogProb() : log_(-std::numeric_limits<double>::infinity()) {}
+
+  /// From a linear-domain probability; p must be >= 0.
+  static LogProb FromLinear(double p) {
+    LogProb out;
+    out.log_ = p > 0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+    return out;
+  }
+
+  /// From a value already in log domain.
+  static LogProb FromLog(double log_p) {
+    LogProb out;
+    out.log_ = log_p;
+    return out;
+  }
+
+  static LogProb Zero() { return LogProb(); }
+  static LogProb One() { return FromLog(0.0); }
+
+  double log() const { return log_; }
+  double ToLinear() const { return std::exp(log_); }
+  bool IsZero() const { return std::isinf(log_) && log_ < 0; }
+
+  /// Product of probabilities (sum of logs).
+  LogProb operator*(LogProb other) const {
+    if (IsZero() || other.IsZero()) return Zero();
+    return FromLog(log_ + other.log_);
+  }
+  LogProb& operator*=(LogProb other) { return *this = *this * other; }
+
+  /// Quotient; other must be nonzero.
+  LogProb operator/(LogProb other) const { return FromLog(log_ - other.log_); }
+
+  /// Numerically stable sum of probabilities (log-sum-exp).
+  LogProb operator+(LogProb other) const {
+    if (IsZero()) return other;
+    if (other.IsZero()) return *this;
+    double hi = log_ > other.log_ ? log_ : other.log_;
+    double lo = log_ > other.log_ ? other.log_ : log_;
+    return FromLog(hi + std::log1p(std::exp(lo - hi)));
+  }
+  LogProb& operator+=(LogProb other) { return *this = *this + other; }
+
+  bool operator==(LogProb other) const { return log_ == other.log_; }
+  bool operator!=(LogProb other) const { return log_ != other.log_; }
+  bool operator<(LogProb other) const { return log_ < other.log_; }
+  bool operator<=(LogProb other) const { return log_ <= other.log_; }
+  bool operator>(LogProb other) const { return log_ > other.log_; }
+  bool operator>=(LogProb other) const { return log_ >= other.log_; }
+
+ private:
+  double log_;
+};
+
+std::ostream& operator<<(std::ostream& os, LogProb p);
+
+}  // namespace tms::numeric
+
+#endif  // TMS_NUMERIC_LOG_PROB_H_

@@ -1,0 +1,115 @@
+#include "numeric/rational.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tms::numeric {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  TMS_CHECK(!den_.IsZero());
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.IsNegative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.IsZero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+Rational Rational::FromDouble(double value) {
+  TMS_CHECK(std::isfinite(value));
+  if (value == 0.0) return Rational();
+  int exp = 0;
+  // mantissa in [0.5, 1); value = mantissa * 2^exp.
+  double mantissa = std::frexp(value, &exp);
+  // Scale mantissa to a 53-bit integer.
+  int64_t scaled = static_cast<int64_t>(std::ldexp(mantissa, 53));
+  exp -= 53;
+  BigInt num(scaled);
+  BigInt den(1);
+  const BigInt two(2);
+  if (exp >= 0) {
+    for (int i = 0; i < exp; ++i) num *= two;
+  } else {
+    for (int i = 0; i < -exp; ++i) den *= two;
+  }
+  return Rational(std::move(num), std::move(den));
+}
+
+StatusOr<Rational> Rational::FromString(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto num = BigInt::FromString(text);
+    if (!num.ok()) return num.status();
+    return Rational(std::move(num).value(), BigInt(1));
+  }
+  auto num = BigInt::FromString(text.substr(0, slash));
+  if (!num.ok()) return num.status();
+  auto den = BigInt::FromString(text.substr(slash + 1));
+  if (!den.ok()) return den.status();
+  if (den->IsZero()) return Status::InvalidArgument("zero denominator");
+  return Rational(std::move(num).value(), std::move(den).value());
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  TMS_CHECK(!other.IsZero());
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+int Rational::Compare(const Rational& other) const {
+  return (num_ * other.den_).Compare(other.num_ * den_);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+double Rational::ToDouble() const {
+  // Scale so the quotient fits comfortably in double precision.
+  size_t nb = num_.BitLength();
+  size_t db = den_.BitLength();
+  if (nb < 1000 && db < 1000) {
+    return num_.ToDouble() / den_.ToDouble();
+  }
+  // Shift both down to ~64 significant bits.
+  size_t shift = std::max(nb, db) - 64;
+  BigInt n = num_, d = den_;
+  BigInt divisor(1);
+  const BigInt two(2);
+  for (size_t i = 0; i < shift; ++i) divisor *= two;
+  n /= divisor;
+  d /= divisor;
+  if (d.IsZero()) d = BigInt(1);
+  return n.ToDouble() / d.ToDouble();
+}
+
+}  // namespace tms::numeric

@@ -1,0 +1,89 @@
+// Exact rational arithmetic over BigInt.
+//
+// The paper represents each probability of a Markov sequence as a pair of
+// binary-encoded integers (numerator, denominator). Rational implements
+// that convention exactly; the *_exact confidence algorithms and the
+// ground-truth tests are built on it.
+
+#ifndef TMS_NUMERIC_RATIONAL_H_
+#define TMS_NUMERIC_RATIONAL_H_
+
+#include <ostream>
+#include <string>
+
+#include "numeric/bigint.h"
+
+namespace tms::numeric {
+
+/// An exact rational number, always stored in lowest terms with a positive
+/// denominator.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// From an integer.
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+
+  /// num / den; den must be nonzero.
+  Rational(BigInt num, BigInt den);
+
+  /// num / den as machine integers; den must be nonzero.
+  Rational(int64_t num, int64_t den) : Rational(BigInt(num), BigInt(den)) {}
+
+  /// Exact value of a double (every finite double is a dyadic rational).
+  static Rational FromDouble(double value);
+
+  /// Parses "a/b" or "a" (base 10).
+  static StatusOr<Rational> FromString(std::string_view text);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+  int Sign() const { return num_.Sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Division; other must be nonzero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const { return Compare(other) < 0; }
+  bool operator<=(const Rational& other) const { return Compare(other) <= 0; }
+  bool operator>(const Rational& other) const { return Compare(other) > 0; }
+  bool operator>=(const Rational& other) const { return Compare(other) >= 0; }
+
+  /// Three-way comparison.
+  int Compare(const Rational& other) const;
+
+  /// "num/den", or just "num" when den == 1.
+  std::string ToString() const;
+
+  /// Closest double.
+  double ToDouble() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;  // > 0 after normalization
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.ToString();
+}
+
+}  // namespace tms::numeric
+
+#endif  // TMS_NUMERIC_RATIONAL_H_

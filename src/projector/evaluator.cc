@@ -1,0 +1,57 @@
+#include "projector/evaluator.h"
+
+#include "projector/sprojector_confidence.h"
+
+namespace tms::projector {
+
+StatusOr<SProjectorEvaluator> SProjectorEvaluator::Create(
+    const markov::MarkovSequence* mu, const SProjector* p) {
+  if (mu == nullptr || p == nullptr) {
+    return Status::InvalidArgument(
+        "SProjectorEvaluator requires non-null args");
+  }
+  auto conf = IndexedConfidence::Create(mu, p);
+  if (!conf.ok()) return conf.status();
+  return SProjectorEvaluator(mu, p, std::move(conf).value());
+}
+
+std::vector<IndexedEnumerator::Result> SProjectorEvaluator::TopKIndexed(
+    int k) const {
+  return projector::TopKIndexed(*mu_, *p_, k);
+}
+
+StatusOr<std::vector<SProjectorAnswerInfo>> SProjectorEvaluator::TopK(
+    int k, bool with_confidence) const {
+  auto it = ImaxEnumerator::Create(mu_, p_);
+  if (!it.ok()) return it.status();
+  std::vector<SProjectorAnswerInfo> out;
+  for (int i = 0; i < k; ++i) {
+    auto answer = it->Next();
+    if (!answer.has_value()) break;
+    SProjectorAnswerInfo info;
+    info.output = std::move(answer->output);
+    info.imax = answer->score;
+    if (with_confidence) {
+      auto conf = SProjectorConfidence(*mu_, *p_, info.output);
+      if (!conf.ok()) return conf.status();
+      info.confidence = *conf;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+StatusOr<double> SProjectorEvaluator::Confidence(const Str& o) const {
+  return SProjectorConfidence(*mu_, *p_, o);
+}
+
+double SProjectorEvaluator::IndexedConfidenceOf(
+    const IndexedAnswer& answer) const {
+  return conf_.Confidence(answer);
+}
+
+double SProjectorEvaluator::Imax(const Str& o) const {
+  return ImaxOfAnswer(conf_, o);
+}
+
+}  // namespace tms::projector

@@ -1,0 +1,70 @@
+// Evaluation facade for s-projectors, mirroring query::Evaluator.
+//
+// Binds one (μ, [B]A[E]) pair and exposes the paper's §5 evaluation
+// modes: exact ranked indexed evaluation (Thm 5.7/5.8), n-approximate
+// distinct-string evaluation by I_max (Thm 5.2) with exact confidences
+// attached (Thm 5.5), and single-answer probes.
+
+#ifndef TMS_PROJECTOR_EVALUATOR_H_
+#define TMS_PROJECTOR_EVALUATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "projector/imax_enum.h"
+#include "projector/indexed_confidence.h"
+#include "projector/indexed_enum.h"
+#include "projector/sprojector.h"
+
+namespace tms::projector {
+
+/// One evaluated distinct-string answer.
+struct SProjectorAnswerInfo {
+  Str output;
+  double imax = 0.0;        ///< best single-occurrence confidence
+  double confidence = 0.0;  ///< exact distinct-string confidence
+};
+
+/// Facade over the §5 algorithms for one (μ, P) pair.
+class SProjectorEvaluator {
+ public:
+  /// Fails on alphabet mismatch.
+  static StatusOr<SProjectorEvaluator> Create(const markov::MarkovSequence* mu,
+                                              const SProjector* p);
+
+  /// Top-k indexed answers (o, i) in EXACT decreasing confidence.
+  std::vector<IndexedEnumerator::Result> TopKIndexed(int k) const;
+
+  /// Top-k distinct strings by decreasing I_max; exact confidences
+  /// attached when `with_confidence` (Theorem 5.5 — may be expensive for
+  /// large suffix constraints).
+  StatusOr<std::vector<SProjectorAnswerInfo>> TopK(
+      int k, bool with_confidence = true) const;
+
+  /// Exact confidence of one distinct-string answer.
+  StatusOr<double> Confidence(const Str& o) const;
+
+  /// Confidence of one indexed answer (o, i).
+  double IndexedConfidenceOf(const IndexedAnswer& answer) const;
+
+  /// I_max of one answer (0 if not an answer).
+  double Imax(const Str& o) const;
+
+  const markov::MarkovSequence& mu() const { return *mu_; }
+  const SProjector& sprojector() const { return *p_; }
+
+ private:
+  SProjectorEvaluator(const markov::MarkovSequence* mu, const SProjector* p,
+                      IndexedConfidence conf)
+      : mu_(mu), p_(p), conf_(std::move(conf)) {}
+
+  const markov::MarkovSequence* mu_;
+  const SProjector* p_;
+  IndexedConfidence conf_;
+};
+
+}  // namespace tms::projector
+
+#endif  // TMS_PROJECTOR_EVALUATOR_H_

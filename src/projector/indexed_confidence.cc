@@ -1,0 +1,197 @@
+#include "projector/indexed_confidence.h"
+
+#include "common/check.h"
+
+namespace tms::projector {
+
+ContextTables::ContextTables(const markov::MarkovSequence& mu,
+                             const automata::Dfa& b, const automata::Dfa& e)
+    : n_(mu.length()),
+      sigma_(mu.nodes().size()),
+      b_eps_(b.AcceptsEmpty()),
+      e_eps_(e.AcceptsEmpty()) {
+  TMS_CHECK(mu.nodes() == b.alphabet());
+  TMS_CHECK(mu.nodes() == e.alphabet());
+  const size_t nb = static_cast<size_t>(b.num_states());
+  const size_t ne = static_cast<size_t>(e.num_states());
+
+  // Forward over (σ, q_B): fb[σ][q] = Pr(S_[1,t] ends in σ, B reaches q).
+  std::vector<double> fb(sigma_ * nb, 0.0);
+  prefix_mass_.assign(static_cast<size_t>(n_) * sigma_, 0.0);
+  for (size_t s = 0; s < sigma_; ++s) {
+    double p0 = mu.Initial(static_cast<Symbol>(s));
+    if (p0 <= 0) continue;
+    fb[s * nb +
+       static_cast<size_t>(b.Next(b.initial(), static_cast<Symbol>(s)))] +=
+        p0;
+  }
+  auto fold_prefix = [&](int t, const std::vector<double>& layer) {
+    for (size_t s = 0; s < sigma_; ++s) {
+      double acc = 0;
+      for (size_t q = 0; q < nb; ++q) {
+        if (b.IsAccepting(static_cast<automata::StateId>(q))) {
+          acc += layer[s * nb + q];
+        }
+      }
+      prefix_mass_[static_cast<size_t>(t - 1) * sigma_ + s] = acc;
+    }
+  };
+  fold_prefix(1, fb);
+  for (int t = 2; t <= n_; ++t) {
+    std::vector<double> next(sigma_ * nb, 0.0);
+    for (size_t s = 0; s < sigma_; ++s) {
+      for (size_t q = 0; q < nb; ++q) {
+        double mass = fb[s * nb + q];
+        if (mass <= 0) continue;
+        for (size_t s2 = 0; s2 < sigma_; ++s2) {
+          double step = mu.Transition(t - 1, static_cast<Symbol>(s),
+                                      static_cast<Symbol>(s2));
+          if (step <= 0) continue;
+          next[s2 * nb +
+               static_cast<size_t>(b.Next(static_cast<automata::StateId>(q),
+                                          static_cast<Symbol>(s2)))] +=
+              mass * step;
+        }
+      }
+    }
+    fb = std::move(next);
+    fold_prefix(t, fb);
+  }
+
+  // StartWeight(i, σ).
+  start_weight_.assign(static_cast<size_t>(n_) * sigma_, 0.0);
+  for (size_t s = 0; s < sigma_; ++s) {
+    start_weight_[s] = b_eps_ ? mu.Initial(static_cast<Symbol>(s)) : 0.0;
+  }
+  for (int i = 2; i <= n_; ++i) {
+    for (size_t s = 0; s < sigma_; ++s) {
+      double acc = 0;
+      for (size_t tau = 0; tau < sigma_; ++tau) {
+        double pm = PrefixMass(i - 1, static_cast<Symbol>(tau));
+        if (pm <= 0) continue;
+        acc += pm * mu.Transition(i - 1, static_cast<Symbol>(tau),
+                                  static_cast<Symbol>(s));
+      }
+      start_weight_[static_cast<size_t>(i - 1) * sigma_ + s] = acc;
+    }
+  }
+
+  // Backward over (σ, q_E): he[σ][q] = Pr(S_[t+1,n] accepted by E started
+  // in q | S_t = σ).
+  std::vector<double> he(sigma_ * ne, 0.0);
+  suffix_mass_.assign(static_cast<size_t>(n_) * sigma_, 0.0);
+  for (size_t s = 0; s < sigma_; ++s) {
+    for (size_t q = 0; q < ne; ++q) {
+      he[s * ne + q] =
+          e.IsAccepting(static_cast<automata::StateId>(q)) ? 1.0 : 0.0;
+    }
+    suffix_mass_[static_cast<size_t>(n_ - 1) * sigma_ + s] =
+        he[s * ne + static_cast<size_t>(e.initial())];
+  }
+  for (int t = n_ - 1; t >= 1; --t) {
+    std::vector<double> prev(sigma_ * ne, 0.0);
+    for (size_t s = 0; s < sigma_; ++s) {
+      for (size_t q = 0; q < ne; ++q) {
+        double acc = 0;
+        for (size_t s2 = 0; s2 < sigma_; ++s2) {
+          double step = mu.Transition(t, static_cast<Symbol>(s),
+                                      static_cast<Symbol>(s2));
+          if (step <= 0) continue;
+          acc += step *
+                 he[s2 * ne +
+                    static_cast<size_t>(e.Next(static_cast<automata::StateId>(q),
+                                               static_cast<Symbol>(s2)))];
+        }
+        prev[s * ne + q] = acc;
+      }
+    }
+    he = std::move(prev);
+    for (size_t s = 0; s < sigma_; ++s) {
+      suffix_mass_[static_cast<size_t>(t - 1) * sigma_ + s] =
+          he[s * ne + static_cast<size_t>(e.initial())];
+    }
+  }
+
+  // Whole-string-as-suffix mass (he now holds t = 1 values; condition on
+  // the first symbol via μ_0→ and advance E by it).
+  whole_suffix_ = 0.0;
+  if (n_ >= 1) {
+    for (size_t s = 0; s < sigma_; ++s) {
+      double p0 = mu.Initial(static_cast<Symbol>(s));
+      if (p0 <= 0) continue;
+      automata::StateId q1 = e.Next(e.initial(), static_cast<Symbol>(s));
+      if (n_ == 1) {
+        whole_suffix_ += p0 * (e.IsAccepting(q1) ? 1.0 : 0.0);
+      } else {
+        // he currently holds layer t = 1: value given S_1 = σ, E in state q.
+        whole_suffix_ += p0 * he[s * ne + static_cast<size_t>(q1)];
+      }
+    }
+  }
+}
+
+double ContextTables::PrefixMass(int t, Symbol s) const {
+  TMS_DCHECK(t >= 1 && t <= n_);
+  return prefix_mass_[static_cast<size_t>(t - 1) * sigma_ +
+                      static_cast<size_t>(s)];
+}
+
+double ContextTables::StartWeight(int i, Symbol s) const {
+  TMS_DCHECK(i >= 1 && i <= n_);
+  return start_weight_[static_cast<size_t>(i - 1) * sigma_ +
+                       static_cast<size_t>(s)];
+}
+
+double ContextTables::EmptyAnswerMass(int i) const {
+  if (i < 1 || i > n_ + 1) return 0.0;
+  if (i == 1) return b_eps_ ? whole_suffix_ : 0.0;
+  double acc = 0;
+  for (size_t tau = 0; tau < sigma_; ++tau) {
+    double pm = PrefixMass(i - 1, static_cast<Symbol>(tau));
+    if (pm <= 0) continue;
+    acc += pm * SuffixMass(i - 1, static_cast<Symbol>(tau));
+  }
+  return acc;
+}
+
+double ContextTables::SuffixMass(int t, Symbol s) const {
+  TMS_DCHECK(t >= 1 && t <= n_);
+  return suffix_mass_[static_cast<size_t>(t - 1) * sigma_ +
+                      static_cast<size_t>(s)];
+}
+
+StatusOr<IndexedConfidence> IndexedConfidence::Create(
+    const markov::MarkovSequence* mu, const SProjector* p) {
+  if (mu == nullptr || p == nullptr) {
+    return Status::InvalidArgument("IndexedConfidence requires non-null args");
+  }
+  if (!(mu->nodes() == p->alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and s-projector alphabet differ");
+  }
+  return IndexedConfidence(mu, p);
+}
+
+double IndexedConfidence::Confidence(const IndexedAnswer& answer) const {
+  const int n = mu_->length();
+  const int m = static_cast<int>(answer.output.size());
+  const int i = answer.index;
+  if (!p_->pattern().Accepts(answer.output)) return 0.0;
+
+  if (m == 0) {
+    // s = b·e with |b| = i−1; admissible i ∈ [1, n+1].
+    return tables_.EmptyAnswerMass(i);
+  }
+
+  if (i < 1 || i + m - 1 > n) return 0.0;
+  double p = tables_.StartWeight(i, answer.output[0]);
+  for (int d = 1; d < m && p > 0; ++d) {
+    p *= mu_->Transition(i + d - 1, answer.output[static_cast<size_t>(d - 1)],
+                         answer.output[static_cast<size_t>(d)]);
+  }
+  if (p <= 0) return 0.0;
+  return p * tables_.SuffixMass(i + m - 1,
+                                answer.output[static_cast<size_t>(m - 1)]);
+}
+
+}  // namespace tms::projector

@@ -1,0 +1,97 @@
+// Confidence for indexed s-projectors — Theorem 5.8.
+//
+// For an answer (o, i) of [B]↓A[E], the confidence factors through the
+// Markov property as
+//   Pr(prefix of length i−1 ∈ L(B), S_i..S_{i+|o|−1} = o,
+//      suffix ∈ L(E))
+//   = StartWeight(i, o_1) · Π_j μ(o_j, o_{j+1}) · SuffixMass(i+|o|−1, o_m)
+// where StartWeight aggregates the B-side forward DP and SuffixMass the
+// E-side backward DP. ContextTables precomputes both sides once in
+// O(n·|Σ|²·(|Q_B|+|Q_E|)) — the paper's O(n·|Σ|²·|Q|²) — after which each
+// answer costs O(|o|).
+
+#ifndef TMS_PROJECTOR_INDEXED_CONFIDENCE_H_
+#define TMS_PROJECTOR_INDEXED_CONFIDENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "projector/sprojector.h"
+
+namespace tms::projector {
+
+/// Precomputed forward (B-side) and backward (E-side) probability tables
+/// for one (μ, [B]·[E]) pair. Also used to weight the source/sink edges of
+/// the Theorem 5.7 DAG (indexed_enum.h).
+class ContextTables {
+ public:
+  ContextTables(const markov::MarkovSequence& mu, const automata::Dfa& b,
+                const automata::Dfa& e);
+
+  /// Pr(S_{[1,t]} ∈ L(B) ∧ S_t = σ), for 1 ≤ t ≤ n.
+  double PrefixMass(int t, Symbol s) const;
+
+  /// Pr(prefix of length i−1 ∈ L(B) ∧ S_i = σ): the mass entering an
+  /// occurrence that starts at position i with first symbol σ (1 ≤ i ≤ n).
+  /// For i = 1 this is [ε ∈ L(B)] · μ_0→(σ).
+  double StartWeight(int i, Symbol s) const;
+
+  /// Pr(S_{[t+1,n]} ∈ L(E) | S_t = σ), for 1 ≤ t ≤ n
+  /// (t = n yields [ε ∈ L(E)]).
+  double SuffixMass(int t, Symbol s) const;
+
+  /// Pr(S_{[1,n]} ∈ L(E)) — the whole string as suffix (used by answers
+  /// (ε, 1)).
+  double WholeStringSuffixMass() const { return whole_suffix_; }
+
+  /// Confidence mass of the empty-output answer (ε, i), i ∈ [1, n+1]:
+  /// Pr(prefix of length i−1 ∈ L(B) ∧ suffix from position i ∈ L(E)).
+  /// (The pattern-side check ε ∈ L(A) is the caller's.)
+  double EmptyAnswerMass(int i) const;
+
+  bool PrefixAcceptsEmpty() const { return b_eps_; }
+  bool SuffixAcceptsEmpty() const { return e_eps_; }
+
+  int length() const { return n_; }
+  size_t sigma() const { return sigma_; }
+
+ private:
+  int n_;
+  size_t sigma_;
+  bool b_eps_;
+  bool e_eps_;
+  // prefix_mass_[(t-1) * sigma + s], start_weight_ likewise (i-1),
+  // suffix_mass_ likewise (t-1).
+  std::vector<double> prefix_mass_;
+  std::vector<double> start_weight_;
+  std::vector<double> suffix_mass_;
+  double whole_suffix_ = 0.0;
+};
+
+/// Per-answer confidence computer for an indexed s-projector.
+class IndexedConfidence {
+ public:
+  /// Precomputes the context tables; fails on alphabet mismatch.
+  static StatusOr<IndexedConfidence> Create(const markov::MarkovSequence* mu,
+                                            const SProjector* p);
+
+  /// Pr(S →[B]↓A[E]→ (o, i)); 0 when (o, i) is not an answer. For o = ε
+  /// the admissible indices are 1..n+1 (i−1 prefix symbols, the rest
+  /// suffix). Time O(|o|).
+  double Confidence(const IndexedAnswer& answer) const;
+
+  const ContextTables& tables() const { return tables_; }
+
+ private:
+  IndexedConfidence(const markov::MarkovSequence* mu, const SProjector* p)
+      : mu_(mu), p_(p), tables_(*mu, p->prefix(), p->suffix()) {}
+
+  const markov::MarkovSequence* mu_;
+  const SProjector* p_;
+  ContextTables tables_;
+};
+
+}  // namespace tms::projector
+
+#endif  // TMS_PROJECTOR_INDEXED_CONFIDENCE_H_

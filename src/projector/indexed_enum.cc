@@ -1,0 +1,179 @@
+#include "projector/indexed_enum.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tms::projector {
+namespace {
+
+// Edge payload encoding: kind in the top byte, operands below.
+enum PayloadKind : int64_t { kStart = 1, kStep = 2, kEnd = 3, kEps = 4 };
+
+int64_t PackStart(int i, Symbol s) {
+  return (kStart << 56) | (static_cast<int64_t>(i) << 24) |
+         static_cast<int64_t>(s);
+}
+int64_t PackStep(Symbol s) { return (kStep << 56) | static_cast<int64_t>(s); }
+int64_t PackEnd() { return kEnd << 56; }
+int64_t PackEps(int i) {
+  return (kEps << 56) | static_cast<int64_t>(i);
+}
+
+}  // namespace
+
+IndexedAnswer IndexedDag::Decode(const graph::Path& path) const {
+  IndexedAnswer out;
+  for (graph::EdgeId id : path.edges) {
+    int64_t payload = dag.edge(id).payload;
+    int64_t kind = payload >> 56;
+    switch (kind) {
+      case kStart:
+        out.index = static_cast<int>((payload >> 24) & 0xffffffffLL);
+        out.output.push_back(static_cast<Symbol>(payload & 0xffffffLL));
+        break;
+      case kStep:
+        out.output.push_back(static_cast<Symbol>(payload & 0xffffffLL));
+        break;
+      case kEps:
+        out.index = static_cast<int>(payload & 0xffffffffffffLL);
+        break;
+      case kEnd:
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+IndexedDag BuildIndexedDag(const markov::MarkovSequence& mu,
+                           const SProjector& p, const ContextTables& tables,
+                           const ranking::OutputConstraint* constraint) {
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const automata::Dfa& a = p.pattern();
+  const size_t na = static_cast<size_t>(a.num_states());
+  automata::Dfa cd = constraint != nullptr
+                         ? constraint->ToDfa(p.alphabet())
+                         : automata::Dfa::AcceptAll(p.alphabet());
+  const size_t nc = static_cast<size_t>(cd.num_states());
+
+  IndexedDag out;
+  // Nodes: 0 = source, 1 = sink, then (t, σ, q_A, q_C).
+  const int grid = static_cast<int>(static_cast<size_t>(n) * sigma * na * nc);
+  out.dag = graph::WeightedDag(2 + grid);
+  out.source = 0;
+  out.sink = 1;
+  auto node = [&](int t, size_t s, size_t qa, size_t qc) {
+    return static_cast<graph::NodeId>(
+        2 + (((static_cast<size_t>(t - 1)) * sigma + s) * na + qa) * nc + qc);
+  };
+
+  // Start edges: occurrence begins at position i with symbol σ.
+  for (int i = 1; i <= n; ++i) {
+    for (size_t s = 0; s < sigma; ++s) {
+      double w = tables.StartWeight(i, static_cast<Symbol>(s));
+      if (w <= 0) continue;
+      size_t qa = static_cast<size_t>(a.Next(a.initial(),
+                                             static_cast<Symbol>(s)));
+      size_t qc = static_cast<size_t>(cd.Next(cd.initial(),
+                                              static_cast<Symbol>(s)));
+      out.dag.AddEdge(out.source, node(i, s, qa, qc), -std::log(w),
+                      PackStart(i, static_cast<Symbol>(s)));
+    }
+  }
+  // Internal edges: extend the occurrence.
+  for (int t = 1; t < n; ++t) {
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t s2 = 0; s2 < sigma; ++s2) {
+        double step = mu.Transition(t, static_cast<Symbol>(s),
+                                    static_cast<Symbol>(s2));
+        if (step <= 0) continue;
+        double cost = -std::log(step);
+        for (size_t qa = 0; qa < na; ++qa) {
+          size_t qa2 = static_cast<size_t>(
+              a.Next(static_cast<automata::StateId>(qa),
+                     static_cast<Symbol>(s2)));
+          for (size_t qc = 0; qc < nc; ++qc) {
+            size_t qc2 = static_cast<size_t>(
+                cd.Next(static_cast<automata::StateId>(qc),
+                        static_cast<Symbol>(s2)));
+            out.dag.AddEdge(node(t, s, qa, qc), node(t + 1, s2, qa2, qc2),
+                            cost, PackStep(static_cast<Symbol>(s2)));
+          }
+        }
+      }
+    }
+  }
+  // Sink edges: the occurrence ends at position t.
+  for (int t = 1; t <= n; ++t) {
+    for (size_t s = 0; s < sigma; ++s) {
+      double w = tables.SuffixMass(t, static_cast<Symbol>(s));
+      if (w <= 0) continue;
+      double cost = -std::log(w);
+      for (size_t qa = 0; qa < na; ++qa) {
+        if (!a.IsAccepting(static_cast<automata::StateId>(qa))) continue;
+        for (size_t qc = 0; qc < nc; ++qc) {
+          if (!cd.IsAccepting(static_cast<automata::StateId>(qc))) continue;
+          out.dag.AddEdge(node(t, s, qa, qc), out.sink, cost, PackEnd());
+        }
+      }
+    }
+  }
+  // Empty-output answers (ε, i), i ∈ [1, n+1].
+  if (a.AcceptsEmpty() && cd.AcceptsEmpty()) {
+    for (int i = 1; i <= n + 1; ++i) {
+      double w = tables.EmptyAnswerMass(i);
+      if (w <= 0) continue;
+      graph::NodeId mid = out.dag.AddNode();
+      out.dag.AddEdge(out.source, mid, -std::log(w), PackEps(i));
+      out.dag.AddEdge(mid, out.sink, 0.0, PackEnd());
+    }
+  }
+  return out;
+}
+
+IndexedEnumerator::IndexedEnumerator(const markov::MarkovSequence* mu,
+                                     const SProjector* p)
+    : tables_(*mu, p->prefix(), p->suffix()) {
+  dag_ = std::make_unique<IndexedDag>(
+      BuildIndexedDag(*mu, *p, tables_, nullptr));
+  paths_ = std::make_unique<graph::KBestPathsEnumerator>(
+      dag_->dag, dag_->source, dag_->sink);
+}
+
+StatusOr<IndexedEnumerator> IndexedEnumerator::Create(
+    const markov::MarkovSequence* mu, const SProjector* p) {
+  if (mu == nullptr || p == nullptr) {
+    return Status::InvalidArgument("IndexedEnumerator requires non-null args");
+  }
+  if (!(mu->nodes() == p->alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and s-projector alphabet differ");
+  }
+  return IndexedEnumerator(mu, p);
+}
+
+std::optional<IndexedEnumerator::Result> IndexedEnumerator::Next() {
+  auto path = paths_->Next();
+  if (!path.has_value()) return std::nullopt;
+  Result out;
+  out.answer = dag_->Decode(*path);
+  out.confidence = std::exp(-path->cost);
+  return out;
+}
+
+std::vector<IndexedEnumerator::Result> TopKIndexed(
+    const markov::MarkovSequence& mu, const SProjector& p, int k) {
+  auto it = IndexedEnumerator::Create(&mu, &p);
+  TMS_CHECK(it.ok());
+  std::vector<IndexedEnumerator::Result> out;
+  for (int i = 0; i < k; ++i) {
+    auto result = it->Next();
+    if (!result.has_value()) break;
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
+
+}  // namespace tms::projector

@@ -1,0 +1,86 @@
+// Exact ranked enumeration for indexed s-projectors — Theorem 5.7.
+//
+// The reduction: build a weighted DAG whose source→sink paths are in
+// bijection with the indexed answers (o, i) and whose path weight (product
+// of probabilities; stored as additive −log costs) equals the confidence:
+//
+//   source --(i, o_1)--> (i, o_1, q_1) --o_2--> (i+1, o_2, q_2) --…-->
+//          (i+m−1, o_m, q_m ∈ F_A) --> sink
+//
+// Nodes carry the pattern DFA state q_j = δ_A(…) so exactly the o ∈ L(A)
+// spell admissible paths; the source edge carries the B-side mass
+// StartWeight(i, o_1), internal edges carry μ transitions, and the sink
+// edge carries the E-side mass SuffixMass(i+m−1, o_m). Empty-output
+// answers (ε, i) become dedicated two-edge source→sink chains. Ranked
+// enumeration is then k-best paths (graph/k_best_paths.h), which emits
+// answers in exactly nonincreasing confidence with polynomial delay —
+// the tractable cell of Table 2.
+//
+// BuildIndexedDag optionally restricts outputs to an OutputConstraint by
+// augmenting nodes with the constraint-DFA state; ImaxEnumerator
+// (imax_enum.h) uses that for its Lawler subspaces.
+
+#ifndef TMS_PROJECTOR_INDEXED_ENUM_H_
+#define TMS_PROJECTOR_INDEXED_ENUM_H_
+
+#include <memory>
+#include <optional>
+
+#include "graph/dag.h"
+#include "graph/k_best_paths.h"
+#include "markov/markov_sequence.h"
+#include "projector/indexed_confidence.h"
+#include "projector/sprojector.h"
+#include "ranking/prefix_constraint.h"
+
+namespace tms::projector {
+
+/// The Theorem 5.7 DAG together with the metadata needed to decode paths
+/// back into indexed answers.
+struct IndexedDag {
+  graph::WeightedDag dag;
+  graph::NodeId source = 0;
+  graph::NodeId sink = 0;
+
+  /// Decodes a source→sink path into its answer; the confidence is
+  /// exp(−path.cost).
+  IndexedAnswer Decode(const graph::Path& path) const;
+};
+
+/// Builds the DAG. When `constraint` is non-null, only answers whose
+/// output satisfies the constraint correspond to paths.
+IndexedDag BuildIndexedDag(const markov::MarkovSequence& mu,
+                           const SProjector& p, const ContextTables& tables,
+                           const ranking::OutputConstraint* constraint);
+
+/// Streams the answers of [B]↓A[E] over μ in nonincreasing confidence.
+class IndexedEnumerator {
+ public:
+  /// One enumerated indexed answer.
+  struct Result {
+    IndexedAnswer answer;
+    double confidence = 0.0;
+  };
+
+  /// Fails on alphabet mismatch.
+  static StatusOr<IndexedEnumerator> Create(const markov::MarkovSequence* mu,
+                                            const SProjector* p);
+
+  /// The next answer, or nullopt when exhausted.
+  std::optional<Result> Next();
+
+ private:
+  IndexedEnumerator(const markov::MarkovSequence* mu, const SProjector* p);
+
+  ContextTables tables_;
+  std::unique_ptr<IndexedDag> dag_;
+  std::unique_ptr<graph::KBestPathsEnumerator> paths_;
+};
+
+/// Convenience: the k most probable indexed answers.
+std::vector<IndexedEnumerator::Result> TopKIndexed(
+    const markov::MarkovSequence& mu, const SProjector& p, int k);
+
+}  // namespace tms::projector
+
+#endif  // TMS_PROJECTOR_INDEXED_ENUM_H_

@@ -1,0 +1,149 @@
+#include "projector/sprojector.h"
+
+#include "automata/regex.h"
+#include "common/check.h"
+
+namespace tms::projector {
+
+StatusOr<SProjector> SProjector::Create(automata::Dfa b, automata::Dfa a,
+                                        automata::Dfa e) {
+  if (!(b.alphabet() == a.alphabet()) || !(a.alphabet() == e.alphabet())) {
+    return Status::InvalidArgument(
+        "s-projector components must share one alphabet");
+  }
+  TMS_RETURN_IF_ERROR(b.Validate());
+  TMS_RETURN_IF_ERROR(a.Validate());
+  TMS_RETURN_IF_ERROR(e.Validate());
+  return SProjector(std::move(b), std::move(a), std::move(e));
+}
+
+StatusOr<SProjector> SProjector::Simple(automata::Dfa a) {
+  Alphabet alphabet = a.alphabet();
+  return Create(automata::Dfa::AcceptAll(alphabet), std::move(a),
+                automata::Dfa::AcceptAll(alphabet));
+}
+
+StatusOr<SProjector> SProjector::FromRegex(const Alphabet& alphabet,
+                                           std::string_view b,
+                                           std::string_view a,
+                                           std::string_view e) {
+  auto bd = automata::CompileRegexToDfa(alphabet, b);
+  if (!bd.ok()) return bd.status();
+  auto ad = automata::CompileRegexToDfa(alphabet, a);
+  if (!ad.ok()) return ad.status();
+  auto ed = automata::CompileRegexToDfa(alphabet, e);
+  if (!ed.ok()) return ed.status();
+  return Create(std::move(bd).value(), std::move(ad).value(),
+                std::move(ed).value());
+}
+
+StatusOr<SProjector> SProjector::FromCharRegex(const Alphabet& alphabet,
+                                               std::string_view b,
+                                               std::string_view a,
+                                               std::string_view e) {
+  auto bd = automata::CompileCharRegexToDfa(alphabet, b);
+  if (!bd.ok()) return bd.status();
+  auto ad = automata::CompileCharRegexToDfa(alphabet, a);
+  if (!ad.ok()) return ad.status();
+  auto ed = automata::CompileCharRegexToDfa(alphabet, e);
+  if (!ed.ok()) return ed.status();
+  return Create(std::move(bd).value(), std::move(ad).value(),
+                std::move(ed).value());
+}
+
+bool SProjector::Matches(const Str& s, const Str& o) const {
+  const int n = static_cast<int>(s.size());
+  const int m = static_cast<int>(o.size());
+  for (int i = 1; i + m - 1 <= n; ++i) {
+    if (MatchesIndexed(s, IndexedAnswer{o, i})) return true;
+  }
+  return false;
+}
+
+bool SProjector::MatchesIndexed(const Str& s,
+                                const IndexedAnswer& answer) const {
+  const int n = static_cast<int>(s.size());
+  const int m = static_cast<int>(answer.output.size());
+  const int i = answer.index;
+  if (i < 1 || i + m - 1 > n) return false;
+  // The occurrence must literally appear at position i.
+  for (int d = 0; d < m; ++d) {
+    if (s[static_cast<size_t>(i - 1 + d)] !=
+        answer.output[static_cast<size_t>(d)]) {
+      return false;
+    }
+  }
+  if (!a_.Accepts(answer.output)) return false;
+  Str b(s.begin(), s.begin() + (i - 1));
+  Str e(s.begin() + (i - 1 + m), s.end());
+  return b_.Accepts(b) && e_.Accepts(e);
+}
+
+transducer::Transducer SProjector::ToTransducer() const {
+  // Phases: [0, nb) = B-states, [nb, nb+na) = A-states,
+  // [nb+na, nb+na+ne) = E-states.
+  const int nb = b_.num_states();
+  const int na = a_.num_states();
+  const int ne = e_.num_states();
+  const Alphabet& sigma = alphabet();
+  transducer::Transducer out(sigma, sigma, nb + na + ne);
+  auto bid = [](automata::StateId q) { return q; };
+  auto aid = [nb](automata::StateId q) {
+    return static_cast<automata::StateId>(nb + q);
+  };
+  auto eid = [nb, na](automata::StateId q) {
+    return static_cast<automata::StateId>(nb + na + q);
+  };
+  const bool a_eps = a_.AcceptsEmpty();
+  const bool e_eps = e_.AcceptsEmpty();
+
+  out.SetInitial(bid(b_.initial()));
+
+  for (automata::StateId q = 0; q < nb; ++q) {
+    for (size_t s = 0; s < sigma.size(); ++s) {
+      const Symbol sym = static_cast<Symbol>(s);
+      // Stay in the prefix phase (emit nothing).
+      TMS_CHECK(out.AddTransition(bid(q), sym, bid(b_.Next(q, sym)), {}).ok());
+      if (b_.IsAccepting(q)) {
+        // The prefix b ends here; this symbol starts the match (emit it).
+        TMS_CHECK(out.AddTransition(bid(q), sym,
+                                    aid(a_.Next(a_.initial(), sym)), Str{sym})
+                      .ok());
+        // Or the match is ε and this symbol starts the suffix.
+        if (a_eps) {
+          TMS_CHECK(out.AddTransition(bid(q), sym,
+                                      eid(e_.Next(e_.initial(), sym)), {})
+                        .ok());
+        }
+      }
+    }
+    // s = b with u = e = ε.
+    if (b_.IsAccepting(q) && a_eps && e_eps) out.SetAccepting(bid(q), true);
+  }
+  for (automata::StateId q = 0; q < na; ++q) {
+    for (size_t s = 0; s < sigma.size(); ++s) {
+      const Symbol sym = static_cast<Symbol>(s);
+      // Continue the match (emit the symbol).
+      TMS_CHECK(
+          out.AddTransition(aid(q), sym, aid(a_.Next(q, sym)), Str{sym}).ok());
+      if (a_.IsAccepting(q)) {
+        // The match u ends here; this symbol starts the suffix.
+        TMS_CHECK(out.AddTransition(aid(q), sym,
+                                    eid(e_.Next(e_.initial(), sym)), {})
+                      .ok());
+      }
+    }
+    // s = b·u with e = ε.
+    if (a_.IsAccepting(q) && e_eps) out.SetAccepting(aid(q), true);
+  }
+  for (automata::StateId q = 0; q < ne; ++q) {
+    for (size_t s = 0; s < sigma.size(); ++s) {
+      const Symbol sym = static_cast<Symbol>(s);
+      TMS_CHECK(out.AddTransition(eid(q), sym, eid(e_.Next(q, sym)), {}).ok());
+    }
+    if (e_.IsAccepting(q)) out.SetAccepting(eid(q), true);
+  }
+  return out;
+}
+
+}  // namespace tms::projector

@@ -1,0 +1,92 @@
+// Substring projectors (paper Section 5).
+//
+// An s-projector P = [B]A[E] is given by three DFAs over one alphabet: a
+// prefix constraint B, a pattern A, and a suffix constraint E. P transduces
+// s into o (s →[P]→ o) iff o ∈ L(A) and s = b·o·e with b ∈ L(B) and
+// e ∈ L(E) — it extracts a substring matching A whose surrounding context
+// satisfies B and E. A *simple* s-projector [*]A[*] places no constraints.
+//
+// An s-projector is a special case of a transducer (the paper's "easy
+// observation"): ToTransducer() builds the equivalent nondeterministic
+// projector that guesses the b/o/e boundaries.
+//
+// Indexed s-projectors [B]↓A[E] (§5.1) report answers as pairs (o, i)
+// where i is the 1-based start position of the extracted occurrence; see
+// indexed_confidence.h and indexed_enum.h.
+
+#ifndef TMS_PROJECTOR_SPROJECTOR_H_
+#define TMS_PROJECTOR_SPROJECTOR_H_
+
+#include <string_view>
+
+#include "automata/dfa.h"
+#include "common/status.h"
+#include "transducer/transducer.h"
+
+namespace tms::projector {
+
+/// An answer of an indexed s-projector: the extracted string and the
+/// 1-based index of its first symbol within the input.
+struct IndexedAnswer {
+  Str output;
+  int index = 1;
+
+  bool operator==(const IndexedAnswer& other) const {
+    return index == other.index && output == other.output;
+  }
+  bool operator<(const IndexedAnswer& other) const {
+    if (index != other.index) return index < other.index;
+    return output < other.output;
+  }
+};
+
+/// An s-projector [B]A[E]. Immutable after construction.
+class SProjector {
+ public:
+  /// Builds [B]A[E]; the three DFAs must share one alphabet.
+  static StatusOr<SProjector> Create(automata::Dfa b, automata::Dfa a,
+                                     automata::Dfa e);
+
+  /// Builds the simple s-projector [*]A[*].
+  static StatusOr<SProjector> Simple(automata::Dfa a);
+
+  /// Builds [B]A[E] from three regular expressions in name-token syntax
+  /// (see automata/regex.h).
+  static StatusOr<SProjector> FromRegex(const Alphabet& alphabet,
+                                        std::string_view b, std::string_view a,
+                                        std::string_view e);
+
+  /// As FromRegex, but in character syntax (single-character alphabets),
+  /// e.g. FromCharRegex(ab, ".*", "a+", ".*").
+  static StatusOr<SProjector> FromCharRegex(const Alphabet& alphabet,
+                                            std::string_view b,
+                                            std::string_view a,
+                                            std::string_view e);
+
+  const automata::Dfa& prefix() const { return b_; }
+  const automata::Dfa& pattern() const { return a_; }
+  const automata::Dfa& suffix() const { return e_; }
+  const Alphabet& alphabet() const { return a_.alphabet(); }
+
+  /// s →[P]→ o: some admissible split exists.
+  bool Matches(const Str& s, const Str& o) const;
+
+  /// s →[B]↓A[E]→ (o, i): the split at position i is admissible.
+  bool MatchesIndexed(const Str& s, const IndexedAnswer& answer) const;
+
+  /// The equivalent nondeterministic transducer (a projector with
+  /// |Q_B| + |Q_A| + |Q_E| states).
+  transducer::Transducer ToTransducer() const;
+
+ private:
+  SProjector(automata::Dfa b, automata::Dfa a, automata::Dfa e)
+      : b_(std::move(b)), a_(std::move(a)), e_(std::move(e)) {}
+
+  automata::Dfa b_;
+  automata::Dfa a_;
+  automata::Dfa e_;
+};
+
+}  // namespace tms::projector
+
+#endif  // TMS_PROJECTOR_SPROJECTOR_H_

@@ -1,0 +1,126 @@
+#include "projector/sprojector_confidence.h"
+
+#include "automata/ops.h"
+#include "common/check.h"
+
+namespace tms::projector {
+namespace {
+
+template <typename Value, typename InitFn, typename TransFn>
+Value AcceptanceDp(const markov::MarkovSequence& mu, const automata::Dfa& dfa,
+                   Value zero, InitFn init, TransFn trans) {
+  TMS_CHECK(mu.nodes() == dfa.alphabet());
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(dfa.num_states());
+  // cur[(s, q)] = mass of worlds of length t ending in node s with the DFA
+  // in state q.
+  std::vector<Value> cur(sigma * nq, zero);
+  for (size_t s = 0; s < sigma; ++s) {
+    Value p0 = init(static_cast<Symbol>(s));
+    cur[s * nq +
+        static_cast<size_t>(dfa.Next(dfa.initial(), static_cast<Symbol>(s)))] +=
+        p0;
+  }
+  for (int t = 2; t <= n; ++t) {
+    std::vector<Value> next(sigma * nq, zero);
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        const Value& mass = cur[s * nq + q];
+        if (mass == zero) continue;
+        for (size_t s2 = 0; s2 < sigma; ++s2) {
+          Value step = trans(t - 1, static_cast<Symbol>(s),
+                             static_cast<Symbol>(s2));
+          if (step == zero) continue;
+          next[s2 * nq + static_cast<size_t>(
+                             dfa.Next(static_cast<automata::StateId>(q),
+                                      static_cast<Symbol>(s2)))] +=
+              mass * step;
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+  Value total = zero;
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (dfa.IsAccepting(static_cast<automata::StateId>(q))) {
+        total += cur[s * nq + q];
+      }
+    }
+  }
+  return total;
+}
+
+// Builds the determinized concatenation DFA for L(B)·{o}·L(E).
+StatusOr<automata::Dfa> ConcatDfa(const SProjector& p, const Str& o,
+                                  SProjectorConfidenceStats* stats,
+                                  int max_dfa_states) {
+  automata::Nfa concat = automata::NfaConcat(
+      automata::NfaConcat(p.prefix().ToNfa(),
+                          automata::Dfa::ExactString(p.alphabet(), o).ToNfa()),
+      p.suffix().ToNfa());
+  automata::Dfa dfa = automata::Determinize(concat);
+  if (stats != nullptr) stats->concat_dfa_states = dfa.num_states();
+  if (max_dfa_states > 0 && dfa.num_states() > max_dfa_states) {
+    return Status::OutOfRange(
+        "s-projector confidence: concatenation DFA exceeded the state "
+        "budget (" +
+        std::to_string(dfa.num_states()) + " > " +
+        std::to_string(max_dfa_states) +
+        "); the instance exhibits the 2^{|Q_E|} blowup");
+  }
+  return dfa;
+}
+
+}  // namespace
+
+double AcceptanceProbability(const markov::MarkovSequence& mu,
+                             const automata::Dfa& dfa) {
+  return AcceptanceDp<double>(
+      mu, dfa, 0.0, [&](Symbol s) { return mu.Initial(s); },
+      [&](int i, Symbol s, Symbol t) { return mu.Transition(i, s, t); });
+}
+
+numeric::Rational AcceptanceProbabilityExact(const markov::MarkovSequence& mu,
+                                             const automata::Dfa& dfa) {
+  TMS_CHECK(mu.has_exact());
+  return AcceptanceDp<numeric::Rational>(
+      mu, dfa, numeric::Rational(),
+      [&](Symbol s) { return mu.InitialExact(s); },
+      [&](int i, Symbol s, Symbol t) { return mu.TransitionExact(i, s, t); });
+}
+
+StatusOr<double> SProjectorConfidence(const markov::MarkovSequence& mu,
+                                      const SProjector& p, const Str& o,
+                                      SProjectorConfidenceStats* stats,
+                                      int max_dfa_states) {
+  if (!(mu.nodes() == p.alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and s-projector alphabet differ");
+  }
+  if (!p.pattern().Accepts(o)) return 0.0;
+  auto dfa = ConcatDfa(p, o, stats, max_dfa_states);
+  if (!dfa.ok()) return dfa.status();
+  return AcceptanceProbability(mu, *dfa);
+}
+
+StatusOr<numeric::Rational> SProjectorConfidenceExact(
+    const markov::MarkovSequence& mu, const SProjector& p, const Str& o,
+    SProjectorConfidenceStats* stats, int max_dfa_states) {
+  if (!mu.has_exact()) {
+    return Status::FailedPrecondition(
+        "exact confidence requires exact probabilities on the Markov "
+        "sequence");
+  }
+  if (!(mu.nodes() == p.alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and s-projector alphabet differ");
+  }
+  if (!p.pattern().Accepts(o)) return numeric::Rational();
+  auto dfa = ConcatDfa(p, o, stats, max_dfa_states);
+  if (!dfa.ok()) return dfa.status();
+  return AcceptanceProbabilityExact(mu, *dfa);
+}
+
+}  // namespace tms::projector

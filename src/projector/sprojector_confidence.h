@@ -1,0 +1,62 @@
+// Confidence of (non-indexed) s-projector answers — Theorems 5.4 / 5.5.
+//
+// For [B]A[E], conf(o) = Pr(s = b·o·e for SOME admissible split) — the
+// probability of the union over occurrence positions, which is
+// FP^{#P}-complete in general (Theorem 5.4). The union is nevertheless a
+// *regular* event: s participates iff s ∈ L(B)·{o}·L(E). We therefore
+// build the concatenation DFA and integrate the Markov sequence over it:
+//
+//     conf(o) = Pr(S ∈ L(B · o · E)).
+//
+// Determinizing the concatenation costs at most 2^{|Q_E|} states in the
+// E-part but stays polynomial in |Q_B| and |o| (the state-complexity fact
+// from Jirásková the paper invokes) — realizing the Theorem 5.5 bound
+// O(n·|o|²·|Σ|²·|Q_B|²·4^{|Q_E|}); the hardness of Theorem 5.4 manifests
+// as the subset blowup of the E-side.
+//
+// AcceptanceProbability() — Pr(S ∈ L(D)) for a DFA D — is exposed on its
+// own; it is the Lahar-style Boolean automaton query over a Markov
+// sequence and is reused by tests and benches.
+
+#ifndef TMS_PROJECTOR_SPROJECTOR_CONFIDENCE_H_
+#define TMS_PROJECTOR_SPROJECTOR_CONFIDENCE_H_
+
+#include "automata/dfa.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "numeric/rational.h"
+#include "projector/sprojector.h"
+
+namespace tms::projector {
+
+/// Pr(S ∈ L(dfa)): forward DP in O(n·|Σ|²·|Q|).
+double AcceptanceProbability(const markov::MarkovSequence& mu,
+                             const automata::Dfa& dfa);
+
+/// Exact-rational Pr(S ∈ L(dfa)); requires mu.has_exact().
+numeric::Rational AcceptanceProbabilityExact(const markov::MarkovSequence& mu,
+                                             const automata::Dfa& dfa);
+
+/// Statistics of one s-projector confidence computation (exposed for the
+/// Theorem 5.5 bench).
+struct SProjectorConfidenceStats {
+  /// States of the determinized concatenation DFA B·o·E — the quantity
+  /// that exhibits the 2^{|Q_E|} growth.
+  int concat_dfa_states = 0;
+};
+
+/// conf(o) for the s-projector P. `max_dfa_states`, when positive, aborts
+/// with OutOfRange once determinization exceeds that many states.
+StatusOr<double> SProjectorConfidence(const markov::MarkovSequence& mu,
+                                      const SProjector& p, const Str& o,
+                                      SProjectorConfidenceStats* stats = nullptr,
+                                      int max_dfa_states = 0);
+
+/// Exact-rational variant; requires mu.has_exact().
+StatusOr<numeric::Rational> SProjectorConfidenceExact(
+    const markov::MarkovSequence& mu, const SProjector& p, const Str& o,
+    SProjectorConfidenceStats* stats = nullptr, int max_dfa_states = 0);
+
+}  // namespace tms::projector
+
+#endif  // TMS_PROJECTOR_SPROJECTOR_CONFIDENCE_H_

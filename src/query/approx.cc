@@ -1,0 +1,29 @@
+#include "query/approx.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "markov/world_iter.h"
+
+namespace tms::query {
+
+MonteCarloEstimate ConfidenceMonteCarlo(const markov::MarkovSequence& mu,
+                                        const transducer::Transducer& t,
+                                        const Str& o, int64_t samples,
+                                        Rng& rng) {
+  TMS_CHECK(samples > 0);
+  TMS_CHECK(mu.nodes() == t.input_alphabet());
+  MonteCarloEstimate out;
+  out.samples = samples;
+  for (int64_t i = 0; i < samples; ++i) {
+    Str world = markov::SampleWorld(mu, rng);
+    if (t.Transduces(world, o)) ++out.hits;
+  }
+  out.estimate =
+      static_cast<double>(out.hits) / static_cast<double>(samples);
+  out.error_bound95 =
+      std::sqrt(std::log(2.0 / 0.05) / (2.0 * static_cast<double>(samples)));
+  return out;
+}
+
+}  // namespace tms::query

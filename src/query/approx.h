@@ -1,0 +1,44 @@
+// Monte-Carlo confidence estimation.
+//
+// The paper leaves "approximating the confidence of an answer" as future
+// work and notes that an FPRAS for the general case would resolve a
+// long-standing open problem (it would yield an FPRAS for
+// |L(A) ∩ Σ^n|-counting). This module provides the natural unbiased
+// estimator: sample possible worlds from μ and test s →[A^ω]→ o. It is an
+// additive-error scheme (Hoeffding: ε ≤ sqrt(ln(2/δ)/2m)), NOT an FPRAS —
+// relative error on tiny confidences requires prohibitively many samples,
+// which is exactly the gap the paper describes. Useful in practice when
+// answers of interest have non-negligible confidence, and as the baseline
+// for the E4 ablation bench.
+
+#ifndef TMS_QUERY_APPROX_H_
+#define TMS_QUERY_APPROX_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// Result of a Monte-Carlo confidence estimate.
+struct MonteCarloEstimate {
+  double estimate = 0.0;     ///< hit fraction — unbiased for conf(o)
+  int64_t samples = 0;
+  int64_t hits = 0;
+  /// Half-width of the 95% Hoeffding confidence interval.
+  double error_bound95 = 0.0;
+};
+
+/// Estimates Pr(S →[A^ω]→ o) from `samples` sampled worlds.
+/// Time O(samples · n · |Q| · (|o|+1)) (each sample runs the membership
+/// check against the sampled world).
+MonteCarloEstimate ConfidenceMonteCarlo(const markov::MarkovSequence& mu,
+                                        const transducer::Transducer& t,
+                                        const Str& o, int64_t samples,
+                                        Rng& rng);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_APPROX_H_

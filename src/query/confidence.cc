@@ -1,0 +1,296 @@
+#include "query/confidence.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "query/confidence_exact.h"
+
+namespace tms::query {
+namespace {
+
+// Traits that let one DP implementation serve doubles and exact rationals.
+struct DoubleProb {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static bool IsZero(const Value& v) { return v == 0.0; }
+  static Value Initial(const markov::MarkovSequence& mu, Symbol s) {
+    return mu.Initial(s);
+  }
+  static Value Transition(const markov::MarkovSequence& mu, int i, Symbol s,
+                          Symbol t) {
+    return mu.Transition(i, s, t);
+  }
+};
+
+struct RationalProb {
+  using Value = numeric::Rational;
+  static Value Zero() { return numeric::Rational(); }
+  static bool IsZero(const Value& v) { return v.IsZero(); }
+  static Value Initial(const markov::MarkovSequence& mu, Symbol s) {
+    return mu.InitialExact(s);
+  }
+  static Value Transition(const markov::MarkovSequence& mu, int i, Symbol s,
+                          Symbol t) {
+    return mu.TransitionExact(i, s, t);
+  }
+};
+
+// Advances the matched length j by emission w against exact target o.
+// Returns -1 on mismatch or overshoot.
+int AdvanceExact(const Str& o, int j, const Str& w) {
+  for (Symbol c : w) {
+    if (j >= static_cast<int>(o.size()) || o[static_cast<size_t>(j)] != c) {
+      return -1;
+    }
+    ++j;
+  }
+  return j;
+}
+
+Status RequireSameAlphabet(const markov::MarkovSequence& mu,
+                           const transducer::Transducer& t) {
+  if (!(mu.nodes() == t.input_alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and transducer input alphabet differ");
+  }
+  return Status::Ok();
+}
+
+// --- Theorem 4.6 ------------------------------------------------------
+
+template <typename P>
+StatusOr<typename P::Value> DetConfidenceImpl(const markov::MarkovSequence& mu,
+                                              const transducer::Transducer& t,
+                                              const Str& o) {
+  TMS_RETURN_IF_ERROR(RequireSameAlphabet(mu, t));
+  if (!t.IsDeterministic()) {
+    return Status::FailedPrecondition(
+        "ConfidenceDeterministic requires a deterministic transducer");
+  }
+  using Value = typename P::Value;
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(t.num_states());
+  const size_t jdim = o.size() + 1;
+  auto idx = [&](size_t s, size_t q, size_t j) {
+    return (s * nq + q) * jdim + j;
+  };
+
+  std::vector<Value> cur(sigma * nq * jdim, P::Zero());
+  for (size_t s = 0; s < sigma; ++s) {
+    Value p0 = P::Initial(mu, static_cast<Symbol>(s));
+    if (P::IsZero(p0)) continue;
+    const transducer::Edge& e =
+        t.Next(t.initial(), static_cast<Symbol>(s))[0];
+    int j = AdvanceExact(o, 0, e.output);
+    if (j < 0) continue;
+    cur[idx(s, static_cast<size_t>(e.target), static_cast<size_t>(j))] += p0;
+  }
+
+  for (int i = 2; i <= n; ++i) {
+    std::vector<Value> next(sigma * nq * jdim, P::Zero());
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        for (size_t j = 0; j < jdim; ++j) {
+          const Value& mass = cur[idx(s, q, j)];
+          if (P::IsZero(mass)) continue;
+          for (size_t s2 = 0; s2 < sigma; ++s2) {
+            Value step = P::Transition(mu, i - 1, static_cast<Symbol>(s),
+                                       static_cast<Symbol>(s2));
+            if (P::IsZero(step)) continue;
+            const transducer::Edge& e =
+                t.Next(static_cast<automata::StateId>(q),
+                       static_cast<Symbol>(s2))[0];
+            int j2 = AdvanceExact(o, static_cast<int>(j), e.output);
+            if (j2 < 0) continue;
+            next[idx(s2, static_cast<size_t>(e.target),
+                     static_cast<size_t>(j2))] += mass * step;
+          }
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+
+  Value total = P::Zero();
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (t.IsAccepting(static_cast<automata::StateId>(q))) {
+        total += cur[idx(s, q, o.size())];
+      }
+    }
+  }
+  return total;
+}
+
+// --- Theorem 4.8 ------------------------------------------------------
+
+template <typename P>
+StatusOr<typename P::Value> UniformSubsetImpl(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o) {
+  TMS_RETURN_IF_ERROR(RequireSameAlphabet(mu, t));
+  std::optional<int> k = t.UniformEmissionLength();
+  if (!k.has_value()) {
+    return Status::FailedPrecondition(
+        "ConfidenceUniformSubset requires uniform emission");
+  }
+  if (t.num_states() > 63) {
+    return Status::OutOfRange(
+        "ConfidenceUniformSubset supports at most 63 states");
+  }
+  using Value = typename P::Value;
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  // With k-uniform emission every accepting run on an n-world emits k·n
+  // symbols, so a mismatched |o| means confidence 0.
+  if (static_cast<int64_t>(o.size()) !=
+      static_cast<int64_t>(*k) * static_cast<int64_t>(n)) {
+    return P::Zero();
+  }
+
+  // Checks ω(q, s, q') == o[k(i-1) .. k·i) for input position i (1-based).
+  auto emission_matches = [&](const Str& w, int i) {
+    const size_t off = static_cast<size_t>(*k) * static_cast<size_t>(i - 1);
+    for (size_t d = 0; d < w.size(); ++d) {
+      if (o[off + d] != w[d]) return false;
+    }
+    return true;
+  };
+
+  // dp[s] : mask -> probability mass of length-i prefixes ending in node s
+  // whose "consistent-run state set" equals mask (empty masks dropped).
+  std::vector<std::unordered_map<uint64_t, Value>> cur(sigma);
+  for (size_t s = 0; s < sigma; ++s) {
+    Value p0 = P::Initial(mu, static_cast<Symbol>(s));
+    if (P::IsZero(p0)) continue;
+    uint64_t mask = 0;
+    for (const transducer::Edge& e :
+         t.Next(t.initial(), static_cast<Symbol>(s))) {
+      if (emission_matches(e.output, 1)) {
+        mask |= (1ULL << static_cast<uint64_t>(e.target));
+      }
+    }
+    if (mask != 0) cur[s][mask] += p0;
+  }
+
+  for (int i = 2; i <= n; ++i) {
+    std::vector<std::unordered_map<uint64_t, Value>> next(sigma);
+    // successor_mask[q][s2] is loop-invariant per i; compute lazily per
+    // (q, s2) pair outside the mask loop.
+    std::vector<std::vector<uint64_t>> step_mask(
+        static_cast<size_t>(t.num_states()), std::vector<uint64_t>(sigma, 0));
+    for (int q = 0; q < t.num_states(); ++q) {
+      for (size_t s2 = 0; s2 < sigma; ++s2) {
+        uint64_t m = 0;
+        for (const transducer::Edge& e :
+             t.Next(q, static_cast<Symbol>(s2))) {
+          if (emission_matches(e.output, i)) {
+            m |= (1ULL << static_cast<uint64_t>(e.target));
+          }
+        }
+        step_mask[static_cast<size_t>(q)][s2] = m;
+      }
+    }
+    for (size_t s = 0; s < sigma; ++s) {
+      for (const auto& [mask, mass] : cur[s]) {
+        for (size_t s2 = 0; s2 < sigma; ++s2) {
+          Value step = P::Transition(mu, i - 1, static_cast<Symbol>(s),
+                                     static_cast<Symbol>(s2));
+          if (P::IsZero(step)) continue;
+          uint64_t mask2 = 0;
+          uint64_t rest = mask;
+          while (rest != 0) {
+            int q = __builtin_ctzll(rest);
+            rest &= rest - 1;
+            mask2 |= step_mask[static_cast<size_t>(q)][s2];
+          }
+          if (mask2 == 0) continue;
+          next[s2][mask2] += mass * step;
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+
+  uint64_t accept_mask = 0;
+  for (int q = 0; q < t.num_states(); ++q) {
+    if (t.IsAccepting(q)) accept_mask |= (1ULL << static_cast<uint64_t>(q));
+  }
+  Value total = P::Zero();
+  for (size_t s = 0; s < sigma; ++s) {
+    for (const auto& [mask, mass] : cur[s]) {
+      if ((mask & accept_mask) != 0) total += mass;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+StatusOr<double> ConfidenceDeterministic(const markov::MarkovSequence& mu,
+                                         const transducer::Transducer& t,
+                                         const Str& o) {
+  return DetConfidenceImpl<DoubleProb>(mu, t, o);
+}
+
+StatusOr<numeric::Rational> ConfidenceDeterministicExact(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o) {
+  if (!mu.has_exact()) {
+    return Status::FailedPrecondition(
+        "exact confidence requires exact probabilities on the Markov "
+        "sequence");
+  }
+  return DetConfidenceImpl<RationalProb>(mu, t, o);
+}
+
+StatusOr<double> ConfidenceDeterministicUniform(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o) {
+  if (!t.IsDeterministic()) {
+    return Status::FailedPrecondition(
+        "ConfidenceDeterministicUniform requires a deterministic transducer");
+  }
+  if (!t.UniformEmissionLength().has_value()) {
+    return Status::FailedPrecondition(
+        "ConfidenceDeterministicUniform requires uniform emission");
+  }
+  // A deterministic transducer is a special case of the subset DP (all
+  // masks are singletons), which already has no output dimension.
+  return UniformSubsetImpl<DoubleProb>(mu, t, o);
+}
+
+StatusOr<double> ConfidenceUniformSubset(const markov::MarkovSequence& mu,
+                                         const transducer::Transducer& t,
+                                         const Str& o) {
+  return UniformSubsetImpl<DoubleProb>(mu, t, o);
+}
+
+StatusOr<numeric::Rational> ConfidenceUniformSubsetExact(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o) {
+  if (!mu.has_exact()) {
+    return Status::FailedPrecondition(
+        "exact confidence requires exact probabilities on the Markov "
+        "sequence");
+  }
+  return UniformSubsetImpl<RationalProb>(mu, t, o);
+}
+
+StatusOr<double> Confidence(const markov::MarkovSequence& mu,
+                            const transducer::Transducer& t, const Str& o) {
+  if (t.IsDeterministic()) {
+    if (t.UniformEmissionLength().has_value()) {
+      return ConfidenceDeterministicUniform(mu, t, o);
+    }
+    return ConfidenceDeterministic(mu, t, o);
+  }
+  if (t.UniformEmissionLength().has_value() && t.num_states() <= 63) {
+    return ConfidenceUniformSubset(mu, t, o);
+  }
+  return ConfidenceExact(mu, t, o);
+}
+
+}  // namespace tms::query

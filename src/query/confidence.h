@@ -1,0 +1,74 @@
+// Confidence computation — Pr(S →[A^ω]→ o) (paper §4.3).
+//
+// Three polynomial algorithms, matching the paper's upper bounds:
+//
+//  * ConfidenceDeterministic       Theorem 4.6, O(|o|·n·|Σ|²·|Q|²):
+//      forward DP over (node, state, matched-output-length); valid for any
+//      deterministic transducer (each world has a unique run, so
+//      aggregating world mass by DP cell cannot double count).
+//  * ConfidenceDeterministicUniform Theorem 4.6 fast path,
+//      O(k·n·|Σ|²·|Q|²): with k-uniform emission the matched length is
+//      forced to k·i, so the output dimension disappears.
+//  * ConfidenceUniformSubset       Theorem 4.8, O(n·k·|Σ|²·4^{|Q|}):
+//      nondeterministic but k-uniform; DP over (node, set-of-states), the
+//      set being all states reachable by runs that emitted exactly the
+//      right output prefix — a subset construction interleaved with the
+//      probability DP. A world counts iff its final set meets F.
+//
+// For nondeterministic non-uniform transducers confidence is
+// FP^{#P}-complete (Prop. 4.7 / Thm 4.9); see confidence_exact.h for the
+// exact exponential algorithm, and Confidence() below for the dispatching
+// facade.
+//
+// Exact-rational variants (ground truth for tests; require
+// mu.has_exact()) are provided alongside the double versions.
+
+#ifndef TMS_QUERY_CONFIDENCE_H_
+#define TMS_QUERY_CONFIDENCE_H_
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "numeric/rational.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// Theorem 4.6: confidence for a deterministic transducer.
+/// Fails if t is not deterministic.
+StatusOr<double> ConfidenceDeterministic(const markov::MarkovSequence& mu,
+                                         const transducer::Transducer& t,
+                                         const Str& o);
+
+/// Exact-rational version of ConfidenceDeterministic.
+StatusOr<numeric::Rational> ConfidenceDeterministicExact(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o);
+
+/// Theorem 4.6 (fast path): confidence for a deterministic transducer with
+/// k-uniform emission. Fails if t is not deterministic or not uniform.
+StatusOr<double> ConfidenceDeterministicUniform(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o);
+
+/// Theorem 4.8: confidence for a (possibly nondeterministic) transducer
+/// with k-uniform emission, via subset construction. Fails if t is not
+/// uniform or has more than 63 states (state sets are bitmasks).
+StatusOr<double> ConfidenceUniformSubset(const markov::MarkovSequence& mu,
+                                         const transducer::Transducer& t,
+                                         const Str& o);
+
+/// Exact-rational version of ConfidenceUniformSubset.
+StatusOr<numeric::Rational> ConfidenceUniformSubsetExact(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o);
+
+/// Dispatching facade: picks the best applicable algorithm —
+/// deterministic → Theorem 4.6 (uniform fast path when possible),
+/// nondeterministic uniform → Theorem 4.8, otherwise the exact exponential
+/// algorithm of confidence_exact.h.
+StatusOr<double> Confidence(const markov::MarkovSequence& mu,
+                            const transducer::Transducer& t, const Str& o);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_CONFIDENCE_H_

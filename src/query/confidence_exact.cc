@@ -1,0 +1,187 @@
+#include "query/confidence_exact.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tms::query {
+namespace {
+
+// A pair-set is a sorted vector of packed (state, j) pairs.
+using PairSet = std::vector<uint32_t>;
+
+struct PairSetHash {
+  size_t operator()(const PairSet& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x + 0x9e3779b97f4a7c15ULL;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct DoubleProb {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static bool IsZero(const Value& v) { return v == 0.0; }
+  static Value Initial(const markov::MarkovSequence& mu, Symbol s) {
+    return mu.Initial(s);
+  }
+  static Value Transition(const markov::MarkovSequence& mu, int i, Symbol s,
+                          Symbol t) {
+    return mu.Transition(i, s, t);
+  }
+};
+
+struct RationalProb {
+  using Value = numeric::Rational;
+  static Value Zero() { return numeric::Rational(); }
+  static bool IsZero(const Value& v) { return v.IsZero(); }
+  static Value Initial(const markov::MarkovSequence& mu, Symbol s) {
+    return mu.InitialExact(s);
+  }
+  static Value Transition(const markov::MarkovSequence& mu, int i, Symbol s,
+                          Symbol t) {
+    return mu.TransitionExact(i, s, t);
+  }
+};
+
+int AdvanceExact(const Str& o, int j, const Str& w) {
+  for (Symbol c : w) {
+    if (j >= static_cast<int>(o.size()) || o[static_cast<size_t>(j)] != c) {
+      return -1;
+    }
+    ++j;
+  }
+  return j;
+}
+
+template <typename P>
+StatusOr<typename P::Value> ExactImpl(const markov::MarkovSequence& mu,
+                                      const transducer::Transducer& t,
+                                      const Str& o,
+                                      ExactConfidenceStats* stats,
+                                      int64_t max_layer_width) {
+  if (!(mu.nodes() == t.input_alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and transducer input alphabet differ");
+  }
+  using Value = typename P::Value;
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const uint32_t jdim = static_cast<uint32_t>(o.size()) + 1;
+  auto pack = [jdim](automata::StateId q, int j) {
+    return static_cast<uint32_t>(q) * jdim + static_cast<uint32_t>(j);
+  };
+
+  ExactConfidenceStats local_stats;
+
+  // Successor pair-set of a single (q, j) on input symbol s2.
+  auto step_pair = [&](uint32_t packed, Symbol s2, PairSet* out) {
+    automata::StateId q = static_cast<automata::StateId>(packed / jdim);
+    int j = static_cast<int>(packed % jdim);
+    for (const transducer::Edge& e : t.Next(q, s2)) {
+      int j2 = AdvanceExact(o, j, e.output);
+      if (j2 >= 0) out->push_back(pack(e.target, j2));
+    }
+  };
+
+  auto canonicalize = [](PairSet* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+
+  // cur[s] : pair-set -> probability mass.
+  std::vector<std::unordered_map<PairSet, Value, PairSetHash>> cur(sigma);
+  for (size_t s = 0; s < sigma; ++s) {
+    Value p0 = P::Initial(mu, static_cast<Symbol>(s));
+    if (P::IsZero(p0)) continue;
+    PairSet set;
+    step_pair(pack(t.initial(), 0), static_cast<Symbol>(s), &set);
+    canonicalize(&set);
+    if (!set.empty()) cur[s][std::move(set)] += p0;
+  }
+
+  auto account_layer = [&](const auto& layer) -> Status {
+    int64_t width = 0;
+    for (const auto& by_node : layer) {
+      width += static_cast<int64_t>(by_node.size());
+    }
+    local_stats.max_layer_width =
+        std::max(local_stats.max_layer_width, width);
+    local_stats.total_entries += width;
+    if (max_layer_width > 0 && width > max_layer_width) {
+      return Status::OutOfRange(
+          "ConfidenceExact exceeded the layer-width budget (" +
+          std::to_string(width) + " > " + std::to_string(max_layer_width) +
+          "); the instance exhibits the FP^#P blowup");
+    }
+    return Status::Ok();
+  };
+  TMS_RETURN_IF_ERROR(account_layer(cur));
+
+  for (int i = 2; i <= n; ++i) {
+    std::vector<std::unordered_map<PairSet, Value, PairSetHash>> next(sigma);
+    for (size_t s = 0; s < sigma; ++s) {
+      for (const auto& [set, mass] : cur[s]) {
+        for (size_t s2 = 0; s2 < sigma; ++s2) {
+          Value step = P::Transition(mu, i - 1, static_cast<Symbol>(s),
+                                     static_cast<Symbol>(s2));
+          if (P::IsZero(step)) continue;
+          PairSet set2;
+          for (uint32_t packed : set) {
+            step_pair(packed, static_cast<Symbol>(s2), &set2);
+          }
+          canonicalize(&set2);
+          if (set2.empty()) continue;
+          next[s2][std::move(set2)] += mass * step;
+        }
+      }
+    }
+    cur = std::move(next);
+    TMS_RETURN_IF_ERROR(account_layer(cur));
+  }
+
+  Value total = P::Zero();
+  const uint32_t jfinal = static_cast<uint32_t>(o.size());
+  for (size_t s = 0; s < sigma; ++s) {
+    for (const auto& [set, mass] : cur[s]) {
+      bool accepted = false;
+      for (uint32_t packed : set) {
+        if (packed % jdim == jfinal &&
+            t.IsAccepting(static_cast<automata::StateId>(packed / jdim))) {
+          accepted = true;
+          break;
+        }
+      }
+      if (accepted) total += mass;
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return total;
+}
+
+}  // namespace
+
+StatusOr<double> ConfidenceExact(const markov::MarkovSequence& mu,
+                                 const transducer::Transducer& t, const Str& o,
+                                 ExactConfidenceStats* stats,
+                                 int64_t max_layer_width) {
+  return ExactImpl<DoubleProb>(mu, t, o, stats, max_layer_width);
+}
+
+StatusOr<numeric::Rational> ConfidenceExactRational(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o, ExactConfidenceStats* stats, int64_t max_layer_width) {
+  if (!mu.has_exact()) {
+    return Status::FailedPrecondition(
+        "exact confidence requires exact probabilities on the Markov "
+        "sequence");
+  }
+  return ExactImpl<RationalProb>(mu, t, o, stats, max_layer_width);
+}
+
+}  // namespace tms::query

@@ -1,0 +1,223 @@
+#include "query/emax.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "numeric/log_prob.h"
+
+namespace tms::query {
+namespace {
+
+using numeric::LogProb;
+
+constexpr int32_t kNoBack = -1;
+
+// Looks up the (unique) emission of the transition (q, s, q2).
+const Str& EmissionOf(const transducer::Transducer& t, automata::StateId q,
+                      Symbol s, automata::StateId q2) {
+  for (const transducer::Edge& e : t.Next(q, s)) {
+    if (e.target == q2) return e.output;
+  }
+  TMS_CHECK(false);  // transition must exist when called from backtracking
+  static const Str kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+std::optional<Evidence> TopAnswerByEmax(const markov::MarkovSequence& mu,
+                                        const transducer::Transducer& t) {
+  TMS_CHECK(mu.nodes() == t.input_alphabet());
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(t.num_states());
+  auto idx = [&](size_t s, size_t q) { return s * nq + q; };
+
+  // best[i][(s,q)] = max log-prob of a world prefix of length i ending in
+  // node s with some run reaching q; back[i][(s,q)] = packed (s', q').
+  std::vector<std::vector<LogProb>> best(
+      static_cast<size_t>(n) + 1,
+      std::vector<LogProb>(sigma * nq, LogProb::Zero()));
+  std::vector<std::vector<int32_t>> back(
+      static_cast<size_t>(n) + 1, std::vector<int32_t>(sigma * nq, kNoBack));
+
+  for (size_t s = 0; s < sigma; ++s) {
+    LogProb p0 = LogProb::FromLinear(mu.Initial(static_cast<Symbol>(s)));
+    if (p0.IsZero()) continue;
+    for (const transducer::Edge& e :
+         t.Next(t.initial(), static_cast<Symbol>(s))) {
+      size_t cell = idx(s, static_cast<size_t>(e.target));
+      if (p0 > best[1][cell]) best[1][cell] = p0;
+    }
+  }
+  for (int i = 2; i <= n; ++i) {
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        LogProb mass = best[static_cast<size_t>(i - 1)][idx(s, q)];
+        if (mass.IsZero()) continue;
+        for (size_t s2 = 0; s2 < sigma; ++s2) {
+          LogProb step = LogProb::FromLinear(mu.Transition(
+              i - 1, static_cast<Symbol>(s), static_cast<Symbol>(s2)));
+          if (step.IsZero()) continue;
+          LogProb cand = mass * step;
+          for (const transducer::Edge& e :
+               t.Next(static_cast<automata::StateId>(q),
+                      static_cast<Symbol>(s2))) {
+            size_t cell = idx(s2, static_cast<size_t>(e.target));
+            if (cand > best[static_cast<size_t>(i)][cell]) {
+              best[static_cast<size_t>(i)][cell] = cand;
+              back[static_cast<size_t>(i)][cell] =
+                  static_cast<int32_t>(idx(s, q));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pick the best accepting cell in the last layer.
+  LogProb best_val = LogProb::Zero();
+  int32_t best_cell = kNoBack;
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (!t.IsAccepting(static_cast<automata::StateId>(q))) continue;
+      if (best[static_cast<size_t>(n)][idx(s, q)] > best_val) {
+        best_val = best[static_cast<size_t>(n)][idx(s, q)];
+        best_cell = static_cast<int32_t>(idx(s, q));
+      }
+    }
+  }
+  if (best_cell == kNoBack) return std::nullopt;
+
+  // Backtrack the (node, state) chain.
+  std::vector<size_t> cells(static_cast<size_t>(n) + 1);
+  cells[static_cast<size_t>(n)] = static_cast<size_t>(best_cell);
+  for (int i = n; i >= 2; --i) {
+    int32_t prev = back[static_cast<size_t>(i)][cells[static_cast<size_t>(i)]];
+    TMS_CHECK(prev != kNoBack);
+    cells[static_cast<size_t>(i - 1)] = static_cast<size_t>(prev);
+  }
+  Evidence out;
+  out.world.resize(static_cast<size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    out.world[static_cast<size_t>(i - 1)] =
+        static_cast<Symbol>(cells[static_cast<size_t>(i)] / nq);
+  }
+  // Reconstruct the output along the run.
+  automata::StateId prev_q = t.initial();
+  for (int i = 1; i <= n; ++i) {
+    automata::StateId q =
+        static_cast<automata::StateId>(cells[static_cast<size_t>(i)] % nq);
+    const Str& w =
+        EmissionOf(t, prev_q, out.world[static_cast<size_t>(i - 1)], q);
+    out.output.insert(out.output.end(), w.begin(), w.end());
+    prev_q = q;
+  }
+  out.prob = best_val.ToLinear();
+  return out;
+}
+
+std::optional<Evidence> EmaxOfAnswer(const markov::MarkovSequence& mu,
+                                     const transducer::Transducer& t,
+                                     const Str& o) {
+  TMS_CHECK(mu.nodes() == t.input_alphabet());
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(t.num_states());
+  const size_t jdim = o.size() + 1;
+  auto idx = [&](size_t s, size_t q, size_t j) {
+    return (s * nq + q) * jdim + j;
+  };
+  auto advance = [&o](int j, const Str& w) -> int {
+    for (Symbol c : w) {
+      if (j >= static_cast<int>(o.size()) || o[static_cast<size_t>(j)] != c) {
+        return -1;
+      }
+      ++j;
+    }
+    return j;
+  };
+
+  std::vector<std::vector<LogProb>> best(
+      static_cast<size_t>(n) + 1,
+      std::vector<LogProb>(sigma * nq * jdim, LogProb::Zero()));
+  std::vector<std::vector<int32_t>> back(
+      static_cast<size_t>(n) + 1,
+      std::vector<int32_t>(sigma * nq * jdim, kNoBack));
+
+  for (size_t s = 0; s < sigma; ++s) {
+    LogProb p0 = LogProb::FromLinear(mu.Initial(static_cast<Symbol>(s)));
+    if (p0.IsZero()) continue;
+    for (const transducer::Edge& e :
+         t.Next(t.initial(), static_cast<Symbol>(s))) {
+      int j = advance(0, e.output);
+      if (j < 0) continue;
+      size_t cell = idx(s, static_cast<size_t>(e.target),
+                        static_cast<size_t>(j));
+      if (p0 > best[1][cell]) best[1][cell] = p0;
+    }
+  }
+  for (int i = 2; i <= n; ++i) {
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        for (size_t j = 0; j < jdim; ++j) {
+          LogProb mass = best[static_cast<size_t>(i - 1)][idx(s, q, j)];
+          if (mass.IsZero()) continue;
+          for (size_t s2 = 0; s2 < sigma; ++s2) {
+            LogProb step = LogProb::FromLinear(mu.Transition(
+                i - 1, static_cast<Symbol>(s), static_cast<Symbol>(s2)));
+            if (step.IsZero()) continue;
+            LogProb cand = mass * step;
+            for (const transducer::Edge& e :
+                 t.Next(static_cast<automata::StateId>(q),
+                        static_cast<Symbol>(s2))) {
+              int j2 = advance(static_cast<int>(j), e.output);
+              if (j2 < 0) continue;
+              size_t cell = idx(s2, static_cast<size_t>(e.target),
+                                static_cast<size_t>(j2));
+              if (cand > best[static_cast<size_t>(i)][cell]) {
+                best[static_cast<size_t>(i)][cell] = cand;
+                back[static_cast<size_t>(i)][cell] =
+                    static_cast<int32_t>(idx(s, q, j));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  LogProb best_val = LogProb::Zero();
+  int32_t best_cell = kNoBack;
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (!t.IsAccepting(static_cast<automata::StateId>(q))) continue;
+      size_t cell = idx(s, q, o.size());
+      if (best[static_cast<size_t>(n)][cell] > best_val) {
+        best_val = best[static_cast<size_t>(n)][cell];
+        best_cell = static_cast<int32_t>(cell);
+      }
+    }
+  }
+  if (best_cell == kNoBack) return std::nullopt;
+
+  std::vector<size_t> cells(static_cast<size_t>(n) + 1);
+  cells[static_cast<size_t>(n)] = static_cast<size_t>(best_cell);
+  for (int i = n; i >= 2; --i) {
+    int32_t prev = back[static_cast<size_t>(i)][cells[static_cast<size_t>(i)]];
+    TMS_CHECK(prev != kNoBack);
+    cells[static_cast<size_t>(i - 1)] = static_cast<size_t>(prev);
+  }
+  Evidence out;
+  out.world.resize(static_cast<size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    out.world[static_cast<size_t>(i - 1)] =
+        static_cast<Symbol>(cells[static_cast<size_t>(i)] / (nq * jdim));
+  }
+  out.output = o;
+  out.prob = best_val.ToLinear();
+  return out;
+}
+
+}  // namespace tms::query

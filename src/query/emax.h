@@ -1,0 +1,44 @@
+// E_max — the best-evidence score (paper §4.2).
+//
+// For an answer o, E_max(o) is the maximal probability of a possible world
+// s with s →[A^ω]→ o (the answer's best *evidence*). The paper's heuristic
+// ranked enumeration (Theorem 4.3) orders answers by decreasing E_max; as
+// an approximation of decreasing confidence its worst-case ratio is
+// |Σ|^n — and Theorem 4.4 shows that is essentially optimal.
+//
+// Both computations are Viterbi-style max-product dynamic programs run in
+// the log domain (underflow-safe for long sequences).
+
+#ifndef TMS_QUERY_EMAX_H_
+#define TMS_QUERY_EMAX_H_
+
+#include <optional>
+
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// A witness world together with the answer it transduces into.
+struct Evidence {
+  Str world;    ///< s ∈ Σ^n with p(s) = prob
+  Str output;   ///< o with s →[A^ω]→ o
+  double prob;  ///< p(s) — the E_max value it certifies
+};
+
+/// An answer maximizing E_max over all of A^ω(μ): the most probable world
+/// accepted by A, together with the output of its best accepting run.
+/// Returns nullopt iff A^ω(μ) = ∅. Time O(n · |Σ|² · |Q|²).
+std::optional<Evidence> TopAnswerByEmax(const markov::MarkovSequence& mu,
+                                        const transducer::Transducer& t);
+
+/// E_max(o) with its witness world, or nullopt if o ∉ A^ω(μ)
+/// (Example 4.2 computes E_max(12) = 0.3969 this way).
+/// Time O(n · |Σ|² · |Q|² · (|o|+1)).
+std::optional<Evidence> EmaxOfAnswer(const markov::MarkovSequence& mu,
+                                     const transducer::Transducer& t,
+                                     const Str& o);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_EMAX_H_

@@ -1,0 +1,36 @@
+#include "query/emax_enum.h"
+
+#include "query/emax.h"
+#include "transducer/compose.h"
+
+namespace tms::query {
+
+EmaxEnumerator::EmaxEnumerator(const markov::MarkovSequence& mu,
+                               const transducer::Transducer& t)
+    : lawler_([&mu, &t](const ranking::OutputConstraint& c)
+                  -> std::optional<ranking::ScoredAnswer> {
+        transducer::Transducer composed =
+            transducer::ComposeWithOutputConstraint(t, c);
+        auto best = TopAnswerByEmax(mu, composed);
+        if (!best.has_value()) return std::nullopt;
+        return ranking::ScoredAnswer{std::move(best->output), best->prob};
+      }) {}
+
+std::optional<ranking::ScoredAnswer> EmaxEnumerator::Next() {
+  return lawler_.Next();
+}
+
+std::vector<ranking::ScoredAnswer> TopKByEmax(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    int k) {
+  EmaxEnumerator it(mu, t);
+  std::vector<ranking::ScoredAnswer> out;
+  for (int i = 0; i < k; ++i) {
+    auto answer = it.Next();
+    if (!answer.has_value()) break;
+    out.push_back(std::move(*answer));
+  }
+  return out;
+}
+
+}  // namespace tms::query

@@ -1,0 +1,42 @@
+// Ranked enumeration by decreasing E_max — Theorem 4.3.
+//
+// Lawler–Murty over output-prefix constraints: each subspace is solved by
+// composing the transducer with the constraint DFA
+// (transducer/compose.h) and running the Viterbi of query/emax.h on the
+// composed machine. Emits answers in exactly nonincreasing E_max with
+// polynomial delay; as an ordering by *confidence* this is a
+// |Σ|^n-approximation (the paper shows no sub-exponential ratio is
+// tractable, Theorem 4.4 — so this heuristic is worst-case optimal).
+
+#ifndef TMS_QUERY_EMAX_ENUM_H_
+#define TMS_QUERY_EMAX_ENUM_H_
+
+#include <optional>
+
+#include "markov/markov_sequence.h"
+#include "ranking/lawler.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// Streams A^ω(μ) in nonincreasing E_max. The Markov sequence and the
+/// transducer must outlive the enumerator.
+class EmaxEnumerator {
+ public:
+  EmaxEnumerator(const markov::MarkovSequence& mu,
+                 const transducer::Transducer& t);
+
+  /// The next answer (score = its E_max), or nullopt when exhausted.
+  std::optional<ranking::ScoredAnswer> Next();
+
+ private:
+  ranking::LawlerEnumerator lawler_;
+};
+
+/// Convenience: the k answers with the highest E_max.
+std::vector<ranking::ScoredAnswer> TopKByEmax(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t, int k);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_EMAX_ENUM_H_

@@ -1,0 +1,70 @@
+#include "query/evaluator.h"
+
+#include "query/confidence.h"
+#include "query/emax.h"
+#include "query/emax_enum.h"
+#include "query/unranked_enum.h"
+
+namespace tms::query {
+
+StatusOr<Evaluator> Evaluator::Create(const markov::MarkovSequence* mu,
+                                      const transducer::Transducer* t) {
+  if (mu == nullptr || t == nullptr) {
+    return Status::InvalidArgument("Evaluator requires non-null mu and t");
+  }
+  if (!(mu->nodes() == t->input_alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and transducer input alphabet differ");
+  }
+  TMS_RETURN_IF_ERROR(t->Validate());
+  return Evaluator(mu, t);
+}
+
+StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
+                                                  bool with_confidence) const {
+  std::vector<AnswerInfo> out;
+  EmaxEnumerator it(*mu_, *t_);
+  for (int i = 0; i < k; ++i) {
+    auto answer = it.Next();
+    if (!answer.has_value()) break;
+    AnswerInfo info;
+    info.output = std::move(answer->output);
+    info.emax = answer->score;
+    if (with_confidence) {
+      auto conf = query::Confidence(*mu_, *t_, info.output);
+      if (!conf.ok()) return conf.status();
+      info.confidence = *conf;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+StatusOr<std::vector<AnswerInfo>> Evaluator::EvaluateTwoStep(
+    bool with_confidence) const {
+  std::vector<AnswerInfo> out;
+  UnrankedEnumerator it(*mu_, *t_);
+  while (auto answer = it.Next()) {
+    AnswerInfo info;
+    info.output = std::move(*answer);
+    if (with_confidence) {
+      auto conf = query::Confidence(*mu_, *t_, info.output);
+      if (!conf.ok()) return conf.status();
+      info.confidence = *conf;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+StatusOr<double> Evaluator::Confidence(const Str& o) const {
+  return query::Confidence(*mu_, *t_, o);
+}
+
+std::optional<double> Evaluator::Emax(const Str& o) const {
+  auto ev = EmaxOfAnswer(*mu_, *t_, o);
+  if (!ev.has_value()) return std::nullopt;
+  return ev->prob;
+}
+
+}  // namespace tms::query

@@ -1,0 +1,68 @@
+// Query-evaluation facade.
+//
+// Binds a Markov sequence and a transducer and exposes the paper's
+// evaluation modes behind one interface:
+//   * ranked evaluation by E_max (Theorem 4.3) with confidences attached,
+//   * unranked enumeration (Theorem 4.1),
+//   * the naive two-step strategy the paper argues against (§1, §3.2):
+//     enumerate every answer, then compute each confidence — the baseline
+//     bench_twostep_vs_ranked measures against ranked top-k.
+
+#ifndef TMS_QUERY_EVALUATOR_H_
+#define TMS_QUERY_EVALUATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// One evaluated answer.
+struct AnswerInfo {
+  Str output;
+  double emax = 0.0;        ///< best-evidence score (0 when not computed)
+  double confidence = 0.0;  ///< Pr(S →[A^ω]→ o) (0 when not computed)
+};
+
+/// Facade over the §4 algorithms for one (μ, A^ω) pair.
+class Evaluator {
+ public:
+  /// Fails if the node set of `mu` differs from the input alphabet of `t`.
+  static StatusOr<Evaluator> Create(const markov::MarkovSequence* mu,
+                                    const transducer::Transducer* t);
+
+  /// Top-k answers by decreasing E_max; confidences attached when
+  /// `with_confidence` (using the best applicable algorithm per
+  /// Confidence()).
+  StatusOr<std::vector<AnswerInfo>> TopK(int k,
+                                         bool with_confidence = true) const;
+
+  /// All answers, unranked (lexicographic), optionally with confidence.
+  /// This is the naive two-step evaluation; it may produce exponentially
+  /// many answers.
+  StatusOr<std::vector<AnswerInfo>> EvaluateTwoStep(
+      bool with_confidence = true) const;
+
+  /// Confidence of one answer (dispatching facade).
+  StatusOr<double> Confidence(const Str& o) const;
+
+  /// E_max of one answer, or nullopt if o is not an answer.
+  std::optional<double> Emax(const Str& o) const;
+
+  const markov::MarkovSequence& mu() const { return *mu_; }
+  const transducer::Transducer& transducer() const { return *t_; }
+
+ private:
+  Evaluator(const markov::MarkovSequence* mu, const transducer::Transducer* t)
+      : mu_(mu), t_(t) {}
+
+  const markov::MarkovSequence* mu_;
+  const transducer::Transducer* t_;
+};
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_EVALUATOR_H_

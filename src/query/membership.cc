@@ -1,0 +1,108 @@
+#include "query/membership.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace tms::query {
+namespace {
+
+enum class MatchMode { kExact, kPrefix };
+
+// Advances the matched-output position j by emission `w`.
+// kExact: every emitted symbol must match target[j]; overshoot fails.
+// kPrefix: symbols must match while j < |target|; afterwards anything goes
+// (j saturates at |target|).
+// Returns the new j, or -1 on mismatch.
+int AdvanceMatch(const Str& target, int j, const Str& w, MatchMode mode) {
+  for (Symbol c : w) {
+    if (j < static_cast<int>(target.size())) {
+      if (target[static_cast<size_t>(j)] != c) return -1;
+      ++j;
+    } else if (mode == MatchMode::kExact) {
+      return -1;  // emitted past the end of o
+    }
+  }
+  return j;
+}
+
+// Reachability DP over layers i = 1..n of triples (node, state, j).
+bool ReachDp(const markov::MarkovSequence& mu, const transducer::Transducer& t,
+             const Str& target, MatchMode mode) {
+  TMS_CHECK(mu.nodes() == t.input_alphabet());
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(t.num_states());
+  const size_t jdim = target.size() + 1;
+  auto idx = [&](size_t s, size_t q, size_t j) {
+    return (s * nq + q) * jdim + j;
+  };
+
+  std::vector<char> cur(sigma * nq * jdim, 0);
+  for (size_t s = 0; s < sigma; ++s) {
+    if (mu.Initial(static_cast<Symbol>(s)) <= 0) continue;
+    for (const transducer::Edge& e :
+         t.Next(t.initial(), static_cast<Symbol>(s))) {
+      int j = AdvanceMatch(target, 0, e.output, mode);
+      if (j < 0) continue;
+      cur[idx(s, static_cast<size_t>(e.target), static_cast<size_t>(j))] = 1;
+    }
+  }
+
+  for (int i = 2; i <= n; ++i) {
+    std::vector<char> next(sigma * nq * jdim, 0);
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t q = 0; q < nq; ++q) {
+        for (size_t j = 0; j < jdim; ++j) {
+          if (!cur[idx(s, q, j)]) continue;
+          for (size_t s2 = 0; s2 < sigma; ++s2) {
+            if (mu.Transition(i - 1, static_cast<Symbol>(s),
+                              static_cast<Symbol>(s2)) <= 0) {
+              continue;
+            }
+            for (const transducer::Edge& e :
+                 t.Next(static_cast<automata::StateId>(q),
+                        static_cast<Symbol>(s2))) {
+              int j2 = AdvanceMatch(target, static_cast<int>(j), e.output,
+                                    mode);
+              if (j2 < 0) continue;
+              next[idx(s2, static_cast<size_t>(e.target),
+                       static_cast<size_t>(j2))] = 1;
+            }
+          }
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+
+  const size_t jfinal = target.size();
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (cur[idx(s, q, jfinal)] &&
+          t.IsAccepting(static_cast<automata::StateId>(q))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPossibleAnswer(const markov::MarkovSequence& mu,
+                      const transducer::Transducer& t, const Str& o) {
+  return ReachDp(mu, t, o, MatchMode::kExact);
+}
+
+bool HasAnyAnswer(const markov::MarkovSequence& mu,
+                  const transducer::Transducer& t) {
+  return ReachDp(mu, t, {}, MatchMode::kPrefix);
+}
+
+bool HasAnswerWithPrefix(const markov::MarkovSequence& mu,
+                         const transducer::Transducer& t, const Str& prefix) {
+  return ReachDp(mu, t, prefix, MatchMode::kPrefix);
+}
+
+}  // namespace tms::query

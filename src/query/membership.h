@@ -1,0 +1,34 @@
+// Possible-answer tests (reachability dynamic programs).
+//
+// The paper (§3.2) notes that "whether a string o ∈ Δ* is an answer (i.e.,
+// has a nonzero probability) can be decided efficiently"; these DPs are
+// that decision procedure, plus the primitives the Theorem 4.1 flashlight
+// enumerator needs: nonemptiness (Pr(S ∈ L(A)) > 0) and the prefix test
+// "does some answer extend w".
+
+#ifndef TMS_QUERY_MEMBERSHIP_H_
+#define TMS_QUERY_MEMBERSHIP_H_
+
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// True iff Pr(S →[A^ω]→ o) > 0, i.e. o ∈ A^ω(μ).
+/// Time O(n · |Σ|² · |Q|² · (|o|+1)).
+bool IsPossibleAnswer(const markov::MarkovSequence& mu,
+                      const transducer::Transducer& t, const Str& o);
+
+/// True iff A^ω(μ) ≠ ∅, i.e. Pr(S ∈ L(A)) > 0.
+/// Time O(n · |Σ|² · |Q|²).
+bool HasAnyAnswer(const markov::MarkovSequence& mu,
+                  const transducer::Transducer& t);
+
+/// True iff some answer o ∈ A^ω(μ) has `prefix` as a (not necessarily
+/// proper) prefix. Time O(n · |Σ|² · |Q|² · (|prefix|+1)).
+bool HasAnswerWithPrefix(const markov::MarkovSequence& mu,
+                         const transducer::Transducer& t, const Str& prefix);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_MEMBERSHIP_H_

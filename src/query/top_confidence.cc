@@ -1,0 +1,57 @@
+#include "query/top_confidence.h"
+
+#include <limits>
+
+#include "query/confidence.h"
+#include "query/emax_enum.h"
+
+namespace tms::query {
+
+StatusOr<TopConfidenceResult> TopAnswerByConfidence(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    int64_t max_candidates) {
+  if (!(mu.nodes() == t.input_alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and transducer input alphabet differ");
+  }
+  // W = |support(μ)|, saturated into double space; conf(o) ≤ W · E_max(o).
+  double support = mu.CountSupportWorlds().ToDouble();
+  if (!(support > 0)) {
+    support = std::numeric_limits<double>::infinity();
+  }
+
+  EmaxEnumerator stream(mu, t);
+  TopConfidenceResult result;
+  bool any = false;
+  while (true) {
+    if (max_candidates > 0 && result.answers_explored >= max_candidates) {
+      break;  // budget exhausted; result is best-so-far, uncertified
+    }
+    auto answer = stream.Next();
+    if (!answer.has_value()) {
+      // Stream exhausted: best-so-far is the true optimum.
+      result.certified_optimal = any;
+      break;
+    }
+    ++result.answers_explored;
+    any = true;
+    auto conf = Confidence(mu, t, answer->output);
+    if (!conf.ok()) return conf.status();
+    if (*conf > result.confidence) {
+      result.confidence = *conf;
+      result.output = std::move(answer->output);
+    }
+    // Every remaining answer o' has E_max(o') ≤ answer->score, hence
+    // conf(o') ≤ W · answer->score.
+    if (result.confidence >= support * answer->score) {
+      result.certified_optimal = true;
+      break;
+    }
+  }
+  if (!any) {
+    return Status::NotFound("the transducer has no answers on this sequence");
+  }
+  return result;
+}
+
+}  // namespace tms::query

@@ -1,0 +1,46 @@
+// Exact top answer by CONFIDENCE via branch-and-bound over the E_max
+// stream.
+//
+// Finding the confidence-optimal answer is NP-hard to even approximate
+// (Theorems 4.4/4.5), so no polynomial algorithm exists — but the paper's
+// own machinery yields a correct *anytime* procedure: enumerate answers in
+// decreasing E_max (Theorem 4.3); every answer satisfies
+//     conf(o) ≤ W · E_max(o),
+// where W = |support(μ)| (at most |Σ|^n — the ratio behind the paper's
+// |Σ|^n approximation bound, instantiated with the instance's actual
+// support size). Once the best confidence found so far reaches
+// W · (current E_max level), no later answer can win and the result is
+// certified optimal. On concentrated instances (e.g. HMM posteriors) the
+// certificate often fires after a handful of answers; on adversarial
+// instances it degenerates to full enumeration — as it must.
+
+#ifndef TMS_QUERY_TOP_CONFIDENCE_H_
+#define TMS_QUERY_TOP_CONFIDENCE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// Result of the branch-and-bound search.
+struct TopConfidenceResult {
+  Str output;                     ///< best answer found
+  double confidence = 0.0;        ///< its confidence
+  bool certified_optimal = false; ///< true iff provably the optimum
+  int64_t answers_explored = 0;   ///< E_max-stream answers consumed
+};
+
+/// Searches for the confidence-optimal answer. Explores at most
+/// `max_candidates` answers (0 = unlimited — guaranteed exact since the
+/// E_max stream is exhaustive, but potentially exponential). Fails only if
+/// A^ω(μ) is empty or on alphabet mismatch.
+StatusOr<TopConfidenceResult> TopAnswerByConfidence(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    int64_t max_candidates = 0);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_TOP_CONFIDENCE_H_

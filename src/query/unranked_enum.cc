@@ -1,0 +1,70 @@
+#include "query/unranked_enum.h"
+
+#include "common/check.h"
+#include "query/membership.h"
+
+namespace tms::query {
+
+UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,
+                                       const transducer::Transducer& t)
+    : mu_(mu), t_(t) {
+  max_output_len_ = static_cast<size_t>(mu.length()) *
+                    static_cast<size_t>(t.MaxEmissionLength());
+}
+
+std::optional<Str> UnrankedEnumerator::Next() {
+  if (done_) return std::nullopt;
+  const size_t delta = t_.output_alphabet().size();
+
+  if (!started_) {
+    started_ = true;
+    ++oracle_calls_;
+    if (!HasAnswerWithPrefix(mu_, t_, prefix_)) {
+      done_ = true;
+      return std::nullopt;
+    }
+    next_symbol_.push_back(0);
+    ++oracle_calls_;
+    if (IsPossibleAnswer(mu_, t_, prefix_)) return prefix_;
+  }
+
+  // Resume the DFS: extend the current prefix (or backtrack) until the
+  // next answer node is entered.
+  while (!next_symbol_.empty()) {
+    bool descended = false;
+    if (prefix_.size() < max_output_len_) {
+      for (Symbol d = next_symbol_.back();
+           static_cast<size_t>(d) < delta; ++d) {
+        prefix_.push_back(d);
+        ++oracle_calls_;
+        if (HasAnswerWithPrefix(mu_, t_, prefix_)) {
+          next_symbol_.back() = d + 1;
+          next_symbol_.push_back(0);
+          descended = true;
+          break;
+        }
+        prefix_.pop_back();
+      }
+    }
+    if (descended) {
+      ++oracle_calls_;
+      if (IsPossibleAnswer(mu_, t_, prefix_)) return prefix_;
+      continue;
+    }
+    // Subtree exhausted: backtrack.
+    next_symbol_.pop_back();
+    if (!prefix_.empty()) prefix_.pop_back();
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+std::vector<Str> AllAnswers(const markov::MarkovSequence& mu,
+                            const transducer::Transducer& t) {
+  UnrankedEnumerator it(mu, t);
+  std::vector<Str> out;
+  while (auto answer = it.Next()) out.push_back(std::move(*answer));
+  return out;
+}
+
+}  // namespace tms::query

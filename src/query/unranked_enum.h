@@ -1,0 +1,57 @@
+// Unranked enumeration of A^ω(μ) — Theorem 4.1.
+//
+// Enumerates every answer (string with nonzero probability of being
+// transduced) with polynomial delay and polynomial space, ignoring
+// confidence. The algorithm is the paper's constraint-partitioning
+// technique [34] instantiated with prefix constraints: a depth-first
+// "flashlight" search over the output prefix tree that descends into a
+// prefix w·d only after the oracle HasAnswerWithPrefix(w·d) certifies that
+// some answer lies below — so every visited node leads to an unemitted
+// answer, bounding the delay by O(L · |Δ|) oracle calls (L = maximum
+// answer length ≤ n · max-emission). Answers appear in lexicographic
+// order of output-symbol ids.
+
+#ifndef TMS_QUERY_UNRANKED_ENUM_H_
+#define TMS_QUERY_UNRANKED_ENUM_H_
+
+#include <optional>
+#include <vector>
+
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::query {
+
+/// Streams A^ω(μ) with polynomial delay and polynomial space. The Markov
+/// sequence and the transducer must outlive the enumerator.
+class UnrankedEnumerator {
+ public:
+  UnrankedEnumerator(const markov::MarkovSequence& mu,
+                     const transducer::Transducer& t);
+
+  /// The next answer in lexicographic order, or nullopt when exhausted.
+  std::optional<Str> Next();
+
+  /// Number of emptiness-oracle calls made so far (delay instrumentation
+  /// for the Theorem 4.1 bench).
+  int64_t oracle_calls() const { return oracle_calls_; }
+
+ private:
+  const markov::MarkovSequence& mu_;
+  const transducer::Transducer& t_;
+  Str prefix_;
+  // One frame per prefix level: the next output symbol to try there.
+  std::vector<Symbol> next_symbol_;
+  size_t max_output_len_;
+  bool started_ = false;
+  bool done_ = false;
+  int64_t oracle_calls_ = 0;
+};
+
+/// Convenience: materializes all answers (exponential in the worst case).
+std::vector<Str> AllAnswers(const markov::MarkovSequence& mu,
+                            const transducer::Transducer& t);
+
+}  // namespace tms::query
+
+#endif  // TMS_QUERY_UNRANKED_ENUM_H_

@@ -1,0 +1,28 @@
+#include "ranking/lawler.h"
+
+namespace tms::ranking {
+
+LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver)
+    : solver_(std::move(solver)) {
+  OutputConstraint all = OutputConstraint::All();
+  auto best = solver_(all);
+  if (best.has_value()) {
+    heap_.push(Entry{std::move(*best), std::move(all)});
+  }
+}
+
+std::optional<ScoredAnswer> LawlerEnumerator::Next() {
+  if (heap_.empty()) return std::nullopt;
+  Entry top = heap_.top();
+  heap_.pop();
+  for (OutputConstraint& child :
+       top.constraint.PartitionAfter(top.answer.output)) {
+    auto best = solver_(child);
+    if (best.has_value()) {
+      heap_.push(Entry{std::move(*best), std::move(child)});
+    }
+  }
+  return top.answer;
+}
+
+}  // namespace tms::ranking

@@ -1,0 +1,71 @@
+// The Lawler–Murty ranked-enumeration engine (paper §4.2, citing Lawler
+// [38], Murty [43] and Yen [59]).
+//
+// Lawler's procedure reduces ranked enumeration to *constrained
+// optimization*: maintain a priority queue of disjoint answer subspaces,
+// each represented by an OutputConstraint together with its best answer;
+// repeatedly pop the globally best answer, emit it, partition its subspace
+// around it (OutputConstraint::PartitionAfter), solve each child subspace,
+// and push the children back. Scores are nonincreasing because a child's
+// answers are a subset of its parent's.
+//
+// The engine is parameterized by the subspace solver, so the same code
+// drives Theorem 4.3 (top answer under E_max via Viterbi on the
+// constraint-composed transducer) and Lemma 5.10 (top answer under I_max
+// via a constrained best path in the indexed s-projector DAG).
+
+#ifndef TMS_RANKING_LAWLER_H_
+#define TMS_RANKING_LAWLER_H_
+
+#include <functional>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "ranking/prefix_constraint.h"
+#include "strings/str.h"
+
+namespace tms::ranking {
+
+/// An enumerated answer with its score (higher = better).
+struct ScoredAnswer {
+  Str output;
+  double score = 0.0;
+};
+
+/// Solves one subspace: the best answer admitted by the constraint, or
+/// nullopt if the subspace is empty. Ties may be broken arbitrarily but
+/// deterministically.
+using SubspaceSolver =
+    std::function<std::optional<ScoredAnswer>(const OutputConstraint&)>;
+
+/// Streams answers in nonincreasing score with one solver call per emitted
+/// answer per child subspace (at most |answer|+1 children per emission).
+class LawlerEnumerator {
+ public:
+  explicit LawlerEnumerator(SubspaceSolver solver);
+
+  /// The next best answer, or nullopt when the space is exhausted.
+  std::optional<ScoredAnswer> Next();
+
+ private:
+  struct Entry {
+    ScoredAnswer answer;
+    OutputConstraint constraint;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.answer.score != b.answer.score) {
+        return a.answer.score < b.answer.score;  // max-heap on score
+      }
+      return b.answer.output < a.answer.output;  // deterministic tie-break
+    }
+  };
+
+  SubspaceSolver solver_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLess> heap_;
+};
+
+}  // namespace tms::ranking
+
+#endif  // TMS_RANKING_LAWLER_H_

@@ -1,0 +1,130 @@
+#include "reductions/dnf2.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "numeric/rational.h"
+
+namespace tms::reductions {
+
+using numeric::BigInt;
+using numeric::Rational;
+
+BigInt Dnf2Formula::BruteForceCount() const {
+  TMS_CHECK(num_x + num_y <= 25);
+  const int total = num_x + num_y;
+  int64_t count = 0;
+  for (uint32_t bits = 0; bits < (1u << total); ++bits) {
+    bool sat = false;
+    for (const auto& [i, j] : terms) {
+      if (((bits >> i) & 1u) != 0 && ((bits >> (num_x + j)) & 1u) != 0) {
+        sat = true;
+        break;
+      }
+    }
+    if (sat) ++count;
+  }
+  return BigInt(count);
+}
+
+Dnf2Formula Dnf2Formula::Random(int num_x, int num_y, int num_terms,
+                                Rng& rng) {
+  TMS_CHECK(num_x >= 1 && num_y >= 1);
+  TMS_CHECK(num_terms <= num_x * num_y);
+  Dnf2Formula out;
+  out.num_x = num_x;
+  out.num_y = num_y;
+  std::set<std::pair<int, int>> seen;
+  while (static_cast<int>(seen.size()) < num_terms) {
+    int i = static_cast<int>(rng.UniformInt(0, num_x - 1));
+    int j = static_cast<int>(rng.UniformInt(0, num_y - 1));
+    if (seen.insert({i, j}).second) out.terms.push_back({i, j});
+  }
+  return out;
+}
+
+StatusOr<automata::Nfa> Dnf2ToNfa(const Dnf2Formula& formula) {
+  if (formula.num_x < 1 || formula.num_y < 1) {
+    return Status::InvalidArgument("formula needs x and y variables");
+  }
+  if (formula.terms.empty()) {
+    return Status::InvalidArgument("formula needs at least one term");
+  }
+  for (const auto& [i, j] : formula.terms) {
+    if (i < 0 || i >= formula.num_x || j < 0 || j >= formula.num_y) {
+      return Status::InvalidArgument("term variable out of range");
+    }
+  }
+  Alphabet bits;
+  const Symbol zero = bits.Intern("0");
+  const Symbol one = bits.Intern("1");
+  const int p = formula.num_x;
+  const int q = formula.num_y;
+  const int total = p + q;
+  const int terms = static_cast<int>(formula.terms.size());
+
+  // States: a position counter 0..total per term branch, plus a shared
+  // start. Branch e at position c is state 1 + e*(total+1) + c; the branch
+  // requires a_{i_e} = 1 and b_{j_e} = 1 and accepts at position total.
+  automata::Nfa nfa(bits, 1 + terms * (total + 1));
+  const automata::StateId start = 0;
+  nfa.SetInitial(start);
+  auto state = [total](int e, int c) {
+    return static_cast<automata::StateId>(1 + e * (total + 1) + c);
+  };
+  for (int e = 0; e < terms; ++e) {
+    const auto [ti, tj] = formula.terms[static_cast<size_t>(e)];
+    for (int c = 0; c < total; ++c) {
+      const bool must_one = (c == ti) || (c == p + tj);
+      const automata::StateId from = (c == 0) ? start : state(e, c);
+      nfa.AddTransition(from, one, state(e, c + 1));
+      if (!must_one) nfa.AddTransition(from, zero, state(e, c + 1));
+    }
+    nfa.SetAccepting(state(e, total), true);
+  }
+  return nfa;
+}
+
+StatusOr<CountingInstanceResult> CountingInstance(const automata::Nfa& nfa,
+                                                  int n) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  TMS_RETURN_IF_ERROR(nfa.Validate());
+  const Alphabet& sigma = nfa.alphabet();
+  const size_t k = sigma.size();
+
+  // Uniform iid Markov sequence over Σ.
+  std::vector<Rational> initial(k, Rational(1, static_cast<int64_t>(k)));
+  std::vector<std::vector<Rational>> transitions(
+      static_cast<size_t>(n - 1),
+      std::vector<Rational>(k * k, Rational(1, static_cast<int64_t>(k))));
+  auto mu = markov::MarkovSequence::CreateExact(sigma, std::move(initial),
+                                                std::move(transitions));
+  if (!mu.ok()) return mu.status();
+
+  // The transducer is the NFA with every transition emitting z.
+  Alphabet output;
+  const Symbol z = output.Intern("z");
+  transducer::Transducer t(sigma, output, nfa.num_states());
+  t.SetInitial(nfa.initial());
+  for (automata::StateId q = 0; q < nfa.num_states(); ++q) {
+    t.SetAccepting(q, nfa.IsAccepting(q));
+    for (size_t s = 0; s < k; ++s) {
+      for (automata::StateId q2 : nfa.Next(q, static_cast<Symbol>(s))) {
+        TMS_RETURN_IF_ERROR(
+            t.AddTransition(q, static_cast<Symbol>(s), q2, Str{z}));
+      }
+    }
+  }
+  CountingInstanceResult out{std::move(mu).value(), std::move(t),
+                             Str(static_cast<size_t>(n), z)};
+  return out;
+}
+
+StatusOr<CountingInstanceResult> Dnf2CountingInstance(
+    const Dnf2Formula& formula) {
+  auto nfa = Dnf2ToNfa(formula);
+  if (!nfa.ok()) return nfa.status();
+  return CountingInstance(*nfa, formula.num_x + formula.num_y);
+}
+
+}  // namespace tms::reductions

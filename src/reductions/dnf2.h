@@ -1,0 +1,73 @@
+// Counting-hardness families for confidence computation —
+// Proposition 4.7 and Theorem 4.9.
+//
+// Proposition 4.7 derives FP^{#P}-hardness of confidence from the
+// #P-completeness of computing |L(A) ∩ Σ^n| for an NFA A (Kannan et al.
+// [28]): over the uniform iid Markov sequence, a transducer whose NFA is A
+// and whose every transition emits the same symbol z satisfies
+//
+//     conf(z^n) = |L(A) ∩ Σ^n| / |Σ|^n .
+//
+// CountingInstance() builds exactly that pair (μ, A^ω). Theorem 4.9's
+// source problem — counting satisfying assignments of a monotone bipartite
+// 2-DNF formula (Provan–Ball [45]) — plugs in through Dnf2ToNfa(): the NFA
+// guesses a term (x_i ∧ y_j) and accepts the 0/1 assignment strings that
+// satisfy it, so #SAT(φ) = |L(A_φ) ∩ {0,1}^{p+q}| and the confidence of
+// z^{p+q} recovers #SAT(φ)/2^{p+q}. (The paper's Theorem 4.9 sharpens this
+// to a single *fixed* 3-state transducer; our family lets the machine grow
+// with φ and demonstrates the same blowup — see DESIGN.md §5.)
+
+#ifndef TMS_REDUCTIONS_DNF2_H_
+#define TMS_REDUCTIONS_DNF2_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "numeric/bigint.h"
+#include "transducer/transducer.h"
+
+namespace tms::reductions {
+
+/// A monotone bipartite 2-DNF formula ⋁_{(i,j) ∈ terms} (x_i ∧ y_j) over
+/// variables x_0..x_{p-1}, y_0..y_{q-1}.
+struct Dnf2Formula {
+  int num_x = 0;
+  int num_y = 0;
+  std::vector<std::pair<int, int>> terms;
+
+  /// #satisfying assignments by brute force (2^{p+q} work; ground truth).
+  numeric::BigInt BruteForceCount() const;
+
+  /// A random formula with `num_terms` distinct terms.
+  static Dnf2Formula Random(int num_x, int num_y, int num_terms, Rng& rng);
+};
+
+/// An NFA over {0, 1} accepting exactly the assignment strings
+/// a_0…a_{p-1} b_0…b_{q-1} (of length p+q) that satisfy φ.
+StatusOr<automata::Nfa> Dnf2ToNfa(const Dnf2Formula& formula);
+
+/// A confidence-hardness instance: over `mu`, conf of `answer` under `t`
+/// equals |L(A) ∩ Σ^n| / |Σ|^n.
+struct CountingInstanceResult {
+  markov::MarkovSequence mu;
+  transducer::Transducer t;
+  Str answer;  ///< z^n
+};
+
+/// Builds the Proposition 4.7 instance for an arbitrary NFA and length n.
+StatusOr<CountingInstanceResult> CountingInstance(const automata::Nfa& nfa,
+                                                  int n);
+
+/// Convenience: the full Theorem 4.9-style pipeline — monotone bipartite
+/// 2-DNF φ → counting instance whose confidence is #SAT(φ)/2^{p+q}.
+StatusOr<CountingInstanceResult> Dnf2CountingInstance(
+    const Dnf2Formula& formula);
+
+}  // namespace tms::reductions
+
+#endif  // TMS_REDUCTIONS_DNF2_H_

@@ -1,0 +1,72 @@
+// Independent-set family for s-projector top-answer hardness — Theorem 5.3.
+//
+// Theorem 5.3 reduces maximum independent set (inapproximable within
+// |V|^{1-δ}, Håstad [19]) to (n^{1/2-δ})-approximating the top answer of a
+// fixed simple s-projector. This module provides the instance family we
+// use to exercise that regime:
+//
+//  * The Markov sequence walks over Σ = V ∪ {#}. A vertex symbol may be
+//    followed (without an intervening #) only by a LARGER, NON-ADJACENT
+//    vertex, so every maximal #-free run spells an increasing sequence of
+//    pairwise-consecutively-nonadjacent vertices.
+//  * The fixed simple s-projector [*]A[*] with A = "one or more vertex
+//    symbols" extracts those runs.
+//
+// When the graph's non-adjacency is transitive along the vertex order
+// (IsOrderTransitive()), a #-free run is exactly an independent set, so
+// top answers encode independent sets faithfully. For general graphs the
+// family still yields the adversarial many-occurrences-vs-high-mass
+// instances on which the I_max/conf gap of Proposition 5.9 opens up; the
+// bench (E11) measures that gap. We do not reproduce the paper's verbatim
+// amplification (its proof is only sketched in the extended abstract); see
+// DESIGN.md §5.
+
+#ifndef TMS_REDUCTIONS_INDEPENDENT_SET_H_
+#define TMS_REDUCTIONS_INDEPENDENT_SET_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "projector/sprojector.h"
+
+namespace tms::reductions {
+
+/// A simple undirected graph on vertices 0..num_vertices-1.
+struct Graph {
+  int num_vertices = 0;
+  std::vector<bool> adj;  ///< row-major adjacency matrix
+
+  bool HasEdge(int u, int v) const {
+    return adj[static_cast<size_t>(u) * static_cast<size_t>(num_vertices) +
+               static_cast<size_t>(v)];
+  }
+  void AddEdge(int u, int v);
+
+  /// Largest independent set size by brute force (≤ 25 vertices).
+  int BruteForceMaxIndependentSet() const;
+
+  /// True iff for all u < v < w: ¬E(u,v) ∧ ¬E(v,w) ⇒ ¬E(u,w) — the
+  /// condition under which chain runs encode independent sets exactly.
+  bool IsOrderTransitive() const;
+
+  /// Erdős–Rényi graph with edge probability p.
+  static Graph Random(int num_vertices, double edge_prob, Rng& rng);
+};
+
+/// A generated s-projector hardness instance.
+struct IndependentSetInstance {
+  markov::MarkovSequence mu;
+  projector::SProjector p;  ///< fixed simple s-projector [*]vertex+[*]
+};
+
+/// Builds the instance over a length-n walk. `stay_prob` is the chance of
+/// emitting # (resetting the run) at each step.
+StatusOr<IndependentSetInstance> IndependentSetToSProjector(const Graph& g,
+                                                            int n,
+                                                            double stay_prob);
+
+}  // namespace tms::reductions
+
+#endif  // TMS_REDUCTIONS_INDEPENDENT_SET_H_

@@ -1,0 +1,96 @@
+// max-3-DNF hardness families — Theorems 4.4 and 4.5.
+//
+// max-3-DNF: given a 3-DNF formula (a disjunction of 3-literal
+// conjunctions), find an assignment maximizing the number of satisfied
+// conjunctive clauses. The paper reduces max-3-DNF to finding a
+// (2^{n^{1-δ}}-approximate) top answer, for Mealy machines with one state
+// (Theorem 4.4) and for a fixed deterministic projector with |Σ|=4,
+// |Δ|=2, |Q|=1 (Theorem 4.5).
+//
+// Both generators here realize the same clause-branch device: the Markov
+// sequence picks a clause uniformly at random (a hidden choice), then
+// emits an assignment in which that clause's literals are forced true and
+// every other variable is a fair coin. The transducer's output exposes
+// the assignment but hides the clause choice, so
+//
+//   conf(o_x)  =  #satisfied-clauses(x) · (1/k) · 2^{-(m-3)},
+//   E_max(o_x) =  (1/k) · 2^{-(m-3)}          (whenever x satisfies ≥ 1),
+//
+// i.e. the top answer by confidence solves max-3-DNF while E_max is blind
+// to the count — exactly the gap the paper's lower bounds formalize.
+// Concatenating `copies` independent repetitions of the chain raises both
+// sides to the power T and makes the confidence gap exponential in T (the
+// paper's amplification step).
+//
+//  * Max3DnfToMealy (Thm 4.4): one-state Mealy machine; input symbols are
+//    (clause, variable, bit) triples, the emitted symbol is the bit — the
+//    alphabet grows with the formula, matching the theorem's "unbounded
+//    alphabet" proviso.
+//  * Max3DnfToProjector (Thm 4.5): a FIXED one-state deterministic
+//    projector over Σ = {0, 1, a, b} that emits 0/1 and drops a/b. The
+//    clause windows are laid out consecutively; a world pads with `a`
+//    until its (hidden) clause window, emits the assignment bits, then
+//    pads with `b` — entry probabilities are position-tuned so every
+//    clause branch has probability exactly 1/k.
+
+#ifndef TMS_REDUCTIONS_MAX3DNF_H_
+#define TMS_REDUCTIONS_MAX3DNF_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::reductions {
+
+/// One conjunctive clause l1 ∧ l2 ∧ l3: variable indices (0-based) and the
+/// polarity each literal requires.
+struct Dnf3Clause {
+  int var[3];
+  bool positive[3];
+};
+
+/// A 3-DNF formula over `num_vars` variables.
+struct Dnf3Formula {
+  int num_vars = 0;
+  std::vector<Dnf3Clause> clauses;
+
+  /// Number of clauses satisfied by the given assignment.
+  int CountSatisfied(const std::vector<bool>& assignment) const;
+
+  /// Exhaustive max-3-DNF optimum (2^num_vars work; ground truth).
+  int BruteForceOptimum() const;
+
+  /// A random formula with distinct variables per clause.
+  static Dnf3Formula Random(int num_vars, int num_clauses, Rng& rng);
+};
+
+/// A generated hardness instance.
+struct Max3DnfInstance {
+  markov::MarkovSequence mu;
+  transducer::Transducer t;
+  /// Per-copy base mass (1/k)·2^{-(m-3)}: conf(o_x) =
+  /// (Π over copies of #sat) · base^copies for assignment outputs.
+  double base_mass = 0.0;
+  int copies = 1;
+};
+
+/// Theorem 4.4 instance (one-state Mealy machine, growing alphabet).
+StatusOr<Max3DnfInstance> Max3DnfToMealy(const Dnf3Formula& formula,
+                                         int copies = 1);
+
+/// Theorem 4.5 instance (fixed one-state projector, Σ = {0,1,a,b}).
+StatusOr<Max3DnfInstance> Max3DnfToProjector(const Dnf3Formula& formula,
+                                             int copies = 1);
+
+/// Decodes an assignment-output of either instance back into assignment
+/// blocks of `num_vars` bits each (one per copy). Fails if the output is
+/// not a 0/1 string of the right length.
+StatusOr<std::vector<std::vector<bool>>> DecodeAssignments(
+    const Max3DnfInstance& instance, const Str& output, int num_vars);
+
+}  // namespace tms::reductions
+
+#endif  // TMS_REDUCTIONS_MAX3DNF_H_

@@ -1,0 +1,41 @@
+#include "strings/alphabet.h"
+
+#include "common/check.h"
+
+namespace tms {
+
+StatusOr<Alphabet> Alphabet::FromNames(const std::vector<std::string>& names) {
+  Alphabet out;
+  for (const std::string& name : names) {
+    if (out.Contains(name)) {
+      return Status::InvalidArgument("duplicate symbol name: " + name);
+    }
+    out.Intern(name);
+  }
+  return out;
+}
+
+Symbol Alphabet::Intern(std::string_view name) {
+  std::string key(name);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.push_back(key);
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+StatusOr<Symbol> Alphabet::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("symbol not in alphabet: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& Alphabet::Name(Symbol id) const {
+  TMS_CHECK(IsValid(id));
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace tms

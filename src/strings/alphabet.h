@@ -1,0 +1,74 @@
+// Interned symbol alphabets.
+//
+// Markov-sequence nodes, transducer input symbols, and transducer output
+// symbols are all drawn from finite alphabets (the paper's Σ and Δ). tms
+// interns symbol names once into dense integer ids, so every algorithm
+// operates on contiguous int ranges and names only reappear at the API
+// boundary (parsing and formatting).
+
+#ifndef TMS_STRINGS_ALPHABET_H_
+#define TMS_STRINGS_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tms {
+
+/// Dense id of an interned symbol; valid ids are 0..Alphabet::size()-1.
+using Symbol = int32_t;
+
+/// A bidirectional mapping between symbol names and dense ids.
+///
+/// Ids are assigned in insertion order. Copies are value copies; alphabets
+/// are cheap to copy for the sizes tms deals with and are compared
+/// structurally.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Builds an alphabet from a name list; names must be distinct.
+  static StatusOr<Alphabet> FromNames(const std::vector<std::string>& names);
+
+  /// Returns the id of `name`, interning it if new.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the id of `name`, or an error if not present.
+  StatusOr<Symbol> Find(std::string_view name) const;
+
+  /// True iff `name` is interned.
+  bool Contains(std::string_view name) const {
+    return by_name_.find(std::string(name)) != by_name_.end();
+  }
+
+  /// True iff `id` is a valid symbol of this alphabet.
+  bool IsValid(Symbol id) const {
+    return id >= 0 && static_cast<size_t>(id) < names_.size();
+  }
+
+  /// Name of an interned id; id must be valid.
+  const std::string& Name(Symbol id) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const Alphabet& other) const {
+    return names_ == other.names_;
+  }
+  bool operator!=(const Alphabet& other) const { return !(*this == other); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> by_name_;
+};
+
+}  // namespace tms
+
+#endif  // TMS_STRINGS_ALPHABET_H_

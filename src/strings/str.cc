@@ -1,0 +1,49 @@
+#include "strings/str.h"
+
+#include <sstream>
+
+namespace tms {
+
+std::string FormatStr(const Alphabet& alphabet, const Str& s) {
+  if (s.empty()) return "ε";
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += alphabet.Name(s[i]);
+  }
+  return out;
+}
+
+std::string FormatStrCompact(const Alphabet& alphabet, const Str& s) {
+  if (s.empty()) return "ε";
+  std::string out;
+  for (Symbol sym : s) out += alphabet.Name(sym);
+  return out;
+}
+
+StatusOr<Str> ParseStr(const Alphabet& alphabet, std::string_view text) {
+  Str out;
+  std::istringstream in{std::string(text)};
+  std::string token;
+  while (in >> token) {
+    auto sym = alphabet.Find(token);
+    if (!sym.ok()) return sym.status();
+    out.push_back(*sym);
+  }
+  return out;
+}
+
+bool IsPrefixOf(const Str& prefix, const Str& s) {
+  if (prefix.size() > s.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i] != s[i]) return false;
+  }
+  return true;
+}
+
+Str Concat(Str s, const Str& suffix) {
+  s.insert(s.end(), suffix.begin(), suffix.end());
+  return s;
+}
+
+}  // namespace tms

@@ -1,0 +1,54 @@
+// Symbol strings and helpers.
+//
+// A Str is a finite string over an interned alphabet — the paper's s ∈ Σ*
+// (possible worlds of a Markov sequence) and o ∈ Δ* (transducer outputs).
+
+#ifndef TMS_STRINGS_STR_H_
+#define TMS_STRINGS_STR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "strings/alphabet.h"
+
+namespace tms {
+
+/// A string of interned symbols; the empty Str is the paper's ε.
+using Str = std::vector<Symbol>;
+
+/// Renders a Str as space-separated symbol names ("ε" when empty).
+std::string FormatStr(const Alphabet& alphabet, const Str& s);
+
+/// Renders a Str by concatenating names without separators — readable when
+/// all names are single characters (e.g. outputs "12" in the paper's
+/// Table 1).
+std::string FormatStrCompact(const Alphabet& alphabet, const Str& s);
+
+/// Parses whitespace-separated symbol names into a Str; every name must be
+/// in the alphabet.
+StatusOr<Str> ParseStr(const Alphabet& alphabet, std::string_view text);
+
+/// True iff `prefix` is a (not necessarily proper) prefix of `s`.
+bool IsPrefixOf(const Str& prefix, const Str& s);
+
+/// Appends `suffix` to `s` and returns the result.
+Str Concat(Str s, const Str& suffix);
+
+/// FNV-1a hash; usable as the Hash template parameter of unordered
+/// containers keyed by Str.
+struct StrHash {
+  size_t operator()(const Str& s) const {
+    size_t h = 1469598103934665603ULL;
+    for (Symbol sym : s) {
+      h ^= static_cast<size_t>(sym) + 0x9e3779b97f4a7c15ULL;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace tms
+
+#endif  // TMS_STRINGS_STR_H_

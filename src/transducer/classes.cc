@@ -1,0 +1,82 @@
+#include "transducer/classes.h"
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace tms::transducer {
+
+TransducerClass ClassInfo::FinestClass() const {
+  if (mealy) return TransducerClass::kMealy;
+  if (deterministic) return TransducerClass::kDeterministic;
+  if (uniform_k.has_value()) return TransducerClass::kUniformEmission;
+  return TransducerClass::kGeneral;
+}
+
+std::string ClassInfo::ToString() const {
+  std::string out = deterministic ? "deterministic" : "nondeterministic";
+  out += selective ? " selective" : " non-selective";
+  if (uniform_k.has_value()) {
+    out += " (" + std::to_string(*uniform_k) + "-uniform)";
+  } else {
+    out += " (non-uniform)";
+  }
+  if (mealy) out += " [Mealy]";
+  if (projector) out += " [projector]";
+  return out;
+}
+
+ClassInfo Classify(const Transducer& t) {
+  ClassInfo info;
+  info.deterministic = t.IsDeterministic();
+  info.selective = t.IsSelective();
+  info.uniform_k = t.UniformEmissionLength();
+  info.mealy = t.IsMealy();
+  info.projector = t.IsProjector();
+  return info;
+}
+
+StatusOr<Transducer> MakeMealy(
+    Alphabet input, Alphabet output,
+    const std::vector<std::vector<StateId>>& next,
+    const std::vector<std::vector<Symbol>>& emit) {
+  const size_t nq = next.size();
+  if (nq == 0) return Status::InvalidArgument("Mealy machine needs states");
+  if (emit.size() != nq) {
+    return Status::InvalidArgument("next/emit size mismatch");
+  }
+  Transducer out(input, std::move(output), static_cast<int>(nq));
+  for (size_t q = 0; q < nq; ++q) {
+    if (next[q].size() != input.size() || emit[q].size() != input.size()) {
+      return Status::InvalidArgument("Mealy row has wrong arity");
+    }
+    out.SetAccepting(static_cast<StateId>(q), true);
+    for (size_t s = 0; s < input.size(); ++s) {
+      TMS_RETURN_IF_ERROR(out.AddTransition(static_cast<StateId>(q),
+                                            static_cast<Symbol>(s), next[q][s],
+                                            Str{emit[q][s]}));
+    }
+  }
+  TMS_CHECK(out.IsMealy());
+  return out;
+}
+
+Transducer MakeProjector(
+    const automata::Dfa& dfa,
+    const std::function<bool(StateId, Symbol)>& emit_symbol) {
+  Transducer out(dfa.alphabet(), dfa.alphabet(), dfa.num_states());
+  out.SetInitial(dfa.initial());
+  for (StateId q = 0; q < dfa.num_states(); ++q) {
+    out.SetAccepting(q, dfa.IsAccepting(q));
+    for (size_t s = 0; s < dfa.alphabet().size(); ++s) {
+      Symbol sym = static_cast<Symbol>(s);
+      Str emission = emit_symbol(q, sym) ? Str{sym} : Str{};
+      Status st =
+          out.AddTransition(q, sym, dfa.Next(q, sym), std::move(emission));
+      TMS_CHECK(st.ok());
+    }
+  }
+  return out;
+}
+
+}  // namespace tms::transducer

@@ -1,0 +1,61 @@
+// Transducer class taxonomy (Section 3.1.1 and Table 2 of the paper) and
+// constructors for the restricted classes.
+
+#ifndef TMS_TRANSDUCER_CLASSES_H_
+#define TMS_TRANSDUCER_CLASSES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "common/status.h"
+#include "transducer/transducer.h"
+
+namespace tms::transducer {
+
+/// The transducer classes distinguished by the paper's complexity results
+/// (columns of Table 2, except the s-projector classes which live in
+/// projector/).
+enum class TransducerClass {
+  kGeneral,            ///< nondeterministic, arbitrary emission
+  kUniformEmission,    ///< nondeterministic, k-uniform emission
+  kDeterministic,      ///< A is a DFA
+  kMealy,              ///< deterministic + non-selective + 1-uniform
+};
+
+/// Structural classification of a transducer.
+struct ClassInfo {
+  bool deterministic = false;
+  bool selective = false;
+  std::optional<int> uniform_k;  ///< emission length if uniform
+  bool mealy = false;
+  bool projector = false;
+
+  /// The finest class of Table 2 the transducer belongs to.
+  TransducerClass FinestClass() const;
+
+  /// Human-readable summary, e.g. "deterministic selective (non-uniform)".
+  std::string ToString() const;
+};
+
+/// Computes the classification of `t`.
+ClassInfo Classify(const Transducer& t);
+
+/// Builds a Mealy machine from per-(state, symbol) transitions: for each
+/// state q and input symbol s, `next[q][s]` is the target state and
+/// `emit[q][s]` the emitted output symbol. All states accepting.
+StatusOr<Transducer> MakeMealy(
+    Alphabet input, Alphabet output,
+    const std::vector<std::vector<StateId>>& next,
+    const std::vector<std::vector<Symbol>>& emit);
+
+/// Builds a deterministic projector from a DFA: each transition emits its
+/// input symbol when `emit_symbol(q, s)` is true and ε otherwise.
+Transducer MakeProjector(const automata::Dfa& dfa,
+                         const std::function<bool(StateId, Symbol)>& emit_symbol);
+
+}  // namespace tms::transducer
+
+#endif  // TMS_TRANSDUCER_CLASSES_H_

@@ -1,0 +1,39 @@
+// Output-side composition: enforcing a prefix constraint on a transducer.
+//
+// Given A^ω and an output constraint C, build a transducer whose answers on
+// any input are exactly the answers of A^ω that satisfy C. This realizes
+// the paper's observation (§4.1) that "a prefix constraint can be enforced
+// by efficiently transforming the input transducer into a new one". States
+// of the result are pairs (q, c) of an A-state and a constraint-DFA state;
+// each emission string advances the constraint DFA by |ω(q,s,q')| symbols.
+//
+// The composition preserves determinism (the constraint DFA is complete and
+// its dead state is kept).
+
+#ifndef TMS_TRANSDUCER_COMPOSE_H_
+#define TMS_TRANSDUCER_COMPOSE_H_
+
+#include "automata/dfa.h"
+#include "ranking/prefix_constraint.h"
+#include "transducer/transducer.h"
+
+namespace tms::transducer {
+
+/// A^ω restricted to outputs satisfying `constraint`. |Q| grows by a factor
+/// of |w|+3.
+Transducer ComposeWithOutputConstraint(
+    const Transducer& t, const ranking::OutputConstraint& constraint);
+
+/// General form: A^ω restricted to outputs in L(output_dfa); `output_dfa`
+/// must be a complete DFA over the transducer's output alphabet.
+Transducer ComposeWithOutputDfa(const Transducer& t,
+                                const automata::Dfa& output_dfa);
+
+/// A^ω restricted to *inputs* in L(input_dfa) (product on the input side);
+/// `input_dfa` must be a complete DFA over the transducer's input alphabet.
+Transducer ComposeWithInputDfa(const Transducer& t,
+                               const automata::Dfa& input_dfa);
+
+}  // namespace tms::transducer
+
+#endif  // TMS_TRANSDUCER_COMPOSE_H_

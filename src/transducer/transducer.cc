@@ -1,0 +1,228 @@
+#include "transducer/transducer.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tms::transducer {
+
+Transducer::Transducer(Alphabet input, Alphabet output, int num_states)
+    : input_(std::move(input)), output_(std::move(output)) {
+  TMS_CHECK(num_states >= 0);
+  accepting_.assign(static_cast<size_t>(num_states), false);
+  delta_.assign(static_cast<size_t>(num_states) * input_.size(), {});
+}
+
+StateId Transducer::AddState() {
+  StateId id = static_cast<StateId>(accepting_.size());
+  accepting_.push_back(false);
+  delta_.resize(delta_.size() + input_.size());
+  return id;
+}
+
+size_t Transducer::Index(StateId q, Symbol symbol) const {
+  TMS_DCHECK(q >= 0 && q < num_states());
+  TMS_DCHECK(input_.IsValid(symbol));
+  return static_cast<size_t>(q) * input_.size() + static_cast<size_t>(symbol);
+}
+
+Status Transducer::AddTransition(StateId q, Symbol symbol, StateId q2,
+                                 Str output) {
+  if (q < 0 || q >= num_states() || q2 < 0 || q2 >= num_states()) {
+    return Status::InvalidArgument("transition state out of range");
+  }
+  if (!input_.IsValid(symbol)) {
+    return Status::InvalidArgument("transition input symbol out of range");
+  }
+  for (Symbol d : output) {
+    if (!output_.IsValid(d)) {
+      return Status::InvalidArgument("emission symbol out of range");
+    }
+  }
+  std::vector<Edge>& edges = delta_[Index(q, symbol)];
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), q2,
+      [](const Edge& e, StateId target) { return e.target < target; });
+  if (it != edges.end() && it->target == q2) {
+    if (it->output != output) {
+      return Status::InvalidArgument(
+          "deterministic emission violated: (q, s, q') already has a "
+          "different output");
+    }
+    return Status::Ok();  // duplicate add, same output
+  }
+  max_emission_ = std::max(max_emission_, static_cast<int>(output.size()));
+  edges.insert(it, Edge{q2, std::move(output)});
+  return Status::Ok();
+}
+
+void Transducer::SetInitial(StateId q) {
+  TMS_CHECK(q >= 0 && q < num_states());
+  initial_ = q;
+}
+
+void Transducer::SetAccepting(StateId q, bool accepting) {
+  TMS_CHECK(q >= 0 && q < num_states());
+  accepting_[static_cast<size_t>(q)] = accepting;
+}
+
+void Transducer::SetAllAccepting() {
+  for (size_t q = 0; q < accepting_.size(); ++q) accepting_[q] = true;
+}
+
+bool Transducer::IsAccepting(StateId q) const {
+  TMS_CHECK(q >= 0 && q < num_states());
+  return accepting_[static_cast<size_t>(q)];
+}
+
+const std::vector<Edge>& Transducer::Next(StateId q, Symbol symbol) const {
+  return delta_[Index(q, symbol)];
+}
+
+bool Transducer::IsDeterministic() const {
+  for (const std::vector<Edge>& edges : delta_) {
+    if (edges.size() != 1) return false;
+  }
+  return true;
+}
+
+bool Transducer::IsSelective() const {
+  for (size_t q = 0; q < accepting_.size(); ++q) {
+    if (!accepting_[q]) return true;
+  }
+  return false;
+}
+
+std::optional<int> Transducer::UniformEmissionLength() const {
+  std::optional<int> k;
+  for (const std::vector<Edge>& edges : delta_) {
+    for (const Edge& e : edges) {
+      int len = static_cast<int>(e.output.size());
+      if (!k.has_value()) {
+        k = len;
+      } else if (*k != len) {
+        return std::nullopt;
+      }
+    }
+  }
+  return k.has_value() ? k : std::optional<int>(0);
+}
+
+bool Transducer::IsMealy() const {
+  return IsDeterministic() && !IsSelective() &&
+         UniformEmissionLength() == std::optional<int>(1);
+}
+
+bool Transducer::IsProjector() const {
+  if (input_ != output_) return false;
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (size_t s = 0; s < input_.size(); ++s) {
+      for (const Edge& e : Next(q, static_cast<Symbol>(s))) {
+        if (!e.output.empty() &&
+            (e.output.size() != 1 || e.output[0] != static_cast<Symbol>(s))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Str> Transducer::TransduceAll(const Str& s) const {
+  // DFS over runs; collect outputs of accepting runs.
+  std::unordered_set<Str, StrHash> seen;
+  std::vector<Str> out;
+  Str emitted;
+  std::function<void(StateId, size_t)> rec = [&](StateId q, size_t i) {
+    if (i == s.size()) {
+      if (IsAccepting(q) && seen.insert(emitted).second) {
+        out.push_back(emitted);
+      }
+      return;
+    }
+    for (const Edge& e : Next(q, s[i])) {
+      size_t old = emitted.size();
+      emitted.insert(emitted.end(), e.output.begin(), e.output.end());
+      rec(e.target, i + 1);
+      emitted.resize(old);
+    }
+  };
+  rec(initial_, 0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Str> Transducer::TransduceDeterministic(const Str& s) const {
+  TMS_CHECK(IsDeterministic());
+  StateId q = initial_;
+  Str out;
+  for (Symbol symbol : s) {
+    const Edge& e = Next(q, symbol)[0];
+    out.insert(out.end(), e.output.begin(), e.output.end());
+    q = e.target;
+  }
+  if (!IsAccepting(q)) return std::nullopt;
+  return out;
+}
+
+bool Transducer::Transduces(const Str& s, const Str& o) const {
+  // DFS with pruning on the emitted prefix.
+  std::function<bool(StateId, size_t, size_t)> rec = [&](StateId q, size_t i,
+                                                         size_t j) -> bool {
+    if (i == s.size()) return j == o.size() && IsAccepting(q);
+    for (const Edge& e : Next(q, s[i])) {
+      size_t len = e.output.size();
+      if (j + len > o.size()) continue;
+      bool match = true;
+      for (size_t t = 0; t < len; ++t) {
+        if (o[j + t] != e.output[t]) {
+          match = false;
+          break;
+        }
+      }
+      if (match && rec(e.target, i + 1, j + len)) return true;
+    }
+    return false;
+  };
+  return rec(initial_, 0, 0);
+}
+
+automata::Nfa Transducer::InputNfa() const {
+  automata::Nfa out(input_, num_states());
+  out.SetInitial(initial_);
+  for (StateId q = 0; q < num_states(); ++q) {
+    out.SetAccepting(q, IsAccepting(q));
+    for (size_t s = 0; s < input_.size(); ++s) {
+      for (const Edge& e : Next(q, static_cast<Symbol>(s))) {
+        out.AddTransition(q, static_cast<Symbol>(s), e.target);
+      }
+    }
+  }
+  return out;
+}
+
+Status Transducer::Validate() const {
+  if (num_states() == 0) {
+    return Status::InvalidArgument("transducer has no states");
+  }
+  if (initial_ < 0 || initial_ >= num_states()) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  for (const std::vector<Edge>& edges : delta_) {
+    for (const Edge& e : edges) {
+      if (e.target < 0 || e.target >= num_states()) {
+        return Status::InvalidArgument("transition target out of range");
+      }
+      for (Symbol d : e.output) {
+        if (!output_.IsValid(d)) {
+          return Status::InvalidArgument("emission symbol out of range");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tms::transducer

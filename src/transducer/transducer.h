@@ -1,0 +1,115 @@
+// Finite-state transducers with deterministic emission (Section 3.1.1).
+//
+// A transducer A^ω is an NFA A together with an output function
+// ω : Q × Σ × Q → Δ*. Emission is deterministic: the emitted string is
+// completely determined by the (possibly nondeterministic) state
+// transition, and there are no ε-moves. A^ω transduces s into o
+// (s →[A^ω]→ o) iff some accepting run ρ on s exists with
+// o = ω(q0, s1, ρ(1)) · ω(ρ(1), s2, ρ(2)) ⋯ ω(ρ(n-1), sn, ρ(n)).
+
+#ifndef TMS_TRANSDUCER_TRANSDUCER_H_
+#define TMS_TRANSDUCER_TRANSDUCER_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "common/status.h"
+#include "strings/alphabet.h"
+#include "strings/str.h"
+
+namespace tms::transducer {
+
+using automata::StateId;
+
+/// One transition of a transducer: on the current input symbol, move to
+/// `target` and emit `output` (a string over Δ, possibly empty).
+struct Edge {
+  StateId target;
+  Str output;
+};
+
+/// A finite-state transducer A^ω with deterministic emission.
+class Transducer {
+ public:
+  /// A transducer with the given input alphabet Σ and output alphabet Δ,
+  /// `num_states` states, initial state 0, no accepting states, and no
+  /// transitions.
+  Transducer(Alphabet input, Alphabet output, int num_states = 0);
+
+  /// Adds a state and returns its id.
+  StateId AddState();
+
+  /// Adds q' to δ(q, symbol) with emission ω(q, symbol, q') = output.
+  /// Deterministic emission requires at most one output per (q, symbol, q')
+  /// triple; re-adding a triple with a different output is rejected.
+  Status AddTransition(StateId q, Symbol symbol, StateId q2, Str output);
+
+  void SetInitial(StateId q);
+  void SetAccepting(StateId q, bool accepting = true);
+  /// Marks every state accepting (makes the transducer non-selective).
+  void SetAllAccepting();
+
+  const Alphabet& input_alphabet() const { return input_; }
+  const Alphabet& output_alphabet() const { return output_; }
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  StateId initial() const { return initial_; }
+  bool IsAccepting(StateId q) const;
+
+  /// The transitions from q on `symbol` (sorted by target id).
+  const std::vector<Edge>& Next(StateId q, Symbol symbol) const;
+
+  /// True iff the underlying NFA is a (complete) DFA.
+  bool IsDeterministic() const;
+
+  /// True iff F ≠ Q (paper: a transducer is selective unless F = Q).
+  bool IsSelective() const;
+
+  /// If ω is k-uniform (every emission has length exactly k), returns k;
+  /// otherwise nullopt. A transducer with no transitions is vacuously
+  /// 0-uniform.
+  std::optional<int> UniformEmissionLength() const;
+
+  /// True iff deterministic, non-selective, and 1-uniform.
+  bool IsMealy() const;
+
+  /// True iff each ω(q, s, q') is either the input symbol s or ε and the
+  /// output alphabet equals the input alphabet.
+  bool IsProjector() const;
+
+  /// Length of the longest single emission (0 if no transitions).
+  int MaxEmissionLength() const { return max_emission_; }
+
+  /// All distinct outputs o with s →[A^ω]→ o (nondeterministic transducers
+  /// can transduce one string into several outputs). Exponential in the
+  /// worst case; intended for tests and ground truth.
+  std::vector<Str> TransduceAll(const Str& s) const;
+
+  /// The unique output for a deterministic transducer, or nullopt if A
+  /// rejects s. Requires IsDeterministic().
+  std::optional<Str> TransduceDeterministic(const Str& s) const;
+
+  /// True iff s →[A^ω]→ o for some accepting run.
+  bool Transduces(const Str& s, const Str& o) const;
+
+  /// The input-side NFA A (projection that drops outputs).
+  automata::Nfa InputNfa() const;
+
+  /// Checks structural consistency (state ids, alphabet ids in range).
+  Status Validate() const;
+
+ private:
+  size_t Index(StateId q, Symbol symbol) const;
+
+  Alphabet input_;
+  Alphabet output_;
+  StateId initial_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<Edge>> delta_;  // delta_[q * |Σ| + s]
+  int max_emission_ = 0;
+};
+
+}  // namespace tms::transducer
+
+#endif  // TMS_TRANSDUCER_TRANSDUCER_H_

@@ -1,0 +1,65 @@
+// Biological-sequence workload (the paper's intro cites sequence matching
+// in biological data and HMMER-style profile HMMs as core applications).
+//
+// A profile HMM over the DNA alphabet: background states emit near-uniform
+// nucleotides; a chain of match states emits a position-specific motif
+// profile. Decoding a read against the profile yields a posterior Markov
+// sequence over {background, match_1..match_k}; projecting to nucleotides
+// instead, we build the posterior over DNA labels and extract motif
+// occurrences with an s-projector — ranked motif instances with
+// confidences, exactly the paper's query semantics applied to biology.
+
+#ifndef TMS_WORKLOAD_BIO_H_
+#define TMS_WORKLOAD_BIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "hmm/hmm.h"
+#include "markov/markov_sequence.h"
+#include "projector/sprojector.h"
+
+namespace tms::workload {
+
+/// The DNA alphabet {A, C, G, T}.
+Alphabet DnaAlphabet();
+
+/// Configuration of the motif model.
+struct MotifConfig {
+  /// The consensus motif (over "ACGT"); match state i strongly prefers
+  /// consensus[i].
+  std::string consensus = "ACGT";
+  /// Probability a match state emits its consensus base (the rest is
+  /// split over the other three).
+  double match_fidelity = 0.85;
+  /// Per-step probability of leaving the background into the motif.
+  double motif_entry_prob = 0.15;
+};
+
+/// Builds the profile HMM: hidden states {bg, m1..mk} (k = |consensus|),
+/// observations = DNA bases. Background emits uniformly; match state i
+/// emits consensus[i] with match_fidelity; transitions run bg→m1→…→mk→bg.
+StatusOr<hmm::Hmm> BuildMotifHmm(const MotifConfig& config);
+
+/// A generated read: the true hidden labels, the observed bases, and the
+/// posterior Markov sequence over the HIDDEN labels.
+struct MotifScenario {
+  hmm::Hmm model;
+  Str true_labels;      ///< over {bg, m1..mk}
+  Str observed_bases;   ///< over {A,C,G,T}
+  markov::MarkovSequence mu;  ///< posterior over hidden labels
+};
+
+/// Samples a read of length n and decodes it.
+StatusOr<MotifScenario> MakeMotifScenario(const MotifConfig& config, int n,
+                                          Rng& rng);
+
+/// The s-projector that extracts complete motif occurrences from the
+/// posterior label sequence: pattern "m1 m2 … mk", no context constraints.
+StatusOr<projector::SProjector> MotifExtractor(const MotifConfig& config);
+
+}  // namespace tms::workload
+
+#endif  // TMS_WORKLOAD_BIO_H_

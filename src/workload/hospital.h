@@ -1,0 +1,65 @@
+// Hospital RFID workload (the paper's motivating application).
+//
+// Simulates the Lahar-style deployment of Example 3.1: a floor with
+// `num_rooms` rooms plus a hallway and a lab, each with `locs_per_place`
+// sub-locations. A transmitter-carrying object random-walks over
+// sub-locations; noisy sensors misread nearby sub-locations. The
+// HMM→posterior translation (hmm/translate.h) then yields realistic
+// Markov sequences whose uncertainty structure — sensor confusion, missed
+// reads, sub-location ambiguity inside a place — matches the paper's
+// description. This substitutes for Lahar's proprietary hospital traces
+// (DESIGN.md §5).
+
+#ifndef TMS_WORKLOAD_HOSPITAL_H_
+#define TMS_WORKLOAD_HOSPITAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "hmm/hmm.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::workload {
+
+/// Configuration of the simulated floor.
+struct HospitalConfig {
+  int num_rooms = 2;        ///< rooms (each with sub-locations a, b, …)
+  int locs_per_place = 2;   ///< sub-locations per place (rooms, hallway, lab)
+  double stay_prob = 0.6;   ///< chance of staying at the sub-location
+  double within_place_prob = 0.25;  ///< chance of moving within the place
+  double sensor_accuracy = 0.8;     ///< chance the true location is read
+};
+
+/// A generated hospital scenario: the HMM, one sampled trajectory, and the
+/// posterior Markov sequence for its observations.
+struct HospitalScenario {
+  hmm::Hmm model;
+  Str true_locations;             ///< hidden ground truth
+  Str observations;               ///< noisy sensor readings
+  markov::MarkovSequence mu;      ///< posterior Markov sequence
+};
+
+/// Builds the floor HMM. Hidden states and observations share the
+/// location alphabet: "r<i><x>" for room i sub-location x, "h<x>" for the
+/// hallway, "l<x>" for the lab (e.g. "r1a", "h b", "la"). Movement between
+/// places routes through the hallway; sensors confuse sub-locations of the
+/// same place and adjacent places.
+StatusOr<hmm::Hmm> BuildHospitalHmm(const HospitalConfig& config);
+
+/// Samples a trajectory of length n and translates the observations into
+/// the posterior Markov sequence.
+StatusOr<HospitalScenario> MakeScenario(const HospitalConfig& config, int n,
+                                        Rng& rng);
+
+/// A Figure-2-style place tracker for the scenario's alphabet: emits the
+/// room number (or "L" for the lab, "H" for the hallway) whenever a place
+/// is entered from a different place.
+transducer::Transducer PlaceTracker(const Alphabet& locations,
+                                    const HospitalConfig& config);
+
+}  // namespace tms::workload
+
+#endif  // TMS_WORKLOAD_HOSPITAL_H_

@@ -1,0 +1,149 @@
+#include "workload/random_models.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace tms::workload {
+
+Alphabet MakeSymbols(int count, const std::string& prefix) {
+  TMS_CHECK(count >= 1);
+  Alphabet out;
+  for (int i = 0; i < count; ++i) out.Intern(prefix + std::to_string(i));
+  return out;
+}
+
+markov::MarkovSequence RandomMarkovSequence(int sigma, int n, int support,
+                                            Rng& rng) {
+  TMS_CHECK(sigma >= 1 && n >= 1);
+  support = std::clamp(support, 1, sigma);
+  Alphabet nodes = MakeSymbols(sigma, "n");
+  std::vector<double> initial = rng.RandomDistribution(
+      static_cast<size_t>(sigma), static_cast<size_t>(support));
+  std::vector<std::vector<double>> transitions(static_cast<size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    auto& matrix = transitions[static_cast<size_t>(i - 1)];
+    matrix.reserve(static_cast<size_t>(sigma) * static_cast<size_t>(sigma));
+    for (int s = 0; s < sigma; ++s) {
+      std::vector<double> row = rng.RandomDistribution(
+          static_cast<size_t>(sigma), static_cast<size_t>(support));
+      matrix.insert(matrix.end(), row.begin(), row.end());
+    }
+  }
+  auto mu = markov::MarkovSequence::Create(std::move(nodes),
+                                           std::move(initial),
+                                           std::move(transitions));
+  TMS_CHECK(mu.ok());
+  return std::move(mu).value();
+}
+
+automata::Dfa RandomDfa(const Alphabet& alphabet, int num_states, Rng& rng,
+                        double accept_prob) {
+  TMS_CHECK(num_states >= 1);
+  automata::Dfa out(alphabet, num_states);
+  out.SetInitial(0);
+  bool any_accepting = false;
+  for (automata::StateId q = 0; q < num_states; ++q) {
+    if (rng.Bernoulli(accept_prob)) {
+      out.SetAccepting(q, true);
+      any_accepting = true;
+    }
+    for (size_t s = 0; s < alphabet.size(); ++s) {
+      out.SetTransition(q, static_cast<Symbol>(s),
+                        static_cast<automata::StateId>(
+                            rng.UniformInt(0, num_states - 1)));
+    }
+  }
+  if (!any_accepting) out.SetAccepting(0, true);
+  return out;
+}
+
+automata::Nfa RandomNfa(const Alphabet& alphabet, int num_states,
+                        double density, Rng& rng, double accept_prob) {
+  TMS_CHECK(num_states >= 1);
+  automata::Nfa out(alphabet, num_states);
+  out.SetInitial(0);
+  bool any_accepting = false;
+  const double per_target =
+      std::min(1.0, density / static_cast<double>(num_states));
+  for (automata::StateId q = 0; q < num_states; ++q) {
+    if (rng.Bernoulli(accept_prob)) {
+      out.SetAccepting(q, true);
+      any_accepting = true;
+    }
+    for (size_t s = 0; s < alphabet.size(); ++s) {
+      for (automata::StateId q2 = 0; q2 < num_states; ++q2) {
+        if (rng.Bernoulli(per_target)) {
+          out.AddTransition(q, static_cast<Symbol>(s), q2);
+        }
+      }
+    }
+  }
+  if (!any_accepting) out.SetAccepting(0, true);
+  return out;
+}
+
+transducer::Transducer RandomTransducer(const Alphabet& input,
+                                        const RandomTransducerOptions& options,
+                                        Rng& rng) {
+  TMS_CHECK(options.num_states >= 1);
+  TMS_CHECK(options.output_symbols >= 1);
+  Alphabet output = MakeSymbols(options.output_symbols, "o");
+  transducer::Transducer out(input, output, options.num_states);
+  out.SetInitial(0);
+
+  auto random_emission = [&]() {
+    int len = options.uniform_k >= 0
+                  ? options.uniform_k
+                  : static_cast<int>(rng.UniformInt(0, options.max_emission));
+    Str emission;
+    for (int i = 0; i < len; ++i) {
+      emission.push_back(static_cast<Symbol>(
+          rng.UniformInt(0, options.output_symbols - 1)));
+    }
+    return emission;
+  };
+
+  bool any_accepting = false;
+  for (automata::StateId q = 0; q < options.num_states; ++q) {
+    if (rng.Bernoulli(options.accept_prob)) {
+      out.SetAccepting(q, true);
+      any_accepting = true;
+    }
+    for (size_t s = 0; s < input.size(); ++s) {
+      if (options.deterministic) {
+        automata::StateId q2 = static_cast<automata::StateId>(
+            rng.UniformInt(0, options.num_states - 1));
+        TMS_CHECK(out.AddTransition(q, static_cast<Symbol>(s), q2,
+                                    random_emission())
+                      .ok());
+      } else {
+        bool added = false;
+        const double per_target = std::min(
+            1.0, options.density / static_cast<double>(options.num_states));
+        for (automata::StateId q2 = 0; q2 < options.num_states; ++q2) {
+          if (rng.Bernoulli(per_target)) {
+            TMS_CHECK(out.AddTransition(q, static_cast<Symbol>(s), q2,
+                                        random_emission())
+                          .ok());
+            added = true;
+          }
+        }
+        if (!added) {
+          // Keep at least one transition so the machine is not trivially
+          // stuck on this symbol.
+          automata::StateId q2 = static_cast<automata::StateId>(
+              rng.UniformInt(0, options.num_states - 1));
+          TMS_CHECK(out.AddTransition(q, static_cast<Symbol>(s), q2,
+                                      random_emission())
+                        .ok());
+        }
+      }
+    }
+  }
+  if (!any_accepting) out.SetAccepting(0, true);
+  return out;
+}
+
+}  // namespace tms::workload

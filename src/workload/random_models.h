@@ -1,0 +1,55 @@
+// Seeded random model generators — used by the property-test sweeps and
+// the scaling benchmarks.
+
+#ifndef TMS_WORKLOAD_RANDOM_MODELS_H_
+#define TMS_WORKLOAD_RANDOM_MODELS_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "common/rng.h"
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::workload {
+
+/// Options for RandomTransducer.
+struct RandomTransducerOptions {
+  int num_states = 3;
+  bool deterministic = false;
+  /// Expected out-degree per (state, symbol) when nondeterministic.
+  double density = 1.5;
+  /// When >= 0, every emission has exactly this length (k-uniform);
+  /// when < 0, emission lengths are uniform in [0, max_emission].
+  int uniform_k = -1;
+  int max_emission = 2;
+  /// Number of output-alphabet symbols.
+  int output_symbols = 2;
+  /// Probability that each state is accepting (the initial state is forced
+  /// accepting if the draw leaves none).
+  double accept_prob = 0.5;
+};
+
+/// An alphabet {s0, s1, …} of the given size.
+Alphabet MakeSymbols(int count, const std::string& prefix = "s");
+
+/// A random Markov sequence of length n over `sigma` nodes; each
+/// distribution has `support` nonzero entries (clamped to [1, sigma]).
+markov::MarkovSequence RandomMarkovSequence(int sigma, int n, int support,
+                                            Rng& rng);
+
+/// A random complete DFA with the given number of states.
+automata::Dfa RandomDfa(const Alphabet& alphabet, int num_states, Rng& rng,
+                        double accept_prob = 0.5);
+
+/// A random NFA with expected `density` transitions per (state, symbol).
+automata::Nfa RandomNfa(const Alphabet& alphabet, int num_states,
+                        double density, Rng& rng, double accept_prob = 0.5);
+
+/// A random transducer over `input` per the options.
+transducer::Transducer RandomTransducer(const Alphabet& input,
+                                        const RandomTransducerOptions& options,
+                                        Rng& rng);
+
+}  // namespace tms::workload
+
+#endif  // TMS_WORKLOAD_RANDOM_MODELS_H_

@@ -1,0 +1,136 @@
+#include "workload/running_example.h"
+
+#include "common/check.h"
+#include "markov/builder.h"
+
+namespace tms::workload {
+
+using numeric::Rational;
+
+Alphabet HospitalNodes() {
+  Alphabet out;
+  out.Intern("r1a");
+  out.Intern("r1b");
+  out.Intern("r2a");
+  out.Intern("r2b");
+  out.Intern("la");
+  out.Intern("lb");
+  return out;
+}
+
+markov::MarkovSequence Figure1Sequence() {
+  markov::MarkovSequenceBuilder b(
+      {"r1a", "r1b", "r2a", "r2b", "la", "lb"}, /*length=*/5);
+  // Initial distribution (μ_0→): the paper states μ_0→(r1a) = 0.7; the
+  // r1b/la masses are forced by Table 1's rows w and u.
+  b.SetInitial("r1a", {7, 10});
+  b.SetInitial("r1b", {28, 100});
+  b.SetInitial("la", {2, 100});
+
+  // μ_1→ (between S1 and S2).
+  b.SetTransition(1, "r1a", "la", {9, 10});   // s: 0.9
+  b.SetTransition(1, "r1a", "r1a", {1, 10});  // t
+  b.SetTransition(1, "r1b", "r1b", {1, 1});   // w, u'
+  b.SetTransition(1, "la", "r1b", {1, 1});    // u
+  b.SetTransition(1, "r2a", "r2a", {1, 1});   // unreachable completion
+  b.SetTransition(1, "r2b", "r2b", {1, 1});
+  b.SetTransition(1, "lb", "lb", {1, 1});
+
+  // μ_2→.
+  b.SetTransition(2, "la", "la", {9, 10});    // s: 0.9
+  b.SetTransition(2, "la", "r2a", {1, 10});   // v
+  b.SetTransition(2, "r1a", "la", {1, 10});   // t
+  b.SetTransition(2, "r1a", "r2b", {4, 10});  // x
+  b.SetTransition(2, "r1a", "r1a", {5, 10});  // completion
+  b.SetTransition(2, "r1b", "la", {9, 10});   // w
+  b.SetTransition(2, "r1b", "r1b", {1, 10});  // u
+  b.SetTransition(2, "r2a", "r2a", {1, 1});
+  b.SetTransition(2, "r2b", "r2b", {1, 1});
+  b.SetTransition(2, "lb", "lb", {1, 1});
+
+  // μ_3→ (between S3 and S4; the paper states μ_3→(la, lb) = 0.1).
+  b.SetTransition(3, "la", "r1a", {7, 10});   // s: 0.7
+  b.SetTransition(3, "la", "lb", {1, 10});    // stated in Example 3.1
+  b.SetTransition(3, "la", "la", {2, 10});    // completion
+  b.SetTransition(3, "r1b", "r1a", {1, 1});   // u
+  b.SetTransition(3, "r2a", "r1b", {1, 1});   // v
+  b.SetTransition(3, "r2b", "r1b", {5, 10});  // x
+  b.SetTransition(3, "r2b", "r2b", {5, 10});  // completion
+  b.SetTransition(3, "r1a", "r1a", {1, 1});
+  b.SetTransition(3, "lb", "lb", {1, 1});
+
+  // μ_4→.
+  b.SetTransition(4, "r1a", "r2a", {1, 1});   // s: 1.0
+  b.SetTransition(4, "r1b", "lb", {5, 10});   // v
+  b.SetTransition(4, "r1b", "r1b", {5, 10});  // x
+  b.SetTransition(4, "lb", "lb", {1, 1});     // w
+  b.SetTransition(4, "la", "la", {1, 1});
+  b.SetTransition(4, "r2a", "r2a", {1, 1});
+  b.SetTransition(4, "r2b", "r2b", {1, 1});
+
+  auto mu = b.Build();
+  TMS_CHECK(mu.ok());
+  return std::move(mu).value();
+}
+
+transducer::Transducer Figure2Transducer() {
+  Alphabet input = HospitalNodes();
+  Alphabet output;
+  const Symbol one = output.Intern("1");
+  const Symbol two = output.Intern("2");
+  const Symbol lambda = output.Intern("λ");
+
+  // States: q0 = 0 (before the first lab visit), qλ = 1, q1 = 2, q2 = 3.
+  transducer::Transducer t(input, output, 4);
+  const automata::StateId q0 = 0, ql = 1, q1 = 2, q2 = 3;
+  t.SetInitial(q0);
+  t.SetAccepting(ql, true);
+  t.SetAccepting(q1, true);
+  t.SetAccepting(q2, true);
+
+  auto room1 = {input.Intern("r1a"), input.Intern("r1b")};
+  auto room2 = {input.Intern("r2a"), input.Intern("r2b")};
+  auto lab = {input.Intern("la"), input.Intern("lb")};
+
+  auto add = [&](automata::StateId from, std::initializer_list<Symbol> syms,
+                 automata::StateId to, Str emit) {
+    for (Symbol s : syms) {
+      TMS_CHECK(t.AddTransition(from, s, to, emit).ok());
+    }
+  };
+  // Before the first lab visit: read silently; the lab moves to qλ.
+  add(q0, room1, q0, {});
+  add(q0, room2, q0, {});
+  add(q0, lab, ql, {});
+  // In the lab: entering a room emits its number; staying emits nothing.
+  add(ql, room1, q1, {one});
+  add(ql, room2, q2, {two});
+  add(ql, lab, ql, {});
+  // In Room 1.
+  add(q1, room1, q1, {});
+  add(q1, room2, q2, {two});
+  add(q1, lab, ql, {lambda});
+  // In Room 2.
+  add(q2, room2, q2, {});
+  add(q2, room1, q1, {one});
+  add(q2, lab, ql, {lambda});
+
+  TMS_CHECK(t.IsDeterministic());
+  TMS_CHECK(t.IsSelective());
+  TMS_CHECK(!t.UniformEmissionLength().has_value());
+  return t;
+}
+
+const std::vector<Table1Row>& Table1Rows() {
+  static const std::vector<Table1Row> kRows = {
+      {"s", "r1a la la r1a r2a", 0.3969, "1 2"},
+      {"t", "r1a r1a la r1a r2a", 0.0049, "1 2"},
+      {"u", "la r1b r1b r1a r2a", 0.0020, "1 2"},
+      {"v", "r1a la r2a r1b lb", 0.0315, "2 1 λ"},
+      {"w", "r1b r1b la lb lb", 0.0252, ""},
+      {"x", "r1a r1a r2b r1b r1b", 0.0070, nullptr},
+  };
+  return kRows;
+}
+
+}  // namespace tms::workload

@@ -1,0 +1,59 @@
+// The paper's running example: the hospital-RFID Markov sequence of
+// Figure 1, the place-extraction transducer of Figure 2, and the random
+// strings of Table 1.
+//
+// Figure 1 is reconstructed from every probability the paper states
+// explicitly:
+//   * Example 3.2:  p(s) = 0.7·0.9·0.9·0.7·1.0 = 0.3969 for
+//     s = r1a la la r1a r2a, fixing μ_0→(r1a)=0.7, μ_1→(r1a,la)=0.9,
+//     μ_2→(la,la)=0.9, μ_3→(la,r1a)=0.7, μ_4→(r1a,r2a)=1.0;
+//   * Example 3.1:  μ_3→(la,lb) = 0.1;
+//   * Table 1's five world probabilities (0.3969, 0.0049, 0.002, 0.0315,
+//     0.0252, 0.007).
+// The remaining edges are completed minimally so that every row is a
+// distribution. NOTE: any completion consistent with those constraints
+// necessarily also contains the world r1b r1b la r1a r2a (probability
+// 0.1764 here), which transduces to "12" — so conf(12) = 0.5802 in the
+// reconstruction, while the sum over the three worlds the paper lists
+// (s, t, u) is exactly the paper's 0.4038. EXPERIMENTS.md E1 records both
+// numbers; E_max(12) = 0.3969 matches the paper exactly.
+
+#ifndef TMS_WORKLOAD_RUNNING_EXAMPLE_H_
+#define TMS_WORKLOAD_RUNNING_EXAMPLE_H_
+
+#include <vector>
+
+#include "markov/markov_sequence.h"
+#include "transducer/transducer.h"
+
+namespace tms::workload {
+
+/// The node alphabet {r1a, r1b, r2a, r2b, la, lb} in Figure 1's order.
+Alphabet HospitalNodes();
+
+/// Figure 1: the length-5 Markov sequence over HospitalNodes(), built with
+/// exact rational probabilities (has_exact() == true).
+markov::MarkovSequence Figure1Sequence();
+
+/// Figure 2: the deterministic selective non-uniform transducer that,
+/// after the cart's first visit to the lab, emits "1"/"2" when Room 1/2 is
+/// entered from another place and "λ" when the lab is re-entered.
+/// Output alphabet {1, 2, λ}; states {q0, qλ, q1, q2}, F = {qλ, q1, q2}.
+transducer::Transducer Figure2Transducer();
+
+/// One row of Table 1.
+struct Table1Row {
+  const char* name;          ///< the paper's string name (s, t, u, v, w, x)
+  const char* world;         ///< space-separated node names
+  double probability;        ///< the paper's probability
+  const char* output;        ///< space-separated output symbols; "" for ε,
+                             ///< nullptr for N/A (string rejected)
+};
+
+/// The six rows of Table 1 (w's probability is the paper's 0.0252; the
+/// printed "0.0.0252" is a typo in the original).
+const std::vector<Table1Row>& Table1Rows();
+
+}  // namespace tms::workload
+
+#endif  // TMS_WORKLOAD_RUNNING_EXAMPLE_H_

@@ -1,0 +1,96 @@
+#include "workload/text.h"
+
+#include "common/check.h"
+
+namespace tms::workload {
+
+Alphabet TextAlphabet() {
+  Alphabet out;
+  for (char c = 'a'; c <= 'z'; ++c) out.Intern(std::string(1, c));
+  out.Intern(",");
+  out.Intern(":");
+  out.Intern(" ");
+  return out;
+}
+
+StatusOr<markov::MarkovSequence> OcrSequence(const std::string& truth,
+                                             const OcrConfig& config) {
+  if (truth.empty()) {
+    return Status::InvalidArgument("truth string must be nonempty");
+  }
+  if (!(config.char_accuracy > 0 && config.char_accuracy <= 1)) {
+    return Status::InvalidArgument("char_accuracy must be in (0,1]");
+  }
+  if (config.confusion_spread < 0) {
+    return Status::InvalidArgument("confusion_spread must be >= 0");
+  }
+  Alphabet alphabet = TextAlphabet();
+  const size_t k = alphabet.size();
+  const int n = static_cast<int>(truth.size());
+
+  // The per-position marginal of character c: accuracy on c, the rest on
+  // its ring neighbors.
+  auto char_dist = [&](char c) -> StatusOr<std::vector<double>> {
+    auto sym = alphabet.Find(std::string(1, c));
+    if (!sym.ok()) return sym.status();
+    std::vector<double> out(k, 0.0);
+    const int spread = config.confusion_spread;
+    if (spread == 0 || config.char_accuracy >= 1.0) {
+      out[static_cast<size_t>(*sym)] = 1.0;
+      return out;
+    }
+    out[static_cast<size_t>(*sym)] = config.char_accuracy;
+    for (int d = 1; d <= spread; ++d) {
+      for (int dir : {-1, 1}) {
+        size_t neighbor =
+            (static_cast<size_t>(*sym) + k + static_cast<size_t>(dir * d)) % k;
+        out[neighbor] += (1.0 - config.char_accuracy) /
+                         static_cast<double>(2 * spread);
+      }
+    }
+    return out;
+  };
+
+  auto initial = char_dist(truth[0]);
+  if (!initial.ok()) return initial.status();
+  std::vector<std::vector<double>> transitions(static_cast<size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    auto dist = char_dist(truth[static_cast<size_t>(i)]);
+    if (!dist.ok()) return dist.status();
+    // Independent noise: every row is the position's marginal.
+    std::vector<double>& matrix = transitions[static_cast<size_t>(i - 1)];
+    matrix.resize(k * k);
+    for (size_t row = 0; row < k; ++row) {
+      for (size_t col = 0; col < k; ++col) {
+        matrix[row * k + col] = (*dist)[col];
+      }
+    }
+  }
+  return markov::MarkovSequence::Create(alphabet, std::move(initial).value(),
+                                        std::move(transitions));
+}
+
+StatusOr<projector::SProjector> NameExtractor() {
+  return projector::SProjector::FromCharRegex(TextAlphabet(), ".*name:",
+                                              "[a-z,]+", " .*");
+}
+
+std::string MakeFormLine(const std::string& name, int length, Rng& rng) {
+  const std::string marker = "name:";
+  const int core = static_cast<int>(marker.size() + name.size()) + 1;
+  TMS_CHECK(length >= core + 2);
+  const int filler_total = length - core;
+  const int before = static_cast<int>(
+      rng.UniformInt(1, static_cast<int64_t>(filler_total - 1)));
+  const int after = filler_total - before;
+  auto filler = [&rng](int len) {
+    std::string out;
+    for (int i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+    }
+    return out;
+  };
+  return filler(before) + marker + name + " " + filler(after - 1) + "x";
+}
+
+}  // namespace tms::workload

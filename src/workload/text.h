@@ -1,0 +1,53 @@
+// Text-extraction workload (Example 5.1).
+//
+// The paper motivates s-projectors with data extraction from noisy
+// textual sources (hand-written forms, OCR): the projector
+// [".*Name:"]["[a-zA-Z,]+"]["\s.*"] extracts Hillary from
+// "...Name:Hillary ...". This module generates character-level Markov
+// sequences that model OCR output — a ground-truth string with
+// per-character confusion — plus the matching s-projectors.
+
+#ifndef TMS_WORKLOAD_TEXT_H_
+#define TMS_WORKLOAD_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+#include "projector/sprojector.h"
+
+namespace tms::workload {
+
+/// Configuration of the OCR noise model.
+struct OcrConfig {
+  /// Probability the true character is read correctly.
+  double char_accuracy = 0.9;
+  /// Characters each true character can be confused with (ring neighbors
+  /// in the alphabet order).
+  int confusion_spread = 2;
+};
+
+/// The character alphabet used by the text workload: a-z, comma, colon,
+/// and space (single-character symbol names, so char-mode regexes apply).
+Alphabet TextAlphabet();
+
+/// A character-level Markov sequence modeling an OCR read of `truth`:
+/// position i is the true character with probability char_accuracy and a
+/// nearby character otherwise (independent noise — the degenerate Markov
+/// case the paper's model subsumes).
+StatusOr<markov::MarkovSequence> OcrSequence(const std::string& truth,
+                                             const OcrConfig& config);
+
+/// Example 5.1's extractor: matches "[a-z,]+" after a "name:" prefix and
+/// before whitespace — FromCharRegex(".*name:", "[a-z,]+", " .*").
+StatusOr<projector::SProjector> NameExtractor();
+
+/// A synthetic form line: "<filler> name:<name> <filler>" padded to
+/// `length` characters, with the name placed mid-string.
+std::string MakeFormLine(const std::string& name, int length, Rng& rng);
+
+}  // namespace tms::workload
+
+#endif  // TMS_WORKLOAD_TEXT_H_

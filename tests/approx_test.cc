@@ -1,0 +1,113 @@
+// Monte-Carlo confidence estimation (the paper's "approximating the
+// confidence of an answer" future-work direction) and the TopKWorlds
+// utility.
+
+#include "query/approx.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "markov/world_iter.h"
+#include "query/confidence.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::query {
+namespace {
+
+TEST(MonteCarloTest, ConvergesToExactConfidence) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  Str twelve = *ParseStr(fig2.output_alphabet(), "1 2");
+  Rng rng(301);
+  auto estimate = ConfidenceMonteCarlo(mu, fig2, twelve, 40000, rng);
+  EXPECT_EQ(estimate.samples, 40000);
+  EXPECT_EQ(estimate.hits,
+            static_cast<int64_t>(estimate.estimate * 40000 + 0.5));
+  // Exact value 0.5802; 40k samples give ±0.0068 at 95%.
+  EXPECT_NEAR(estimate.estimate, 0.5802, 3 * estimate.error_bound95);
+  EXPECT_LT(estimate.error_bound95, 0.01);
+}
+
+TEST(MonteCarloTest, ZeroForNonAnswers) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  Rng rng(303);
+  auto estimate = ConfidenceMonteCarlo(
+      mu, fig2, *ParseStr(fig2.output_alphabet(), "λ λ"), 2000, rng);
+  EXPECT_EQ(estimate.hits, 0);
+  EXPECT_DOUBLE_EQ(estimate.estimate, 0.0);
+}
+
+TEST(MonteCarloTest, ErrorBoundShrinksWithSamples) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  Rng rng(307);
+  auto small = ConfidenceMonteCarlo(mu, fig2, {}, 100, rng);
+  auto large = ConfidenceMonteCarlo(mu, fig2, {}, 10000, rng);
+  EXPECT_GT(small.error_bound95, large.error_bound95);
+  EXPECT_NEAR(small.error_bound95 / large.error_bound95, 10.0, 0.1);
+}
+
+TEST(MonteCarloTest, WorksOnNondeterministicTransducers) {
+  Rng rng(311);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 5, 2, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 3;
+  opts.max_emission = 2;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  auto answers = testing::BruteForceAnswers(mu, t);
+  if (answers.empty()) GTEST_SKIP();
+  // Pick the highest-confidence answer to keep the relative error small.
+  auto best = std::max_element(
+      answers.begin(), answers.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  auto estimate = ConfidenceMonteCarlo(mu, t, best->first, 30000, rng);
+  EXPECT_NEAR(estimate.estimate, best->second,
+              3 * estimate.error_bound95 + 1e-6);
+}
+
+TEST(TopKWorldsTest, MatchesBruteForceOrder) {
+  Rng rng(313);
+  for (int trial = 0; trial < 10; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 4, 2, rng);
+    std::vector<std::pair<Str, double>> expected;
+    markov::ForEachWorld(mu, [&](const Str& w, double p) {
+      expected.emplace_back(w, p);
+    });
+    std::sort(expected.begin(), expected.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+
+    auto got = markov::TopKWorlds(mu, 5);
+    ASSERT_EQ(got.size(), std::min<size_t>(5, expected.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, expected[i].second, 1e-9);
+      EXPECT_NEAR(mu.WorldProbability(got[i].first), got[i].second, 1e-9);
+    }
+    // The top-1 agrees with the Viterbi MostLikelyWorld.
+    auto [viterbi_world, viterbi_p] = markov::MostLikelyWorld(mu);
+    EXPECT_NEAR(got[0].second, viterbi_p, 1e-9);
+  }
+}
+
+TEST(TopKWorldsTest, ExhaustsSupport) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  auto all = markov::TopKWorlds(mu, 1000000);
+  EXPECT_EQ(all.size(),
+            static_cast<size_t>(std::stoll(
+                mu.CountSupportWorlds().ToString())));
+  double total = 0;
+  for (const auto& [w, p] : all) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Nonincreasing.
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].second, all[i].second - 1e-12);
+  }
+  EXPECT_TRUE(markov::TopKWorlds(mu, 0).empty());
+}
+
+}  // namespace
+}  // namespace tms::query

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "automata/ops.h"
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "workload/random_models.h"
+
+namespace tms::automata {
+namespace {
+
+Alphabet Binary() { return *Alphabet::FromNames({"0", "1"}); }
+
+// NFA accepting strings containing "01".
+Nfa Contains01() {
+  Nfa nfa(Binary(), 3);
+  nfa.SetInitial(0);
+  nfa.SetAccepting(2, true);
+  nfa.AddTransition(0, 0, 0);
+  nfa.AddTransition(0, 1, 0);
+  nfa.AddTransition(0, 0, 1);
+  nfa.AddTransition(1, 1, 2);
+  nfa.AddTransition(2, 0, 2);
+  nfa.AddTransition(2, 1, 2);
+  return nfa;
+}
+
+TEST(NfaTest, AcceptsBySomeRun) {
+  Nfa nfa = Contains01();
+  EXPECT_TRUE(nfa.Accepts({0, 1}));
+  EXPECT_TRUE(nfa.Accepts({1, 0, 1, 0}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts({1, 1, 1}));
+}
+
+TEST(NfaTest, IsDeterministicDetectsMissingAndMultipleEdges) {
+  Nfa nfa = Contains01();
+  EXPECT_FALSE(nfa.IsDeterministic());  // state 0 on "0" has two targets
+  Nfa det(Binary(), 1);
+  det.AddTransition(0, 0, 0);
+  det.AddTransition(0, 1, 0);
+  EXPECT_TRUE(det.IsDeterministic());
+}
+
+TEST(NfaTest, ValidateCatchesBadInitial) {
+  Nfa nfa(Binary(), 0);
+  EXPECT_FALSE(nfa.Validate().ok());  // no states
+}
+
+TEST(DfaTest, ExactString) {
+  Dfa dfa = Dfa::ExactString(Binary(), {0, 1, 1});
+  EXPECT_TRUE(dfa.Accepts({0, 1, 1}));
+  EXPECT_FALSE(dfa.Accepts({0, 1}));
+  EXPECT_FALSE(dfa.Accepts({0, 1, 1, 0}));
+  EXPECT_FALSE(dfa.Accepts({}));
+}
+
+TEST(DfaTest, AcceptAllAndNone) {
+  EXPECT_TRUE(Dfa::AcceptAll(Binary()).Accepts({}));
+  EXPECT_TRUE(Dfa::AcceptAll(Binary()).Accepts({0, 1, 0}));
+  EXPECT_FALSE(Dfa::AcceptNone(Binary()).Accepts({}));
+  EXPECT_FALSE(Dfa::AcceptNone(Binary()).Accepts({1}));
+  EXPECT_TRUE(Dfa::EmptyStringOnly(Binary()).Accepts({}));
+  EXPECT_FALSE(Dfa::EmptyStringOnly(Binary()).Accepts({0}));
+}
+
+TEST(OpsTest, DeterminizePreservesLanguage) {
+  Nfa nfa = Contains01();
+  Dfa dfa = Determinize(nfa);
+  for (int n = 0; n <= 6; ++n) {
+    for (int bits = 0; bits < (1 << n); ++bits) {
+      Str s;
+      for (int i = 0; i < n; ++i) s.push_back((bits >> i) & 1);
+      EXPECT_EQ(dfa.Accepts(s), nfa.Accepts(s)) << FormatStr(Binary(), s);
+    }
+  }
+}
+
+TEST(OpsTest, DeterminizeRandomNfasProperty) {
+  Rng rng(7);
+  Alphabet ab = Binary();
+  for (int trial = 0; trial < 30; ++trial) {
+    Nfa nfa = workload::RandomNfa(ab, 4, 1.2, rng);
+    Dfa dfa = Determinize(nfa);
+    Dfa minimized = Minimize(dfa);
+    for (int n = 0; n <= 5; ++n) {
+      for (int bits = 0; bits < (1 << n); ++bits) {
+        Str s;
+        for (int i = 0; i < n; ++i) s.push_back((bits >> i) & 1);
+        EXPECT_EQ(dfa.Accepts(s), nfa.Accepts(s));
+        EXPECT_EQ(minimized.Accepts(s), nfa.Accepts(s));
+      }
+    }
+    EXPECT_LE(minimized.num_states(), dfa.num_states());
+  }
+}
+
+TEST(OpsTest, MinimizeReachesCanonicalSize) {
+  // L = strings containing "01" has a minimal DFA with 3 states.
+  Dfa minimized = Minimize(Determinize(Contains01()));
+  EXPECT_EQ(minimized.num_states(), 3);
+}
+
+TEST(OpsTest, ProductAndComplement) {
+  Dfa contains01 = Determinize(Contains01());
+  Dfa all = Dfa::AcceptAll(Binary());
+  Dfa even(Binary(), 2);  // even number of 1s
+  even.SetInitial(0);
+  even.SetAccepting(0, true);
+  even.SetTransition(0, 0, 0);
+  even.SetTransition(0, 1, 1);
+  even.SetTransition(1, 0, 1);
+  even.SetTransition(1, 1, 0);
+
+  Dfa both = Product(contains01, even, BoolOp::kAnd);
+  EXPECT_TRUE(both.Accepts({0, 1, 1}));
+  EXPECT_FALSE(both.Accepts({0, 1}));       // odd 1s
+  EXPECT_FALSE(both.Accepts({1, 1}));       // no "01"
+
+  Dfa either = Product(contains01, even, BoolOp::kOr);
+  EXPECT_TRUE(either.Accepts({1, 1}));
+  EXPECT_FALSE(either.Accepts({1}));
+
+  Dfa diff = Product(all, even, BoolOp::kDiff);
+  EXPECT_TRUE(diff.Accepts({1}));
+  EXPECT_FALSE(diff.Accepts({1, 1}));
+
+  Dfa comp = Complement(even);
+  EXPECT_TRUE(comp.Accepts({1}));
+  EXPECT_FALSE(comp.Accepts({}));
+}
+
+TEST(OpsTest, UnionConcatReverseProperty) {
+  Rng rng(11);
+  Alphabet ab = Binary();
+  for (int trial = 0; trial < 20; ++trial) {
+    Nfa a = workload::RandomNfa(ab, 3, 1.0, rng);
+    Nfa b = workload::RandomNfa(ab, 3, 1.0, rng);
+    Nfa u = NfaUnion(a, b);
+    Nfa c = NfaConcat(a, b);
+    Nfa r = Reverse(a);
+    for (int n = 0; n <= 5; ++n) {
+      for (int bits = 0; bits < (1 << n); ++bits) {
+        Str s;
+        for (int i = 0; i < n; ++i) s.push_back((bits >> i) & 1);
+        EXPECT_EQ(u.Accepts(s), a.Accepts(s) || b.Accepts(s));
+        // Concatenation: check all splits.
+        bool concat_expected = false;
+        for (int split = 0; split <= n && !concat_expected; ++split) {
+          Str left(s.begin(), s.begin() + split);
+          Str right(s.begin() + split, s.end());
+          concat_expected = a.Accepts(left) && b.Accepts(right);
+        }
+        EXPECT_EQ(c.Accepts(s), concat_expected);
+        Str rev(s.rbegin(), s.rend());
+        EXPECT_EQ(r.Accepts(rev), a.Accepts(s));
+      }
+    }
+  }
+}
+
+TEST(OpsTest, IsEmptyAndEquivalent) {
+  EXPECT_TRUE(IsEmpty(Dfa::AcceptNone(Binary()).ToNfa()));
+  EXPECT_FALSE(IsEmpty(Contains01()));
+  Dfa d1 = Determinize(Contains01());
+  Dfa d2 = Minimize(d1);
+  EXPECT_TRUE(Equivalent(d1, d2));
+  EXPECT_FALSE(Equivalent(d1, Dfa::AcceptAll(Binary())));
+}
+
+TEST(OpsTest, CountAcceptedStrings) {
+  // All 2^n binary strings.
+  EXPECT_EQ(CountAcceptedStrings(Dfa::AcceptAll(Binary()), 10).ToString(),
+            "1024");
+  // Strings with "01": 2^n - (n+1) (strings avoiding 01 are 1^a 0^b).
+  Dfa dfa = Determinize(Contains01());
+  EXPECT_EQ(CountAcceptedStrings(dfa, 4).ToString(), "11");
+  EXPECT_EQ(CountAcceptedStrings(dfa, 10).ToString(),
+            std::to_string(1024 - 11));
+  EXPECT_EQ(CountAcceptedStrings(Dfa::AcceptNone(Binary()), 5).ToString(),
+            "0");
+}
+
+TEST(OpsTest, EnumerateAcceptedStrings) {
+  // Length-3 strings containing "01": 001, 010, 011, 101.
+  auto strings = EnumerateAcceptedStrings(Contains01(), 3);
+  ASSERT_EQ(strings.size(), 4u);
+  EXPECT_EQ(strings[0], (Str{0, 0, 1}));
+  EXPECT_EQ(strings[3], (Str{1, 0, 1}));
+  EXPECT_TRUE(EnumerateAcceptedStrings(Contains01(), 1).empty());
+}
+
+TEST(RegexTest, NameModeBasics) {
+  auto ab = *Alphabet::FromNames({"r1a", "la"});
+  auto nfa = CompileRegex(ab, "r1a * la");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->Accepts({1}));
+  EXPECT_TRUE(nfa->Accepts({0, 0, 1}));
+  EXPECT_FALSE(nfa->Accepts({0}));
+  EXPECT_FALSE(nfa->Accepts({1, 1}));
+}
+
+TEST(RegexTest, AlternationGroupingRepetition) {
+  auto ab = *Alphabet::FromNames({"a", "b", "c"});
+  auto dfa = CompileRegexToDfa(ab, "( a | b ) + c ?");
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_TRUE(dfa->Accepts(*ParseStr(ab, "a")));
+  EXPECT_TRUE(dfa->Accepts(*ParseStr(ab, "a b a")));
+  EXPECT_TRUE(dfa->Accepts(*ParseStr(ab, "b b c")));
+  EXPECT_FALSE(dfa->Accepts(*ParseStr(ab, "c")));
+  EXPECT_FALSE(dfa->Accepts(*ParseStr(ab, "a c c")));
+  EXPECT_FALSE(dfa->Accepts({}));
+}
+
+TEST(RegexTest, DotAndClasses) {
+  auto ab = *Alphabet::FromNames({"a", "b", "c"});
+  auto any = CompileRegexToDfa(ab, ". *");
+  ASSERT_TRUE(any.ok());
+  EXPECT_TRUE(any->Accepts({}));
+  EXPECT_TRUE(any->Accepts(*ParseStr(ab, "a b c")));
+
+  auto cls = CompileRegexToDfa(ab, "[ a b ] +");
+  ASSERT_TRUE(cls.ok());
+  EXPECT_TRUE(cls->Accepts(*ParseStr(ab, "a b")));
+  EXPECT_FALSE(cls->Accepts(*ParseStr(ab, "a c")));
+
+  auto neg = CompileRegexToDfa(ab, "[^ c ] +");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(neg->Accepts(*ParseStr(ab, "a b")));
+  EXPECT_FALSE(neg->Accepts(*ParseStr(ab, "c")));
+}
+
+TEST(RegexTest, EmptyPatternMatchesEpsilonOnly) {
+  auto ab = *Alphabet::FromNames({"a"});
+  auto dfa = CompileRegexToDfa(ab, "");
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_TRUE(dfa->Accepts({}));
+  EXPECT_FALSE(dfa->Accepts({0}));
+}
+
+TEST(RegexTest, CharModeExampleFiveOne) {
+  // Example 5.1's expressions adapted to the text alphabet.
+  Alphabet chars;
+  for (char c = 'a'; c <= 'z'; ++c) chars.Intern(std::string(1, c));
+  chars.Intern(":");
+  chars.Intern(" ");
+  auto prefix = CompileCharRegexToDfa(chars, ".*name:");
+  ASSERT_TRUE(prefix.ok());
+  auto to_str = [&](const std::string& text) {
+    Str out;
+    for (char c : text) out.push_back(*chars.Find(std::string(1, c)));
+    return out;
+  };
+  EXPECT_TRUE(prefix->Accepts(to_str("xyname:")));
+  EXPECT_TRUE(prefix->Accepts(to_str("name:")));
+  EXPECT_FALSE(prefix->Accepts(to_str("name")));
+
+  auto word = CompileCharRegexToDfa(chars, "[a-z]+");
+  ASSERT_TRUE(word.ok());
+  EXPECT_TRUE(word->Accepts(to_str("hillary")));
+  EXPECT_FALSE(word->Accepts(to_str("hi there")));
+  EXPECT_FALSE(word->Accepts({}));
+}
+
+TEST(RegexTest, SyntaxErrors) {
+  auto ab = *Alphabet::FromNames({"a"});
+  EXPECT_FALSE(CompileRegex(ab, "( a").ok());
+  EXPECT_FALSE(CompileRegex(ab, "a )").ok());
+  EXPECT_FALSE(CompileRegex(ab, "*").ok());
+  EXPECT_FALSE(CompileRegex(ab, "[ a").ok());
+  EXPECT_FALSE(CompileRegex(ab, "unknownsym").ok());
+  EXPECT_FALSE(CompileRegex(ab, "a ]").ok());
+  // Empty alternation branches are legal (Perl-style) and match ε.
+  auto empty_alt = CompileRegex(ab, "| |");
+  ASSERT_TRUE(empty_alt.ok());
+  EXPECT_TRUE(empty_alt->Accepts({}));
+  EXPECT_FALSE(empty_alt->Accepts({0}));
+}
+
+TEST(RegexTest, CharModeRequiresSingleCharNames) {
+  auto ab = *Alphabet::FromNames({"ab", "c"});
+  EXPECT_FALSE(CompileCharRegex(ab, "c").ok());
+}
+
+}  // namespace
+}  // namespace tms::automata

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace tms {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+  Rng c(43);
+  bool all_equal = true;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.UniformInt(0, 1000000) != c.UniformInt(0, 1000000)) {
+      all_equal = false;
+    }
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(2);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.6, 0.015);
+}
+
+TEST(RngTest, RandomDistributionProperties) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t size = static_cast<size_t>(rng.UniformInt(1, 8));
+    size_t support = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(size)));
+    std::vector<double> dist = rng.RandomDistribution(size, support);
+    ASSERT_EQ(dist.size(), size);
+    double sum = 0;
+    size_t nonzero = 0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+      if (p > 0) ++nonzero;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_EQ(nonzero, support);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  int64_t ns = watch.ElapsedNanos();
+  EXPECT_GE(ns, 8 * 1000 * 1000);  // at least ~8ms passed
+  EXPECT_NEAR(watch.ElapsedSeconds(), static_cast<double>(ns) * 1e-9, 1e-3);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedNanos(), 8 * 1000 * 1000);
+}
+
+TEST(StopwatchTest, Monotone) {
+  Stopwatch watch;
+  int64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    int64_t now = watch.ElapsedNanos();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  TMS_CHECK(true);
+  TMS_CHECK_EQ(1, 1);
+  TMS_CHECK_NE(1, 2);
+  TMS_CHECK_LT(1, 2);
+  TMS_CHECK_LE(2, 2);
+  TMS_CHECK_GT(3, 2);
+  TMS_CHECK_GE(3, 3);
+  TMS_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(TMS_CHECK(false), "TMS_CHECK failed");
+  EXPECT_DEATH(TMS_CHECK_EQ(1, 2), "TMS_CHECK failed");
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,118 @@
+#include "markov/condition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "markov/world_iter.h"
+#include "query/confidence.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::markov {
+namespace {
+
+TEST(ConditionTest, PosteriorMatchesBayesRule) {
+  Rng rng(701);
+  for (int trial = 0; trial < 15; ++trial) {
+    MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    automata::Dfa event = workload::RandomDfa(mu.nodes(), 3, rng, 0.4);
+
+    // Ground truth: Pr(w | accept) = p(w)·[accept] / Z.
+    double z = 0;
+    std::map<Str, double> joint;
+    ForEachWorld(mu, [&](const Str& w, double p) {
+      if (event.Accepts(w)) {
+        joint[w] = p;
+        z += p;
+      }
+    });
+    auto conditioned = ConditionOnAcceptance(mu, event);
+    if (z == 0) {
+      EXPECT_FALSE(conditioned.ok());
+      continue;
+    }
+    ASSERT_TRUE(conditioned.ok()) << conditioned.status();
+    EXPECT_NEAR(conditioned->event_probability, z, 1e-12);
+
+    std::map<Str, double> projected;
+    ForEachWorld(conditioned->mu, [&](const Str& w, double p) {
+      projected[conditioned->ProjectWorld(w)] += p;
+    });
+    ASSERT_EQ(projected.size(), joint.size());
+    for (const auto& [w, p] : joint) {
+      ASSERT_TRUE(projected.count(w));
+      EXPECT_NEAR(projected.at(w), p / z, 1e-9);
+    }
+  }
+}
+
+TEST(ConditionTest, ZeroProbabilityEventRejected) {
+  Rng rng(703);
+  MarkovSequence mu = workload::RandomMarkovSequence(2, 3, 2, rng);
+  EXPECT_FALSE(
+      ConditionOnAcceptance(mu, automata::Dfa::AcceptNone(mu.nodes())).ok());
+  // Alphabet mismatch.
+  Alphabet other = workload::MakeSymbols(3, "x");
+  EXPECT_FALSE(
+      ConditionOnAcceptance(mu, automata::Dfa::AcceptAll(other)).ok());
+}
+
+TEST(ConditionTest, ConditioningOnEverythingIsIdentity) {
+  Rng rng(707);
+  MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+  auto conditioned =
+      ConditionOnAcceptance(mu, automata::Dfa::AcceptAll(mu.nodes()));
+  ASSERT_TRUE(conditioned.ok());
+  EXPECT_NEAR(conditioned->event_probability, 1.0, 1e-12);
+  ForEachWorld(conditioned->mu, [&](const Str& w, double p) {
+    EXPECT_NEAR(mu.WorldProbability(conditioned->ProjectWorld(w)), p, 1e-9);
+  });
+}
+
+TEST(ConditionTest, LiftedQueryComputesConditionalConfidence) {
+  // Query the running example GIVEN that the cart ends in Room 2:
+  // conf(o | event) must equal conf-restricted-to-event / Pr(event).
+  MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  auto ends_r2 =
+      automata::CompileRegexToDfa(mu.nodes(), ". * ( r2a | r2b )");
+  ASSERT_TRUE(ends_r2.ok());
+  auto conditioned = ConditionOnAcceptance(mu, *ends_r2);
+  ASSERT_TRUE(conditioned.ok());
+  auto lifted = conditioned->LiftTransducer(fig2);
+  ASSERT_TRUE(lifted.ok());
+
+  // Brute-force conditional confidence of "12".
+  Str twelve = *ParseStr(fig2.output_alphabet(), "1 2");
+  double z = 0, hit = 0;
+  ForEachWorld(mu, [&](const Str& w, double p) {
+    if (!ends_r2->Accepts(w)) return;
+    z += p;
+    if (fig2.Transduces(w, twelve)) hit += p;
+  });
+  ASSERT_GT(z, 0);
+
+  auto conf = query::Confidence(conditioned->mu, *lifted, twelve);
+  ASSERT_TRUE(conf.ok()) << conf.status();
+  EXPECT_NEAR(*conf, hit / z, 1e-9);
+  // Conditioning raises the confidence of 12 (all three 12-worlds end in
+  // r2a).
+  EXPECT_GT(*conf, 0.5802);
+}
+
+TEST(ConditionTest, LiftedTransducerRejectsWrongAlphabet) {
+  Rng rng(709);
+  MarkovSequence mu = workload::RandomMarkovSequence(2, 3, 2, rng);
+  auto conditioned =
+      ConditionOnAcceptance(mu, automata::Dfa::AcceptAll(mu.nodes()));
+  ASSERT_TRUE(conditioned.ok());
+  EXPECT_FALSE(
+      conditioned->LiftTransducer(workload::Figure2Transducer()).ok());
+}
+
+}  // namespace
+}  // namespace tms::markov

@@ -1,0 +1,140 @@
+#include "db/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "markov/world_iter.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+
+namespace tms::db {
+namespace {
+
+SequenceCollection MakeCollection(int count, int n, Rng& rng) {
+  Alphabet nodes = workload::MakeSymbols(3, "n");
+  SequenceCollection out(nodes);
+  for (int i = 0; i < count; ++i) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(3, n, 2, rng);
+    EXPECT_TRUE(out.Insert("seq" + std::to_string(i), std::move(mu)).ok());
+  }
+  return out;
+}
+
+TEST(CollectionTest, InsertGetErase) {
+  Rng rng(201);
+  SequenceCollection c = MakeCollection(3, 4, rng);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Keys(), (std::vector<std::string>{"seq0", "seq1", "seq2"}));
+  ASSERT_TRUE(c.Get("seq1").ok());
+  EXPECT_FALSE(c.Get("missing").ok());
+  EXPECT_TRUE(c.Erase("seq1"));
+  EXPECT_FALSE(c.Erase("seq1"));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CollectionTest, InsertRejectsAlphabetMismatch) {
+  Rng rng(203);
+  Alphabet nodes = workload::MakeSymbols(3, "n");
+  SequenceCollection c(nodes);
+  markov::MarkovSequence wrong = workload::RandomMarkovSequence(2, 4, 2, rng);
+  EXPECT_FALSE(c.Insert("bad", std::move(wrong)).ok());
+}
+
+TEST(CollectionTest, InsertReplaces) {
+  Rng rng(205);
+  Alphabet nodes = workload::MakeSymbols(3, "n");
+  SequenceCollection c(nodes);
+  ASSERT_TRUE(
+      c.Insert("k", workload::RandomMarkovSequence(3, 4, 2, rng)).ok());
+  markov::MarkovSequence longer = workload::RandomMarkovSequence(3, 7, 2, rng);
+  ASSERT_TRUE(c.Insert("k", std::move(longer)).ok());
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ((*c.Get("k"))->length(), 7);
+}
+
+TEST(CollectionTest, TopKPerSequence) {
+  Rng rng(207);
+  SequenceCollection c = MakeCollection(3, 4, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 2;
+  opts.deterministic = true;
+  opts.max_emission = 1;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t =
+      workload::RandomTransducer(c.nodes(), opts, rng);
+
+  auto rows = c.TopKPerSequence(t, 2);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // Each sequence contributes at most 2 rows, each validated against
+  // brute force.
+  std::map<std::string, int> per_key;
+  for (const auto& row : *rows) {
+    ++per_key[row.key];
+    auto truth = testing::BruteForceAnswers(**c.Get(row.key), t);
+    ASSERT_TRUE(truth.count(row.answer.output));
+    EXPECT_NEAR(row.answer.confidence, truth.at(row.answer.output), 1e-9);
+  }
+  for (const auto& [key, count] : per_key) EXPECT_LE(count, 2);
+  EXPECT_EQ(per_key.size(), 3u);
+}
+
+TEST(CollectionTest, AcceptanceByKeyRanksSequences) {
+  Rng rng(209);
+  SequenceCollection c = MakeCollection(4, 4, rng);
+  auto dfa = automata::CompileRegexToDfa(c.nodes(), "n0 . *");
+  ASSERT_TRUE(dfa.ok());
+  auto ranked = c.AcceptanceByKey(*dfa);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 4u);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].second, (*ranked)[i].second);
+  }
+  // Each probability equals the sequence's P(S_1 = n0).
+  for (const auto& [key, p] : *ranked) {
+    auto mu = c.Get(key);
+    EXPECT_NEAR(p, (*mu)->Initial(0), 1e-12);
+  }
+}
+
+TEST(CollectionTest, RankSequencesByAnswer) {
+  Rng rng(211);
+  SequenceCollection c = MakeCollection(3, 4, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 2;
+  opts.deterministic = true;
+  opts.max_emission = 1;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t =
+      workload::RandomTransducer(c.nodes(), opts, rng);
+  // Pick some answer from the first sequence.
+  auto truth0 = testing::BruteForceAnswers(**c.Get("seq0"), t);
+  if (truth0.empty()) GTEST_SKIP();
+  const Str answer = truth0.begin()->first;
+
+  auto ranked = c.RankSequencesByAnswer(t, answer);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].second, (*ranked)[i].second);
+  }
+  for (const auto& [key, conf] : *ranked) {
+    EXPECT_NEAR(conf,
+                testing::BruteForceConfidence(**c.Get(key), t, answer),
+                1e-9);
+  }
+}
+
+TEST(CollectionTest, QueryAlphabetMismatchRejected) {
+  Rng rng(213);
+  SequenceCollection c = MakeCollection(1, 3, rng);
+  Alphabet other = workload::MakeSymbols(2, "x");
+  workload::RandomTransducerOptions opts;
+  transducer::Transducer t = workload::RandomTransducer(other, opts, rng);
+  EXPECT_FALSE(c.TopKPerSequence(t, 1).ok());
+  EXPECT_FALSE(c.RankSequencesByAnswer(t, {}).ok());
+  EXPECT_FALSE(c.AcceptanceByKey(automata::Dfa::AcceptAll(other)).ok());
+}
+
+}  // namespace
+}  // namespace tms::db

@@ -1,0 +1,104 @@
+#include "query/emax.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::query {
+namespace {
+
+TEST(EmaxTest, RunningExampleValues) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  const Alphabet& out = fig2.output_alphabet();
+  // Example 4.2: E_max(12) = 0.3969, witnessed by world s.
+  auto emax12 = EmaxOfAnswer(mu, fig2, *ParseStr(out, "1 2"));
+  ASSERT_TRUE(emax12.has_value());
+  EXPECT_NEAR(emax12->prob, 0.3969, 1e-12);
+  EXPECT_EQ(FormatStr(mu.nodes(), emax12->world), "r1a la la r1a r2a");
+  // Non-answer.
+  EXPECT_FALSE(EmaxOfAnswer(mu, fig2, *ParseStr(out, "λ")).has_value());
+}
+
+TEST(EmaxTest, TopAnswerOnRunningExample) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  auto top = TopAnswerByEmax(mu, fig2);
+  ASSERT_TRUE(top.has_value());
+  // The most probable accepted world is s (0.3969), transduced to 12.
+  EXPECT_NEAR(top->prob, 0.3969, 1e-12);
+  EXPECT_EQ(FormatStrCompact(fig2.output_alphabet(), top->output), "12");
+  EXPECT_NEAR(mu.WorldProbability(top->world), top->prob, 1e-12);
+  EXPECT_TRUE(fig2.Transduces(top->world, top->output));
+}
+
+TEST(EmaxTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(83);
+  for (int trial = 0; trial < 25; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 3;
+    opts.max_emission = 2;
+    opts.deterministic = rng.Bernoulli(0.5);
+    transducer::Transducer t =
+        workload::RandomTransducer(mu.nodes(), opts, rng);
+    auto answers = testing::BruteForceAnswers(mu, t);
+
+    // Per-answer E_max.
+    for (const auto& [o, conf] : answers) {
+      double expected = testing::BruteForceEmax(mu, t, o);
+      auto got = EmaxOfAnswer(mu, t, o);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_NEAR(got->prob, expected, 1e-9);
+      // The witness world really is evidence.
+      EXPECT_TRUE(t.Transduces(got->world, o));
+      EXPECT_NEAR(mu.WorldProbability(got->world), got->prob, 1e-9);
+      // E_max lower-bounds confidence.
+      EXPECT_LE(got->prob, conf + 1e-12);
+    }
+
+    // Global top answer.
+    auto top = TopAnswerByEmax(mu, t);
+    if (answers.empty()) {
+      EXPECT_FALSE(top.has_value());
+    } else {
+      ASSERT_TRUE(top.has_value());
+      double best = 0;
+      for (const auto& [o, conf] : answers) {
+        best = std::max(best, testing::BruteForceEmax(mu, t, o));
+      }
+      EXPECT_NEAR(top->prob, best, 1e-9);
+      EXPECT_TRUE(t.Transduces(top->world, top->output));
+    }
+  }
+}
+
+TEST(EmaxTest, LongSequenceNoUnderflow) {
+  // n = 2000 with per-step probability 0.5 underflows linear doubles; the
+  // log-domain Viterbi must still return a finite positive log score.
+  const int n = 2000;
+  Alphabet nodes = *Alphabet::FromNames({"x", "y"});
+  std::vector<double> initial = {0.5, 0.5};
+  std::vector<std::vector<double>> transitions(
+      static_cast<size_t>(n - 1), {0.5, 0.5, 0.5, 0.5});
+  auto mu = markov::MarkovSequence::Create(nodes, initial, transitions);
+  ASSERT_TRUE(mu.ok());
+  transducer::Transducer t(nodes, nodes, 1);
+  t.SetAccepting(0, true);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {0}).ok());
+  ASSERT_TRUE(t.AddTransition(0, 1, 0, {}).ok());
+  auto top = TopAnswerByEmax(*mu, t);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->world.size(), static_cast<size_t>(n));
+  // All worlds are equally likely: p = 0.5^2000, which is 0 in linear
+  // doubles — the witness world must still be valid.
+  EXPECT_TRUE(t.Transduces(top->world, top->output));
+}
+
+}  // namespace
+}  // namespace tms::query

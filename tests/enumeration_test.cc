@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "query/emax_enum.h"
+#include "query/unranked_enum.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::query {
+namespace {
+
+TEST(UnrankedEnumTest, RunningExampleAnswerSet) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  std::vector<Str> answers = AllAnswers(mu, fig2);
+  auto truth = testing::BruteForceAnswers(mu, fig2);
+  ASSERT_EQ(answers.size(), truth.size());
+  for (const Str& o : answers) EXPECT_TRUE(truth.count(o));
+  // Lexicographic order by symbol id.
+  EXPECT_TRUE(std::is_sorted(answers.begin(), answers.end()));
+}
+
+TEST(UnrankedEnumTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(97);
+  for (int trial = 0; trial < 25; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 3;
+    opts.max_emission = 2;
+    opts.deterministic = rng.Bernoulli(0.5);
+    transducer::Transducer t =
+        workload::RandomTransducer(mu.nodes(), opts, rng);
+    auto truth = testing::BruteForceAnswers(mu, t);
+    std::vector<Str> answers = AllAnswers(mu, t);
+    EXPECT_EQ(answers.size(), truth.size());
+    std::set<Str> seen;
+    for (const Str& o : answers) {
+      EXPECT_TRUE(truth.count(o)) << "phantom answer";
+      EXPECT_TRUE(seen.insert(o).second) << "duplicate answer";
+    }
+    EXPECT_TRUE(std::is_sorted(answers.begin(), answers.end()));
+  }
+}
+
+TEST(UnrankedEnumTest, StreamingInterfaceAndOracleCount) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  UnrankedEnumerator it(mu, fig2);
+  int count = 0;
+  int64_t prev_calls = 0;
+  while (auto answer = it.Next()) {
+    ++count;
+    // Poly delay: the oracle-call budget between answers stays bounded
+    // (output length ≤ 5, |Δ| = 3 → comfortably under 64 calls).
+    EXPECT_LE(it.oracle_calls() - prev_calls, 64);
+    prev_calls = it.oracle_calls();
+  }
+  EXPECT_GT(count, 0);
+  EXPECT_FALSE(it.Next().has_value());  // exhausted stays exhausted
+}
+
+TEST(UnrankedEnumTest, EmptyAnswerSet) {
+  Rng rng(5);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 3, 2, rng);
+  transducer::Transducer t(mu.nodes(), mu.nodes(), 1);  // no accepting
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {}).ok());
+  ASSERT_TRUE(t.AddTransition(0, 1, 0, {}).ok());
+  UnrankedEnumerator it(mu, t);
+  EXPECT_FALSE(it.Next().has_value());
+}
+
+TEST(EmaxEnumTest, OrderedByEmaxAndComplete) {
+  Rng rng(101);
+  for (int trial = 0; trial < 15; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 2;
+    opts.max_emission = 2;
+    opts.deterministic = rng.Bernoulli(0.5);
+    transducer::Transducer t =
+        workload::RandomTransducer(mu.nodes(), opts, rng);
+    auto truth = testing::BruteForceAnswers(mu, t);
+
+    EmaxEnumerator it(mu, t);
+    std::vector<ranking::ScoredAnswer> results;
+    while (auto answer = it.Next()) results.push_back(*answer);
+
+    ASSERT_EQ(results.size(), truth.size());
+    std::set<Str> seen;
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(seen.insert(results[i].output).second);
+      EXPECT_TRUE(truth.count(results[i].output));
+      // Scores are the true E_max values, nonincreasing.
+      double expected =
+          testing::BruteForceEmax(mu, t, results[i].output);
+      EXPECT_NEAR(results[i].score, expected, 1e-9);
+      if (i > 0) {
+        EXPECT_GE(results[i - 1].score, results[i].score - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(EmaxEnumTest, TopKStopsEarly) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  auto top2 = TopKByEmax(mu, fig2, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_GE(top2[0].score, top2[1].score);
+  // Top answer: E_max = 0.3969 (the world s → output 12).
+  EXPECT_NEAR(top2[0].score, 0.3969, 1e-12);
+  EXPECT_EQ(FormatStrCompact(fig2.output_alphabet(), top2[0].output), "12");
+}
+
+TEST(EmaxEnumTest, EmaxOrderIsNotConfidenceOrder) {
+  // The heuristic order (Thm 4.3) may disagree with the confidence order —
+  // the gap Theorems 4.4/4.5 prove is unavoidable. Build a chain where one
+  // answer has one strong evidence world and another has many weak ones.
+  Alphabet nodes = *Alphabet::FromNames({"a", "b1", "b2", "b3"});
+  // n = 1: initial a = 0.4; b1, b2, b3 = 0.2 each.
+  auto mu = markov::MarkovSequence::Create(nodes, {0.4, 0.2, 0.2, 0.2}, {});
+  ASSERT_TRUE(mu.ok());
+  // Mealy-style map: a → A; b1, b2, b3 → B.
+  Alphabet out = *Alphabet::FromNames({"A", "B"});
+  transducer::Transducer t(nodes, out, 1);
+  t.SetAccepting(0, true);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {0}).ok());
+  for (Symbol s : {1, 2, 3}) {
+    ASSERT_TRUE(t.AddTransition(0, s, 0, {1}).ok());
+  }
+  // conf(A) = 0.4 < conf(B) = 0.6, but E_max(A) = 0.4 > E_max(B) = 0.2.
+  EmaxEnumerator it(*mu, t);
+  auto first = it.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->output, Str{0});  // "A" ranked first by E_max
+  EXPECT_NEAR(first->score, 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace tms::query

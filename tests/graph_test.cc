@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/dag.h"
+#include "graph/k_best_paths.h"
+
+namespace tms::graph {
+namespace {
+
+// Brute-force enumeration of all source→sink paths with costs.
+std::vector<Path> AllPathsBrute(const WeightedDag& dag, NodeId source,
+                                NodeId sink) {
+  std::vector<Path> out;
+  Path cur;
+  std::function<void(NodeId)> rec = [&](NodeId v) {
+    if (v == sink) {
+      out.push_back(cur);
+      return;
+    }
+    for (EdgeId id : dag.OutEdges(v)) {
+      cur.edges.push_back(id);
+      cur.cost += dag.edge(id).cost;
+      rec(dag.edge(id).to);
+      cur.cost -= dag.edge(id).cost;
+      cur.edges.pop_back();
+    }
+  };
+  rec(source);
+  std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
+    return a.cost < b.cost;
+  });
+  return out;
+}
+
+WeightedDag RandomLayeredDag(int layers, int width, Rng& rng) {
+  WeightedDag dag(2 + layers * width);
+  // Node 0 = source, 1 = sink, layered grid after.
+  auto node = [width](int l, int w) { return 2 + l * width + w; };
+  for (int w = 0; w < width; ++w) {
+    dag.AddEdge(0, node(0, w), rng.UniformDouble() + 0.1);
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      for (int w2 = 0; w2 < width; ++w2) {
+        if (rng.Bernoulli(0.7)) {
+          dag.AddEdge(node(l, w), node(l + 1, w2),
+                      rng.UniformDouble() + 0.1);
+        }
+      }
+    }
+  }
+  for (int w = 0; w < width; ++w) {
+    dag.AddEdge(node(layers - 1, w), 1, rng.UniformDouble() + 0.1);
+  }
+  return dag;
+}
+
+TEST(DagTest, TopologicalOrderAndCycleDetection) {
+  WeightedDag dag(3);
+  dag.AddEdge(0, 1, 1.0);
+  dag.AddEdge(1, 2, 1.0);
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2}));
+
+  dag.AddEdge(2, 0, 1.0);  // cycle
+  EXPECT_FALSE(dag.TopologicalOrder().ok());
+  EXPECT_FALSE(dag.MinCostToSink(2).ok());
+}
+
+TEST(DagTest, MinCostToSink) {
+  WeightedDag dag(4);
+  dag.AddEdge(0, 1, 1.0);
+  dag.AddEdge(0, 2, 5.0);
+  dag.AddEdge(1, 3, 1.0);
+  dag.AddEdge(2, 3, 1.0);
+  auto dist = dag.MinCostToSink(3);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ((*dist)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*dist)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*dist)[3], 0.0);
+}
+
+TEST(DagTest, BestPath) {
+  WeightedDag dag(4);
+  EdgeId e01 = dag.AddEdge(0, 1, 1.0);
+  dag.AddEdge(0, 2, 5.0);
+  EdgeId e13 = dag.AddEdge(1, 3, 1.0);
+  dag.AddEdge(2, 3, 1.0);
+  auto path = BestPath(dag, 0, 3);
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(path->cost, 2.0);
+  EXPECT_EQ(path->edges, (std::vector<EdgeId>{e01, e13}));
+  // Unreachable sink.
+  WeightedDag disconnected(2);
+  EXPECT_FALSE(BestPath(disconnected, 0, 1).ok());
+}
+
+TEST(DagTest, CountPaths) {
+  // Diamond chain: 2^k paths.
+  WeightedDag dag(1);
+  NodeId prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    NodeId a = dag.AddNode();
+    NodeId b = dag.AddNode();
+    NodeId join = dag.AddNode();
+    dag.AddEdge(prev, a, 1);
+    dag.AddEdge(prev, b, 1);
+    dag.AddEdge(a, join, 1);
+    dag.AddEdge(b, join, 1);
+    prev = join;
+  }
+  auto count = dag.CountPaths(0, prev);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1024);
+}
+
+TEST(KBestPathsTest, MatchesBruteForceOnRandomDags) {
+  Rng rng(59);
+  for (int trial = 0; trial < 20; ++trial) {
+    WeightedDag dag = RandomLayeredDag(3, 3, rng);
+    std::vector<Path> expected = AllPathsBrute(dag, 0, 1);
+    KBestPathsEnumerator it(dag, 0, 1);
+    std::vector<Path> got;
+    while (auto p = it.Next()) got.push_back(*p);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].cost, expected[i].cost, 1e-9);
+      if (i > 0) {
+        EXPECT_GE(got[i].cost, got[i - 1].cost - 1e-12);
+      }
+    }
+    // Paths are distinct.
+    std::set<std::vector<EdgeId>> seen;
+    for (const Path& p : got) EXPECT_TRUE(seen.insert(p.edges).second);
+  }
+}
+
+TEST(KBestPathsTest, PeekDoesNotConsume) {
+  WeightedDag dag(2);
+  dag.AddEdge(0, 1, 3.0);
+  dag.AddEdge(0, 1, 1.0);
+  KBestPathsEnumerator it(dag, 0, 1);
+  auto peek = it.PeekCost();
+  ASSERT_TRUE(peek.has_value());
+  EXPECT_DOUBLE_EQ(*peek, 1.0);
+  auto first = it.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->cost, 1.0);
+  auto second = it.Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->cost, 3.0);
+  EXPECT_FALSE(it.Next().has_value());
+}
+
+TEST(KBestPathsTest, EmptyWhenNoPath) {
+  WeightedDag dag(3);
+  dag.AddEdge(0, 1, 1.0);  // sink 2 unreachable
+  KBestPathsEnumerator it(dag, 0, 2);
+  EXPECT_FALSE(it.Next().has_value());
+}
+
+TEST(KBestPathsTest, KBestConvenience) {
+  Rng rng(61);
+  WeightedDag dag = RandomLayeredDag(4, 3, rng);
+  std::vector<Path> expected = AllPathsBrute(dag, 0, 1);
+  std::vector<Path> top5 = KBestPaths(dag, 0, 1, 5);
+  ASSERT_LE(top5.size(), 5u);
+  for (size_t i = 0; i < top5.size(); ++i) {
+    EXPECT_NEAR(top5[i].cost, expected[i].cost, 1e-9);
+  }
+}
+
+TEST(KBestPathsTest, ParallelEdgesAreDistinctPaths) {
+  WeightedDag dag(2);
+  dag.AddEdge(0, 1, 1.0, /*payload=*/10);
+  dag.AddEdge(0, 1, 1.0, /*payload=*/20);
+  std::vector<Path> paths = KBestPaths(dag, 0, 1, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NE(paths[0].edges[0], paths[1].edges[0]);
+}
+
+}  // namespace
+}  // namespace tms::graph

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "hmm/hmm.h"
+#include "hmm/translate.h"
+#include "markov/world_iter.h"
+
+namespace tms::hmm {
+namespace {
+
+// A small weather HMM: hidden {sunny, rainy}, observed {walk, shop, clean}.
+Hmm Weather() {
+  Alphabet states = *Alphabet::FromNames({"sunny", "rainy"});
+  Alphabet obs = *Alphabet::FromNames({"walk", "shop", "clean"});
+  auto h = Hmm::Create(states, obs, {0.6, 0.4},
+                       {0.7, 0.3,  //
+                        0.4, 0.6},
+                       {0.6, 0.3, 0.1,  //
+                        0.1, 0.4, 0.5});
+  EXPECT_TRUE(h.ok());
+  return std::move(h).value();
+}
+
+// Brute-force joint Pr(X = x, O = o) under the HMM.
+double JointProb(const Hmm& h, const Str& hidden, const Str& obs) {
+  double p = h.Initial(hidden[0]) * h.Emission(hidden[0], obs[0]);
+  for (size_t t = 1; t < hidden.size(); ++t) {
+    p *= h.Transition(hidden[t - 1], hidden[t]) *
+         h.Emission(hidden[t], obs[t]);
+  }
+  return p;
+}
+
+// All hidden trajectories of length n.
+void ForEachTrajectory(int num_states, int n,
+                       const std::function<void(const Str&)>& fn) {
+  Str cur(static_cast<size_t>(n), 0);
+  std::function<void(int)> rec = [&](int i) {
+    if (i == n) {
+      fn(cur);
+      return;
+    }
+    for (int s = 0; s < num_states; ++s) {
+      cur[static_cast<size_t>(i)] = static_cast<Symbol>(s);
+      rec(i + 1);
+    }
+  };
+  rec(0);
+}
+
+TEST(HmmTest, CreateValidatesRows) {
+  Alphabet st = *Alphabet::FromNames({"a"});
+  Alphabet ob = *Alphabet::FromNames({"x"});
+  EXPECT_TRUE(Hmm::Create(st, ob, {1.0}, {1.0}, {1.0}).ok());
+  EXPECT_FALSE(Hmm::Create(st, ob, {0.9}, {1.0}, {1.0}).ok());
+  EXPECT_FALSE(Hmm::Create(st, ob, {1.0}, {0.5}, {1.0}).ok());
+  EXPECT_FALSE(Hmm::Create(st, ob, {1.0}, {1.0}, {2.0, -1.0}).ok());
+}
+
+TEST(HmmTest, SampleHasRightShape) {
+  Hmm h = Weather();
+  Rng rng(5);
+  auto [hidden, obs] = h.Sample(10, rng);
+  EXPECT_EQ(hidden.size(), 10u);
+  EXPECT_EQ(obs.size(), 10u);
+}
+
+TEST(TranslateTest, LikelihoodMatchesBruteForce) {
+  Hmm h = Weather();
+  Str obs = {0, 2, 1, 0};  // walk clean shop walk
+  double expected = 0;
+  ForEachTrajectory(2, static_cast<int>(obs.size()), [&](const Str& x) {
+    expected += JointProb(h, x, obs);
+  });
+  EXPECT_NEAR(std::exp(ObservationLogLikelihood(h, obs)), expected, 1e-12);
+}
+
+TEST(TranslateTest, PosteriorMarkovSequenceMatchesBayesRule) {
+  // The posterior Markov sequence must assign every hidden trajectory x
+  // the probability Pr(X = x | O = o) — the definitional check of the
+  // paper's HMM→Markov-sequence translation.
+  Hmm h = Weather();
+  Str obs = {0, 2, 1, 0};
+  auto mu = PosteriorMarkovSequence(h, obs);
+  ASSERT_TRUE(mu.ok()) << mu.status();
+  EXPECT_EQ(mu->length(), 4);
+
+  double likelihood = std::exp(ObservationLogLikelihood(h, obs));
+  ForEachTrajectory(2, 4, [&](const Str& x) {
+    double posterior = JointProb(h, x, obs) / likelihood;
+    EXPECT_NEAR(mu->WorldProbability(x), posterior, 1e-9)
+        << FormatStr(h.states(), x);
+  });
+}
+
+TEST(TranslateTest, PosteriorIsProperDistribution) {
+  Hmm h = Weather();
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto [hidden, obs] = h.Sample(6, rng);
+    auto mu = PosteriorMarkovSequence(h, obs);
+    ASSERT_TRUE(mu.ok());
+    double total = 0;
+    markov::ForEachWorld(*mu, [&](const Str&, double p) { total += p; });
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TranslateTest, ImpossibleObservationFails) {
+  // An observation with zero emission probability everywhere.
+  Alphabet st = *Alphabet::FromNames({"a", "b"});
+  Alphabet ob = *Alphabet::FromNames({"x", "y"});
+  auto h = Hmm::Create(st, ob, {0.5, 0.5},
+                       {0.5, 0.5, 0.5, 0.5},
+                       {1.0, 0.0,  // both states always emit x
+                        1.0, 0.0});
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(PosteriorMarkovSequence(*h, {1}).ok());  // "y" impossible
+  EXPECT_TRUE(std::isinf(ObservationLogLikelihood(*h, {1})));
+  EXPECT_FALSE(PosteriorMarkovSequence(*h, {}).ok());  // empty
+}
+
+TEST(TranslateTest, DeterministicEmissionGivesPointPosterior) {
+  // With identity emissions the posterior must concentrate on the
+  // observed trajectory itself.
+  Alphabet st = *Alphabet::FromNames({"a", "b"});
+  Alphabet ob = *Alphabet::FromNames({"a", "b"});
+  auto h = Hmm::Create(st, ob, {0.5, 0.5},
+                       {0.5, 0.5, 0.5, 0.5},
+                       {1.0, 0.0, 0.0, 1.0});
+  ASSERT_TRUE(h.ok());
+  Str obs = {0, 1, 1, 0};
+  auto mu = PosteriorMarkovSequence(*h, obs);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_NEAR(mu->WorldProbability(obs), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tms::hmm

@@ -1,0 +1,278 @@
+// Indexed s-projectors: Theorem 5.8 (confidence), Theorem 5.7 (exact
+// ranked enumeration), Lemma 5.10 / Theorem 5.2 (I_max enumeration), and
+// Proposition 5.9 (the I_max ≤ conf ≤ n·I_max sandwich).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "projector/imax_enum.h"
+#include "projector/indexed_confidence.h"
+#include "projector/indexed_enum.h"
+#include "projector/sprojector_confidence.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+
+namespace tms::projector {
+namespace {
+
+SProjector RandomSProjector(const Alphabet& ab, Rng& rng, int states = 2) {
+  auto p = SProjector::Create(workload::RandomDfa(ab, states, rng, 0.6),
+                              workload::RandomDfa(ab, states, rng, 0.6),
+                              workload::RandomDfa(ab, states, rng, 0.6));
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+TEST(IndexedConfidenceTest, MatchesBruteForce) {
+  Rng rng(139);
+  for (int trial = 0; trial < 20; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    auto computer = IndexedConfidence::Create(&mu, &p);
+    ASSERT_TRUE(computer.ok());
+    auto truth = testing::BruteForceIndexedAnswers(mu, p);
+    for (const auto& [key, expected] : truth) {
+      IndexedAnswer answer{key.first, key.second};
+      EXPECT_NEAR(computer->Confidence(answer), expected, 1e-9)
+          << FormatStr(p.alphabet(), key.first) << " @ " << key.second;
+    }
+    // Non-answers get zero.
+    EXPECT_DOUBLE_EQ(computer->Confidence(IndexedAnswer{{0}, 99}), 0.0);
+  }
+}
+
+TEST(IndexedConfidenceTest, EmptyOutputIndices) {
+  // A = {ε}, B = E = Σ*: conf(ε, i) = 1 for every i in [1, n+1].
+  Rng rng(11);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 3, 2, rng);
+  auto p = SProjector::Create(automata::Dfa::AcceptAll(mu.nodes()),
+                              automata::Dfa::EmptyStringOnly(mu.nodes()),
+                              automata::Dfa::AcceptAll(mu.nodes()));
+  ASSERT_TRUE(p.ok());
+  auto computer = IndexedConfidence::Create(&mu, &*p);
+  ASSERT_TRUE(computer.ok());
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(computer->Confidence(IndexedAnswer{{}, i}), 1.0, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(computer->Confidence(IndexedAnswer{{}, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(computer->Confidence(IndexedAnswer{{}, 0}), 0.0);
+}
+
+TEST(IndexedEnumTest, ExactRankedOrderAndCompleteness) {
+  Rng rng(149);
+  for (int trial = 0; trial < 15; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    auto truth = testing::BruteForceIndexedAnswers(mu, p);
+
+    auto it = IndexedEnumerator::Create(&mu, &p);
+    ASSERT_TRUE(it.ok());
+    std::vector<IndexedEnumerator::Result> results;
+    while (auto r = it->Next()) results.push_back(*r);
+
+    ASSERT_EQ(results.size(), truth.size());
+    std::set<std::pair<Str, int>> seen;
+    for (size_t i = 0; i < results.size(); ++i) {
+      auto key = std::make_pair(results[i].answer.output,
+                                results[i].answer.index);
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate";
+      auto truth_it = truth.find(key);
+      ASSERT_NE(truth_it, truth.end()) << "phantom answer";
+      EXPECT_NEAR(results[i].confidence, truth_it->second, 1e-9);
+      if (i > 0) {
+        EXPECT_GE(results[i - 1].confidence,
+                  results[i].confidence - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(IndexedEnumTest, TopKConvenience) {
+  Rng rng(151);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 5, 2, rng);
+  SProjector p = RandomSProjector(mu.nodes(), rng);
+  auto truth = testing::BruteForceIndexedAnswers(mu, p);
+  auto top3 = TopKIndexed(mu, p, 3);
+  ASSERT_LE(top3.size(), 3u);
+  if (!truth.empty()) {
+    double best = 0;
+    for (const auto& [key, conf] : truth) best = std::max(best, conf);
+    ASSERT_FALSE(top3.empty());
+    EXPECT_NEAR(top3[0].confidence, best, 1e-9);
+  }
+}
+
+TEST(ImaxTest, ImaxOfAnswerMatchesBruteForce) {
+  Rng rng(157);
+  for (int trial = 0; trial < 15; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    auto conf = IndexedConfidence::Create(&mu, &p);
+    ASSERT_TRUE(conf.ok());
+    auto indexed_truth = testing::BruteForceIndexedAnswers(mu, p);
+    std::map<Str, double> imax_truth;
+    for (const auto& [key, c] : indexed_truth) {
+      imax_truth[key.first] = std::max(imax_truth[key.first], c);
+    }
+    for (const auto& [o, expected] : imax_truth) {
+      EXPECT_NEAR(ImaxOfAnswer(*conf, o), expected, 1e-9);
+    }
+  }
+}
+
+TEST(ImaxTest, Proposition59Sandwich) {
+  // I_max(o) ≤ conf(o) ≤ n · I_max(o) for every answer.
+  Rng rng(163);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 5;
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, n, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    auto conf_computer = IndexedConfidence::Create(&mu, &p);
+    ASSERT_TRUE(conf_computer.ok());
+    auto truth = testing::BruteForceSProjectorAnswers(mu, p);
+    for (const auto& [o, conf] : truth) {
+      double imax = ImaxOfAnswer(*conf_computer, o);
+      EXPECT_LE(imax, conf + 1e-9);
+      EXPECT_LE(conf, (n + 1) * imax + 1e-9);
+      // (n+1 because ε-answers have n+1 admissible indices.)
+    }
+  }
+}
+
+TEST(ImaxEnumTest, OrderedByImaxAndComplete) {
+  Rng rng(167);
+  for (int trial = 0; trial < 10; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    auto conf = IndexedConfidence::Create(&mu, &p);
+    ASSERT_TRUE(conf.ok());
+    auto indexed_truth = testing::BruteForceIndexedAnswers(mu, p);
+    std::map<Str, double> imax_truth;
+    for (const auto& [key, c] : indexed_truth) {
+      imax_truth[key.first] = std::max(imax_truth[key.first], c);
+    }
+
+    auto it = ImaxEnumerator::Create(&mu, &p);
+    ASSERT_TRUE(it.ok());
+    std::vector<ranking::ScoredAnswer> results;
+    while (auto r = it->Next()) results.push_back(*r);
+
+    ASSERT_EQ(results.size(), imax_truth.size());
+    std::set<Str> seen;
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(seen.insert(results[i].output).second) << "duplicate";
+      auto truth_it = imax_truth.find(results[i].output);
+      ASSERT_NE(truth_it, imax_truth.end()) << "phantom";
+      EXPECT_NEAR(results[i].score, truth_it->second, 1e-9);
+      if (i > 0) {
+        EXPECT_GE(results[i - 1].score, results[i].score - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ImaxEnumTest, NApproximationOfConfidenceOrder) {
+  // Theorem 5.2: the I_max stream is an n-approximate confidence order —
+  // whenever o is emitted before o', conf(o') ≤ (n+1)·conf(o).
+  Rng rng(173);
+  const int n = 4;
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, n, 2, rng);
+  SProjector p = RandomSProjector(mu.nodes(), rng);
+  auto truth = testing::BruteForceSProjectorAnswers(mu, p);
+  auto it = ImaxEnumerator::Create(&mu, &p);
+  ASSERT_TRUE(it.ok());
+  std::vector<Str> order;
+  while (auto r = it->Next()) order.push_back(r->output);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      EXPECT_LE(truth.at(order[j]), (n + 1) * truth.at(order[i]) + 1e-9);
+    }
+  }
+}
+
+TEST(IndexedEnumTest, EpsilonOnlyPatternEnumeratesSplitPoints) {
+  // A = {ε} with nontrivial B and E: the only indexed answers are (ε, i)
+  // for admissible split points, enumerated in decreasing confidence.
+  Rng rng(419);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+  // B = strings ending in n0 (or empty); E = anything.
+  auto b = automata::CompileRegexToDfa(mu.nodes(), "( . * n0 ) ?");
+  ASSERT_TRUE(b.ok());
+  auto p = SProjector::Create(*b,
+                              automata::Dfa::EmptyStringOnly(mu.nodes()),
+                              automata::Dfa::AcceptAll(mu.nodes()));
+  ASSERT_TRUE(p.ok());
+  auto truth = testing::BruteForceIndexedAnswers(mu, *p);
+  auto it = IndexedEnumerator::Create(&mu, &*p);
+  ASSERT_TRUE(it.ok());
+  std::vector<IndexedEnumerator::Result> results;
+  while (auto r = it->Next()) results.push_back(*r);
+  ASSERT_EQ(results.size(), truth.size());
+  double prev = 1e300;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.answer.output.empty());
+    auto key = std::make_pair(Str{}, r.answer.index);
+    ASSERT_TRUE(truth.count(key));
+    EXPECT_NEAR(r.confidence, truth.at(key), 1e-9);
+    EXPECT_LE(r.confidence, prev + 1e-12);
+    prev = r.confidence;
+  }
+}
+
+TEST(SimpleImaxEnumTest, MatchesLawlerEnumeratorStream) {
+  // The dedup-based enumerator (incremental polynomial time) must emit the
+  // same (output → score) mapping as the Lawler-based one, in a score-
+  // compatible order.
+  Rng rng(401);
+  for (int trial = 0; trial < 10; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+
+    auto lawler = ImaxEnumerator::Create(&mu, &p);
+    auto simple = SimpleImaxEnumerator::Create(&mu, &p);
+    ASSERT_TRUE(lawler.ok());
+    ASSERT_TRUE(simple.ok());
+
+    std::map<Str, double> lawler_scores, simple_scores;
+    std::vector<double> lawler_order, simple_order;
+    while (auto r = lawler->Next()) {
+      lawler_scores[r->output] = r->score;
+      lawler_order.push_back(r->score);
+    }
+    while (auto r = simple->Next()) {
+      simple_scores[r->output] = r->score;
+      simple_order.push_back(r->score);
+    }
+    ASSERT_EQ(simple_scores.size(), lawler_scores.size());
+    for (const auto& [o, score] : lawler_scores) {
+      ASSERT_TRUE(simple_scores.count(o));
+      EXPECT_NEAR(simple_scores.at(o), score, 1e-9);
+    }
+    // Both streams are score-sorted.
+    for (size_t i = 1; i < simple_order.size(); ++i) {
+      EXPECT_GE(simple_order[i - 1], simple_order[i] - 1e-9);
+      EXPECT_GE(lawler_order[i - 1], lawler_order[i] - 1e-9);
+    }
+    // The dedup enumerator consumed at least as many indexed answers as
+    // it emitted outputs (the duplicates are its extra cost).
+    EXPECT_GE(simple->consumed(),
+              static_cast<int64_t>(simple_scores.size()));
+  }
+}
+
+TEST(IndexedEnumTest, AlphabetMismatchRejected) {
+  Rng rng(5);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 3, 3, rng);
+  SProjector p = RandomSProjector(*Alphabet::FromNames({"0", "1"}), rng);
+  EXPECT_FALSE(IndexedEnumerator::Create(&mu, &p).ok());
+  EXPECT_FALSE(ImaxEnumerator::Create(&mu, &p).ok());
+  EXPECT_FALSE(IndexedConfidence::Create(&mu, &p).ok());
+}
+
+}  // namespace
+}  // namespace tms::projector

@@ -1,0 +1,153 @@
+// Cross-module integration: full pipelines from raw observations to ranked
+// answers, exercising every layer (HMM → posterior Markov sequence →
+// transducer / s-projector querying → ranked enumeration → confidence).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "hmm/translate.h"
+#include "projector/imax_enum.h"
+#include "projector/indexed_enum.h"
+#include "projector/sprojector_confidence.h"
+#include "query/confidence.h"
+#include "query/emax_enum.h"
+#include "query/evaluator.h"
+#include "query/unranked_enum.h"
+#include "test_util.h"
+#include "workload/hospital.h"
+#include "workload/random_models.h"
+#include "workload/text.h"
+
+namespace tms {
+namespace {
+
+TEST(IntegrationTest, HospitalPipelineEndToEnd) {
+  // Observations → posterior → place tracker → ranked answers with
+  // confidences, all validated against brute force.
+  workload::HospitalConfig config;
+  config.num_rooms = 1;       // keep the world count brute-forceable
+  config.locs_per_place = 1;  // 3 locations total
+  Rng rng(307);
+  auto scenario = workload::MakeScenario(config, 6, rng);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  transducer::Transducer tracker =
+      workload::PlaceTracker(scenario->model.states(), config);
+
+  auto eval = query::Evaluator::Create(&scenario->mu, &tracker);
+  ASSERT_TRUE(eval.ok());
+  auto topk = eval->TopK(5);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_FALSE(topk->empty());
+
+  auto truth = testing::BruteForceAnswers(scenario->mu, tracker);
+  for (const query::AnswerInfo& info : *topk) {
+    ASSERT_TRUE(truth.count(info.output));
+    EXPECT_NEAR(info.confidence, truth.at(info.output), 1e-6);
+  }
+  // E_max scores nonincreasing.
+  for (size_t i = 1; i < topk->size(); ++i) {
+    EXPECT_GE((*topk)[i - 1].emax, (*topk)[i].emax - 1e-12);
+  }
+  // The tracker output of the true trajectory is an answer.
+  auto true_output =
+      tracker.TransduceDeterministic(scenario->true_locations);
+  ASSERT_TRUE(true_output.has_value());
+  EXPECT_TRUE(truth.count(*true_output));
+}
+
+TEST(IntegrationTest, OcrExtractionEndToEnd) {
+  // Noisy OCR of a form line; the name extractor's ranked indexed answers
+  // must put the true name at (or near) the top and agree with the
+  // indexed-confidence computer.
+  Rng rng(311);
+  std::string line = workload::MakeFormLine("bob", 14, rng);
+  workload::OcrConfig ocr;
+  ocr.char_accuracy = 0.95;
+  ocr.confusion_spread = 1;
+  auto mu = workload::OcrSequence(line, ocr);
+  ASSERT_TRUE(mu.ok());
+  auto p = workload::NameExtractor();
+  ASSERT_TRUE(p.ok());
+
+  auto results = projector::TopKIndexed(*mu, *p, 10);
+  ASSERT_FALSE(results.empty());
+  auto conf = projector::IndexedConfidence::Create(&*mu, &*p);
+  ASSERT_TRUE(conf.ok());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_NEAR(conf->Confidence(results[i].answer), results[i].confidence,
+                1e-9);
+    if (i > 0) {
+      EXPECT_GE(results[i - 1].confidence, results[i].confidence - 1e-12);
+    }
+  }
+  // The true name appears among the extracted answers.
+  size_t name_pos = line.find("name:") + 5;
+  bool found = false;
+  for (const auto& r : results) {
+    if (FormatStrCompact(p->alphabet(), r.answer.output) == "bob" &&
+        r.answer.index == static_cast<int>(name_pos) + 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IntegrationTest, SProjectorThreeWayConsistency) {
+  // On one random instance: (1) the s-projector-as-transducer unranked
+  // enumeration, (2) the I_max ranked enumeration, and (3) the brute force
+  // all agree on the answer set; confidences agree across the
+  // concatenation-DFA algorithm and brute force.
+  Rng rng(313);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 5, 2, rng);
+  Alphabet ab = mu.nodes();
+  auto p = projector::SProjector::FromRegex(ab, ". *", "n0 n1 *", ". *");
+  ASSERT_TRUE(p.ok()) << p.status();
+  transducer::Transducer t = p->ToTransducer();
+
+  auto truth = testing::BruteForceSProjectorAnswers(mu, *p);
+  std::set<Str> expected;
+  for (const auto& [o, c] : truth) expected.insert(o);
+
+  std::set<Str> from_unranked;
+  for (const Str& o : query::AllAnswers(mu, t)) from_unranked.insert(o);
+  EXPECT_EQ(from_unranked, expected);
+
+  auto imax_it = projector::ImaxEnumerator::Create(&mu, &*p);
+  ASSERT_TRUE(imax_it.ok());
+  std::set<Str> from_imax;
+  while (auto r = imax_it->Next()) from_imax.insert(r->output);
+  EXPECT_EQ(from_imax, expected);
+
+  for (const auto& [o, c] : truth) {
+    auto conf = projector::SProjectorConfidence(mu, *p, o);
+    ASSERT_TRUE(conf.ok());
+    EXPECT_NEAR(*conf, c, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, PosteriorQueriedByFigure2StyleTracker) {
+  // HMM posterior + deterministic transducer: Theorem 4.6 confidence of
+  // every enumerated answer matches brute force.
+  workload::HospitalConfig config;
+  config.num_rooms = 1;
+  config.locs_per_place = 1;
+  Rng rng(317);
+  auto scenario = workload::MakeScenario(config, 5, rng);
+  ASSERT_TRUE(scenario.ok());
+  transducer::Transducer tracker =
+      workload::PlaceTracker(scenario->model.states(), config);
+  auto answers = query::AllAnswers(scenario->mu, tracker);
+  auto truth = testing::BruteForceAnswers(scenario->mu, tracker);
+  ASSERT_EQ(answers.size(), truth.size());
+  for (const Str& o : answers) {
+    auto conf = query::ConfidenceDeterministic(scenario->mu, tracker, o);
+    ASSERT_TRUE(conf.ok());
+    EXPECT_NEAR(*conf, truth.at(o), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,211 @@
+#include "io/text_format.h"
+
+#include <gtest/gtest.h>
+
+#include "numeric/rational.h"
+#include "query/confidence.h"
+#include "workload/running_example.h"
+
+namespace tms::io {
+namespace {
+
+constexpr char kTinySequence[] = R"(
+# a comment
+markov-sequence
+nodes x y
+length 3
+initial x 3/4 y 1/4
+transition 1 x -> x 1/2 y 1/2
+transition 1 y -> y 1
+transition 2 x -> y 1
+transition 2 y -> y 1
+end
+)";
+
+TEST(IoTest, ParseMarkovSequence) {
+  auto mu = ParseMarkovSequence(kTinySequence);
+  ASSERT_TRUE(mu.ok()) << mu.status();
+  EXPECT_EQ(mu->length(), 3);
+  EXPECT_EQ(mu->nodes().size(), 2u);
+  EXPECT_TRUE(mu->has_exact());
+  EXPECT_EQ(mu->InitialExact(0), numeric::Rational(3, 4));
+  EXPECT_EQ(mu->TransitionExact(1, 0, 1), numeric::Rational(1, 2));
+  EXPECT_EQ(mu->WorldProbabilityExact({0, 0, 1}), numeric::Rational(3, 8));
+}
+
+TEST(IoTest, MarkovSequenceRoundTrip) {
+  markov::MarkovSequence original = workload::Figure1Sequence();
+  std::string text = FormatMarkovSequence(original);
+  auto parsed = ParseMarkovSequence(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->length(), original.length());
+  EXPECT_TRUE(parsed->nodes() == original.nodes());
+  for (const workload::Table1Row& row : workload::Table1Rows()) {
+    Str world = *ParseStr(original.nodes(), row.world);
+    EXPECT_EQ(parsed->WorldProbabilityExact(world),
+              original.WorldProbabilityExact(world));
+  }
+}
+
+TEST(IoTest, ParseMarkovSequenceErrors) {
+  EXPECT_FALSE(ParseMarkovSequence("").ok());
+  EXPECT_FALSE(ParseMarkovSequence("transducer\nend\n").ok());
+  // Missing end.
+  EXPECT_FALSE(
+      ParseMarkovSequence("markov-sequence\nnodes x\nlength 1\ninitial x 1\n")
+          .ok());
+  // Unknown node in initial.
+  EXPECT_FALSE(ParseMarkovSequence("markov-sequence\nnodes x\nlength 1\n"
+                                   "initial zz 1\nend\n")
+                   .ok());
+  // Distribution does not sum to 1.
+  EXPECT_FALSE(ParseMarkovSequence("markov-sequence\nnodes x y\nlength 1\n"
+                                   "initial x 1/2\nend\n")
+                   .ok());
+  // Transition step out of range.
+  EXPECT_FALSE(ParseMarkovSequence("markov-sequence\nnodes x\nlength 2\n"
+                                   "initial x 1\ntransition 5 x -> x 1\nend\n")
+                   .ok());
+  // Unknown keyword.
+  EXPECT_FALSE(ParseMarkovSequence("markov-sequence\nbogus\nend\n").ok());
+}
+
+TEST(IoTest, TransducerRoundTrip) {
+  transducer::Transducer original = workload::Figure2Transducer();
+  std::string text = FormatTransducer(original);
+  auto parsed = ParseTransducer(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_states(), original.num_states());
+  EXPECT_TRUE(parsed->IsDeterministic());
+  // Behavioral equivalence on the Table 1 worlds.
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  for (const workload::Table1Row& row : workload::Table1Rows()) {
+    Str world = *ParseStr(mu.nodes(), row.world);
+    EXPECT_EQ(parsed->TransduceDeterministic(world),
+              original.TransduceDeterministic(world));
+  }
+}
+
+TEST(IoTest, ParseTransducerWithEmissions) {
+  constexpr char kText[] = R"(
+transducer
+input a b
+output x y
+states 2
+initial 0
+accepting 1
+edge 0 a -> 1 : x y
+edge 0 b -> 0 :
+edge 1 a -> 1 :
+edge 1 b -> 0 : y
+end
+)";
+  auto t = ParseTransducer(kText);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_states(), 2);
+  EXPECT_TRUE(t->IsAccepting(1));
+  EXPECT_FALSE(t->IsAccepting(0));
+  auto edges = t->Next(0, 0);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].output, (Str{0, 1}));  // "x y"
+  EXPECT_TRUE(t->Next(0, 1)[0].output.empty());
+}
+
+TEST(IoTest, ParseTransducerErrors) {
+  EXPECT_FALSE(ParseTransducer("markov-sequence\nend\n").ok());
+  // Edge to out-of-range state.
+  EXPECT_FALSE(ParseTransducer("transducer\ninput a\noutput x\nstates 1\n"
+                               "initial 0\nedge 0 a -> 5 :\nend\n")
+                   .ok());
+  // Unknown emission symbol.
+  EXPECT_FALSE(ParseTransducer("transducer\ninput a\noutput x\nstates 1\n"
+                               "initial 0\nedge 0 a -> 0 : zz\nend\n")
+                   .ok());
+  // Missing states.
+  EXPECT_FALSE(
+      ParseTransducer("transducer\ninput a\noutput x\ninitial 0\nend\n")
+          .ok());
+}
+
+TEST(IoTest, ParseSProjector) {
+  constexpr char kText[] = R"(
+s-projector
+alphabet a b c
+prefix . *
+pattern a +
+suffix c . *
+end
+)";
+  auto p = ParseSProjector(kText);
+  ASSERT_TRUE(p.ok()) << p.status();
+  const Alphabet& ab = p->alphabet();
+  Str s = *ParseStr(ab, "b a a c b");
+  EXPECT_TRUE(p->Matches(s, *ParseStr(ab, "a a")));
+  EXPECT_FALSE(p->Matches(s, *ParseStr(ab, "b")));
+}
+
+TEST(IoTest, SProjectorDefaultsToSimple) {
+  // prefix/suffix default to ". *".
+  constexpr char kText[] =
+      "s-projector\nalphabet a b\npattern a\nend\n";
+  auto p = ParseSProjector(kText);
+  ASSERT_TRUE(p.ok()) << p.status();
+  Str s = *ParseStr(p->alphabet(), "b a b");
+  EXPECT_TRUE(p->Matches(s, *ParseStr(p->alphabet(), "a")));
+}
+
+TEST(IoTest, ParseSProjectorErrors) {
+  EXPECT_FALSE(ParseSProjector("s-projector\nalphabet a\nend\n").ok());
+  EXPECT_FALSE(
+      ParseSProjector("s-projector\npattern a\nend\n").ok());  // no alphabet
+  EXPECT_FALSE(
+      ParseSProjector("s-projector\nalphabet a\npattern ( a\nend\n").ok());
+}
+
+TEST(IoTest, DecimalProbabilityLiterals) {
+  constexpr char kText[] = R"(
+markov-sequence
+nodes x y
+length 2
+initial x 0.25 y 0.75
+transition 1 x -> x 0.5 y 0.5
+transition 1 y -> y 1
+end
+)";
+  auto mu = ParseMarkovSequence(kText);
+  ASSERT_TRUE(mu.ok()) << mu.status();
+  EXPECT_TRUE(mu->has_exact());  // decimals are exact decimal rationals
+  EXPECT_EQ(mu->InitialExact(0), numeric::Rational(1, 4));
+  EXPECT_EQ(mu->TransitionExact(1, 0, 1), numeric::Rational(1, 2));
+  // Malformed decimal.
+  EXPECT_FALSE(ParseMarkovSequence("markov-sequence\nnodes x\nlength 1\n"
+                                   "initial x 0.2.5\nend\n")
+                   .ok());
+}
+
+TEST(IoTest, DetectFormat) {
+  EXPECT_EQ(*DetectFormat(kTinySequence), "markov-sequence");
+  EXPECT_EQ(*DetectFormat("transducer\nend"), "transducer");
+  EXPECT_EQ(*DetectFormat("# c\ns-projector\nend"), "s-projector");
+  EXPECT_FALSE(DetectFormat("").ok());
+  EXPECT_FALSE(DetectFormat("bogus stuff").ok());
+}
+
+TEST(IoTest, ReadFileErrors) {
+  EXPECT_FALSE(ReadFile("/nonexistent/definitely/missing").ok());
+}
+
+TEST(IoTest, ParsedModelsEvaluateCorrectly) {
+  // Sanity: the parsed Figure 1 + Figure 2 reproduce conf(12).
+  markov::MarkovSequence mu =
+      *ParseMarkovSequence(FormatMarkovSequence(workload::Figure1Sequence()));
+  transducer::Transducer t =
+      *ParseTransducer(FormatTransducer(workload::Figure2Transducer()));
+  auto conf = query::ConfidenceDeterministicExact(
+      mu, t, *ParseStr(t.output_alphabet(), "1 2"));
+  ASSERT_TRUE(conf.ok());
+  EXPECT_EQ(*conf, numeric::Rational(5802, 10000));
+}
+
+}  // namespace
+}  // namespace tms::io

@@ -1,0 +1,169 @@
+// k-order Markov sequences (footnote 3) and the order-reduction that
+// carries every algorithm of the paper over to them.
+
+#include "markov/korder.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "markov/world_iter.h"
+#include "query/confidence.h"
+#include "query/emax.h"
+#include "test_util.h"
+#include "transducer/classes.h"
+
+namespace tms::markov {
+namespace {
+
+// A 2nd-order sequence over {a, b}, length 4: the next symbol prefers to
+// repeat the pattern of the last two (period-2 bias).
+KOrderMarkovSequence SecondOrder() {
+  Alphabet ab = *Alphabet::FromNames({"a", "b"});
+  std::vector<double> initial = {0.6, 0.4};
+  std::vector<KOrderMarkovSequence::ConditionalRows> transitions(3);
+  // Step 1: histories of length 1.
+  transitions[0][{0}] = {0.7, 0.3};
+  transitions[0][{1}] = {0.2, 0.8};
+  // Steps 2 and 3: histories of length 2.
+  for (int step : {1, 2}) {
+    transitions[static_cast<size_t>(step)][{0, 0}] = {0.9, 0.1};
+    transitions[static_cast<size_t>(step)][{0, 1}] = {0.8, 0.2};
+    transitions[static_cast<size_t>(step)][{1, 0}] = {0.3, 0.7};
+    transitions[static_cast<size_t>(step)][{1, 1}] = {0.1, 0.9};
+  }
+  auto mu = KOrderMarkovSequence::Create(ab, 2, initial, transitions);
+  EXPECT_TRUE(mu.ok()) << mu.status();
+  return std::move(mu).value();
+}
+
+// All 2^4 worlds with their k-order probabilities.
+void ForEachKOrderWorld(const KOrderMarkovSequence& mu,
+                        const std::function<void(const Str&, double)>& fn) {
+  const int n = mu.length();
+  for (int bits = 0; bits < (1 << n); ++bits) {
+    Str world;
+    for (int i = 0; i < n; ++i) {
+      world.push_back((bits >> i) & 1);
+    }
+    fn(world, mu.WorldProbability(world));
+  }
+}
+
+TEST(KOrderTest, WorldProbabilitiesSumToOne) {
+  KOrderMarkovSequence mu = SecondOrder();
+  EXPECT_EQ(mu.length(), 4);
+  EXPECT_EQ(mu.order(), 2);
+  double total = 0;
+  ForEachKOrderWorld(mu, [&](const Str&, double p) { total += p; });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(KOrderTest, WorldProbabilityUsesFullHistory) {
+  KOrderMarkovSequence mu = SecondOrder();
+  // p(a b a a) = 0.6 · 0.3 · P(a | ab) · P(a | ba) = 0.6·0.3·0.8·0.3.
+  EXPECT_NEAR(mu.WorldProbability({0, 1, 0, 0}), 0.6 * 0.3 * 0.8 * 0.3,
+              1e-12);
+  // A first-order chain could not distinguish P(a|ab)=0.8 from
+  // P(a|bb)=0.1; verify both appear.
+  EXPECT_NEAR(mu.WorldProbability({1, 1, 0, 0}), 0.4 * 0.8 * 0.1 * 0.3,
+              1e-12);
+}
+
+TEST(KOrderTest, ToFirstOrderPreservesWorldProbabilities) {
+  KOrderMarkovSequence mu = SecondOrder();
+  auto lifted = mu.ToFirstOrder();
+  ASSERT_TRUE(lifted.ok()) << lifted.status();
+  // Lifted nodes: Σ + Σ² = 2 + 4 = 6.
+  EXPECT_EQ(lifted->mu.nodes().size(), 6u);
+
+  // Sum the lifted worlds by their projection; must match exactly.
+  std::map<Str, double> projected;
+  ForEachWorld(lifted->mu, [&](const Str& w, double p) {
+    projected[lifted->ProjectWorld(w)] += p;
+  });
+  ForEachKOrderWorld(mu, [&](const Str& world, double p) {
+    double lifted_p = projected.count(world) ? projected.at(world) : 0.0;
+    EXPECT_NEAR(lifted_p, p, 1e-12) << FormatStr(
+        *Alphabet::FromNames({"a", "b"}), world);
+  });
+}
+
+TEST(KOrderTest, LiftedQueriesMatchKOrderBruteForce) {
+  // The footnote's content: run a transducer query against the k-order
+  // data by lifting it, and check confidences against the k-order brute
+  // force.
+  KOrderMarkovSequence mu = SecondOrder();
+  auto lifted = mu.ToFirstOrder();
+  ASSERT_TRUE(lifted.ok());
+
+  // Query: emit x whenever "b" follows "a" (a Mealy-style detector).
+  Alphabet ab = *Alphabet::FromNames({"a", "b"});
+  Alphabet out = *Alphabet::FromNames({"x", "y"});
+  transducer::Transducer t(ab, out, 2);
+  t.SetInitial(0);
+  t.SetAllAccepting();
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {}).ok());   // a from a-state
+  ASSERT_TRUE(t.AddTransition(0, 1, 1, {}).ok());   // b: remember
+  ASSERT_TRUE(t.AddTransition(1, 0, 0, {0}).ok());  // a after b: emit x
+  ASSERT_TRUE(t.AddTransition(1, 1, 1, {1}).ok());  // b after b: emit y
+
+  auto lifted_t = lifted->LiftTransducer(t);
+  ASSERT_TRUE(lifted_t.ok()) << lifted_t.status();
+
+  // Brute-force k-order confidences.
+  std::map<Str, double> expected;
+  ForEachKOrderWorld(mu, [&](const Str& world, double p) {
+    if (p <= 0) return;
+    for (const Str& o : t.TransduceAll(world)) expected[o] += p;
+  });
+  auto got = testing::BruteForceAnswers(lifted->mu, *lifted_t);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [o, conf] : expected) {
+    ASSERT_TRUE(got.count(o));
+    EXPECT_NEAR(got.at(o), conf, 1e-12);
+    // And via the polynomial algorithm on the lifted instance.
+    auto dp = query::Confidence(lifted->mu, *lifted_t, o);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_NEAR(*dp, conf, 1e-9);
+  }
+}
+
+TEST(KOrderTest, ValidationErrors) {
+  Alphabet ab = *Alphabet::FromNames({"a", "b"});
+  // Missing reachable history row.
+  std::vector<KOrderMarkovSequence::ConditionalRows> missing(1);
+  missing[0][{0}] = {0.5, 0.5};  // history {b} missing but reachable
+  EXPECT_FALSE(
+      KOrderMarkovSequence::Create(ab, 2, {0.5, 0.5}, missing).ok());
+  // Row does not sum to 1.
+  std::vector<KOrderMarkovSequence::ConditionalRows> bad(1);
+  bad[0][{0}] = {0.5, 0.4};
+  bad[0][{1}] = {0.5, 0.5};
+  EXPECT_FALSE(KOrderMarkovSequence::Create(ab, 2, {1.0, 0.0}, bad).ok());
+  // order < 1.
+  EXPECT_FALSE(KOrderMarkovSequence::Create(ab, 0, {1.0, 0.0}, {}).ok());
+  // Valid length-1.
+  EXPECT_TRUE(KOrderMarkovSequence::Create(ab, 3, {1.0, 0.0}, {}).ok());
+}
+
+TEST(KOrderTest, OrderOneMatchesFirstOrderSemantics) {
+  // k = 1 reduces to an ordinary Markov sequence (histories of length 1).
+  Alphabet ab = *Alphabet::FromNames({"a", "b"});
+  std::vector<KOrderMarkovSequence::ConditionalRows> transitions(2);
+  for (int step : {0, 1}) {
+    transitions[static_cast<size_t>(step)][{0}] = {0.9, 0.1};
+    transitions[static_cast<size_t>(step)][{1}] = {0.4, 0.6};
+  }
+  auto mu = KOrderMarkovSequence::Create(ab, 1, {0.5, 0.5}, transitions);
+  ASSERT_TRUE(mu.ok());
+  auto lifted = mu->ToFirstOrder();
+  ASSERT_TRUE(lifted.ok());
+  EXPECT_EQ(lifted->mu.nodes().size(), 2u);  // histories = Σ
+  EXPECT_NEAR(lifted->mu.WorldProbability({0, 0, 1}), 0.5 * 0.9 * 0.1,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace tms::markov

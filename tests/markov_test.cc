@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "markov/builder.h"
+#include "markov/markov_sequence.h"
+#include "markov/world_iter.h"
+#include "workload/random_models.h"
+
+namespace tms::markov {
+namespace {
+
+MarkovSequence TinyChain() {
+  MarkovSequenceBuilder b({"x", "y"}, 3);
+  b.SetInitial("x", {3, 4});
+  b.SetInitial("y", {1, 4});
+  b.SetAllTransitions("x", "x", {1, 2});
+  b.SetAllTransitions("x", "y", {1, 2});
+  b.SetAllTransitions("y", "y", {1, 1});
+  auto mu = b.Build();
+  EXPECT_TRUE(mu.ok()) << mu.status();
+  return std::move(mu).value();
+}
+
+TEST(MarkovSequenceTest, BasicAccessors) {
+  MarkovSequence mu = TinyChain();
+  EXPECT_EQ(mu.length(), 3);
+  EXPECT_EQ(mu.nodes().size(), 2u);
+  EXPECT_DOUBLE_EQ(mu.Initial(0), 0.75);
+  EXPECT_DOUBLE_EQ(mu.Transition(1, 0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(mu.Transition(2, 1, 1), 1.0);
+  EXPECT_TRUE(mu.has_exact());
+  EXPECT_EQ(mu.InitialExact(0), numeric::Rational(3, 4));
+}
+
+TEST(MarkovSequenceTest, WorldProbabilityEquationOne) {
+  MarkovSequence mu = TinyChain();
+  // p(x x y) = 3/4 · 1/2 · 1/2.
+  EXPECT_DOUBLE_EQ(mu.WorldProbability({0, 0, 1}), 0.75 * 0.5 * 0.5);
+  EXPECT_EQ(mu.WorldProbabilityExact({0, 0, 1}),
+            numeric::Rational(3, 16));
+  // y can never go back to x.
+  EXPECT_DOUBLE_EQ(mu.WorldProbability({1, 0, 0}), 0.0);
+  EXPECT_NEAR(mu.WorldLogProbability({0, 0, 1}).ToLinear(), 3.0 / 16, 1e-12);
+  EXPECT_TRUE(mu.WorldLogProbability({1, 0, 0}).IsZero());
+}
+
+TEST(MarkovSequenceTest, WorldsSumToOne) {
+  MarkovSequence mu = TinyChain();
+  double total = 0;
+  int count = 0;
+  ForEachWorld(mu, [&](const Str&, double p) {
+    total += p;
+    ++count;
+  });
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Support worlds: xxx, xxy, xyy, yyy.
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(mu.CountSupportWorlds().ToString(), "4");
+
+  numeric::Rational exact_total;
+  ForEachWorldExact(mu, [&](const Str&, const numeric::Rational& p) {
+    exact_total += p;
+  });
+  EXPECT_EQ(exact_total, numeric::Rational(1));
+}
+
+TEST(MarkovSequenceTest, MarginalsMatchBruteForce) {
+  Rng rng(3);
+  MarkovSequence mu = workload::RandomMarkovSequence(3, 4, 3, rng);
+  for (int i = 1; i <= mu.length(); ++i) {
+    std::vector<double> expected(mu.nodes().size(), 0.0);
+    ForEachWorld(mu, [&](const Str& w, double p) {
+      expected[static_cast<size_t>(w[static_cast<size_t>(i - 1)])] += p;
+    });
+    std::vector<double> got = mu.Marginal(i);
+    for (size_t s = 0; s < expected.size(); ++s) {
+      EXPECT_NEAR(got[s], expected[s], 1e-10);
+    }
+  }
+}
+
+TEST(MarkovSequenceTest, SamplingFollowsDistribution) {
+  MarkovSequence mu = TinyChain();
+  Rng rng(99);
+  std::map<Str, int> counts;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ++counts[SampleWorld(mu, rng)];
+  for (const auto& [world, count] : counts) {
+    double expected = mu.WorldProbability(world);
+    EXPECT_NEAR(static_cast<double>(count) / trials, expected, 0.02)
+        << FormatStr(mu.nodes(), world);
+  }
+}
+
+TEST(MarkovSequenceTest, MostLikelyWorld) {
+  MarkovSequence mu = TinyChain();
+  auto [world, prob] = MostLikelyWorld(mu);
+  double best = 0;
+  Str best_world;
+  ForEachWorld(mu, [&](const Str& w, double p) {
+    if (p > best) {
+      best = p;
+      best_world = w;
+    }
+  });
+  EXPECT_NEAR(prob, best, 1e-12);
+  EXPECT_DOUBLE_EQ(mu.WorldProbability(world), best);
+}
+
+TEST(MarkovSequenceTest, ValidationRejectsBadDistributions) {
+  Alphabet nodes = *Alphabet::FromNames({"x", "y"});
+  // Initial does not sum to 1.
+  EXPECT_FALSE(MarkovSequence::Create(nodes, {0.5, 0.4}, {}).ok());
+  // Negative probability.
+  EXPECT_FALSE(MarkovSequence::Create(nodes, {1.5, -0.5}, {}).ok());
+  // Wrong matrix size.
+  EXPECT_FALSE(MarkovSequence::Create(nodes, {0.5, 0.5}, {{0.5, 0.5}}).ok());
+  // Row does not sum to 1.
+  EXPECT_FALSE(
+      MarkovSequence::Create(nodes, {0.5, 0.5}, {{1, 0, 0.5, 0.4}}).ok());
+  // Valid length-1 sequence (no transitions).
+  EXPECT_TRUE(MarkovSequence::Create(nodes, {0.5, 0.5}, {}).ok());
+  // Empty node set.
+  EXPECT_FALSE(MarkovSequence::Create(Alphabet(), {}, {}).ok());
+}
+
+TEST(MarkovSequenceTest, ExactValidationRequiresExactSums) {
+  Alphabet nodes = *Alphabet::FromNames({"x"});
+  EXPECT_TRUE(
+      MarkovSequence::CreateExact(nodes, {numeric::Rational(1)}, {}).ok());
+  EXPECT_FALSE(
+      MarkovSequence::CreateExact(nodes, {numeric::Rational(99, 100)}, {})
+          .ok());
+}
+
+TEST(BuilderTest, ReportsUnknownNodes) {
+  MarkovSequenceBuilder b({"x"}, 2);
+  b.SetInitial("nope", {1, 1});
+  EXPECT_FALSE(b.Build().ok());
+
+  MarkovSequenceBuilder b2({"x"}, 2);
+  b2.SetInitial("x", {1, 1});
+  b2.SetTransition(5, "x", "x", {1, 1});  // out of range
+  EXPECT_FALSE(b2.Build().ok());
+}
+
+TEST(BuilderTest, LengthOne) {
+  MarkovSequenceBuilder b({"x", "y"}, 1);
+  b.SetInitial("x", {1, 2});
+  b.SetInitial("y", {1, 2});
+  auto mu = b.Build();
+  ASSERT_TRUE(mu.ok());
+  EXPECT_EQ(mu->length(), 1);
+  int worlds = 0;
+  ForEachWorld(*mu, [&](const Str& w, double p) {
+    EXPECT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(p, 0.5);
+    ++worlds;
+  });
+  EXPECT_EQ(worlds, 2);
+}
+
+}  // namespace
+}  // namespace tms::markov

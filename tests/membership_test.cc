@@ -1,0 +1,77 @@
+#include "query/membership.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::query {
+namespace {
+
+TEST(MembershipTest, RunningExampleAnswers) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  const Alphabet& out = fig2.output_alphabet();
+  EXPECT_TRUE(IsPossibleAnswer(mu, fig2, *ParseStr(out, "1 2")));
+  EXPECT_TRUE(IsPossibleAnswer(mu, fig2, *ParseStr(out, "2 1 λ")));
+  EXPECT_TRUE(IsPossibleAnswer(mu, fig2, {}));  // ε is an answer (row w)
+  EXPECT_FALSE(IsPossibleAnswer(mu, fig2, *ParseStr(out, "λ")));
+  EXPECT_FALSE(IsPossibleAnswer(mu, fig2, *ParseStr(out, "1 1")));
+  EXPECT_TRUE(HasAnyAnswer(mu, fig2));
+  EXPECT_TRUE(HasAnswerWithPrefix(mu, fig2, *ParseStr(out, "2 1")));
+  EXPECT_FALSE(HasAnswerWithPrefix(mu, fig2, *ParseStr(out, "λ")));
+}
+
+TEST(MembershipTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(71);
+  for (int trial = 0; trial < 25; ++trial) {
+    Alphabet in = workload::MakeSymbols(2);
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 3;
+    opts.max_emission = 2;
+    opts.deterministic = rng.Bernoulli(0.5);
+    transducer::Transducer t =
+        workload::RandomTransducer(mu.nodes(), opts, rng);
+    auto truth = testing::BruteForceAnswers(mu, t);
+    // Every brute-force answer must be recognized; a few non-answers must
+    // be rejected.
+    for (const auto& [o, conf] : truth) {
+      EXPECT_TRUE(IsPossibleAnswer(mu, t, o)) << "missed answer";
+      // Every prefix of an answer passes the prefix test.
+      for (size_t l = 0; l <= o.size(); ++l) {
+        Str prefix(o.begin(), o.begin() + static_cast<long>(l));
+        EXPECT_TRUE(HasAnswerWithPrefix(mu, t, prefix));
+      }
+    }
+    EXPECT_EQ(HasAnyAnswer(mu, t), !truth.empty());
+    // Random probe strings.
+    for (int probe = 0; probe < 10; ++probe) {
+      Str o;
+      int len = static_cast<int>(rng.UniformInt(0, 6));
+      for (int i = 0; i < len; ++i) {
+        o.push_back(static_cast<Symbol>(rng.UniformInt(0, 1)));
+      }
+      EXPECT_EQ(IsPossibleAnswer(mu, t, o), truth.count(o) > 0)
+          << "probe mismatch";
+    }
+  }
+}
+
+TEST(MembershipTest, SelectiveTransducerMayHaveNoAnswers) {
+  // A transducer whose NFA accepts nothing reachable.
+  Alphabet ab = workload::MakeSymbols(2, "n");
+  Rng rng(5);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 3, 2, rng);
+  transducer::Transducer t(mu.nodes(), ab, 1);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {}).ok());
+  ASSERT_TRUE(t.AddTransition(0, 1, 0, {}).ok());
+  // No accepting states.
+  EXPECT_FALSE(HasAnyAnswer(mu, t));
+  EXPECT_FALSE(IsPossibleAnswer(mu, t, {}));
+}
+
+}  // namespace
+}  // namespace tms::query

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "numeric/bigint.h"
+#include "numeric/log_prob.h"
+#include "numeric/rational.h"
+
+namespace tms::numeric {
+namespace {
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).ToString(), "0");
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-17).ToString(), "-17");
+  EXPECT_EQ(BigInt(1234567890123456789LL).ToString(), "1234567890123456789");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromString) {
+  EXPECT_EQ(BigInt::FromString("0")->ToString(), "0");
+  EXPECT_EQ(BigInt::FromString("-12345")->ToString(), "-12345");
+  EXPECT_EQ(
+      BigInt::FromString("340282366920938463463374607431768211456")->ToString(),
+      "340282366920938463463374607431768211456");  // 2^128
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("12x3").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+}
+
+TEST(BigIntTest, ArithmeticMatchesInt64) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    int64_t a = rng.UniformInt(-1000000, 1000000);
+    int64_t b = rng.UniformInt(-1000000, 1000000);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToString(), std::to_string(a + b));
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToString(), std::to_string(a - b));
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToString(), std::to_string(a * b));
+    if (b != 0) {
+      EXPECT_EQ((BigInt(a) / BigInt(b)).ToString(), std::to_string(a / b));
+      EXPECT_EQ((BigInt(a) % BigInt(b)).ToString(), std::to_string(a % b));
+    }
+  }
+}
+
+TEST(BigIntTest, LargeMultiplicationAndDivisionRoundTrip) {
+  BigInt a = *BigInt::FromString("123456789012345678901234567890");
+  BigInt b = *BigInt::FromString("987654321098765432109876543210");
+  BigInt product = a * b;
+  EXPECT_EQ(product / a, b);
+  EXPECT_EQ(product / b, a);
+  EXPECT_TRUE((product % a).IsZero());
+  EXPECT_EQ(product + BigInt(17) - product, BigInt(17));
+}
+
+TEST(BigIntTest, PowersOfTwoBitLength) {
+  BigInt v(1);
+  const BigInt two(2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(v.BitLength(), static_cast<size_t>(i + 1));
+    v *= two;
+  }
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(100), BigInt(99));
+  EXPECT_EQ(BigInt(0), BigInt(0));
+  EXPECT_LE(BigInt(7), BigInt(7));
+  BigInt big = *BigInt::FromString("99999999999999999999999999");
+  EXPECT_GT(big, BigInt(INT64_MAX));
+  EXPECT_LT(-big, BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(1000000).ToDouble(), 1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-250).ToDouble(), -250.0);
+  BigInt huge = *BigInt::FromString("10000000000000000000000");  // 1e22
+  EXPECT_NEAR(huge.ToDouble(), 1e22, 1e7);
+}
+
+TEST(RationalTest, NormalizationToLowestTerms) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.ToString(), "3/4");
+  EXPECT_EQ(Rational(-6, 8).ToString(), "-3/4");
+  EXPECT_EQ(Rational(6, -8).ToString(), "-3/4");
+  EXPECT_EQ(Rational(0, 5).ToString(), "0");
+  EXPECT_EQ(Rational(10, 5).ToString(), "2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(RationalTest, ProbabilitySumsExactlyToOne) {
+  // The failure mode exact arithmetic exists to avoid: 10 × 0.1 == 1.
+  Rational tenth(1, 10);
+  Rational sum;
+  for (int i = 0; i < 10; ++i) sum += tenth;
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(7, 9), Rational(7, 9));
+}
+
+TEST(RationalTest, FromDoubleIsExact) {
+  EXPECT_EQ(Rational::FromDouble(0.5).ToString(), "1/2");
+  EXPECT_EQ(Rational::FromDouble(0.25), Rational(1, 4));
+  EXPECT_EQ(Rational::FromDouble(3.0), Rational(3));
+  // 0.1 is not exactly 1/10 in binary; FromDouble must return the true
+  // dyadic value, which converts back to exactly the same double.
+  EXPECT_DOUBLE_EQ(Rational::FromDouble(0.1).ToDouble(), 0.1);
+  EXPECT_NE(Rational::FromDouble(0.1), Rational(1, 10));
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::FromString("3/9")->ToString(), "1/3");
+  EXPECT_EQ(Rational::FromString("-7")->ToString(), "-7");
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("a/b").ok());
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+  EXPECT_NEAR(Rational(1, 3).ToDouble(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(LogProbTest, ZeroAndOne) {
+  EXPECT_TRUE(LogProb::Zero().IsZero());
+  EXPECT_DOUBLE_EQ(LogProb::One().ToLinear(), 1.0);
+  EXPECT_TRUE(LogProb::FromLinear(0.0).IsZero());
+}
+
+TEST(LogProbTest, MultiplicationMatchesLinear) {
+  LogProb a = LogProb::FromLinear(0.3);
+  LogProb b = LogProb::FromLinear(0.4);
+  EXPECT_NEAR((a * b).ToLinear(), 0.12, 1e-12);
+  EXPECT_TRUE((a * LogProb::Zero()).IsZero());
+}
+
+TEST(LogProbTest, AdditionIsLogSumExp) {
+  LogProb a = LogProb::FromLinear(0.3);
+  LogProb b = LogProb::FromLinear(0.4);
+  EXPECT_NEAR((a + b).ToLinear(), 0.7, 1e-12);
+  EXPECT_NEAR((a + LogProb::Zero()).ToLinear(), 0.3, 1e-12);
+}
+
+TEST(LogProbTest, NoUnderflowOnLongProducts) {
+  // 0.5^10000 underflows double; the log domain keeps the exponent.
+  LogProb p = LogProb::One();
+  LogProb half = LogProb::FromLinear(0.5);
+  for (int i = 0; i < 10000; ++i) p *= half;
+  EXPECT_FALSE(p.IsZero());
+  EXPECT_NEAR(p.log(), 10000 * std::log(0.5), 1e-6);
+  LogProb q = p;
+  EXPECT_FALSE((p * q).IsZero());
+  EXPECT_LT(p * q, p);
+}
+
+TEST(LogProbTest, Ordering) {
+  EXPECT_LT(LogProb::FromLinear(0.1), LogProb::FromLinear(0.2));
+  EXPECT_LT(LogProb::Zero(), LogProb::FromLinear(1e-300));
+}
+
+}  // namespace
+}  // namespace tms::numeric

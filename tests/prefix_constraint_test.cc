@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "ranking/lawler.h"
+#include "ranking/prefix_constraint.h"
+
+namespace tms::ranking {
+namespace {
+
+// All strings over {0,1} of length <= max_len.
+std::vector<Str> AllStrings(int max_len) {
+  std::vector<Str> out = {{}};
+  std::vector<Str> frontier = {{}};
+  for (int l = 0; l < max_len; ++l) {
+    std::vector<Str> next;
+    for (const Str& s : frontier) {
+      for (Symbol d : {0, 1}) {
+        Str ext = s;
+        ext.push_back(d);
+        out.push_back(ext);
+        next.push_back(std::move(ext));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+TEST(OutputConstraintTest, AllAdmitsEverything) {
+  OutputConstraint all = OutputConstraint::All();
+  for (const Str& s : AllStrings(3)) EXPECT_TRUE(all.Admits(s));
+}
+
+TEST(OutputConstraintTest, AdmitsSemantics) {
+  OutputConstraint c;
+  c.prefix = {1, 0};
+  c.excluded_next = {1};
+  c.allow_equal = false;
+  EXPECT_FALSE(c.Admits({1, 0}));       // equality disallowed
+  EXPECT_FALSE(c.Admits({1}));          // too short
+  EXPECT_FALSE(c.Admits({0, 0, 1}));    // wrong prefix
+  EXPECT_FALSE(c.Admits({1, 0, 1}));    // excluded next symbol
+  EXPECT_TRUE(c.Admits({1, 0, 0}));
+  EXPECT_TRUE(c.Admits({1, 0, 0, 1}));
+}
+
+TEST(OutputConstraintTest, PartitionIsDisjointAndExhaustive) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    OutputConstraint c;
+    int plen = static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < plen; ++i) {
+      c.prefix.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    }
+    if (rng.Bernoulli(0.3)) c.excluded_next.insert(0);
+    c.allow_equal = rng.Bernoulli(0.5);
+
+    // Pick a random admitted winner.
+    std::vector<Str> admitted;
+    for (const Str& s : AllStrings(4)) {
+      if (c.Admits(s)) admitted.push_back(s);
+    }
+    if (admitted.empty()) continue;
+    const Str winner =
+        admitted[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(admitted.size()) - 1))];
+
+    std::vector<OutputConstraint> children = c.PartitionAfter(winner);
+    for (const Str& s : AllStrings(4)) {
+      int count = 0;
+      for (const OutputConstraint& child : children) {
+        if (child.Admits(s)) ++count;
+      }
+      if (s == winner) {
+        EXPECT_EQ(count, 0) << "winner must be excluded";
+      } else if (c.Admits(s)) {
+        EXPECT_EQ(count, 1) << "admitted strings covered exactly once";
+      } else {
+        EXPECT_EQ(count, 0) << "non-admitted strings stay excluded";
+      }
+    }
+  }
+}
+
+TEST(OutputConstraintTest, ToDfaMatchesAdmits) {
+  Alphabet ab = *Alphabet::FromNames({"0", "1"});
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    OutputConstraint c;
+    int plen = static_cast<int>(rng.UniformInt(0, 3));
+    for (int i = 0; i < plen; ++i) {
+      c.prefix.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    }
+    if (rng.Bernoulli(0.4)) c.excluded_next.insert(rng.Bernoulli(0.5) ? 1 : 0);
+    c.allow_equal = rng.Bernoulli(0.5);
+    automata::Dfa dfa = c.ToDfa(ab);
+    for (const Str& s : AllStrings(5)) {
+      EXPECT_EQ(dfa.Accepts(s), c.Admits(s))
+          << c.ToString(ab) << " on " << FormatStr(ab, s);
+    }
+  }
+}
+
+TEST(LawlerTest, EnumeratesFiniteSpaceInScoreOrder) {
+  // Space: all strings over {0,1} of length <= 3 with arbitrary scores.
+  std::vector<Str> space = AllStrings(3);
+  auto score = [](const Str& s) {
+    double v = 1.0;
+    for (Symbol d : s) v = v * 0.6 + (d == 1 ? 0.3 : 0.1);
+    return v;
+  };
+  SubspaceSolver solver =
+      [&](const OutputConstraint& c) -> std::optional<ScoredAnswer> {
+    std::optional<ScoredAnswer> best;
+    for (const Str& s : space) {
+      if (!c.Admits(s)) continue;
+      double v = score(s);
+      if (!best.has_value() || v > best->score) best = ScoredAnswer{s, v};
+    }
+    return best;
+  };
+  LawlerEnumerator it(solver);
+  std::vector<ScoredAnswer> results;
+  while (auto answer = it.Next()) results.push_back(*answer);
+  ASSERT_EQ(results.size(), space.size());
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+  // Every string appears exactly once.
+  std::set<Str> seen;
+  for (const auto& r : results) EXPECT_TRUE(seen.insert(r.output).second);
+}
+
+TEST(LawlerTest, EmptySpace) {
+  SubspaceSolver solver =
+      [](const OutputConstraint&) -> std::optional<ScoredAnswer> {
+    return std::nullopt;
+  };
+  LawlerEnumerator it(solver);
+  EXPECT_FALSE(it.Next().has_value());
+}
+
+}  // namespace
+}  // namespace tms::ranking

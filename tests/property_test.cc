@@ -1,0 +1,246 @@
+// Deep randomized property suites that cut across modules: arithmetic
+// fuzzing against native wide integers, automata algebra laws, k-best-path
+// stress with ties, and serialization round-trips of random models.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "automata/ops.h"
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "graph/k_best_paths.h"
+#include "io/text_format.h"
+#include "numeric/bigint.h"
+#include "query/confidence.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+
+namespace tms {
+namespace {
+
+TEST(BigIntPropertyTest, MatchesInt128OnWideOperands) {
+  Rng rng(501);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t a = rng.UniformInt(INT64_MIN / 4, INT64_MAX / 4);
+    int64_t b = rng.UniformInt(INT64_MIN / 4, INT64_MAX / 4);
+    __int128 wide = static_cast<__int128>(a) * b;
+    // Render the __int128 product in decimal for comparison.
+    bool negative = wide < 0;
+    unsigned __int128 mag =
+        negative ? -static_cast<unsigned __int128>(wide)
+                 : static_cast<unsigned __int128>(wide);
+    std::string expected;
+    if (mag == 0) expected = "0";
+    while (mag != 0) {
+      expected.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+      mag /= 10;
+    }
+    if (negative && expected != "0") expected.push_back('-');
+    std::reverse(expected.begin(), expected.end());
+    EXPECT_EQ((numeric::BigInt(a) * numeric::BigInt(b)).ToString(), expected);
+
+    if (b != 0) {
+      EXPECT_EQ((numeric::BigInt(a) / numeric::BigInt(b)).ToString(),
+                std::to_string(a / b));
+      // Division identity on the wide product.
+      numeric::BigInt product = numeric::BigInt(a) * numeric::BigInt(b);
+      EXPECT_EQ(product / numeric::BigInt(b), numeric::BigInt(a));
+    }
+  }
+}
+
+TEST(BigIntPropertyTest, DivModIdentity) {
+  Rng rng(503);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random big operands built from several 63-bit chunks.
+    auto random_big = [&rng]() {
+      numeric::BigInt v(rng.UniformInt(-1000000, 1000000));
+      int chunks = static_cast<int>(rng.UniformInt(0, 3));
+      for (int c = 0; c < chunks; ++c) {
+        v = v * numeric::BigInt(rng.UniformInt(1, INT64_MAX)) +
+            numeric::BigInt(rng.UniformInt(-1000, 1000));
+      }
+      return v;
+    };
+    numeric::BigInt a = random_big();
+    numeric::BigInt b = random_big();
+    if (b.IsZero()) continue;
+    numeric::BigInt q = a / b;
+    numeric::BigInt r = a % b;
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.Abs(), b.Abs());
+    // Remainder carries the dividend's sign (or is zero).
+    if (!r.IsZero()) {
+      EXPECT_EQ(r.Sign(), a.Sign());
+    }
+  }
+}
+
+TEST(AutomataPropertyTest, ComplementLawsHold) {
+  Rng rng(509);
+  Alphabet ab = workload::MakeSymbols(2);
+  for (int trial = 0; trial < 25; ++trial) {
+    automata::Nfa nfa = workload::RandomNfa(ab, 4, 1.2, rng);
+    automata::Dfa dfa = automata::Determinize(nfa);
+    automata::Dfa comp = automata::Complement(dfa);
+    // L ∪ ¬L = Σ*, L ∩ ¬L = ∅.
+    EXPECT_TRUE(automata::IsUniversal(
+        automata::Product(dfa, comp, automata::BoolOp::kOr)));
+    EXPECT_TRUE(automata::IsEmpty(
+        automata::Product(dfa, comp, automata::BoolOp::kAnd).ToNfa()));
+    // Double complement is the identity.
+    EXPECT_TRUE(automata::Equivalent(automata::Complement(comp), dfa));
+  }
+}
+
+TEST(AutomataPropertyTest, MinimizationIsCanonicalInSize) {
+  // Two differently-built automata for the same language minimize to the
+  // same number of states (Myhill–Nerode canonicity).
+  Rng rng(521);
+  Alphabet ab = workload::MakeSymbols(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    automata::Nfa a = workload::RandomNfa(ab, 3, 1.2, rng);
+    automata::Nfa b = workload::RandomNfa(ab, 3, 1.2, rng);
+    // Build L(a) ∪ L(b) two ways: NfaUnion, and DFA product-of-or.
+    automata::Dfa via_nfa =
+        automata::Minimize(automata::Determinize(automata::NfaUnion(a, b)));
+    automata::Dfa via_product = automata::Minimize(
+        automata::Product(automata::Determinize(a), automata::Determinize(b),
+                          automata::BoolOp::kOr));
+    EXPECT_TRUE(automata::Equivalent(via_nfa, via_product));
+    EXPECT_EQ(via_nfa.num_states(), via_product.num_states());
+  }
+}
+
+TEST(AutomataPropertyTest, ShortestAcceptedIsShortestAndAccepted) {
+  Rng rng(523);
+  Alphabet ab = workload::MakeSymbols(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    automata::Nfa nfa = workload::RandomNfa(ab, 4, 0.8, rng, 0.3);
+    auto shortest = automata::ShortestAccepted(nfa);
+    if (!shortest.has_value()) {
+      EXPECT_TRUE(automata::IsEmpty(nfa));
+      continue;
+    }
+    EXPECT_TRUE(nfa.Accepts(*shortest));
+    // Nothing shorter is accepted.
+    for (size_t len = 0; len < shortest->size(); ++len) {
+      EXPECT_TRUE(
+          automata::EnumerateAcceptedStrings(nfa, static_cast<int>(len))
+              .empty());
+    }
+  }
+}
+
+TEST(AutomataPropertyTest, RegexAlgebra) {
+  Alphabet ab = *Alphabet::FromNames({"a", "b"});
+  // (a|b)* is universal.
+  EXPECT_TRUE(
+      automata::IsUniversal(*automata::CompileRegexToDfa(ab, "( a | b ) *")));
+  // a* a = a+ (as languages).
+  EXPECT_TRUE(automata::Equivalent(*automata::CompileRegexToDfa(ab, "a * a"),
+                                   *automata::CompileRegexToDfa(ab, "a +")));
+  // (ab)+ vs a(ba)*b.
+  EXPECT_TRUE(automata::Equivalent(
+      *automata::CompileRegexToDfa(ab, "( a b ) +"),
+      *automata::CompileRegexToDfa(ab, "a ( b a ) * b")));
+  // ¬(anything with an a) = b*.
+  automata::Dfa no_a =
+      automata::Complement(*automata::CompileRegexToDfa(ab, ". * a . *"));
+  EXPECT_TRUE(
+      automata::Equivalent(no_a, *automata::CompileRegexToDfa(ab, "b *")));
+}
+
+TEST(GraphPropertyTest, KBestHandlesHeavyTies) {
+  // A layered DAG where every edge has cost 1: all paths tie; the
+  // enumerator must still emit each exactly once.
+  graph::WeightedDag dag(2 + 3 * 4);
+  auto node = [](int l, int w) { return 2 + l * 4 + w; };
+  for (int w = 0; w < 4; ++w) dag.AddEdge(0, node(0, w), 1.0);
+  for (int l = 0; l + 1 < 3; ++l) {
+    for (int w = 0; w < 4; ++w) {
+      for (int w2 = 0; w2 < 4; ++w2) {
+        dag.AddEdge(node(l, w), node(l + 1, w2), 1.0);
+      }
+    }
+  }
+  for (int w = 0; w < 4; ++w) dag.AddEdge(node(2, w), 1, 1.0);
+  // 4 first-layer choices × 4 × 4 = 64 paths, all of cost 4.
+  auto count_check = dag.CountPaths(0, 1);
+  ASSERT_TRUE(count_check.ok());
+  EXPECT_EQ(*count_check, 64);
+  graph::KBestPathsEnumerator it(dag, 0, 1);
+  std::set<std::vector<graph::EdgeId>> seen;
+  int count = 0;
+  while (auto p = it.Next()) {
+    EXPECT_DOUBLE_EQ(p->cost, 4.0);
+    EXPECT_TRUE(seen.insert(p->edges).second);
+    ++count;
+  }
+  EXPECT_EQ(count, 64);
+}
+
+TEST(IoPropertyTest, RandomModelRoundTrips) {
+  Rng rng(541);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random transducer round-trip: behavior preserved on random inputs.
+    Alphabet ab = workload::MakeSymbols(2);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 3;
+    opts.max_emission = 2;
+    transducer::Transducer t = workload::RandomTransducer(ab, opts, rng);
+    auto parsed = io::ParseTransducer(io::FormatTransducer(t));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    for (int probe = 0; probe < 10; ++probe) {
+      Str input;
+      int len = static_cast<int>(rng.UniformInt(0, 5));
+      for (int i = 0; i < len; ++i) {
+        input.push_back(static_cast<Symbol>(rng.UniformInt(0, 1)));
+      }
+      EXPECT_EQ(parsed->TransduceAll(input), t.TransduceAll(input));
+    }
+
+    // Random (double-valued) Markov sequence round-trip: probabilities are
+    // serialized as exact dyadic rationals, so they survive bit-for-bit.
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    auto mu2 = io::ParseMarkovSequence(io::FormatMarkovSequence(mu));
+    ASSERT_TRUE(mu2.ok()) << mu2.status();
+    markov::ForEachWorld(mu, [&](const Str& w, double p) {
+      EXPECT_DOUBLE_EQ(mu2->WorldProbability(w), p);
+    });
+  }
+}
+
+TEST(ConfidencePropertyTest, AnswersSumToAcceptanceMass) {
+  // Σ_o conf(o) = Pr(S ∈ L(A)) for deterministic transducers (each world
+  // contributes its mass to exactly one answer).
+  Rng rng(547);
+  for (int trial = 0; trial < 15; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 3;
+    opts.deterministic = true;
+    opts.max_emission = 1;
+    transducer::Transducer t =
+        workload::RandomTransducer(mu.nodes(), opts, rng);
+    auto answers = testing::BruteForceAnswers(mu, t);
+    double total = 0;
+    for (const auto& [o, conf] : answers) total += conf;
+    double accept_mass = 0;
+    markov::ForEachWorld(mu, [&](const Str& w, double p) {
+      if (t.TransduceDeterministic(w).has_value()) accept_mass += p;
+    });
+    EXPECT_NEAR(total, accept_mass, 1e-9);
+    // Cross-check each conf through the facade.
+    for (const auto& [o, conf] : answers) {
+      auto got = query::Confidence(mu, t, o);
+      ASSERT_TRUE(got.ok());
+      EXPECT_NEAR(*got, conf, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,316 @@
+// Hardness-instance generators: the Theorem 4.4 / 4.5 max-3-DNF devices,
+// the Proposition 4.7 / Theorem 4.9 counting family, and the Theorem 5.3
+// independent-set family.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "automata/ops.h"
+#include "common/rng.h"
+#include "query/confidence.h"
+#include "query/confidence_exact.h"
+#include "query/emax.h"
+#include "reductions/dnf2.h"
+#include "reductions/independent_set.h"
+#include "reductions/max3dnf.h"
+#include "test_util.h"
+
+namespace tms::reductions {
+namespace {
+
+Dnf3Formula SmallFormula() {
+  // Variables x0..x3; clauses (x0 ∧ x1 ∧ ¬x2), (¬x0 ∧ x2 ∧ x3),
+  // (x1 ∧ x2 ∧ x3).
+  Dnf3Formula f;
+  f.num_vars = 4;
+  f.clauses = {
+      {{0, 1, 2}, {true, true, false}},
+      {{0, 2, 3}, {false, true, true}},
+      {{1, 2, 3}, {true, true, true}},
+  };
+  return f;
+}
+
+TEST(Dnf3Test, CountSatisfiedAndOptimum) {
+  Dnf3Formula f = SmallFormula();
+  EXPECT_EQ(f.CountSatisfied({true, true, false, false}), 1);
+  EXPECT_EQ(f.CountSatisfied({false, true, true, true}), 2);
+  EXPECT_EQ(f.CountSatisfied({false, false, false, false}), 0);
+  EXPECT_EQ(f.BruteForceOptimum(), 2);  // clauses 1 and 3 conflict with 2? —
+  // (x0∧x1∧¬x2) needs x2=0; the others need x2=1; clauses 2 and 3 are
+  // compatible (x0=0, x1=1, x2=1, x3=1) → optimum 2.
+}
+
+struct GeneratorParam {
+  bool use_projector;
+};
+
+class Max3DnfSweep : public ::testing::TestWithParam<GeneratorParam> {};
+
+TEST_P(Max3DnfSweep, ConfidenceCountsSatisfiedClauses) {
+  Dnf3Formula f = SmallFormula();
+  auto instance = GetParam().use_projector ? Max3DnfToProjector(f)
+                                           : Max3DnfToMealy(f);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+
+  // conf(o_x) = #sat(x) · base_mass for every assignment x, verified by
+  // brute force over all 16 assignments.
+  const Alphabet& delta = instance->t.output_alphabet();
+  Symbol zero = *delta.Find("0");
+  Symbol one = *delta.Find("1");
+  for (uint32_t bits = 0; bits < 16; ++bits) {
+    std::vector<bool> x(4);
+    Str output;
+    for (int v = 0; v < 4; ++v) {
+      x[static_cast<size_t>(v)] = (bits >> v) & 1;
+      output.push_back(x[static_cast<size_t>(v)] ? one : zero);
+    }
+    double expected = f.CountSatisfied(x) * instance->base_mass;
+    double brute =
+        testing::BruteForceConfidence(instance->mu, instance->t, output);
+    EXPECT_NEAR(brute, expected, 1e-12) << "bits=" << bits;
+    auto dp = query::Confidence(instance->mu, instance->t, output);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_NEAR(*dp, expected, 1e-9);
+  }
+}
+
+TEST_P(Max3DnfSweep, EmaxIsBlindToTheClauseCount) {
+  // E_max(o_x) = base_mass for every assignment satisfying >= 1 clause —
+  // the heuristic cannot separate good assignments from barely-satisfying
+  // ones (the gap behind Theorems 4.4/4.5).
+  Dnf3Formula f = SmallFormula();
+  auto instance = GetParam().use_projector ? Max3DnfToProjector(f)
+                                           : Max3DnfToMealy(f);
+  ASSERT_TRUE(instance.ok());
+  const Alphabet& delta = instance->t.output_alphabet();
+  Symbol zero = *delta.Find("0");
+  Symbol one = *delta.Find("1");
+  for (uint32_t bits : {0b0111u, 0b1110u, 0b0110u}) {
+    std::vector<bool> x(4);
+    Str output;
+    for (int v = 0; v < 4; ++v) {
+      x[static_cast<size_t>(v)] = (bits >> v) & 1;
+      output.push_back(x[static_cast<size_t>(v)] ? one : zero);
+    }
+    if (f.CountSatisfied(x) == 0) continue;
+    auto emax = query::EmaxOfAnswer(instance->mu, instance->t, output);
+    ASSERT_TRUE(emax.has_value());
+    EXPECT_NEAR(emax->prob, instance->base_mass, 1e-12);
+  }
+}
+
+TEST_P(Max3DnfSweep, TopConfidenceAnswerSolvesMax3Dnf) {
+  Dnf3Formula f = SmallFormula();
+  auto instance = GetParam().use_projector ? Max3DnfToProjector(f)
+                                           : Max3DnfToMealy(f);
+  ASSERT_TRUE(instance.ok());
+  auto answers = testing::BruteForceAnswers(instance->mu, instance->t);
+  double best = 0;
+  Str best_output;
+  for (const auto& [o, conf] : answers) {
+    if (conf > best) {
+      best = conf;
+      best_output = o;
+    }
+  }
+  EXPECT_NEAR(best, f.BruteForceOptimum() * instance->base_mass, 1e-12);
+  auto decoded = DecodeAssignments(*instance, best_output, f.num_vars);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(f.CountSatisfied((*decoded)[0]), f.BruteForceOptimum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, Max3DnfSweep,
+                         ::testing::Values(GeneratorParam{false},
+                                           GeneratorParam{true}));
+
+TEST(Max3DnfTest, MealyInstanceClassification) {
+  auto instance = Max3DnfToMealy(SmallFormula());
+  ASSERT_TRUE(instance.ok());
+  EXPECT_TRUE(instance->t.IsMealy());
+  EXPECT_EQ(instance->t.num_states(), 1);  // Theorem 4.4: |Q_A| = 1
+  EXPECT_EQ(instance->mu.length(), 4);
+}
+
+TEST(Max3DnfTest, ProjectorInstanceIsTheFixedDevice) {
+  auto instance = Max3DnfToProjector(SmallFormula());
+  ASSERT_TRUE(instance.ok());
+  // Theorem 4.5: fixed deterministic projector, |Σ|=4, |Δ|≤2 effective,
+  // |Q|=1.
+  EXPECT_TRUE(instance->t.IsDeterministic());
+  EXPECT_TRUE(instance->t.IsProjector());
+  EXPECT_EQ(instance->t.num_states(), 1);
+  EXPECT_EQ(instance->t.input_alphabet().size(), 4u);
+  EXPECT_EQ(instance->mu.length(), 3 * 4);  // k·m
+}
+
+TEST(Max3DnfTest, AmplificationMultipliesConfidence) {
+  Dnf3Formula f = SmallFormula();
+  auto one_copy = Max3DnfToMealy(f, 1);
+  auto two_copies = Max3DnfToMealy(f, 2);
+  ASSERT_TRUE(one_copy.ok());
+  ASSERT_TRUE(two_copies.ok());
+  EXPECT_EQ(two_copies->mu.length(), 8);
+
+  // conf of the doubled optimum output = (OPT · base)^2.
+  auto answers1 = testing::BruteForceAnswers(one_copy->mu, one_copy->t);
+  double best1 = 0;
+  Str best_output;
+  for (const auto& [o, c] : answers1) {
+    if (c > best1) {
+      best1 = c;
+      best_output = o;
+    }
+  }
+  Str doubled = Concat(best_output, best_output);
+  double conf2 =
+      testing::BruteForceConfidence(two_copies->mu, two_copies->t, doubled);
+  EXPECT_NEAR(conf2, best1 * best1, 1e-12);
+}
+
+TEST(Max3DnfTest, RandomFormulaRoundTrip) {
+  Rng rng(179);
+  Dnf3Formula f = Dnf3Formula::Random(5, 4, rng);
+  EXPECT_EQ(f.num_vars, 5);
+  EXPECT_EQ(f.clauses.size(), 4u);
+  for (const Dnf3Clause& c : f.clauses) {
+    EXPECT_NE(c.var[0], c.var[1]);
+    EXPECT_NE(c.var[1], c.var[2]);
+    EXPECT_NE(c.var[0], c.var[2]);
+  }
+  auto instance = Max3DnfToProjector(f);
+  ASSERT_TRUE(instance.ok());
+  auto top = query::TopAnswerByEmax(instance->mu, instance->t);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_NEAR(top->prob, instance->base_mass, 1e-12);
+}
+
+TEST(Max3DnfTest, GeneratorValidation) {
+  Dnf3Formula bad;
+  bad.num_vars = 2;
+  bad.clauses = {{{0, 1, 1}, {true, true, true}}};
+  EXPECT_FALSE(Max3DnfToMealy(bad).ok());
+  EXPECT_FALSE(Max3DnfToProjector(bad).ok());
+  Dnf3Formula f = SmallFormula();
+  EXPECT_FALSE(Max3DnfToMealy(f, 0).ok());
+}
+
+TEST(Dnf2Test, BruteForceCount) {
+  // φ = (x0 ∧ y0): satisfied by 1/4 of assignments over 2 variables.
+  Dnf2Formula f;
+  f.num_x = 1;
+  f.num_y = 1;
+  f.terms = {{0, 0}};
+  EXPECT_EQ(f.BruteForceCount().ToString(), "1");
+  // Two x, two y, φ = (x0∧y0) ∨ (x1∧y1).
+  Dnf2Formula g;
+  g.num_x = 2;
+  g.num_y = 2;
+  g.terms = {{0, 0}, {1, 1}};
+  EXPECT_EQ(g.BruteForceCount().ToString(), "7");
+}
+
+TEST(Dnf2Test, NfaAcceptsExactlySatisfyingAssignments) {
+  Dnf2Formula g;
+  g.num_x = 2;
+  g.num_y = 2;
+  g.terms = {{0, 0}, {1, 1}};
+  auto nfa = Dnf2ToNfa(g);
+  ASSERT_TRUE(nfa.ok());
+  auto count = automata::CountAcceptedStrings(automata::Determinize(*nfa), 4);
+  EXPECT_EQ(count.ToString(), "7");
+  // Membership spot checks: x0=1,y0=1 satisfies.
+  EXPECT_TRUE(nfa->Accepts({1, 0, 1, 0}));
+  EXPECT_FALSE(nfa->Accepts({1, 0, 0, 1}));  // x0&y1, x1&y0: no term
+  EXPECT_FALSE(nfa->Accepts({0, 0, 0, 0}));
+  EXPECT_FALSE(nfa->Accepts({1, 1}));  // wrong length
+}
+
+TEST(Dnf2Test, CountingInstanceConfidenceEncodesSharpSat) {
+  Dnf2Formula g;
+  g.num_x = 2;
+  g.num_y = 2;
+  g.terms = {{0, 0}, {1, 1}};
+  auto instance = Dnf2CountingInstance(g);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  // conf(z^4) = #SAT / 2^4 = 7/16, via the exact rational algorithm.
+  auto conf = query::ConfidenceExactRational(instance->mu, instance->t,
+                                             instance->answer);
+  ASSERT_TRUE(conf.ok()) << conf.status();
+  EXPECT_EQ(*conf, numeric::Rational(7, 16));
+  // And via brute force.
+  double brute = testing::BruteForceConfidence(instance->mu, instance->t,
+                                               instance->answer);
+  EXPECT_NEAR(brute, 7.0 / 16.0, 1e-12);
+}
+
+TEST(Dnf2Test, CountingInstanceIsOneUniform) {
+  Rng rng(181);
+  Dnf2Formula g = Dnf2Formula::Random(3, 3, 4, rng);
+  auto instance = Dnf2CountingInstance(g);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->t.UniformEmissionLength(), std::optional<int>(1));
+  // Cross-check the subset algorithm (Thm 4.8) against brute force.
+  auto sub = query::ConfidenceUniformSubset(instance->mu, instance->t,
+                                            instance->answer);
+  ASSERT_TRUE(sub.ok());
+  double brute = testing::BruteForceConfidence(instance->mu, instance->t,
+                                               instance->answer);
+  EXPECT_NEAR(*sub, brute, 1e-9);
+  double expected =
+      g.BruteForceCount().ToDouble() / std::pow(2.0, g.num_x + g.num_y);
+  EXPECT_NEAR(*sub, expected, 1e-9);
+}
+
+TEST(IndependentSetTest, GraphBasics) {
+  Rng rng(191);
+  Graph g = Graph::Random(6, 0.4, rng);
+  EXPECT_GE(g.BruteForceMaxIndependentSet(), 1);
+  Graph empty;
+  empty.num_vertices = 4;
+  empty.adj.assign(16, false);
+  EXPECT_EQ(empty.BruteForceMaxIndependentSet(), 4);
+  EXPECT_TRUE(empty.IsOrderTransitive());
+  Graph path;  // 0-1, 1-2: non-edges {0,2} transitive? ¬E(0,2) trivially.
+  path.num_vertices = 3;
+  path.adj.assign(9, false);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  EXPECT_EQ(path.BruteForceMaxIndependentSet(), 2);
+}
+
+TEST(IndependentSetTest, RunsEncodeOrderedNonAdjacentSequences) {
+  Rng rng(193);
+  Graph g;
+  g.num_vertices = 3;
+  g.adj.assign(9, false);
+  g.AddEdge(0, 1);  // vertices 0 and 1 adjacent
+  auto instance = IndependentSetToSProjector(g, 4, 0.5);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  // Chain support: after v0, only v2 may follow without a reset.
+  auto truth = testing::BruteForceSProjectorAnswers(instance->mu, instance->p);
+  Symbol v0 = *instance->mu.nodes().Find("v0");
+  Symbol v1 = *instance->mu.nodes().Find("v1");
+  Symbol v2 = *instance->mu.nodes().Find("v2");
+  EXPECT_TRUE(truth.count(Str{v0, v2}));       // independent, increasing
+  EXPECT_FALSE(truth.count(Str{v0, v1}));      // adjacent
+  EXPECT_FALSE(truth.count(Str{v2, v0}));      // decreasing order
+  EXPECT_TRUE(truth.count(Str{v1, v2}));
+}
+
+TEST(IndependentSetTest, Validation) {
+  Graph g;
+  g.num_vertices = 0;
+  EXPECT_FALSE(IndependentSetToSProjector(g, 4, 0.5).ok());
+  Graph ok;
+  ok.num_vertices = 2;
+  ok.adj.assign(4, false);
+  EXPECT_FALSE(IndependentSetToSProjector(ok, 0, 0.5).ok());
+  EXPECT_FALSE(IndependentSetToSProjector(ok, 4, 0.0).ok());
+  EXPECT_FALSE(IndependentSetToSProjector(ok, 4, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace tms::reductions

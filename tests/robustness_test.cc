@@ -1,0 +1,126 @@
+// Robustness: hostile numeric inputs, degenerate models, and the umbrella
+// header.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tms.h"
+
+namespace tms {
+namespace {
+
+TEST(RobustnessTest, MarkovSequenceRejectsNonFiniteProbabilities) {
+  Alphabet nodes = *Alphabet::FromNames({"x", "y"});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(markov::MarkovSequence::Create(nodes, {nan, 1.0}, {}).ok());
+  EXPECT_FALSE(markov::MarkovSequence::Create(nodes, {inf, 0.0}, {}).ok());
+  EXPECT_FALSE(markov::MarkovSequence::Create(
+                   nodes, {0.5, 0.5}, {{nan, 1.0, 0.5, 0.5}})
+                   .ok());
+  // -0.0 is a valid zero.
+  EXPECT_TRUE(markov::MarkovSequence::Create(nodes, {-0.0, 1.0}, {}).ok());
+}
+
+TEST(RobustnessTest, HmmRejectsNonFiniteProbabilities) {
+  Alphabet st = *Alphabet::FromNames({"a"});
+  Alphabet ob = *Alphabet::FromNames({"x"});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(hmm::Hmm::Create(st, ob, {nan}, {1.0}, {1.0}).ok());
+}
+
+TEST(RobustnessTest, DegenerateSingleNodeModels) {
+  // One node, length 1, probability 1: everything should work and every
+  // probability should be exactly 1 or 0.
+  Alphabet nodes = *Alphabet::FromNames({"only"});
+  auto mu = markov::MarkovSequence::Create(nodes, {1.0}, {});
+  ASSERT_TRUE(mu.ok());
+  transducer::Transducer t(nodes, nodes, 1);
+  t.SetAccepting(0, true);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {0}).ok());
+
+  auto eval = query::Evaluator::Create(&*mu, &t);
+  ASSERT_TRUE(eval.ok());
+  auto all = eval->EvaluateTwoStep();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0].output, (Str{0}));
+  EXPECT_DOUBLE_EQ((*all)[0].confidence, 1.0);
+
+  auto top = query::TopAnswerByConfidence(*mu, t);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->certified_optimal);
+  EXPECT_DOUBLE_EQ(top->confidence, 1.0);
+}
+
+TEST(RobustnessTest, TransducerWithNoTransitionsAnywhere) {
+  // An NFA that is stuck everywhere: no answers, everything degrades
+  // gracefully.
+  Rng rng(1001);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 3, 2, rng);
+  transducer::Transducer t(mu.nodes(), mu.nodes(), 1);
+  t.SetAccepting(0, true);  // accepting but unreachable past step 0
+  EXPECT_FALSE(query::HasAnyAnswer(mu, t));
+  EXPECT_TRUE(query::AllAnswers(mu, t).empty());
+  EXPECT_FALSE(query::TopAnswerByEmax(mu, t).has_value());
+  EXPECT_FALSE(query::TopAnswerByConfidence(mu, t).ok());
+  auto conf = query::Confidence(mu, t, {});
+  ASSERT_TRUE(conf.ok());
+  EXPECT_DOUBLE_EQ(*conf, 0.0);
+}
+
+TEST(RobustnessTest, VeryLongSequencesStayFinite) {
+  // n = 5000: log-domain E_max and the Theorem 4.6 DP must neither
+  // underflow to garbage nor overflow the DP tables.
+  const int n = 5000;
+  Alphabet nodes = *Alphabet::FromNames({"x", "y"});
+  std::vector<std::vector<double>> transitions(
+      static_cast<size_t>(n - 1), {0.9, 0.1, 0.1, 0.9});
+  auto mu = markov::MarkovSequence::Create(nodes, {1.0, 0.0}, transitions);
+  ASSERT_TRUE(mu.ok());
+  // 0-uniform acceptor of everything: conf(ε) = 1 regardless of n.
+  transducer::Transducer t(nodes, nodes, 1);
+  t.SetAccepting(0, true);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {}).ok());
+  ASSERT_TRUE(t.AddTransition(0, 1, 0, {}).ok());
+  auto conf = query::ConfidenceDeterministic(*mu, t, {});
+  ASSERT_TRUE(conf.ok());
+  EXPECT_NEAR(*conf, 1.0, 1e-9);
+  auto top = query::TopAnswerByEmax(*mu, t);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->world.size(), static_cast<size_t>(n));
+}
+
+TEST(RobustnessTest, LargeAlphabet) {
+  // 64 nodes: index arithmetic and the DPs hold up.
+  Rng rng(1003);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(64, 4, 8, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 2;
+  opts.deterministic = true;
+  opts.max_emission = 1;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  auto top = query::TopAnswerByEmax(mu, t);
+  ASSERT_TRUE(top.has_value());
+  auto conf = query::Confidence(mu, t, top->output);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_GE(*conf, top->prob - 1e-12);
+}
+
+TEST(RobustnessTest, UmbrellaHeaderCoversTheApi) {
+  // Compile-time: this test file includes only "tms.h" and touches one
+  // symbol from each layer.
+  (void)workload::Figure1Sequence;
+  (void)io::ParseMarkovSequence;
+  (void)markov::ConditionOnAcceptance;
+  (void)projector::SProjectorConfidence;
+  (void)query::TopAnswerByConfidence;
+  (void)db::PrefixAcceptanceSeries;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tms

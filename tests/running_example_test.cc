@@ -1,0 +1,140 @@
+// End-to-end reproduction of the paper's running example: Figure 1,
+// Figure 2, Table 1, Example 3.2, Example 3.4 and Example 4.2.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "markov/world_iter.h"
+#include "numeric/rational.h"
+#include "query/confidence.h"
+#include "query/emax.h"
+#include "query/unranked_enum.h"
+#include "test_util.h"
+#include "workload/running_example.h"
+
+namespace tms::workload {
+namespace {
+
+using numeric::Rational;
+
+TEST(RunningExampleTest, Figure1Structure) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  EXPECT_EQ(mu.length(), 5);
+  EXPECT_EQ(mu.nodes().size(), 6u);
+  EXPECT_TRUE(mu.has_exact());
+  // Explicitly stated numbers: μ_0→(r1a) = 0.7 and μ_3→(la, lb) = 0.1.
+  Symbol r1a = *mu.nodes().Find("r1a");
+  Symbol la = *mu.nodes().Find("la");
+  Symbol lb = *mu.nodes().Find("lb");
+  EXPECT_EQ(mu.InitialExact(r1a), Rational(7, 10));
+  EXPECT_EQ(mu.TransitionExact(3, la, lb), Rational(1, 10));
+}
+
+TEST(RunningExampleTest, Table1WorldProbabilitiesExact) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  for (const Table1Row& row : Table1Rows()) {
+    Str world = *ParseStr(mu.nodes(), row.world);
+    EXPECT_NEAR(mu.WorldProbability(world), row.probability, 1e-12)
+        << "row " << row.name;
+  }
+}
+
+TEST(RunningExampleTest, Table1WorldProbabilitiesAsRationals) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  auto expect_exact = [&](const char* world, Rational expected) {
+    Str w = *ParseStr(mu.nodes(), world);
+    EXPECT_EQ(mu.WorldProbabilityExact(w), expected) << world;
+  };
+  expect_exact("r1a la la r1a r2a", Rational(3969, 10000));
+  expect_exact("r1a r1a la r1a r2a", Rational(49, 10000));
+  expect_exact("la r1b r1b r1a r2a", Rational(2, 1000));
+  expect_exact("r1a la r2a r1b lb", Rational(315, 10000));
+  expect_exact("r1b r1b la lb lb", Rational(252, 10000));
+  expect_exact("r1a r1a r2b r1b r1b", Rational(7, 1000));
+}
+
+TEST(RunningExampleTest, Table1Outputs) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  transducer::Transducer fig2 = Figure2Transducer();
+  for (const Table1Row& row : Table1Rows()) {
+    Str world = *ParseStr(mu.nodes(), row.world);
+    auto output = fig2.TransduceDeterministic(world);
+    if (row.output == nullptr) {
+      EXPECT_FALSE(output.has_value()) << "row " << row.name;
+    } else {
+      ASSERT_TRUE(output.has_value()) << "row " << row.name;
+      EXPECT_EQ(*output, *ParseStr(fig2.output_alphabet(), row.output))
+          << "row " << row.name;
+    }
+  }
+}
+
+TEST(RunningExampleTest, Example34ConfidenceOfTwelve) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  transducer::Transducer fig2 = Figure2Transducer();
+  const Alphabet& out = fig2.output_alphabet();
+  Str twelve = *ParseStr(out, "1 2");
+
+  // The paper sums the three worlds it lists (s, t, u): 0.4038 exactly.
+  Rational listed = Rational(3969, 10000) + Rational(49, 10000) +
+                    Rational(2, 1000);
+  EXPECT_EQ(listed, Rational(4038, 10000));
+
+  // Any Figure-1 reconstruction consistent with Table 1 also contains the
+  // world r1b r1b la r1a r2a (see running_example.h), so the full
+  // confidence is 0.4038 + 0.1764 = 0.5802. Verify against brute force
+  // and the Theorem 4.6 algorithm.
+  Str extra = *ParseStr(mu.nodes(), "r1b r1b la r1a r2a");
+  EXPECT_EQ(mu.WorldProbabilityExact(extra), Rational(1764, 10000));
+  EXPECT_EQ(*fig2.TransduceDeterministic(extra), twelve);
+
+  double brute = testing::BruteForceConfidence(mu, fig2, twelve);
+  EXPECT_NEAR(brute, 0.5802, 1e-12);
+  auto dp = query::ConfidenceDeterministicExact(mu, fig2, twelve);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(*dp, Rational(5802, 10000));
+}
+
+TEST(RunningExampleTest, Example42EmaxOfTwelve) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  transducer::Transducer fig2 = Figure2Transducer();
+  auto emax = query::EmaxOfAnswer(mu, fig2,
+                                  *ParseStr(fig2.output_alphabet(), "1 2"));
+  ASSERT_TRUE(emax.has_value());
+  EXPECT_NEAR(emax->prob, 0.3969, 1e-12);
+  EXPECT_EQ(FormatStr(mu.nodes(), emax->world), "r1a la la r1a r2a");
+}
+
+TEST(RunningExampleTest, AnswerSetContainsPaperAnswers) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  transducer::Transducer fig2 = Figure2Transducer();
+  const Alphabet& out = fig2.output_alphabet();
+  auto answers = query::AllAnswers(mu, fig2);
+  std::set<Str> set(answers.begin(), answers.end());
+  // Example 3.4: A^ω(μ) contains (at least) 12, 21λ, and ε.
+  EXPECT_TRUE(set.count(*ParseStr(out, "1 2")));
+  EXPECT_TRUE(set.count(*ParseStr(out, "2 1 λ")));
+  EXPECT_TRUE(set.count(Str{}));
+}
+
+TEST(RunningExampleTest, TotalMassIsOne) {
+  markov::MarkovSequence mu = Figure1Sequence();
+  Rational total;
+  markov::ForEachWorldExact(
+      mu, [&](const Str&, const Rational& p) { total += p; });
+  EXPECT_EQ(total, Rational(1));
+}
+
+TEST(RunningExampleTest, Figure2Properties) {
+  transducer::Transducer fig2 = Figure2Transducer();
+  // Example 3.3's classification: deterministic, selective, not uniform.
+  EXPECT_TRUE(fig2.IsDeterministic());
+  EXPECT_TRUE(fig2.IsSelective());
+  EXPECT_FALSE(fig2.UniformEmissionLength().has_value());
+  EXPECT_EQ(fig2.num_states(), 4);          // q0, qλ, q1, q2
+  EXPECT_EQ(fig2.output_alphabet().size(), 3u);  // {1, 2, λ}
+}
+
+}  // namespace
+}  // namespace tms::workload

@@ -1,0 +1,217 @@
+#include "projector/sprojector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/regex.h"
+#include "common/rng.h"
+#include "markov/builder.h"
+#include "projector/sprojector_confidence.h"
+#include "query/confidence_exact.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+
+namespace tms::projector {
+namespace {
+
+Alphabet Binary() { return *Alphabet::FromNames({"0", "1"}); }
+
+// A random s-projector over the given alphabet.
+SProjector RandomSProjector(const Alphabet& ab, Rng& rng, int states = 2) {
+  auto p = SProjector::Create(workload::RandomDfa(ab, states, rng, 0.6),
+                              workload::RandomDfa(ab, states, rng, 0.6),
+                              workload::RandomDfa(ab, states, rng, 0.6));
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+TEST(SProjectorTest, CreateValidatesAlphabets) {
+  Alphabet ab = Binary();
+  Alphabet other = *Alphabet::FromNames({"x"});
+  EXPECT_FALSE(SProjector::Create(automata::Dfa::AcceptAll(ab),
+                                  automata::Dfa::AcceptAll(other),
+                                  automata::Dfa::AcceptAll(ab))
+                   .ok());
+}
+
+TEST(SProjectorTest, FromRegexAndMatches) {
+  Alphabet ab = Binary();
+  // Extract a run of 1s ("1 +") preceded by anything and followed by
+  // anything starting with 0.
+  auto p = SProjector::FromRegex(ab, ". *", "1 +", "0 . *");
+  ASSERT_TRUE(p.ok()) << p.status();
+  Str s = *ParseStr(ab, "0 1 1 0 1");
+  EXPECT_TRUE(p->Matches(s, *ParseStr(ab, "1 1")));
+  EXPECT_TRUE(p->Matches(s, *ParseStr(ab, "1")));
+  EXPECT_FALSE(p->Matches(s, *ParseStr(ab, "0")));       // pattern mismatch
+  EXPECT_FALSE(p->Matches(s, *ParseStr(ab, "1 1 1")));   // no occurrence
+  // The final "1" has no following 0, so the suffix constraint kills it.
+  EXPECT_FALSE(p->MatchesIndexed(s, IndexedAnswer{*ParseStr(ab, "1"), 5}));
+  // A match at index 2 is followed by "1 0 1", which violates "0 . *".
+  EXPECT_FALSE(p->MatchesIndexed(s, IndexedAnswer{*ParseStr(ab, "1"), 2}));
+  EXPECT_TRUE(p->MatchesIndexed(s, IndexedAnswer{*ParseStr(ab, "1"), 3}));
+  EXPECT_TRUE(p->MatchesIndexed(s, IndexedAnswer{*ParseStr(ab, "1 1"), 2}));
+}
+
+TEST(SProjectorTest, IndexedMatchSemantics) {
+  Alphabet ab = Binary();
+  auto p = SProjector::Simple(*automata::CompileRegexToDfa(ab, "1 +"));
+  ASSERT_TRUE(p.ok());
+  Str s = *ParseStr(ab, "1 0 1");
+  EXPECT_TRUE(p->MatchesIndexed(s, IndexedAnswer{{1}, 1}));
+  EXPECT_FALSE(p->MatchesIndexed(s, IndexedAnswer{{1}, 2}));  // s[2] = 0
+  EXPECT_TRUE(p->MatchesIndexed(s, IndexedAnswer{{1}, 3}));
+  EXPECT_FALSE(p->MatchesIndexed(s, IndexedAnswer{{1}, 4}));  // out of range
+  EXPECT_FALSE(p->MatchesIndexed(s, IndexedAnswer{{1}, 0}));
+}
+
+TEST(SProjectorTest, EmptyPatternAnswers) {
+  Alphabet ab = Binary();
+  // A = {ε}: answers are (ε, i) wherever prefix/suffix split works.
+  auto p = SProjector::Create(automata::Dfa::AcceptAll(ab),
+                              automata::Dfa::EmptyStringOnly(ab),
+                              automata::Dfa::AcceptAll(ab));
+  ASSERT_TRUE(p.ok());
+  Str s = *ParseStr(ab, "0 1");
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(p->MatchesIndexed(s, IndexedAnswer{{}, i})) << i;
+  }
+  EXPECT_TRUE(p->Matches(s, {}));
+}
+
+TEST(SProjectorTest, ToTransducerEquivalence) {
+  // The converted transducer transduces s into o iff the s-projector does
+  // (the paper's "easy observation"). Randomized property sweep.
+  Rng rng(113);
+  Alphabet ab = Binary();
+  for (int trial = 0; trial < 30; ++trial) {
+    SProjector p = RandomSProjector(ab, rng);
+    transducer::Transducer t = p.ToTransducer();
+    EXPECT_TRUE(t.IsProjector());
+    for (int n = 1; n <= 4; ++n) {
+      for (int bits = 0; bits < (1 << n); ++bits) {
+        Str s;
+        for (int i = 0; i < n; ++i) s.push_back((bits >> i) & 1);
+        // Compare answer sets.
+        std::set<Str> from_transducer;
+        for (const Str& o : t.TransduceAll(s)) from_transducer.insert(o);
+        std::set<Str> from_projector;
+        for (int i = 1; i <= n + 1; ++i) {
+          for (int len = 0; i + len - 1 <= n; ++len) {
+            if (len > 0 && i > n) break;
+            Str o(s.begin() + (i - 1), s.begin() + (i - 1 + len));
+            if (p.MatchesIndexed(s, IndexedAnswer{o, i})) {
+              from_projector.insert(o);
+            }
+          }
+        }
+        EXPECT_EQ(from_transducer, from_projector)
+            << "world " << FormatStr(ab, s);
+      }
+    }
+  }
+}
+
+TEST(SProjectorConfidenceTest, MatchesBruteForce) {
+  Rng rng(127);
+  for (int trial = 0; trial < 15; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    auto truth = testing::BruteForceSProjectorAnswers(mu, p);
+    for (const auto& [o, expected] : truth) {
+      auto conf = SProjectorConfidence(mu, p, o);
+      ASSERT_TRUE(conf.ok()) << conf.status();
+      EXPECT_NEAR(*conf, expected, 1e-9) << FormatStr(p.alphabet(), o);
+    }
+    // A non-answer has zero confidence.
+    Str probe = {0, 0, 0, 0, 0};
+    if (!truth.count(probe)) {
+      auto conf = SProjectorConfidence(mu, p, probe);
+      ASSERT_TRUE(conf.ok());
+      EXPECT_NEAR(*conf, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(SProjectorConfidenceTest, AgreesWithTransducerExactAlgorithm) {
+  // conf via the concatenation DFA == conf via the generalized subset DP
+  // on the converted transducer (two fully independent code paths).
+  Rng rng(131);
+  for (int trial = 0; trial < 10; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    SProjector p = RandomSProjector(mu.nodes(), rng);
+    transducer::Transducer t = p.ToTransducer();
+    auto truth = testing::BruteForceSProjectorAnswers(mu, p);
+    for (const auto& [o, expected] : truth) {
+      auto via_dfa = SProjectorConfidence(mu, p, o);
+      auto via_exact = query::ConfidenceExact(mu, t, o);
+      ASSERT_TRUE(via_dfa.ok());
+      ASSERT_TRUE(via_exact.ok());
+      EXPECT_NEAR(*via_dfa, *via_exact, 1e-9);
+    }
+  }
+}
+
+TEST(SProjectorConfidenceTest, StatsExposeConcatBlowup) {
+  markov::MarkovSequenceBuilder b({"0", "1"}, 6);
+  b.SetInitial("0", {1, 2});
+  b.SetInitial("1", {1, 2});
+  for (const char* from : {"0", "1"}) {
+    b.SetAllTransitions(from, "0", {1, 2});
+    b.SetAllTransitions(from, "1", {1, 2});
+  }
+  auto mu_or = b.Build();
+  ASSERT_TRUE(mu_or.ok());
+  markov::MarkovSequence mu = std::move(mu_or).value();
+  Alphabet ab = Binary();
+  // Suffix constraint with a larger DFA: strings whose 3rd-from-last
+  // symbol is 1 (the classic exponential-reversal language).
+  auto e = automata::CompileRegexToDfa(ab, ". * 1 . .");
+  ASSERT_TRUE(e.ok());
+  auto p = SProjector::Create(automata::Dfa::AcceptAll(ab),
+                              automata::Dfa::AcceptAll(ab), *e);
+  ASSERT_TRUE(p.ok());
+  SProjectorConfidenceStats stats;
+  auto conf = SProjectorConfidence(mu, *p, {0}, &stats);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_GT(stats.concat_dfa_states, e->num_states());
+  // The state guard triggers.
+  auto blocked = SProjectorConfidence(mu, *p, {0}, nullptr, 2);
+  EXPECT_FALSE(blocked.ok());
+}
+
+TEST(SProjectorConfidenceTest, ExactRationalVariant) {
+  markov::MarkovSequenceBuilder b({"0", "1"}, 3);
+  b.SetInitial("0", {1, 2});
+  b.SetInitial("1", {1, 2});
+  b.SetAllTransitions("0", "0", {1, 2});
+  b.SetAllTransitions("0", "1", {1, 2});
+  b.SetAllTransitions("1", "0", {1, 2});
+  b.SetAllTransitions("1", "1", {1, 2});
+  auto mu = b.Build();
+  ASSERT_TRUE(mu.ok());
+  Alphabet ab = Binary();
+  auto p = SProjector::Simple(*automata::CompileRegexToDfa(ab, "1 +"));
+  ASSERT_TRUE(p.ok());
+  // conf("1") = Pr(world contains at least one 1) = 1 - (1/2)^3 = 7/8.
+  auto conf = SProjectorConfidenceExact(*mu, *p, {1});
+  ASSERT_TRUE(conf.ok());
+  EXPECT_EQ(*conf, numeric::Rational(7, 8));
+}
+
+TEST(AcceptanceProbabilityTest, MatchesBruteForce) {
+  Rng rng(137);
+  for (int trial = 0; trial < 15; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    automata::Dfa dfa = workload::RandomDfa(mu.nodes(), 3, rng);
+    double expected = 0;
+    markov::ForEachWorld(mu, [&](const Str& w, double prob) {
+      if (dfa.Accepts(w)) expected += prob;
+    });
+    EXPECT_NEAR(AcceptanceProbability(mu, dfa), expected, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tms::projector

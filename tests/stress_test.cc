@@ -1,0 +1,112 @@
+// Moderate-scale smoke tests: the polynomial algorithms must complete on
+// instances far beyond brute-force reach (no timing assertions — the
+// assertions are completion plus internal-consistency invariants that do
+// not need ground truth).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tms.h"
+
+namespace tms {
+namespace {
+
+TEST(StressTest, DeterministicPipelineAtN150) {
+  Rng rng(1101);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(4, 150, 3, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 4;
+  opts.deterministic = true;
+  opts.max_emission = 1;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+
+  auto eval = query::Evaluator::Create(&mu, &t);
+  ASSERT_TRUE(eval.ok());
+  auto topk = eval->TopK(5);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_FALSE(topk->empty());
+  double prev = 1e300;
+  double conf_sum = 0;
+  for (const query::AnswerInfo& info : *topk) {
+    EXPECT_LE(info.emax, prev + 1e-15);
+    prev = info.emax;
+    EXPECT_LE(info.emax, info.confidence + 1e-15);
+    conf_sum += info.confidence;
+  }
+  EXPECT_LE(conf_sum, 1.0 + 1e-9);  // disjoint answers partition the mass
+}
+
+TEST(StressTest, IndexedExtractionAtN1000) {
+  Rng rng(1103);
+  std::string line = workload::MakeFormLine("verylongname", 1000, rng);
+  workload::OcrConfig ocr;
+  auto mu = workload::OcrSequence(line, ocr);
+  ASSERT_TRUE(mu.ok());
+  auto p = workload::NameExtractor();
+  ASSERT_TRUE(p.ok());
+  auto results = projector::TopKIndexed(*mu, *p, 50);
+  ASSERT_FALSE(results.empty());
+  double prev = 1e300;
+  for (const auto& r : results) {
+    EXPECT_LE(r.confidence, prev + 1e-15);
+    prev = r.confidence;
+    EXPECT_GT(r.confidence, 0.0);
+  }
+}
+
+TEST(StressTest, UnrankedEnumerationKeepsConstantDelayAtN300) {
+  Rng rng(1107);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 300, 2, rng);
+  workload::RandomTransducerOptions opts;
+  opts.num_states = 3;
+  opts.deterministic = true;
+  opts.max_emission = 1;
+  opts.output_symbols = 2;
+  opts.accept_prob = 1.0;
+  transducer::Transducer t = workload::RandomTransducer(mu.nodes(), opts, rng);
+  query::UnrankedEnumerator it(mu, t);
+  int64_t prev_calls = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto answer = it.Next();
+    if (!answer.has_value()) break;
+    // Poly-delay invariant: per-answer oracle calls bounded by O(L·|Δ|).
+    EXPECT_LE(it.oracle_calls() - prev_calls, 2 * 300 * 2 + 4);
+    prev_calls = it.oracle_calls();
+  }
+}
+
+TEST(StressTest, EventSeriesAndConditioningAtN2000) {
+  Rng rng(1109);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 2000, 2, rng);
+  auto dfa = automata::CompileRegexToDfa(mu.nodes(), ". * n2 . *");
+  ASSERT_TRUE(dfa.ok());
+  auto series = db::EventFiredSeries(mu, *dfa);
+  ASSERT_EQ(series.size(), 2000u);
+  for (size_t t = 1; t < series.size(); ++t) {
+    ASSERT_GE(series[t] + 1e-12, series[t - 1]);
+  }
+  if (series.back() > 0 && series.back() < 1) {
+    auto conditioned = markov::ConditionOnAcceptance(mu, *dfa);
+    ASSERT_TRUE(conditioned.ok());
+    EXPECT_NEAR(conditioned->event_probability, series.back(), 1e-9);
+  }
+}
+
+TEST(StressTest, BigIntFactorialRoundTrip) {
+  // 300! has 615 digits; divide it back down to verify long arithmetic at
+  // scale.
+  numeric::BigInt factorial(1);
+  for (int i = 2; i <= 300; ++i) factorial *= numeric::BigInt(i);
+  EXPECT_EQ(factorial.ToString().size(), 615u);
+  numeric::BigInt back = factorial;
+  for (int i = 300; i >= 2; --i) {
+    EXPECT_TRUE((back % numeric::BigInt(i)).IsZero());
+    back /= numeric::BigInt(i);
+  }
+  EXPECT_EQ(back, numeric::BigInt(1));
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "strings/alphabet.h"
+#include "strings/str.h"
+
+namespace tms {
+namespace {
+
+TEST(AlphabetTest, InternAssignsDenseIdsInOrder) {
+  Alphabet a;
+  EXPECT_EQ(a.Intern("x"), 0);
+  EXPECT_EQ(a.Intern("y"), 1);
+  EXPECT_EQ(a.Intern("x"), 0);  // idempotent
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.Name(0), "x");
+  EXPECT_EQ(a.Name(1), "y");
+}
+
+TEST(AlphabetTest, FindAndContains) {
+  Alphabet a;
+  a.Intern("alpha");
+  EXPECT_TRUE(a.Contains("alpha"));
+  EXPECT_FALSE(a.Contains("beta"));
+  EXPECT_EQ(*a.Find("alpha"), 0);
+  EXPECT_FALSE(a.Find("beta").ok());
+}
+
+TEST(AlphabetTest, FromNamesRejectsDuplicates) {
+  EXPECT_TRUE(Alphabet::FromNames({"a", "b", "c"}).ok());
+  EXPECT_FALSE(Alphabet::FromNames({"a", "b", "a"}).ok());
+}
+
+TEST(AlphabetTest, Equality) {
+  auto a = *Alphabet::FromNames({"a", "b"});
+  auto b = *Alphabet::FromNames({"a", "b"});
+  auto c = *Alphabet::FromNames({"b", "a"});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // order matters (ids differ)
+}
+
+TEST(AlphabetTest, IsValid) {
+  auto a = *Alphabet::FromNames({"a", "b"});
+  EXPECT_TRUE(a.IsValid(0));
+  EXPECT_TRUE(a.IsValid(1));
+  EXPECT_FALSE(a.IsValid(2));
+  EXPECT_FALSE(a.IsValid(-1));
+}
+
+TEST(StrTest, FormatStr) {
+  auto a = *Alphabet::FromNames({"r1a", "la"});
+  EXPECT_EQ(FormatStr(a, {0, 1, 0}), "r1a la r1a");
+  EXPECT_EQ(FormatStr(a, {}), "ε");
+}
+
+TEST(StrTest, FormatStrCompact) {
+  auto a = *Alphabet::FromNames({"1", "2"});
+  EXPECT_EQ(FormatStrCompact(a, {0, 1}), "12");
+  EXPECT_EQ(FormatStrCompact(a, {}), "ε");
+}
+
+TEST(StrTest, ParseStr) {
+  auto a = *Alphabet::FromNames({"r1a", "la"});
+  auto s = ParseStr(a, "r1a la  la");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, (Str{0, 1, 1}));
+  EXPECT_TRUE(ParseStr(a, "")->empty());
+  EXPECT_FALSE(ParseStr(a, "r1a bogus").ok());
+}
+
+TEST(StrTest, IsPrefixOf) {
+  EXPECT_TRUE(IsPrefixOf({}, {1, 2}));
+  EXPECT_TRUE(IsPrefixOf({1}, {1, 2}));
+  EXPECT_TRUE(IsPrefixOf({1, 2}, {1, 2}));
+  EXPECT_FALSE(IsPrefixOf({2}, {1, 2}));
+  EXPECT_FALSE(IsPrefixOf({1, 2, 3}, {1, 2}));
+}
+
+TEST(StrTest, Concat) {
+  EXPECT_EQ(Concat({1, 2}, {3}), (Str{1, 2, 3}));
+  EXPECT_EQ(Concat({}, {}), Str{});
+}
+
+TEST(StrTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Str, StrHash> set;
+  set.insert(Str{1, 2, 3});
+  set.insert(Str{1, 2, 3});
+  set.insert(Str{3, 2, 1});
+  set.insert(Str{});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Str{1, 2, 3}));
+  EXPECT_TRUE(set.count(Str{}));
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,96 @@
+// Shared test helpers: possible-world brute forcing (the ground truth all
+// polynomial algorithms are validated against) and common assertions.
+
+#ifndef TMS_TESTS_TEST_UTIL_H_
+#define TMS_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "markov/markov_sequence.h"
+#include "markov/world_iter.h"
+#include "projector/sprojector.h"
+#include "strings/str.h"
+#include "transducer/transducer.h"
+
+namespace tms::testing {
+
+/// Ground-truth evaluation by exhausting all possible worlds: the map from
+/// every answer to its confidence.
+inline std::map<Str, double> BruteForceAnswers(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t) {
+  std::map<Str, double> out;
+  markov::ForEachWorld(mu, [&](const Str& world, double p) {
+    for (const Str& o : t.TransduceAll(world)) out[o] += p;
+  });
+  return out;
+}
+
+/// Ground-truth confidence of one answer.
+inline double BruteForceConfidence(const markov::MarkovSequence& mu,
+                                   const transducer::Transducer& t,
+                                   const Str& o) {
+  double total = 0;
+  markov::ForEachWorld(mu, [&](const Str& world, double p) {
+    if (t.Transduces(world, o)) total += p;
+  });
+  return total;
+}
+
+/// Ground-truth E_max of one answer.
+inline double BruteForceEmax(const markov::MarkovSequence& mu,
+                             const transducer::Transducer& t, const Str& o) {
+  double best = 0;
+  markov::ForEachWorld(mu, [&](const Str& world, double p) {
+    if (p > best && t.Transduces(world, o)) best = p;
+  });
+  return best;
+}
+
+/// Ground-truth indexed s-projector answers with confidences.
+inline std::map<std::pair<Str, int>, double> BruteForceIndexedAnswers(
+    const markov::MarkovSequence& mu, const projector::SProjector& p) {
+  std::map<std::pair<Str, int>, double> out;
+  const int n = mu.length();
+  markov::ForEachWorld(mu, [&](const Str& world, double prob) {
+    for (int i = 1; i <= n + 1; ++i) {
+      for (int len = 0; i + len - 1 <= n; ++len) {
+        if (len == 0 && i > n + 1) continue;
+        if (len > 0 && i > n) break;
+        Str o(world.begin() + (i - 1), world.begin() + (i - 1 + len));
+        if (p.MatchesIndexed(world, projector::IndexedAnswer{o, i})) {
+          out[{o, i}] += prob;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+/// Ground-truth (non-indexed) s-projector answer map.
+inline std::map<Str, double> BruteForceSProjectorAnswers(
+    const markov::MarkovSequence& mu, const projector::SProjector& p) {
+  std::map<Str, double> out;
+  const int n = mu.length();
+  markov::ForEachWorld(mu, [&](const Str& world, double prob) {
+    // Collect the distinct outputs of this world, then add its mass once
+    // per output.
+    std::map<Str, bool> outputs;
+    for (int i = 1; i <= n + 1; ++i) {
+      for (int len = 0; i + len - 1 <= n; ++len) {
+        if (len > 0 && i > n) break;
+        Str o(world.begin() + (i - 1), world.begin() + (i - 1 + len));
+        if (p.MatchesIndexed(world, projector::IndexedAnswer{o, i})) {
+          outputs[o] = true;
+        }
+      }
+    }
+    for (const auto& [o, unused] : outputs) out[o] += prob;
+  });
+  return out;
+}
+
+}  // namespace tms::testing
+
+#endif  // TMS_TESTS_TEST_UTIL_H_

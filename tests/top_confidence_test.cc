@@ -1,0 +1,99 @@
+#include "query/top_confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "markov/builder.h"
+#include "test_util.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::query {
+namespace {
+
+TEST(TopConfidenceTest, RunningExampleOptimum) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  auto result = TopAnswerByConfidence(mu, fig2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(FormatStrCompact(fig2.output_alphabet(), result->output), "12");
+  EXPECT_NEAR(result->confidence, 0.5802, 1e-12);
+  EXPECT_TRUE(result->certified_optimal);  // the stream was exhausted
+}
+
+TEST(TopConfidenceTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(601);
+  for (int trial = 0; trial < 20; ++trial) {
+    markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 2;
+    opts.max_emission = 1;
+    opts.deterministic = rng.Bernoulli(0.5);
+    transducer::Transducer t =
+        workload::RandomTransducer(mu.nodes(), opts, rng);
+    auto truth = testing::BruteForceAnswers(mu, t);
+
+    auto result = TopAnswerByConfidence(mu, t);
+    if (truth.empty()) {
+      EXPECT_FALSE(result.ok());
+      continue;
+    }
+    ASSERT_TRUE(result.ok()) << result.status();
+    double best = 0;
+    for (const auto& [o, conf] : truth) best = std::max(best, conf);
+    EXPECT_NEAR(result->confidence, best, 1e-9);
+    EXPECT_NEAR(truth.at(result->output), best, 1e-9);
+    EXPECT_TRUE(result->certified_optimal);  // unlimited budget
+  }
+}
+
+TEST(TopConfidenceTest, CertificateFiresEarlyOnConcentratedInstance) {
+  // One dominant answer with confidence far above W · (next E_max level).
+  markov::MarkovSequenceBuilder b({"a", "b"}, 3);
+  b.SetInitial("a", {99, 100});
+  b.SetInitial("b", {1, 100});
+  for (const char* from : {"a", "b"}) {
+    b.SetAllTransitions(from, "a", {99, 100});
+    b.SetAllTransitions(from, "b", {1, 100});
+  }
+  auto mu = b.Build();
+  ASSERT_TRUE(mu.ok());
+  // Identity Mealy machine: 8 answers, "a a a" has conf ≈ 0.97.
+  Alphabet ab = *Alphabet::FromNames({"a", "b"});
+  transducer::Transducer t(ab, ab, 1);
+  t.SetAccepting(0, true);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {0}).ok());
+  ASSERT_TRUE(t.AddTransition(0, 1, 0, {1}).ok());
+
+  auto result = TopAnswerByConfidence(*mu, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output, (Str{0, 0, 0}));
+  EXPECT_TRUE(result->certified_optimal);
+  // W = 8 support worlds; after the top answer (conf = E_max ≈ 0.9703),
+  // the next E_max level is ≈ 0.0098 and 8·0.0098 < 0.97 — the bound must
+  // have fired after a handful of answers, not all 8.
+  EXPECT_LE(result->answers_explored, 3);
+}
+
+TEST(TopConfidenceTest, BudgetLimitsExploration) {
+  markov::MarkovSequence mu = workload::Figure1Sequence();
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  auto result = TopAnswerByConfidence(mu, fig2, /*max_candidates=*/1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers_explored, 1);
+  // With one candidate it finds "12" (the E_max top) but cannot certify
+  // unless the bound already fired.
+  EXPECT_EQ(FormatStrCompact(fig2.output_alphabet(), result->output), "12");
+}
+
+TEST(TopConfidenceTest, AlphabetMismatchRejected) {
+  Rng rng(607);
+  markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 3, 3, rng);
+  transducer::Transducer fig2 = workload::Figure2Transducer();
+  EXPECT_FALSE(TopAnswerByConfidence(mu, fig2).ok());
+}
+
+}  // namespace
+}  // namespace tms::query

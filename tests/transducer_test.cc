@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transducer/classes.h"
+#include "transducer/compose.h"
+#include "transducer/transducer.h"
+#include "workload/random_models.h"
+#include "workload/running_example.h"
+
+namespace tms::transducer {
+namespace {
+
+Alphabet Binary() { return *Alphabet::FromNames({"0", "1"}); }
+
+// Nondeterministic transducer: copies the input, or replaces each 1 by ε
+// (two parallel branches from the start).
+Transducer CopyOrDrop() {
+  Alphabet ab = Binary();
+  Transducer t(ab, ab, 3);  // 0 = start, 1 = copy branch, 2 = drop branch
+  t.SetInitial(0);
+  t.SetAllAccepting();
+  EXPECT_TRUE(t.AddTransition(0, 0, 1, {0}).ok());
+  EXPECT_TRUE(t.AddTransition(0, 1, 1, {1}).ok());
+  EXPECT_TRUE(t.AddTransition(0, 0, 2, {0}).ok());
+  EXPECT_TRUE(t.AddTransition(0, 1, 2, {}).ok());
+  EXPECT_TRUE(t.AddTransition(1, 0, 1, {0}).ok());
+  EXPECT_TRUE(t.AddTransition(1, 1, 1, {1}).ok());
+  EXPECT_TRUE(t.AddTransition(2, 0, 2, {0}).ok());
+  EXPECT_TRUE(t.AddTransition(2, 1, 2, {}).ok());
+  return t;
+}
+
+TEST(TransducerTest, DeterministicEmissionEnforced) {
+  Alphabet ab = Binary();
+  Transducer t(ab, ab, 2);
+  ASSERT_TRUE(t.AddTransition(0, 0, 1, {0}).ok());
+  // Re-adding with the same output is fine; a different output is not.
+  EXPECT_TRUE(t.AddTransition(0, 0, 1, {0}).ok());
+  EXPECT_FALSE(t.AddTransition(0, 0, 1, {1}).ok());
+  // A different target is a distinct transition and may carry another
+  // output (nondeterminism with deterministic emission).
+  EXPECT_TRUE(t.AddTransition(0, 0, 0, {1}).ok());
+}
+
+TEST(TransducerTest, TransduceAllEnumeratesRunOutputs) {
+  Transducer t = CopyOrDrop();
+  auto outs = t.TransduceAll({0, 1, 1});
+  // Copy branch: 011; drop branch: 0.
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_EQ(outs[0], (Str{0}));
+  EXPECT_EQ(outs[1], (Str{0, 1, 1}));
+  EXPECT_TRUE(t.Transduces({0, 1, 1}, {0}));
+  EXPECT_TRUE(t.Transduces({0, 1, 1}, {0, 1, 1}));
+  EXPECT_FALSE(t.Transduces({0, 1, 1}, {1}));
+}
+
+TEST(TransducerTest, TransduceDeterministic) {
+  Transducer fig2 = workload::Figure2Transducer();
+  const Alphabet& in = fig2.input_alphabet();
+  Str world = *ParseStr(in, "r1a la la r1a r2a");
+  auto out = fig2.TransduceDeterministic(world);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(FormatStrCompact(fig2.output_alphabet(), *out), "12");
+  // Rejected string (never visits the lab).
+  EXPECT_FALSE(
+      fig2.TransduceDeterministic(*ParseStr(in, "r1a r1a r2b r1b r1b"))
+          .has_value());
+}
+
+TEST(TransducerTest, Classification) {
+  Transducer fig2 = workload::Figure2Transducer();
+  ClassInfo info = Classify(fig2);
+  EXPECT_TRUE(info.deterministic);
+  EXPECT_TRUE(info.selective);
+  EXPECT_FALSE(info.uniform_k.has_value());
+  EXPECT_FALSE(info.mealy);
+  EXPECT_FALSE(info.projector);
+  EXPECT_EQ(info.FinestClass(), TransducerClass::kDeterministic);
+
+  Transducer nd = CopyOrDrop();
+  ClassInfo nd_info = Classify(nd);
+  EXPECT_FALSE(nd_info.deterministic);
+  EXPECT_FALSE(nd_info.selective);
+  EXPECT_TRUE(nd_info.projector);
+  EXPECT_EQ(nd_info.FinestClass(), TransducerClass::kGeneral);
+}
+
+TEST(TransducerTest, MakeMealy) {
+  Alphabet in = Binary();
+  Alphabet out = *Alphabet::FromNames({"x", "y"});
+  auto mealy = MakeMealy(in, out, {{0, 0}}, {{0, 1}});
+  ASSERT_TRUE(mealy.ok());
+  EXPECT_TRUE(mealy->IsMealy());
+  EXPECT_EQ(mealy->UniformEmissionLength(), std::optional<int>(1));
+  auto o = mealy->TransduceDeterministic({0, 1, 1});
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(*o, (Str{0, 1, 1}));
+}
+
+TEST(TransducerTest, UniformEmissionLength) {
+  Alphabet ab = Binary();
+  Transducer t(ab, ab, 1);
+  t.SetAccepting(0, true);
+  ASSERT_TRUE(t.AddTransition(0, 0, 0, {0, 0}).ok());
+  ASSERT_TRUE(t.AddTransition(0, 1, 0, {1, 1}).ok());
+  EXPECT_EQ(t.UniformEmissionLength(), std::optional<int>(2));
+  Transducer empty(ab, ab, 1);
+  EXPECT_EQ(empty.UniformEmissionLength(), std::optional<int>(0));
+}
+
+TEST(TransducerTest, InputNfaProjection) {
+  Transducer fig2 = workload::Figure2Transducer();
+  automata::Nfa nfa = fig2.InputNfa();
+  const Alphabet& in = fig2.input_alphabet();
+  EXPECT_TRUE(nfa.Accepts(*ParseStr(in, "r1a la la r1a r2a")));
+  EXPECT_FALSE(nfa.Accepts(*ParseStr(in, "r1a r1a r2b r1b r1b")));
+  EXPECT_TRUE(nfa.IsDeterministic());
+}
+
+TEST(ComposeTest, OutputConstraintFiltersAnswers) {
+  Transducer t = CopyOrDrop();
+  // Constraint: outputs starting with "0 1".
+  ranking::OutputConstraint c;
+  c.prefix = {0, 1};
+  Transducer composed = ComposeWithOutputConstraint(t, c);
+  // Input 011: outputs {0, 011}; only 011 satisfies the constraint.
+  auto outs = composed.TransduceAll({0, 1, 1});
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], (Str{0, 1, 1}));
+  // Input 00: no output matches.
+  EXPECT_TRUE(composed.TransduceAll({0, 0}).empty());
+}
+
+TEST(ComposeTest, ConstraintWithExclusionAndEquality) {
+  Transducer t = CopyOrDrop();
+  // Outputs equal to "0" exactly: prefix 0, exclude everything after.
+  ranking::OutputConstraint c;
+  c.prefix = {0};
+  c.excluded_next = {0, 1};
+  c.allow_equal = true;
+  Transducer composed = ComposeWithOutputConstraint(t, c);
+  auto outs = composed.TransduceAll({0, 1, 1});
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], (Str{0}));
+}
+
+TEST(ComposeTest, PreservesDeterminism) {
+  Transducer fig2 = workload::Figure2Transducer();
+  ranking::OutputConstraint c;
+  c.prefix = {0};  // outputs starting with "1"
+  Transducer composed = ComposeWithOutputConstraint(fig2, c);
+  EXPECT_TRUE(composed.IsDeterministic());
+}
+
+TEST(ComposeTest, RandomizedAgreementWithDirectFiltering) {
+  Rng rng(23);
+  Alphabet ab = Binary();
+  for (int trial = 0; trial < 20; ++trial) {
+    workload::RandomTransducerOptions opts;
+    opts.num_states = 3;
+    opts.max_emission = 2;
+    Transducer t = workload::RandomTransducer(ab, opts, rng);
+    ranking::OutputConstraint c;
+    if (rng.Bernoulli(0.7)) c.prefix.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+    if (rng.Bernoulli(0.3)) c.excluded_next.insert(0);
+    c.allow_equal = rng.Bernoulli(0.5);
+    Transducer composed = ComposeWithOutputConstraint(t, c);
+    for (int bits = 0; bits < 16; ++bits) {
+      Str input;
+      for (int i = 0; i < 4; ++i) input.push_back((bits >> i) & 1);
+      std::vector<Str> expected;
+      for (const Str& o : t.TransduceAll(input)) {
+        if (c.Admits(o)) expected.push_back(o);
+      }
+      EXPECT_EQ(composed.TransduceAll(input), expected);
+    }
+  }
+}
+
+TEST(ComposeTest, InputDfaRestriction) {
+  Transducer t = CopyOrDrop();
+  // Restrict inputs to those starting with 1.
+  automata::Dfa starts1(Binary(), 3);
+  starts1.SetInitial(0);
+  starts1.SetAccepting(1, true);
+  starts1.SetTransition(0, 1, 1);
+  starts1.SetTransition(0, 0, 2);
+  for (Symbol s : {0, 1}) {
+    starts1.SetTransition(1, s, 1);
+    starts1.SetTransition(2, s, 2);
+  }
+  Transducer composed = ComposeWithInputDfa(t, starts1);
+  EXPECT_FALSE(composed.TransduceAll({0, 1}).empty() &&
+               composed.TransduceAll({0, 1}).size() > 0);
+  EXPECT_TRUE(composed.TransduceAll({0, 1}).empty());
+  EXPECT_FALSE(composed.TransduceAll({1, 0}).empty());
+}
+
+TEST(TransducerTest, ValidateCatchesErrors) {
+  Alphabet ab = Binary();
+  Transducer empty(ab, ab, 0);
+  EXPECT_FALSE(empty.Validate().ok());
+  Transducer ok(ab, ab, 1);
+  EXPECT_TRUE(ok.Validate().ok());
+  EXPECT_FALSE(ok.AddTransition(0, 0, 5, {}).ok());   // bad target
+  EXPECT_FALSE(ok.AddTransition(0, 9, 0, {}).ok());   // bad symbol
+  EXPECT_FALSE(ok.AddTransition(0, 0, 0, {42}).ok()); // bad emission
+}
+
+}  // namespace
+}  // namespace tms::transducer

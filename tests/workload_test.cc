@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "markov/world_iter.h"
+#include "projector/indexed_enum.h"
+#include "workload/hospital.h"
+#include "workload/random_models.h"
+#include "workload/text.h"
+
+namespace tms::workload {
+namespace {
+
+TEST(HospitalTest, HmmIsWellFormed) {
+  HospitalConfig config;
+  auto hmm = BuildHospitalHmm(config);
+  ASSERT_TRUE(hmm.ok()) << hmm.status();
+  // 2 rooms + hallway + lab, 2 sub-locations each.
+  EXPECT_EQ(hmm->states().size(), 8u);
+  EXPECT_TRUE(hmm->states().Contains("r1a"));
+  EXPECT_TRUE(hmm->states().Contains("hb"));
+  EXPECT_TRUE(hmm->states().Contains("la"));
+}
+
+TEST(HospitalTest, ScenarioProducesValidPosterior) {
+  HospitalConfig config;
+  Rng rng(211);
+  auto scenario = MakeScenario(config, 6, rng);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  EXPECT_EQ(scenario->mu.length(), 6);
+  EXPECT_EQ(scenario->true_locations.size(), 6u);
+  // Posterior worlds sum to 1.
+  double total = 0;
+  markov::ForEachWorld(scenario->mu,
+                       [&](const Str&, double p) { total += p; });
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // The true trajectory has nonzero posterior mass (emissions never rule
+  // out the truth because accuracy > 0).
+  EXPECT_GT(scenario->mu.WorldProbability(scenario->true_locations), 0.0);
+}
+
+TEST(HospitalTest, PlaceTrackerEmitsOnPlaceChange) {
+  HospitalConfig config;
+  auto hmm = BuildHospitalHmm(config);
+  ASSERT_TRUE(hmm.ok());
+  transducer::Transducer tracker = PlaceTracker(hmm->states(), config);
+  EXPECT_TRUE(tracker.IsDeterministic());
+  EXPECT_FALSE(tracker.IsSelective());
+  const Alphabet& loc = hmm->states();
+  // r1a r1b ha la la → enters room1, hallway, lab → "1 H L".
+  Str world = *ParseStr(loc, "r1a r1b ha la la");
+  auto out = tracker.TransduceDeterministic(world);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(FormatStr(tracker.output_alphabet(), *out), "1 H L");
+}
+
+TEST(HospitalTest, ConfigValidation) {
+  HospitalConfig bad;
+  bad.num_rooms = 0;
+  EXPECT_FALSE(BuildHospitalHmm(bad).ok());
+  bad = HospitalConfig();
+  bad.stay_prob = 0.9;
+  bad.within_place_prob = 0.2;  // sums past 1
+  EXPECT_FALSE(BuildHospitalHmm(bad).ok());
+  bad = HospitalConfig();
+  bad.sensor_accuracy = 0.0;
+  EXPECT_FALSE(BuildHospitalHmm(bad).ok());
+}
+
+TEST(TextTest, OcrSequenceShape) {
+  OcrConfig config;
+  auto mu = OcrSequence("abc", config);
+  ASSERT_TRUE(mu.ok()) << mu.status();
+  EXPECT_EQ(mu->length(), 3);
+  EXPECT_EQ(mu->nodes().size(), 29u);  // a-z , : space
+  // Perfect accuracy concentrates on the truth.
+  OcrConfig perfect;
+  perfect.char_accuracy = 1.0;
+  auto exact = OcrSequence("ab", perfect);
+  ASSERT_TRUE(exact.ok());
+  Str truth = *ParseStr(exact->nodes(), "a b");
+  EXPECT_NEAR(exact->WorldProbability(truth), 1.0, 1e-12);
+}
+
+TEST(TextTest, NameExtractorFindsNames) {
+  auto p = NameExtractor();
+  ASSERT_TRUE(p.ok()) << p.status();
+  OcrConfig perfect;
+  perfect.char_accuracy = 1.0;
+  auto mu = OcrSequence("xxname:bob rest", perfect);
+  ASSERT_TRUE(mu.ok());
+  auto results = projector::TopKIndexed(*mu, *p, 5);
+  ASSERT_FALSE(results.empty());
+  // The top answer is "bob" at index 8.
+  EXPECT_EQ(FormatStrCompact(p->alphabet(), results[0].answer.output),
+            "bob");
+  EXPECT_EQ(results[0].answer.index, 8);
+  EXPECT_NEAR(results[0].confidence, 1.0, 1e-9);
+}
+
+TEST(TextTest, MakeFormLineContainsMarker) {
+  Rng rng(223);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string line = MakeFormLine("alice", 30, rng);
+    EXPECT_EQ(line.size(), 30u);
+    EXPECT_NE(line.find("name:alice "), std::string::npos);
+  }
+}
+
+TEST(RandomModelsTest, GeneratorsProduceValidObjects) {
+  Rng rng(227);
+  for (int trial = 0; trial < 10; ++trial) {
+    markov::MarkovSequence mu = RandomMarkovSequence(3, 5, 2, rng);
+    EXPECT_EQ(mu.length(), 5);
+    double total = 0;
+    markov::ForEachWorld(mu, [&](const Str&, double p) { total += p; });
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    Alphabet ab = MakeSymbols(3);
+    automata::Dfa dfa = RandomDfa(ab, 4, rng);
+    EXPECT_TRUE(dfa.Validate().ok());
+    automata::Nfa nfa = RandomNfa(ab, 4, 1.5, rng);
+    EXPECT_TRUE(nfa.Validate().ok());
+
+    RandomTransducerOptions opts;
+    opts.uniform_k = 1;
+    transducer::Transducer t = RandomTransducer(ab, opts, rng);
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_EQ(t.UniformEmissionLength(), std::optional<int>(1));
+
+    opts.deterministic = true;
+    opts.uniform_k = -1;
+    transducer::Transducer det = RandomTransducer(ab, opts, rng);
+    EXPECT_TRUE(det.IsDeterministic());
+  }
+}
+
+}  // namespace
+}  // namespace tms::workload

@@ -1,0 +1,224 @@
+// tms_cli — command-line query runner over the text formats of io/.
+//
+//   tms_cli topk  <sequence-file> <query-file> [k]
+//       Top-k answers by decreasing E_max, with confidences (transducer
+//       queries), or by decreasing I_max with exact confidences
+//       (s-projector queries).
+//   tms_cli conf  <sequence-file> <query-file> <output-symbol>...
+//       Confidence (and E_max) of one answer.
+//   tms_cli enum  <sequence-file> <query-file> [limit]
+//       Unranked enumeration (Theorem 4.1), up to `limit` answers.
+//   tms_cli show  <file>
+//       Parse a model/query file and print its canonical form.
+//
+// Sequence files use the `markov-sequence` format; query files use
+// `transducer` or `s-projector` (see src/io/text_format.h). Sample files
+// live in examples/data/.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "io/text_format.h"
+#include "projector/imax_enum.h"
+#include "projector/sprojector_confidence.h"
+#include "query/evaluator.h"
+#include "query/unranked_enum.h"
+
+namespace {
+
+using namespace tms;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tms_cli topk <sequence> <query> [k]\n"
+               "       tms_cli conf <sequence> <query> <output-symbol>...\n"
+               "       tms_cli enum <sequence> <query> [limit]\n"
+               "       tms_cli show <file>\n");
+  return 2;
+}
+
+StatusOr<markov::MarkovSequence> LoadSequence(const std::string& path) {
+  auto text = io::ReadFile(path);
+  if (!text.ok()) return text.status();
+  return io::ParseMarkovSequence(*text);
+}
+
+struct Query {
+  // Exactly one is set.
+  std::optional<transducer::Transducer> transducer;
+  std::optional<projector::SProjector> sprojector;
+};
+
+StatusOr<Query> LoadQuery(const std::string& path) {
+  auto text = io::ReadFile(path);
+  if (!text.ok()) return text.status();
+  auto format = io::DetectFormat(*text);
+  if (!format.ok()) return format.status();
+  Query out;
+  if (*format == "transducer") {
+    auto t = io::ParseTransducer(*text);
+    if (!t.ok()) return t.status();
+    out.transducer = std::move(t).value();
+    return out;
+  }
+  if (*format == "s-projector") {
+    auto p = io::ParseSProjector(*text);
+    if (!p.ok()) return p.status();
+    out.sprojector = std::move(p).value();
+    return out;
+  }
+  return Status::InvalidArgument("query file must be a transducer or an "
+                                 "s-projector, got: " + *format);
+}
+
+int RunTopK(const std::string& seq_path, const std::string& query_path,
+            int k) {
+  auto mu = LoadSequence(seq_path);
+  if (!mu.ok()) return Fail(mu.status());
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+
+  if (query->transducer.has_value()) {
+    auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
+    if (!eval.ok()) return Fail(eval.status());
+    auto topk = eval->TopK(k);
+    if (!topk.ok()) return Fail(topk.status());
+    std::printf("%-30s %-14s %-14s\n", "answer", "E_max", "confidence");
+    for (const query::AnswerInfo& info : *topk) {
+      std::printf("%-30s %-14.6g %-14.6g\n",
+                  FormatStr(query->transducer->output_alphabet(),
+                            info.output).c_str(),
+                  info.emax, info.confidence);
+    }
+    return 0;
+  }
+  auto it = projector::ImaxEnumerator::Create(&*mu, &*query->sprojector);
+  if (!it.ok()) return Fail(it.status());
+  std::printf("%-30s %-14s %-14s\n", "answer", "I_max", "confidence");
+  for (int i = 0; i < k; ++i) {
+    auto answer = it->Next();
+    if (!answer.has_value()) break;
+    auto conf = projector::SProjectorConfidence(*mu, *query->sprojector,
+                                                answer->output);
+    if (!conf.ok()) return Fail(conf.status());
+    std::printf("%-30s %-14.6g %-14.6g\n",
+                FormatStr(query->sprojector->alphabet(),
+                          answer->output).c_str(),
+                answer->score, *conf);
+  }
+  return 0;
+}
+
+int RunConf(const std::string& seq_path, const std::string& query_path,
+            int argc, char** argv, int first_symbol_arg) {
+  auto mu = LoadSequence(seq_path);
+  if (!mu.ok()) return Fail(mu.status());
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+
+  const Alphabet& delta = query->transducer.has_value()
+                              ? query->transducer->output_alphabet()
+                              : query->sprojector->alphabet();
+  Str o;
+  for (int i = first_symbol_arg; i < argc; ++i) {
+    auto sym = delta.Find(argv[i]);
+    if (!sym.ok()) return Fail(sym.status());
+    o.push_back(*sym);
+  }
+
+  if (query->transducer.has_value()) {
+    auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
+    if (!eval.ok()) return Fail(eval.status());
+    auto conf = eval->Confidence(o);
+    if (!conf.ok()) return Fail(conf.status());
+    auto emax = eval->Emax(o);
+    std::printf("confidence %.10g\n", *conf);
+    std::printf("E_max      %.10g\n", emax.has_value() ? *emax : 0.0);
+    return 0;
+  }
+  auto conf = projector::SProjectorConfidence(*mu, *query->sprojector, o);
+  if (!conf.ok()) return Fail(conf.status());
+  auto computer = projector::IndexedConfidence::Create(&*mu,
+                                                       &*query->sprojector);
+  if (!computer.ok()) return Fail(computer.status());
+  std::printf("confidence %.10g\n", *conf);
+  std::printf("I_max      %.10g\n",
+              projector::ImaxOfAnswer(*computer, o));
+  return 0;
+}
+
+int RunEnum(const std::string& seq_path, const std::string& query_path,
+            int limit) {
+  auto mu = LoadSequence(seq_path);
+  if (!mu.ok()) return Fail(mu.status());
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+
+  transducer::Transducer t = query->transducer.has_value()
+                                 ? std::move(*query->transducer)
+                                 : query->sprojector->ToTransducer();
+  query::UnrankedEnumerator it(*mu, t);
+  int count = 0;
+  while (count < limit) {
+    auto answer = it.Next();
+    if (!answer.has_value()) break;
+    std::printf("%s\n", FormatStr(t.output_alphabet(), *answer).c_str());
+    ++count;
+  }
+  std::fprintf(stderr, "%d answer(s)\n", count);
+  return 0;
+}
+
+int RunShow(const std::string& path) {
+  auto text = io::ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  auto format = io::DetectFormat(*text);
+  if (!format.ok()) return Fail(format.status());
+  if (*format == "markov-sequence") {
+    auto mu = io::ParseMarkovSequence(*text);
+    if (!mu.ok()) return Fail(mu.status());
+    std::fputs(io::FormatMarkovSequence(*mu).c_str(), stdout);
+    return 0;
+  }
+  if (*format == "transducer") {
+    auto t = io::ParseTransducer(*text);
+    if (!t.ok()) return Fail(t.status());
+    std::fputs(io::FormatTransducer(*t).c_str(), stdout);
+    return 0;
+  }
+  auto p = io::ParseSProjector(*text);
+  if (!p.ok()) return Fail(p.status());
+  std::printf("s-projector over %zu symbols: |Q_B|=%d |Q_A|=%d |Q_E|=%d\n",
+              p->alphabet().size(), p->prefix().num_states(),
+              p->pattern().num_states(), p->suffix().num_states());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "show") return RunShow(argv[2]);
+  if (argc < 4) return Usage();
+  if (command == "topk") {
+    int k = argc >= 5 ? std::atoi(argv[4]) : 10;
+    if (k <= 0) return Usage();
+    return RunTopK(argv[2], argv[3], k);
+  }
+  if (command == "conf") {
+    return RunConf(argv[2], argv[3], argc, argv, 4);
+  }
+  if (command == "enum") {
+    int limit = argc >= 5 ? std::atoi(argv[4]) : 100;
+    if (limit <= 0) return Usage();
+    return RunEnum(argv[2], argv[3], limit);
+  }
+  return Usage();
+}
