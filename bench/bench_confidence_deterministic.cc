@@ -90,6 +90,7 @@ BENCHMARK(BM_DetConfidenceGeneralOnUniform)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("confidence_deterministic");
   tms::bench::PrintHeader(
       "E2: confidence computation, deterministic transducers (Theorem 4.6)",
       "PTIME — O(|o|·n·|Σ|²·|Q|²); O(k·n·|Σ|²·|Q|²) when k-uniform. "

@@ -114,6 +114,7 @@ BENCHMARK(BM_ExactConfidenceHardFamily)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("confidence_hardness");
   tms::PrintReproduction();
   tms::PrintMonteCarloAblation();
   benchmark::Initialize(&argc, argv);

@@ -85,6 +85,7 @@ BENCHMARK(BM_UniformSubset_DeterministicBaseline)->Arg(2)->Arg(8)->Arg(14);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("confidence_uniform_subset");
   tms::bench::PrintHeader(
       "E3: confidence, nondeterministic uniform emission (Theorem 4.8)",
       "O(n·k·|Σ|²·4^{|Q|}) via subset construction interleaved with the "

@@ -69,6 +69,12 @@ void PrintDelayTable() {
     }
     std::printf("%-6d %-12d %-16.3f %-14.3f %s\n", n, count, max_ms,
                 count ? total_ms / count : 0.0, sorted ? "yes" : "NO");
+    std::string prefix = "n=" + std::to_string(n) + ".";
+    bench::Report::Global().AddMetric(prefix + "answers", count);
+    bench::Report::Global().AddMetric(prefix + "max_delay_ms", max_ms);
+    bench::Report::Global().AddMetric(prefix + "mean_delay_ms",
+                                      count ? total_ms / count : 0.0);
+    bench::Report::Global().AddMetric(prefix + "sorted", sorted ? 1.0 : 0.0);
   }
 }
 
@@ -121,6 +127,7 @@ BENCHMARK(BM_EmaxTopK)
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("enumeration_emax");
   tms::PrintDelayTable();
   tms::PrintApproxRatioTable();
   benchmark::Initialize(&argc, argv);

@@ -71,6 +71,14 @@ void PrintReproduction() {
                 static_cast<long long>(max_delay_calls),
                 count > 0 ? static_cast<double>(total_calls) / count : 0.0,
                 max_delay_ms);
+    std::string prefix = "n=" + std::to_string(n) + ".";
+    bench::Report::Global().AddMetric(prefix + "answers", count);
+    bench::Report::Global().AddMetric(prefix + "max_delay_oracle_calls",
+                                      static_cast<double>(max_delay_calls));
+    bench::Report::Global().AddMetric(
+        prefix + "mean_delay_oracle_calls",
+        count > 0 ? static_cast<double>(total_calls) / count : 0.0);
+    bench::Report::Global().AddMetric(prefix + "max_delay_ms", max_delay_ms);
   }
 }
 
@@ -90,6 +98,7 @@ BENCHMARK(BM_UnrankedFirst50)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("enumeration_unranked");
   tms::PrintReproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

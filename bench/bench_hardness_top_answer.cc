@@ -98,6 +98,7 @@ BENCHMARK(BM_EmaxTopOnHardInstance)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("hardness_top_answer");
   tms::PrintReproduction();
   tms::PrintExactSearchAblation();
   benchmark::Initialize(&argc, argv);

@@ -124,6 +124,7 @@ BENCHMARK(BM_IndexedConfidencePerAnswer)->Arg(32)->Arg(128)->Arg(512);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("indexed_sprojector");
   tms::PrintReproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

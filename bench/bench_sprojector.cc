@@ -205,6 +205,7 @@ BENCHMARK(BM_ImaxTopK)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("sprojector");
   tms::PrintImaxRatioTable();
   tms::PrintConcatBlowupTable();
   tms::PrintDedupAblation();

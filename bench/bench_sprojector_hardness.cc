@@ -158,6 +158,7 @@ BENCHMARK(BM_ImaxTopOnIndependentSetFamily)
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("sprojector_hardness");
   tms::PrintReproduction();
   tms::PrintSpreadVsConcentratedTable();
   benchmark::Initialize(&argc, argv);

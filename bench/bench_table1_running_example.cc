@@ -93,6 +93,7 @@ BENCHMARK(BM_Table1FullEnumeration);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("table1_running_example");
   tms::PrintReproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -58,6 +58,11 @@ void PrintReproduction() {
 
     std::printf("%-6d %-12zu %-18.2f %-16.2f\n", n, all->size(),
                 two_step_ms, ranked_ms);
+    std::string prefix = "n=" + std::to_string(n) + ".";
+    bench::Report::Global().AddMetric(prefix + "answers",
+                                      static_cast<double>(all->size()));
+    bench::Report::Global().AddMetric(prefix + "twostep_ms", two_step_ms);
+    bench::Report::Global().AddMetric(prefix + "top10_ms", ranked_ms);
   }
 }
 
@@ -87,6 +92,7 @@ BENCHMARK(BM_RankedTop10)->Arg(6)->Arg(10)->Arg(14)->Arg(32)->Arg(64);
 }  // namespace tms
 
 int main(int argc, char** argv) {
+  tms::bench::Session session("twostep_vs_ranked");
   tms::PrintReproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

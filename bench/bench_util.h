@@ -1,17 +1,142 @@
 // Shared helpers for the benchmark harness.
+//
+// Besides the human-readable reproduction tables, every bench binary
+// opens a `bench::Session` in main(); the session funnels each
+// experiment's header, its recorded metrics, and the final observability
+// registry (counters + delay histograms from the instrumented engines,
+// see src/obs/) into `BENCH_<name>.json`, written to the current
+// directory or $TMS_BENCH_JSON_DIR. These files are the machine-readable
+// record that the paper's polynomial-delay claims hold run over run
+// (bench/baselines/ keeps the first checked-in baselines).
 
 #ifndef TMS_BENCH_BENCH_UTIL_H_
 #define TMS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "markov/markov_sequence.h"
 #include "markov/world_iter.h"
+#include "obs/obs.h"
 #include "transducer/transducer.h"
 
 namespace tms::bench {
+
+/// Collects the machine-readable side of a bench run. One global instance
+/// per binary; Session (below) names it and writes the JSON at exit.
+class Report {
+ public:
+  static Report& Global() {
+    static Report* r = new Report();
+    return *r;
+  }
+
+  void SetName(std::string name) { name_ = std::move(name); }
+
+  /// Starts a new experiment section; subsequent AddMetric calls attach
+  /// to it. PrintHeader calls this automatically.
+  void BeginExperiment(std::string experiment, std::string claim) {
+    experiments_.push_back({std::move(experiment), std::move(claim), {}});
+  }
+
+  /// Records one scalar (e.g. "n=16.max_delay_ms") under the current
+  /// experiment (or a synthetic one when none is open).
+  void AddMetric(std::string key, double value) {
+    if (experiments_.empty()) BeginExperiment("(unnamed)", "");
+    experiments_.back().metrics.emplace_back(std::move(key), value);
+  }
+
+  /// Records a skipped case (e.g. SampleAnswer found no accepting run).
+  void AddSkip(std::string context) { skips_.push_back(std::move(context)); }
+
+  size_t skip_count() const { return skips_.size(); }
+
+  /// Writes BENCH_<name>.json; returns the path ("" on failure).
+  std::string WriteJson() const {
+    if (name_.empty()) return "";
+    std::string dir = ".";
+    if (const char* env = std::getenv("TMS_BENCH_JSON_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::string doc = "{\"bench\":\"";
+    obs::AppendJsonEscaped(name_, &doc);
+    doc += "\",\"experiments\":[";
+    bool first_exp = true;
+    for (const Experiment& exp : experiments_) {
+      if (!first_exp) doc += ',';
+      first_exp = false;
+      doc += "{\"name\":\"";
+      obs::AppendJsonEscaped(exp.name, &doc);
+      doc += "\",\"claim\":\"";
+      obs::AppendJsonEscaped(exp.claim, &doc);
+      doc += "\",\"metrics\":{";
+      bool first_metric = true;
+      for (const auto& [key, value] : exp.metrics) {
+        if (!first_metric) doc += ',';
+        first_metric = false;
+        doc += '"';
+        obs::AppendJsonEscaped(key, &doc);
+        doc += "\":";
+        obs::AppendJsonNumber(value, &doc);
+      }
+      doc += "}}";
+    }
+    doc += "],\"skips\":[";
+    bool first_skip = true;
+    for (const std::string& skip : skips_) {
+      if (!first_skip) doc += ',';
+      first_skip = false;
+      doc += '"';
+      obs::AppendJsonEscaped(skip, &doc);
+      doc += '"';
+    }
+    doc += "],\"metrics\":";
+    doc += obs::RegistryJson(obs::Registry::Global().Snapshot());
+    doc += "}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fputs(doc.c_str(), f);
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  struct Experiment {
+    std::string name;
+    std::string claim;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string name_;
+  std::vector<Experiment> experiments_;
+  std::vector<std::string> skips_;
+};
+
+/// RAII bench session: enables metric collection, names the report, and
+/// writes BENCH_<name>.json when main() returns.
+class Session {
+ public:
+  explicit Session(const char* name) {
+    obs::SetEnabled(true);
+    Report::Global().SetName(name);
+  }
+  ~Session() {
+    std::string path = Report::Global().WriteJson();
+    if (!path.empty()) {
+      std::fprintf(stderr, "\nwrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "\nWARNING: failed to write bench JSON report "
+                   "(check TMS_BENCH_JSON_DIR)\n");
+    }
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+};
 
 /// The output of one (uniformly random) accepting run of `t` on `world`,
 /// or nullopt if no accepting run exists. Used to draw realistic answers
@@ -41,6 +166,10 @@ inline std::optional<Str> RandomRunOutput(const transducer::Transducer& t,
 
 /// Samples a world and returns the output of one of its accepting runs
 /// (retrying until one exists); an answer with nonzero confidence.
+/// A nullopt return (no accepting run in 256 sampled worlds) is loud:
+/// it is logged to stderr, counted in the bench JSON's "skips" list, and
+/// counted by the `bench.sample_answer.skips` metric — benchmarks must
+/// not silently drop cases.
 inline std::optional<Str> SampleAnswer(const markov::MarkovSequence& mu,
                                        const transducer::Transducer& t,
                                        Rng& rng) {
@@ -49,11 +178,20 @@ inline std::optional<Str> SampleAnswer(const markov::MarkovSequence& mu,
     auto out = RandomRunOutput(t, world, rng);
     if (out.has_value()) return out;
   }
+  std::string context =
+      "SampleAnswer: no accepting run in 256 sampled worlds (n=" +
+      std::to_string(mu.length()) +
+      ", |Q|=" + std::to_string(t.num_states()) + "); case skipped";
+  std::fprintf(stderr, "WARNING: %s\n", context.c_str());
+  Report::Global().AddSkip(context);
+  TMS_OBS_COUNT("bench.sample_answer.skips", 1);
   return std::nullopt;
 }
 
-/// Prints a section header for the reproduction tables.
+/// Prints a section header for the reproduction tables and opens the
+/// matching experiment section in the bench JSON report.
 inline void PrintHeader(const char* experiment, const char* claim) {
+  Report::Global().BeginExperiment(experiment, claim);
   std::printf("\n================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("paper claim: %s\n", claim);

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace tms::automata {
 
@@ -66,6 +67,8 @@ Dfa Determinize(const Nfa& nfa) {
     next_of.push_back(std::move(row));
   }
 
+  TMS_OBS_COUNT("automata.determinize.calls", 1);
+  TMS_OBS_HISTOGRAM("automata.determinize.states", subsets.size());
   Dfa out(nfa.alphabet(), static_cast<int>(subsets.size()));
   out.SetInitial(start);
   for (StateId id = 0; id < out.num_states(); ++id) {
@@ -148,6 +151,8 @@ Dfa Minimize(const Dfa& dfa) {
     block = std::move(new_block);
   }
 
+  TMS_OBS_COUNT("automata.minimize.calls", 1);
+  TMS_OBS_HISTOGRAM("automata.minimize.blocks", num_blocks);
   Dfa out(dfa.alphabet(), num_blocks);
   out.SetInitial(block[static_cast<size_t>(dfa.initial())]);
   for (StateId q : reachable) {
@@ -166,6 +171,8 @@ Dfa Product(const Dfa& a, const Dfa& b, BoolOp op) {
   TMS_CHECK(a.alphabet() == b.alphabet());
   const size_t sigma = a.alphabet().size();
   const int nb = b.num_states();
+  TMS_OBS_COUNT("automata.product.calls", 1);
+  TMS_OBS_HISTOGRAM("automata.product.states", a.num_states() * nb);
   Dfa out(a.alphabet(), a.num_states() * nb);
   auto id = [nb](StateId qa, StateId qb) {
     return static_cast<StateId>(qa * nb + qb);

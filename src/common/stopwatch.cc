@@ -8,4 +8,12 @@ int64_t Stopwatch::ElapsedNanos() const {
       .count();
 }
 
+int64_t Stopwatch::Lap() {
+  Clock::time_point now = Clock::now();
+  int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - lap_).count();
+  lap_ = now;
+  return ns;
+}
+
 }  // namespace tms

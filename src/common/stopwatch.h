@@ -14,8 +14,8 @@ class Stopwatch {
  public:
   Stopwatch() { Restart(); }
 
-  /// Resets the origin to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the origin (and the lap origin) to now.
+  void Restart() { start_ = lap_ = Clock::now(); }
 
   /// Nanoseconds elapsed since construction or the last Restart().
   int64_t ElapsedNanos() const;
@@ -25,9 +25,18 @@ class Stopwatch {
     return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
+  /// Nanoseconds elapsed since the last Lap() (or construction/Restart()),
+  /// and advances the lap origin to now — interval timing for the
+  /// per-answer delay recorder and enumeration instrumentation.
+  int64_t Lap();
+
+  /// Seconds variant of Lap().
+  double LapSeconds() { return static_cast<double>(Lap()) * 1e-9; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace tms

@@ -1,0 +1,27 @@
+// Compile-time switch for the observability subsystem.
+//
+// The build defines TMS_OBS_ENABLED (CMake option TMS_OBS, default ON).
+// When it is 0, every obs entry point collapses to an inline no-op — the
+// instrumented code in the library compiles to exactly what it was before
+// instrumentation (verified by bench_twostep_vs_ranked before/after).
+//
+// A translation unit may additionally define TMS_OBS_FORCE_DISABLE before
+// including any obs header to get the no-op surface even in an
+// instrumented build; the no-op types live in a distinct inline namespace
+// so mixing both flavors in one binary is ODR-clean. tests/obs_test.cc
+// uses this to cover the disabled path.
+
+#ifndef TMS_OBS_CONFIG_H_
+#define TMS_OBS_CONFIG_H_
+
+#ifndef TMS_OBS_ENABLED
+#define TMS_OBS_ENABLED 1
+#endif
+
+#if defined(TMS_OBS_FORCE_DISABLE)
+#define TMS_OBS_ACTIVE 0
+#else
+#define TMS_OBS_ACTIVE TMS_OBS_ENABLED
+#endif
+
+#endif  // TMS_OBS_CONFIG_H_

@@ -1,0 +1,174 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tms::obs {
+
+namespace {
+
+void AppendInt(int64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "tms_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
+  *out += "{\"count\":";
+  AppendInt(h.count, out);
+  *out += ",\"sum\":";
+  AppendInt(h.sum, out);
+  *out += ",\"min\":";
+  AppendInt(h.min, out);
+  *out += ",\"max\":";
+  AppendInt(h.max, out);
+  *out += ",\"mean\":";
+  AppendJsonNumber(h.Mean(), out);
+  *out += ",\"p50\":";
+  AppendInt(h.Quantile(0.50), out);
+  *out += ",\"p90\":";
+  AppendInt(h.Quantile(0.90), out);
+  *out += ",\"p99\":";
+  AppendInt(h.Quantile(0.99), out);
+  *out += ",\"buckets\":[";
+  bool first = true;
+  for (const HistogramSnapshot::Bucket& b : h.buckets) {
+    if (!first) *out += ',';
+    first = false;
+    *out += "{\"le\":";
+    AppendInt(b.upper_bound, out);
+    *out += ",\"count\":";
+    AppendInt(b.count, out);
+    *out += '}';
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    *out += '0';
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+std::string RegistryJson(const RegistrySnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":";
+    AppendInt(value, &out);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":";
+    AppendJsonNumber(value, &out);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(name, &out);
+    out += "\":";
+    AppendHistogramJson(hist, &out);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string PrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n" + pname + ' ';
+    AppendInt(value, &out);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n" + pname + ' ';
+    AppendJsonNumber(value, &out);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    int64_t cumulative = 0;
+    for (const HistogramSnapshot::Bucket& b : hist.buckets) {
+      cumulative += b.count;
+      out += pname + "_bucket{le=\"";
+      AppendInt(b.upper_bound, &out);
+      out += "\"} ";
+      AppendInt(cumulative, &out);
+      out += '\n';
+    }
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    AppendInt(hist.count, &out);
+    out += '\n';
+    out += pname + "_sum ";
+    AppendInt(hist.sum, &out);
+    out += '\n';
+    out += pname + "_count ";
+    AppendInt(hist.count, &out);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tms::obs

@@ -1,0 +1,42 @@
+// Sinks for the metrics registry: machine-readable JSON and
+// Prometheus-style text exposition.
+//
+// Both writers operate on RegistrySnapshot, so they work identically in
+// instrumented and compiled-out builds (the latter just sees an empty
+// snapshot).
+
+#ifndef TMS_OBS_EXPORT_H_
+#define TMS_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace tms::obs {
+
+/// Appends `s` to `*out` with JSON string escaping (quotes, backslashes,
+/// control characters). Does not add surrounding quotes.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// Formats a double as a JSON number (finite values only; NaN/inf are
+/// emitted as 0 to keep the document valid).
+void AppendJsonNumber(double v, std::string* out);
+
+/// The snapshot as one JSON object:
+///   {"counters": {"ranking.lawler.pops": 5, ...},
+///    "gauges": {...},
+///    "histograms": {"query.emax_enum.delay_ns":
+///        {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+///         "p50":..,"p90":..,"p99":..,
+///         "buckets":[{"le":..,"count":..}, ...]}, ...}}
+std::string RegistryJson(const RegistrySnapshot& snapshot);
+
+/// The snapshot in Prometheus text exposition format. Metric names are
+/// prefixed with `tms_` and dots become underscores; histograms emit
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+std::string PrometheusText(const RegistrySnapshot& snapshot);
+
+}  // namespace tms::obs
+
+#endif  // TMS_OBS_EXPORT_H_

@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace tms::obs {
+
+// --- shared (compiled in every build flavor) ---------------------------
+
+int64_t MonotonicNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              origin)
+      .count();
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the target observation (1-based, ceil).
+  const int64_t rank =
+      static_cast<int64_t>(q * static_cast<double>(count) + 0.5);
+  int64_t seen = 0;
+  for (const Bucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) {
+      // Log-spaced buckets: report the geometric midpoint of the bucket,
+      // clamped to the exact observed envelope.
+      const double upper = static_cast<double>(b.upper_bound);
+      const double lower = upper / 2.0;
+      int64_t mid = static_cast<int64_t>(lower + (upper - lower) / 2.0);
+      if (mid < min) mid = min;
+      if (mid > max) mid = max;
+      return mid;
+    }
+  }
+  return max;
+}
+
+#if TMS_OBS_ACTIVE
+
+inline namespace active {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* v = std::getenv("TMS_OBS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(int64_t v) {
+  if (v <= 1) return 0;
+  int idx = std::bit_width(static_cast<uint64_t>(v - 1));
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index >= 63) return INT64_MAX;
+  return int64_t{1} << index;
+}
+
+void Histogram::Record(int64_t v) {
+  if (!Enabled()) return;
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int64_t prev = min_.load(std::memory_order_relaxed);
+  while (v < prev &&
+         !min_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c > 0) out.buckets.push_back({BucketUpperBound(i), c});
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  if (out.count > 0) {
+    out.min = min_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->Snapshot();
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // inline namespace active
+
+#endif  // TMS_OBS_ACTIVE
+
+}  // namespace tms::obs

@@ -1,0 +1,215 @@
+// Process-wide metrics registry: counters, gauges, and latency histograms
+// with fixed log-spaced (power-of-two) buckets.
+//
+// Metric names follow the scheme `<module>.<name>` (the `tms.` prefix is
+// implicit in-process and materialized by the Prometheus exposition,
+// see obs/export.h and docs/OBSERVABILITY.md). Call sites resolve a metric
+// once through the TMS_OBS_* macros in obs/obs.h, so the steady-state cost
+// of a counter increment is one relaxed atomic add behind one predictable
+// branch on the runtime enable flag.
+//
+// Snapshot types (RegistrySnapshot, HistogramSnapshot) are plain data and
+// exist in both the instrumented and the compiled-out build, so exporters
+// and tests always link.
+
+#ifndef TMS_OBS_METRICS_H_
+#define TMS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/config.h"
+
+namespace tms::obs {
+
+/// Point-in-time copy of one histogram. Buckets are cumulative-free
+/// (per-bucket counts) with inclusive upper bounds; only non-empty buckets
+/// are materialized. Bounds are the fixed log-spaced grid 1, 2, 4, ... 2^62.
+struct HistogramSnapshot {
+  struct Bucket {
+    int64_t upper_bound = 0;  ///< inclusive upper edge of the bucket
+    int64_t count = 0;
+  };
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;  ///< exact observed minimum (0 when count == 0)
+  int64_t max = 0;  ///< exact observed maximum (0 when count == 0)
+  std::vector<Bucket> buckets;
+
+  /// Approximate q-quantile (q in [0, 1]) from the bucket counts, clamped
+  /// to the exact [min, max] envelope. Returns 0 when empty.
+  int64_t Quantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Point-in-time copy of the whole registry, sorted by metric name.
+struct RegistrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Nanoseconds since an arbitrary process-local origin (steady clock);
+/// the time base of trace spans.
+int64_t MonotonicNanos();
+
+#if TMS_OBS_ACTIVE
+
+inline namespace active {
+
+/// Runtime collection switch. Initialized from the TMS_OBS environment
+/// variable ("0"/"off"/"false" disable collection); defaults to enabled.
+/// When disabled, metric mutations are dropped at the call site.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotone event count.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    if (Enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of nonnegative int64 observations over the fixed
+/// power-of-two bucket grid; tracks exact count/sum/min/max alongside.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index holding v: bucket 0 covers (-inf, 1], bucket i >= 1
+  /// covers (2^(i-1), 2^i], values beyond 2^62 land in the last bucket.
+  static int BucketIndex(int64_t v);
+  /// Inclusive upper bound of bucket `index` (2^index, saturated).
+  static int64_t BucketUpperBound(int index);
+
+  void Record(int64_t v);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// Name → metric map. Metrics are created on first use and live for the
+/// process lifetime, so references returned here are stable and may be
+/// cached (the TMS_OBS_* macros cache them in function-local statics).
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Copies every metric. Safe against concurrent mutation.
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive). Tests use
+  /// this between cases; long-running processes can use it to scope an
+  /// experiment.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // inline namespace active
+
+#else  // !TMS_OBS_ACTIVE
+
+// No-op surface with the same API shape. Everything inlines to nothing;
+// a distinct inline namespace keeps mixed builds ODR-clean.
+inline namespace noop {
+
+inline bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+
+class Counter {
+ public:
+  void Add(int64_t = 1) {}
+  int64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  double value() const { return 0.0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static int BucketIndex(int64_t) { return 0; }
+  static int64_t BucketUpperBound(int) { return 1; }
+  void Record(int64_t) {}
+  int64_t count() const { return 0; }
+  HistogramSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+class Registry {
+ public:
+  static Registry& Global() {
+    static Registry r;
+    return r;
+  }
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  RegistrySnapshot Snapshot() const { return {}; }
+  void Reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+}  // inline namespace noop
+
+#endif  // TMS_OBS_ACTIVE
+
+}  // namespace tms::obs
+
+#endif  // TMS_OBS_METRICS_H_

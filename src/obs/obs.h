@@ -1,0 +1,68 @@
+// Umbrella header and instrumentation macros for tms observability.
+//
+// Instrumented code uses the TMS_OBS_* macros below rather than touching
+// the registry directly: each macro resolves its metric once (function-
+// local static reference) and compiles to nothing when the build is
+// configured with -DTMS_OBS=OFF (TMS_OBS_ENABLED=0), so disabled builds
+// carry zero overhead — not even the string literal survives.
+//
+// Naming scheme: `<module>.<name>` (e.g. `ranking.lawler.pops`); see
+// docs/OBSERVABILITY.md for the full catalogue.
+
+#ifndef TMS_OBS_OBS_H_
+#define TMS_OBS_OBS_H_
+
+#include "obs/config.h"
+#include "obs/delay.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+#define TMS_OBS_CONCAT_INNER_(a, b) a##b
+#define TMS_OBS_CONCAT_(a, b) TMS_OBS_CONCAT_INNER_(a, b)
+
+#if TMS_OBS_ACTIVE
+
+/// Adds `delta` to the counter `name` (a string literal).
+#define TMS_OBS_COUNT(name, delta)                                     \
+  do {                                                                 \
+    static ::tms::obs::Counter& TMS_OBS_CONCAT_(tms_obs_counter_,      \
+                                                __LINE__) =            \
+        ::tms::obs::Registry::Global().counter(name);                  \
+    TMS_OBS_CONCAT_(tms_obs_counter_, __LINE__).Add(delta);            \
+  } while (0)
+
+/// Sets the gauge `name` to `value`.
+#define TMS_OBS_GAUGE_SET(name, value)                                 \
+  do {                                                                 \
+    static ::tms::obs::Gauge& TMS_OBS_CONCAT_(tms_obs_gauge_,          \
+                                              __LINE__) =              \
+        ::tms::obs::Registry::Global().gauge(name);                    \
+    TMS_OBS_CONCAT_(tms_obs_gauge_, __LINE__)                          \
+        .Set(static_cast<double>(value));                              \
+  } while (0)
+
+/// Records `value` into the histogram `name`.
+#define TMS_OBS_HISTOGRAM(name, value)                                 \
+  do {                                                                 \
+    static ::tms::obs::Histogram& TMS_OBS_CONCAT_(tms_obs_hist_,       \
+                                                  __LINE__) =          \
+        ::tms::obs::Registry::Global().histogram(name);                \
+    TMS_OBS_CONCAT_(tms_obs_hist_, __LINE__)                           \
+        .Record(static_cast<int64_t>(value));                          \
+  } while (0)
+
+/// Opens an RAII trace span covering the rest of the enclosing scope.
+#define TMS_OBS_SPAN(name) \
+  ::tms::obs::Span TMS_OBS_CONCAT_(tms_obs_span_, __LINE__)(name)
+
+#else  // !TMS_OBS_ACTIVE
+
+#define TMS_OBS_COUNT(name, delta) ((void)0)
+#define TMS_OBS_GAUGE_SET(name, value) ((void)0)
+#define TMS_OBS_HISTOGRAM(name, value) ((void)0)
+#define TMS_OBS_SPAN(name) ((void)0)
+
+#endif  // TMS_OBS_ACTIVE
+
+#endif  // TMS_OBS_OBS_H_

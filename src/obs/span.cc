@@ -1,0 +1,96 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace tms::obs {
+
+#if TMS_OBS_ACTIVE
+
+inline namespace active {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+int NextThreadIndex() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int ThisThreadIndex() {
+  thread_local int tid = NextThreadIndex();
+  return tid;
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* t = new Tracer();  // leaked: outlives static dtors
+  return *t;
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    // Chrome-trace timestamps are microseconds (doubles keep sub-us).
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f}",
+                  e.tid, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void Span::Finish() {
+  TraceEvent event;
+  event.name = name_;
+  event.tid = ThisThreadIndex();
+  event.start_ns = start_ns_;
+  event.duration_ns = MonotonicNanos() - start_ns_;
+  Tracer::Global().Record(event);
+}
+
+}  // inline namespace active
+
+#endif  // TMS_OBS_ACTIVE
+
+}  // namespace tms::obs

@@ -1,0 +1,126 @@
+// Lightweight scoped trace spans.
+//
+// A Span is an RAII marker around a region of work. On destruction it
+// appends one complete ("ph":"X") event to the process-wide Tracer, which
+// can be exported as Chrome-trace JSON (chrome://tracing, Perfetto).
+// Nesting is implicit: events on the same thread nest by time, which is
+// exactly how the Chrome trace viewer renders them.
+//
+// Tracing is off by default (SetTracingEnabled) so spans on hot paths cost
+// one predictable branch; the event buffer is capped so a long-running
+// process cannot grow without bound.
+
+#ifndef TMS_OBS_SPAN_H_
+#define TMS_OBS_SPAN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/config.h"
+#include "obs/metrics.h"
+
+namespace tms::obs {
+
+/// One finished span, in the process-local monotonic time base.
+struct TraceEvent {
+  const char* name = "";  ///< static string at the span site
+  int tid = 0;            ///< sequential thread index (not an OS tid)
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+#if TMS_OBS_ACTIVE
+
+inline namespace active {
+
+/// Runtime switch for span collection; independent of metric collection.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Process-wide sink for finished spans.
+class Tracer {
+ public:
+  /// Oldest events win once the buffer is full; `dropped()` reports loss.
+  static constexpr size_t kMaxEvents = 1 << 16;
+
+  static Tracer& Global();
+
+  void Record(const TraceEvent& event);
+  std::vector<TraceEvent> Events() const;
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void Clear();
+
+  /// The collected trace as a Chrome-trace JSON document
+  /// ({"traceEvents": [...]}; timestamps in microseconds).
+  std::string ChromeTraceJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::atomic<int64_t> dropped_{0};
+};
+
+/// RAII span. `name` must be a string with static storage duration
+/// (a literal at the instrumentation site).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = MonotonicNanos();
+      active_ = true;
+    }
+  }
+  ~Span() {
+    if (active_) Finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Finish();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // inline namespace active
+
+#else  // !TMS_OBS_ACTIVE
+
+inline namespace noop {
+
+inline bool TracingEnabled() { return false; }
+inline void SetTracingEnabled(bool) {}
+
+class Tracer {
+ public:
+  static constexpr size_t kMaxEvents = 0;
+  static Tracer& Global() {
+    static Tracer t;
+    return t;
+  }
+  void Record(const TraceEvent&) {}
+  std::vector<TraceEvent> Events() const { return {}; }
+  int64_t dropped() const { return 0; }
+  void Clear() {}
+  std::string ChromeTraceJson() const { return "{\"traceEvents\":[]}"; }
+};
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+}  // inline namespace noop
+
+#endif  // TMS_OBS_ACTIVE
+
+}  // namespace tms::obs
+
+#endif  // TMS_OBS_SPAN_H_

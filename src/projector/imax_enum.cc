@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "graph/dag.h"
+#include "obs/obs.h"
 #include "projector/indexed_enum.h"
 
 namespace tms::projector {
@@ -33,7 +34,11 @@ ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state)
   lawler_ = std::make_unique<ranking::LawlerEnumerator>(
       [s](const ranking::OutputConstraint& c)
           -> std::optional<ranking::ScoredAnswer> {
+        TMS_OBS_SPAN("projector.imax_enum.subspace_solve");
+        TMS_OBS_COUNT("projector.imax_enum.dag_builds", 1);
         IndexedDag dag = BuildIndexedDag(*s->mu, *s->p, s->tables, &c);
+        TMS_OBS_HISTOGRAM("projector.imax_enum.dag_nodes",
+                          dag.dag.num_nodes());
         auto path = graph::BestPath(dag.dag, dag.source, dag.sink);
         if (!path.ok()) return std::nullopt;
         IndexedAnswer answer = dag.Decode(*path);
@@ -55,7 +60,12 @@ StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
 }
 
 std::optional<ranking::ScoredAnswer> ImaxEnumerator::Next() {
-  return lawler_->Next();
+  auto answer = lawler_->Next();
+  if (answer.has_value()) {
+    TMS_OBS_COUNT("projector.imax_enum.answers", 1);
+    delay_.RecordAnswer();
+  }
+  return answer;
 }
 
 StatusOr<SimpleImaxEnumerator> SimpleImaxEnumerator::Create(

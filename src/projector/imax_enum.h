@@ -20,6 +20,7 @@
 #include <set>
 
 #include "markov/markov_sequence.h"
+#include "obs/delay.h"
 #include "projector/indexed_confidence.h"
 #include "projector/indexed_enum.h"
 #include "projector/sprojector.h"
@@ -48,6 +49,7 @@ class ImaxEnumerator {
 
   std::shared_ptr<State> state_;
   std::unique_ptr<ranking::LawlerEnumerator> lawler_;
+  obs::DelayRecorder delay_{"projector.imax_enum"};
 };
 
 /// Convenience: the k outputs with the highest I_max.

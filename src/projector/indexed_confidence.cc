@@ -1,6 +1,7 @@
 #include "projector/indexed_confidence.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace tms::projector {
 
@@ -10,6 +11,12 @@ ContextTables::ContextTables(const markov::MarkovSequence& mu,
       sigma_(mu.nodes().size()),
       b_eps_(b.AcceptsEmpty()),
       e_eps_(e.AcceptsEmpty()) {
+  TMS_OBS_SPAN("projector.context_tables.build");
+  TMS_OBS_COUNT("projector.context_tables.builds", 1);
+  // Prefix and suffix sweeps each touch σ·|Q| cells per position.
+  TMS_OBS_COUNT("projector.context_tables.dp_cells",
+                static_cast<int64_t>(n_) * static_cast<int64_t>(sigma_) *
+                    (b.num_states() + e.num_states()));
   TMS_CHECK(mu.nodes() == b.alphabet());
   TMS_CHECK(mu.nodes() == e.alphabet());
   const size_t nb = static_cast<size_t>(b.num_states());
@@ -173,6 +180,7 @@ StatusOr<IndexedConfidence> IndexedConfidence::Create(
 }
 
 double IndexedConfidence::Confidence(const IndexedAnswer& answer) const {
+  TMS_OBS_COUNT("projector.indexed.confidence_calls", 1);
   const int n = mu_->length();
   const int m = static_cast<int>(answer.output.size());
   const int i = answer.index;

@@ -2,6 +2,7 @@
 
 #include "automata/ops.h"
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace tms::projector {
 namespace {
@@ -61,6 +62,8 @@ StatusOr<automata::Dfa> ConcatDfa(const SProjector& p, const Str& o,
                           automata::Dfa::ExactString(p.alphabet(), o).ToNfa()),
       p.suffix().ToNfa());
   automata::Dfa dfa = automata::Determinize(concat);
+  TMS_OBS_HISTOGRAM("projector.sprojector.concat_dfa_states",
+                    dfa.num_states());
   if (stats != nullptr) stats->concat_dfa_states = dfa.num_states();
   if (max_dfa_states > 0 && dfa.num_states() > max_dfa_states) {
     return Status::OutOfRange(
@@ -99,9 +102,16 @@ StatusOr<double> SProjectorConfidence(const markov::MarkovSequence& mu,
     return Status::InvalidArgument(
         "Markov sequence node set and s-projector alphabet differ");
   }
+  TMS_OBS_SPAN("projector.sprojector.confidence");
+  TMS_OBS_COUNT("projector.sprojector.confidence_calls", 1);
   if (!p.pattern().Accepts(o)) return 0.0;
   auto dfa = ConcatDfa(p, o, stats, max_dfa_states);
   if (!dfa.ok()) return dfa.status();
+  // The acceptance DP scans σ·|Q| cells per position.
+  TMS_OBS_COUNT("projector.sprojector.dp_cells",
+                static_cast<int64_t>(mu.length()) *
+                    static_cast<int64_t>(mu.nodes().size()) *
+                    dfa->num_states());
   return AcceptanceProbability(mu, *dfa);
 }
 

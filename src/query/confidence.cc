@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "query/confidence_exact.h"
 
 namespace tms::query {
@@ -76,6 +77,13 @@ StatusOr<typename P::Value> DetConfidenceImpl(const markov::MarkovSequence& mu,
   auto idx = [&](size_t s, size_t q, size_t j) {
     return (s * nq + q) * jdim + j;
   };
+
+  TMS_OBS_SPAN("query.confidence.det_dp");
+  TMS_OBS_COUNT("query.confidence.det_calls", 1);
+  // One DP layer holds σ·|Q|·(|o|+1) cells; n layers are materialized
+  // (Theorem 4.6's polynomial bound, reported as scanned cell count).
+  TMS_OBS_COUNT("query.confidence.dp_cells",
+                static_cast<int64_t>(sigma * nq * jdim) * n);
 
   std::vector<Value> cur(sigma * nq * jdim, P::Zero());
   for (size_t s = 0; s < sigma; ++s) {
@@ -159,6 +167,10 @@ StatusOr<typename P::Value> UniformSubsetImpl(
     return true;
   };
 
+  TMS_OBS_SPAN("query.confidence.subset_dp");
+  TMS_OBS_COUNT("query.confidence.uniform_subset_calls", 1);
+  int64_t masks_scanned = 0;
+
   // dp[s] : mask -> probability mass of length-i prefixes ending in node s
   // whose "consistent-run state set" equals mask (empty masks dropped).
   std::vector<std::unordered_map<uint64_t, Value>> cur(sigma);
@@ -194,6 +206,7 @@ StatusOr<typename P::Value> UniformSubsetImpl(
       }
     }
     for (size_t s = 0; s < sigma; ++s) {
+      masks_scanned += static_cast<int64_t>(cur[s].size());
       for (const auto& [mask, mass] : cur[s]) {
         for (size_t s2 = 0; s2 < sigma; ++s2) {
           Value step = P::Transition(mu, i - 1, static_cast<Symbol>(s),
@@ -224,6 +237,8 @@ StatusOr<typename P::Value> UniformSubsetImpl(
       if ((mask & accept_mask) != 0) total += mass;
     }
   }
+  TMS_OBS_COUNT("query.confidence.subset_masks", masks_scanned);
+  (void)masks_scanned;  // only read by instrumentation
   return total;
 }
 
@@ -281,6 +296,7 @@ StatusOr<numeric::Rational> ConfidenceUniformSubsetExact(
 
 StatusOr<double> Confidence(const markov::MarkovSequence& mu,
                             const transducer::Transducer& t, const Str& o) {
+  TMS_OBS_COUNT("query.confidence.calls", 1);
   if (t.IsDeterministic()) {
     if (t.UniformEmissionLength().has_value()) {
       return ConfidenceDeterministicUniform(mu, t, o);
@@ -290,6 +306,7 @@ StatusOr<double> Confidence(const markov::MarkovSequence& mu,
   if (t.UniformEmissionLength().has_value() && t.num_states() <= 63) {
     return ConfidenceUniformSubset(mu, t, o);
   }
+  TMS_OBS_COUNT("query.confidence.exact_calls", 1);
   return ConfidenceExact(mu, t, o);
 }
 

@@ -1,5 +1,6 @@
 #include "query/emax_enum.h"
 
+#include "obs/obs.h"
 #include "query/emax.h"
 #include "transducer/compose.h"
 
@@ -9,15 +10,23 @@ EmaxEnumerator::EmaxEnumerator(const markov::MarkovSequence& mu,
                                const transducer::Transducer& t)
     : lawler_([&mu, &t](const ranking::OutputConstraint& c)
                   -> std::optional<ranking::ScoredAnswer> {
+        TMS_OBS_SPAN("query.emax_enum.subspace_solve");
         transducer::Transducer composed =
             transducer::ComposeWithOutputConstraint(t, c);
+        TMS_OBS_HISTOGRAM("query.emax_enum.composed_states",
+                          composed.num_states());
         auto best = TopAnswerByEmax(mu, composed);
         if (!best.has_value()) return std::nullopt;
         return ranking::ScoredAnswer{std::move(best->output), best->prob};
       }) {}
 
 std::optional<ranking::ScoredAnswer> EmaxEnumerator::Next() {
-  return lawler_.Next();
+  auto answer = lawler_.Next();
+  if (answer.has_value()) {
+    TMS_OBS_COUNT("query.emax_enum.answers", 1);
+    delay_.RecordAnswer();
+  }
+  return answer;
 }
 
 std::vector<ranking::ScoredAnswer> TopKByEmax(

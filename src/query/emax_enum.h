@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "markov/markov_sequence.h"
+#include "obs/delay.h"
 #include "ranking/lawler.h"
 #include "transducer/transducer.h"
 
@@ -31,6 +32,7 @@ class EmaxEnumerator {
 
  private:
   ranking::LawlerEnumerator lawler_;
+  obs::DelayRecorder delay_{"query.emax_enum"};
 };
 
 /// Convenience: the k answers with the highest E_max.

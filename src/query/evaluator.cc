@@ -1,5 +1,6 @@
 #include "query/evaluator.h"
 
+#include "obs/obs.h"
 #include "query/confidence.h"
 #include "query/emax.h"
 #include "query/emax_enum.h"
@@ -22,8 +23,12 @@ StatusOr<Evaluator> Evaluator::Create(const markov::MarkovSequence* mu,
 
 StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
                                                   bool with_confidence) const {
+  TMS_OBS_SPAN("query.evaluator.topk");
   std::vector<AnswerInfo> out;
   EmaxEnumerator it(*mu_, *t_);
+  // End-to-end per-answer delay, including the confidence computation —
+  // what a top-k client actually waits between answers.
+  obs::DelayRecorder delay("query.topk");
   for (int i = 0; i < k; ++i) {
     auto answer = it.Next();
     if (!answer.has_value()) break;
@@ -34,7 +39,10 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
       auto conf = query::Confidence(*mu_, *t_, info.output);
       if (!conf.ok()) return conf.status();
       info.confidence = *conf;
+      TMS_OBS_COUNT("query.topk.confidence_calls", 1);
     }
+    TMS_OBS_COUNT("query.topk.answers", 1);
+    delay.RecordAnswer();
     out.push_back(std::move(info));
   }
   return out;
@@ -42,6 +50,7 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
 
 StatusOr<std::vector<AnswerInfo>> Evaluator::EvaluateTwoStep(
     bool with_confidence) const {
+  TMS_OBS_SPAN("query.evaluator.two_step");
   std::vector<AnswerInfo> out;
   UnrankedEnumerator it(*mu_, *t_);
   while (auto answer = it.Next()) {
@@ -51,7 +60,9 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::EvaluateTwoStep(
       auto conf = query::Confidence(*mu_, *t_, info.output);
       if (!conf.ok()) return conf.status();
       info.confidence = *conf;
+      TMS_OBS_COUNT("query.twostep.confidence_calls", 1);
     }
+    TMS_OBS_COUNT("query.twostep.answers", 1);
     out.push_back(std::move(info));
   }
   return out;

@@ -1,6 +1,7 @@
 #include "query/unranked_enum.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "query/membership.h"
 
 namespace tms::query {
@@ -13,19 +14,35 @@ UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,
 }
 
 std::optional<Str> UnrankedEnumerator::Next() {
+  TMS_OBS_SPAN("query.unranked_enum.next");
   if (done_) return std::nullopt;
   const size_t delta = t_.output_alphabet().size();
+  const int64_t calls_before = oracle_calls_;
+  (void)calls_before;  // only read by instrumentation
+  // Counts the oracle calls made for this answer into the registry and
+  // records the inter-answer delay on emission.
+  auto emit = [&](const Str& answer) {
+    TMS_OBS_COUNT("query.unranked_enum.oracle_calls",
+                  oracle_calls_ - calls_before);
+    TMS_OBS_COUNT("query.unranked_enum.answers", 1);
+    TMS_OBS_HISTOGRAM("query.unranked_enum.delay_oracle_calls",
+                      oracle_calls_ - calls_before);
+    delay_.RecordAnswer();
+    return answer;
+  };
 
   if (!started_) {
     started_ = true;
     ++oracle_calls_;
     if (!HasAnswerWithPrefix(mu_, t_, prefix_)) {
       done_ = true;
+      TMS_OBS_COUNT("query.unranked_enum.oracle_calls",
+                    oracle_calls_ - calls_before);
       return std::nullopt;
     }
     next_symbol_.push_back(0);
     ++oracle_calls_;
-    if (IsPossibleAnswer(mu_, t_, prefix_)) return prefix_;
+    if (IsPossibleAnswer(mu_, t_, prefix_)) return emit(prefix_);
   }
 
   // Resume the DFS: extend the current prefix (or backtrack) until the
@@ -48,7 +65,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
     }
     if (descended) {
       ++oracle_calls_;
-      if (IsPossibleAnswer(mu_, t_, prefix_)) return prefix_;
+      if (IsPossibleAnswer(mu_, t_, prefix_)) return emit(prefix_);
       continue;
     }
     // Subtree exhausted: backtrack.
@@ -56,6 +73,8 @@ std::optional<Str> UnrankedEnumerator::Next() {
     if (!prefix_.empty()) prefix_.pop_back();
   }
   done_ = true;
+  TMS_OBS_COUNT("query.unranked_enum.oracle_calls",
+                oracle_calls_ - calls_before);
   return std::nullopt;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "markov/markov_sequence.h"
+#include "obs/delay.h"
 #include "transducer/transducer.h"
 
 namespace tms::query {
@@ -46,6 +47,7 @@ class UnrankedEnumerator {
   bool started_ = false;
   bool done_ = false;
   int64_t oracle_calls_ = 0;
+  obs::DelayRecorder delay_{"query.unranked_enum"};
 };
 
 /// Convenience: materializes all answers (exponential in the worst case).

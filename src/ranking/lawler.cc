@@ -1,27 +1,48 @@
 #include "ranking/lawler.h"
 
+#include "obs/obs.h"
+
 namespace tms::ranking {
 
 LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver)
     : solver_(std::move(solver)) {
   OutputConstraint all = OutputConstraint::All();
+  TMS_OBS_COUNT("ranking.lawler.solver_calls", 1);
   auto best = solver_(all);
   if (best.has_value()) {
     heap_.push(Entry{std::move(*best), std::move(all)});
+  } else {
+    TMS_OBS_COUNT("ranking.lawler.empty_subspaces", 1);
   }
 }
 
 std::optional<ScoredAnswer> LawlerEnumerator::Next() {
+  TMS_OBS_SPAN("ranking.lawler.next");
   if (heap_.empty()) return std::nullopt;
+  TMS_OBS_COUNT("ranking.lawler.pops", 1);
   Entry top = heap_.top();
   heap_.pop();
+  int64_t children = 0;
+  int64_t pushed = 0;
   for (OutputConstraint& child :
        top.constraint.PartitionAfter(top.answer.output)) {
+    ++children;
     auto best = solver_(child);
     if (best.has_value()) {
+      ++pushed;
       heap_.push(Entry{std::move(*best), std::move(child)});
     }
   }
+  TMS_OBS_COUNT("ranking.lawler.solver_calls", children);
+  TMS_OBS_COUNT("ranking.lawler.children_pushed", pushed);
+  TMS_OBS_COUNT("ranking.lawler.empty_subspaces", children - pushed);
+  TMS_OBS_HISTOGRAM("ranking.lawler.partition_fanout", children);
+  TMS_OBS_GAUGE_SET("ranking.lawler.heap_size", heap_.size());
+  TMS_OBS_COUNT("ranking.lawler.answers", 1);
+  delay_.RecordAnswer();
+  // Silence unused warnings in the compiled-out build.
+  (void)children;
+  (void)pushed;
   return top.answer;
 }
 

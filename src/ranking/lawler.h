@@ -22,6 +22,7 @@
 #include <queue>
 #include <utility>
 
+#include "obs/delay.h"
 #include "ranking/prefix_constraint.h"
 #include "strings/str.h"
 
@@ -64,6 +65,9 @@ class LawlerEnumerator {
 
   SubspaceSolver solver_;
   std::priority_queue<Entry, std::vector<Entry>, EntryLess> heap_;
+  // Inter-answer delay distribution (Theorem 4.3's polynomial-delay claim
+  // as measured: histogram `ranking.lawler.delay_ns`).
+  obs::DelayRecorder delay_{"ranking.lawler"};
 };
 
 }  // namespace tms::ranking

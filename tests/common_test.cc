@@ -98,6 +98,32 @@ TEST(StopwatchTest, Monotone) {
   }
 }
 
+TEST(StopwatchTest, LapMeasuresIntervals) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int64_t first = watch.Lap();
+  EXPECT_GE(first, 4 * 1000 * 1000);  // at least ~4ms in the first lap
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  int64_t second = watch.Lap();
+  EXPECT_GE(second, 4 * 1000 * 1000);
+  // Laps partition the total: the overall clock keeps running.
+  EXPECT_GE(watch.ElapsedNanos(), first + second);
+  // A lap taken immediately after another is near-zero, while the total
+  // elapsed time is unaffected by lapping.
+  int64_t third = watch.Lap();
+  EXPECT_LT(third, 4 * 1000 * 1000);
+  EXPECT_GE(watch.ElapsedNanos(), first + second);
+}
+
+TEST(StopwatchTest, RestartResetsLapOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.Restart();
+  // The pre-restart interval must not leak into the first lap.
+  EXPECT_LT(watch.Lap(), 4 * 1000 * 1000);
+  EXPECT_NEAR(watch.LapSeconds(), 0.0, 1e-3);
+}
+
 TEST(CheckTest, PassingChecksAreSilent) {
   TMS_CHECK(true);
   TMS_CHECK_EQ(1, 1);

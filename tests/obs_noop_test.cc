@@ -1,0 +1,73 @@
+// The compiled-out observability surface. This TU defines
+// TMS_OBS_FORCE_DISABLE before including obs/obs.h, so it sees the no-op
+// API (inline namespace tms::obs::noop) and the TMS_OBS_* macros expand
+// to nothing — exactly what a -DTMS_OBS=OFF build sees everywhere. It
+// links into the same binary as obs_test.cc, which proves the two
+// surfaces coexist ODR-clean.
+
+#define TMS_OBS_FORCE_DISABLE 1
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace tms::obs {
+namespace {
+
+static_assert(!TMS_OBS_ACTIVE,
+              "TMS_OBS_FORCE_DISABLE must select the no-op surface");
+
+TEST(ObsNoopTest, CollectionIsPermanentlyOff) {
+  SetEnabled(true);  // must be ignored
+  EXPECT_FALSE(Enabled());
+  SetTracingEnabled(true);
+  EXPECT_FALSE(TracingEnabled());
+}
+
+TEST(ObsNoopTest, MetricsAreInert) {
+  Counter& c = Registry::Global().counter("noop.counter");
+  c.Add(5);
+  EXPECT_EQ(c.value(), 0);
+  Gauge& g = Registry::Global().gauge("noop.gauge");
+  g.Set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  Histogram& h = Registry::Global().histogram("noop.histogram");
+  h.Record(42);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_TRUE(Registry::Global().Snapshot().empty());
+}
+
+TEST(ObsNoopTest, MacrosCompileToNothing) {
+  TMS_OBS_COUNT("noop.macro.counter", 1);
+  TMS_OBS_GAUGE_SET("noop.macro.gauge", 1.0);
+  TMS_OBS_HISTOGRAM("noop.macro.histogram", 1);
+  TMS_OBS_SPAN("noop.macro.span");
+  EXPECT_TRUE(Registry::Global().Snapshot().empty());
+}
+
+TEST(ObsNoopTest, DelayRecorderIsInert) {
+  DelayRecorder delay("noop.engine");
+  delay.Restart();
+  EXPECT_EQ(delay.RecordAnswer(), 0);
+  EXPECT_EQ(delay.Snapshot().count, 0);
+}
+
+TEST(ObsNoopTest, TracerIsInert) {
+  {
+    Span span("noop.span");
+  }
+  Tracer::Global().Record(TraceEvent{});
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+  EXPECT_EQ(Tracer::Global().dropped(), 0);
+  EXPECT_EQ(Tracer::Global().ChromeTraceJson(), "{\"traceEvents\":[]}");
+}
+
+TEST(ObsNoopTest, ExportersHandleEmptySnapshots) {
+  RegistrySnapshot snap = Registry::Global().Snapshot();
+  EXPECT_EQ(RegistryJson(snap),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(PrometheusText(snap), "");
+}
+
+}  // namespace
+}  // namespace tms::obs

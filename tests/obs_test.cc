@@ -1,0 +1,249 @@
+// Tests for the tms::obs observability layer: counter/gauge/histogram
+// semantics, registry snapshot/reset, delay recording, trace spans and
+// their Chrome-trace JSON export, and the JSON / Prometheus writers.
+// The compiled-out (no-op) surface is exercised by obs_noop_test.cc,
+// which is built into this binary with TMS_OBS_FORCE_DISABLE.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/obs.h"
+
+// These tests exercise the instrumented surface, which only exists when
+// the build compiles it in (-DTMS_OBS=ON, the default). In a compiled-out
+// build this TU contributes nothing and obs_noop_test.cc (always the
+// no-op surface) carries the binary.
+#if TMS_OBS_ACTIVE
+
+namespace tms::obs {
+namespace {
+
+// Each test runs on a fresh registry state; collection is forced on so
+// the tests are independent of the TMS_OBS environment variable.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Global().Reset();
+    SetTracingEnabled(false);
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  Counter& c = Registry::Global().counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(ObsTest, RuntimeDisableDropsMutations) {
+  Counter& c = Registry::Global().counter("test.disabled.counter");
+  Histogram& h = Registry::Global().histogram("test.disabled.histogram");
+  SetEnabled(false);
+  c.Add(7);
+  h.Record(7);
+  SetEnabled(true);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  c.Add(7);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  Gauge& g = Registry::Global().gauge("test.gauge");
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  Counter& a = Registry::Global().counter("test.same");
+  Counter& b = Registry::Global().counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST_F(ObsTest, HistogramBucketGrid) {
+  // Bucket 0 covers (-inf, 1]; bucket i covers (2^(i-1), 2^i].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1025), 11);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), INT64_MAX);
+}
+
+TEST_F(ObsTest, HistogramTracksExactEnvelope) {
+  Histogram& h = Registry::Global().histogram("test.histogram");
+  for (int64_t v : {3, 9, 1, 100, 9}) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_EQ(snap.sum, 122);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 122.0 / 5.0);
+  int64_t bucket_total = 0;
+  for (const auto& b : snap.buckets) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST_F(ObsTest, HistogramQuantilesRespectEnvelope) {
+  Histogram& h = Registry::Global().histogram("test.quantiles");
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Quantile(0.0), 1);
+  EXPECT_EQ(snap.Quantile(1.0), 100);
+  int64_t p50 = snap.Quantile(0.5);
+  EXPECT_GE(p50, 32);   // true median 50 lives in bucket (32, 64]
+  EXPECT_LE(p50, 64);
+  int64_t p99 = snap.Quantile(0.99);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 100);
+  // Empty histograms answer 0 for every quantile.
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0);
+}
+
+TEST_F(ObsTest, RegistrySnapshotAndReset) {
+  Registry::Global().counter("test.snap.counter").Add(5);
+  Registry::Global().gauge("test.snap.gauge").Set(2.5);
+  Registry::Global().histogram("test.snap.histogram").Record(8);
+  RegistrySnapshot snap = Registry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("test.snap.counter"), 5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap.gauge"), 2.5);
+  EXPECT_EQ(snap.histograms.at("test.snap.histogram").count, 1);
+
+  Registry::Global().Reset();
+  snap = Registry::Global().Snapshot();
+  // Registrations survive a reset; values are zeroed.
+  EXPECT_EQ(snap.counters.at("test.snap.counter"), 0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap.gauge"), 0.0);
+  EXPECT_EQ(snap.histograms.at("test.snap.histogram").count, 0);
+}
+
+TEST_F(ObsTest, MacrosRecordIntoRegistry) {
+  TMS_OBS_COUNT("test.macro.counter", 2);
+  TMS_OBS_COUNT("test.macro.counter", 3);
+  TMS_OBS_GAUGE_SET("test.macro.gauge", 1.25);
+  TMS_OBS_HISTOGRAM("test.macro.histogram", 16);
+  RegistrySnapshot snap = Registry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("test.macro.counter"), 5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.macro.gauge"), 1.25);
+  EXPECT_EQ(snap.histograms.at("test.macro.histogram").count, 1);
+}
+
+TEST_F(ObsTest, DelayRecorderFeedsNamedHistogram) {
+  DelayRecorder delay("test.engine");
+  delay.Restart();
+  int64_t first = delay.RecordAnswer();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  int64_t second = delay.RecordAnswer();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, 2'000'000);  // slept >= 2ms between answers
+  HistogramSnapshot snap =
+      Registry::Global().histogram("test.engine.delay_ns").Snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_EQ(snap.max, std::max(first, second));
+}
+
+TEST_F(ObsTest, SpansAreFreeWhenTracingDisabled) {
+  {
+    Span span("test.span.disabled");
+  }
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+TEST_F(ObsTest, NestedSpansRecordInFinishOrder) {
+  SetTracingEnabled(true);
+  {
+    Span outer("test.span.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      Span inner("test.span.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  SetTracingEnabled(false);
+  std::vector<TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes (and is recorded) first; time ranges nest.
+  EXPECT_STREQ(events[0].name, "test.span.inner");
+  EXPECT_STREQ(events[1].name, "test.span.outer");
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].duration_ns,
+            events[1].start_ns + events[1].duration_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonShape) {
+  SetTracingEnabled(true);
+  {
+    Span span("test.span.json");
+  }
+  SetTracingEnabled(false);
+  std::string json = Tracer::Global().ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.span.json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().ChromeTraceJson(), "{\"traceEvents\":[]}");
+}
+
+TEST_F(ObsTest, RegistryJsonShape) {
+  Registry::Global().counter("test.json.counter").Add(7);
+  Registry::Global().gauge("test.json.gauge").Set(0.5);
+  Registry::Global().histogram("test.json.histogram").Record(3);
+  std::string json = RegistryJson(Registry::Global().Snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.histogram\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[{\"le\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscaping) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\nd", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd");
+  out.clear();
+  AppendJsonNumber(1.0 / 0.0, &out);  // non-finite must stay valid JSON
+  EXPECT_EQ(out, "0");
+}
+
+TEST_F(ObsTest, PrometheusTextShape) {
+  Registry::Global().counter("test.prom.counter").Add(9);
+  Registry::Global().histogram("test.prom.histogram").Record(5);
+  std::string text = PrometheusText(Registry::Global().Snapshot());
+  EXPECT_NE(text.find("tms_test_prom_counter 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tms_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tms_test_prom_histogram_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("tms_test_prom_histogram_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("tms_test_prom_histogram_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tms::obs
+
+#endif  // TMS_OBS_ACTIVE

@@ -11,6 +11,17 @@
 //   tms_cli show  <file>
 //       Parse a model/query file and print its canonical form.
 //
+// Observability flags (any command, see docs/OBSERVABILITY.md):
+//   --stats        after the command, dump the metrics registry to stderr
+//                  (Prometheus text exposition).
+//   --stats=json   emit ONE machine-readable JSON document on stdout:
+//                  {"command":..., "results":..., "metrics":...} — the
+//                  human tables are suppressed so stdout is valid JSON.
+//   --stats=prom   emit the Prometheus text exposition on stdout instead
+//                  of the human tables.
+//   --trace=FILE   collect trace spans and write Chrome-trace JSON to
+//                  FILE (open in chrome://tracing or Perfetto).
+//
 // Sequence files use the `markov-sequence` format; query files use
 // `transducer` or `s-projector` (see src/io/text_format.h). Sample files
 // live in examples/data/.
@@ -18,8 +29,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "io/text_format.h"
+#include "obs/obs.h"
 #include "projector/imax_enum.h"
 #include "projector/sprojector_confidence.h"
 #include "query/evaluator.h"
@@ -28,6 +41,20 @@
 namespace {
 
 using namespace tms;
+
+enum class StatsMode { kNone, kText, kJson, kProm };
+
+struct ObsOptions {
+  StatsMode stats = StatsMode::kNone;
+  std::string trace_path;
+};
+
+// Machine-readable results accumulator for --stats=json: the command
+// fills `results` with one JSON value (object or array).
+struct CliOutput {
+  bool json = false;
+  std::string results;
+};
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -39,7 +66,9 @@ int Usage() {
                "usage: tms_cli topk <sequence> <query> [k]\n"
                "       tms_cli conf <sequence> <query> <output-symbol>...\n"
                "       tms_cli enum <sequence> <query> [limit]\n"
-               "       tms_cli show <file>\n");
+               "       tms_cli show <file>\n"
+               "flags: --stats | --stats=json | --stats=prom | "
+               "--trace=FILE\n");
   return 2;
 }
 
@@ -77,46 +106,82 @@ StatusOr<Query> LoadQuery(const std::string& path) {
                                  "s-projector, got: " + *format);
 }
 
+// Appends {"answer":"...","<score_key>":s,"confidence":c} to *out.
+void AppendAnswerJson(const std::string& answer, const char* score_key,
+                      double score, double confidence, std::string* out) {
+  *out += "{\"answer\":\"";
+  obs::AppendJsonEscaped(answer, out);
+  *out += "\",\"";
+  *out += score_key;
+  *out += "\":";
+  obs::AppendJsonNumber(score, out);
+  *out += ",\"confidence\":";
+  obs::AppendJsonNumber(confidence, out);
+  *out += '}';
+}
+
 int RunTopK(const std::string& seq_path, const std::string& query_path,
-            int k) {
+            int k, CliOutput* out) {
   auto mu = LoadSequence(seq_path);
   if (!mu.ok()) return Fail(mu.status());
   auto query = LoadQuery(query_path);
   if (!query.ok()) return Fail(query.status());
 
+  out->results = "[";
+  bool first = true;
   if (query->transducer.has_value()) {
     auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
     if (!eval.ok()) return Fail(eval.status());
     auto topk = eval->TopK(k);
     if (!topk.ok()) return Fail(topk.status());
-    std::printf("%-30s %-14s %-14s\n", "answer", "E_max", "confidence");
-    for (const query::AnswerInfo& info : *topk) {
-      std::printf("%-30s %-14.6g %-14.6g\n",
-                  FormatStr(query->transducer->output_alphabet(),
-                            info.output).c_str(),
-                  info.emax, info.confidence);
+    if (!out->json) {
+      std::printf("%-30s %-14s %-14s\n", "answer", "E_max", "confidence");
     }
+    for (const query::AnswerInfo& info : *topk) {
+      std::string answer = FormatStr(query->transducer->output_alphabet(),
+                                     info.output);
+      if (out->json) {
+        if (!first) out->results += ',';
+        first = false;
+        AppendAnswerJson(answer, "emax", info.emax, info.confidence,
+                         &out->results);
+      } else {
+        std::printf("%-30s %-14.6g %-14.6g\n", answer.c_str(), info.emax,
+                    info.confidence);
+      }
+    }
+    out->results += ']';
     return 0;
   }
   auto it = projector::ImaxEnumerator::Create(&*mu, &*query->sprojector);
   if (!it.ok()) return Fail(it.status());
-  std::printf("%-30s %-14s %-14s\n", "answer", "I_max", "confidence");
+  if (!out->json) {
+    std::printf("%-30s %-14s %-14s\n", "answer", "I_max", "confidence");
+  }
   for (int i = 0; i < k; ++i) {
     auto answer = it->Next();
     if (!answer.has_value()) break;
     auto conf = projector::SProjectorConfidence(*mu, *query->sprojector,
                                                 answer->output);
     if (!conf.ok()) return Fail(conf.status());
-    std::printf("%-30s %-14.6g %-14.6g\n",
-                FormatStr(query->sprojector->alphabet(),
-                          answer->output).c_str(),
-                answer->score, *conf);
+    std::string formatted = FormatStr(query->sprojector->alphabet(),
+                                      answer->output);
+    if (out->json) {
+      if (!first) out->results += ',';
+      first = false;
+      AppendAnswerJson(formatted, "imax", answer->score, *conf,
+                       &out->results);
+    } else {
+      std::printf("%-30s %-14.6g %-14.6g\n", formatted.c_str(),
+                  answer->score, *conf);
+    }
   }
+  out->results += ']';
   return 0;
 }
 
 int RunConf(const std::string& seq_path, const std::string& query_path,
-            int argc, char** argv, int first_symbol_arg) {
+            const std::vector<std::string>& symbols, CliOutput* out) {
   auto mu = LoadSequence(seq_path);
   if (!mu.ok()) return Fail(mu.status());
   auto query = LoadQuery(query_path);
@@ -126,35 +191,53 @@ int RunConf(const std::string& seq_path, const std::string& query_path,
                               ? query->transducer->output_alphabet()
                               : query->sprojector->alphabet();
   Str o;
-  for (int i = first_symbol_arg; i < argc; ++i) {
-    auto sym = delta.Find(argv[i]);
+  for (const std::string& symbol : symbols) {
+    auto sym = delta.Find(symbol);
     if (!sym.ok()) return Fail(sym.status());
     o.push_back(*sym);
   }
 
+  double confidence = 0.0;
+  const char* score_key = nullptr;
+  double score = 0.0;
   if (query->transducer.has_value()) {
     auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
     if (!eval.ok()) return Fail(eval.status());
     auto conf = eval->Confidence(o);
     if (!conf.ok()) return Fail(conf.status());
     auto emax = eval->Emax(o);
-    std::printf("confidence %.10g\n", *conf);
-    std::printf("E_max      %.10g\n", emax.has_value() ? *emax : 0.0);
-    return 0;
+    confidence = *conf;
+    score_key = "emax";
+    score = emax.has_value() ? *emax : 0.0;
+  } else {
+    auto conf = projector::SProjectorConfidence(*mu, *query->sprojector, o);
+    if (!conf.ok()) return Fail(conf.status());
+    auto computer = projector::IndexedConfidence::Create(&*mu,
+                                                         &*query->sprojector);
+    if (!computer.ok()) return Fail(computer.status());
+    confidence = *conf;
+    score_key = "imax";
+    score = projector::ImaxOfAnswer(*computer, o);
   }
-  auto conf = projector::SProjectorConfidence(*mu, *query->sprojector, o);
-  if (!conf.ok()) return Fail(conf.status());
-  auto computer = projector::IndexedConfidence::Create(&*mu,
-                                                       &*query->sprojector);
-  if (!computer.ok()) return Fail(computer.status());
-  std::printf("confidence %.10g\n", *conf);
-  std::printf("I_max      %.10g\n",
-              projector::ImaxOfAnswer(*computer, o));
+  if (out->json) {
+    out->results = "{\"confidence\":";
+    obs::AppendJsonNumber(confidence, &out->results);
+    out->results += ",\"";
+    out->results += score_key;
+    out->results += "\":";
+    obs::AppendJsonNumber(score, &out->results);
+    out->results += '}';
+  } else {
+    std::printf("confidence %.10g\n", confidence);
+    std::printf("%-10s %.10g\n",
+                std::strcmp(score_key, "emax") == 0 ? "E_max" : "I_max",
+                score);
+  }
   return 0;
 }
 
 int RunEnum(const std::string& seq_path, const std::string& query_path,
-            int limit) {
+            int limit, CliOutput* out) {
   auto mu = LoadSequence(seq_path);
   if (!mu.ok()) return Fail(mu.status());
   auto query = LoadQuery(query_path);
@@ -165,60 +248,157 @@ int RunEnum(const std::string& seq_path, const std::string& query_path,
                                  : query->sprojector->ToTransducer();
   query::UnrankedEnumerator it(*mu, t);
   int count = 0;
+  out->results = "[";
   while (count < limit) {
     auto answer = it.Next();
     if (!answer.has_value()) break;
-    std::printf("%s\n", FormatStr(t.output_alphabet(), *answer).c_str());
+    std::string formatted = FormatStr(t.output_alphabet(), *answer);
+    if (out->json) {
+      if (count > 0) out->results += ',';
+      out->results += '"';
+      obs::AppendJsonEscaped(formatted, &out->results);
+      out->results += '"';
+    } else {
+      std::printf("%s\n", formatted.c_str());
+    }
     ++count;
   }
-  std::fprintf(stderr, "%d answer(s)\n", count);
+  out->results += ']';
+  if (!out->json) std::fprintf(stderr, "%d answer(s)\n", count);
   return 0;
 }
 
-int RunShow(const std::string& path) {
+int RunShow(const std::string& path, CliOutput* out) {
   auto text = io::ReadFile(path);
   if (!text.ok()) return Fail(text.status());
   auto format = io::DetectFormat(*text);
   if (!format.ok()) return Fail(format.status());
+  if (out->json) {
+    out->results = "{\"format\":\"";
+    obs::AppendJsonEscaped(*format, &out->results);
+    out->results += "\"}";
+  }
   if (*format == "markov-sequence") {
     auto mu = io::ParseMarkovSequence(*text);
     if (!mu.ok()) return Fail(mu.status());
-    std::fputs(io::FormatMarkovSequence(*mu).c_str(), stdout);
+    if (!out->json) std::fputs(io::FormatMarkovSequence(*mu).c_str(), stdout);
     return 0;
   }
   if (*format == "transducer") {
     auto t = io::ParseTransducer(*text);
     if (!t.ok()) return Fail(t.status());
-    std::fputs(io::FormatTransducer(*t).c_str(), stdout);
+    if (!out->json) std::fputs(io::FormatTransducer(*t).c_str(), stdout);
     return 0;
   }
   auto p = io::ParseSProjector(*text);
   if (!p.ok()) return Fail(p.status());
-  std::printf("s-projector over %zu symbols: |Q_B|=%d |Q_A|=%d |Q_E|=%d\n",
-              p->alphabet().size(), p->prefix().num_states(),
-              p->pattern().num_states(), p->suffix().num_states());
+  if (!out->json) {
+    std::printf("s-projector over %zu symbols: |Q_B|=%d |Q_A|=%d |Q_E|=%d\n",
+                p->alphabet().size(), p->prefix().num_states(),
+                p->pattern().num_states(), p->suffix().num_states());
+  }
   return 0;
+}
+
+// Strips --stats/--trace flags from args; returns false on a malformed
+// observability flag.
+bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts) {
+  std::vector<std::string> rest;
+  for (const std::string& arg : *args) {
+    if (arg == "--stats") {
+      opts->stats = StatsMode::kText;
+    } else if (arg == "--stats=json") {
+      opts->stats = StatsMode::kJson;
+    } else if (arg == "--stats=prom") {
+      opts->stats = StatsMode::kProm;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opts->trace_path = arg.substr(std::strlen("--trace="));
+      if (opts->trace_path.empty()) return false;
+    } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0) {
+      return false;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  *args = std::move(rest);
+  return true;
+}
+
+void EmitStats(const std::string& command, const ObsOptions& opts,
+               const CliOutput& out) {
+  if (opts.stats == StatsMode::kNone && opts.trace_path.empty()) return;
+  obs::RegistrySnapshot snapshot = obs::Registry::Global().Snapshot();
+  switch (opts.stats) {
+    case StatsMode::kNone:
+      break;
+    case StatsMode::kText:
+      std::fputs(obs::PrometheusText(snapshot).c_str(), stderr);
+      break;
+    case StatsMode::kProm:
+      std::fputs(obs::PrometheusText(snapshot).c_str(), stdout);
+      break;
+    case StatsMode::kJson: {
+      std::string doc = "{\"command\":\"";
+      obs::AppendJsonEscaped(command, &doc);
+      doc += "\",\"results\":";
+      doc += out.results.empty() ? "null" : out.results;
+      doc += ",\"metrics\":";
+      doc += obs::RegistryJson(snapshot);
+      doc += "}\n";
+      std::fputs(doc.c_str(), stdout);
+      break;
+    }
+  }
+  if (!opts.trace_path.empty()) {
+    std::string trace = obs::Tracer::Global().ChromeTraceJson();
+    std::FILE* f = std::fopen(opts.trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   opts.trace_path.c_str());
+    } else {
+      std::fputs(trace.c_str(), f);
+      std::fclose(f);
+    }
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
-  if (command == "show") return RunShow(argv[2]);
-  if (argc < 4) return Usage();
-  if (command == "topk") {
-    int k = argc >= 5 ? std::atoi(argv[4]) : 10;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  ObsOptions opts;
+  if (!ParseObsFlags(&args, &opts)) return Usage();
+  if (opts.stats != StatsMode::kNone) obs::SetEnabled(true);
+  if (!opts.trace_path.empty()) {
+    obs::SetEnabled(true);
+    obs::SetTracingEnabled(true);
+  }
+
+  if (args.size() < 2) return Usage();
+  const std::string command = args[0];
+  CliOutput out;
+  out.json = opts.stats == StatsMode::kJson;
+
+  int code = 2;
+  if (command == "show") {
+    code = RunShow(args[1], &out);
+  } else if (args.size() < 3) {
+    return Usage();
+  } else if (command == "topk") {
+    int k = args.size() >= 4 ? std::atoi(args[3].c_str()) : 10;
     if (k <= 0) return Usage();
-    return RunTopK(argv[2], argv[3], k);
-  }
-  if (command == "conf") {
-    return RunConf(argv[2], argv[3], argc, argv, 4);
-  }
-  if (command == "enum") {
-    int limit = argc >= 5 ? std::atoi(argv[4]) : 100;
+    code = RunTopK(args[1], args[2], k, &out);
+  } else if (command == "conf") {
+    code = RunConf(args[1], args[2],
+                   std::vector<std::string>(args.begin() + 3, args.end()),
+                   &out);
+  } else if (command == "enum") {
+    int limit = args.size() >= 4 ? std::atoi(args[3].c_str()) : 100;
     if (limit <= 0) return Usage();
-    return RunEnum(argv[2], argv[3], limit);
+    code = RunEnum(args[1], args[2], limit, &out);
+  } else {
+    return Usage();
   }
-  return Usage();
+  EmitStats(command, opts, out);
+  return code;
 }
