@@ -1,0 +1,86 @@
+#include "db/batch_evaluator.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/obs.h"
+#include "query/evaluator.h"
+
+namespace tms::db {
+
+BatchEvaluator::BatchEvaluator(const SequenceCollection* collection,
+                               const transducer::Transducer* t,
+                               Options options)
+    : collection_(collection),
+      t_(t),
+      options_(options),
+      cache_(std::make_unique<transducer::CompositionCache>(
+          t, options.cache_max_bytes)),
+      pool_(std::make_unique<exec::ThreadPool>(
+          options.threads > 1 ? options.threads - 1 : 0)) {}
+
+StatusOr<BatchEvaluator> BatchEvaluator::Create(
+    const SequenceCollection* collection, const transducer::Transducer* t,
+    Options options) {
+  if (collection == nullptr || t == nullptr) {
+    return Status::InvalidArgument("BatchEvaluator requires non-null args");
+  }
+  if (!(t->input_alphabet() == collection->nodes())) {
+    return Status::InvalidArgument(
+        "transducer input alphabet does not match the collection");
+  }
+  return BatchEvaluator(collection, t, options);
+}
+
+StatusOr<std::vector<SequenceCollection::Row>>
+BatchEvaluator::TopKPerSequence(int k, bool with_confidence) {
+  TMS_OBS_SPAN("db.batch.topk");
+  const std::vector<std::string> keys = collection_->Keys();  // sorted
+  struct PerSequence {
+    Status status;  // default OK
+    std::vector<query::AnswerInfo> answers;
+  };
+  // One item per sequence; each evaluation only reads its own μ, the
+  // shared transducer, and the thread-safe composition cache. The answer
+  // parallelism inside each evaluation stays off (no nested pool) — the
+  // batch dimension already saturates the workers.
+  std::vector<PerSequence> solved =
+      pool_->ParallelMap<PerSequence>(
+          static_cast<int64_t>(keys.size()),
+          [this, k, with_confidence, &keys](int64_t i) {
+            PerSequence out;
+            auto mu = collection_->Get(keys[static_cast<size_t>(i)]);
+            if (!mu.ok()) {
+              out.status = mu.status();
+              return out;
+            }
+            auto eval = query::Evaluator::Create(*mu, t_);
+            if (!eval.ok()) {
+              out.status = eval.status();
+              return out;
+            }
+            eval->set_execution(
+                query::Evaluator::Execution{nullptr, cache_.get()});
+            auto topk = eval->TopK(k, with_confidence);
+            if (!topk.ok()) {
+              out.status = topk.status();
+              return out;
+            }
+            out.answers = std::move(*topk);
+            TMS_OBS_COUNT("db.batch.sequences", 1);
+            return out;
+          });
+  // Deterministic merge: key order, then per-sequence rank order —
+  // exactly the rows the sequential loop produces.
+  std::vector<SequenceCollection::Row> rows;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!solved[i].status.ok()) return solved[i].status;
+    for (query::AnswerInfo& info : solved[i].answers) {
+      rows.push_back(SequenceCollection::Row{keys[i], std::move(info)});
+    }
+  }
+  TMS_OBS_COUNT("db.batch.answers", static_cast<int64_t>(rows.size()));
+  return rows;
+}
+
+}  // namespace tms::db

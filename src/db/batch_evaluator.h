@@ -1,0 +1,80 @@
+// Batched query evaluation over a SequenceCollection.
+//
+// Runs one transducer query against every Markov sequence of a collection,
+// fanning the per-sequence evaluations across an exec::ThreadPool. Two
+// properties make the fan-out worthwhile and safe:
+//   * the sequences are independent — each evaluation reads only its own
+//     μ, the shared (immutable) transducer, and the shared composition
+//     cache;
+//   * the composed transducers depend only on (transducer, constraint),
+//     never on μ, so one CompositionCache serves the whole batch: after
+//     the first sequence warms it, the remaining evaluations skip their
+//     composition work entirely (watch `cache.hits` climb).
+//
+// Results are merged in collection key order (then per-sequence rank
+// order), so the output is byte-identical to SequenceCollection's
+// sequential TopKPerSequence at every thread count.
+
+#ifndef TMS_DB_BATCH_EVALUATOR_H_
+#define TMS_DB_BATCH_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/collection.h"
+#include "exec/thread_pool.h"
+#include "transducer/composition_cache.h"
+#include "transducer/transducer.h"
+
+namespace tms::db {
+
+/// One query (transducer) bound to one collection, with an owned thread
+/// pool and composition cache. The collection and transducer are
+/// non-owning and must outlive the evaluator; the collection must not be
+/// mutated while a batch runs.
+class BatchEvaluator {
+ public:
+  struct Options {
+    /// Total evaluation concurrency (worker threads + the calling
+    /// thread); values ≤ 1 run sequentially on the caller.
+    int threads = 1;
+    /// Budget of the shared composition cache.
+    size_t cache_max_bytes = transducer::CompositionCache::kDefaultMaxBytes;
+  };
+
+  /// Fails if the transducer's input alphabet differs from the
+  /// collection's node alphabet.
+  static StatusOr<BatchEvaluator> Create(const SequenceCollection* collection,
+                                         const transducer::Transducer* t,
+                                         Options options);
+  static StatusOr<BatchEvaluator> Create(const SequenceCollection* collection,
+                                         const transducer::Transducer* t) {
+    return Create(collection, t, Options());
+  }
+
+  /// Per-sequence top-k answers by E_max (confidences attached when
+  /// `with_confidence`), evaluated concurrently and merged in key order.
+  StatusOr<std::vector<SequenceCollection::Row>> TopKPerSequence(
+      int k, bool with_confidence = true);
+
+  int threads() const { return options_.threads; }
+  transducer::CompositionCache::Stats cache_stats() const {
+    return cache_->stats();
+  }
+
+ private:
+  BatchEvaluator(const SequenceCollection* collection,
+                 const transducer::Transducer* t, Options options);
+
+  const SequenceCollection* collection_;
+  const transducer::Transducer* t_;
+  Options options_;
+  // unique_ptr so BatchEvaluator stays movable (StatusOr needs that);
+  // both are created in the constructor and never null.
+  std::unique_ptr<transducer::CompositionCache> cache_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+};
+
+}  // namespace tms::db
+
+#endif  // TMS_DB_BATCH_EVALUATOR_H_

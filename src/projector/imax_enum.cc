@@ -28,7 +28,8 @@ struct ImaxEnumerator::State {
       : mu(mu_in), p(p_in), tables(*mu_in, p_in->prefix(), p_in->suffix()) {}
 };
 
-ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state)
+ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state,
+                               exec::ThreadPool* pool)
     : state_(std::move(state)) {
   std::shared_ptr<State> s = state_;
   lawler_ = std::make_unique<ranking::LawlerEnumerator>(
@@ -44,11 +45,13 @@ ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state)
         IndexedAnswer answer = dag.Decode(*path);
         return ranking::ScoredAnswer{std::move(answer.output),
                                      std::exp(-path->cost)};
-      });
+      },
+      pool);
 }
 
 StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
-    const markov::MarkovSequence* mu, const SProjector* p) {
+    const markov::MarkovSequence* mu, const SProjector* p,
+    exec::ThreadPool* pool) {
   if (mu == nullptr || p == nullptr) {
     return Status::InvalidArgument("ImaxEnumerator requires non-null args");
   }
@@ -56,7 +59,7 @@ StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
     return Status::InvalidArgument(
         "Markov sequence node set and s-projector alphabet differ");
   }
-  return ImaxEnumerator(std::make_shared<State>(mu, p));
+  return ImaxEnumerator(std::make_shared<State>(mu, p), pool);
 }
 
 std::optional<ranking::ScoredAnswer> ImaxEnumerator::Next() {

@@ -36,16 +36,22 @@ double ImaxOfAnswer(const IndexedConfidence& conf, const Str& o);
 /// n-approximate decreasing-confidence order with polynomial delay.
 class ImaxEnumerator {
  public:
-  /// Fails on alphabet mismatch.
+  /// Fails on alphabet mismatch. `mu` and `p` are non-owning and must
+  /// outlive the enumerator; the shared solver state (context tables) is
+  /// owned and pinned by the solver itself. `pool` (optional, non-owning)
+  /// solves the child subspaces of each pop concurrently — the solver only
+  /// reads the immutable inputs and tables, and results merge in child
+  /// order, so output is byte-identical at every thread count.
   static StatusOr<ImaxEnumerator> Create(const markov::MarkovSequence* mu,
-                                         const SProjector* p);
+                                         const SProjector* p,
+                                         exec::ThreadPool* pool = nullptr);
 
   /// The next answer (score = its I_max), or nullopt when exhausted.
   std::optional<ranking::ScoredAnswer> Next();
 
  private:
   struct State;
-  explicit ImaxEnumerator(std::shared_ptr<State> state);
+  ImaxEnumerator(std::shared_ptr<State> state, exec::ThreadPool* pool);
 
   std::shared_ptr<State> state_;
   std::unique_ptr<ranking::LawlerEnumerator> lawler_;

@@ -1,5 +1,6 @@
 #include "query/emax.h"
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -26,96 +27,137 @@ const Str& EmissionOf(const transducer::Transducer& t, automata::StateId q,
 
 }  // namespace
 
-std::optional<Evidence> TopAnswerByEmax(const markov::MarkovSequence& mu,
-                                        const transducer::Transducer& t) {
-  TMS_CHECK(mu.nodes() == t.input_alphabet());
-  const int n = mu.length();
-  const size_t sigma = mu.nodes().size();
+EmaxContext::EmaxContext(const markov::MarkovSequence& mu)
+    : mu_(&mu),
+      n_(mu.length()),
+      sigma_(mu.nodes().size()),
+      init_(sigma_),
+      step_(static_cast<size_t>(n_) * sigma_ * sigma_) {
+  for (size_t s = 0; s < sigma_; ++s) {
+    init_[s] = LogProb::FromLinear(mu.Initial(static_cast<Symbol>(s))).log();
+  }
+  for (int i = 2; i <= n_; ++i) {
+    double* row = step_.data() + (static_cast<size_t>(i) - 2) * sigma_ * sigma_;
+    for (size_t s = 0; s < sigma_; ++s) {
+      for (size_t s2 = 0; s2 < sigma_; ++s2) {
+        row[s * sigma_ + s2] =
+            LogProb::FromLinear(
+                mu.Transition(i - 1, static_cast<Symbol>(s),
+                              static_cast<Symbol>(s2)))
+                .log();
+      }
+    }
+  }
+}
+
+std::optional<Evidence> EmaxContext::TopAnswer(
+    const transducer::Transducer& t) const {
+  TMS_CHECK(mu_->nodes() == t.input_alphabet());
+  const int n = n_;
+  const size_t sigma = sigma_;
   const size_t nq = static_cast<size_t>(t.num_states());
+  const size_t cells = sigma * nq;
+  const double ninf = -std::numeric_limits<double>::infinity();
   auto idx = [&](size_t s, size_t q) { return s * nq + q; };
 
-  // best[i][(s,q)] = max log-prob of a world prefix of length i ending in
-  // node s with some run reaching q; back[i][(s,q)] = packed (s', q').
-  std::vector<std::vector<LogProb>> best(
-      static_cast<size_t>(n) + 1,
-      std::vector<LogProb>(sigma * nq, LogProb::Zero()));
-  std::vector<std::vector<int32_t>> back(
-      static_cast<size_t>(n) + 1, std::vector<int32_t>(sigma * nq, kNoBack));
+  // best[(s,q)] = max log-prob of a world prefix of length i ending in node
+  // s with some run reaching q. Only two rolling score layers are live, but
+  // all n back layers (packed (s', q') predecessors) are kept for the
+  // backtrack. Scratch is thread-local so concurrent subspace solves of a
+  // parallel enumeration never share buffers.
+  static thread_local std::vector<double> prev_scratch;
+  static thread_local std::vector<double> cur_scratch;
+  static thread_local std::vector<int32_t> back_scratch;
+  prev_scratch.assign(cells, ninf);
+  cur_scratch.assign(cells, ninf);
+  back_scratch.resize((static_cast<size_t>(n) + 1) * cells);
+  double* prev = prev_scratch.data();
+  double* cur = cur_scratch.data();
+  int32_t* back = back_scratch.data();
 
   for (size_t s = 0; s < sigma; ++s) {
-    LogProb p0 = LogProb::FromLinear(mu.Initial(static_cast<Symbol>(s)));
-    if (p0.IsZero()) continue;
+    double p0 = init_[s];
+    if (p0 == ninf) continue;
     for (const transducer::Edge& e :
          t.Next(t.initial(), static_cast<Symbol>(s))) {
       size_t cell = idx(s, static_cast<size_t>(e.target));
-      if (p0 > best[1][cell]) best[1][cell] = p0;
+      if (p0 > prev[cell]) prev[cell] = p0;
     }
   }
   for (int i = 2; i <= n; ++i) {
+    int32_t* back_i = back + static_cast<size_t>(i) * cells;
+    const double* step_i =
+        step_.data() + (static_cast<size_t>(i) - 2) * sigma * sigma;
+    for (size_t c = 0; c < cells; ++c) cur[c] = ninf;
     for (size_t s = 0; s < sigma; ++s) {
       for (size_t q = 0; q < nq; ++q) {
-        LogProb mass = best[static_cast<size_t>(i - 1)][idx(s, q)];
-        if (mass.IsZero()) continue;
+        double mass = prev[idx(s, q)];
+        if (mass == ninf) continue;
         for (size_t s2 = 0; s2 < sigma; ++s2) {
-          LogProb step = LogProb::FromLinear(mu.Transition(
-              i - 1, static_cast<Symbol>(s), static_cast<Symbol>(s2)));
-          if (step.IsZero()) continue;
-          LogProb cand = mass * step;
+          double step = step_i[s * sigma + s2];
+          if (step == ninf) continue;
+          double cand = mass + step;
           for (const transducer::Edge& e :
                t.Next(static_cast<automata::StateId>(q),
                       static_cast<Symbol>(s2))) {
             size_t cell = idx(s2, static_cast<size_t>(e.target));
-            if (cand > best[static_cast<size_t>(i)][cell]) {
-              best[static_cast<size_t>(i)][cell] = cand;
-              back[static_cast<size_t>(i)][cell] =
-                  static_cast<int32_t>(idx(s, q));
+            if (cand > cur[cell]) {
+              cur[cell] = cand;
+              back_i[cell] = static_cast<int32_t>(idx(s, q));
             }
           }
         }
       }
     }
+    std::swap(prev, cur);
   }
 
-  // Pick the best accepting cell in the last layer.
-  LogProb best_val = LogProb::Zero();
+  // Pick the best accepting cell in the last layer (now in `prev`).
+  double best_val = ninf;
   int32_t best_cell = kNoBack;
   for (size_t s = 0; s < sigma; ++s) {
     for (size_t q = 0; q < nq; ++q) {
       if (!t.IsAccepting(static_cast<automata::StateId>(q))) continue;
-      if (best[static_cast<size_t>(n)][idx(s, q)] > best_val) {
-        best_val = best[static_cast<size_t>(n)][idx(s, q)];
+      if (prev[idx(s, q)] > best_val) {
+        best_val = prev[idx(s, q)];
         best_cell = static_cast<int32_t>(idx(s, q));
       }
     }
   }
-  if (best_cell == kNoBack) return std::nullopt;
+  if (best_cell == kNoBack || best_val == ninf) return std::nullopt;
 
   // Backtrack the (node, state) chain.
-  std::vector<size_t> cells(static_cast<size_t>(n) + 1);
-  cells[static_cast<size_t>(n)] = static_cast<size_t>(best_cell);
+  std::vector<size_t> chain(static_cast<size_t>(n) + 1);
+  chain[static_cast<size_t>(n)] = static_cast<size_t>(best_cell);
   for (int i = n; i >= 2; --i) {
-    int32_t prev = back[static_cast<size_t>(i)][cells[static_cast<size_t>(i)]];
-    TMS_CHECK(prev != kNoBack);
-    cells[static_cast<size_t>(i - 1)] = static_cast<size_t>(prev);
+    int32_t p = back[static_cast<size_t>(i) * cells +
+                     chain[static_cast<size_t>(i)]];
+    TMS_CHECK(p != kNoBack);
+    chain[static_cast<size_t>(i - 1)] = static_cast<size_t>(p);
   }
   Evidence out;
   out.world.resize(static_cast<size_t>(n));
   for (int i = 1; i <= n; ++i) {
     out.world[static_cast<size_t>(i - 1)] =
-        static_cast<Symbol>(cells[static_cast<size_t>(i)] / nq);
+        static_cast<Symbol>(chain[static_cast<size_t>(i)] / nq);
   }
   // Reconstruct the output along the run.
   automata::StateId prev_q = t.initial();
   for (int i = 1; i <= n; ++i) {
     automata::StateId q =
-        static_cast<automata::StateId>(cells[static_cast<size_t>(i)] % nq);
+        static_cast<automata::StateId>(chain[static_cast<size_t>(i)] % nq);
     const Str& w =
         EmissionOf(t, prev_q, out.world[static_cast<size_t>(i - 1)], q);
     out.output.insert(out.output.end(), w.begin(), w.end());
     prev_q = q;
   }
-  out.prob = best_val.ToLinear();
+  out.prob = std::exp(best_val);
   return out;
+}
+
+std::optional<Evidence> TopAnswerByEmax(const markov::MarkovSequence& mu,
+                                        const transducer::Transducer& t) {
+  return EmaxContext(mu).TopAnswer(t);
 }
 
 std::optional<Evidence> EmaxOfAnswer(const markov::MarkovSequence& mu,

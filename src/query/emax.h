@@ -13,6 +13,7 @@
 #define TMS_QUERY_EMAX_H_
 
 #include <optional>
+#include <vector>
 
 #include "markov/markov_sequence.h"
 #include "transducer/transducer.h"
@@ -26,9 +27,40 @@ struct Evidence {
   double prob;  ///< p(s) — the E_max value it certifies
 };
 
+/// Precomputed log-domain view of one Markov sequence, shared across the
+/// many Viterbi solves a ranked enumeration performs on it. The per-call
+/// DP needs log(μ.Transition(...)) for every (i, s, s') in its inner loop;
+/// hoisting those std::log calls into construction roughly halves the
+/// solve time, and the tensors are reused by every subspace solve of the
+/// same enumeration (and by every thread of a parallel one).
+///
+/// Immutable after construction, so a single context may be shared by
+/// concurrent TopAnswer calls. Holds `mu` by non-owning pointer: the
+/// Markov sequence must outlive the context.
+class EmaxContext {
+ public:
+  explicit EmaxContext(const markov::MarkovSequence& mu);
+
+  const markov::MarkovSequence& mu() const { return *mu_; }
+
+  /// TopAnswerByEmax(mu, t) computed against the precomputed tensors.
+  /// Bit-identical to the naive DP (same witness, same output, same prob).
+  /// Thread-safe; scratch buffers are thread-local.
+  std::optional<Evidence> TopAnswer(const transducer::Transducer& t) const;
+
+ private:
+  const markov::MarkovSequence* mu_;
+  int n_;
+  size_t sigma_;
+  std::vector<double> init_;  ///< [s] = log μ.Initial(s)
+  std::vector<double> step_;  ///< [(i-2)·σ² + s·σ + s'] = log μ.Transition(i-1, s, s'), i ∈ 2..n
+};
+
 /// An answer maximizing E_max over all of A^ω(μ): the most probable world
 /// accepted by A, together with the output of its best accepting run.
 /// Returns nullopt iff A^ω(μ) = ∅. Time O(n · |Σ|² · |Q|²).
+/// One-shot wrapper over EmaxContext::TopAnswer; callers solving many
+/// transducers against the same μ should build the context once.
 std::optional<Evidence> TopAnswerByEmax(const markov::MarkovSequence& mu,
                                         const transducer::Transducer& t);
 

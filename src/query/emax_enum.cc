@@ -1,27 +1,87 @@
 #include "query/emax_enum.h"
 
+#include <utility>
+
 #include "obs/obs.h"
 #include "query/emax.h"
-#include "transducer/compose.h"
 
 namespace tms::query {
 
-EmaxEnumerator::EmaxEnumerator(const markov::MarkovSequence& mu,
-                               const transducer::Transducer& t)
-    : lawler_([&mu, &t](const ranking::OutputConstraint& c)
-                  -> std::optional<ranking::ScoredAnswer> {
+// Everything the subspace solver touches. The solver lambda holds this via
+// shared_ptr, so it stays valid however the enumerator is moved; with
+// owned inputs it also pins the Markov sequence and transducer themselves
+// (the pre-State solver captured the constructor arguments by reference
+// and dangled as soon as a caller passed temporaries).
+struct EmaxEnumerator::State {
+  // Set only by WithOwnedInputs; `mu` / `t` point here in that case.
+  std::optional<markov::MarkovSequence> owned_mu;
+  std::optional<transducer::Transducer> owned_t;
+
+  const markov::MarkovSequence* mu = nullptr;
+  const transducer::Transducer* t = nullptr;
+
+  // Built after mu/t are fixed (Init).
+  std::optional<EmaxContext> ctx;
+  std::optional<transducer::CompositionCache> owned_cache;
+  transducer::CompositionCache* cache = nullptr;
+
+  void Init(const Options& options) {
+    ctx.emplace(*mu);
+    if (options.cache != nullptr) {
+      cache = options.cache;
+    } else {
+      owned_cache.emplace(t);
+      cache = &*owned_cache;
+    }
+  }
+};
+
+EmaxEnumerator::EmaxEnumerator(std::shared_ptr<State> state,
+                               const Options& options)
+    : state_(std::move(state)) {
+  std::shared_ptr<State> s = state_;
+  lawler_ = std::make_unique<ranking::LawlerEnumerator>(
+      [s](const ranking::OutputConstraint& c)
+          -> std::optional<ranking::ScoredAnswer> {
         TMS_OBS_SPAN("query.emax_enum.subspace_solve");
-        transducer::Transducer composed =
-            transducer::ComposeWithOutputConstraint(t, c);
+        std::shared_ptr<const transducer::Transducer> composed =
+            s->cache->Compose(c);
         TMS_OBS_HISTOGRAM("query.emax_enum.composed_states",
-                          composed.num_states());
-        auto best = TopAnswerByEmax(mu, composed);
+                          composed->num_states());
+        auto best = s->ctx->TopAnswer(*composed);
         if (!best.has_value()) return std::nullopt;
         return ranking::ScoredAnswer{std::move(best->output), best->prob};
-      }) {}
+      },
+      options.pool);
+}
+
+EmaxEnumerator::EmaxEnumerator(const markov::MarkovSequence& mu,
+                               const transducer::Transducer& t,
+                               Options options)
+    : EmaxEnumerator(
+          [&mu, &t, &options] {
+            auto state = std::make_shared<State>();
+            state->mu = &mu;
+            state->t = &t;
+            state->Init(options);
+            return state;
+          }(),
+          options) {}
+
+EmaxEnumerator EmaxEnumerator::WithOwnedInputs(markov::MarkovSequence mu,
+                                               transducer::Transducer t,
+                                               Options options) {
+  auto state = std::make_shared<State>();
+  state->owned_mu.emplace(std::move(mu));
+  state->owned_t.emplace(std::move(t));
+  state->mu = &*state->owned_mu;
+  state->t = &*state->owned_t;
+  state->Init(options);
+  return EmaxEnumerator(std::move(state), options);
+}
 
 std::optional<ranking::ScoredAnswer> EmaxEnumerator::Next() {
-  auto answer = lawler_.Next();
+  auto answer = lawler_->Next();
   if (answer.has_value()) {
     TMS_OBS_COUNT("query.emax_enum.answers", 1);
     delay_.RecordAnswer();

@@ -1,37 +1,77 @@
 // Ranked enumeration by decreasing E_max — Theorem 4.3.
 //
 // Lawler–Murty over output-prefix constraints: each subspace is solved by
-// composing the transducer with the constraint DFA
-// (transducer/compose.h) and running the Viterbi of query/emax.h on the
-// composed machine. Emits answers in exactly nonincreasing E_max with
-// polynomial delay; as an ordering by *confidence* this is a
+// composing the transducer with the constraint DFA (memoized by
+// transducer/composition_cache.h) and running the Viterbi of query/emax.h
+// on the composed machine. Emits answers in exactly nonincreasing E_max
+// with polynomial delay; as an ordering by *confidence* this is a
 // |Σ|^n-approximation (the paper shows no sub-exponential ratio is
 // tractable, Theorem 4.4 — so this heuristic is worst-case optimal).
 
 #ifndef TMS_QUERY_EMAX_ENUM_H_
 #define TMS_QUERY_EMAX_ENUM_H_
 
+#include <memory>
 #include <optional>
+#include <utility>
 
+#include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
 #include "ranking/lawler.h"
+#include "transducer/composition_cache.h"
 #include "transducer/transducer.h"
 
 namespace tms::query {
 
-/// Streams A^ω(μ) in nonincreasing E_max. The Markov sequence and the
-/// transducer must outlive the enumerator.
+/// Streams A^ω(μ) in nonincreasing E_max.
+///
+/// The subspace-solver state (inputs, precomputed E_max tensors, the
+/// composition cache) lives in a shared block captured by value, so the
+/// enumerator can be moved freely and — via WithOwnedInputs — can outlive
+/// the arguments it was built from. The solver only reads immutable state
+/// and the thread-safe cache, so child subspaces may be solved in parallel
+/// (Options::pool) with output byte-identical to the sequential engine.
 class EmaxEnumerator {
  public:
+  struct Options {
+    /// Solves the child subspaces of each pop concurrently. Non-owning;
+    /// the pool must outlive the enumerator. Null = sequential.
+    exec::ThreadPool* pool = nullptr;
+    /// Shared composition cache, e.g. one cache across the many
+    /// enumerations of a db::BatchEvaluator run. Non-owning (must outlive
+    /// the enumerator) and must be bound to the same transducer `t`.
+    /// Null = the enumerator keeps a private cache.
+    transducer::CompositionCache* cache = nullptr;
+  };
+
+  /// Borrows `mu` and `t`: both must outlive the enumerator. (Use
+  /// WithOwnedInputs when that is hard to guarantee.)
   EmaxEnumerator(const markov::MarkovSequence& mu,
-                 const transducer::Transducer& t);
+                 const transducer::Transducer& t, Options options);
+  EmaxEnumerator(const markov::MarkovSequence& mu,
+                 const transducer::Transducer& t)
+      : EmaxEnumerator(mu, t, Options()) {}
+
+  /// Takes ownership of copies of the inputs — safe even when the caller's
+  /// originals are temporaries or die before the enumerator does.
+  static EmaxEnumerator WithOwnedInputs(markov::MarkovSequence mu,
+                                        transducer::Transducer t,
+                                        Options options);
+  static EmaxEnumerator WithOwnedInputs(markov::MarkovSequence mu,
+                                        transducer::Transducer t) {
+    return WithOwnedInputs(std::move(mu), std::move(t), Options());
+  }
 
   /// The next answer (score = its E_max), or nullopt when exhausted.
   std::optional<ranking::ScoredAnswer> Next();
 
  private:
-  ranking::LawlerEnumerator lawler_;
+  struct State;
+  EmaxEnumerator(std::shared_ptr<State> state, const Options& options);
+
+  std::shared_ptr<State> state_;
+  std::unique_ptr<ranking::LawlerEnumerator> lawler_;
   obs::DelayRecorder delay_{"query.emax_enum"};
 };
 

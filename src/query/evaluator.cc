@@ -25,7 +25,8 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
                                                   bool with_confidence) const {
   TMS_OBS_SPAN("query.evaluator.topk");
   std::vector<AnswerInfo> out;
-  EmaxEnumerator it(*mu_, *t_);
+  EmaxEnumerator it(*mu_, *t_,
+                    EmaxEnumerator::Options{execution_.pool, execution_.cache});
   // End-to-end per-answer delay, including the confidence computation —
   // what a top-k client actually waits between answers.
   obs::DelayRecorder delay("query.topk");

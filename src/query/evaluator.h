@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
+#include "transducer/composition_cache.h"
 #include "transducer/transducer.h"
 
 namespace tms::query {
@@ -30,9 +32,21 @@ struct AnswerInfo {
 /// Facade over the §4 algorithms for one (μ, A^ω) pair.
 class Evaluator {
  public:
+  /// Optional execution resources, both non-owning (they must outlive the
+  /// evaluator). `pool` parallelizes the subspace solves inside TopK;
+  /// `cache` shares composed transducers across evaluators of the same
+  /// transducer (db::BatchEvaluator passes one cache for a whole
+  /// collection) and must be bound to the evaluator's `t`.
+  struct Execution {
+    exec::ThreadPool* pool = nullptr;
+    transducer::CompositionCache* cache = nullptr;
+  };
+
   /// Fails if the node set of `mu` differs from the input alphabet of `t`.
   static StatusOr<Evaluator> Create(const markov::MarkovSequence* mu,
                                     const transducer::Transducer* t);
+
+  void set_execution(const Execution& execution) { execution_ = execution; }
 
   /// Top-k answers by decreasing E_max; confidences attached when
   /// `with_confidence` (using the best applicable algorithm per
@@ -61,6 +75,7 @@ class Evaluator {
 
   const markov::MarkovSequence* mu_;
   const transducer::Transducer* t_;
+  Execution execution_;
 };
 
 }  // namespace tms::query

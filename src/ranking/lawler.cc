@@ -1,49 +1,78 @@
 #include "ranking/lawler.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/obs.h"
 
 namespace tms::ranking {
 
-LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver)
-    : solver_(std::move(solver)) {
+LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver,
+                                   exec::ThreadPool* pool)
+    : solver_(std::move(solver)), pool_(pool) {
   OutputConstraint all = OutputConstraint::All();
-  TMS_OBS_COUNT("ranking.lawler.solver_calls", 1);
-  auto best = solver_(all);
+  auto best = Solve(all);
   if (best.has_value()) {
-    heap_.push(Entry{std::move(*best), std::move(all)});
-  } else {
-    TMS_OBS_COUNT("ranking.lawler.empty_subspaces", 1);
+    heap_.push_back(Entry{std::move(*best), std::move(all)});
   }
+}
+
+std::optional<ScoredAnswer> LawlerEnumerator::Solve(
+    const OutputConstraint& constraint) {
+  TMS_OBS_COUNT("ranking.lawler.solver_calls", 1);
+  auto best = solver_(constraint);
+  if (!best.has_value()) {
+    TMS_OBS_COUNT("ranking.lawler.empty_subspaces", 1);
+    return std::nullopt;
+  }
+  if (!std::isfinite(best->score)) {
+    TMS_OBS_COUNT("ranking.lawler.nonfinite_scores", 1);
+    return std::nullopt;
+  }
+  return best;
 }
 
 std::optional<ScoredAnswer> LawlerEnumerator::Next() {
   TMS_OBS_SPAN("ranking.lawler.next");
   if (heap_.empty()) return std::nullopt;
   TMS_OBS_COUNT("ranking.lawler.pops", 1);
-  Entry top = heap_.top();
-  heap_.pop();
-  int64_t children = 0;
-  int64_t pushed = 0;
-  for (OutputConstraint& child :
-       top.constraint.PartitionAfter(top.answer.output)) {
-    ++children;
-    auto best = solver_(child);
-    if (best.has_value()) {
-      ++pushed;
-      heap_.push(Entry{std::move(*best), std::move(child)});
+  std::pop_heap(heap_.begin(), heap_.end(), EntryLess());
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
+  std::vector<OutputConstraint> children =
+      top.constraint.PartitionAfter(top.answer.output);
+  const int64_t fanout = static_cast<int64_t>(children.size());
+  // The children are independent solver calls; fan them out, then push the
+  // survivors in child order so the heap is the same one the sequential
+  // engine builds.
+  std::vector<std::optional<ScoredAnswer>> solved;
+  if (pool_ != nullptr && fanout > 1) {
+    solved = pool_->ParallelMap<std::optional<ScoredAnswer>>(
+        fanout, [this, &children](int64_t i) {
+          return Solve(children[static_cast<size_t>(i)]);
+        });
+  } else {
+    solved.reserve(children.size());
+    for (const OutputConstraint& child : children) {
+      solved.push_back(Solve(child));
     }
   }
-  TMS_OBS_COUNT("ranking.lawler.solver_calls", children);
+  int64_t pushed = 0;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!solved[i].has_value()) continue;
+    ++pushed;
+    heap_.push_back(Entry{std::move(*solved[i]), std::move(children[i])});
+    std::push_heap(heap_.begin(), heap_.end(), EntryLess());
+  }
   TMS_OBS_COUNT("ranking.lawler.children_pushed", pushed);
-  TMS_OBS_COUNT("ranking.lawler.empty_subspaces", children - pushed);
-  TMS_OBS_HISTOGRAM("ranking.lawler.partition_fanout", children);
+  TMS_OBS_HISTOGRAM("ranking.lawler.partition_fanout", fanout);
   TMS_OBS_GAUGE_SET("ranking.lawler.heap_size", heap_.size());
   TMS_OBS_COUNT("ranking.lawler.answers", 1);
   delay_.RecordAnswer();
   // Silence unused warnings in the compiled-out build.
-  (void)children;
+  (void)fanout;
   (void)pushed;
-  return top.answer;
+  return std::move(top.answer);
 }
 
 }  // namespace tms::ranking

@@ -19,9 +19,10 @@
 
 #include <functional>
 #include <optional>
-#include <queue>
 #include <utility>
+#include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/delay.h"
 #include "ranking/prefix_constraint.h"
 #include "strings/str.h"
@@ -36,15 +37,30 @@ struct ScoredAnswer {
 
 /// Solves one subspace: the best answer admitted by the constraint, or
 /// nullopt if the subspace is empty. Ties may be broken arbitrarily but
-/// deterministically.
+/// deterministically. Scores must be finite; a non-finite score (NaN would
+/// violate EntryLess's strict weak ordering and silently corrupt the heap)
+/// is rejected at the boundary and the subspace treated as empty, counted
+/// by `ranking.lawler.nonfinite_scores`.
 using SubspaceSolver =
     std::function<std::optional<ScoredAnswer>(const OutputConstraint&)>;
 
 /// Streams answers in nonincreasing score with one solver call per emitted
 /// answer per child subspace (at most |answer|+1 children per emission).
+///
+/// With a thread pool, the child subspaces of each pop — independent solver
+/// calls by construction — are solved concurrently. The solver must then be
+/// thread-safe (no shared mutable state across calls); results are merged
+/// back in child order, so the heap content after every pop, and therefore
+/// the emitted sequence, is identical at every thread count. (That the pop
+/// order itself is well-defined follows from EntryLess being a total order:
+/// subspaces are disjoint, so outputs are unique and break every score
+/// tie.)
 class LawlerEnumerator {
  public:
-  explicit LawlerEnumerator(SubspaceSolver solver);
+  /// `pool` is optional and non-owning (it must outlive the enumerator);
+  /// null means the sequential engine.
+  explicit LawlerEnumerator(SubspaceSolver solver,
+                            exec::ThreadPool* pool = nullptr);
 
   /// The next best answer, or nullopt when the space is exhausted.
   std::optional<ScoredAnswer> Next();
@@ -63,8 +79,15 @@ class LawlerEnumerator {
     }
   };
 
+  // Runs the solver on one subspace, enforcing the finite-score contract.
+  std::optional<ScoredAnswer> Solve(const OutputConstraint& constraint);
+
   SubspaceSolver solver_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLess> heap_;
+  exec::ThreadPool* pool_;
+  // A max-heap under EntryLess, maintained with std::push_heap/pop_heap
+  // (rather than std::priority_queue, whose top() is const and would force
+  // a deep copy of the answer + constraint on every pop).
+  std::vector<Entry> heap_;
   // Inter-answer delay distribution (Theorem 4.3's polynomial-delay claim
   // as measured: histogram `ranking.lawler.delay_ns`).
   obs::DelayRecorder delay_{"ranking.lawler"};

@@ -1,0 +1,91 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tms::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsSequentiallyOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  // With no workers the loop runs in submission order on the caller, so a
+  // plain (non-atomic) accumulator is safe — and the order is observable.
+  std::vector<int64_t> order;
+  pool.ParallelFor(5, [&order](int64_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonBatches) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int64_t) { ++calls; });
+  pool.ParallelFor(-3, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller (no handoff): same thread, one call.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(1, [&ran](int64_t i) {
+    EXPECT_EQ(i, 0);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<std::string> out = pool.ParallelMap<std::string>(
+      100, [](int64_t i) { return "item-" + std::to_string(i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], "item-" + std::to_string(i));
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Callers always participate in draining their own batch, so an inner
+  // ParallelFor issued from inside a task completes even when every worker
+  // is already busy with the outer batch.
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, [&pool, &total](int64_t) {
+    pool.ParallelFor(8, [&total](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManySmallBatchesBackToBack) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(7, [&total](int64_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 200 * (0 + 1 + 2 + 3 + 4 + 5 + 6));
+}
+
+TEST(ThreadPoolTest, MapWithMoveOnlyHeavyResults) {
+  ThreadPool pool(2);
+  auto rows = pool.ParallelMap<std::vector<int64_t>>(50, [](int64_t i) {
+    return std::vector<int64_t>(static_cast<size_t>(i % 5), i);
+  });
+  ASSERT_EQ(rows.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(rows[i].size(), static_cast<size_t>(i % 5));
+    for (int64_t v : rows[i]) EXPECT_EQ(v, i);
+  }
+}
+
+}  // namespace
+}  // namespace tms::exec

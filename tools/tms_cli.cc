@@ -8,8 +8,18 @@
 //       Confidence (and E_max) of one answer.
 //   tms_cli enum  <sequence-file> <query-file> [limit]
 //       Unranked enumeration (Theorem 4.1), up to `limit` answers.
+//   tms_cli batch <query-file> <k> <sequence-file>...
+//       One query across many sequences (db::BatchEvaluator): per-sequence
+//       top-k answers by E_max, keyed by sequence file. With --threads=N
+//       the sequences are evaluated concurrently; output is identical at
+//       every thread count.
 //   tms_cli show  <file>
 //       Parse a model/query file and print its canonical form.
+//
+// Execution flags (see docs/CONCURRENCY.md):
+//   --threads=N    total evaluation concurrency (default 1). `topk` solves
+//                  Lawler child subspaces in parallel; `batch` spreads
+//                  sequences across threads.
 //
 // Observability flags (any command, see docs/OBSERVABILITY.md):
 //   --stats        after the command, dump the metrics registry to stderr
@@ -27,10 +37,14 @@
 // live in examples/data/.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "db/batch_evaluator.h"
+#include "db/collection.h"
+#include "exec/thread_pool.h"
 #include "io/text_format.h"
 #include "obs/obs.h"
 #include "projector/imax_enum.h"
@@ -47,6 +61,23 @@ enum class StatsMode { kNone, kText, kJson, kProm };
 struct ObsOptions {
   StatsMode stats = StatsMode::kNone;
   std::string trace_path;
+};
+
+// --threads=N: total evaluation concurrency. The pool gets N-1 workers;
+// the calling thread is the Nth lane (exec::ThreadPool semantics), so
+// N <= 1 means no pool at all — the plain sequential engine.
+struct ExecOptions {
+  int threads = 1;
+
+  exec::ThreadPool* MakePool() {
+    if (threads > 1 && pool_ == nullptr) {
+      pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
+    }
+    return pool_.get();
+  }
+
+ private:
+  std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 // Machine-readable results accumulator for --stats=json: the command
@@ -66,8 +97,9 @@ int Usage() {
                "usage: tms_cli topk <sequence> <query> [k]\n"
                "       tms_cli conf <sequence> <query> <output-symbol>...\n"
                "       tms_cli enum <sequence> <query> [limit]\n"
+               "       tms_cli batch <query> <k> <sequence>...\n"
                "       tms_cli show <file>\n"
-               "flags: --stats | --stats=json | --stats=prom | "
+               "flags: --threads=N | --stats | --stats=json | --stats=prom | "
                "--trace=FILE\n");
   return 2;
 }
@@ -121,7 +153,7 @@ void AppendAnswerJson(const std::string& answer, const char* score_key,
 }
 
 int RunTopK(const std::string& seq_path, const std::string& query_path,
-            int k, CliOutput* out) {
+            int k, ExecOptions* exec, CliOutput* out) {
   auto mu = LoadSequence(seq_path);
   if (!mu.ok()) return Fail(mu.status());
   auto query = LoadQuery(query_path);
@@ -132,6 +164,7 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
   if (query->transducer.has_value()) {
     auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
     if (!eval.ok()) return Fail(eval.status());
+    eval->set_execution(query::Evaluator::Execution{exec->MakePool(), nullptr});
     auto topk = eval->TopK(k);
     if (!topk.ok()) return Fail(topk.status());
     if (!out->json) {
@@ -153,7 +186,8 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
     out->results += ']';
     return 0;
   }
-  auto it = projector::ImaxEnumerator::Create(&*mu, &*query->sprojector);
+  auto it = projector::ImaxEnumerator::Create(&*mu, &*query->sprojector,
+                                              exec->MakePool());
   if (!it.ok()) return Fail(it.status());
   if (!out->json) {
     std::printf("%-30s %-14s %-14s\n", "answer", "I_max", "confidence");
@@ -268,6 +302,58 @@ int RunEnum(const std::string& seq_path, const std::string& query_path,
   return 0;
 }
 
+int RunBatch(const std::string& query_path,
+             const std::vector<std::string>& seq_paths, int k,
+             ExecOptions* exec, CliOutput* out) {
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+  // BatchEvaluator ranks by E_max, so an s-projector query runs as its
+  // equivalent transducer.
+  transducer::Transducer t = query->transducer.has_value()
+                                 ? std::move(*query->transducer)
+                                 : query->sprojector->ToTransducer();
+  db::SequenceCollection collection(t.input_alphabet());
+  for (const std::string& path : seq_paths) {
+    auto mu = LoadSequence(path);
+    if (!mu.ok()) return Fail(mu.status());
+    Status st = collection.Insert(path, std::move(*mu));
+    if (!st.ok()) return Fail(st);
+  }
+  db::BatchEvaluator::Options options;
+  options.threads = exec->threads;
+  auto batch = db::BatchEvaluator::Create(&collection, &t, options);
+  if (!batch.ok()) return Fail(batch.status());
+  auto rows = batch->TopKPerSequence(k);
+  if (!rows.ok()) return Fail(rows.status());
+
+  out->results = "[";
+  bool first = true;
+  if (!out->json) {
+    std::printf("%-30s %-30s %-14s %-14s\n", "sequence", "answer", "E_max",
+                "confidence");
+  }
+  for (const db::SequenceCollection::Row& row : *rows) {
+    std::string answer = FormatStr(t.output_alphabet(), row.answer.output);
+    if (out->json) {
+      if (!first) out->results += ',';
+      first = false;
+      out->results += "{\"sequence\":\"";
+      obs::AppendJsonEscaped(row.key, &out->results);
+      out->results += "\",";
+      // Reuse the answer fields of AppendAnswerJson minus its braces.
+      std::string answer_json;
+      AppendAnswerJson(answer, "emax", row.answer.emax, row.answer.confidence,
+                       &answer_json);
+      out->results += answer_json.substr(1);
+    } else {
+      std::printf("%-30s %-30s %-14.6g %-14.6g\n", row.key.c_str(),
+                  answer.c_str(), row.answer.emax, row.answer.confidence);
+    }
+  }
+  out->results += ']';
+  return 0;
+}
+
 int RunShow(const std::string& path, CliOutput* out) {
   auto text = io::ReadFile(path);
   if (!text.ok()) return Fail(text.status());
@@ -300,9 +386,10 @@ int RunShow(const std::string& path, CliOutput* out) {
   return 0;
 }
 
-// Strips --stats/--trace flags from args; returns false on a malformed
-// observability flag.
-bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts) {
+// Strips --stats/--trace/--threads flags from args; returns false on a
+// malformed flag.
+bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
+                   ExecOptions* exec) {
   std::vector<std::string> rest;
   for (const std::string& arg : *args) {
     if (arg == "--stats") {
@@ -314,7 +401,11 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       opts->trace_path = arg.substr(std::strlen("--trace="));
       if (opts->trace_path.empty()) return false;
-    } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0) {
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      exec->threads = std::atoi(arg.c_str() + std::strlen("--threads="));
+      if (exec->threads <= 0) return false;
+    } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0 ||
+               arg.rfind("--threads", 0) == 0) {
       return false;
     } else {
       rest.push_back(arg);
@@ -367,7 +458,8 @@ void EmitStats(const std::string& command, const ObsOptions& opts,
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   ObsOptions opts;
-  if (!ParseObsFlags(&args, &opts)) return Usage();
+  ExecOptions exec;
+  if (!ParseObsFlags(&args, &opts, &exec)) return Usage();
   if (opts.stats != StatsMode::kNone) obs::SetEnabled(true);
   if (!opts.trace_path.empty()) {
     obs::SetEnabled(true);
@@ -387,7 +479,13 @@ int main(int argc, char** argv) {
   } else if (command == "topk") {
     int k = args.size() >= 4 ? std::atoi(args[3].c_str()) : 10;
     if (k <= 0) return Usage();
-    code = RunTopK(args[1], args[2], k, &out);
+    code = RunTopK(args[1], args[2], k, &exec, &out);
+  } else if (command == "batch") {
+    int k = std::atoi(args[2].c_str());
+    if (k <= 0 || args.size() < 4) return Usage();
+    code = RunBatch(args[1],
+                    std::vector<std::string>(args.begin() + 3, args.end()), k,
+                    &exec, &out);
   } else if (command == "conf") {
     code = RunConf(args[1], args[2],
                    std::vector<std::string>(args.begin() + 3, args.end()),
