@@ -7,12 +7,16 @@
 // p99) per engine and instance size via obs::DelayRecorder histograms;
 // BENCH_enumeration_delay.json is the machine-readable baseline.
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "exec/fault.h"
+#include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "obs/delay.h"
 #include "ranking/lawler.h"
@@ -185,14 +189,202 @@ void PrintMultiThread() {
   }
 }
 
+bool IsPrefixOf(const std::vector<ranking::ScoredAnswer>& prefix,
+                const std::vector<ranking::ScoredAnswer>& stream) {
+  if (prefix.size() > stream.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i].output != stream[i].output ||
+        prefix[i].score != stream[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The bounded-execution contract (docs/ROBUSTNESS.md) under the bench
+// harness: a wall-clock deadline may be overrun by at most one
+// answer-delay, and a drained work budget truncates the stream to a
+// byte-identical prefix of the unbounded one at every thread count. The
+// exec.budget.* / exec.fault.* counters accumulated by these runs are
+// exported as first-class metrics so the bench JSON records how much work
+// each limit admitted. Returns false when the contract is violated — the
+// binary then exits nonzero.
+bool PrintBounded() {
+  bench::PrintHeader(
+      "E12c: bounded execution (deadline overshoot, budget truncation)",
+      "a fired limit stops the stream at the next answer boundary: the "
+      "truncated stream is a byte-identical prefix of the unbounded one "
+      "at every thread count, and a deadline is overrun by at most one "
+      "answer-delay.");
+
+  bool ok = true;
+  const int n = 64;
+  Instance inst = MakeInstance(n, 211);
+
+  // Unbounded reference stream and its worst single answer-delay — the
+  // yardstick a deadline overshoot is measured against.
+  std::vector<ranking::ScoredAnswer> reference;
+  double ref_max_delay_ms = 0.0;
+  {
+    query::EmaxEnumerator it(inst.mu, inst.t);
+    Stopwatch lap;
+    while (static_cast<int>(reference.size()) < 100) {
+      auto answer = it.Next();
+      double delay_ms = lap.LapSeconds() * 1e3;
+      if (!answer.has_value()) break;
+      ref_max_delay_ms = std::max(ref_max_delay_ms, delay_ms);
+      reference.push_back(std::move(*answer));
+    }
+  }
+
+  // Deadline overshoot: stop the same enumeration mid-stream with a
+  // wall-clock deadline. The engine checks the clock at every charge and
+  // answer boundary, so it may run past the deadline by at most the time
+  // of one in-flight answer; allow 2x the reference max delay plus a 5 ms
+  // scheduler-granularity floor so a CI context switch cannot flake the
+  // bench.
+  {
+    const int64_t deadline_ms = 20;
+    exec::RunContext run;
+    // The stopwatch and the deadline share an origin so the measured
+    // overshoot covers everything the deadline does, enumerator
+    // construction included.
+    Stopwatch wall;
+    run.set_deadline_after_ms(deadline_ms);
+    query::EmaxEnumerator it(
+        inst.mu, inst.t,
+        query::EmaxEnumerator::Options{nullptr, nullptr, &run});
+    std::vector<ranking::ScoredAnswer> answers;
+    while (true) {
+      auto answer = it.Next();
+      if (!answer.has_value()) break;
+      answers.push_back(std::move(*answer));
+    }
+    double wall_ms = wall.ElapsedSeconds() * 1e3;
+    double overshoot_ms =
+        std::max(0.0, wall_ms - static_cast<double>(deadline_ms));
+    double bound_ms = std::max(2.0 * ref_max_delay_ms, 5.0);
+    bool within = overshoot_ms <= bound_ms;
+    // The shorter of the two streams must be an exact prefix of the other
+    // (the reference itself is capped at 100 answers).
+    bool prefix = answers.size() <= reference.size()
+                      ? IsPrefixOf(answers, reference)
+                      : IsPrefixOf(reference, answers);
+    std::printf(
+        "deadline   %-6d ms: stopped after %zu answers in %.3f ms "
+        "(overshoot %.3f ms, bound %.3f ms) %s %s\n",
+        static_cast<int>(deadline_ms), answers.size(), wall_ms, overshoot_ms,
+        bound_ms, within ? "within" : "EXCEEDED", prefix ? "" : "NOT-PREFIX");
+    bench::Report::Global().AddMetric("deadline.wall_ms", wall_ms);
+    bench::Report::Global().AddMetric("deadline.overshoot_ms", overshoot_ms);
+    bench::Report::Global().AddMetric("deadline.bound_ms", bound_ms);
+    bench::Report::Global().AddMetric("deadline.within_bound",
+                                      within ? 1.0 : 0.0);
+    bench::Report::Global().AddMetric("deadline.answers",
+                                      static_cast<double>(answers.size()));
+    if (!run.truncated()) {
+      bench::Report::Global().AddSkip(
+          "E12c: stream exhausted before the deadline fired; overshoot not "
+          "measured");
+    } else if (!within || !prefix) {
+      ok = false;
+    }
+  }
+
+  // Budget truncation: the per-pop charge totals are independent of the
+  // thread count, so the truncated stream must be the exact same prefix
+  // of the reference stream no matter how many workers solve subspaces.
+  std::printf("%-8s %-8s %-10s %-8s\n", "budget", "threads", "answers",
+              "prefix");
+  for (int64_t budget : {1, 5, 20}) {
+    std::vector<ranking::ScoredAnswer> first;
+    bool have_first = false;
+    for (int threads : {1, 4}) {
+      exec::RunContext run;
+      run.set_work_budget(budget);
+      std::unique_ptr<exec::ThreadPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<exec::ThreadPool>(threads - 1);
+      }
+      query::EmaxEnumerator it(
+          inst.mu, inst.t,
+          query::EmaxEnumerator::Options{pool.get(), nullptr, &run});
+      std::vector<ranking::ScoredAnswer> answers;
+      while (true) {
+        auto answer = it.Next();
+        if (!answer.has_value()) break;
+        answers.push_back(std::move(*answer));
+      }
+      bool prefix = IsPrefixOf(answers, reference);
+      bool identical = !have_first || (answers.size() == first.size() &&
+                                       IsPrefixOf(answers, first));
+      if (!have_first) {
+        first = answers;
+        have_first = true;
+      }
+      std::printf("%-8lld %-8d %-10zu %-8s\n",
+                  static_cast<long long>(budget), threads, answers.size(),
+                  prefix && identical ? "yes" : "NO");
+      std::string prefix_key = "budget=" + std::to_string(budget) +
+                               ".threads=" + std::to_string(threads) + ".";
+      bench::Report::Global().AddMetric(prefix_key + "answers",
+                                        static_cast<double>(answers.size()));
+      bench::Report::Global().AddMetric(prefix_key + "prefix_ok",
+                                        prefix && identical ? 1.0 : 0.0);
+      if (!prefix || !identical) {
+        ok = false;
+        bench::Report::Global().AddSkip(
+            "E12c: budget " + std::to_string(budget) + " at " +
+            std::to_string(threads) +
+            " threads diverged from the unbounded stream");
+      }
+    }
+  }
+
+#if TMS_FAULTS_ACTIVE
+  // One delayed solve through the injector so the exec.fault.* counters
+  // are live in the exported metrics (and the bench exercises the
+  // injected-delay path end to end).
+  exec::FaultInjector::Global().ScheduleDelay(
+      "lawler.pre_solve", /*nth_hit=*/1, std::chrono::microseconds(50));
+  {
+    exec::RunContext run;
+    run.set_max_answers(2);
+    query::EmaxEnumerator it(
+        inst.mu, inst.t,
+        query::EmaxEnumerator::Options{nullptr, nullptr, &run});
+    while (it.Next().has_value()) {
+    }
+  }
+  exec::FaultInjector::Global().Reset();
+#endif
+
+  // Export the bounded-execution counters as first-class bench metrics
+  // (they also appear in the registry dump, but dashboards read the
+  // experiment metrics).
+  for (const char* name :
+       {"exec.budget.work_charged", "exec.budget.answer_capped",
+        "exec.budget.budget_exhausted", "exec.budget.deadline_exceeded",
+        "exec.budget.cancelled", "exec.budget.faults", "exec.fault.hits",
+        "exec.fault.delays", "exec.fault.cancels", "exec.fault.failures"}) {
+    bench::Report::Global().AddMetric(
+        name,
+        static_cast<double>(obs::Registry::Global().counter(name).value()));
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace tms
 
 // Unlike the other benches this one registers no google-benchmark cases:
-// the delay distributions above are the whole measurement.
+// the delay distributions above are the whole measurement. E12c asserts
+// the bounded-execution contract — a violated deadline-overshoot bound or
+// a non-prefix truncated stream fails the binary.
 int main() {
   tms::bench::Session session("enumeration_delay");
   tms::PrintReproduction();
   tms::PrintMultiThread();
-  return 0;
+  bool bounded_ok = tms::PrintBounded();
+  return bounded_ok ? 0 : 1;
 }

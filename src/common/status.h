@@ -24,6 +24,13 @@ enum class StatusCode {
   kNotFound,
   kUnimplemented,
   kInternal,
+  // Bounded-execution outcomes (exec/run_context.h): the run stopped at an
+  // answer boundary because a limit fired, not because of bad input. The
+  // partial result already produced is valid (a prefix of the unbounded
+  // stream); see docs/ROBUSTNESS.md for the truncation contract.
+  kCancelled,
+  kDeadlineExceeded,
+  kBudgetExhausted,
 };
 
 /// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -57,6 +64,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

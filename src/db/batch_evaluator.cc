@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "exec/fault.h"
 #include "obs/obs.h"
 #include "query/evaluator.h"
 
@@ -81,6 +82,66 @@ BatchEvaluator::TopKPerSequence(int k, bool with_confidence) {
   }
   TMS_OBS_COUNT("db.batch.answers", static_cast<int64_t>(rows.size()));
   return rows;
+}
+
+std::vector<BatchEvaluator::SequenceResult> BatchEvaluator::EvaluateAll(
+    int k, bool with_confidence) {
+  TMS_OBS_SPAN("db.batch.evaluate_all");
+  const std::vector<std::string> keys = collection_->Keys();  // sorted
+  exec::RunContext* batch_run = options_.run;
+  std::vector<SequenceResult> results = pool_->ParallelMap<SequenceResult>(
+      static_cast<int64_t>(keys.size()),
+      [this, k, with_confidence, &keys, batch_run](int64_t i) {
+        SequenceResult out;
+        out.key = keys[static_cast<size_t>(i)];
+        if (TMS_FAULT_POINT("batch.pre_sequence")) {
+          out.status = Status::Internal(
+              "injected resource failure at batch.pre_sequence");
+          TMS_OBS_COUNT("db.batch.failures", 1);
+          return out;
+        }
+        // A child stream shares the batch deadline / budget / cancel
+        // token but owns its answer count and stop reason, so each
+        // sequence reports its own truncation. The parent's answer cap is
+        // inherited as a PER-SEQUENCE cap (top-k per sequence, not k
+        // answers across the whole batch).
+        exec::RunContext child;
+        exec::RunContext* run = nullptr;
+        if (batch_run != nullptr) {
+          child = batch_run->Child(batch_run->max_answers());
+          run = &child;
+        }
+        auto mu = collection_->Get(out.key);
+        if (!mu.ok()) {
+          out.status = mu.status();
+          TMS_OBS_COUNT("db.batch.failures", 1);
+          return out;
+        }
+        auto eval = query::Evaluator::Create(*mu, t_);
+        if (!eval.ok()) {
+          out.status = eval.status();
+          TMS_OBS_COUNT("db.batch.failures", 1);
+          return out;
+        }
+        eval->set_execution(
+            query::Evaluator::Execution{nullptr, cache_.get(), run});
+        auto topk = eval->TopK(k, with_confidence);
+        if (!topk.ok()) {
+          out.status = topk.status();
+          TMS_OBS_COUNT("db.batch.failures", 1);
+          return out;
+        }
+        out.answers = std::move(*topk);
+        if (run != nullptr) {
+          out.status = run->status();
+          out.truncated = run->truncated();
+          out.reason = run->stop_reason();
+          if (out.truncated) TMS_OBS_COUNT("db.batch.truncated", 1);
+        }
+        TMS_OBS_COUNT("db.batch.sequences", 1);
+        return out;
+      });
+  return results;
 }
 
 }  // namespace tms::db

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "db/collection.h"
+#include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "transducer/composition_cache.h"
 #include "transducer/transducer.h"
@@ -40,6 +41,31 @@ class BatchEvaluator {
     int threads = 1;
     /// Budget of the shared composition cache.
     size_t cache_max_bytes = transducer::CompositionCache::kDefaultMaxBytes;
+    /// Optional, non-owning. Bounds the whole batch: the deadline, work
+    /// budget, and cancel token are shared across every sequence (one
+    /// global pool), while each sequence evaluates under its own
+    /// `run->Child()` stream so truncation is reported per sequence.
+    /// Only EvaluateAll consumes it; TopKPerSequence ignores it (its
+    /// first-error contract predates bounded execution).
+    exec::RunContext* run = nullptr;
+  };
+
+  /// Outcome of one sequence in an EvaluateAll batch.
+  struct SequenceResult {
+    std::string key;
+    /// OK when the evaluation ran to completion or stopped at a
+    /// client-requested answer cap; a structured error
+    /// (kDeadlineExceeded / kBudgetExhausted / kCancelled / input errors)
+    /// otherwise. A non-OK status never aborts the batch — the remaining
+    /// sequences still evaluate (or report the same shared-limit status).
+    Status status;
+    /// True when `answers` is a proper prefix of the sequence's full
+    /// ranked stream because a limit fired; `reason` says which one.
+    bool truncated = false;
+    exec::StopReason reason = exec::StopReason::kNone;
+    /// The answers produced before the stop — always a byte-identical
+    /// prefix of the unbounded stream, possibly empty.
+    std::vector<query::AnswerInfo> answers;
   };
 
   /// Fails if the transducer's input alphabet differs from the
@@ -54,8 +80,17 @@ class BatchEvaluator {
 
   /// Per-sequence top-k answers by E_max (confidences attached when
   /// `with_confidence`), evaluated concurrently and merged in key order.
+  /// Aborts on the first per-sequence error (legacy contract); use
+  /// EvaluateAll for error isolation and bounded execution.
   StatusOr<std::vector<SequenceCollection::Row>> TopKPerSequence(
       int k, bool with_confidence = true);
+
+  /// Like TopKPerSequence, but failure-isolating: one sequence failing —
+  /// bad input, an injected fault, or a shared limit firing mid-batch —
+  /// produces a non-OK SequenceResult::status for that sequence while the
+  /// batch itself always completes. Results come back in key order. An
+  /// empty collection yields an empty vector, not an error.
+  std::vector<SequenceResult> EvaluateAll(int k, bool with_confidence = true);
 
   int threads() const { return options_.threads; }
   transducer::CompositionCache::Stats cache_stats() const {

@@ -1,0 +1,125 @@
+#include "exec/fault.h"
+
+#if TMS_FAULTS_ACTIVE
+
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace tms::exec {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+bool FaultInjector::HitSlow(const char* point) {
+  // Select the firing actions under the lock, run them outside it: a delay
+  // must not serialize unrelated points (or a caller's own lock, e.g. the
+  // composition cache's) and a callback may legitimately re-enter Hit.
+  std::vector<Action> fired;
+  int64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Point& p = points_[point];
+    hit = ++p.hits;
+    for (const Action& action : p.actions) {
+      if (action.nth_hit == 0 || action.nth_hit == hit) {
+        fired.push_back(action);
+      }
+    }
+  }
+  TMS_OBS_COUNT("exec.fault.hits", 1);
+  bool fail = false;
+  for (const Action& action : fired) {
+    switch (action.kind) {
+      case Action::Kind::kDelay:
+        TMS_OBS_COUNT("exec.fault.delays", 1);
+        std::this_thread::sleep_for(action.delay);
+        break;
+      case Action::Kind::kCancel:
+        TMS_OBS_COUNT("exec.fault.cancels", 1);
+        action.token.Cancel();
+        break;
+      case Action::Kind::kFail:
+        TMS_OBS_COUNT("exec.fault.failures", 1);
+        fail = true;
+        break;
+      case Action::Kind::kCallback:
+        action.fn(hit);
+        break;
+    }
+  }
+  return fail;
+}
+
+void FaultInjector::AddAction(const std::string& point, Action action) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points_[point].actions.push_back(std::move(action));
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ScheduleDelay(const std::string& point, int64_t nth_hit,
+                                  std::chrono::nanoseconds delay) {
+  Action a;
+  a.kind = Action::Kind::kDelay;
+  a.nth_hit = nth_hit;
+  a.delay = delay;
+  AddAction(point, std::move(a));
+}
+
+void FaultInjector::ScheduleCancel(const std::string& point, int64_t nth_hit,
+                                   CancelToken token) {
+  Action a;
+  a.kind = Action::Kind::kCancel;
+  a.nth_hit = nth_hit;
+  a.token = std::move(token);
+  AddAction(point, std::move(a));
+}
+
+void FaultInjector::ScheduleFailure(const std::string& point,
+                                    int64_t nth_hit) {
+  Action a;
+  a.kind = Action::Kind::kFail;
+  a.nth_hit = nth_hit;
+  AddAction(point, std::move(a));
+}
+
+void FaultInjector::ScheduleCallback(const std::string& point,
+                                     int64_t nth_hit,
+                                     std::function<void(int64_t)> fn) {
+  Action a;
+  a.kind = Action::Kind::kCallback;
+  a.nth_hit = nth_hit;
+  a.fn = std::move(fn);
+  AddAction(point, std::move(a));
+}
+
+void FaultInjector::Arm() { armed_.store(true, std::memory_order_release); }
+
+void FaultInjector::Reset() {
+  armed_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+int64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, point] : points_) {
+    if (point.hits > 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace tms::exec
+
+#endif  // TMS_FAULTS_ACTIVE

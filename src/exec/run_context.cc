@@ -1,0 +1,167 @@
+#include "exec/run_context.h"
+
+#include "obs/obs.h"
+
+namespace tms::exec {
+
+RunContext::RunContext()
+    : shared_(std::make_shared<SharedState>()),
+      stream_(std::make_shared<StreamState>()) {}
+
+void RunContext::set_deadline(Clock::time_point deadline) {
+  shared_->deadline = deadline;
+  shared_->has_deadline = true;
+}
+
+void RunContext::set_deadline_after_ms(int64_t ms) {
+  set_deadline(Clock::now() + std::chrono::milliseconds(ms));
+}
+
+void RunContext::set_max_answers(int64_t max_answers) {
+  stream_->max_answers = max_answers;
+}
+
+void RunContext::set_work_budget(int64_t units) {
+  shared_->budget_remaining.store(units, std::memory_order_relaxed);
+}
+
+void RunContext::set_cancel_token(CancelToken token) {
+  shared_->cancel = std::move(token);
+}
+
+CancelToken RunContext::cancel_token() const { return shared_->cancel; }
+
+void RunContext::RequestCancel() const { shared_->cancel.Cancel(); }
+
+RunContext RunContext::Child(int64_t max_answers) const {
+  RunContext child;
+  child.shared_ = shared_;
+  child.stream_->max_answers = max_answers;
+  return child;
+}
+
+void RunContext::Latch(StopReason reason) {
+  int expected = 0;
+  if (!stream_->stop_reason.compare_exchange_strong(
+          expected, static_cast<int>(reason), std::memory_order_acq_rel)) {
+    return;  // an earlier reason already stopped this stream
+  }
+  switch (reason) {
+    case StopReason::kAnswerCap:
+      TMS_OBS_COUNT("exec.budget.answer_capped", 1);
+      break;
+    case StopReason::kBudget:
+      TMS_OBS_COUNT("exec.budget.budget_exhausted", 1);
+      break;
+    case StopReason::kDeadline:
+      TMS_OBS_COUNT("exec.budget.deadline_exceeded", 1);
+      break;
+    case StopReason::kCancelled:
+      TMS_OBS_COUNT("exec.budget.cancelled", 1);
+      break;
+    case StopReason::kFault:
+      TMS_OBS_COUNT("exec.budget.faults", 1);
+      break;
+    case StopReason::kNone:
+      break;
+  }
+}
+
+bool RunContext::CheckSharedLimits() {
+  if (shared_->cancel.cancelled()) {
+    Latch(StopReason::kCancelled);
+    return true;
+  }
+  if (shared_->has_deadline && Clock::now() >= shared_->deadline) {
+    Latch(StopReason::kDeadline);
+    return true;
+  }
+  if (shared_->budget_remaining.load(std::memory_order_relaxed) <= 0) {
+    Latch(StopReason::kBudget);
+    return true;
+  }
+  return false;
+}
+
+bool RunContext::ChargeWork(int64_t units) {
+  if (stop_reason() != StopReason::kNone) return false;
+  if (CheckSharedLimits()) return false;
+  // fetch_sub may briefly drive the pool negative under concurrent
+  // charges; every losing thread observes a non-positive result and
+  // latches, so at most `budget` units of work are ever *started* beyond
+  // the pop in flight (see the prefix-consistency argument in
+  // docs/ROBUSTNESS.md).
+  int64_t before = shared_->budget_remaining.load(std::memory_order_relaxed);
+  if (before != kUnlimited) {
+    before = shared_->budget_remaining.fetch_sub(units,
+                                                 std::memory_order_relaxed);
+    if (before < units) {
+      Latch(StopReason::kBudget);
+      return false;
+    }
+  }
+  shared_->work_charged.fetch_add(units, std::memory_order_relaxed);
+  TMS_OBS_COUNT("exec.budget.work_charged", units);
+  return true;
+}
+
+bool RunContext::StopRequested() {
+  if (stop_reason() != StopReason::kNone) return true;
+  return CheckSharedLimits();
+}
+
+bool RunContext::BeforeAnswer() {
+  if (StopRequested()) return false;
+  if (stream_->answers.load(std::memory_order_relaxed) >=
+      stream_->max_answers) {
+    Latch(StopReason::kAnswerCap);
+    return false;
+  }
+  return true;
+}
+
+void RunContext::CountAnswer() {
+  stream_->answers.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RunContext::InjectFault(const std::string& point) {
+  if (stop_reason() == StopReason::kNone) stream_->fault_point = point;
+  Latch(StopReason::kFault);
+}
+
+StopReason RunContext::stop_reason() const {
+  return static_cast<StopReason>(
+      stream_->stop_reason.load(std::memory_order_acquire));
+}
+
+Status RunContext::status() const {
+  switch (stop_reason()) {
+    case StopReason::kNone:
+    case StopReason::kAnswerCap:
+      return Status::Ok();
+    case StopReason::kBudget:
+      return Status::BudgetExhausted("work budget exhausted after " +
+                                     std::to_string(work_charged()) +
+                                     " units");
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded("deadline exceeded after " +
+                                      std::to_string(answers_emitted()) +
+                                      " answer(s)");
+    case StopReason::kCancelled:
+      return Status::Cancelled("run cancelled");
+    case StopReason::kFault:
+      return Status::Internal("injected resource failure at " +
+                              stream_->fault_point);
+  }
+  return Status::Internal("unknown stop reason");
+}
+
+int64_t RunContext::answers_emitted() const {
+  return stream_->answers.load(std::memory_order_relaxed);
+}
+
+int64_t RunContext::work_charged() const {
+  return shared_->work_charged.load(std::memory_order_relaxed);
+}
+
+}  // namespace tms::exec

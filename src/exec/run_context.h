@@ -1,0 +1,186 @@
+// Deadline/budget-aware execution context for the enumeration engines.
+//
+// The paper's enumeration guarantees are polynomial *delay* bounds between
+// answers (§4, §6), but a delay bound alone does not bound a run: on
+// adversarial instances the answer set is exponential and an unbounded
+// enumeration simply never returns. A RunContext makes every engine
+// interruptible without giving up its correctness story:
+//
+//   * a wall-clock DEADLINE (steady clock),
+//   * an ANSWER CAP (stop after k emitted answers),
+//   * a WORK BUDGET (a shared pool of work units; every subspace solve /
+//     emptiness-oracle call charges one),
+//   * a cooperative CANCELLATION token (thread-safe, callable from any
+//     thread, e.g. a signal handler or a serving timeout),
+//   * an injected-fault channel (exec/fault.h) for simulated resource
+//     failure.
+//
+// THE TRUNCATION CONTRACT (docs/ROBUSTNESS.md): when any limit fires, the
+// engine stops at the next answer boundary and the answers already emitted
+// are a byte-identical prefix of the unbounded stream — at every thread
+// count. The context then reports *why* through status() (kCancelled /
+// kDeadlineExceeded / kBudgetExhausted / kInternal for injected faults)
+// and truncated(); an engine never crashes, never silently short-reads,
+// and overruns a deadline by at most one answer-delay.
+//
+// A RunContext is a cheap copyable HANDLE: copies alias the same stream
+// state. Child() creates a new stream (its own answer cap, stop reason and
+// counters) that shares the deadline, budget pool and cancel flag —
+// db::BatchEvaluator gives each sequence a child so one global budget
+// bounds the whole batch while truncation is reported per sequence.
+// Configure limits before handing the context to an engine; the
+// engine-side methods (ChargeWork / BeforeAnswer / CountAnswer) are
+// thread-safe, the setters are not.
+//
+// Observability: counters `exec.budget.work_charged`, `.answer_capped`,
+// `.budget_exhausted`, `.deadline_exceeded`, `.cancelled`, `.faults`
+// (docs/OBSERVABILITY.md).
+
+#ifndef TMS_EXEC_RUN_CONTEXT_H_
+#define TMS_EXEC_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace tms::exec {
+
+/// A thread-safe cancellation flag shared by copy. Cancel() may be called
+/// from any thread (and more than once); every RunContext built from this
+/// token observes it at the next answer boundary.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Why a bounded run stopped early. kNone means no limit has fired (the
+/// run is live, or it exhausted its answer space naturally).
+enum class StopReason {
+  kNone = 0,
+  kAnswerCap,   // client-requested cap — maps to an OK status
+  kBudget,      // shared work-unit pool drained
+  kDeadline,    // wall clock passed the deadline
+  kCancelled,   // CancelToken fired
+  kFault,       // injected resource failure (exec/fault.h)
+};
+
+/// See the file comment. Engines take a `RunContext*` (null = unbounded).
+class RunContext {
+ public:
+  static constexpr int64_t kUnlimited = std::numeric_limits<int64_t>::max();
+
+  using Clock = std::chrono::steady_clock;
+
+  /// An unbounded context: nothing ever fires until a limit is set or the
+  /// token is cancelled.
+  RunContext();
+
+  // -- configuration (call before running; not thread-safe) --------------
+
+  /// Absolute deadline. A deadline already in the past stops the run
+  /// before its first answer.
+  void set_deadline(Clock::time_point deadline);
+  /// Relative convenience: now + ms.
+  void set_deadline_after_ms(int64_t ms);
+  /// Stop after this many emitted answers (per stream; 0 = none at all).
+  void set_max_answers(int64_t max_answers);
+  /// Shared pool of work units (subspace solves / oracle calls) across
+  /// this context and all its children.
+  void set_work_budget(int64_t units);
+  /// Binds an external cancellation token (replacing the built-in one).
+  void set_cancel_token(CancelToken token);
+
+  CancelToken cancel_token() const;
+  /// Shorthand for cancel_token().Cancel().
+  void RequestCancel() const;
+
+  /// A new stream sharing this context's deadline, budget pool and cancel
+  /// flag but with its own answer cap, stop reason and answer counter.
+  RunContext Child(int64_t max_answers = kUnlimited) const;
+
+  // -- engine side (thread-safe) -----------------------------------------
+
+  /// Charges `units` from the shared budget, first checking cancellation
+  /// and the deadline. Returns false — and latches the stop reason — when
+  /// the run must stop; the caller abandons the work item. Sticky: once
+  /// stopped, every later call returns false.
+  bool ChargeWork(int64_t units = 1);
+
+  /// True while no stop reason is latched and neither cancellation, the
+  /// deadline, nor the (already drained) budget demands one. Charges
+  /// nothing — for cheap checks inside long work items.
+  bool StopRequested();
+
+  /// Gate before emitting the next answer: false when the run must stop
+  /// (including when the answer cap is reached). Engines call this at the
+  /// top of Next() so a stopped stream returns nullopt forever after.
+  bool BeforeAnswer();
+
+  /// Counts one emitted answer on this stream.
+  void CountAnswer();
+
+  /// Latches an injected-fault stop (exec/fault.h fires these at named
+  /// points). The run winds down exactly like a cancellation.
+  void InjectFault(const std::string& point);
+
+  // -- outcome ------------------------------------------------------------
+
+  StopReason stop_reason() const;
+  /// True iff any limit fired (the emitted stream may be shorter than the
+  /// unbounded one). Reaching the answer cap counts as truncation even
+  /// when the stream would have ended there anyway — the engine cannot
+  /// know without doing more work.
+  bool truncated() const { return stop_reason() != StopReason::kNone; }
+  /// OK while live or stopped by the answer cap; otherwise the structured
+  /// stop status (kCancelled / kDeadlineExceeded / kBudgetExhausted, or
+  /// kInternal for an injected fault).
+  Status status() const;
+
+  int64_t answers_emitted() const;
+  /// Work units charged across this context and all children.
+  int64_t work_charged() const;
+  int64_t max_answers() const { return stream_->max_answers; }
+  bool has_deadline() const { return shared_->has_deadline; }
+  Clock::time_point deadline() const { return shared_->deadline; }
+
+ private:
+  // Limits + pooled counters shared across Child() streams.
+  struct SharedState {
+    std::atomic<int64_t> budget_remaining{kUnlimited};
+    std::atomic<int64_t> work_charged{0};
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+    CancelToken cancel;
+  };
+  // Per-stream truncation state.
+  struct StreamState {
+    std::atomic<int> stop_reason{0};
+    std::atomic<int64_t> answers{0};
+    int64_t max_answers = kUnlimited;
+    std::string fault_point;  // written once, before stop_reason latches
+  };
+
+  // Latches `reason` if none is set yet (first reason wins) and bumps the
+  // matching exec.budget.* counter.
+  void Latch(StopReason reason);
+  // Checks cancel / deadline / drained budget and latches; true = stop.
+  bool CheckSharedLimits();
+
+  std::shared_ptr<SharedState> shared_;
+  std::shared_ptr<StreamState> stream_;
+};
+
+}  // namespace tms::exec
+
+#endif  // TMS_EXEC_RUN_CONTEXT_H_

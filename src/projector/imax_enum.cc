@@ -29,7 +29,7 @@ struct ImaxEnumerator::State {
 };
 
 ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state,
-                               exec::ThreadPool* pool)
+                               exec::ThreadPool* pool, exec::RunContext* run)
     : state_(std::move(state)) {
   std::shared_ptr<State> s = state_;
   lawler_ = std::make_unique<ranking::LawlerEnumerator>(
@@ -46,12 +46,12 @@ ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state,
         return ranking::ScoredAnswer{std::move(answer.output),
                                      std::exp(-path->cost)};
       },
-      pool);
+      pool, run);
 }
 
 StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
     const markov::MarkovSequence* mu, const SProjector* p,
-    exec::ThreadPool* pool) {
+    exec::ThreadPool* pool, exec::RunContext* run) {
   if (mu == nullptr || p == nullptr) {
     return Status::InvalidArgument("ImaxEnumerator requires non-null args");
   }
@@ -59,7 +59,7 @@ StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
     return Status::InvalidArgument(
         "Markov sequence node set and s-projector alphabet differ");
   }
-  return ImaxEnumerator(std::make_shared<State>(mu, p), pool);
+  return ImaxEnumerator(std::make_shared<State>(mu, p), pool, run);
 }
 
 std::optional<ranking::ScoredAnswer> ImaxEnumerator::Next() {

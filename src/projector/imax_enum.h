@@ -41,17 +41,22 @@ class ImaxEnumerator {
   /// owned and pinned by the solver itself. `pool` (optional, non-owning)
   /// solves the child subspaces of each pop concurrently — the solver only
   /// reads the immutable inputs and tables, and results merge in child
-  /// order, so output is byte-identical at every thread count.
+  /// order, so output is byte-identical at every thread count. `run`
+  /// (optional, non-owning) bounds the run (deadline / answer cap / work
+  /// budget / cancellation; see exec/run_context.h) — a truncated stream
+  /// is an exact prefix of the unbounded one.
   static StatusOr<ImaxEnumerator> Create(const markov::MarkovSequence* mu,
                                          const SProjector* p,
-                                         exec::ThreadPool* pool = nullptr);
+                                         exec::ThreadPool* pool = nullptr,
+                                         exec::RunContext* run = nullptr);
 
   /// The next answer (score = its I_max), or nullopt when exhausted.
   std::optional<ranking::ScoredAnswer> Next();
 
  private:
   struct State;
-  ImaxEnumerator(std::shared_ptr<State> state, exec::ThreadPool* pool);
+  ImaxEnumerator(std::shared_ptr<State> state, exec::ThreadPool* pool,
+                 exec::RunContext* run);
 
   std::shared_ptr<State> state_;
   std::unique_ptr<ranking::LawlerEnumerator> lawler_;

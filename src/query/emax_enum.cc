@@ -52,7 +52,7 @@ EmaxEnumerator::EmaxEnumerator(std::shared_ptr<State> state,
         if (!best.has_value()) return std::nullopt;
         return ranking::ScoredAnswer{std::move(best->output), best->prob};
       },
-      options.pool);
+      options.pool, options.run);
 }
 
 EmaxEnumerator::EmaxEnumerator(const markov::MarkovSequence& mu,

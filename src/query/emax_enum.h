@@ -15,6 +15,7 @@
 #include <optional>
 #include <utility>
 
+#include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
@@ -43,6 +44,11 @@ class EmaxEnumerator {
     /// the enumerator) and must be bound to the same transducer `t`.
     /// Null = the enumerator keeps a private cache.
     transducer::CompositionCache* cache = nullptr;
+    /// Bounded execution (deadline / answer cap / work budget /
+    /// cancellation; see exec/run_context.h). Non-owning; null =
+    /// unbounded. On truncation the emitted answers are an exact prefix
+    /// of the unbounded stream and `run->status()` says why.
+    exec::RunContext* run = nullptr;
   };
 
   /// Borrows `mu` and `t`: both must outlive the enumerator. (Use

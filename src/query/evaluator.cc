@@ -26,7 +26,8 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
   TMS_OBS_SPAN("query.evaluator.topk");
   std::vector<AnswerInfo> out;
   EmaxEnumerator it(*mu_, *t_,
-                    EmaxEnumerator::Options{execution_.pool, execution_.cache});
+                    EmaxEnumerator::Options{execution_.pool, execution_.cache,
+                                            execution_.run});
   // End-to-end per-answer delay, including the confidence computation —
   // what a top-k client actually waits between answers.
   obs::DelayRecorder delay("query.topk");
@@ -53,7 +54,7 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::EvaluateTwoStep(
     bool with_confidence) const {
   TMS_OBS_SPAN("query.evaluator.two_step");
   std::vector<AnswerInfo> out;
-  UnrankedEnumerator it(*mu_, *t_);
+  UnrankedEnumerator it(*mu_, *t_, execution_.run);
   while (auto answer = it.Next()) {
     AnswerInfo info;
     info.output = std::move(*answer);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
 #include "transducer/composition_cache.h"
@@ -32,14 +33,20 @@ struct AnswerInfo {
 /// Facade over the §4 algorithms for one (μ, A^ω) pair.
 class Evaluator {
  public:
-  /// Optional execution resources, both non-owning (they must outlive the
+  /// Optional execution resources, all non-owning (they must outlive the
   /// evaluator). `pool` parallelizes the subspace solves inside TopK;
   /// `cache` shares composed transducers across evaluators of the same
   /// transducer (db::BatchEvaluator passes one cache for a whole
-  /// collection) and must be bound to the evaluator's `t`.
+  /// collection) and must be bound to the evaluator's `t`. `run` bounds
+  /// TopK / EvaluateTwoStep (deadline, answer cap, work budget,
+  /// cancellation): on truncation they return the partial result with an
+  /// OK StatusOr — a valid prefix of the unbounded result — and
+  /// `run->status()` / `run->truncated()` carry the structured reason
+  /// (docs/ROBUSTNESS.md).
   struct Execution {
     exec::ThreadPool* pool = nullptr;
     transducer::CompositionCache* cache = nullptr;
+    exec::RunContext* run = nullptr;
   };
 
   /// Fails if the node set of `mu` differs from the input alphabet of `t`.

@@ -1,21 +1,38 @@
 #include "query/unranked_enum.h"
 
 #include "common/check.h"
+#include "exec/fault.h"
 #include "obs/obs.h"
 #include "query/membership.h"
 
 namespace tms::query {
 
 UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,
-                                       const transducer::Transducer& t)
-    : mu_(mu), t_(t) {
+                                       const transducer::Transducer& t,
+                                       exec::RunContext* run)
+    : mu_(mu), t_(t), run_(run) {
   max_output_len_ = static_cast<size_t>(mu.length()) *
                     static_cast<size_t>(t.MaxEmissionLength());
+}
+
+bool UnrankedEnumerator::StopBeforeOracleCall() {
+  if (TMS_FAULT_POINT("unranked.pre_oracle")) {
+    if (run_ != nullptr) {
+      run_->InjectFault("unranked.pre_oracle");
+      return true;
+    }
+    // No context to report through: ignore the injected failure rather
+    // than silently truncating an unbounded enumeration.
+  }
+  return run_ != nullptr && !run_->ChargeWork();
 }
 
 std::optional<Str> UnrankedEnumerator::Next() {
   TMS_OBS_SPAN("query.unranked_enum.next");
   if (done_) return std::nullopt;
+  // Answer boundary: once any limit fires the stream is over for good,
+  // leaving an exact prefix of the unbounded enumeration.
+  if (run_ != nullptr && !run_->BeforeAnswer()) return std::nullopt;
   const size_t delta = t_.output_alphabet().size();
   const int64_t calls_before = oracle_calls_;
   (void)calls_before;  // only read by instrumentation
@@ -27,12 +44,14 @@ std::optional<Str> UnrankedEnumerator::Next() {
     TMS_OBS_COUNT("query.unranked_enum.answers", 1);
     TMS_OBS_HISTOGRAM("query.unranked_enum.delay_oracle_calls",
                       oracle_calls_ - calls_before);
+    if (run_ != nullptr) run_->CountAnswer();
     delay_.RecordAnswer();
     return answer;
   };
 
   if (!started_) {
     started_ = true;
+    if (StopBeforeOracleCall()) return std::nullopt;
     ++oracle_calls_;
     if (!HasAnswerWithPrefix(mu_, t_, prefix_)) {
       done_ = true;
@@ -41,6 +60,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
       return std::nullopt;
     }
     next_symbol_.push_back(0);
+    if (StopBeforeOracleCall()) return std::nullopt;
     ++oracle_calls_;
     if (IsPossibleAnswer(mu_, t_, prefix_)) return emit(prefix_);
   }
@@ -53,6 +73,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
       for (Symbol d = next_symbol_.back();
            static_cast<size_t>(d) < delta; ++d) {
         prefix_.push_back(d);
+        if (StopBeforeOracleCall()) return std::nullopt;
         ++oracle_calls_;
         if (HasAnswerWithPrefix(mu_, t_, prefix_)) {
           next_symbol_.back() = d + 1;
@@ -64,6 +85,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
       }
     }
     if (descended) {
+      if (StopBeforeOracleCall()) return std::nullopt;
       ++oracle_calls_;
       if (IsPossibleAnswer(mu_, t_, prefix_)) return emit(prefix_);
       continue;

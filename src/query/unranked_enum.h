@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/run_context.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
 #include "transducer/transducer.h"
@@ -25,10 +26,18 @@ namespace tms::query {
 
 /// Streams A^ω(μ) with polynomial delay and polynomial space. The Markov
 /// sequence and the transducer must outlive the enumerator.
+///
+/// With a RunContext (non-owning; null = unbounded) every emptiness-oracle
+/// call charges one work unit and the DFS checks for cancellation and the
+/// deadline between oracle calls, so a stop request is honored within one
+/// oracle call — well inside the one-answer-delay truncation contract
+/// (docs/ROBUSTNESS.md). A stopped run returns nullopt forever after; the
+/// answers already emitted are an exact prefix of the unbounded stream.
 class UnrankedEnumerator {
  public:
   UnrankedEnumerator(const markov::MarkovSequence& mu,
-                     const transducer::Transducer& t);
+                     const transducer::Transducer& t,
+                     exec::RunContext* run = nullptr);
 
   /// The next answer in lexicographic order, or nullopt when exhausted.
   std::optional<Str> Next();
@@ -38,8 +47,13 @@ class UnrankedEnumerator {
   int64_t oracle_calls() const { return oracle_calls_; }
 
  private:
+  // True (and latching the context's stop reason) when the run must stop;
+  // also the home of the per-oracle-call budget charge.
+  bool StopBeforeOracleCall();
+
   const markov::MarkovSequence& mu_;
   const transducer::Transducer& t_;
+  exec::RunContext* run_;
   Str prefix_;
   // One frame per prefix level: the next output symbol to try there.
   std::vector<Symbol> next_symbol_;

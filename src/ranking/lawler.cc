@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/fault.h"
 #include "obs/obs.h"
 
 namespace tms::ranking {
 
 LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver,
-                                   exec::ThreadPool* pool)
-    : solver_(std::move(solver)), pool_(pool) {
+                                   exec::ThreadPool* pool,
+                                   exec::RunContext* run)
+    : solver_(std::move(solver)), pool_(pool), run_(run) {
   OutputConstraint all = OutputConstraint::All();
   auto best = Solve(all);
   if (best.has_value()) {
@@ -19,6 +21,14 @@ LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver,
 
 std::optional<ScoredAnswer> LawlerEnumerator::Solve(
     const OutputConstraint& constraint) {
+  // Bounded execution: one work unit per subspace solve. A failed charge
+  // latches the stop reason in the context; treating the subspace as empty
+  // is safe because the stream stops at the next answer boundary anyway.
+  if (run_ != nullptr && !run_->ChargeWork()) return std::nullopt;
+  if (TMS_FAULT_POINT("lawler.pre_solve")) {
+    if (run_ != nullptr) run_->InjectFault("lawler.pre_solve");
+    return std::nullopt;
+  }
   TMS_OBS_COUNT("ranking.lawler.solver_calls", 1);
   auto best = solver_(constraint);
   if (!best.has_value()) {
@@ -34,6 +44,9 @@ std::optional<ScoredAnswer> LawlerEnumerator::Solve(
 
 std::optional<ScoredAnswer> LawlerEnumerator::Next() {
   TMS_OBS_SPAN("ranking.lawler.next");
+  // Answer boundary: a stopped run returns nullopt forever after, leaving
+  // the already-emitted answers an exact prefix of the unbounded stream.
+  if (run_ != nullptr && !run_->BeforeAnswer()) return std::nullopt;
   if (heap_.empty()) return std::nullopt;
   TMS_OBS_COUNT("ranking.lawler.pops", 1);
   std::pop_heap(heap_.begin(), heap_.end(), EntryLess());
@@ -60,6 +73,12 @@ std::optional<ScoredAnswer> LawlerEnumerator::Next() {
   int64_t pushed = 0;
   for (size_t i = 0; i < children.size(); ++i) {
     if (!solved[i].has_value()) continue;
+    if (TMS_FAULT_POINT("lawler.pre_heap_push")) {
+      // Simulated allocation failure: the child is lost, so the stream
+      // past this answer can no longer be trusted — stop the run.
+      if (run_ != nullptr) run_->InjectFault("lawler.pre_heap_push");
+      continue;
+    }
     ++pushed;
     heap_.push_back(Entry{std::move(*solved[i]), std::move(children[i])});
     std::push_heap(heap_.begin(), heap_.end(), EntryLess());
@@ -68,6 +87,7 @@ std::optional<ScoredAnswer> LawlerEnumerator::Next() {
   TMS_OBS_HISTOGRAM("ranking.lawler.partition_fanout", fanout);
   TMS_OBS_GAUGE_SET("ranking.lawler.heap_size", heap_.size());
   TMS_OBS_COUNT("ranking.lawler.answers", 1);
+  if (run_ != nullptr) run_->CountAnswer();
   delay_.RecordAnswer();
   // Silence unused warnings in the compiled-out build.
   (void)fanout;

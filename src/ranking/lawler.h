@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "obs/delay.h"
 #include "ranking/prefix_constraint.h"
@@ -55,12 +56,24 @@ using SubspaceSolver =
 /// order itself is well-defined follows from EntryLess being a total order:
 /// subspaces are disjoint, so outputs are unique and break every score
 /// tie.)
+///
+/// With a RunContext, the run is bounded: every subspace solve charges one
+/// work unit, and Next() stops — returning nullopt forever after — once a
+/// deadline, the answer cap, the budget, or a cancellation fires. The
+/// answers emitted before the stop are a byte-identical prefix of the
+/// unbounded stream at every thread count: the answer of a pop is fixed
+/// before its children are solved, so a limit firing mid-fanout can only
+/// suppress *future* answers, never change the current one (see
+/// docs/ROBUSTNESS.md).
 class LawlerEnumerator {
  public:
-  /// `pool` is optional and non-owning (it must outlive the enumerator);
-  /// null means the sequential engine.
+  /// `pool` and `run` are optional and non-owning (they must outlive the
+  /// enumerator); a null pool means the sequential engine, a null run
+  /// means unbounded execution. The constructor itself performs the first
+  /// subspace solve, so it already charges (and respects) `run`.
   explicit LawlerEnumerator(SubspaceSolver solver,
-                            exec::ThreadPool* pool = nullptr);
+                            exec::ThreadPool* pool = nullptr,
+                            exec::RunContext* run = nullptr);
 
   /// The next best answer, or nullopt when the space is exhausted.
   std::optional<ScoredAnswer> Next();
@@ -84,6 +97,7 @@ class LawlerEnumerator {
 
   SubspaceSolver solver_;
   exec::ThreadPool* pool_;
+  exec::RunContext* run_;
   // A max-heap under EntryLess, maintained with std::push_heap/pop_heap
   // (rather than std::priority_queue, whose top() is const and would force
   // a deep copy of the answer + constraint on every pop).

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "exec/fault.h"
 #include "obs/obs.h"
 
 namespace tms::transducer {
@@ -167,6 +168,10 @@ std::shared_ptr<const CompositionCache::Base> CompositionCache::GetBase(
     TMS_OBS_COUNT("cache.misses", 1);
   }
   std::shared_ptr<const Base> base = BuildBase(prefix);
+  // Simulated allocation failure (exec/fault.h): the build is served
+  // uncached and the cache stays consistent — graceful degradation, not
+  // an error.
+  if (TMS_FAULT_POINT("cache.insert")) return base;
   std::lock_guard<std::mutex> lock(lock_);
   auto it = map_.find(key);
   if (it != map_.end()) return it->second.base;  // lost a build race
@@ -194,6 +199,7 @@ std::shared_ptr<const Transducer> CompositionCache::Compose(
   }
   std::shared_ptr<const Base> base = GetBase(constraint.prefix);
   std::shared_ptr<const Transducer> spec = Specialize(*base, constraint);
+  if (TMS_FAULT_POINT("cache.insert")) return spec;  // see GetBase
   std::lock_guard<std::mutex> lock(lock_);
   auto it = map_.find(key);
   if (it != map_.end()) return it->second.spec;  // lost a build race

@@ -1,0 +1,34 @@
+// Compiled-out fault-injection surface: this TU defines
+// TMS_FAULTS_FORCE_DISABLE before including exec/fault.h, so
+// TMS_FAULT_POINT must collapse to the constant `false` — no injector
+// symbol, no point-name literal, zero overhead. Linked into the same
+// binary as run_context_test.cc (which uses the instrumented surface) to
+// prove the two coexist ODR-clean, mirroring obs_noop_test.cc.
+
+#define TMS_FAULTS_FORCE_DISABLE 1
+#include "exec/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace tms {
+namespace {
+
+TEST(FaultNoopTest, PointCompilesToFalse) {
+  // With the surface compiled out this is the literal `false`; if the
+  // macro ever leaked a runtime call the armed injector in the sibling TU
+  // could fire here.
+  EXPECT_FALSE(TMS_FAULT_POINT("noop.point"));
+  static_assert(!TMS_FAULT_POINT("noop.compile_time"),
+                "disabled fault point must be a compile-time constant");
+}
+
+TEST(FaultNoopTest, UsableInConditions) {
+  int taken = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (TMS_FAULT_POINT("noop.loop")) ++taken;
+  }
+  EXPECT_EQ(taken, 0);
+}
+
+}  // namespace
+}  // namespace tms

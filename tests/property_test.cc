@@ -21,7 +21,9 @@ namespace tms {
 namespace {
 
 TEST(BigIntPropertyTest, MatchesInt128OnWideOperands) {
-  Rng rng(501);
+  const uint64_t seed = testing::TestSeed(501);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 2000; ++trial) {
     int64_t a = rng.UniformInt(INT64_MIN / 4, INT64_MAX / 4);
     int64_t b = rng.UniformInt(INT64_MIN / 4, INT64_MAX / 4);
@@ -52,7 +54,9 @@ TEST(BigIntPropertyTest, MatchesInt128OnWideOperands) {
 }
 
 TEST(BigIntPropertyTest, DivModIdentity) {
-  Rng rng(503);
+  const uint64_t seed = testing::TestSeed(503);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 300; ++trial) {
     // Random big operands built from several 63-bit chunks.
     auto random_big = [&rng]() {
@@ -79,7 +83,9 @@ TEST(BigIntPropertyTest, DivModIdentity) {
 }
 
 TEST(AutomataPropertyTest, ComplementLawsHold) {
-  Rng rng(509);
+  const uint64_t seed = testing::TestSeed(509);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   Alphabet ab = workload::MakeSymbols(2);
   for (int trial = 0; trial < 25; ++trial) {
     automata::Nfa nfa = workload::RandomNfa(ab, 4, 1.2, rng);
@@ -98,7 +104,9 @@ TEST(AutomataPropertyTest, ComplementLawsHold) {
 TEST(AutomataPropertyTest, MinimizationIsCanonicalInSize) {
   // Two differently-built automata for the same language minimize to the
   // same number of states (Myhill–Nerode canonicity).
-  Rng rng(521);
+  const uint64_t seed = testing::TestSeed(521);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   Alphabet ab = workload::MakeSymbols(2);
   for (int trial = 0; trial < 20; ++trial) {
     automata::Nfa a = workload::RandomNfa(ab, 3, 1.2, rng);
@@ -115,7 +123,9 @@ TEST(AutomataPropertyTest, MinimizationIsCanonicalInSize) {
 }
 
 TEST(AutomataPropertyTest, ShortestAcceptedIsShortestAndAccepted) {
-  Rng rng(523);
+  const uint64_t seed = testing::TestSeed(523);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   Alphabet ab = workload::MakeSymbols(2);
   for (int trial = 0; trial < 30; ++trial) {
     automata::Nfa nfa = workload::RandomNfa(ab, 4, 0.8, rng, 0.3);
@@ -183,7 +193,9 @@ TEST(GraphPropertyTest, KBestHandlesHeavyTies) {
 }
 
 TEST(IoPropertyTest, RandomModelRoundTrips) {
-  Rng rng(541);
+  const uint64_t seed = testing::TestSeed(541);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 10; ++trial) {
     // Random transducer round-trip: behavior preserved on random inputs.
     Alphabet ab = workload::MakeSymbols(2);
@@ -216,7 +228,9 @@ TEST(IoPropertyTest, RandomModelRoundTrips) {
 TEST(ConfidencePropertyTest, AnswersSumToAcceptanceMass) {
   // Σ_o conf(o) = Pr(S ∈ L(A)) for deterministic transducers (each world
   // contributes its mass to exactly one answer).
-  Rng rng(547);
+  const uint64_t seed = testing::TestSeed(547);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   for (int trial = 0; trial < 15; ++trial) {
     markov::MarkovSequence mu = workload::RandomMarkovSequence(2, 4, 2, rng);
     workload::RandomTransducerOptions opts;

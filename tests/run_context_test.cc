@@ -1,0 +1,282 @@
+// Unit tests for the bounded-execution primitives: exec::RunContext (the
+// deadline / answer-cap / budget / cancellation handle every enumerator
+// threads through) and exec::FaultInjector (deterministic fault points).
+// The engine-level truncation contract is exercised end to end by
+// prefix_consistency_test.cc and cancellation_fuzz_test.cc; this file
+// pins the primitive semantics those suites rely on.
+
+#include "exec/run_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exec/fault.h"
+
+namespace tms::exec {
+namespace {
+
+TEST(RunContextTest, DefaultIsUnbounded) {
+  RunContext run;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(run.ChargeWork());
+    EXPECT_TRUE(run.BeforeAnswer());
+    run.CountAnswer();
+  }
+  EXPECT_FALSE(run.StopRequested());
+  EXPECT_FALSE(run.truncated());
+  EXPECT_EQ(run.stop_reason(), StopReason::kNone);
+  EXPECT_TRUE(run.status().ok());
+  EXPECT_EQ(run.answers_emitted(), 100);
+  EXPECT_EQ(run.work_charged(), 100);
+}
+
+TEST(RunContextTest, AnswerCapLatchesWithOkStatus) {
+  RunContext run;
+  run.set_max_answers(2);
+  EXPECT_TRUE(run.BeforeAnswer());
+  run.CountAnswer();
+  EXPECT_TRUE(run.BeforeAnswer());
+  run.CountAnswer();
+  EXPECT_FALSE(run.BeforeAnswer());  // cap reached: latched from here on
+  EXPECT_FALSE(run.BeforeAnswer());
+  EXPECT_EQ(run.stop_reason(), StopReason::kAnswerCap);
+  EXPECT_TRUE(run.truncated());
+  // A client-requested cap is not an error.
+  EXPECT_TRUE(run.status().ok());
+  EXPECT_EQ(run.answers_emitted(), 2);
+}
+
+TEST(RunContextTest, ZeroAnswerCapStopsBeforeFirstAnswer) {
+  RunContext run;
+  run.set_max_answers(0);
+  EXPECT_FALSE(run.BeforeAnswer());
+  EXPECT_EQ(run.answers_emitted(), 0);
+  EXPECT_TRUE(run.truncated());
+}
+
+TEST(RunContextTest, WorkBudgetExhausts) {
+  RunContext run;
+  run.set_work_budget(3);
+  EXPECT_TRUE(run.ChargeWork());
+  EXPECT_TRUE(run.ChargeWork());
+  EXPECT_TRUE(run.ChargeWork());
+  EXPECT_FALSE(run.ChargeWork());
+  EXPECT_EQ(run.stop_reason(), StopReason::kBudget);
+  EXPECT_EQ(run.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_TRUE(run.truncated());
+  // Only successful charges count.
+  EXPECT_EQ(run.work_charged(), 3);
+  // A budget stop also closes the answer stream.
+  EXPECT_FALSE(run.BeforeAnswer());
+}
+
+TEST(RunContextTest, MultiUnitChargeRespectsBudget) {
+  RunContext run;
+  run.set_work_budget(5);
+  EXPECT_TRUE(run.ChargeWork(4));
+  EXPECT_FALSE(run.ChargeWork(2));  // only 1 unit left
+  EXPECT_EQ(run.stop_reason(), StopReason::kBudget);
+  EXPECT_EQ(run.work_charged(), 4);
+}
+
+TEST(RunContextTest, ExpiredDeadlineStopsImmediately) {
+  RunContext run;
+  run.set_deadline(RunContext::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(run.has_deadline());
+  EXPECT_FALSE(run.ChargeWork());
+  EXPECT_EQ(run.stop_reason(), StopReason::kDeadline);
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, FutureDeadlinePermitsWork) {
+  RunContext run;
+  run.set_deadline_after_ms(60'000);
+  EXPECT_TRUE(run.ChargeWork());
+  EXPECT_TRUE(run.BeforeAnswer());
+  EXPECT_FALSE(run.truncated());
+}
+
+TEST(RunContextTest, CancellationFromAnotherThread) {
+  RunContext run;
+  CancelToken token = run.cancel_token();
+  EXPECT_TRUE(run.ChargeWork());
+  std::thread canceller([token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_FALSE(run.ChargeWork());
+  EXPECT_EQ(run.stop_reason(), StopReason::kCancelled);
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, FirstStopReasonWins) {
+  RunContext run;
+  run.set_work_budget(1);
+  EXPECT_TRUE(run.ChargeWork());
+  EXPECT_FALSE(run.ChargeWork());  // latches kBudget
+  run.RequestCancel();             // later cancellation must not overwrite
+  EXPECT_FALSE(run.ChargeWork());
+  EXPECT_EQ(run.stop_reason(), StopReason::kBudget);
+  EXPECT_EQ(run.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(RunContextTest, InjectFaultReportsPointInStatus) {
+  RunContext run;
+  run.InjectFault("lawler.pre_solve");
+  EXPECT_EQ(run.stop_reason(), StopReason::kFault);
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().ToString().find("lawler.pre_solve"),
+            std::string::npos);
+  EXPECT_FALSE(run.ChargeWork());
+}
+
+TEST(RunContextTest, CopiesAliasTheSameStream) {
+  RunContext run;
+  run.set_max_answers(1);
+  RunContext alias = run;
+  EXPECT_TRUE(alias.BeforeAnswer());
+  alias.CountAnswer();
+  EXPECT_FALSE(run.BeforeAnswer());
+  EXPECT_EQ(run.stop_reason(), StopReason::kAnswerCap);
+}
+
+TEST(RunContextTest, ChildSharesBudgetButNotAnswerState) {
+  RunContext parent;
+  parent.set_work_budget(3);
+  RunContext a = parent.Child(/*max_answers=*/1);
+  RunContext b = parent.Child();
+  // The children drain one shared pool...
+  EXPECT_TRUE(a.ChargeWork(2));
+  EXPECT_TRUE(b.ChargeWork(1));
+  EXPECT_FALSE(b.ChargeWork(1));
+  EXPECT_EQ(b.stop_reason(), StopReason::kBudget);
+  // ...and a drained pool stops every stream of the family at its next
+  // boundary (`a` had latched nothing yet) — this is what lets one
+  // batch-wide budget bound all sequences.
+  EXPECT_EQ(a.stop_reason(), StopReason::kNone);
+  EXPECT_FALSE(a.BeforeAnswer());
+  EXPECT_EQ(a.stop_reason(), StopReason::kBudget);
+  // work_charged aggregates across the family.
+  EXPECT_EQ(parent.work_charged(), 3);
+
+  // Answer counts and caps, by contrast, are per stream: in a fresh
+  // family (no budget) the capped child stops while its sibling runs on.
+  RunContext parent2;
+  RunContext capped = parent2.Child(/*max_answers=*/1);
+  RunContext open = parent2.Child();
+  EXPECT_TRUE(capped.BeforeAnswer());
+  capped.CountAnswer();
+  EXPECT_FALSE(capped.BeforeAnswer());
+  EXPECT_EQ(capped.stop_reason(), StopReason::kAnswerCap);
+  EXPECT_TRUE(open.BeforeAnswer());
+  EXPECT_EQ(capped.answers_emitted(), 1);
+  EXPECT_EQ(open.answers_emitted(), 0);
+}
+
+TEST(RunContextTest, ChildSharesCancellation) {
+  RunContext parent;
+  RunContext child = parent.Child();
+  parent.RequestCancel();
+  EXPECT_FALSE(child.ChargeWork());
+  EXPECT_EQ(child.stop_reason(), StopReason::kCancelled);
+}
+
+// The determinism the prefix-consistency argument leans on: under
+// concurrent charging, exactly `budget` units succeed — never more,
+// regardless of interleaving.
+TEST(RunContextTest, ConcurrentChargesNeverOverdraw) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kBudget = 1000;
+  RunContext run;
+  run.set_work_budget(kBudget);
+  std::atomic<int64_t> succeeded{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&run, &succeeded] {
+      RunContext local = run;  // handles alias the same pool
+      while (local.ChargeWork()) {
+        succeeded.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(succeeded.load(), kBudget);
+  EXPECT_EQ(run.work_charged(), kBudget);
+  EXPECT_EQ(run.stop_reason(), StopReason::kBudget);
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedHitIsFalseAndUncounted) {
+  EXPECT_FALSE(TMS_FAULT_POINT("test.point"));
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.point"), 0);
+  EXPECT_TRUE(FaultInjector::Global().SeenPoints().empty());
+}
+
+TEST_F(FaultInjectorTest, ArmCountsHitsWithoutFiring) {
+  FaultInjector::Global().Arm();
+  EXPECT_FALSE(TMS_FAULT_POINT("test.a"));
+  EXPECT_FALSE(TMS_FAULT_POINT("test.a"));
+  EXPECT_FALSE(TMS_FAULT_POINT("test.b"));
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.a"), 2);
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.b"), 1);
+  EXPECT_EQ(FaultInjector::Global().SeenPoints(),
+            (std::vector<std::string>{"test.a", "test.b"}));
+}
+
+TEST_F(FaultInjectorTest, FailureFiresAtExactlyTheNthHit) {
+  FaultInjector::Global().ScheduleFailure("test.fail", /*nth_hit=*/3);
+  EXPECT_FALSE(TMS_FAULT_POINT("test.fail"));
+  EXPECT_FALSE(TMS_FAULT_POINT("test.fail"));
+  EXPECT_TRUE(TMS_FAULT_POINT("test.fail"));
+  EXPECT_FALSE(TMS_FAULT_POINT("test.fail"));
+}
+
+TEST_F(FaultInjectorTest, EveryHitScheduleFiresAlways) {
+  FaultInjector::Global().ScheduleFailure("test.always", /*nth_hit=*/0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(TMS_FAULT_POINT("test.always"));
+}
+
+TEST_F(FaultInjectorTest, CancelActionFlipsTheToken) {
+  CancelToken token;
+  FaultInjector::Global().ScheduleCancel("test.cancel", /*nth_hit=*/2, token);
+  EXPECT_FALSE(TMS_FAULT_POINT("test.cancel"));
+  EXPECT_FALSE(token.cancelled());
+  // A cancel action is a side effect, not a simulated failure: Hit stays
+  // false and the engine sees the stop at its next RunContext check.
+  EXPECT_FALSE(TMS_FAULT_POINT("test.cancel"));
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST_F(FaultInjectorTest, CallbackReceivesTheHitIndex) {
+  std::vector<int64_t> hits;
+  FaultInjector::Global().ScheduleCallback(
+      "test.cb", /*nth_hit=*/0, [&hits](int64_t hit) { hits.push_back(hit); });
+  EXPECT_FALSE(TMS_FAULT_POINT("test.cb"));
+  EXPECT_FALSE(TMS_FAULT_POINT("test.cb"));
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(FaultInjectorTest, DelayActionSleepsTheHit) {
+  FaultInjector::Global().ScheduleDelay("test.delay", /*nth_hit=*/1,
+                                        std::chrono::milliseconds(20));
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(TMS_FAULT_POINT("test.delay"));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST_F(FaultInjectorTest, ResetDisarmsAndForgets) {
+  FaultInjector::Global().ScheduleFailure("test.reset", /*nth_hit=*/1);
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(TMS_FAULT_POINT("test.reset"));
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.reset"), 0);
+}
+
+}  // namespace
+}  // namespace tms::exec

@@ -7,13 +7,16 @@
 
 #include <cmath>
 
+#include "test_util.h"
 #include "tms.h"
 
 namespace tms {
 namespace {
 
 TEST(StressTest, DeterministicPipelineAtN150) {
-  Rng rng(1101);
+  const uint64_t seed = testing::TestSeed(1101);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   markov::MarkovSequence mu = workload::RandomMarkovSequence(4, 150, 3, rng);
   workload::RandomTransducerOptions opts;
   opts.num_states = 4;
@@ -39,7 +42,9 @@ TEST(StressTest, DeterministicPipelineAtN150) {
 }
 
 TEST(StressTest, IndexedExtractionAtN1000) {
-  Rng rng(1103);
+  const uint64_t seed = testing::TestSeed(1103);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   std::string line = workload::MakeFormLine("verylongname", 1000, rng);
   workload::OcrConfig ocr;
   auto mu = workload::OcrSequence(line, ocr);
@@ -57,7 +62,9 @@ TEST(StressTest, IndexedExtractionAtN1000) {
 }
 
 TEST(StressTest, UnrankedEnumerationKeepsConstantDelayAtN300) {
-  Rng rng(1107);
+  const uint64_t seed = testing::TestSeed(1107);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 300, 2, rng);
   workload::RandomTransducerOptions opts;
   opts.num_states = 3;
@@ -78,7 +85,9 @@ TEST(StressTest, UnrankedEnumerationKeepsConstantDelayAtN300) {
 }
 
 TEST(StressTest, EventSeriesAndConditioningAtN2000) {
-  Rng rng(1109);
+  const uint64_t seed = testing::TestSeed(1109);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   markov::MarkovSequence mu = workload::RandomMarkovSequence(3, 2000, 2, rng);
   auto dfa = automata::CompileRegexToDfa(mu.nodes(), ". * n2 . *");
   ASSERT_TRUE(dfa.ok());

@@ -4,7 +4,11 @@
 #ifndef TMS_TESTS_TEST_UTIL_H_
 #define TMS_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -15,6 +19,28 @@
 #include "transducer/transducer.h"
 
 namespace tms::testing {
+
+/// Seed for a randomized suite: `fallback` unless the TMS_TEST_SEED
+/// environment variable overrides it. The chosen seed is printed once per
+/// call so any failure log names the exact replay command — wrap suite
+/// bodies in SCOPED_TRACE(SeedTrace(seed)) so assertion failures carry it
+/// too. Replay: TMS_TEST_SEED=<seed> ./the_test.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("TMS_TEST_SEED");
+  uint64_t seed = fallback;
+  if (env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::printf("[   SEED   ] TMS_TEST_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+/// Message for SCOPED_TRACE so every assertion failure in a randomized
+/// suite states how to reproduce it.
+inline std::string SeedTrace(uint64_t seed) {
+  return "replay with TMS_TEST_SEED=" + std::to_string(seed);
+}
 
 /// Ground-truth evaluation by exhausting all possible worlds: the map from
 /// every answer to its confidence.

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Golden-schema check for `tms_cli --stats=json`.
+#
+# Runs a fixed bounded top-k over the sample data and compares the SET OF
+# JSON KEYS in the emitted document against tests/golden/
+# stats_json_schema.golden. Keys — "command", "results", "exec", every
+# metric name, the histogram field names — are deterministic for a fixed
+# command; metric VALUES (timings, histogram buckets) are not, so only the
+# keys are golden. A failure means the machine-readable schema changed:
+# downstream dashboards parse it, so either fix the regression or update
+# the golden deliberately:
+#
+#   TMS_UPDATE_GOLDEN=1 tools/check_stats_schema.sh <tms_cli> <data> <golden>
+#
+# usage: check_stats_schema.sh <path-to-tms_cli> <data-dir> <golden-file>
+set -eu
+
+CLI="$1"
+DATA="$2"
+GOLDEN="$3"
+
+# --max-answers makes the run bounded so the "exec" field and the
+# exec.budget.* counters appear in the document.
+OUT=$("$CLI" topk "$DATA/hospital.tms" "$DATA/place_tracker.tms" 3 \
+      --max-answers=2 --stats=json)
+
+KEYS=$(printf '%s' "$OUT" | grep -o '"[^"]*":' | LC_ALL=C sort -u)
+
+if [ -n "${TMS_UPDATE_GOLDEN:-}" ]; then
+  printf '%s\n' "$KEYS" > "$GOLDEN"
+  echo "updated $GOLDEN"
+  exit 0
+fi
+
+if ! printf '%s\n' "$KEYS" | diff -u "$GOLDEN" -; then
+  echo "stats=json key set diverged from $GOLDEN" >&2
+  echo "regenerate deliberately with TMS_UPDATE_GOLDEN=1 $0 $*" >&2
+  exit 1
+fi

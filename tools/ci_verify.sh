@@ -1,0 +1,64 @@
+#!/bin/sh
+# One-command CI verification (docs/ROBUSTNESS.md):
+#
+#   1. tier-1: default build, full test suite
+#   2. asan:   ASan+UBSan build, `ctest -L robustness` + `-L concurrency`
+#   3. tsan:   TSan build,       `ctest -L robustness` + `-L concurrency`
+#
+# Build trees are reused across runs (build/, build-asan/, build-tsan/
+# under the repo root), so incremental invocations are cheap. Pass a stage
+# name (tier1 | asan | tsan) to run just that stage; default is all three.
+#
+#   tools/ci_verify.sh            # everything
+#   tools/ci_verify.sh tsan       # just the TSan stage
+#
+# Every randomized suite honors TMS_TEST_SEED, and a failing test prints
+# its seed — export TMS_TEST_SEED to replay a CI failure locally.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+STAGE="${1:-all}"
+JOBS="${TMS_CI_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+run_stage() {
+  # run_stage <name> <build-dir> <ctest-args...> -- <cmake-args...>
+  name="$1"; dir="$2"; shift 2
+  ctest_args=""
+  while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+    ctest_args="$ctest_args $1"; shift
+  done
+  [ $# -gt 0 ] && shift  # drop the --
+  echo "==> [$name] configure + build ($dir)"
+  cmake -B "$dir" -S "$ROOT" "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  echo "==> [$name] ctest$ctest_args"
+  # shellcheck disable=SC2086  # ctest_args is intentionally word-split
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" $ctest_args)
+}
+
+case "$STAGE" in
+  tier1|all)
+    run_stage tier1 "$ROOT/build" --
+    ;;
+esac
+case "$STAGE" in
+  asan|all)
+    run_stage asan "$ROOT/build-asan" -L "robustness|concurrency" -- \
+      -DTMS_SANITIZE=address,undefined
+    ;;
+esac
+case "$STAGE" in
+  tsan|all)
+    run_stage tsan "$ROOT/build-tsan" -L "robustness|concurrency" -- \
+      -DTMS_SANITIZE=thread
+    ;;
+esac
+case "$STAGE" in
+  tier1|asan|tsan|all) ;;
+  *)
+    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> ci_verify: all requested stages passed"

@@ -16,10 +16,18 @@
 //   tms_cli show  <file>
 //       Parse a model/query file and print its canonical form.
 //
-// Execution flags (see docs/CONCURRENCY.md):
-//   --threads=N    total evaluation concurrency (default 1). `topk` solves
-//                  Lawler child subspaces in parallel; `batch` spreads
-//                  sequences across threads.
+// Execution flags (see docs/CONCURRENCY.md, docs/ROBUSTNESS.md):
+//   --threads=N      total evaluation concurrency (default 1). `topk` solves
+//                    Lawler child subspaces in parallel; `batch` spreads
+//                    sequences across threads.
+//   --deadline-ms=N  stop the run N milliseconds after it starts, at the
+//                    next answer boundary.
+//   --max-answers=N  stop after N emitted answers (per sequence in batch).
+//   --budget=N       work-unit budget (subspace solves / oracle calls),
+//                    shared across the whole command.
+// The answers printed under any of these limits are always an exact prefix
+// of the unbounded output. A truncated run still exits 0: the stop reason
+// goes to stderr (human mode) or the "exec" field (--stats=json).
 //
 // Observability flags (any command, see docs/OBSERVABILITY.md):
 //   --stats        after the command, dump the metrics registry to stderr
@@ -44,6 +52,7 @@
 
 #include "db/batch_evaluator.h"
 #include "db/collection.h"
+#include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "io/text_format.h"
 #include "obs/obs.h"
@@ -68,6 +77,10 @@ struct ObsOptions {
 // N <= 1 means no pool at all — the plain sequential engine.
 struct ExecOptions {
   int threads = 1;
+  // -1 = unbounded (flag absent).
+  int64_t deadline_ms = -1;
+  int64_t max_answers = -1;
+  int64_t budget = -1;
 
   exec::ThreadPool* MakePool() {
     if (threads > 1 && pool_ == nullptr) {
@@ -76,8 +89,22 @@ struct ExecOptions {
     return pool_.get();
   }
 
+  // The run context, or null when no limit flag was given (engines treat
+  // null as unbounded and skip every check).
+  exec::RunContext* MakeRun() {
+    if (run_ == nullptr &&
+        (deadline_ms >= 0 || max_answers >= 0 || budget >= 0)) {
+      run_ = std::make_unique<exec::RunContext>();
+      if (deadline_ms >= 0) run_->set_deadline_after_ms(deadline_ms);
+      if (max_answers >= 0) run_->set_max_answers(max_answers);
+      if (budget >= 0) run_->set_work_budget(budget);
+    }
+    return run_.get();
+  }
+
  private:
   std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<exec::RunContext> run_;
 };
 
 // Machine-readable results accumulator for --stats=json: the command
@@ -85,7 +112,53 @@ struct ExecOptions {
 struct CliOutput {
   bool json = false;
   std::string results;
+  std::string exec_json;  // the "exec" field of --stats=json, or empty
 };
+
+const char* StopReasonName(exec::StopReason reason) {
+  switch (reason) {
+    case exec::StopReason::kNone: return "NONE";
+    case exec::StopReason::kAnswerCap: return "ANSWER_CAP";
+    case exec::StopReason::kBudget: return "BUDGET";
+    case exec::StopReason::kDeadline: return "DEADLINE";
+    case exec::StopReason::kCancelled: return "CANCELLED";
+    case exec::StopReason::kFault: return "FAULT";
+  }
+  return "NONE";
+}
+
+// Builds {"status":...,"reason":...,"truncated":...,"answers":N,"work":N}
+// for a bounded stream (an answer-cap stop is status OK + reason
+// ANSWER_CAP). Batch reuses it per sequence.
+std::string ExecJson(const Status& status, exec::StopReason reason,
+                     int64_t answers, int64_t work) {
+  std::string doc = "{\"status\":\"";
+  obs::AppendJsonEscaped(StatusCodeName(status.code()), &doc);
+  doc += "\",\"reason\":\"";
+  doc += StopReasonName(reason);
+  doc += "\",\"truncated\":";
+  doc += reason != exec::StopReason::kNone ? "true" : "false";
+  doc += ",\"answers\":";
+  doc += std::to_string(answers);
+  doc += ",\"work\":";
+  doc += std::to_string(work);
+  doc += '}';
+  return doc;
+}
+
+// After a bounded command: stash the outcome for EmitStats and, in human
+// mode, tell the user on stderr why the output is short.
+void ReportRun(const exec::RunContext* run, CliOutput* out) {
+  if (run == nullptr) return;
+  out->exec_json = ExecJson(run->status(), run->stop_reason(),
+                            run->answers_emitted(), run->work_charged());
+  if (!out->json && run->truncated()) {
+    std::fprintf(stderr, "truncated (%s) after %lld answer(s), %lld work\n",
+                 StopReasonName(run->stop_reason()),
+                 static_cast<long long>(run->answers_emitted()),
+                 static_cast<long long>(run->work_charged()));
+  }
+}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -99,8 +172,9 @@ int Usage() {
                "       tms_cli enum <sequence> <query> [limit]\n"
                "       tms_cli batch <query> <k> <sequence>...\n"
                "       tms_cli show <file>\n"
-               "flags: --threads=N | --stats | --stats=json | --stats=prom | "
-               "--trace=FILE\n");
+               "flags: --threads=N | --deadline-ms=N | --max-answers=N | "
+               "--budget=N |\n"
+               "       --stats | --stats=json | --stats=prom | --trace=FILE\n");
   return 2;
 }
 
@@ -164,7 +238,8 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
   if (query->transducer.has_value()) {
     auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
     if (!eval.ok()) return Fail(eval.status());
-    eval->set_execution(query::Evaluator::Execution{exec->MakePool(), nullptr});
+    eval->set_execution(query::Evaluator::Execution{exec->MakePool(), nullptr,
+                                                    exec->MakeRun()});
     auto topk = eval->TopK(k);
     if (!topk.ok()) return Fail(topk.status());
     if (!out->json) {
@@ -184,10 +259,12 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
       }
     }
     out->results += ']';
+    ReportRun(exec->MakeRun(), out);
     return 0;
   }
   auto it = projector::ImaxEnumerator::Create(&*mu, &*query->sprojector,
-                                              exec->MakePool());
+                                              exec->MakePool(),
+                                              exec->MakeRun());
   if (!it.ok()) return Fail(it.status());
   if (!out->json) {
     std::printf("%-30s %-14s %-14s\n", "answer", "I_max", "confidence");
@@ -211,6 +288,7 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
     }
   }
   out->results += ']';
+  ReportRun(exec->MakeRun(), out);
   return 0;
 }
 
@@ -271,7 +349,7 @@ int RunConf(const std::string& seq_path, const std::string& query_path,
 }
 
 int RunEnum(const std::string& seq_path, const std::string& query_path,
-            int limit, CliOutput* out) {
+            int limit, ExecOptions* exec, CliOutput* out) {
   auto mu = LoadSequence(seq_path);
   if (!mu.ok()) return Fail(mu.status());
   auto query = LoadQuery(query_path);
@@ -280,7 +358,7 @@ int RunEnum(const std::string& seq_path, const std::string& query_path,
   transducer::Transducer t = query->transducer.has_value()
                                  ? std::move(*query->transducer)
                                  : query->sprojector->ToTransducer();
-  query::UnrankedEnumerator it(*mu, t);
+  query::UnrankedEnumerator it(*mu, t, exec->MakeRun());
   int count = 0;
   out->results = "[";
   while (count < limit) {
@@ -299,6 +377,7 @@ int RunEnum(const std::string& seq_path, const std::string& query_path,
   }
   out->results += ']';
   if (!out->json) std::fprintf(stderr, "%d answer(s)\n", count);
+  ReportRun(exec->MakeRun(), out);
   return 0;
 }
 
@@ -321,8 +400,63 @@ int RunBatch(const std::string& query_path,
   }
   db::BatchEvaluator::Options options;
   options.threads = exec->threads;
+  options.run = exec->MakeRun();
   auto batch = db::BatchEvaluator::Create(&collection, &t, options);
   if (!batch.ok()) return Fail(batch.status());
+
+  if (options.run != nullptr) {
+    // Bounded batch: failure-isolating per-sequence evaluation. Each
+    // sequence reports its own status/truncation; the batch never aborts.
+    std::vector<db::BatchEvaluator::SequenceResult> results =
+        batch->EvaluateAll(k);
+    out->results = "[";
+    bool first_seq = true;
+    if (!out->json) {
+      std::printf("%-30s %-30s %-14s %-14s\n", "sequence", "answer", "E_max",
+                  "confidence");
+    }
+    for (const db::BatchEvaluator::SequenceResult& r : results) {
+      if (out->json) {
+        if (!first_seq) out->results += ',';
+        first_seq = false;
+        out->results += "{\"sequence\":\"";
+        obs::AppendJsonEscaped(r.key, &out->results);
+        out->results += "\",\"exec\":";
+        out->results += ExecJson(r.status, r.reason,
+                                 static_cast<int64_t>(r.answers.size()), 0);
+        out->results += ",\"answers\":[";
+        bool first = true;
+        for (const query::AnswerInfo& info : r.answers) {
+          if (!first) out->results += ',';
+          first = false;
+          AppendAnswerJson(FormatStr(t.output_alphabet(), info.output), "emax",
+                           info.emax, info.confidence, &out->results);
+        }
+        out->results += "]}";
+        continue;
+      }
+      for (const query::AnswerInfo& info : r.answers) {
+        std::printf("%-30s %-30s %-14.6g %-14.6g\n", r.key.c_str(),
+                    FormatStr(t.output_alphabet(), info.output).c_str(),
+                    info.emax, info.confidence);
+      }
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", r.key.c_str(),
+                     r.status.ToString().c_str());
+      } else if (r.truncated) {
+        std::fprintf(stderr, "%s: truncated after %zu answer(s)\n",
+                     r.key.c_str(), r.answers.size());
+      }
+    }
+    out->results += ']';
+    // Fold any shared limit (deadline / budget / cancel) into the parent
+    // stream so the top-level exec report reflects it; per-sequence answer
+    // caps stay per sequence.
+    (void)options.run->StopRequested();
+    ReportRun(options.run, out);
+    return 0;
+  }
+
   auto rows = batch->TopKPerSequence(k);
   if (!rows.ok()) return Fail(rows.status());
 
@@ -386,6 +520,20 @@ int RunShow(const std::string& path, CliOutput* out) {
   return 0;
 }
 
+// Parses the value part of `--flag=N` as a nonnegative integer; false on
+// empty or non-digit input (atoll would silently read "abc" as 0, turning
+// a typo into a budget of zero).
+bool ParseNonNegInt64(const std::string& arg, size_t prefix_len,
+                      int64_t* out) {
+  const char* s = arg.c_str() + prefix_len;
+  if (*s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  *out = std::atoll(s);
+  return true;
+}
+
 // Strips --stats/--trace/--threads flags from args; returns false on a
 // malformed flag.
 bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
@@ -404,8 +552,25 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
     } else if (arg.rfind("--threads=", 0) == 0) {
       exec->threads = std::atoi(arg.c_str() + std::strlen("--threads="));
       if (exec->threads <= 0) return false;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseNonNegInt64(arg, std::strlen("--deadline-ms="),
+                            &exec->deadline_ms)) {
+        return false;
+      }
+    } else if (arg.rfind("--max-answers=", 0) == 0) {
+      if (!ParseNonNegInt64(arg, std::strlen("--max-answers="),
+                            &exec->max_answers)) {
+        return false;
+      }
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      if (!ParseNonNegInt64(arg, std::strlen("--budget="), &exec->budget)) {
+        return false;
+      }
     } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0 ||
-               arg.rfind("--threads", 0) == 0) {
+               arg.rfind("--threads", 0) == 0 ||
+               arg.rfind("--deadline-ms", 0) == 0 ||
+               arg.rfind("--max-answers", 0) == 0 ||
+               arg.rfind("--budget", 0) == 0) {
       return false;
     } else {
       rest.push_back(arg);
@@ -433,6 +598,10 @@ void EmitStats(const std::string& command, const ObsOptions& opts,
       obs::AppendJsonEscaped(command, &doc);
       doc += "\",\"results\":";
       doc += out.results.empty() ? "null" : out.results;
+      if (!out.exec_json.empty()) {
+        doc += ",\"exec\":";
+        doc += out.exec_json;
+      }
       doc += ",\"metrics\":";
       doc += obs::RegistryJson(snapshot);
       doc += "}\n";
@@ -493,7 +662,7 @@ int main(int argc, char** argv) {
   } else if (command == "enum") {
     int limit = args.size() >= 4 ? std::atoi(args[3].c_str()) : 100;
     if (limit <= 0) return Usage();
-    code = RunEnum(args[1], args[2], limit, &out);
+    code = RunEnum(args[1], args[2], limit, &exec, &out);
   } else {
     return Usage();
   }
