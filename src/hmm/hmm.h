@@ -39,6 +39,12 @@ class Hmm {
   double Transition(Symbol from, Symbol to) const;
   double Emission(Symbol state, Symbol obs) const;
 
+  /// Raw row-major |S|×|S| transition matrix — contiguous access for the
+  /// dense kernel layer (hmm/translate.cc forward–backward).
+  const std::vector<double>& transition_matrix() const { return transition_; }
+  /// Raw row-major |S|×|O| emission matrix.
+  const std::vector<double>& emission_matrix() const { return emission_; }
+
   /// Samples a length-n trajectory: (hidden states, observations).
   std::pair<Str, Str> Sample(int n, Rng& rng) const;
 

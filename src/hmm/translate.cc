@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "kernels/dense.h"
+#include "kernels/kernels.h"
+#include "kernels/semiring.h"
 
 namespace tms::hmm {
 namespace {
@@ -39,17 +42,22 @@ ForwardBackward RunForwardBackward(const Hmm& hmm, const Str& o) {
   }
   for (size_t s = 0; s < ns; ++s) fb.alpha[0][s] /= fb.c[0];
 
+  // α recurrence as a transposed gemv over the raw transition matrix:
+  // cur[u] = Σ_s prev[s]·T(s,u). GemvT accumulates in ascending s — the
+  // same order as the scalar loop this replaces, so results are
+  // bit-identical (the hospital workload's Markov sequence, and hence the
+  // max-plus answer streams derived from it, depend on that).
+  kernels::Matrix<double> t_m(
+      const_cast<double*>(hmm.transition_matrix().data()), ns, ns);
   for (int t = 1; t < n; ++t) {
     auto& cur = fb.alpha[static_cast<size_t>(t)];
     const auto& prev = fb.alpha[static_cast<size_t>(t - 1)];
+    kernels::Vector<double> prev_v(const_cast<double*>(prev.data()), ns);
+    kernels::Vector<double> cur_v(cur.data(), ns);
+    kernels::GemvT<kernels::Real>(t_m, prev_v, &cur_v);
     for (size_t u = 0; u < ns; ++u) {
-      double acc = 0;
-      for (size_t s = 0; s < ns; ++s) {
-        acc += prev[s] * hmm.Transition(static_cast<Symbol>(s),
-                                        static_cast<Symbol>(u));
-      }
-      cur[u] = acc * hmm.Emission(static_cast<Symbol>(u),
-                                  o[static_cast<size_t>(t)]);
+      cur[u] *= hmm.Emission(static_cast<Symbol>(u),
+                             o[static_cast<size_t>(t)]);
       fb.c[static_cast<size_t>(t)] += cur[u];
     }
     if (fb.c[static_cast<size_t>(t)] <= 0) {
@@ -59,20 +67,30 @@ ForwardBackward RunForwardBackward(const Hmm& hmm, const Str& o) {
     for (size_t u = 0; u < ns; ++u) cur[u] /= fb.c[static_cast<size_t>(t)];
   }
 
+  // β recurrence: cur[s] = Σ_u (T(s,u)·Ω(u,o_{t+2}))·next[u]. Staging
+  // Mt(u,s) = T(s,u)·Ω(u,·) keeps the original association (T·Ω)·next and
+  // the ascending-u order under GemvT — again bit-identical.
+  std::vector<double> mt(ns * ns);
+  kernels::Matrix<double> mt_m(mt.data(), ns, ns);
   for (size_t s = 0; s < ns; ++s) fb.beta[static_cast<size_t>(n - 1)][s] = 1.0;
   for (int t = n - 2; t >= 0; --t) {
     auto& cur = fb.beta[static_cast<size_t>(t)];
     const auto& next = fb.beta[static_cast<size_t>(t + 1)];
-    for (size_t s = 0; s < ns; ++s) {
-      double acc = 0;
-      for (size_t u = 0; u < ns; ++u) {
-        acc += hmm.Transition(static_cast<Symbol>(s), static_cast<Symbol>(u)) *
-               hmm.Emission(static_cast<Symbol>(u),
-                            o[static_cast<size_t>(t + 1)]) *
-               next[u];
+    for (size_t u = 0; u < ns; ++u) {
+      const double em = hmm.Emission(static_cast<Symbol>(u),
+                                     o[static_cast<size_t>(t + 1)]);
+      double* mrow = mt_m.row(u);
+      for (size_t s = 0; s < ns; ++s) {
+        mrow[s] =
+            hmm.Transition(static_cast<Symbol>(s), static_cast<Symbol>(u)) *
+            em;
       }
-      cur[s] = acc / fb.c[static_cast<size_t>(t + 1)];
     }
+    kernels::Vector<double> next_v(const_cast<double*>(next.data()), ns);
+    kernels::Vector<double> cur_v(cur.data(), ns);
+    kernels::GemvT<kernels::Real>(mt_m, next_v, &cur_v);
+    const double cn = fb.c[static_cast<size_t>(t + 1)];
+    for (size_t s = 0; s < ns; ++s) cur[s] /= cn;
   }
   return fb;
 }

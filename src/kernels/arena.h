@@ -1,0 +1,104 @@
+// Per-evaluation bump allocator for kernel scratch memory.
+//
+// Every DP solve in the hot paths (Viterbi, confidence, the membership
+// oracle) needs a handful of short-lived dense buffers whose sizes depend
+// on the instance. Allocating them through the general heap puts malloc on
+// the per-solve path and scatters the layers across the address space; an
+// Arena hands out 64-byte-aligned slices of one contiguous block, and
+// Reset() recycles the whole block for the next evaluation in O(1).
+//
+// An Arena is single-threaded by design: hot paths keep one thread_local
+// instance, so concurrent subspace solves never share scratch. Memory
+// handed out by Alloc() is uninitialized and is invalidated by the next
+// Reset() — kernel buffers, not long-lived state.
+
+#ifndef TMS_KERNELS_ARENA_H_
+#define TMS_KERNELS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tms::kernels {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 1 << 14)
+      : reserve_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns an uninitialized, 64-byte-aligned array of `count` T.
+  /// Valid until the next Reset(). count == 0 returns a non-null,
+  /// dereference-free pointer so empty views stay well-formed.
+  template <typename T>
+  T* Alloc(size_t count) {
+    static_assert(alignof(T) <= kAlign, "over-aligned kernel element type");
+    size_t bytes = (count * sizeof(T) + kAlign - 1) & ~(kAlign - 1);
+    if (used_ + bytes > block_bytes_) Grow(bytes);
+    T* out = reinterpret_cast<T*>(
+        reinterpret_cast<char*>(block_.get()) + used_);
+    used_ += bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return out;
+  }
+
+  /// Recycles every allocation; capacity is retained. If the previous
+  /// evaluation overflowed into a larger block, the next allocations come
+  /// from that block directly (no further growth for same-shape solves).
+  void Reset() { used_ = 0; }
+
+  size_t bytes_in_use() const { return used_; }
+  size_t capacity() const { return block_bytes_; }
+  /// Largest bytes_in_use observed since construction (exported by the
+  /// kernels.arena.* gauges at the call sites).
+  size_t high_water() const { return high_water_; }
+
+ private:
+  static constexpr size_t kAlign = 64;
+
+  // The block is an array of alignas(64) chunks rather than raw bytes via
+  // placement-aligned new: unique_ptr's default deleter then pairs the
+  // aligned operator new[]/delete[] correctly.
+  struct alignas(kAlign) Chunk {
+    char bytes[kAlign];
+  };
+
+  void Grow(size_t need_bytes) {
+    // Geometric growth; the old block is kept alive until Reset-free
+    // allocations from it are dead (i.e. forever — blocks are only
+    // retired by replacing `block_`, and outstanding pointers from the
+    // current evaluation may still reference it), so stash it.
+    size_t next = block_bytes_ * 2 > reserve_bytes_ ? block_bytes_ * 2
+                                                    : reserve_bytes_;
+    while (next < used_ + need_bytes) next *= 2;
+    size_t chunks = (next + kAlign - 1) / kAlign;
+    std::unique_ptr<Chunk[]> fresh(new Chunk[chunks]);
+    if (block_ != nullptr) retired_.push_back(std::move(block_));
+    block_ = std::move(fresh);
+    block_bytes_ = chunks * kAlign;
+    // Allocations made before the growth stay valid in the retired block;
+    // new ones start at the head of the fresh block.
+    used_ = 0;
+  }
+
+  size_t reserve_bytes_;
+  std::unique_ptr<Chunk[]> block_;
+  size_t block_bytes_ = 0;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+  // Blocks superseded mid-evaluation; freed on destruction. Reset() does
+  // not free them (pointers from the current evaluation may still point
+  // in), but after a Reset the next Grow cycle replaces block_ only, so
+  // the list stays bounded by the number of growth steps.
+  std::vector<std::unique_ptr<Chunk[]>> retired_;
+};
+
+}  // namespace tms::kernels
+
+#endif  // TMS_KERNELS_ARENA_H_

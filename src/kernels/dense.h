@@ -1,0 +1,84 @@
+// Contiguous row-major Matrix / Vector handles for the kernel layer.
+//
+// These are lightweight views: a pointer plus dimensions, 16 bytes of
+// state, trivially copyable. They either wrap caller-owned contiguous
+// storage (e.g. the flat std::vector behind a precomputed log tensor) or
+// carve uninitialized backing out of an Arena for per-evaluation scratch.
+// They never own memory and never free it; arena-backed views die with
+// the next Arena::Reset().
+//
+// Layout is strictly row-major with leading dimension == cols (no pitch),
+// which is what lets the kernels run unit-stride inner loops the compiler
+// can vectorize.
+
+#ifndef TMS_KERNELS_DENSE_H_
+#define TMS_KERNELS_DENSE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.h"
+#include "kernels/arena.h"
+
+namespace tms::kernels {
+
+template <typename T>
+class Vector {
+ public:
+  Vector() : data_(nullptr), size_(0) {}
+  /// Wraps caller-owned contiguous storage.
+  Vector(T* data, size_t size) : data_(data), size_(size) {}
+  /// Carves uninitialized storage out of `arena`.
+  Vector(Arena* arena, size_t size)
+      : data_(arena->Alloc<T>(size)), size_(size) {}
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  void Fill(T v) { std::fill(data_, data_ + size_, v); }
+
+ private:
+  T* data_;
+  size_t size_;
+};
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : data_(nullptr), rows_(0), cols_(0) {}
+  /// Wraps caller-owned row-major storage of shape rows × cols.
+  Matrix(T* data, size_t rows, size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  /// Carves uninitialized rows × cols storage out of `arena`.
+  Matrix(Arena* arena, size_t rows, size_t cols)
+      : data_(arena->Alloc<T>(rows * cols)), rows_(rows), cols_(cols) {}
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+
+  T* row(size_t r) { return data_ + r * cols_; }
+  const T* row(size_t r) const { return data_ + r * cols_; }
+
+  T& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void Fill(T v) { std::fill(data_, data_ + rows_ * cols_, v); }
+
+ private:
+  T* data_;
+  size_t rows_;
+  size_t cols_;
+};
+
+}  // namespace tms::kernels
+
+#endif  // TMS_KERNELS_DENSE_H_

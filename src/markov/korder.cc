@@ -4,6 +4,9 @@
 #include <set>
 
 #include "common/check.h"
+#include "kernels/dense.h"
+#include "kernels/kernels.h"
+#include "kernels/semiring.h"
 
 namespace tms::markov {
 namespace {
@@ -164,6 +167,8 @@ KOrderMarkovSequence::ToFirstOrder() const {
   std::vector<std::vector<double>> lifted_transitions(
       static_cast<size_t>(length_ - 1),
       std::vector<double>(lifted_count * lifted_count, 0.0));
+  std::vector<double> row_sums(lifted_count);
+  kernels::Vector<double> row_sums_v(row_sums.data(), lifted_count);
   for (int i = 1; i < length_; ++i) {
     auto& matrix = lifted_transitions[static_cast<size_t>(i - 1)];
     const ConditionalRows& rows = transitions_[static_cast<size_t>(i - 1)];
@@ -182,12 +187,16 @@ KOrderMarkovSequence::ToFirstOrder() const {
         // History unreachable at this step: arbitrary valid row.
         matrix[hid * lifted_count + hid] = 1.0;
       }
-      // Normalize away any unreachable-history rows that got no mass.
-      double row_sum = 0;
-      for (size_t t = 0; t < lifted_count; ++t) {
-        row_sum += matrix[hid * lifted_count + t];
-      }
-      if (row_sum == 0) matrix[hid * lifted_count + hid] = 1.0;
+    }
+    // Detect rows that got no mass (unreachable histories whose source row
+    // was all-zero) in one dense pass. The entries are nonnegative, so
+    // "sum == 0" is independent of accumulation order and the blocked
+    // RowReduce is safe to use for the test.
+    kernels::Matrix<double> matrix_m(matrix.data(), lifted_count,
+                                     lifted_count);
+    kernels::RowReduce<kernels::Real>(matrix_m, &row_sums_v);
+    for (size_t hid = 0; hid < lifted_count; ++hid) {
+      if (row_sums[hid] == 0) matrix[hid * lifted_count + hid] = 1.0;
     }
   }
 

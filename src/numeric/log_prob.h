@@ -12,6 +12,8 @@
 #include <limits>
 #include <ostream>
 
+#include "common/check.h"
+
 namespace tms::numeric {
 
 /// A probability stored as its natural logarithm. Zero is representable
@@ -22,8 +24,10 @@ class LogProb {
   /// Probability zero.
   LogProb() : log_(-std::numeric_limits<double>::infinity()) {}
 
-  /// From a linear-domain probability; p must be >= 0.
+  /// From a linear-domain probability; p must be >= 0 and not NaN
+  /// (DCHECKed — a NaN here would otherwise silently become Zero).
   static LogProb FromLinear(double p) {
+    TMS_DCHECK(!std::isnan(p) && p >= 0);
     LogProb out;
     out.log_ = p > 0 ? std::log(p) : -std::numeric_limits<double>::infinity();
     return out;
@@ -42,6 +46,7 @@ class LogProb {
   double log() const { return log_; }
   double ToLinear() const { return std::exp(log_); }
   bool IsZero() const { return std::isinf(log_) && log_ < 0; }
+  bool IsNaN() const { return std::isnan(log_); }
 
   /// Product of probabilities (sum of logs).
   LogProb operator*(LogProb other) const {
@@ -50,15 +55,22 @@ class LogProb {
   }
   LogProb& operator*=(LogProb other) { return *this = *this * other; }
 
-  /// Quotient; other must be nonzero.
-  LogProb operator/(LogProb other) const { return FromLog(log_ - other.log_); }
+  /// Quotient; other must be nonzero. Zero / anything is Zero (without
+  /// the guard, Zero / Zero would evaluate -inf - -inf = NaN).
+  LogProb operator/(LogProb other) const {
+    if (IsZero()) return Zero();
+    return FromLog(log_ - other.log_);
+  }
 
-  /// Numerically stable sum of probabilities (log-sum-exp).
+  /// Numerically stable sum of probabilities (log-sum-exp). Infinite
+  /// weights (log = +inf, from unnormalized intermediates) stay +inf;
+  /// without the guard +inf + +inf would evaluate exp(inf - inf) = NaN.
   LogProb operator+(LogProb other) const {
     if (IsZero()) return other;
     if (other.IsZero()) return *this;
     double hi = log_ > other.log_ ? log_ : other.log_;
     double lo = log_ > other.log_ ? other.log_ : log_;
+    if (std::isinf(hi)) return FromLog(hi);  // hi = +inf here
     return FromLog(hi + std::log1p(std::exp(lo - hi)));
   }
   LogProb& operator+=(LogProb other) { return *this = *this + other; }

@@ -1,9 +1,16 @@
 #include "query/confidence.h"
 
+#include <cstdint>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "kernels/arena.h"
+#include "kernels/dense.h"
+#include "kernels/kernels.h"
+#include "kernels/semiring.h"
 #include "obs/obs.h"
 #include "query/confidence_exact.h"
 
@@ -60,6 +67,93 @@ Status RequireSameAlphabet(const markov::MarkovSequence& mu,
 
 // --- Theorem 4.6 ------------------------------------------------------
 
+// Dense double-precision path for the deterministic DP: layers are
+// σ × (|Q|·(|o|+1)) matrices; each step is a Real-semiring gemm against
+// the step's transition matrix followed by a deterministic-edge scatter.
+// The transducer successor and j-advance depend only on (q, s2, j), so
+// they are tabulated once per call. The gemm collapses the predecessor-
+// node sum first (the scalar loop interleaves it with the scatter), so
+// results can differ from the scalar path by reassociation error — within
+// the kernel layer's documented Real tolerance.
+double DetConfidenceDense(const markov::MarkovSequence& mu,
+                          const transducer::Transducer& t, const Str& o) {
+  const int n = mu.length();
+  const size_t sigma = mu.nodes().size();
+  const size_t nq = static_cast<size_t>(t.num_states());
+  const size_t jdim = o.size() + 1;
+  const size_t cols = nq * jdim;
+
+  // Deterministic transducers carry exactly one edge per (state, input).
+  std::vector<int32_t> tgt_q(nq * sigma);
+  std::vector<int32_t> tgt_j(nq * sigma * jdim);
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      const transducer::Edge& e = t.Next(static_cast<automata::StateId>(q),
+                                         static_cast<Symbol>(s2))[0];
+      tgt_q[q * sigma + s2] = e.target;
+      for (size_t j = 0; j < jdim; ++j) {
+        tgt_j[(q * sigma + s2) * jdim + j] =
+            AdvanceExact(o, static_cast<int>(j), e.output);
+      }
+    }
+  }
+
+  thread_local kernels::Arena arena;
+  arena.Reset();
+  kernels::Matrix<double> cur(&arena, sigma, cols);
+  kernels::Matrix<double> next(&arena, sigma, cols);
+  kernels::Matrix<double> tmp(&arena, sigma, cols);
+  kernels::Matrix<double> tr(&arena, sigma, sigma);
+
+  cur.Fill(0.0);
+  for (size_t s = 0; s < sigma; ++s) {
+    double p0 = mu.Initial(static_cast<Symbol>(s));
+    if (p0 == 0.0) continue;
+    const size_t base = static_cast<size_t>(t.initial()) * sigma + s;
+    int32_t j = tgt_j[base * jdim];
+    if (j < 0) continue;
+    cur(s, static_cast<size_t>(tgt_q[base]) * jdim +
+               static_cast<size_t>(j)) += p0;
+  }
+
+  for (int i = 2; i <= n; ++i) {
+    for (size_t s = 0; s < sigma; ++s) {
+      for (size_t s2 = 0; s2 < sigma; ++s2) {
+        tr(s, s2) = mu.Transition(i - 1, static_cast<Symbol>(s),
+                                  static_cast<Symbol>(s2));
+      }
+    }
+    // tmp(s2, q·jdim + j) = Σ_s tr(s, s2)·cur(s, q·jdim + j): the mass
+    // arriving at node s2 from every live (s, q, j) cell.
+    kernels::GemmTN<kernels::Real>(tr, cur, &tmp);
+    next.Fill(0.0);
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      const double* trow = tmp.row(s2);
+      double* nrow = next.row(s2);
+      for (size_t q = 0; q < nq; ++q) {
+        const size_t base = q * sigma + s2;
+        const size_t q2 = static_cast<size_t>(tgt_q[base]);
+        for (size_t j = 0; j < jdim; ++j) {
+          int32_t j2 = tgt_j[base * jdim + j];
+          if (j2 < 0) continue;
+          nrow[q2 * jdim + static_cast<size_t>(j2)] += trow[q * jdim + j];
+        }
+      }
+    }
+    std::swap(cur, next);
+  }
+
+  double total = 0.0;
+  for (size_t s = 0; s < sigma; ++s) {
+    for (size_t q = 0; q < nq; ++q) {
+      if (t.IsAccepting(static_cast<automata::StateId>(q))) {
+        total += cur(s, q * jdim + o.size());
+      }
+    }
+  }
+  return total;
+}
+
 template <typename P>
 StatusOr<typename P::Value> DetConfidenceImpl(const markov::MarkovSequence& mu,
                                               const transducer::Transducer& t,
@@ -84,6 +178,12 @@ StatusOr<typename P::Value> DetConfidenceImpl(const markov::MarkovSequence& mu,
   // (Theorem 4.6's polynomial bound, reported as scanned cell count).
   TMS_OBS_COUNT("query.confidence.dp_cells",
                 static_cast<int64_t>(sigma * nq * jdim) * n);
+
+  if constexpr (std::is_same_v<P, DoubleProb>) {
+    // Doubles take the dense kernel path; Rational keeps the scalar loop
+    // below (exact arithmetic has no dense representation here).
+    return DetConfidenceDense(mu, t, o);
+  }
 
   std::vector<Value> cur(sigma * nq * jdim, P::Zero());
   for (size_t s = 0; s < sigma; ++s) {

@@ -79,19 +79,35 @@ StatusOr<typename P::Value> ExactImpl(const markov::MarkovSequence& mu,
 
   ExactConfidenceStats local_stats;
 
-  // Successor pair-set of a single (q, j) on input symbol s2.
-  auto step_pair = [&](uint32_t packed, Symbol s2, PairSet* out) {
-    automata::StateId q = static_cast<automata::StateId>(packed / jdim);
-    int j = static_cast<int>(packed % jdim);
-    for (const transducer::Edge& e : t.Next(q, s2)) {
-      int j2 = AdvanceExact(o, j, e.output);
-      if (j2 >= 0) out->push_back(pack(e.target, j2));
-    }
-  };
-
   auto canonicalize = [](PairSet* v) {
     std::sort(v->begin(), v->end());
     v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+
+  // Successor pair-sets of each single (q, j) on each input symbol,
+  // tabulated once: the edge walk and AdvanceExact depend only on
+  // (packed, s2), not on the DP layer, so the per-layer loop below
+  // reduces to concatenating precomputed vectors (the canonicalize pass
+  // makes the result set identical to walking edges in place).
+  const size_t npacked = static_cast<size_t>(t.num_states()) * jdim;
+  std::vector<PairSet> succ(npacked * sigma);
+  for (size_t packed = 0; packed < npacked; ++packed) {
+    automata::StateId q =
+        static_cast<automata::StateId>(packed / jdim);
+    int j = static_cast<int>(packed % jdim);
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      PairSet& out = succ[packed * sigma + s2];
+      for (const transducer::Edge& e :
+           t.Next(q, static_cast<Symbol>(s2))) {
+        int j2 = AdvanceExact(o, j, e.output);
+        if (j2 >= 0) out.push_back(pack(e.target, j2));
+      }
+    }
+  }
+  auto step_pair = [&](uint32_t packed, Symbol s2, PairSet* out) {
+    const PairSet& pre =
+        succ[static_cast<size_t>(packed) * sigma + static_cast<size_t>(s2)];
+    out->insert(out->end(), pre.begin(), pre.end());
   };
 
   // cur[s] : pair-set -> probability mass.

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "kernels/arena.h"
+#include "kernels/dense.h"
+#include "kernels/kernels.h"
 #include "numeric/log_prob.h"
 
 namespace tms::query {
@@ -61,56 +64,82 @@ std::optional<Evidence> EmaxContext::TopAnswer(
   auto idx = [&](size_t s, size_t q) { return s * nq + q; };
 
   // best[(s,q)] = max log-prob of a world prefix of length i ending in node
-  // s with some run reaching q. Only two rolling score layers are live, but
-  // all n back layers (packed (s', q') predecessors) are kept for the
-  // backtrack. Scratch is thread-local so concurrent subspace solves of a
-  // parallel enumeration never share buffers.
-  static thread_local std::vector<double> prev_scratch;
-  static thread_local std::vector<double> cur_scratch;
-  static thread_local std::vector<int32_t> back_scratch;
-  prev_scratch.assign(cells, ninf);
-  cur_scratch.assign(cells, ninf);
-  back_scratch.resize((static_cast<size_t>(n) + 1) * cells);
-  double* prev = prev_scratch.data();
-  double* cur = cur_scratch.data();
-  int32_t* back = back_scratch.data();
+  // s with some run reaching q. The layer update factors into
+  //   (1) a dense branchless max-plus gemm over the step tensor:
+  //       tmp(s2, q) = max_s prev[(s,q)] + step[s][s2]  (kernels::GemmTN),
+  //   (2) a sparse scatter along the transducer edges q --s2--> q2, which
+  //       maxes that mass into the (s2, q2) cells of the next layer.
+  // The forward pass stores *every* score layer (n * cells doubles) and
+  // keeps no backpointers at all: the hot loop stays pure max-plus (no
+  // data-dependent stores), and the single winning chain is recovered
+  // afterwards by scanning predecessors for exact score equality — the
+  // arithmetic is replayed with the same operands, so the comparison is
+  // exact, and scanning in ascending (s, q) order reproduces the
+  // first-strict-max tie-break of the scalar DP. Answer streams must stay
+  // byte-identical to that DP, because witness worlds seed the Lawler
+  // subspace splits.
+  //
+  // Scratch lives in a thread-local arena so concurrent subspace solves of
+  // a parallel enumeration never share buffers and reuse one allocation.
+  static thread_local kernels::Arena arena;
+  arena.Reset();
+  double* layers = arena.Alloc<double>(static_cast<size_t>(n) * cells);
+  kernels::Matrix<double> tmp(&arena, sigma, nq);
+  auto layer = [&](int i) {  // valid for i = 1..n
+    return layers + (static_cast<size_t>(i) - 1) * cells;
+  };
 
+  // Flatten the transducer into CSR keyed by (s2, q): targets q2 of the
+  // edges q --s2--> q2, built once per solve instead of t.Next() per step.
+  int32_t* csr_off = arena.Alloc<int32_t>(cells + 1);
+  size_t num_edges = 0;
+  for (size_t s2 = 0; s2 < sigma; ++s2) {
+    for (size_t q = 0; q < nq; ++q) {
+      csr_off[s2 * nq + q] = static_cast<int32_t>(num_edges);
+      num_edges += t.Next(static_cast<automata::StateId>(q),
+                          static_cast<Symbol>(s2))
+                       .size();
+    }
+  }
+  csr_off[cells] = static_cast<int32_t>(num_edges);
+  int32_t* csr_tgt = arena.Alloc<int32_t>(num_edges);
+  {
+    size_t pos = 0;
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      for (size_t q = 0; q < nq; ++q) {
+        for (const transducer::Edge& e :
+             t.Next(static_cast<automata::StateId>(q),
+                    static_cast<Symbol>(s2))) {
+          csr_tgt[pos++] = static_cast<int32_t>(e.target);
+        }
+      }
+    }
+  }
+
+  double* first = layer(1);
+  for (size_t c = 0; c < cells; ++c) first[c] = ninf;
   for (size_t s = 0; s < sigma; ++s) {
     double p0 = init_[s];
     if (p0 == ninf) continue;
     for (const transducer::Edge& e :
          t.Next(t.initial(), static_cast<Symbol>(s))) {
       size_t cell = idx(s, static_cast<size_t>(e.target));
-      if (p0 > prev[cell]) prev[cell] = p0;
+      if (p0 > first[cell]) first[cell] = p0;
     }
   }
   for (int i = 2; i <= n; ++i) {
-    int32_t* back_i = back + static_cast<size_t>(i) * cells;
-    const double* step_i =
-        step_.data() + (static_cast<size_t>(i) - 2) * sigma * sigma;
-    for (size_t c = 0; c < cells; ++c) cur[c] = ninf;
-    for (size_t s = 0; s < sigma; ++s) {
-      for (size_t q = 0; q < nq; ++q) {
-        double mass = prev[idx(s, q)];
-        if (mass == ninf) continue;
-        for (size_t s2 = 0; s2 < sigma; ++s2) {
-          double step = step_i[s * sigma + s2];
-          if (step == ninf) continue;
-          double cand = mass + step;
-          for (const transducer::Edge& e :
-               t.Next(static_cast<automata::StateId>(q),
-                      static_cast<Symbol>(s2))) {
-            size_t cell = idx(s2, static_cast<size_t>(e.target));
-            if (cand > cur[cell]) {
-              cur[cell] = cand;
-              back_i[cell] = static_cast<int32_t>(idx(s, q));
-            }
-          }
-        }
-      }
-    }
-    std::swap(prev, cur);
+    // step_ is logically const here; the Matrix view never writes it.
+    double* step_i = const_cast<double*>(
+        step_.data() + (static_cast<size_t>(i) - 2) * sigma * sigma);
+    kernels::Matrix<double> step_m(step_i, sigma, sigma);
+    kernels::Matrix<double> prev_m(layer(i - 1), sigma, nq);
+    // Stage (1): tmp(s2, q) = max_s step[s][s2] + prev[(s,q)].
+    kernels::GemmTN<kernels::MaxPlus>(step_m, prev_m, &tmp);
+    // Stage (2): scatter along the transducer edges into layer i.
+    kernels::Matrix<double> next_m(layer(i), sigma, nq);
+    kernels::MaxPlusEdgeScatter(tmp, csr_off, csr_tgt, &next_m);
   }
+  const double* prev = layer(n);
 
   // Pick the best accepting cell in the last layer (now in `prev`).
   double best_val = ninf;
@@ -126,12 +155,58 @@ std::optional<Evidence> EmaxContext::TopAnswer(
   }
   if (best_cell == kNoBack || best_val == ninf) return std::nullopt;
 
-  // Backtrack the (node, state) chain.
+  // Backtrack the (node, state) chain by replaying each layer update in
+  // reverse. Reverse CSR keyed by (s2, q2): source states q of the edges
+  // q --s2--> q2, in ascending q (built from the q-ascending forward
+  // lists), so the ascending (s, q) equality scan below lands on exactly
+  // the predecessor the scalar DP's first-strict-max rule kept.
+  int32_t* rev_off = arena.Alloc<int32_t>(cells + 1);
+  int32_t* rev_src = arena.Alloc<int32_t>(num_edges);
+  {
+    for (size_t c = 0; c <= cells; ++c) rev_off[c] = 0;
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      const int32_t* off = csr_off + s2 * nq;
+      for (size_t q = 0; q < nq; ++q) {
+        for (int32_t e = off[q]; e < off[q + 1]; ++e) {
+          ++rev_off[s2 * nq + static_cast<size_t>(csr_tgt[e]) + 1];
+        }
+      }
+    }
+    for (size_t c = 0; c < cells; ++c) rev_off[c + 1] += rev_off[c];
+    int32_t* fill = arena.Alloc<int32_t>(cells);
+    for (size_t c = 0; c < cells; ++c) fill[c] = rev_off[c];
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      const int32_t* off = csr_off + s2 * nq;
+      for (size_t q = 0; q < nq; ++q) {
+        for (int32_t e = off[q]; e < off[q + 1]; ++e) {
+          size_t key = s2 * nq + static_cast<size_t>(csr_tgt[e]);
+          rev_src[fill[key]++] = static_cast<int32_t>(q);
+        }
+      }
+    }
+  }
   std::vector<size_t> chain(static_cast<size_t>(n) + 1);
   chain[static_cast<size_t>(n)] = static_cast<size_t>(best_cell);
   for (int i = n; i >= 2; --i) {
-    int32_t p = back[static_cast<size_t>(i) * cells +
-                     chain[static_cast<size_t>(i)]];
+    size_t cell = chain[static_cast<size_t>(i)];
+    size_t s2 = cell / nq;
+    double target = layer(i)[cell];
+    const double* prev_l = layer(i - 1);
+    const double* step_i =
+        step_.data() + (static_cast<size_t>(i) - 2) * sigma * sigma;
+    int32_t p = kNoBack;
+    for (size_t s = 0; s < sigma && p == kNoBack; ++s) {
+      double st = step_i[s * sigma + s2];
+      if (st == ninf) continue;
+      for (int32_t e = rev_off[cell]; e < rev_off[cell + 1]; ++e) {
+        size_t q = static_cast<size_t>(rev_src[e]);
+        // Same operands as the forward max, so equality is exact.
+        if (prev_l[idx(s, q)] + st == target) {
+          p = static_cast<int32_t>(idx(s, q));
+          break;
+        }
+      }
+    }
     TMS_CHECK(p != kNoBack);
     chain[static_cast<size_t>(i - 1)] = static_cast<size_t>(p);
   }

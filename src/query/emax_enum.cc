@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "obs/obs.h"
 #include "query/emax.h"
 
@@ -44,11 +45,14 @@ EmaxEnumerator::EmaxEnumerator(std::shared_ptr<State> state,
       [s](const ranking::OutputConstraint& c)
           -> std::optional<ranking::ScoredAnswer> {
         TMS_OBS_SPAN("query.emax_enum.subspace_solve");
+        Stopwatch sw;
         std::shared_ptr<const transducer::Transducer> composed =
             s->cache->Compose(c);
+        TMS_OBS_HISTOGRAM("query.emax_enum.compose_ns", sw.Lap());
         TMS_OBS_HISTOGRAM("query.emax_enum.composed_states",
                           composed->num_states());
         auto best = s->ctx->TopAnswer(*composed);
+        TMS_OBS_HISTOGRAM("query.emax_enum.solve_ns", sw.Lap());
         if (!best.has_value()) return std::nullopt;
         return ranking::ScoredAnswer{std::move(best->output), best->prob};
       },

@@ -1,8 +1,14 @@
 #include "query/membership.h"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "kernels/arena.h"
+#include "kernels/dense.h"
+#include "kernels/kernels.h"
+#include "kernels/semiring.h"
 
 namespace tms::query {
 namespace {
@@ -27,6 +33,15 @@ int AdvanceMatch(const Str& target, int j, const Str& w, MatchMode mode) {
 }
 
 // Reachability DP over layers i = 1..n of triples (node, state, j).
+//
+// Layers are σ × (nq·jdim) boolean matrices (row = node, column =
+// state·jdim + j). Each step is a BoolOr gemm against the step's
+// transition mask (which nodes can follow which) followed by a sparse
+// scatter through the transducer edges. AdvanceMatch depends only on an
+// edge's output and j — not on the layer — so its results are tabulated
+// once per call and the hot loop is pure index arithmetic. BoolOr is
+// reordering-free, so the oracle's verdicts are identical to the scalar
+// triple-loop this replaces.
 bool ReachDp(const markov::MarkovSequence& mu, const transducer::Transducer& t,
              const Str& target, MatchMode mode) {
   TMS_CHECK(mu.nodes() == t.input_alphabet());
@@ -34,55 +49,84 @@ bool ReachDp(const markov::MarkovSequence& mu, const transducer::Transducer& t,
   const size_t sigma = mu.nodes().size();
   const size_t nq = static_cast<size_t>(t.num_states());
   const size_t jdim = target.size() + 1;
-  auto idx = [&](size_t s, size_t q, size_t j) {
-    return (s * nq + q) * jdim + j;
-  };
+  const size_t cols = nq * jdim;
 
-  std::vector<char> cur(sigma * nq * jdim, 0);
+  // Flatten the transducer: edges grouped by (source state q, input s2),
+  // with the j-advance precomputed for every matched position.
+  std::vector<int32_t> ed_off(nq * sigma + 1, 0);
+  std::vector<int32_t> ed_tgt;
+  std::vector<int32_t> jmap;  // jmap[e*jdim + j] = new j, or -1
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      for (const transducer::Edge& e :
+           t.Next(static_cast<automata::StateId>(q),
+                  static_cast<Symbol>(s2))) {
+        ed_tgt.push_back(e.target);
+        for (size_t j = 0; j < jdim; ++j) {
+          jmap.push_back(
+              AdvanceMatch(target, static_cast<int>(j), e.output, mode));
+        }
+      }
+      ed_off[q * sigma + s2 + 1] = static_cast<int32_t>(ed_tgt.size());
+    }
+  }
+
+  thread_local kernels::Arena arena;
+  arena.Reset();
+  kernels::Matrix<uint8_t> cur(&arena, sigma, cols);
+  kernels::Matrix<uint8_t> next(&arena, sigma, cols);
+  kernels::Matrix<uint8_t> tmp(&arena, sigma, cols);
+  kernels::Matrix<uint8_t> tmask(&arena, sigma, sigma);
+
+  cur.Fill(0);
   for (size_t s = 0; s < sigma; ++s) {
     if (mu.Initial(static_cast<Symbol>(s)) <= 0) continue;
-    for (const transducer::Edge& e :
-         t.Next(t.initial(), static_cast<Symbol>(s))) {
-      int j = AdvanceMatch(target, 0, e.output, mode);
+    const size_t base = static_cast<size_t>(t.initial()) * sigma + s;
+    for (int32_t e = ed_off[base]; e < ed_off[base + 1]; ++e) {
+      int32_t j = jmap[static_cast<size_t>(e) * jdim];
       if (j < 0) continue;
-      cur[idx(s, static_cast<size_t>(e.target), static_cast<size_t>(j))] = 1;
+      cur(s, static_cast<size_t>(ed_tgt[static_cast<size_t>(e)]) * jdim +
+             static_cast<size_t>(j)) = 1;
     }
   }
 
   for (int i = 2; i <= n; ++i) {
-    std::vector<char> next(sigma * nq * jdim, 0);
     for (size_t s = 0; s < sigma; ++s) {
+      for (size_t s2 = 0; s2 < sigma; ++s2) {
+        tmask(s, s2) = mu.Transition(i - 1, static_cast<Symbol>(s),
+                                     static_cast<Symbol>(s2)) > 0
+                           ? 1
+                           : 0;
+      }
+    }
+    // tmp(s2, q·jdim + j) = OR_s tmask(s, s2) & cur(s, q·jdim + j):
+    // "some live (s, q, j) triple can step to node s2".
+    kernels::GemmTN<kernels::BoolOr>(tmask, cur, &tmp);
+    next.Fill(0);
+    for (size_t s2 = 0; s2 < sigma; ++s2) {
+      const uint8_t* trow = tmp.row(s2);
+      uint8_t* nrow = next.row(s2);
       for (size_t q = 0; q < nq; ++q) {
+        const size_t base = q * sigma + s2;
         for (size_t j = 0; j < jdim; ++j) {
-          if (!cur[idx(s, q, j)]) continue;
-          for (size_t s2 = 0; s2 < sigma; ++s2) {
-            if (mu.Transition(i - 1, static_cast<Symbol>(s),
-                              static_cast<Symbol>(s2)) <= 0) {
-              continue;
-            }
-            for (const transducer::Edge& e :
-                 t.Next(static_cast<automata::StateId>(q),
-                        static_cast<Symbol>(s2))) {
-              int j2 = AdvanceMatch(target, static_cast<int>(j), e.output,
-                                    mode);
-              if (j2 < 0) continue;
-              next[idx(s2, static_cast<size_t>(e.target),
-                       static_cast<size_t>(j2))] = 1;
-            }
+          if (!trow[q * jdim + j]) continue;
+          for (int32_t e = ed_off[base]; e < ed_off[base + 1]; ++e) {
+            int32_t j2 = jmap[static_cast<size_t>(e) * jdim + j];
+            if (j2 < 0) continue;
+            nrow[static_cast<size_t>(ed_tgt[static_cast<size_t>(e)]) * jdim +
+                 static_cast<size_t>(j2)] = 1;
           }
         }
       }
     }
-    cur = std::move(next);
+    std::swap(cur, next);
   }
 
   const size_t jfinal = target.size();
-  for (size_t s = 0; s < sigma; ++s) {
-    for (size_t q = 0; q < nq; ++q) {
-      if (cur[idx(s, q, jfinal)] &&
-          t.IsAccepting(static_cast<automata::StateId>(q))) {
-        return true;
-      }
+  for (size_t q = 0; q < nq; ++q) {
+    if (!t.IsAccepting(static_cast<automata::StateId>(q))) continue;
+    for (size_t s = 0; s < sigma; ++s) {
+      if (cur(s, q * jdim + jfinal)) return true;
     }
   }
   return false;

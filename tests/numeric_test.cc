@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "numeric/bigint.h"
@@ -179,6 +180,41 @@ TEST(LogProbTest, NoUnderflowOnLongProducts) {
 TEST(LogProbTest, Ordering) {
   EXPECT_LT(LogProb::FromLinear(0.1), LogProb::FromLinear(0.2));
   EXPECT_LT(LogProb::Zero(), LogProb::FromLinear(1e-300));
+}
+
+TEST(LogProbTest, ZeroDividedByAnythingIsZero) {
+  // Without the zero-numerator guard, Zero / Zero evaluates
+  // -inf - -inf = NaN and the result compares unequal to everything.
+  EXPECT_TRUE((LogProb::Zero() / LogProb::FromLinear(0.5)).IsZero());
+  EXPECT_TRUE((LogProb::Zero() / LogProb::Zero()).IsZero());
+  EXPECT_FALSE((LogProb::Zero() / LogProb::Zero()).IsNaN());
+  EXPECT_NEAR((LogProb::FromLinear(0.3) / LogProb::FromLinear(0.5)).ToLinear(),
+              0.6, 1e-12);
+}
+
+TEST(LogProbTest, InfiniteWeightsSumToInfinity) {
+  // Unnormalized intermediates can carry log = +inf; their sum must stay
+  // +inf rather than turning into exp(inf - inf) = NaN.
+  LogProb inf = LogProb::FromLog(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE((inf + inf).IsNaN());
+  EXPECT_TRUE(std::isinf((inf + inf).log()));
+  EXPECT_GT(inf + inf, LogProb::One());
+  EXPECT_TRUE(std::isinf((inf + LogProb::FromLinear(0.5)).log()));
+  EXPECT_TRUE(std::isinf((LogProb::FromLinear(0.5) + inf).log()));
+}
+
+TEST(LogProbTest, DenormalLinearInputsStayOrdered) {
+  // Denormal probabilities are representable; log() maps them deep
+  // negative but finite, and ordering survives the round trip.
+  const double denorm = 5e-324;  // smallest positive double
+  LogProb d = LogProb::FromLinear(denorm);
+  EXPECT_FALSE(d.IsZero());
+  EXPECT_FALSE(d.IsNaN());
+  EXPECT_LT(LogProb::Zero(), d);
+  EXPECT_LT(d, LogProb::FromLinear(1e-300));
+  // Sum of two denormal-backed values is finite and at least the max.
+  EXPECT_GE(d + d, d);
+  EXPECT_FALSE((d + d).IsNaN());
 }
 
 }  // namespace

@@ -4,13 +4,19 @@
 #   1. tier-1: default build, full test suite
 #   2. asan:   ASan+UBSan build, `ctest -L robustness` + `-L concurrency`
 #   3. tsan:   TSan build,       `ctest -L robustness` + `-L concurrency`
+#   4. bench:  enumeration bench reports (BENCH_enumeration_delay.json,
+#              BENCH_enumeration_emax.json, BENCH_twostep_vs_ranked.json)
+#              emitted to build/bench-json/ and checked non-empty; set
+#              TMS_UPDATE_BASELINES=1 to refresh bench/baselines/
 #
 # Build trees are reused across runs (build/, build-asan/, build-tsan/
 # under the repo root), so incremental invocations are cheap. Pass a stage
-# name (tier1 | asan | tsan) to run just that stage; default is all three.
+# name (tier1 | asan | tsan | bench) to run just that stage; default is
+# all four.
 #
 #   tools/ci_verify.sh            # everything
 #   tools/ci_verify.sh tsan       # just the TSan stage
+#   TMS_UPDATE_BASELINES=1 tools/ci_verify.sh bench   # refresh baselines
 #
 # Every randomized suite honors TMS_TEST_SEED, and a failing test prints
 # its seed — export TMS_TEST_SEED to replay a CI failure locally.
@@ -54,9 +60,32 @@ case "$STAGE" in
     ;;
 esac
 case "$STAGE" in
-  tier1|asan|tsan|all) ;;
+  bench|all)
+    BENCHES="bench_enumeration_delay bench_enumeration_emax \
+             bench_twostep_vs_ranked"
+    echo "==> [bench] configure + build ($ROOT/build)"
+    cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+    # shellcheck disable=SC2086
+    cmake --build "$ROOT/build" -j "$JOBS" --target $BENCHES
+    OUT="$ROOT/build/bench-json"
+    mkdir -p "$OUT"
+    for b in $BENCHES; do
+      echo "==> [bench] $b"
+      (cd "$ROOT/build" &&
+       TMS_BENCH_JSON_DIR="$OUT" "./bench/$b" >/dev/null)
+      json="$OUT/BENCH_${b#bench_}.json"
+      [ -s "$json" ] || { echo "bench report missing: $json" >&2; exit 1; }
+    done
+    if [ -n "${TMS_UPDATE_BASELINES:-}" ]; then
+      cp "$OUT"/BENCH_*.json "$ROOT/bench/baselines/"
+      echo "==> [bench] baselines refreshed in bench/baselines/"
+    fi
+    ;;
+esac
+case "$STAGE" in
+  tier1|asan|tsan|bench|all) ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Line-coverage sweep for the test suite (docs/TESTING.md).
+#
+# Configures a gcov-instrumented build (-DTMS_COVERAGE=ON, Debug so
+# inlining doesn't merge lines), runs the full ctest suite, then
+# aggregates per-directory line coverage for src/. No gcovr/lcov
+# dependency: the summary lines of `gcov -n` are parsed directly. A
+# source file touched by several translation units (headers, the dual-TU
+# test binaries) is deduplicated by taking its best-covered instance.
+#
+# usage: tools/coverage.sh [build-dir]   (default: <repo>/build-cov)
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-$ROOT/build-cov}
+Q="'"
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Debug -DTMS_COVERAGE=ON \
+      >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" >/dev/null
+find "$BUILD" -name '*.gcda' -delete
+(cd "$BUILD" && ctest -j"$(nproc)" --output-on-failure >/dev/null)
+
+# `gcov -n -r -s $ROOT` prints, per source file reached from a .gcda:
+#   File 'src/query/emax.cc'
+#   Lines executed:97.37% of 152
+# -r keeps only files under $ROOT (drops the standard library and gtest).
+find "$BUILD" -name '*.gcda' | while read -r gcda; do
+  (cd "$BUILD" && gcov -n -r -s "$ROOT" "$gcda" 2>/dev/null)
+done | awk -v q="$Q" '
+  # Dedupe by file: best-covered instance wins.
+  /^File / { f = $0; sub(/^File /, "", f); gsub(q, "", f); next }
+  /^Lines executed:/ && f ~ /^src\// {
+    s = $0; sub(/^Lines executed:/, "", s); split(s, a, "% of ")
+    c = a[1] / 100 * a[2]
+    if (!(f in tot) || c > hit[f]) { tot[f] = a[2]; hit[f] = c }
+  }
+  END { for (k in tot) printf "%s %d %.2f\n", k, tot[k], hit[k] }
+' | awk '
+  # Roll files up into their directories.
+  { d = $1; sub(/\/[^\/]*$/, "", d); tot[d] += $2; hit[d] += $3 }
+  END { for (k in tot) printf "%s %d %.2f\n", k, tot[k], hit[k] }
+' | sort | awk '
+  BEGIN { printf "%-22s %9s %9s %8s\n", "directory", "lines", "covered",
+          "pct" }
+  {
+    printf "%-22s %9d %9d %7.1f%%\n", $1, $2, $3 + 0.5, 100 * $3 / $2
+    gt += $2; gh += $3
+  }
+  END { printf "%-22s %9d %9d %7.1f%%\n", "TOTAL src/", gt, gh + 0.5,
+        100 * gh / gt }'

@@ -1,0 +1,62 @@
+// Regenerates the committed golden-corpus data files under
+// tests/golden/data/ (see tools/check_golden.sh). The corpus covers the
+// generated workloads — the paper's running example and the bio motif
+// workload — serialized through io/ so the CLI replays them exactly; the
+// hospital workloads (transducer and s-projector) reuse the files in
+// examples/data/. The OCR text workload cannot join the corpus: its
+// alphabet contains a space-named symbol, which the whitespace-delimited
+// text format cannot round-trip. Seeds are fixed: regenerating must be a
+// deliberate act that also regenerates the golden outputs.
+//
+// usage: make_golden_data <output-dir>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "io/text_format.h"
+#include "workload/bio.h"
+#include "workload/running_example.h"
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  TMS_CHECK(out.good());
+  out << content;
+  out.close();
+  TMS_CHECK(out.good());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_golden_data <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  // The paper's running example (Figures 1 and 2).
+  WriteFile(dir + "/fig1.tms",
+            tms::io::FormatMarkovSequence(tms::workload::Figure1Sequence()));
+  WriteFile(dir + "/fig2_query.tms",
+            tms::io::FormatTransducer(tms::workload::Figure2Transducer()));
+
+  // Bio motif occurrences in a decoded profile-HMM posterior.
+  tms::Rng bio_rng(7);
+  tms::workload::MotifConfig config;
+  auto scenario = tms::workload::MakeMotifScenario(config, 12, bio_rng);
+  TMS_CHECK(scenario.ok());
+  WriteFile(dir + "/motif.tms",
+            tms::io::FormatMarkovSequence(scenario.value().mu));
+  auto motif = tms::workload::MotifExtractor(config);
+  TMS_CHECK(motif.ok());
+  WriteFile(dir + "/motif_query.tms",
+            tms::io::FormatTransducer(motif.value().ToTransducer()));
+
+  std::printf("wrote golden corpus data to %s\n", dir.c_str());
+  return 0;
+}
