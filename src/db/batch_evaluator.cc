@@ -60,8 +60,10 @@ BatchEvaluator::TopKPerSequence(int k, bool with_confidence) {
               out.status = eval.status();
               return out;
             }
-            eval->set_execution(
-                query::Evaluator::Execution{nullptr, cache_.get()});
+            query::Evaluator::Execution execution;
+            execution.cache = cache_.get();
+            execution.backend = options_.backend;
+            eval->set_execution(execution);
             auto topk = eval->TopK(k, with_confidence);
             if (!topk.ok()) {
               out.status = topk.status();
@@ -123,8 +125,11 @@ std::vector<BatchEvaluator::SequenceResult> BatchEvaluator::EvaluateAll(
           TMS_OBS_COUNT("db.batch.failures", 1);
           return out;
         }
-        eval->set_execution(
-            query::Evaluator::Execution{nullptr, cache_.get(), run});
+        query::Evaluator::Execution execution;
+        execution.cache = cache_.get();
+        execution.run = run;
+        execution.backend = options_.backend;
+        eval->set_execution(execution);
         auto topk = eval->TopK(k, with_confidence);
         if (!topk.ok()) {
           out.status = topk.status();

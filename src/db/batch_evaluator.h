@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "db/collection.h"
 #include "exec/run_context.h"
+#include "kernels/backend.h"
 #include "exec/thread_pool.h"
 #include "transducer/composition_cache.h"
 #include "transducer/transducer.h"
@@ -48,6 +49,9 @@ class BatchEvaluator {
     /// Only EvaluateAll consumes it; TopKPerSequence ignores it (its
     /// first-error contract predates bounded execution).
     exec::RunContext* run = nullptr;
+    /// Kernel path of every per-sequence DP (kernels/backend.h). Results
+    /// are byte-identical either way; auto picks per sequence density.
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto;
   };
 
   /// Outcome of one sequence in an EvaluateAll batch.

@@ -1,13 +1,16 @@
 #include "hmm/translate.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/check.h"
+#include "kernels/backend.h"
 #include "kernels/dense.h"
 #include "kernels/kernels.h"
 #include "kernels/semiring.h"
+#include "kernels/sparse.h"
 
 namespace tms::hmm {
 namespace {
@@ -42,19 +45,48 @@ ForwardBackward RunForwardBackward(const Hmm& hmm, const Str& o) {
   }
   for (size_t s = 0; s < ns; ++s) fb.alpha[0][s] /= fb.c[0];
 
+  // A sparse HMM transition matrix (the auto policy of kernels/backend.h
+  // decides) runs both recurrences over its CSR form. The skipped entries
+  // are exact zeros of nonnegative sums taken in the same order, so the
+  // posterior is bitwise identical on either path.
+  const double* tdata = hmm.transition_matrix().data();
+  size_t nnz = 0;
+  for (size_t e = 0; e < ns * ns; ++e) nnz += tdata[e] > 0.0 ? 1 : 0;
+  const double density =
+      ns == 0 ? 1.0
+              : static_cast<double>(nnz) / static_cast<double>(ns * ns);
+  const bool sparse =
+      kernels::ChooseBackend(kernels::BackendChoice::kAuto, density, ns,
+                             /*has_sparse=*/true) ==
+      kernels::Backend::kSparse;
+  std::vector<int32_t> t_off, t_idx, tt_off, tt_idx;
+  std::vector<double> t_val, tt_val;
+  kernels::CsrView<double> t_csr, tt_csr;
+  if (sparse) {
+    kernels::BuildCsr(tdata, ns, ns, &t_off, &t_idx, &t_val);
+    t_csr = {t_off.data(), t_idx.data(), t_val.data(), ns, ns, t_val.size()};
+    kernels::BuildCsrTranspose(tdata, ns, ns, &tt_off, &tt_idx, &tt_val);
+    tt_csr = {tt_off.data(), tt_idx.data(), tt_val.data(), ns, ns,
+              tt_val.size()};
+  }
+
   // α recurrence as a transposed gemv over the raw transition matrix:
   // cur[u] = Σ_s prev[s]·T(s,u). GemvT accumulates in ascending s — the
   // same order as the scalar loop this replaces, so results are
   // bit-identical (the hospital workload's Markov sequence, and hence the
-  // max-plus answer streams derived from it, depend on that).
-  kernels::Matrix<double> t_m(
-      const_cast<double*>(hmm.transition_matrix().data()), ns, ns);
+  // max-plus answer streams derived from it, depend on that). SpGemvT is
+  // s-outer ascending too, skipping only the zero terms.
+  kernels::Matrix<double> t_m(const_cast<double*>(tdata), ns, ns);
   for (int t = 1; t < n; ++t) {
     auto& cur = fb.alpha[static_cast<size_t>(t)];
     const auto& prev = fb.alpha[static_cast<size_t>(t - 1)];
     kernels::Vector<double> prev_v(const_cast<double*>(prev.data()), ns);
     kernels::Vector<double> cur_v(cur.data(), ns);
-    kernels::GemvT<kernels::Real>(t_m, prev_v, &cur_v);
+    if (sparse) {
+      kernels::SpGemvT<kernels::Real>(t_csr, prev_v, &cur_v);
+    } else {
+      kernels::GemvT<kernels::Real>(t_m, prev_v, &cur_v);
+    }
     for (size_t u = 0; u < ns; ++u) {
       cur[u] *= hmm.Emission(static_cast<Symbol>(u),
                              o[static_cast<size_t>(t)]);
@@ -69,26 +101,40 @@ ForwardBackward RunForwardBackward(const Hmm& hmm, const Str& o) {
 
   // β recurrence: cur[s] = Σ_u (T(s,u)·Ω(u,o_{t+2}))·next[u]. Staging
   // Mt(u,s) = T(s,u)·Ω(u,·) keeps the original association (T·Ω)·next and
-  // the ascending-u order under GemvT — again bit-identical.
-  std::vector<double> mt(ns * ns);
-  kernels::Matrix<double> mt_m(mt.data(), ns, ns);
+  // the ascending-u order under GemvT — again bit-identical. The sparse
+  // path scatters the stored (u,s) entries of the CSR transpose with the
+  // same u-outer order and association, skipping only zero terms.
+  std::vector<double> mt(sparse ? 0 : ns * ns);
+  kernels::Matrix<double> mt_m(mt.data(), sparse ? 0 : ns, ns);
   for (size_t s = 0; s < ns; ++s) fb.beta[static_cast<size_t>(n - 1)][s] = 1.0;
   for (int t = n - 2; t >= 0; --t) {
     auto& cur = fb.beta[static_cast<size_t>(t)];
     const auto& next = fb.beta[static_cast<size_t>(t + 1)];
-    for (size_t u = 0; u < ns; ++u) {
-      const double em = hmm.Emission(static_cast<Symbol>(u),
-                                     o[static_cast<size_t>(t + 1)]);
-      double* mrow = mt_m.row(u);
-      for (size_t s = 0; s < ns; ++s) {
-        mrow[s] =
-            hmm.Transition(static_cast<Symbol>(s), static_cast<Symbol>(u)) *
-            em;
+    if (sparse) {
+      std::fill(cur.begin(), cur.end(), 0.0);
+      for (size_t u = 0; u < ns; ++u) {
+        const double em = hmm.Emission(static_cast<Symbol>(u),
+                                       o[static_cast<size_t>(t + 1)]);
+        for (int32_t e = tt_csr.row_off[u]; e < tt_csr.row_off[u + 1]; ++e) {
+          const size_t s = static_cast<size_t>(tt_csr.col_idx[e]);
+          cur[s] += (tt_csr.val[e] * em) * next[u];
+        }
       }
+    } else {
+      for (size_t u = 0; u < ns; ++u) {
+        const double em = hmm.Emission(static_cast<Symbol>(u),
+                                       o[static_cast<size_t>(t + 1)]);
+        double* mrow = mt_m.row(u);
+        for (size_t s = 0; s < ns; ++s) {
+          mrow[s] =
+              hmm.Transition(static_cast<Symbol>(s), static_cast<Symbol>(u)) *
+              em;
+        }
+      }
+      kernels::Vector<double> next_v(const_cast<double*>(next.data()), ns);
+      kernels::Vector<double> cur_v(cur.data(), ns);
+      kernels::GemvT<kernels::Real>(mt_m, next_v, &cur_v);
     }
-    kernels::Vector<double> next_v(const_cast<double*>(next.data()), ns);
-    kernels::Vector<double> cur_v(cur.data(), ns);
-    kernels::GemvT<kernels::Real>(mt_m, next_v, &cur_v);
     const double cn = fb.c[static_cast<size_t>(t + 1)];
     for (size_t s = 0; s < ns; ++s) cur[s] /= cn;
   }

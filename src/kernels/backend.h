@@ -1,0 +1,70 @@
+// Kernel backend selection: dense vs CSR-sparse, per instance.
+//
+// Every engine that runs a layered DP over MarkovSequence transition
+// matrices can execute each layer either through the dense kernels
+// (kernels/kernels.h) or through the CSR kernels (kernels/sparse.h).
+// The choice is uniform per engine instance and made once, up front:
+//
+//   BackendChoice — what the caller *asked* for (EngineOptions.backend,
+//                   tms_cli --backend=dense|sparse|auto). kAuto is the
+//                   default everywhere.
+//   Backend       — what ChooseBackend *resolved* the request to, given
+//                   the measured density of the instance.
+//
+// The auto policy (see docs/SPARSE.md for the selection table):
+//
+//   sparse  iff  CSR views exist (density <= kSparseBuildMaxDensity at
+//                MarkovSequence build time) AND the mean step density is
+//                <= kAutoSparseMaxDensity AND dim >= kAutoSparseMinDim.
+//
+// A forced kSparse request on an instance without CSR views falls back
+// to dense — the sparse kernels preserve the dense reduction order, so
+// either way the ranked answer stream is byte-identical; the fallback is
+// only a performance matter (and is counted, see below).
+//
+// ChooseBackend bumps the `kernels.sparse.chosen` / `.rejected` /
+// `.fallback` obs counters so `tms_cli --stats` shows which backend every
+// run actually used.
+
+#ifndef TMS_KERNELS_BACKEND_H_
+#define TMS_KERNELS_BACKEND_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace tms::kernels {
+
+/// What the caller requested.
+enum class BackendChoice { kAuto, kDense, kSparse };
+
+/// What the request resolved to for a concrete instance.
+enum class Backend { kDense, kSparse };
+
+/// MarkovSequence builds CSR views for a step matrix only when its
+/// density (nnz / sigma^2) is at most this; denser matrices gain nothing
+/// from CSR and would double the storage.
+inline constexpr double kSparseBuildMaxDensity = 0.9;
+
+/// kAuto picks sparse only below this mean density ...
+inline constexpr double kAutoSparseMaxDensity = 0.25;
+
+/// ... and only at this dimension or above (tiny alphabets fit in cache
+/// either way; the dense kernels win on loop overhead).
+inline constexpr size_t kAutoSparseMinDim = 16;
+
+/// Resolves a request against a measured instance: `density` is the mean
+/// nnz ratio of the transition matrices, `dim` the state-space dimension,
+/// `has_sparse` whether CSR views were built. Counts the decision.
+Backend ChooseBackend(BackendChoice choice, double density, size_t dim,
+                      bool has_sparse);
+
+const char* BackendName(Backend backend);
+const char* BackendChoiceName(BackendChoice choice);
+
+/// Parses "dense" | "sparse" | "auto" (the --backend= values).
+std::optional<BackendChoice> ParseBackendChoice(const std::string& name);
+
+}  // namespace tms::kernels
+
+#endif  // TMS_KERNELS_BACKEND_H_

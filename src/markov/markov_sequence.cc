@@ -9,9 +9,12 @@ namespace {
 
 constexpr double kSumTolerance = 1e-9;
 
-Status CheckDistribution(const std::vector<double>& row, const char* what) {
+// Validates one distribution in place (no row copy — the korder lifted
+// construction validates σ^k rows and used to copy each one).
+Status CheckDistribution(const double* row, size_t n, const char* what) {
   double sum = 0;
-  for (double p : row) {
+  for (size_t j = 0; j < n; ++j) {
+    const double p = row[j];
     if (!(p >= 0.0) || p > 1.0 + kSumTolerance) {
       return Status::InvalidArgument(std::string(what) +
                                      " contains a probability outside [0,1]");
@@ -26,7 +29,79 @@ Status CheckDistribution(const std::vector<double>& row, const char* what) {
   return Status::Ok();
 }
 
+Status CheckTransitionMatrix(const std::vector<double>& matrix, size_t sigma,
+                             const Alphabet& nodes, size_t index) {
+  if (matrix.size() != sigma * sigma) {
+    return Status::InvalidArgument("transition matrix " +
+                                   std::to_string(index + 1) +
+                                   " has wrong size");
+  }
+  for (size_t s = 0; s < sigma; ++s) {
+    TMS_RETURN_IF_ERROR(CheckDistribution(
+        matrix.data() + s * sigma, sigma,
+        ("transition matrix " + std::to_string(index + 1) + " row " +
+         nodes.Name(static_cast<Symbol>(s)))
+            .c_str()));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
+
+kernels::MatrixRef TransitionStep::View() const {
+  kernels::MatrixRef out;
+  out.dense = kernels::Matrix<double>(const_cast<double*>(dense.data()),
+                                      sigma, sigma);
+  out.density = density;
+  out.has_sparse = has_sparse;
+  if (has_sparse) {
+    out.csr = {row_off.data(), col_idx.data(), val.data(), sigma, sigma, nnz};
+    out.csr_t = {t_row_off.data(), t_col_idx.data(), t_val.data(), sigma,
+                 sigma, nnz};
+  }
+  return out;
+}
+
+std::shared_ptr<const TransitionStep> TransitionStep::Build(
+    std::vector<double> dense, size_t sigma) {
+  auto step = std::make_shared<TransitionStep>();
+  step->sigma = sigma;
+  step->dense = std::move(dense);
+  size_t nnz = 0;
+  for (double v : step->dense) {
+    if (v > 0.0) ++nnz;
+  }
+  step->nnz = nnz;
+  step->density = sigma == 0
+                      ? 1.0
+                      : static_cast<double>(nnz) /
+                            static_cast<double>(sigma * sigma);
+  if (step->density <= kernels::kSparseBuildMaxDensity) {
+    kernels::BuildCsr(step->dense.data(), sigma, sigma, &step->row_off,
+                      &step->col_idx, &step->val);
+    kernels::BuildCsrTranspose(step->dense.data(), sigma, sigma,
+                               &step->t_row_off, &step->t_col_idx,
+                               &step->t_val);
+    step->has_sparse = true;
+  }
+  return step;
+}
+
+void MarkovSequence::FinishSteps() {
+  double total = 0.0;
+  size_t distinct = 0;
+  bool all_sparse = !steps_.empty();
+  const TransitionStep* prev = nullptr;
+  for (const auto& step : steps_) {
+    if (step.get() == prev) continue;
+    prev = step.get();
+    ++distinct;
+    total += step->density;
+    all_sparse = all_sparse && step->has_sparse;
+  }
+  density_ = distinct == 0 ? 1.0 : total / static_cast<double>(distinct);
+  all_sparse_ = all_sparse;
+}
 
 StatusOr<MarkovSequence> MarkovSequence::Create(
     Alphabet nodes, std::vector<double> initial,
@@ -38,26 +113,57 @@ StatusOr<MarkovSequence> MarkovSequence::Create(
   if (initial.size() != sigma) {
     return Status::InvalidArgument("initial distribution has wrong size");
   }
-  TMS_RETURN_IF_ERROR(CheckDistribution(initial, "initial distribution"));
+  TMS_RETURN_IF_ERROR(
+      CheckDistribution(initial.data(), sigma, "initial distribution"));
   for (size_t i = 0; i < transitions.size(); ++i) {
-    if (transitions[i].size() != sigma * sigma) {
-      return Status::InvalidArgument("transition matrix " + std::to_string(i + 1) +
-                                     " has wrong size");
-    }
-    for (size_t s = 0; s < sigma; ++s) {
-      std::vector<double> row(transitions[i].begin() + static_cast<long>(s * sigma),
-                              transitions[i].begin() + static_cast<long>((s + 1) * sigma));
-      TMS_RETURN_IF_ERROR(CheckDistribution(
-          row, ("transition matrix " + std::to_string(i + 1) + " row " +
-                nodes.Name(static_cast<Symbol>(s)))
-                   .c_str()));
-    }
+    TMS_RETURN_IF_ERROR(
+        CheckTransitionMatrix(transitions[i], sigma, nodes, i));
   }
   MarkovSequence out;
   out.nodes_ = std::move(nodes);
   out.length_ = static_cast<int>(transitions.size()) + 1;
   out.initial_ = std::move(initial);
-  out.transitions_ = std::move(transitions);
+  out.steps_.reserve(transitions.size());
+  for (auto& matrix : transitions) {
+    // Share the storage of consecutive identical matrices (homogeneous
+    // models round-tripped through the inhomogeneous representation).
+    if (!out.steps_.empty() && out.steps_.back()->dense == matrix) {
+      out.steps_.push_back(out.steps_.back());
+      continue;
+    }
+    out.steps_.push_back(TransitionStep::Build(std::move(matrix), sigma));
+  }
+  out.FinishSteps();
+  return out;
+}
+
+StatusOr<MarkovSequence> MarkovSequence::CreateHomogeneous(
+    Alphabet nodes, std::vector<double> initial,
+    std::vector<double> transition, int length) {
+  const size_t sigma = nodes.size();
+  if (sigma == 0) {
+    return Status::InvalidArgument("Markov sequence needs at least one node");
+  }
+  if (length < 1) {
+    return Status::InvalidArgument("length must be at least 1");
+  }
+  if (initial.size() != sigma) {
+    return Status::InvalidArgument("initial distribution has wrong size");
+  }
+  TMS_RETURN_IF_ERROR(
+      CheckDistribution(initial.data(), sigma, "initial distribution"));
+  if (length > 1) {
+    TMS_RETURN_IF_ERROR(CheckTransitionMatrix(transition, sigma, nodes, 0));
+  }
+  MarkovSequence out;
+  out.nodes_ = std::move(nodes);
+  out.length_ = length;
+  out.initial_ = std::move(initial);
+  if (length > 1) {
+    auto step = TransitionStep::Build(std::move(transition), sigma);
+    out.steps_.assign(static_cast<size_t>(length - 1), step);
+  }
+  out.FinishSteps();
   return out;
 }
 
@@ -103,18 +209,21 @@ StatusOr<MarkovSequence> MarkovSequence::CreateExact(
   }
   std::vector<double> dinitial(sigma);
   for (size_t s = 0; s < sigma; ++s) dinitial[s] = initial[s].ToDouble();
-  std::vector<std::vector<double>> dtrans(transitions.size());
-  for (size_t i = 0; i < transitions.size(); ++i) {
-    dtrans[i].resize(sigma * sigma);
-    for (size_t j = 0; j < sigma * sigma; ++j) {
-      dtrans[i][j] = transitions[i][j].ToDouble();
-    }
-  }
   MarkovSequence out;
   out.nodes_ = std::move(nodes);
   out.length_ = static_cast<int>(transitions.size()) + 1;
   out.initial_ = std::move(dinitial);
-  out.transitions_ = std::move(dtrans);
+  out.steps_.reserve(transitions.size());
+  for (const auto& matrix : transitions) {
+    std::vector<double> dmatrix(sigma * sigma);
+    for (size_t j = 0; j < sigma * sigma; ++j) dmatrix[j] = matrix[j].ToDouble();
+    if (!out.steps_.empty() && out.steps_.back()->dense == dmatrix) {
+      out.steps_.push_back(out.steps_.back());
+      continue;
+    }
+    out.steps_.push_back(TransitionStep::Build(std::move(dmatrix), sigma));
+  }
+  out.FinishSteps();
   out.exact_initial_ = std::move(initial);
   out.exact_transitions_ = std::move(transitions);
   return out;
@@ -132,8 +241,22 @@ size_t MarkovSequence::TransIndex(int i, Symbol s, Symbol t) const {
   return static_cast<size_t>(s) * nodes_.size() + static_cast<size_t>(t);
 }
 
+const TransitionStep& MarkovSequence::Step(int i) const {
+  TMS_DCHECK(i >= 1 && i < length_);
+  return *steps_[static_cast<size_t>(i - 1)];
+}
+
 double MarkovSequence::Transition(int i, Symbol s, Symbol t) const {
-  return transitions_[static_cast<size_t>(i - 1)][TransIndex(i, s, t)];
+  return Step(i).dense[TransIndex(i, s, t)];
+}
+
+kernels::MatrixRef MarkovSequence::TransitionView(int i) const {
+  return Step(i).View();
+}
+
+const void* MarkovSequence::TransitionStepIdentity(int i) const {
+  TMS_DCHECK(i >= 1 && i < length_);
+  return steps_[static_cast<size_t>(i - 1)].get();
 }
 
 double MarkovSequence::WorldProbability(const Str& s) const {
@@ -181,14 +304,22 @@ numeric::Rational MarkovSequence::WorldProbabilityExact(const Str& s) const {
 
 std::vector<double> MarkovSequence::Marginal(int i) const {
   TMS_CHECK(i >= 1 && i <= length_);
+  const size_t sigma = nodes_.size();
   std::vector<double> cur = initial_;
   for (int step = 1; step < i; ++step) {
-    std::vector<double> next(nodes_.size(), 0.0);
-    for (size_t s = 0; s < nodes_.size(); ++s) {
+    std::vector<double> next(sigma, 0.0);
+    const TransitionStep& m = Step(step);
+    for (size_t s = 0; s < sigma; ++s) {
       if (cur[s] == 0) continue;
-      for (size_t t = 0; t < nodes_.size(); ++t) {
-        next[t] += cur[s] * Transition(step, static_cast<Symbol>(s),
-                                       static_cast<Symbol>(t));
+      if (m.has_sparse) {
+        // Only the strictly positive entries contribute; the skipped
+        // terms are exact zeros, so the sums are bitwise unchanged.
+        for (int32_t e = m.row_off[s]; e < m.row_off[s + 1]; ++e) {
+          next[static_cast<size_t>(m.col_idx[e])] += cur[s] * m.val[e];
+        }
+      } else {
+        const double* row = m.dense.data() + s * sigma;
+        for (size_t t = 0; t < sigma; ++t) next[t] += cur[s] * row[t];
       }
     }
     cur = std::move(next);
@@ -197,18 +328,25 @@ std::vector<double> MarkovSequence::Marginal(int i) const {
 }
 
 numeric::BigInt MarkovSequence::CountSupportWorlds() const {
-  std::vector<numeric::BigInt> count(nodes_.size());
-  for (size_t s = 0; s < nodes_.size(); ++s) {
+  const size_t sigma = nodes_.size();
+  std::vector<numeric::BigInt> count(sigma);
+  for (size_t s = 0; s < sigma; ++s) {
     if (initial_[s] > 0) count[s] = numeric::BigInt(1);
   }
   for (int i = 1; i < length_; ++i) {
-    std::vector<numeric::BigInt> next(nodes_.size());
-    for (size_t s = 0; s < nodes_.size(); ++s) {
+    std::vector<numeric::BigInt> next(sigma);
+    const TransitionStep& m = Step(i);
+    for (size_t s = 0; s < sigma; ++s) {
       if (count[s].IsZero()) continue;
-      for (size_t t = 0; t < nodes_.size(); ++t) {
-        if (Transition(i, static_cast<Symbol>(s), static_cast<Symbol>(t)) >
-            0) {
-          next[t] += count[s];
+      if (m.has_sparse) {
+        // The CSR pattern is exactly the > 0 support.
+        for (int32_t e = m.row_off[s]; e < m.row_off[s + 1]; ++e) {
+          next[static_cast<size_t>(m.col_idx[e])] += count[s];
+        }
+      } else {
+        const double* row = m.dense.data() + s * sigma;
+        for (size_t t = 0; t < sigma; ++t) {
+          if (row[t] > 0) next[t] += count[s];
         }
       }
     }

@@ -10,6 +10,16 @@
 // in the paper: the representation of μ[n] "consists of a transition matrix
 // for each index 1 ≤ i < n, and an array for μ_0→" (Section 3.2).
 //
+// Storage: each matrix lives in a shared, immutable TransitionStep —
+// dense row-major plus CSR views of the strictly positive entries (and of
+// the transpose) when the matrix is sparse enough to profit
+// (kernels::kSparseBuildMaxDensity). Consecutive identical matrices share
+// one step, and CreateHomogeneous() shares a single step across all n-1
+// indices, so a length-4096 homogeneous sequence over |Σ|=1024 costs one
+// σ² matrix, not 4095. Engines read matrices through TransitionView(i)
+// (a kernels::MatrixRef: dense or CSR behind one dispatch point) instead
+// of copying rows into temporaries.
+//
 // Probabilities are doubles on the hot path. A MarkovSequence can
 // additionally carry exact rational probabilities (the paper's
 // numerator/denominator convention); the *_exact query algorithms and the
@@ -18,16 +28,44 @@
 #ifndef TMS_MARKOV_MARKOV_SEQUENCE_H_
 #define TMS_MARKOV_MARKOV_SEQUENCE_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
+#include "kernels/sparse.h"
 #include "numeric/log_prob.h"
 #include "numeric/rational.h"
 #include "strings/alphabet.h"
 #include "strings/str.h"
 
 namespace tms::markov {
+
+/// One immutable, validated transition matrix μ_i→ with its sparse views.
+/// Shared (shared_ptr) between the indices that use the same matrix and
+/// between copies of a MarkovSequence.
+struct TransitionStep {
+  std::vector<double> dense;  // σ×σ row-major
+  // CSR over the strictly positive entries (row = source node, columns
+  // ascending) and of the transpose (row = target node); built iff
+  // has_sparse.
+  std::vector<int32_t> row_off, col_idx;
+  std::vector<double> val;
+  std::vector<int32_t> t_row_off, t_col_idx;
+  std::vector<double> t_val;
+  size_t sigma = 0;
+  size_t nnz = 0;
+  double density = 1.0;
+  bool has_sparse = false;
+
+  /// The matrix behind one dispatch point (dense always, CSR iff built).
+  kernels::MatrixRef View() const;
+
+  /// Builds a step from a validated σ×σ matrix; CSR views are added when
+  /// density <= kernels::kSparseBuildMaxDensity.
+  static std::shared_ptr<const TransitionStep> Build(
+      std::vector<double> dense, size_t sigma);
+};
 
 /// An immutable Markov sequence. Use MarkovSequenceBuilder (builder.h) for
 /// convenient construction with named nodes, or Create() with raw vectors.
@@ -38,9 +76,18 @@ class MarkovSequence {
   /// `initial` has |Σ| entries summing to 1. `transitions` has n-1
   /// matrices; matrix i-1 is μ_i→, stored row-major (|Σ|·|Σ| entries, row =
   /// source node), every row summing to 1. Tolerance for sums is 1e-9.
+  /// Consecutive identical matrices are stored once.
   static StatusOr<MarkovSequence> Create(
       Alphabet nodes, std::vector<double> initial,
       std::vector<std::vector<double>> transitions);
+
+  /// A *time-homogeneous* sequence of length `length`: the single σ×σ
+  /// `transition` matrix is validated once and shared by every index
+  /// 1 ≤ i < length (O(σ²) storage regardless of n — the large-alphabet /
+  /// long-sequence regime the sparse backend targets).
+  static StatusOr<MarkovSequence> CreateHomogeneous(
+      Alphabet nodes, std::vector<double> initial,
+      std::vector<double> transition, int length);
 
   /// As Create(), but from exact rationals; the double representation is
   /// derived and exact probabilities are retained (has_exact() == true).
@@ -60,6 +107,24 @@ class MarkovSequence {
 
   /// μ_i→(s, t) for 1 ≤ i ≤ n-1.
   double Transition(int i, Symbol s, Symbol t) const;
+
+  /// The matrix μ_i→ (1 ≤ i ≤ n-1) behind one dispatch point: dense
+  /// row-major always, CSR views of the positive entries when built.
+  /// The view borrows the sequence's storage — valid while μ lives.
+  kernels::MatrixRef TransitionView(int i) const;
+
+  /// Identity of the step storage behind μ_i→: equal pointers ⇔ the same
+  /// shared matrix. Engines key per-step precomputation on this so a
+  /// homogeneous length-n sequence costs one table, not n-1.
+  const void* TransitionStepIdentity(int i) const;
+
+  /// Mean density (positive entries / σ²) over the *distinct* transition
+  /// matrices; 1.0 when n == 1. Input to kernels::ChooseBackend.
+  double TransitionDensity() const { return density_; }
+
+  /// True iff every distinct transition matrix carries CSR views (and
+  /// n > 1) — the has_sparse input to kernels::ChooseBackend.
+  bool HasSparseTransitions() const { return all_sparse_; }
 
   /// p(s) per Eq. 1; s must have length n.
   double WorldProbability(const Str& s) const;
@@ -90,12 +155,16 @@ class MarkovSequence {
   MarkovSequence() = default;
 
   size_t TransIndex(int i, Symbol s, Symbol t) const;
+  const TransitionStep& Step(int i) const;
+  void FinishSteps();  // fills density_ / all_sparse_ from steps_
 
   Alphabet nodes_;
   int length_ = 0;
   std::vector<double> initial_;
-  // transitions_[i-1] is μ_i→ row-major.
-  std::vector<std::vector<double>> transitions_;
+  // steps_[i-1] is μ_i→; consecutive equal matrices share one step.
+  std::vector<std::shared_ptr<const TransitionStep>> steps_;
+  double density_ = 1.0;
+  bool all_sparse_ = false;
   std::optional<std::vector<numeric::Rational>> exact_initial_;
   std::optional<std::vector<std::vector<numeric::Rational>>>
       exact_transitions_;

@@ -20,16 +20,29 @@ double ImaxOfAnswer(const IndexedConfidence& conf, const Str& o) {
 }
 
 struct ImaxEnumerator::State {
+  // Set only by WithOwnedInputs; `mu` / `p` point here in that case. The
+  // State lives on the heap behind a shared_ptr, so moving the enumerator
+  // never relocates them.
+  std::optional<markov::MarkovSequence> owned_mu;
+  std::optional<SProjector> owned_p;
+
   const markov::MarkovSequence* mu;
   const SProjector* p;
   ContextTables tables;
 
   State(const markov::MarkovSequence* mu_in, const SProjector* p_in)
       : mu(mu_in), p(p_in), tables(*mu_in, p_in->prefix(), p_in->suffix()) {}
+
+  State(markov::MarkovSequence mu_in, SProjector p_in)
+      : owned_mu(std::move(mu_in)),
+        owned_p(std::move(p_in)),
+        mu(&*owned_mu),
+        p(&*owned_p),
+        tables(*mu, owned_p->prefix(), owned_p->suffix()) {}
 };
 
 ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state,
-                               exec::ThreadPool* pool, exec::RunContext* run)
+                               const exec::EngineOptions& options)
     : state_(std::move(state)) {
   std::shared_ptr<State> s = state_;
   lawler_ = std::make_unique<ranking::LawlerEnumerator>(
@@ -46,12 +59,12 @@ ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state,
         return ranking::ScoredAnswer{std::move(answer.output),
                                      std::exp(-path->cost)};
       },
-      pool, run);
+      options.pool, options.run);
 }
 
 StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
     const markov::MarkovSequence* mu, const SProjector* p,
-    exec::ThreadPool* pool, exec::RunContext* run) {
+    const exec::EngineOptions& options) {
   if (mu == nullptr || p == nullptr) {
     return Status::InvalidArgument("ImaxEnumerator requires non-null args");
   }
@@ -59,7 +72,27 @@ StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
     return Status::InvalidArgument(
         "Markov sequence node set and s-projector alphabet differ");
   }
-  return ImaxEnumerator(std::make_shared<State>(mu, p), pool, run);
+  return ImaxEnumerator(std::make_shared<State>(mu, p), options);
+}
+
+StatusOr<ImaxEnumerator> ImaxEnumerator::Create(
+    const markov::MarkovSequence* mu, const SProjector* p,
+    exec::ThreadPool* pool, exec::RunContext* run) {
+  exec::EngineOptions options;
+  options.pool = pool;
+  options.run = run;
+  return Create(mu, p, options);
+}
+
+StatusOr<ImaxEnumerator> ImaxEnumerator::WithOwnedInputs(
+    markov::MarkovSequence mu, SProjector p,
+    const exec::EngineOptions& options) {
+  if (!(mu.nodes() == p.alphabet())) {
+    return Status::InvalidArgument(
+        "Markov sequence node set and s-projector alphabet differ");
+  }
+  return ImaxEnumerator(std::make_shared<State>(std::move(mu), std::move(p)),
+                        options);
 }
 
 std::optional<ranking::ScoredAnswer> ImaxEnumerator::Next() {

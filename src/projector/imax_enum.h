@@ -19,11 +19,13 @@
 #include <optional>
 #include <set>
 
+#include "exec/engine_options.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
 #include "projector/indexed_confidence.h"
 #include "projector/indexed_enum.h"
 #include "projector/sprojector.h"
+#include "ranking/answer_stream.h"
 #include "ranking/lawler.h"
 
 namespace tms::projector {
@@ -34,29 +36,44 @@ double ImaxOfAnswer(const IndexedConfidence& conf, const Str& o);
 
 /// Streams the distinct outputs of P(μ) in nonincreasing I_max — an
 /// n-approximate decreasing-confidence order with polynomial delay.
-class ImaxEnumerator {
+class ImaxEnumerator : public ranking::AnswerStream {
  public:
   /// Fails on alphabet mismatch. `mu` and `p` are non-owning and must
-  /// outlive the enumerator; the shared solver state (context tables) is
-  /// owned and pinned by the solver itself. `pool` (optional, non-owning)
-  /// solves the child subspaces of each pop concurrently — the solver only
-  /// reads the immutable inputs and tables, and results merge in child
-  /// order, so output is byte-identical at every thread count. `run`
-  /// (optional, non-owning) bounds the run (deadline / answer cap / work
-  /// budget / cancellation; see exec/run_context.h) — a truncated stream
-  /// is an exact prefix of the unbounded one.
+  /// outlive the enumerator (use WithOwnedInputs otherwise — the uniform
+  /// borrow-vs-own contract of ranking/answer_stream.h); the shared solver
+  /// state (context tables) is owned and pinned by the solver itself.
+  ///
+  /// Of EngineOptions this engine uses `pool` and `run`. `pool` solves the
+  /// child subspaces of each pop concurrently — the solver only reads the
+  /// immutable inputs and tables, and results merge in child order, so
+  /// output is byte-identical at every thread count. `run` bounds the run
+  /// (deadline / answer cap / work budget / cancellation; see
+  /// exec/run_context.h) — a truncated stream is an exact prefix of the
+  /// unbounded one. The s-projector DP walks the indexed DAG rather than
+  /// transition matrices, so `backend` has no effect here.
+  static StatusOr<ImaxEnumerator> Create(const markov::MarkovSequence* mu,
+                                         const SProjector* p,
+                                         const exec::EngineOptions& options);
+
+  /// Deprecated borrow spelling predating EngineOptions.
   static StatusOr<ImaxEnumerator> Create(const markov::MarkovSequence* mu,
                                          const SProjector* p,
                                          exec::ThreadPool* pool = nullptr,
                                          exec::RunContext* run = nullptr);
 
+  /// Takes ownership of copies of the inputs — safe even when the caller's
+  /// originals are temporaries or die before the enumerator does.
+  static StatusOr<ImaxEnumerator> WithOwnedInputs(
+      markov::MarkovSequence mu, SProjector p,
+      const exec::EngineOptions& options = {});
+
   /// The next answer (score = its I_max), or nullopt when exhausted.
-  std::optional<ranking::ScoredAnswer> Next();
+  std::optional<ranking::ScoredAnswer> Next() override;
 
  private:
   struct State;
-  ImaxEnumerator(std::shared_ptr<State> state, exec::ThreadPool* pool,
-                 exec::RunContext* run);
+  ImaxEnumerator(std::shared_ptr<State> state,
+                 const exec::EngineOptions& options);
 
   std::shared_ptr<State> state_;
   std::unique_ptr<ranking::LawlerEnumerator> lawler_;

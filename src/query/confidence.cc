@@ -11,6 +11,7 @@
 #include "kernels/dense.h"
 #include "kernels/kernels.h"
 #include "kernels/semiring.h"
+#include "kernels/sparse.h"
 #include "obs/obs.h"
 #include "query/confidence_exact.h"
 
@@ -74,11 +75,16 @@ Status RequireSameAlphabet(const markov::MarkovSequence& mu,
 // they are tabulated once per call. The gemm collapses the predecessor-
 // node sum first (the scalar loop interleaves it with the scatter), so
 // results can differ from the scalar path by reassociation error — within
-// the kernel layer's documented Real tolerance.
+// the kernel layer's documented Real tolerance. The sparse path skips
+// only exact-zero transition entries of that nonnegative sum in the same
+// ascending order, so it is bitwise identical to the dense path.
 double DetConfidenceDense(const markov::MarkovSequence& mu,
-                          const transducer::Transducer& t, const Str& o) {
+                          const transducer::Transducer& t, const Str& o,
+                          kernels::BackendChoice backend) {
   const int n = mu.length();
   const size_t sigma = mu.nodes().size();
+  const kernels::Backend resolved = kernels::ChooseBackend(
+      backend, mu.TransitionDensity(), sigma, mu.HasSparseTransitions());
   const size_t nq = static_cast<size_t>(t.num_states());
   const size_t jdim = o.size() + 1;
   const size_t cols = nq * jdim;
@@ -103,7 +109,6 @@ double DetConfidenceDense(const markov::MarkovSequence& mu,
   kernels::Matrix<double> cur(&arena, sigma, cols);
   kernels::Matrix<double> next(&arena, sigma, cols);
   kernels::Matrix<double> tmp(&arena, sigma, cols);
-  kernels::Matrix<double> tr(&arena, sigma, sigma);
 
   cur.Fill(0.0);
   for (size_t s = 0; s < sigma; ++s) {
@@ -117,15 +122,15 @@ double DetConfidenceDense(const markov::MarkovSequence& mu,
   }
 
   for (int i = 2; i <= n; ++i) {
-    for (size_t s = 0; s < sigma; ++s) {
-      for (size_t s2 = 0; s2 < sigma; ++s2) {
-        tr(s, s2) = mu.Transition(i - 1, static_cast<Symbol>(s),
-                                  static_cast<Symbol>(s2));
-      }
+    // tmp(s2, q·jdim + j) = Σ_s μ_i(s, s2)·cur(s, q·jdim + j): the mass
+    // arriving at node s2 from every live (s, q, j) cell. The step matrix
+    // is read in place from the Markov sequence (no per-step σ² copy).
+    kernels::MatrixRef view = mu.TransitionView(i - 1);
+    if (resolved == kernels::Backend::kSparse && view.has_sparse) {
+      kernels::SpGemm<kernels::Real>(view.csr_t, cur, &tmp);
+    } else {
+      kernels::GemmTN<kernels::Real>(view.dense, cur, &tmp);
     }
-    // tmp(s2, q·jdim + j) = Σ_s tr(s, s2)·cur(s, q·jdim + j): the mass
-    // arriving at node s2 from every live (s, q, j) cell.
-    kernels::GemmTN<kernels::Real>(tr, cur, &tmp);
     next.Fill(0.0);
     for (size_t s2 = 0; s2 < sigma; ++s2) {
       const double* trow = tmp.row(s2);
@@ -155,9 +160,10 @@ double DetConfidenceDense(const markov::MarkovSequence& mu,
 }
 
 template <typename P>
-StatusOr<typename P::Value> DetConfidenceImpl(const markov::MarkovSequence& mu,
-                                              const transducer::Transducer& t,
-                                              const Str& o) {
+StatusOr<typename P::Value> DetConfidenceImpl(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o,
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto) {
   TMS_RETURN_IF_ERROR(RequireSameAlphabet(mu, t));
   if (!t.IsDeterministic()) {
     return Status::FailedPrecondition(
@@ -180,9 +186,9 @@ StatusOr<typename P::Value> DetConfidenceImpl(const markov::MarkovSequence& mu,
                 static_cast<int64_t>(sigma * nq * jdim) * n);
 
   if constexpr (std::is_same_v<P, DoubleProb>) {
-    // Doubles take the dense kernel path; Rational keeps the scalar loop
+    // Doubles take the kernel path; Rational keeps the scalar loop
     // below (exact arithmetic has no dense representation here).
-    return DetConfidenceDense(mu, t, o);
+    return DetConfidenceDense(mu, t, o, backend);
   }
 
   std::vector<Value> cur(sigma * nq * jdim, P::Zero());
@@ -346,8 +352,9 @@ StatusOr<typename P::Value> UniformSubsetImpl(
 
 StatusOr<double> ConfidenceDeterministic(const markov::MarkovSequence& mu,
                                          const transducer::Transducer& t,
-                                         const Str& o) {
-  return DetConfidenceImpl<DoubleProb>(mu, t, o);
+                                         const Str& o,
+                                         kernels::BackendChoice backend) {
+  return DetConfidenceImpl<DoubleProb>(mu, t, o, backend);
 }
 
 StatusOr<numeric::Rational> ConfidenceDeterministicExact(
@@ -395,13 +402,14 @@ StatusOr<numeric::Rational> ConfidenceUniformSubsetExact(
 }
 
 StatusOr<double> Confidence(const markov::MarkovSequence& mu,
-                            const transducer::Transducer& t, const Str& o) {
+                            const transducer::Transducer& t, const Str& o,
+                            kernels::BackendChoice backend) {
   TMS_OBS_COUNT("query.confidence.calls", 1);
   if (t.IsDeterministic()) {
     if (t.UniformEmissionLength().has_value()) {
       return ConfidenceDeterministicUniform(mu, t, o);
     }
-    return ConfidenceDeterministic(mu, t, o);
+    return ConfidenceDeterministic(mu, t, o, backend);
   }
   if (t.UniformEmissionLength().has_value() && t.num_states() <= 63) {
     return ConfidenceUniformSubset(mu, t, o);

@@ -27,6 +27,7 @@
 #define TMS_QUERY_CONFIDENCE_H_
 
 #include "common/status.h"
+#include "kernels/backend.h"
 #include "markov/markov_sequence.h"
 #include "numeric/rational.h"
 #include "transducer/transducer.h"
@@ -34,10 +35,14 @@
 namespace tms::query {
 
 /// Theorem 4.6: confidence for a deterministic transducer.
-/// Fails if t is not deterministic.
-StatusOr<double> ConfidenceDeterministic(const markov::MarkovSequence& mu,
-                                         const transducer::Transducer& t,
-                                         const Str& o);
+/// Fails if t is not deterministic. `backend` selects the kernel path of
+/// the dense double DP (kernels/backend.h); the sparse path skips only
+/// exact zeros of a nonnegative sum in the same order, so the result is
+/// bitwise identical on either backend.
+StatusOr<double> ConfidenceDeterministic(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o,
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto);
 
 /// Exact-rational version of ConfidenceDeterministic.
 StatusOr<numeric::Rational> ConfidenceDeterministicExact(
@@ -65,9 +70,13 @@ StatusOr<numeric::Rational> ConfidenceUniformSubsetExact(
 /// Dispatching facade: picks the best applicable algorithm —
 /// deterministic → Theorem 4.6 (uniform fast path when possible),
 /// nondeterministic uniform → Theorem 4.8, otherwise the exact exponential
-/// algorithm of confidence_exact.h.
-StatusOr<double> Confidence(const markov::MarkovSequence& mu,
-                            const transducer::Transducer& t, const Str& o);
+/// algorithm of confidence_exact.h. `backend` reaches whichever algorithm
+/// has a kernel path (currently the non-uniform deterministic DP); the
+/// others ignore it.
+StatusOr<double> Confidence(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o,
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto);
 
 }  // namespace tms::query
 

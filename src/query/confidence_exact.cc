@@ -1,10 +1,13 @@
 #include "query/confidence_exact.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "kernels/sparse.h"
 
 namespace tms::query {
 namespace {
@@ -139,14 +142,42 @@ StatusOr<typename P::Value> ExactImpl(const markov::MarkovSequence& mu,
   };
   TMS_RETURN_IF_ERROR(account_layer(cur));
 
+  // Per-(layer, source-node) nonzero successor rows, hoisted out of the
+  // pair-set loop: the transition row depends only on (i, s), never on the
+  // DP set, so it is gathered once per layer instead of probed per live
+  // set × σ. For doubles the CSR row of the step (when present) *is* the
+  // nonzero pattern; Rational keeps a scalar scan because its support must
+  // come from the exact values themselves.
+  std::vector<std::pair<size_t, Value>> successors;
   for (int i = 2; i <= n; ++i) {
     std::vector<std::unordered_map<PairSet, Value, PairSetHash>> next(sigma);
     for (size_t s = 0; s < sigma; ++s) {
-      for (const auto& [set, mass] : cur[s]) {
+      if (cur[s].empty()) continue;
+      successors.clear();
+      if constexpr (std::is_same_v<P, DoubleProb>) {
+        kernels::MatrixRef view = mu.TransitionView(i - 1);
+        if (view.has_sparse) {
+          for (int32_t e = view.csr.row_off[s]; e < view.csr.row_off[s + 1];
+               ++e) {
+            successors.emplace_back(
+                static_cast<size_t>(view.csr.col_idx[e]),
+                view.csr.val[e]);
+          }
+        } else {
+          const double* row = view.dense.row(s);
+          for (size_t s2 = 0; s2 < sigma; ++s2) {
+            if (row[s2] > 0.0) successors.emplace_back(s2, row[s2]);
+          }
+        }
+      } else {
         for (size_t s2 = 0; s2 < sigma; ++s2) {
           Value step = P::Transition(mu, i - 1, static_cast<Symbol>(s),
                                      static_cast<Symbol>(s2));
-          if (P::IsZero(step)) continue;
+          if (!P::IsZero(step)) successors.emplace_back(s2, std::move(step));
+        }
+      }
+      for (const auto& [set, mass] : cur[s]) {
+        for (const auto& [s2, step] : successors) {
           PairSet set2;
           for (uint32_t packed : set) {
             step_pair(packed, static_cast<Symbol>(s2), &set2);

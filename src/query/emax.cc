@@ -2,12 +2,15 @@
 
 #include <cmath>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "kernels/arena.h"
 #include "kernels/dense.h"
 #include "kernels/kernels.h"
+#include "kernels/sparse.h"
 #include "numeric/log_prob.h"
 
 namespace tms::query {
@@ -30,26 +33,48 @@ const Str& EmissionOf(const transducer::Transducer& t, automata::StateId q,
 
 }  // namespace
 
-EmaxContext::EmaxContext(const markov::MarkovSequence& mu)
+EmaxContext::EmaxContext(const markov::MarkovSequence& mu,
+                         kernels::BackendChoice backend)
     : mu_(&mu),
       n_(mu.length()),
       sigma_(mu.nodes().size()),
-      init_(sigma_),
-      step_(static_cast<size_t>(n_) * sigma_ * sigma_) {
+      backend_(kernels::ChooseBackend(backend, mu.TransitionDensity(), sigma_,
+                                      mu.HasSparseTransitions())),
+      init_(sigma_) {
   for (size_t s = 0; s < sigma_; ++s) {
     init_[s] = LogProb::FromLinear(mu.Initial(static_cast<Symbol>(s))).log();
   }
+  // One log tensor per distinct transition matrix: a homogeneous μ (or a
+  // run of equal matrices) shares a single LogStep across its layers.
+  std::unordered_map<const void*, std::shared_ptr<const LogStep>> built;
+  steps_.reserve(static_cast<size_t>(n_ > 1 ? n_ - 1 : 0));
   for (int i = 2; i <= n_; ++i) {
-    double* row = step_.data() + (static_cast<size_t>(i) - 2) * sigma_ * sigma_;
-    for (size_t s = 0; s < sigma_; ++s) {
-      for (size_t s2 = 0; s2 < sigma_; ++s2) {
-        row[s * sigma_ + s2] =
-            LogProb::FromLinear(
-                mu.Transition(i - 1, static_cast<Symbol>(s),
-                              static_cast<Symbol>(s2)))
-                .log();
-      }
+    const void* id = mu.TransitionStepIdentity(i - 1);
+    auto it = built.find(id);
+    if (it != built.end()) {
+      steps_.push_back(it->second);
+      continue;
     }
+    kernels::MatrixRef view = mu.TransitionView(i - 1);
+    auto step = std::make_shared<LogStep>();
+    step->dense.resize(sigma_ * sigma_);
+    for (size_t c = 0; c < sigma_ * sigma_; ++c) {
+      step->dense[c] = LogProb::FromLinear(view.dense.data()[c]).log();
+    }
+    if (backend_ == kernels::Backend::kSparse && view.has_sparse) {
+      // The finite log entries are exactly μ's positive entries, so the
+      // CSR-transpose pattern carries over with log-mapped values.
+      const size_t nnz = view.csr_t.nnz;
+      step->t_off.assign(view.csr_t.row_off, view.csr_t.row_off + sigma_ + 1);
+      step->t_idx.assign(view.csr_t.col_idx, view.csr_t.col_idx + nnz);
+      step->t_val.resize(nnz);
+      for (size_t e = 0; e < nnz; ++e) {
+        step->t_val[e] = LogProb::FromLinear(view.csr_t.val[e]).log();
+      }
+      step->has_sparse = true;
+    }
+    built.emplace(id, step);
+    steps_.push_back(std::move(step));
   }
 }
 
@@ -128,13 +153,23 @@ std::optional<Evidence> EmaxContext::TopAnswer(
     }
   }
   for (int i = 2; i <= n; ++i) {
-    // step_ is logically const here; the Matrix view never writes it.
-    double* step_i = const_cast<double*>(
-        step_.data() + (static_cast<size_t>(i) - 2) * sigma * sigma);
-    kernels::Matrix<double> step_m(step_i, sigma, sigma);
+    const LogStep& ls = *steps_[static_cast<size_t>(i) - 2];
     kernels::Matrix<double> prev_m(layer(i - 1), sigma, nq);
-    // Stage (1): tmp(s2, q) = max_s step[s][s2] + prev[(s,q)].
-    kernels::GemmTN<kernels::MaxPlus>(step_m, prev_m, &tmp);
+    // Stage (1): tmp(s2, q) = max_s step[s][s2] + prev[(s,q)]. On the
+    // sparse backend the max runs over only the finite step entries via
+    // the CSR transpose (rows = s2, ascending s) — the skipped terms are
+    // -inf, the max-plus identity, so tmp is bitwise the dense result.
+    if (ls.has_sparse) {
+      kernels::CsrView<double> at{ls.t_off.data(), ls.t_idx.data(),
+                                  ls.t_val.data(), sigma, sigma,
+                                  ls.t_val.size()};
+      kernels::SpGemm<kernels::MaxPlus>(at, prev_m, &tmp);
+    } else {
+      // ls.dense is logically const here; the view never writes it.
+      kernels::Matrix<double> step_m(const_cast<double*>(ls.dense.data()),
+                                     sigma, sigma);
+      kernels::GemmTN<kernels::MaxPlus>(step_m, prev_m, &tmp);
+    }
     // Stage (2): scatter along the transducer edges into layer i.
     kernels::Matrix<double> next_m(layer(i), sigma, nq);
     kernels::MaxPlusEdgeScatter(tmp, csr_off, csr_tgt, &next_m);
@@ -192,8 +227,9 @@ std::optional<Evidence> EmaxContext::TopAnswer(
     size_t s2 = cell / nq;
     double target = layer(i)[cell];
     const double* prev_l = layer(i - 1);
-    const double* step_i =
-        step_.data() + (static_cast<size_t>(i) - 2) * sigma * sigma;
+    // Backtracking replays the dense log values; the sparse forward left
+    // the layers bitwise unchanged, so the equality scan is still exact.
+    const double* step_i = steps_[static_cast<size_t>(i) - 2]->dense.data();
     int32_t p = kNoBack;
     for (size_t s = 0; s < sigma && p == kNoBack; ++s) {
       double st = step_i[s * sigma + s2];
@@ -275,16 +311,35 @@ std::optional<Evidence> EmaxOfAnswer(const markov::MarkovSequence& mu,
       if (p0 > best[1][cell]) best[1][cell] = p0;
     }
   }
+  // Positive successors (s2, log step) of the current (i, s), gathered
+  // once per source row through the TransitionView instead of a scalar
+  // Transition() probe per (s, q, j, s2). The CSR pattern is exactly the
+  // set the step.IsZero() test used to keep, in the same ascending order.
+  std::vector<std::pair<size_t, LogProb>> successors;
   for (int i = 2; i <= n; ++i) {
+    kernels::MatrixRef view = mu.TransitionView(i - 1);
     for (size_t s = 0; s < sigma; ++s) {
+      successors.clear();
+      if (view.has_sparse) {
+        for (int32_t e = view.csr.row_off[s]; e < view.csr.row_off[s + 1];
+             ++e) {
+          successors.emplace_back(
+              static_cast<size_t>(view.csr.col_idx[e]),
+              LogProb::FromLinear(view.csr.val[e]));
+        }
+      } else {
+        const double* row = view.dense.row(s);
+        for (size_t s2 = 0; s2 < sigma; ++s2) {
+          if (row[s2] > 0.0) {
+            successors.emplace_back(s2, LogProb::FromLinear(row[s2]));
+          }
+        }
+      }
       for (size_t q = 0; q < nq; ++q) {
         for (size_t j = 0; j < jdim; ++j) {
           LogProb mass = best[static_cast<size_t>(i - 1)][idx(s, q, j)];
           if (mass.IsZero()) continue;
-          for (size_t s2 = 0; s2 < sigma; ++s2) {
-            LogProb step = LogProb::FromLinear(mu.Transition(
-                i - 1, static_cast<Symbol>(s), static_cast<Symbol>(s2)));
-            if (step.IsZero()) continue;
+          for (const auto& [s2, step] : successors) {
             LogProb cand = mass * step;
             for (const transducer::Edge& e :
                  t.Next(static_cast<automata::StateId>(q),

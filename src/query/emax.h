@@ -12,9 +12,11 @@
 #ifndef TMS_QUERY_EMAX_H_
 #define TMS_QUERY_EMAX_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "kernels/backend.h"
 #include "markov/markov_sequence.h"
 #include "transducer/transducer.h"
 
@@ -34,31 +36,61 @@ struct Evidence {
 /// solve time, and the tensors are reused by every subspace solve of the
 /// same enumeration (and by every thread of a parallel one).
 ///
+/// One log tensor is kept per *distinct* transition matrix (keyed on
+/// μ's shared step storage, markov::MarkovSequence::TransitionStepIdentity),
+/// so a homogeneous length-n sequence costs one σ² tensor instead of n-1.
+/// The kernel backend for the forward pass is resolved once at
+/// construction via kernels::ChooseBackend (see docs/SPARSE.md); when it
+/// resolves to sparse, each distinct step additionally carries a CSR of
+/// the finite log entries (= the positive probabilities) and the layer
+/// update runs through kernels::SpGemm — byte-identical layers either
+/// way, because max-plus skips of -inf terms are exact.
+///
 /// Immutable after construction, so a single context may be shared by
 /// concurrent TopAnswer calls. Holds `mu` by non-owning pointer: the
 /// Markov sequence must outlive the context.
 class EmaxContext {
  public:
-  explicit EmaxContext(const markov::MarkovSequence& mu);
+  explicit EmaxContext(
+      const markov::MarkovSequence& mu,
+      kernels::BackendChoice backend = kernels::BackendChoice::kAuto);
 
   const markov::MarkovSequence& mu() const { return *mu_; }
 
+  /// The backend the construction-time policy resolved to.
+  kernels::Backend backend() const { return backend_; }
+
   /// TopAnswerByEmax(mu, t) computed against the precomputed tensors.
-  /// Bit-identical to the naive DP (same witness, same output, same prob).
-  /// Thread-safe; scratch buffers are thread-local.
+  /// Bit-identical to the naive DP (same witness, same output, same prob)
+  /// on either backend. Thread-safe; scratch buffers are thread-local.
   std::optional<Evidence> TopAnswer(const transducer::Transducer& t) const;
 
  private:
+  /// Log-domain image of one distinct transition matrix.
+  struct LogStep {
+    std::vector<double> dense;  ///< [s·σ + s'] = log μ_i→(s, s')
+    // CSR of the *transpose* over the finite entries (row = successor
+    // s', columns = predecessors s, ascending) — the SpGemm operand of
+    // the layer update. Built iff has_sparse.
+    std::vector<int32_t> t_off, t_idx;
+    std::vector<double> t_val;
+    bool has_sparse = false;
+  };
+
   const markov::MarkovSequence* mu_;
   int n_;
   size_t sigma_;
+  kernels::Backend backend_;
   std::vector<double> init_;  ///< [s] = log μ.Initial(s)
-  std::vector<double> step_;  ///< [(i-2)·σ² + s·σ + s'] = log μ.Transition(i-1, s, s'), i ∈ 2..n
+  /// steps_[i-2] covers layer i ∈ 2..n (i.e. μ_{i-1}→); shared between
+  /// indices whose matrices share storage in μ.
+  std::vector<std::shared_ptr<const LogStep>> steps_;
 };
 
 /// An answer maximizing E_max over all of A^ω(μ): the most probable world
 /// accepted by A, together with the output of its best accepting run.
-/// Returns nullopt iff A^ω(μ) = ∅. Time O(n · |Σ|² · |Q|²).
+/// Returns nullopt iff A^ω(μ) = ∅. Time O(n · |Σ|² · |Q|²) dense,
+/// O(n · nnz · |Q|) sparse.
 /// One-shot wrapper over EmaxContext::TopAnswer; callers solving many
 /// transducers against the same μ should build the context once.
 std::optional<Evidence> TopAnswerByEmax(const markov::MarkovSequence& mu,

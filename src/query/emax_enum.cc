@@ -27,7 +27,7 @@ struct EmaxEnumerator::State {
   transducer::CompositionCache* cache = nullptr;
 
   void Init(const Options& options) {
-    ctx.emplace(*mu);
+    ctx.emplace(*mu, options.backend);
     if (options.cache != nullptr) {
       cache = options.cache;
     } else {

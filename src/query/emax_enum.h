@@ -15,10 +15,12 @@
 #include <optional>
 #include <utility>
 
+#include "exec/engine_options.h"
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
+#include "ranking/answer_stream.h"
 #include "ranking/lawler.h"
 #include "transducer/composition_cache.h"
 #include "transducer/transducer.h"
@@ -33,23 +35,13 @@ namespace tms::query {
 /// the arguments it was built from. The solver only reads immutable state
 /// and the thread-safe cache, so child subspaces may be solved in parallel
 /// (Options::pool) with output byte-identical to the sequential engine.
-class EmaxEnumerator {
+class EmaxEnumerator : public ranking::AnswerStream {
  public:
-  struct Options {
-    /// Solves the child subspaces of each pop concurrently. Non-owning;
-    /// the pool must outlive the enumerator. Null = sequential.
-    exec::ThreadPool* pool = nullptr;
-    /// Shared composition cache, e.g. one cache across the many
-    /// enumerations of a db::BatchEvaluator run. Non-owning (must outlive
-    /// the enumerator) and must be bound to the same transducer `t`.
-    /// Null = the enumerator keeps a private cache.
-    transducer::CompositionCache* cache = nullptr;
-    /// Bounded execution (deadline / answer cap / work budget /
-    /// cancellation; see exec/run_context.h). Non-owning; null =
-    /// unbounded. On truncation the emitted answers are an exact prefix
-    /// of the unbounded stream and `run->status()` says why.
-    exec::RunContext* run = nullptr;
-  };
+  /// Deprecated alias — EmaxEnumerator::Options *was* a bespoke struct
+  /// with fields {pool, cache, run}; exec::EngineOptions keeps that field
+  /// order (plus `backend`), so existing aggregate initializers compile
+  /// unchanged. New code should spell it exec::EngineOptions.
+  using Options = exec::EngineOptions;
 
   /// Borrows `mu` and `t`: both must outlive the enumerator. (Use
   /// WithOwnedInputs when that is hard to guarantee.)
@@ -70,7 +62,7 @@ class EmaxEnumerator {
   }
 
   /// The next answer (score = its E_max), or nullopt when exhausted.
-  std::optional<ranking::ScoredAnswer> Next();
+  std::optional<ranking::ScoredAnswer> Next() override;
 
  private:
   struct State;

@@ -3,8 +3,7 @@
 #include "obs/obs.h"
 #include "query/confidence.h"
 #include "query/emax.h"
-#include "query/emax_enum.h"
-#include "query/unranked_enum.h"
+#include "query/engine_factory.h"
 
 namespace tms::query {
 
@@ -25,20 +24,20 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
                                                   bool with_confidence) const {
   TMS_OBS_SPAN("query.evaluator.topk");
   std::vector<AnswerInfo> out;
-  EmaxEnumerator it(*mu_, *t_,
-                    EmaxEnumerator::Options{execution_.pool, execution_.cache,
-                                            execution_.run});
+  auto it = MakeEnumerator(EnumeratorKind::kEmax, *mu_, *t_, execution_);
+  if (!it.ok()) return it.status();
   // End-to-end per-answer delay, including the confidence computation —
   // what a top-k client actually waits between answers.
   obs::DelayRecorder delay("query.topk");
   for (int i = 0; i < k; ++i) {
-    auto answer = it.Next();
+    auto answer = (*it)->Next();
     if (!answer.has_value()) break;
     AnswerInfo info;
     info.output = std::move(answer->output);
     info.emax = answer->score;
     if (with_confidence) {
-      auto conf = query::Confidence(*mu_, *t_, info.output);
+      auto conf =
+          query::Confidence(*mu_, *t_, info.output, execution_.backend);
       if (!conf.ok()) return conf.status();
       info.confidence = *conf;
       TMS_OBS_COUNT("query.topk.confidence_calls", 1);
@@ -54,12 +53,14 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::EvaluateTwoStep(
     bool with_confidence) const {
   TMS_OBS_SPAN("query.evaluator.two_step");
   std::vector<AnswerInfo> out;
-  UnrankedEnumerator it(*mu_, *t_, execution_.run);
-  while (auto answer = it.Next()) {
+  auto it = MakeEnumerator(EnumeratorKind::kUnranked, *mu_, *t_, execution_);
+  if (!it.ok()) return it.status();
+  while (auto answer = (*it)->Next()) {
     AnswerInfo info;
-    info.output = std::move(*answer);
+    info.output = std::move(answer->output);
     if (with_confidence) {
-      auto conf = query::Confidence(*mu_, *t_, info.output);
+      auto conf =
+          query::Confidence(*mu_, *t_, info.output, execution_.backend);
       if (!conf.ok()) return conf.status();
       info.confidence = *conf;
       TMS_OBS_COUNT("query.twostep.confidence_calls", 1);
@@ -71,7 +72,7 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::EvaluateTwoStep(
 }
 
 StatusOr<double> Evaluator::Confidence(const Str& o) const {
-  return query::Confidence(*mu_, *t_, o);
+  return query::Confidence(*mu_, *t_, o, execution_.backend);
 }
 
 std::optional<double> Evaluator::Emax(const Str& o) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/engine_options.h"
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
@@ -42,12 +43,13 @@ class Evaluator {
   /// cancellation): on truncation they return the partial result with an
   /// OK StatusOr — a valid prefix of the unbounded result — and
   /// `run->status()` / `run->truncated()` carry the structured reason
-  /// (docs/ROBUSTNESS.md).
-  struct Execution {
-    exec::ThreadPool* pool = nullptr;
-    transducer::CompositionCache* cache = nullptr;
-    exec::RunContext* run = nullptr;
-  };
+  /// (docs/ROBUSTNESS.md). `backend` selects the kernel path of every DP
+  /// underneath (kernels/backend.h).
+  ///
+  /// Deprecated alias: this used to be a per-evaluator struct with fields
+  /// {pool, cache, run}; exec::EngineOptions preserves that field order,
+  /// so existing aggregate initializations keep compiling.
+  using Execution = exec::EngineOptions;
 
   /// Fails if the node set of `mu` differs from the input alphabet of `t`.
   static StatusOr<Evaluator> Create(const markov::MarkovSequence* mu,

@@ -9,6 +9,7 @@
 #include "kernels/dense.h"
 #include "kernels/kernels.h"
 #include "kernels/semiring.h"
+#include "kernels/sparse.h"
 
 namespace tms::query {
 namespace {
@@ -43,10 +44,13 @@ int AdvanceMatch(const Str& target, int j, const Str& w, MatchMode mode) {
 // reordering-free, so the oracle's verdicts are identical to the scalar
 // triple-loop this replaces.
 bool ReachDp(const markov::MarkovSequence& mu, const transducer::Transducer& t,
-             const Str& target, MatchMode mode) {
+             const Str& target, MatchMode mode,
+             kernels::BackendChoice backend) {
   TMS_CHECK(mu.nodes() == t.input_alphabet());
   const int n = mu.length();
   const size_t sigma = mu.nodes().size();
+  const kernels::Backend resolved = kernels::ChooseBackend(
+      backend, mu.TransitionDensity(), sigma, mu.HasSparseTransitions());
   const size_t nq = static_cast<size_t>(t.num_states());
   const size_t jdim = target.size() + 1;
   const size_t cols = nq * jdim;
@@ -91,17 +95,21 @@ bool ReachDp(const markov::MarkovSequence& mu, const transducer::Transducer& t,
   }
 
   for (int i = 2; i <= n; ++i) {
-    for (size_t s = 0; s < sigma; ++s) {
-      for (size_t s2 = 0; s2 < sigma; ++s2) {
-        tmask(s, s2) = mu.Transition(i - 1, static_cast<Symbol>(s),
-                                     static_cast<Symbol>(s2)) > 0
-                           ? 1
-                           : 0;
+    // tmp(s2, q·jdim + j) = OR_s [μ(s,s2) > 0] & cur(s, q·jdim + j):
+    // "some live (s, q, j) triple can step to node s2". The CSR pattern
+    // of the step *is* the > 0 mask, so the sparse path gathers only the
+    // supported predecessors — same verdicts, O(nnz) instead of O(σ²).
+    kernels::MatrixRef view = mu.TransitionView(i - 1);
+    if (resolved == kernels::Backend::kSparse && view.has_sparse) {
+      kernels::SpMaskOr(view.csr_t, cur, &tmp);
+    } else {
+      for (size_t s = 0; s < sigma; ++s) {
+        const double* mrow = view.dense.row(s);
+        uint8_t* trow = tmask.row(s);
+        for (size_t s2 = 0; s2 < sigma; ++s2) trow[s2] = mrow[s2] > 0 ? 1 : 0;
       }
+      kernels::GemmTN<kernels::BoolOr>(tmask, cur, &tmp);
     }
-    // tmp(s2, q·jdim + j) = OR_s tmask(s, s2) & cur(s, q·jdim + j):
-    // "some live (s, q, j) triple can step to node s2".
-    kernels::GemmTN<kernels::BoolOr>(tmask, cur, &tmp);
     next.Fill(0);
     for (size_t s2 = 0; s2 < sigma; ++s2) {
       const uint8_t* trow = tmp.row(s2);
@@ -135,18 +143,21 @@ bool ReachDp(const markov::MarkovSequence& mu, const transducer::Transducer& t,
 }  // namespace
 
 bool IsPossibleAnswer(const markov::MarkovSequence& mu,
-                      const transducer::Transducer& t, const Str& o) {
-  return ReachDp(mu, t, o, MatchMode::kExact);
+                      const transducer::Transducer& t, const Str& o,
+                      kernels::BackendChoice backend) {
+  return ReachDp(mu, t, o, MatchMode::kExact, backend);
 }
 
 bool HasAnyAnswer(const markov::MarkovSequence& mu,
-                  const transducer::Transducer& t) {
-  return ReachDp(mu, t, {}, MatchMode::kPrefix);
+                  const transducer::Transducer& t,
+                  kernels::BackendChoice backend) {
+  return ReachDp(mu, t, {}, MatchMode::kPrefix, backend);
 }
 
 bool HasAnswerWithPrefix(const markov::MarkovSequence& mu,
-                         const transducer::Transducer& t, const Str& prefix) {
-  return ReachDp(mu, t, prefix, MatchMode::kPrefix);
+                         const transducer::Transducer& t, const Str& prefix,
+                         kernels::BackendChoice backend) {
+  return ReachDp(mu, t, prefix, MatchMode::kPrefix, backend);
 }
 
 }  // namespace tms::query

@@ -9,25 +9,37 @@
 #ifndef TMS_QUERY_MEMBERSHIP_H_
 #define TMS_QUERY_MEMBERSHIP_H_
 
+#include "kernels/backend.h"
 #include "markov/markov_sequence.h"
 #include "transducer/transducer.h"
 
 namespace tms::query {
 
+// All three tests run the same boolean reachability DP; `backend` selects
+// its kernel path (kernels/backend.h). The DP is over the *support* of μ,
+// which the CSR pattern represents exactly, so the answer is identical on
+// either backend; sparse replaces the per-step O(|Σ|²) mask tabulation
+// with O(nnz) work.
+
 /// True iff Pr(S →[A^ω]→ o) > 0, i.e. o ∈ A^ω(μ).
-/// Time O(n · |Σ|² · |Q|² · (|o|+1)).
-bool IsPossibleAnswer(const markov::MarkovSequence& mu,
-                      const transducer::Transducer& t, const Str& o);
+/// Time O(n · |Σ|² · |Q|² · (|o|+1)) dense.
+bool IsPossibleAnswer(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& o,
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto);
 
 /// True iff A^ω(μ) ≠ ∅, i.e. Pr(S ∈ L(A)) > 0.
-/// Time O(n · |Σ|² · |Q|²).
-bool HasAnyAnswer(const markov::MarkovSequence& mu,
-                  const transducer::Transducer& t);
+/// Time O(n · |Σ|² · |Q|²) dense.
+bool HasAnyAnswer(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto);
 
 /// True iff some answer o ∈ A^ω(μ) has `prefix` as a (not necessarily
-/// proper) prefix. Time O(n · |Σ|² · |Q|² · (|prefix|+1)).
-bool HasAnswerWithPrefix(const markov::MarkovSequence& mu,
-                         const transducer::Transducer& t, const Str& prefix);
+/// proper) prefix. Time O(n · |Σ|² · |Q|² · (|prefix|+1)) dense.
+bool HasAnswerWithPrefix(
+    const markov::MarkovSequence& mu, const transducer::Transducer& t,
+    const Str& prefix,
+    kernels::BackendChoice backend = kernels::BackendChoice::kAuto);
 
 }  // namespace tms::query
 

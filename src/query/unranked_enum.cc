@@ -9,10 +9,31 @@ namespace tms::query {
 
 UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,
                                        const transducer::Transducer& t,
-                                       exec::RunContext* run)
-    : mu_(mu), t_(t), run_(run) {
+                                       const exec::EngineOptions& options)
+    : mu_(&mu), t_(&t), run_(options.run), backend_(options.backend) {
   max_output_len_ = static_cast<size_t>(mu.length()) *
                     static_cast<size_t>(t.MaxEmissionLength());
+}
+
+UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,
+                                       const transducer::Transducer& t,
+                                       exec::RunContext* run)
+    : UnrankedEnumerator(mu, t, [run] {
+        exec::EngineOptions options;
+        options.run = run;
+        return options;
+      }()) {}
+
+UnrankedEnumerator UnrankedEnumerator::WithOwnedInputs(
+    markov::MarkovSequence mu, transducer::Transducer t,
+    const exec::EngineOptions& options) {
+  auto owned_mu =
+      std::make_shared<const markov::MarkovSequence>(std::move(mu));
+  auto owned_t = std::make_shared<const transducer::Transducer>(std::move(t));
+  UnrankedEnumerator out(*owned_mu, *owned_t, options);
+  out.owned_mu_ = std::move(owned_mu);
+  out.owned_t_ = std::move(owned_t);
+  return out;
 }
 
 bool UnrankedEnumerator::StopBeforeOracleCall() {
@@ -27,13 +48,13 @@ bool UnrankedEnumerator::StopBeforeOracleCall() {
   return run_ != nullptr && !run_->ChargeWork();
 }
 
-std::optional<Str> UnrankedEnumerator::Next() {
+std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
   TMS_OBS_SPAN("query.unranked_enum.next");
   if (done_) return std::nullopt;
   // Answer boundary: once any limit fires the stream is over for good,
   // leaving an exact prefix of the unbounded enumeration.
   if (run_ != nullptr && !run_->BeforeAnswer()) return std::nullopt;
-  const size_t delta = t_.output_alphabet().size();
+  const size_t delta = t_->output_alphabet().size();
   const int64_t calls_before = oracle_calls_;
   (void)calls_before;  // only read by instrumentation
   // Counts the oracle calls made for this answer into the registry and
@@ -46,14 +67,14 @@ std::optional<Str> UnrankedEnumerator::Next() {
                       oracle_calls_ - calls_before);
     if (run_ != nullptr) run_->CountAnswer();
     delay_.RecordAnswer();
-    return answer;
+    return ranking::ScoredAnswer{answer, 0.0};
   };
 
   if (!started_) {
     started_ = true;
     if (StopBeforeOracleCall()) return std::nullopt;
     ++oracle_calls_;
-    if (!HasAnswerWithPrefix(mu_, t_, prefix_)) {
+    if (!HasAnswerWithPrefix(*mu_, *t_, prefix_, backend_)) {
       done_ = true;
       TMS_OBS_COUNT("query.unranked_enum.oracle_calls",
                     oracle_calls_ - calls_before);
@@ -62,7 +83,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
     next_symbol_.push_back(0);
     if (StopBeforeOracleCall()) return std::nullopt;
     ++oracle_calls_;
-    if (IsPossibleAnswer(mu_, t_, prefix_)) return emit(prefix_);
+    if (IsPossibleAnswer(*mu_, *t_, prefix_, backend_)) return emit(prefix_);
   }
 
   // Resume the DFS: extend the current prefix (or backtrack) until the
@@ -75,7 +96,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
         prefix_.push_back(d);
         if (StopBeforeOracleCall()) return std::nullopt;
         ++oracle_calls_;
-        if (HasAnswerWithPrefix(mu_, t_, prefix_)) {
+        if (HasAnswerWithPrefix(*mu_, *t_, prefix_, backend_)) {
           next_symbol_.back() = d + 1;
           next_symbol_.push_back(0);
           descended = true;
@@ -87,7 +108,7 @@ std::optional<Str> UnrankedEnumerator::Next() {
     if (descended) {
       if (StopBeforeOracleCall()) return std::nullopt;
       ++oracle_calls_;
-      if (IsPossibleAnswer(mu_, t_, prefix_)) return emit(prefix_);
+      if (IsPossibleAnswer(*mu_, *t_, prefix_, backend_)) return emit(prefix_);
       continue;
     }
     // Subtree exhausted: backtrack.
@@ -104,7 +125,7 @@ std::vector<Str> AllAnswers(const markov::MarkovSequence& mu,
                             const transducer::Transducer& t) {
   UnrankedEnumerator it(mu, t);
   std::vector<Str> out;
-  while (auto answer = it.Next()) out.push_back(std::move(*answer));
+  while (auto answer = it.Next()) out.push_back(std::move(answer->output));
   return out;
 }
 

@@ -14,33 +14,54 @@
 #ifndef TMS_QUERY_UNRANKED_ENUM_H_
 #define TMS_QUERY_UNRANKED_ENUM_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "exec/engine_options.h"
 #include "exec/run_context.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
+#include "ranking/answer_stream.h"
 #include "transducer/transducer.h"
 
 namespace tms::query {
 
-/// Streams A^ω(μ) with polynomial delay and polynomial space. The Markov
-/// sequence and the transducer must outlive the enumerator.
+/// Streams A^ω(μ) with polynomial delay and polynomial space. Scores are
+/// 0.0 (this engine makes no ranking claim; see ranking/answer_stream.h).
+/// Construction follows the uniform borrow-vs-own contract documented
+/// there: the plain constructors borrow μ and the transducer,
+/// WithOwnedInputs moves copies in.
 ///
-/// With a RunContext (non-owning; null = unbounded) every emptiness-oracle
+/// Of EngineOptions this engine uses `run` and `backend`: with a
+/// RunContext (non-owning; null = unbounded) every emptiness-oracle
 /// call charges one work unit and the DFS checks for cancellation and the
 /// deadline between oracle calls, so a stop request is honored within one
 /// oracle call — well inside the one-answer-delay truncation contract
 /// (docs/ROBUSTNESS.md). A stopped run returns nullopt forever after; the
 /// answers already emitted are an exact prefix of the unbounded stream.
-class UnrankedEnumerator {
+/// `backend` selects the kernel path of the membership oracle (identical
+/// verdicts either way, see query/membership.h).
+class UnrankedEnumerator : public ranking::AnswerStream {
  public:
+  UnrankedEnumerator(const markov::MarkovSequence& mu,
+                     const transducer::Transducer& t,
+                     const exec::EngineOptions& options);
+
+  /// Deprecated borrow spelling predating EngineOptions.
   UnrankedEnumerator(const markov::MarkovSequence& mu,
                      const transducer::Transducer& t,
                      exec::RunContext* run = nullptr);
 
-  /// The next answer in lexicographic order, or nullopt when exhausted.
-  std::optional<Str> Next();
+  /// Takes ownership of copies of the inputs — safe even when the caller's
+  /// originals are temporaries or die before the enumerator does.
+  static UnrankedEnumerator WithOwnedInputs(
+      markov::MarkovSequence mu, transducer::Transducer t,
+      const exec::EngineOptions& options = {});
+
+  /// The next answer in lexicographic order (score = 0.0), or nullopt
+  /// when exhausted.
+  std::optional<ranking::ScoredAnswer> Next() override;
 
   /// Number of emptiness-oracle calls made so far (delay instrumentation
   /// for the Theorem 4.1 bench).
@@ -51,9 +72,14 @@ class UnrankedEnumerator {
   // also the home of the per-oracle-call budget charge.
   bool StopBeforeOracleCall();
 
-  const markov::MarkovSequence& mu_;
-  const transducer::Transducer& t_;
+  // Set only by WithOwnedInputs; mu_/t_ point into them then. shared_ptr
+  // so moving the enumerator cannot relocate the pointees.
+  std::shared_ptr<const markov::MarkovSequence> owned_mu_;
+  std::shared_ptr<const transducer::Transducer> owned_t_;
+  const markov::MarkovSequence* mu_;
+  const transducer::Transducer* t_;
   exec::RunContext* run_;
+  kernels::BackendChoice backend_;
   Str prefix_;
   // One frame per prefix level: the next output symbol to try there.
   std::vector<Symbol> next_symbol_;

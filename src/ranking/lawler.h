@@ -22,19 +22,15 @@
 #include <utility>
 #include <vector>
 
+#include "exec/engine_options.h"
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "obs/delay.h"
+#include "ranking/answer_stream.h"
 #include "ranking/prefix_constraint.h"
 #include "strings/str.h"
 
 namespace tms::ranking {
-
-/// An enumerated answer with its score (higher = better).
-struct ScoredAnswer {
-  Str output;
-  double score = 0.0;
-};
 
 /// Solves one subspace: the best answer admitted by the constraint, or
 /// nullopt if the subspace is empty. Ties may be broken arbitrarily but
@@ -65,7 +61,7 @@ using SubspaceSolver =
 /// before its children are solved, so a limit firing mid-fanout can only
 /// suppress *future* answers, never change the current one (see
 /// docs/ROBUSTNESS.md).
-class LawlerEnumerator {
+class LawlerEnumerator : public AnswerStream {
  public:
   /// `pool` and `run` are optional and non-owning (they must outlive the
   /// enumerator); a null pool means the sequential engine, a null run
@@ -75,8 +71,13 @@ class LawlerEnumerator {
                             exec::ThreadPool* pool = nullptr,
                             exec::RunContext* run = nullptr);
 
+  /// As above, drawing pool/run from the shared options shape (cache and
+  /// backend do not apply here: the solver captures both).
+  LawlerEnumerator(SubspaceSolver solver, const exec::EngineOptions& options)
+      : LawlerEnumerator(std::move(solver), options.pool, options.run) {}
+
   /// The next best answer, or nullopt when the space is exhausted.
-  std::optional<ScoredAnswer> Next();
+  std::optional<ScoredAnswer> Next() override;
 
  private:
   struct Entry {

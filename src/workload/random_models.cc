@@ -38,6 +38,26 @@ markov::MarkovSequence RandomMarkovSequence(int sigma, int n, int support,
   return std::move(mu).value();
 }
 
+markov::MarkovSequence RandomHomogeneousMarkovSequence(int sigma, int n,
+                                                       int support, Rng& rng) {
+  TMS_CHECK(sigma >= 1 && n >= 1);
+  support = std::clamp(support, 1, sigma);
+  Alphabet nodes = MakeSymbols(sigma, "n");
+  std::vector<double> initial = rng.RandomDistribution(
+      static_cast<size_t>(sigma), static_cast<size_t>(support));
+  std::vector<double> transition;
+  transition.reserve(static_cast<size_t>(sigma) * static_cast<size_t>(sigma));
+  for (int s = 0; s < sigma; ++s) {
+    std::vector<double> row = rng.RandomDistribution(
+        static_cast<size_t>(sigma), static_cast<size_t>(support));
+    transition.insert(transition.end(), row.begin(), row.end());
+  }
+  auto mu = markov::MarkovSequence::CreateHomogeneous(
+      std::move(nodes), std::move(initial), std::move(transition), n);
+  TMS_CHECK(mu.ok());
+  return std::move(mu).value();
+}
+
 automata::Dfa RandomDfa(const Alphabet& alphabet, int num_states, Rng& rng,
                         double accept_prob) {
   TMS_CHECK(num_states >= 1);

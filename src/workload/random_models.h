@@ -37,6 +37,14 @@ Alphabet MakeSymbols(int count, const std::string& prefix = "s");
 markov::MarkovSequence RandomMarkovSequence(int sigma, int n, int support,
                                             Rng& rng);
 
+/// A random *homogeneous* Markov sequence: one σ×σ transition matrix
+/// shared by all n-1 steps (MarkovSequence::CreateHomogeneous, so storage
+/// and per-step kernel tables are O(σ²) regardless of n — the
+/// large-alphabet benchmark regime). Each row has `support` nonzero
+/// entries, so the density is support/σ.
+markov::MarkovSequence RandomHomogeneousMarkovSequence(int sigma, int n,
+                                                       int support, Rng& rng);
+
 /// A random complete DFA with the given number of states.
 automata::Dfa RandomDfa(const Alphabet& alphabet, int num_states, Rng& rng,
                         double accept_prob = 0.5);

@@ -212,7 +212,7 @@ TEST_F(CancellationFuzzTest, UnrankedEngineCancelsCleanly) {
     {
       query::UnrankedEnumerator it(inst.mu, inst.t);
       while (auto a = it.Next()) {
-        full.push_back(std::move(*a));
+        full.push_back(std::move(a->output));
         if (full.size() > 2000) break;
       }
     }
@@ -232,7 +232,7 @@ TEST_F(CancellationFuzzTest, UnrankedEngineCancelsCleanly) {
     {
       query::UnrankedEnumerator it(inst.mu, inst.t, &run);
       while (auto a = it.Next()) {
-        bounded.push_back(std::move(*a));
+        bounded.push_back(std::move(a->output));
         if (bounded.size() > 2000) break;
       }
     }

@@ -71,7 +71,7 @@ std::vector<Str> DrainUnranked(const Instance& inst, exec::RunContext* run,
   for (int i = 0; i < guard; ++i) {
     auto answer = it.Next();
     if (!answer.has_value()) break;
-    out.push_back(std::move(*answer));
+    out.push_back(std::move(answer->output));
   }
   return out;
 }

@@ -55,17 +55,22 @@ check_case hospital_sproj "$DATA/hospital.tms" "$DATA/lab_visit.tms" 5
 check_case running_example "$GDATA/fig1.tms" "$GDATA/fig2_query.tms" 5
 check_case bio_motif "$GDATA/motif.tms" "$GDATA/motif_query.tms" 5
 
-# The thread count must never change the answer stream (the max-plus
-# kernels and the Lawler engine are exact at any concurrency).
+# Neither the thread count nor the kernel backend may change the answer
+# stream: the max-plus kernels are exact at any concurrency, and the
+# sparse CSR path skips only ⊕-identity entries of the dense reduction
+# order (kernels/sparse.h), so --backend=sparse and --backend=auto must
+# reproduce the dense bytes at every thread count.
 t1=$("$CLI" topk "$DATA/hospital.tms" "$DATA/place_tracker.tms" 10 \
      --threads=1)
-for th in 2 8; do
-  tn=$("$CLI" topk "$DATA/hospital.tms" "$DATA/place_tracker.tms" 10 \
-       --threads=$th)
-  if [ "$t1" != "$tn" ]; then
-    echo "answer stream diverged at --threads=$th" >&2
-    exit 1
-  fi
+for th in 1 2 8; do
+  for be in dense sparse auto; do
+    tn=$("$CLI" topk "$DATA/hospital.tms" "$DATA/place_tracker.tms" 10 \
+         --threads=$th --backend=$be)
+    if [ "$t1" != "$tn" ]; then
+      echo "answer stream diverged at --threads=$th --backend=$be" >&2
+      exit 1
+    fi
+  done
 done
 
 [ -n "${TMS_UPDATE_GOLDEN:-}" ] || echo "golden corpus OK"

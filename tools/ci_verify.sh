@@ -4,8 +4,9 @@
 #   1. tier-1: default build, full test suite
 #   2. asan:   ASan+UBSan build, `ctest -L robustness` + `-L concurrency`
 #   3. tsan:   TSan build,       `ctest -L robustness` + `-L concurrency`
-#   4. bench:  enumeration bench reports (BENCH_enumeration_delay.json,
-#              BENCH_enumeration_emax.json, BENCH_twostep_vs_ranked.json)
+#   4. bench:  enumeration + kernel bench reports
+#              (BENCH_enumeration_delay.json, BENCH_enumeration_emax.json,
+#              BENCH_twostep_vs_ranked.json, BENCH_sparse_scaling.json)
 #              emitted to build/bench-json/ and checked non-empty; set
 #              TMS_UPDATE_BASELINES=1 to refresh bench/baselines/
 #
@@ -62,7 +63,7 @@ esac
 case "$STAGE" in
   bench|all)
     BENCHES="bench_enumeration_delay bench_enumeration_emax \
-             bench_twostep_vs_ranked"
+             bench_twostep_vs_ranked bench_sparse_scaling"
     echo "==> [bench] configure + build ($ROOT/build)"
     cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
     # shellcheck disable=SC2086

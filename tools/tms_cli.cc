@@ -25,6 +25,11 @@
 //   --max-answers=N  stop after N emitted answers (per sequence in batch).
 //   --budget=N       work-unit budget (subspace solves / oracle calls),
 //                    shared across the whole command.
+//   --backend=dense|sparse|auto
+//                    kernel path of the DP layers (default auto: sparse
+//                    when the transition matrices are sparse enough, see
+//                    docs/SPARSE.md). Output is byte-identical across
+//                    backends; only the running time changes.
 // The answers printed under any of these limits are always an exact prefix
 // of the unbounded output. A truncated run still exits 0: the stop reason
 // goes to stderr (human mode) or the "exec" field (--stats=json).
@@ -58,8 +63,8 @@
 #include "obs/obs.h"
 #include "projector/imax_enum.h"
 #include "projector/sprojector_confidence.h"
+#include "query/engine_factory.h"
 #include "query/evaluator.h"
-#include "query/unranked_enum.h"
 
 namespace {
 
@@ -81,12 +86,24 @@ struct ExecOptions {
   int64_t deadline_ms = -1;
   int64_t max_answers = -1;
   int64_t budget = -1;
+  // --backend=dense|sparse|auto: kernel path of every DP underneath.
+  // Output is byte-identical across backends (docs/SPARSE.md).
+  kernels::BackendChoice backend = kernels::BackendChoice::kAuto;
 
   exec::ThreadPool* MakePool() {
     if (threads > 1 && pool_ == nullptr) {
       pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
     }
     return pool_.get();
+  }
+
+  // The full engine-options bundle the enumeration engines consume.
+  exec::EngineOptions MakeEngineOptions() {
+    exec::EngineOptions options;
+    options.pool = MakePool();
+    options.run = MakeRun();
+    options.backend = backend;
+    return options;
   }
 
   // The run context, or null when no limit flag was given (engines treat
@@ -174,6 +191,7 @@ int Usage() {
                "       tms_cli show <file>\n"
                "flags: --threads=N | --deadline-ms=N | --max-answers=N | "
                "--budget=N |\n"
+               "       --backend=dense|sparse|auto |\n"
                "       --stats | --stats=json | --stats=prom | --trace=FILE\n");
   return 2;
 }
@@ -238,8 +256,7 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
   if (query->transducer.has_value()) {
     auto eval = query::Evaluator::Create(&*mu, &*query->transducer);
     if (!eval.ok()) return Fail(eval.status());
-    eval->set_execution(query::Evaluator::Execution{exec->MakePool(), nullptr,
-                                                    exec->MakeRun()});
+    eval->set_execution(exec->MakeEngineOptions());
     auto topk = eval->TopK(k);
     if (!topk.ok()) return Fail(topk.status());
     if (!out->json) {
@@ -262,15 +279,14 @@ int RunTopK(const std::string& seq_path, const std::string& query_path,
     ReportRun(exec->MakeRun(), out);
     return 0;
   }
-  auto it = projector::ImaxEnumerator::Create(&*mu, &*query->sprojector,
-                                              exec->MakePool(),
-                                              exec->MakeRun());
+  auto it = query::MakeEnumerator(*mu, *query->sprojector,
+                                  exec->MakeEngineOptions());
   if (!it.ok()) return Fail(it.status());
   if (!out->json) {
     std::printf("%-30s %-14s %-14s\n", "answer", "I_max", "confidence");
   }
   for (int i = 0; i < k; ++i) {
-    auto answer = it->Next();
+    auto answer = (*it)->Next();
     if (!answer.has_value()) break;
     auto conf = projector::SProjectorConfidence(*mu, *query->sprojector,
                                                 answer->output);
@@ -358,13 +374,15 @@ int RunEnum(const std::string& seq_path, const std::string& query_path,
   transducer::Transducer t = query->transducer.has_value()
                                  ? std::move(*query->transducer)
                                  : query->sprojector->ToTransducer();
-  query::UnrankedEnumerator it(*mu, t, exec->MakeRun());
+  auto it = query::MakeEnumerator(query::EnumeratorKind::kUnranked, *mu, t,
+                                  exec->MakeEngineOptions());
+  if (!it.ok()) return Fail(it.status());
   int count = 0;
   out->results = "[";
   while (count < limit) {
-    auto answer = it.Next();
+    auto answer = (*it)->Next();
     if (!answer.has_value()) break;
-    std::string formatted = FormatStr(t.output_alphabet(), *answer);
+    std::string formatted = FormatStr(t.output_alphabet(), answer->output);
     if (out->json) {
       if (count > 0) out->results += ',';
       out->results += '"';
@@ -401,6 +419,7 @@ int RunBatch(const std::string& query_path,
   db::BatchEvaluator::Options options;
   options.threads = exec->threads;
   options.run = exec->MakeRun();
+  options.backend = exec->backend;
   auto batch = db::BatchEvaluator::Create(&collection, &t, options);
   if (!batch.ok()) return Fail(batch.status());
 
@@ -566,11 +585,17 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
       if (!ParseNonNegInt64(arg, std::strlen("--budget="), &exec->budget)) {
         return false;
       }
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      auto choice =
+          kernels::ParseBackendChoice(arg.substr(std::strlen("--backend=")));
+      if (!choice.has_value()) return false;
+      exec->backend = *choice;
     } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0 ||
                arg.rfind("--threads", 0) == 0 ||
                arg.rfind("--deadline-ms", 0) == 0 ||
                arg.rfind("--max-answers", 0) == 0 ||
-               arg.rfind("--budget", 0) == 0) {
+               arg.rfind("--budget", 0) == 0 ||
+               arg.rfind("--backend", 0) == 0) {
       return false;
     } else {
       rest.push_back(arg);
