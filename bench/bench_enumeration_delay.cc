@@ -13,12 +13,17 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "exec/fault.h"
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "obs/delay.h"
+#include "obs/explain.h"
+#include "obs/query_scope.h"
 #include "ranking/lawler.h"
 #include "projector/imax_enum.h"
 #include "projector/sprojector.h"
@@ -33,6 +38,57 @@ struct Instance {
   markov::MarkovSequence mu;
   transducer::Transducer t;
 };
+
+// Per-query explain reports collected across the measured runs; written
+// as BENCH_enumeration_delay_explain.json beside the main report so a
+// delay regression can be attributed to a phase (compose / solve / merge
+// / confidence) without rerunning the bench under a profiler.
+std::vector<std::string>& ExplainDocs() {
+  static std::vector<std::string> docs;
+  return docs;
+}
+
+// Runs `fn` under its own obs::QueryScope and captures the per-query
+// explain JSON. The engines must be constructed inside `fn` so they
+// capture the scope's trace context.
+template <typename Fn>
+void RunAsQuery(const std::string& name, int threads, Fn fn) {
+  obs::QueryScope scope(name);
+  const int64_t start_ns = obs::MonotonicNanos();
+  fn();
+  obs::ExplainInput input;
+  input.query = name;
+  input.query_id = scope.query_id();
+  input.duration_ns = obs::MonotonicNanos() - start_ns;
+  input.threads = threads;
+  input.stats = scope.Snapshot();
+  ExplainDocs().push_back(obs::ExplainJson(input));
+}
+
+// Writes the sidecar ({"bench":...,"queries":[{"explain":{...}}, ...]})
+// to the same directory as the main report. Returns false on I/O failure.
+bool WriteExplainSidecar() {
+  std::string dir = ".";
+  if (const char* env = std::getenv("TMS_BENCH_JSON_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_enumeration_delay_explain.json";
+  std::string doc = "{\"bench\":\"enumeration_delay\",\"queries\":[";
+  bool first = true;
+  for (const std::string& e : ExplainDocs()) {
+    if (!first) doc += ',';
+    first = false;
+    doc += e;
+  }
+  doc += "]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARNING: failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(doc.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
 
 Instance MakeInstance(int n, uint64_t seed) {
   Rng rng(seed);
@@ -94,14 +150,18 @@ void PrintReproduction() {
               "answers", "max (ms)", "p50 (ms)", "p99 (ms)", "total (ms)");
   for (int n : {8, 16, 32, 64}) {
     Instance inst = MakeInstance(n, 211);
-    query::UnrankedEnumerator it(inst.mu, inst.t);
-    MeasureDelays("unranked", n, 200,
-                  [&] { return it.Next().has_value(); });
+    RunAsQuery("unranked.n=" + std::to_string(n), 1, [&] {
+      query::UnrankedEnumerator it(inst.mu, inst.t);
+      MeasureDelays("unranked", n, 200,
+                    [&] { return it.Next().has_value(); });
+    });
   }
   for (int n : {8, 16, 32, 64}) {
     Instance inst = MakeInstance(n, 211);
-    query::EmaxEnumerator it(inst.mu, inst.t);
-    MeasureDelays("emax", n, 100, [&] { return it.Next().has_value(); });
+    RunAsQuery("emax.n=" + std::to_string(n), 1, [&] {
+      query::EmaxEnumerator it(inst.mu, inst.t);
+      MeasureDelays("emax", n, 100, [&] { return it.Next().has_value(); });
+    });
   }
   for (int n : {8, 16, 32}) {
     // Random projectors can be empty on a given seed; scan a fixed seed
@@ -114,8 +174,11 @@ void PrintReproduction() {
       projector::SProjector p = RandomProjector(mu.nodes(), rng);
       auto probe = projector::ImaxEnumerator::Create(&mu, &p);
       if (!probe.ok() || !probe->Next().has_value()) continue;
-      auto it = projector::ImaxEnumerator::Create(&mu, &p);
-      MeasureDelays("imax", n, 100, [&] { return it->Next().has_value(); });
+      RunAsQuery("imax.n=" + std::to_string(n), 1, [&] {
+        auto it = projector::ImaxEnumerator::Create(&mu, &p);
+        MeasureDelays("imax", n, 100,
+                      [&] { return it->Next().has_value(); });
+      });
       measured = true;
     }
     if (!measured) {
@@ -149,17 +212,22 @@ void PrintMultiThread() {
       if (threads > 1) {
         pool = std::make_unique<exec::ThreadPool>(threads - 1);
       }
-      query::EmaxEnumerator it(
-          inst.mu, inst.t,
-          query::EmaxEnumerator::Options{pool.get(), nullptr});
       std::vector<ranking::ScoredAnswer> answers;
-      Stopwatch wall;
-      while (static_cast<int>(answers.size()) < 100) {
-        auto answer = it.Next();
-        if (!answer.has_value()) break;
-        answers.push_back(std::move(*answer));
-      }
-      double total_ms = wall.ElapsedSeconds() * 1e3;
+      double total_ms = 0.0;
+      RunAsQuery("emax.threads=" + std::to_string(threads) +
+                     ".n=" + std::to_string(n),
+                 threads, [&] {
+        query::EmaxEnumerator it(
+            inst.mu, inst.t,
+            query::EmaxEnumerator::Options{pool.get(), nullptr});
+        Stopwatch wall;
+        while (static_cast<int>(answers.size()) < 100) {
+          auto answer = it.Next();
+          if (!answer.has_value()) break;
+          answers.push_back(std::move(*answer));
+        }
+        total_ms = wall.ElapsedSeconds() * 1e3;
+      });
 
       bool identical = true;
       if (threads == 1) {
@@ -386,5 +454,6 @@ int main() {
   tms::PrintReproduction();
   tms::PrintMultiThread();
   bool bounded_ok = tms::PrintBounded();
-  return bounded_ok ? 0 : 1;
+  bool sidecar_ok = tms::WriteExplainSidecar();
+  return bounded_ok && sidecar_ok ? 0 : 1;
 }

@@ -17,8 +17,10 @@ BatchEvaluator::BatchEvaluator(const SequenceCollection* collection,
       options_(options),
       cache_(std::make_unique<transducer::CompositionCache>(
           t, options.cache_max_bytes)),
-      pool_(std::make_unique<exec::ThreadPool>(
-          options.threads > 1 ? options.threads - 1 : 0)) {}
+      owned_pool_(options.pool != nullptr
+                      ? nullptr
+                      : std::make_unique<exec::ThreadPool>(
+                            options.threads > 1 ? options.threads - 1 : 0)) {}
 
 StatusOr<BatchEvaluator> BatchEvaluator::Create(
     const SequenceCollection* collection, const transducer::Transducer* t,
@@ -46,7 +48,7 @@ BatchEvaluator::TopKPerSequence(int k, bool with_confidence) {
   // parallelism inside each evaluation stays off (no nested pool) — the
   // batch dimension already saturates the workers.
   std::vector<PerSequence> solved =
-      pool_->ParallelMap<PerSequence>(
+      pool()->ParallelMap<PerSequence>(
           static_cast<int64_t>(keys.size()),
           [this, k, with_confidence, &keys](int64_t i) {
             PerSequence out;
@@ -91,7 +93,7 @@ std::vector<BatchEvaluator::SequenceResult> BatchEvaluator::EvaluateAll(
   TMS_OBS_SPAN("db.batch.evaluate_all");
   const std::vector<std::string> keys = collection_->Keys();  // sorted
   exec::RunContext* batch_run = options_.run;
-  std::vector<SequenceResult> results = pool_->ParallelMap<SequenceResult>(
+  std::vector<SequenceResult> results = pool()->ParallelMap<SequenceResult>(
       static_cast<int64_t>(keys.size()),
       [this, k, with_confidence, &keys, batch_run](int64_t i) {
         SequenceResult out;

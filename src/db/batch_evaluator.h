@@ -38,8 +38,15 @@ class BatchEvaluator {
  public:
   struct Options {
     /// Total evaluation concurrency (worker threads + the calling
-    /// thread); values ≤ 1 run sequentially on the caller.
+    /// thread); values ≤ 1 run sequentially on the caller. Ignored when
+    /// `pool` is set.
     int threads = 1;
+    /// Optional, non-owning: run the batch on this shared pool instead of
+    /// an owned one. Several BatchEvaluators (several concurrent queries)
+    /// can then share one set of workers; per-query observability stays
+    /// separable because every ParallelFor batch carries its opener's
+    /// obs::QueryScope context.
+    exec::ThreadPool* pool = nullptr;
     /// Budget of the shared composition cache.
     size_t cache_max_bytes = transducer::CompositionCache::kDefaultMaxBytes;
     /// Optional, non-owning. Bounds the whole batch: the deadline, work
@@ -105,13 +112,20 @@ class BatchEvaluator {
   BatchEvaluator(const SequenceCollection* collection,
                  const transducer::Transducer* t, Options options);
 
+  // The pool batches run on: the shared Options::pool when set, else the
+  // owned one.
+  exec::ThreadPool* pool() {
+    return options_.pool != nullptr ? options_.pool : owned_pool_.get();
+  }
+
   const SequenceCollection* collection_;
   const transducer::Transducer* t_;
   Options options_;
   // unique_ptr so BatchEvaluator stays movable (StatusOr needs that);
-  // both are created in the constructor and never null.
+  // the cache is created in the constructor and never null, the owned
+  // pool is null when Options::pool supplies an external one.
   std::unique_ptr<transducer::CompositionCache> cache_;
-  std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
 };
 
 }  // namespace tms::db

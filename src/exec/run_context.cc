@@ -6,7 +6,9 @@ namespace tms::exec {
 
 RunContext::RunContext()
     : shared_(std::make_shared<SharedState>()),
-      stream_(std::make_shared<StreamState>()) {}
+      stream_(std::make_shared<StreamState>()) {
+  stream_->obs_query_id = obs::CurrentQueryId();
+}
 
 void RunContext::set_deadline(Clock::time_point deadline) {
   shared_->deadline = deadline;
@@ -23,6 +25,7 @@ void RunContext::set_max_answers(int64_t max_answers) {
 
 void RunContext::set_work_budget(int64_t units) {
   shared_->budget_remaining.store(units, std::memory_order_relaxed);
+  shared_->budget_configured = units;
 }
 
 void RunContext::set_cancel_token(CancelToken token) {
@@ -37,6 +40,11 @@ RunContext RunContext::Child(int64_t max_answers) const {
   RunContext child;
   child.shared_ = shared_;
   child.stream_->max_answers = max_answers;
+  // A child created on a thread with no current scope still belongs to the
+  // query that owns its parent stream (batch fan-out).
+  if (child.stream_->obs_query_id == 0) {
+    child.stream_->obs_query_id = stream_->obs_query_id;
+  }
   return child;
 }
 
@@ -46,24 +54,37 @@ void RunContext::Latch(StopReason reason) {
           expected, static_cast<int>(reason), std::memory_order_acq_rel)) {
     return;  // an earlier reason already stopped this stream
   }
+  // Hard-limit truncations trigger the flight recorder (answer cap is a
+  // client-requested stop, not a failure). The query id was captured at
+  // stream creation, so a limit observed on a worker thread still
+  // attributes to the right query.
+  const char* flight_reason = nullptr;
   switch (reason) {
     case StopReason::kAnswerCap:
       TMS_OBS_COUNT("exec.budget.answer_capped", 1);
       break;
     case StopReason::kBudget:
       TMS_OBS_COUNT("exec.budget.budget_exhausted", 1);
+      flight_reason = "BUDGET_EXHAUSTED";
       break;
     case StopReason::kDeadline:
       TMS_OBS_COUNT("exec.budget.deadline_exceeded", 1);
+      flight_reason = "DEADLINE_EXCEEDED";
       break;
     case StopReason::kCancelled:
       TMS_OBS_COUNT("exec.budget.cancelled", 1);
+      flight_reason = "CANCELLED";
       break;
     case StopReason::kFault:
       TMS_OBS_COUNT("exec.budget.faults", 1);
+      flight_reason = "FAULT";
       break;
     case StopReason::kNone:
       break;
+  }
+  if (flight_reason != nullptr) {
+    obs::FlightRecorder::Global().OnTruncation(
+        flight_reason, stream_->obs_query_id, stream_->fault_point);
   }
 }
 

@@ -153,12 +153,19 @@ class RunContext {
   int64_t max_answers() const { return stream_->max_answers; }
   bool has_deadline() const { return shared_->has_deadline; }
   Clock::time_point deadline() const { return shared_->deadline; }
+  /// Budget units configured at set_work_budget time (kUnlimited = none).
+  int64_t budget_configured() const { return shared_->budget_configured; }
+  /// The obs::QueryScope id this stream was created under (0 = none).
+  /// Hard-limit truncations are attributed to this query in the flight
+  /// recorder (docs/OBSERVABILITY.md).
+  uint64_t obs_query_id() const { return stream_->obs_query_id; }
 
  private:
   // Limits + pooled counters shared across Child() streams.
   struct SharedState {
     std::atomic<int64_t> budget_remaining{kUnlimited};
     std::atomic<int64_t> work_charged{0};
+    int64_t budget_configured = kUnlimited;
     Clock::time_point deadline{};
     bool has_deadline = false;
     CancelToken cancel;
@@ -168,7 +175,8 @@ class RunContext {
     std::atomic<int> stop_reason{0};
     std::atomic<int64_t> answers{0};
     int64_t max_answers = kUnlimited;
-    std::string fault_point;  // written once, before stop_reason latches
+    uint64_t obs_query_id = 0;  // owning QueryScope at stream creation
+    std::string fault_point;    // written once, before stop_reason latches
   };
 
   // Latches `reason` if none is set yet (first reason wins) and bumps the

@@ -23,6 +23,9 @@ ThreadPool::~ThreadPool() {
 }
 
 int64_t ThreadPool::DrainBatch(Batch* batch) {
+  // Work items run under the opener's query scope (a no-op for the opener
+  // itself, whose thread state already matches the captured context).
+  obs::ScopeAdoption adopt(batch->obs_ctx);
   int64_t ran = 0;
   for (;;) {
     int64_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
@@ -81,6 +84,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->n = n;
+  batch->obs_ctx = obs::CurrentTraceContext();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.push_back(batch);

@@ -37,6 +37,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/query_scope.h"
+
 namespace tms::exec {
 
 /// A fixed set of worker threads plus fork-join helpers. Thread-safe:
@@ -86,6 +88,10 @@ class ThreadPool {
   struct Batch {
     const std::function<void(int64_t)>* fn = nullptr;
     int64_t n = 0;
+    // The opener's trace context at submission: every thread draining the
+    // batch adopts it, so items attribute their metrics/spans to the
+    // opener's query no matter which thread runs them.
+    obs::TraceContext obs_ctx;
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> done{0};
     std::mutex mu;

@@ -17,6 +17,7 @@
 #include "common/stopwatch.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "obs/query_scope.h"
 
 namespace tms::obs {
 
@@ -29,18 +30,21 @@ class DelayRecorder {
   /// Registers (or reuses) the histogram `<name>.delay_ns`. The first
   /// recorded delay is measured from construction (or the last Restart()).
   explicit DelayRecorder(std::string_view name)
-      : histogram_(
-            &Registry::Global().histogram(std::string(name) + ".delay_ns")) {}
+      : name_(std::string(name) + ".delay_ns"),
+        histogram_(&Registry::Global().histogram(name_)) {}
 
   /// Re-arms the interval origin without recording (e.g. when work between
   /// answers should not count toward the next delay).
   void Restart() { watch_.Restart(); }
 
   /// Records the delay since the previous answer (or construction) and
-  /// returns it in nanoseconds.
+  /// returns it in nanoseconds. Also routed to the current thread's
+  /// QueryScope, so per-query delay distributions stay separable when
+  /// several streams share the process.
   int64_t RecordAnswer() {
     int64_t ns = watch_.Lap();
     histogram_->Record(ns);
+    QueryScope::RecordHistogram(name_, ns);
     return ns;
   }
 
@@ -48,6 +52,7 @@ class DelayRecorder {
   HistogramSnapshot Snapshot() const { return histogram_->Snapshot(); }
 
  private:
+  std::string name_;
   Stopwatch watch_;
   Histogram* histogram_;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace tms::obs {
 
@@ -13,15 +14,6 @@ void AppendInt(int64_t v, std::string* out) {
   *out += buf;
 }
 
-std::string PrometheusName(std::string_view name) {
-  std::string out = "tms_";
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_';
-    out += ok ? c : '_';
-  }
-  return out;
-}
 
 void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
   *out += "{\"count\":";
@@ -97,6 +89,51 @@ void AppendJsonNumber(double v, std::string* out) {
   *out += buf;
 }
 
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out = "tms_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendPrometheusNumber(double v, std::string* out) {
+  if (std::isnan(v)) {
+    *out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    *out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+std::string PrometheusLabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string RegistryJson(const RegistrySnapshot& snapshot) {
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -135,23 +172,30 @@ std::string RegistryJson(const RegistrySnapshot& snapshot) {
 std::string PrometheusText(const RegistrySnapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
-    std::string pname = PrometheusName(name);
+    std::string pname = PrometheusMetricName(name);
     out += "# TYPE " + pname + " counter\n" + pname + ' ';
     AppendInt(value, &out);
     out += '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    std::string pname = PrometheusName(name);
+    std::string pname = PrometheusMetricName(name);
     out += "# TYPE " + pname + " gauge\n" + pname + ' ';
-    AppendJsonNumber(value, &out);
+    // Prometheus spells non-finite samples NaN/+Inf/-Inf; flattening them
+    // to 0 (as the JSON writer must) would silently fake a healthy value.
+    AppendPrometheusNumber(value, &out);
     out += '\n';
   }
   for (const auto& [name, hist] : snapshot.histograms) {
-    std::string pname = PrometheusName(name);
+    std::string pname = PrometheusMetricName(name);
     out += "# TYPE " + pname + " histogram\n";
     int64_t cumulative = 0;
     for (const HistogramSnapshot::Bucket& b : hist.buckets) {
       cumulative += b.count;
+      // The saturated top bucket IS the +Inf bucket: emitting its raw
+      // INT64_MAX bound would duplicate the +Inf boundary with a bogus
+      // 9223372036854775807 label. Its counts flow into the +Inf line
+      // below via hist.count.
+      if (b.upper_bound == std::numeric_limits<int64_t>::max()) continue;
       out += pname + "_bucket{le=\"";
       AppendInt(b.upper_bound, &out);
       out += "\"} ";

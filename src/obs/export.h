@@ -23,6 +23,22 @@ void AppendJsonEscaped(std::string_view s, std::string* out);
 /// emitted as 0 to keep the document valid).
 void AppendJsonNumber(double v, std::string* out);
 
+/// Maps an in-process metric name to a valid Prometheus metric name:
+/// `tms_` prefix, [a-zA-Z0-9_:] charset, every other byte (dots included)
+/// becomes '_'. Digits are preserved wherever they appear — a name like
+/// `kernels.f64.gemv` keeps its `64` — and the fixed prefix guarantees
+/// the result never starts with a digit.
+std::string PrometheusMetricName(std::string_view name);
+
+/// Appends `v` as a Prometheus sample value: `NaN`, `+Inf`, `-Inf`, or a
+/// full-precision decimal. (JSON has no spelling for these; Prometheus
+/// text exposition requires them.)
+void AppendPrometheusNumber(double v, std::string* out);
+
+/// Escapes a label value per the text exposition format: backslash,
+/// double quote, and newline become \\, \", \n. Does not add quotes.
+std::string PrometheusLabelEscape(std::string_view value);
+
 /// The snapshot as one JSON object:
 ///   {"counters": {"ranking.lawler.pops": 5, ...},
 ///    "gauges": {...},

@@ -1,0 +1,257 @@
+#include "obs/flight_recorder.h"
+
+#if TMS_OBS_ACTIVE
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <inttypes.h>
+
+#include "obs/export.h"
+
+namespace tms::obs {
+inline namespace active {
+
+namespace {
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* r = new FlightRecorder();  // leaked: outlives dtors
+  return *r;
+}
+
+FlightRecorder::FlightRecorder() {
+  // TMS_FLIGHT_DUMP overrides the initial sink: "off" disables dumping,
+  // "stderr" logs, anything else is an append-target file path. Library
+  // embedders default to kMemory (no I/O on truncation); tms_cli switches
+  // to kStderr at startup.
+  if (const char* env = std::getenv("TMS_FLIGHT_DUMP")) {
+    std::string v = env;
+    if (v == "off" || v == "0" || v == "none") {
+      sink_ = Sink::kNone;
+    } else if (v == "stderr") {
+      sink_ = Sink::kStderr;
+    } else if (v == "memory" || v.empty()) {
+      sink_ = Sink::kMemory;
+    } else {
+      sink_ = Sink::kFile;
+      sink_path_ = v;
+    }
+  }
+}
+
+void FlightRecorder::Record(const TraceEvent& event) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[ticket & (kCapacity - 1)];
+  // Invalidate the slot first so a concurrent snapshot never pairs old and
+  // new fields under one matching stamp, then publish the new generation.
+  slot.seq.store(0, std::memory_order_release);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.tid.store(event.tid, std::memory_order_relaxed);
+  slot.span_id.store(event.span_id, std::memory_order_relaxed);
+  slot.parent_id.store(event.parent_id, std::memory_order_relaxed);
+  slot.query_id.store(event.query_id, std::memory_order_relaxed);
+  slot.start_ns.store(event.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(event.duration_ns, std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+void FlightRecorder::RecordQueryEnd(QueryEndEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_queries_.push_back(std::move(event));
+  while (recent_queries_.size() > kMaxQueryEvents) recent_queries_.pop_front();
+}
+
+std::vector<TraceEvent> FlightRecorder::SnapshotSpans() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t first = head > kCapacity ? head - kCapacity : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(head - first));
+  for (uint64_t ticket = first; ticket < head; ++ticket) {
+    const Slot& slot = ring_[ticket & (kCapacity - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    TraceEvent e;
+    e.name = slot.name.load(std::memory_order_relaxed);
+    e.tid = slot.tid.load(std::memory_order_relaxed);
+    e.span_id = slot.span_id.load(std::memory_order_relaxed);
+    e.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+    e.query_id = slot.query_id.load(std::memory_order_relaxed);
+    e.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    e.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    // Re-check: if the slot was reused mid-copy the stamp has moved on
+    // (or was zeroed) and this event is torn — skip it.
+    if (slot.seq.load(std::memory_order_acquire) != ticket + 1) continue;
+    if (e.name == nullptr) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<QueryEndEvent> FlightRecorder::SnapshotQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {recent_queries_.begin(), recent_queries_.end()};
+}
+
+int64_t FlightRecorder::dropped() const {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  return head > kCapacity ? static_cast<int64_t>(head - kCapacity) : 0;
+}
+
+std::string FlightRecorder::DumpJson(const char* reason, uint64_t query_id,
+                                     const std::string& detail) const {
+  std::string out = "{\"tms_flight_dump\":{\"reason\":\"";
+  AppendJsonEscaped(reason, &out);
+  out += "\",\"query_id\":";
+  AppendU64(query_id, &out);
+  out += ",\"detail\":\"";
+  AppendJsonEscaped(detail, &out);
+  out += "\",\"dropped\":";
+  AppendI64(dropped(), &out);
+
+  out += ",\"queries\":[";
+  bool first = true;
+  for (const QueryEndEvent& q : SnapshotQueries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    AppendU64(q.query_id, &out);
+    out += ",\"name\":\"";
+    AppendJsonEscaped(q.name, &out);
+    out += "\",\"start_ns\":";
+    AppendI64(q.start_ns, &out);
+    out += ",\"duration_ns\":";
+    AppendI64(q.duration_ns, &out);
+    out += ",\"counters\":{";
+    bool cfirst = true;
+    for (const auto& [name, value] : q.counters) {
+      if (!cfirst) out += ',';
+      cfirst = false;
+      out += '"';
+      AppendJsonEscaped(name, &out);
+      out += "\":";
+      AppendI64(value, &out);
+    }
+    out += "}}";
+  }
+
+  out += "],\"spans\":[";
+  std::vector<TraceEvent> spans = SnapshotSpans();
+  const size_t begin =
+      spans.size() > kMaxDumpSpans ? spans.size() - kMaxDumpSpans : 0;
+  first = true;
+  for (size_t i = begin; i < spans.size(); ++i) {
+    const TraceEvent& e = spans[i];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out += "\",\"tid\":";
+    AppendI64(e.tid, &out);
+    out += ",\"span\":";
+    AppendU64(e.span_id, &out);
+    out += ",\"parent\":";
+    AppendU64(e.parent_id, &out);
+    out += ",\"query\":";
+    AppendU64(e.query_id, &out);
+    out += ",\"start_ns\":";
+    AppendI64(e.start_ns, &out);
+    out += ",\"dur_ns\":";
+    AppendI64(e.duration_ns, &out);
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+void FlightRecorder::OnTruncation(const char* reason, uint64_t query_id,
+                                  const std::string& detail) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sink_ == Sink::kNone) return;
+    if (query_id != 0) {
+      // One dump per query: a shared deadline latching every child stream
+      // of a batch must not dump once per sequence.
+      for (uint64_t seen : dumped_query_ids_) {
+        if (seen == query_id) return;
+      }
+      dumped_query_ids_.push_back(query_id);
+      while (dumped_query_ids_.size() > kMaxQueryEvents) {
+        dumped_query_ids_.pop_front();
+      }
+    }
+  }
+  Emit(DumpJson(reason, query_id, detail));
+  dump_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Emit(const std::string& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_dump_ = doc;
+  switch (sink_) {
+    case Sink::kNone:
+    case Sink::kMemory:
+      break;
+    case Sink::kStderr:
+      std::fprintf(stderr, "%s\n", doc.c_str());
+      break;
+    case Sink::kFile: {
+      if (std::FILE* f = std::fopen(sink_path_.c_str(), "a")) {
+        std::fprintf(f, "%s\n", doc.c_str());
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "tms: flight dump unwritable: %s\n",
+                     sink_path_.c_str());
+      }
+      break;
+    }
+  }
+}
+
+void FlightRecorder::SetDumpSink(Sink sink, std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+  sink_path_ = std::move(path);
+}
+
+FlightRecorder::Sink FlightRecorder::sink() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_;
+}
+
+std::string FlightRecorder::LastDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_dump_;
+}
+
+void FlightRecorder::Clear() {
+  // Quiesce the ring by zeroing the stamps; in-flight Record() calls may
+  // rewrite a handful of slots, which is fine — Clear() is a test helper,
+  // not a consistency point.
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  (void)head;
+  for (Slot& slot : ring_) slot.seq.store(0, std::memory_order_release);
+  head_.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_queries_.clear();
+  dumped_query_ids_.clear();
+  last_dump_.clear();
+  dump_count_.store(0, std::memory_order_relaxed);
+}
+
+}  // inline namespace active
+}  // namespace tms::obs
+
+#endif  // TMS_OBS_ACTIVE

@@ -1,0 +1,187 @@
+// Always-on bounded flight recorder: a lock-free ring of recent spans
+// plus one wide structured event per finished query, dumped automatically
+// when a run is truncated.
+//
+// A truncated production run (deadline, budget, cancellation, injected
+// fault) is exactly the run you most want to debug and exactly the run
+// that did not finish writing its normal reports. The recorder keeps the
+// last ~2k finished spans in a fixed ring (every slot is a set of relaxed
+// atomics, so recording is wait-free and race-free at any thread count;
+// a torn read under wrap-around is detected by a per-slot sequence stamp
+// and skipped) and the last few per-query summary events. When
+// exec::RunContext latches kBudget / kDeadline / kCancelled / kFault —
+// NOT kAnswerCap, which is a client-requested stop — it calls
+// OnTruncation() here, and the recorder emits one JSON document to the
+// configured sink. An answer-cap or clean completion never dumps.
+//
+// Sinks: kMemory (default — the dump is retained for LastDump(), no I/O),
+// kStderr (one line on stderr; tms_cli's default so truncated CLI runs
+// are post-mortem-debuggable), kFile (append to a path), kNone (skip dump
+// entirely, the recorder still records). The TMS_FLIGHT_DUMP environment
+// variable overrides the initial sink: "off", "stderr", or a file path.
+// Dumps are deduplicated per query id so a batch whose shared deadline
+// latches every child stream dumps once, not once per sequence.
+//
+// Dump format (one JSON object; see docs/OBSERVABILITY.md):
+//   {"tms_flight_dump":{"reason":"DEADLINE","query_id":7,"detail":"",
+//     "dropped":0,
+//     "queries":[{"id":..,"name":"..","start_ns":..,"duration_ns":..,
+//                 "counters":{...}}, ...],
+//     "spans":[{"name":"..","tid":0,"span":9,"parent":3,"query":7,
+//               "start_ns":..,"dur_ns":..}, ...]}}
+
+#ifndef TMS_OBS_FLIGHT_RECORDER_H_
+#define TMS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/config.h"
+#include "obs/span.h"
+
+namespace tms::obs {
+
+/// One wide per-query record: identity, wall time, and the query's
+/// counter totals (from its QueryScope registry) at close.
+struct QueryEndEvent {
+  uint64_t query_id = 0;
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+#if TMS_OBS_ACTIVE
+
+inline namespace active {
+
+class FlightRecorder {
+ public:
+  /// Ring capacity (power of two). ~2k spans of recent history.
+  static constexpr size_t kCapacity = 2048;
+  /// Wide per-query events retained.
+  static constexpr size_t kMaxQueryEvents = 32;
+  /// Spans included in one dump (the most recent of the ring).
+  static constexpr size_t kMaxDumpSpans = 256;
+
+  enum class Sink { kNone, kMemory, kStderr, kFile };
+
+  static FlightRecorder& Global();
+
+  /// Appends one finished span. Wait-free; called by every Span that was
+  /// active (a query scope was current or tracing was enabled).
+  void Record(const TraceEvent& event);
+
+  /// Appends the wide per-query event (QueryScope destructor).
+  void RecordQueryEnd(QueryEndEvent event);
+
+  /// Called by exec::RunContext when a hard limit latches. Emits at most
+  /// one dump per query id (id 0 — no scope — is never deduplicated).
+  void OnTruncation(const char* reason, uint64_t query_id,
+                    const std::string& detail);
+
+  /// Renders the dump document without emitting it.
+  std::string DumpJson(const char* reason, uint64_t query_id,
+                       const std::string& detail) const;
+
+  void SetDumpSink(Sink sink, std::string path = "");
+  Sink sink() const;
+
+  /// Best-effort copy of the ring, oldest first. Slots being concurrently
+  /// overwritten are skipped.
+  std::vector<TraceEvent> SnapshotSpans() const;
+  std::vector<QueryEndEvent> SnapshotQueries() const;
+
+  /// The most recent dump document ("" when none since Clear()).
+  std::string LastDump() const;
+  int64_t dump_count() const {
+    return dump_count_.load(std::memory_order_relaxed);
+  }
+  /// Spans overwritten before they could ever be dumped do not exist;
+  /// this counts ring wrap-arounds' lost *capacity* view: total records
+  /// minus kCapacity, clamped at 0.
+  int64_t dropped() const;
+
+  /// Forgets everything (tests).
+  void Clear();
+
+ private:
+  FlightRecorder();
+
+  // One ring slot. All fields are relaxed atomics so concurrent record /
+  // snapshot is free of data races; `seq` stamps the generation (ticket
+  // + 1) and is written last with release ordering, so a reader that sees
+  // matching stamps before and after its field reads holds a consistent
+  // event.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<int> tid{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_id{0};
+    std::atomic<uint64_t> query_id{0};
+    std::atomic<int64_t> start_ns{0};
+    std::atomic<int64_t> duration_ns{0};
+  };
+
+  void Emit(const std::string& doc);
+
+  Slot ring_[kCapacity];
+  std::atomic<uint64_t> head_{0};
+  std::atomic<int64_t> dump_count_{0};
+
+  mutable std::mutex mu_;
+  std::deque<QueryEndEvent> recent_queries_;
+  std::deque<uint64_t> dumped_query_ids_;  // bounded dedup window
+  Sink sink_ = Sink::kMemory;
+  std::string sink_path_;
+  std::string last_dump_;
+};
+
+}  // inline namespace active
+
+#else  // !TMS_OBS_ACTIVE
+
+inline namespace noop {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 0;
+  static constexpr size_t kMaxQueryEvents = 0;
+  static constexpr size_t kMaxDumpSpans = 0;
+
+  enum class Sink { kNone, kMemory, kStderr, kFile };
+
+  static FlightRecorder& Global() {
+    static FlightRecorder r;
+    return r;
+  }
+
+  void Record(const TraceEvent&) {}
+  void RecordQueryEnd(QueryEndEvent) {}
+  void OnTruncation(const char*, uint64_t, const std::string&) {}
+  std::string DumpJson(const char*, uint64_t, const std::string&) const {
+    return "{}";
+  }
+  void SetDumpSink(Sink, std::string = "") {}
+  Sink sink() const { return Sink::kNone; }
+  std::vector<TraceEvent> SnapshotSpans() const { return {}; }
+  std::vector<QueryEndEvent> SnapshotQueries() const { return {}; }
+  std::string LastDump() const { return ""; }
+  int64_t dump_count() const { return 0; }
+  int64_t dropped() const { return 0; }
+  void Clear() {}
+};
+
+}  // inline namespace noop
+
+#endif  // TMS_OBS_ACTIVE
+
+}  // namespace tms::obs
+
+#endif  // TMS_OBS_FLIGHT_RECORDER_H_

@@ -15,13 +15,22 @@
 #include "obs/config.h"
 #include "obs/delay.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/query_scope.h"
 #include "obs/span.h"
 
 #define TMS_OBS_CONCAT_INNER_(a, b) a##b
 #define TMS_OBS_CONCAT_(a, b) TMS_OBS_CONCAT_INNER_(a, b)
 
 #if TMS_OBS_ACTIVE
+
+// Every mutation is applied twice: to the process-global metric (resolved
+// once, cached in a function-local static) and — when a QueryScope is
+// current on the thread — to that query's private registry, so per-query
+// attribution composes with the existing process totals. A thread with no
+// scope pays one thread-local load and a not-taken branch for the second
+// leg.
 
 /// Adds `delta` to the counter `name` (a string literal).
 #define TMS_OBS_COUNT(name, delta)                                     \
@@ -30,6 +39,7 @@
                                                 __LINE__) =            \
         ::tms::obs::Registry::Global().counter(name);                  \
     TMS_OBS_CONCAT_(tms_obs_counter_, __LINE__).Add(delta);            \
+    ::tms::obs::QueryScope::AddCount(name, delta);                     \
   } while (0)
 
 /// Sets the gauge `name` to `value`.
@@ -40,6 +50,8 @@
         ::tms::obs::Registry::Global().gauge(name);                    \
     TMS_OBS_CONCAT_(tms_obs_gauge_, __LINE__)                          \
         .Set(static_cast<double>(value));                              \
+    ::tms::obs::QueryScope::SetGauge(name,                             \
+                                     static_cast<double>(value));      \
   } while (0)
 
 /// Records `value` into the histogram `name`.
@@ -50,6 +62,8 @@
         ::tms::obs::Registry::Global().histogram(name);                \
     TMS_OBS_CONCAT_(tms_obs_hist_, __LINE__)                           \
         .Record(static_cast<int64_t>(value));                          \
+    ::tms::obs::QueryScope::RecordHistogram(                           \
+        name, static_cast<int64_t>(value));                           \
   } while (0)
 
 /// Opens an RAII trace span covering the rest of the enclosing scope.

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <inttypes.h>
 
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 
 namespace tms::obs {
 
@@ -71,9 +73,11 @@ std::string Tracer::ChromeTraceJson() const {
     // Chrome-trace timestamps are microseconds (doubles keep sub-us).
     std::snprintf(buf, sizeof(buf),
                   "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
-                  "\"dur\":%.3f}",
+                  "\"dur\":%.3f,\"args\":{\"span\":%" PRIu64
+                  ",\"parent\":%" PRIu64 ",\"query\":%" PRIu64 "}}",
                   e.tid, static_cast<double>(e.start_ns) / 1e3,
-                  static_cast<double>(e.duration_ns) / 1e3);
+                  static_cast<double>(e.duration_ns) / 1e3, e.span_id,
+                  e.parent_id, e.query_id);
     out += buf;
   }
   out += "]}";
@@ -81,12 +85,17 @@ std::string Tracer::ChromeTraceJson() const {
 }
 
 void Span::Finish() {
+  internal::SetCurrentSpanId(parent_id_);
   TraceEvent event;
   event.name = name_;
   event.tid = ThisThreadIndex();
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.query_id = CurrentQueryId();
   event.start_ns = start_ns_;
   event.duration_ns = MonotonicNanos() - start_ns_;
-  Tracer::Global().Record(event);
+  if (TracingEnabled()) Tracer::Global().Record(event);
+  FlightRecorder::Global().Record(event);
 }
 
 }  // inline namespace active

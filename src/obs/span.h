@@ -3,12 +3,18 @@
 // A Span is an RAII marker around a region of work. On destruction it
 // appends one complete ("ph":"X") event to the process-wide Tracer, which
 // can be exported as Chrome-trace JSON (chrome://tracing, Perfetto).
-// Nesting is implicit: events on the same thread nest by time, which is
-// exactly how the Chrome trace viewer renders them.
+// Spans carry explicit parentage: each active span allocates an id,
+// parents under the thread's current span (obs/query_scope.h — propagated
+// across pool tasks by ScopeAdoption), and restores its parent as current
+// when it closes, so cross-thread traces nest correctly rather than only
+// by same-thread timing.
 //
 // Tracing is off by default (SetTracingEnabled) so spans on hot paths cost
-// one predictable branch; the event buffer is capped so a long-running
-// process cannot grow without bound.
+// one predictable branch. When a QueryScope is current on the thread a
+// span is active even with tracing off, feeding the always-on flight
+// recorder ring (obs/flight_recorder.h); a thread with neither pays only
+// two relaxed loads. The event buffer is capped so a long-running process
+// cannot grow without bound.
 
 #ifndef TMS_OBS_SPAN_H_
 #define TMS_OBS_SPAN_H_
@@ -20,13 +26,17 @@
 
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "obs/query_scope.h"
 
 namespace tms::obs {
 
 /// One finished span, in the process-local monotonic time base.
 struct TraceEvent {
-  const char* name = "";  ///< static string at the span site
-  int tid = 0;            ///< sequential thread index (not an OS tid)
+  const char* name = "";   ///< static string at the span site
+  int tid = 0;             ///< sequential thread index (not an OS tid)
+  uint64_t span_id = 0;    ///< 0 when parentage was not tracked
+  uint64_t parent_id = 0;  ///< 0 = top-level (query root or orphan)
+  uint64_t query_id = 0;   ///< owning QueryScope id; 0 = no scope
   int64_t start_ns = 0;
   int64_t duration_ns = 0;
 };
@@ -67,9 +77,12 @@ class Tracer {
 class Span {
  public:
   explicit Span(const char* name) {
-    if (TracingEnabled()) {
+    if (TracingEnabled() || internal::ThreadHasScope()) {
       name_ = name;
       start_ns_ = MonotonicNanos();
+      span_id_ = internal::NextSpanId();
+      parent_id_ = internal::CurrentSpanId();
+      internal::SetCurrentSpanId(span_id_);
       active_ = true;
     }
   }
@@ -84,6 +97,8 @@ class Span {
 
   const char* name_ = nullptr;
   int64_t start_ns_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
   bool active_ = false;
 };
 

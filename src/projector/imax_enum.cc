@@ -50,10 +50,15 @@ ImaxEnumerator::ImaxEnumerator(std::shared_ptr<State> state,
           -> std::optional<ranking::ScoredAnswer> {
         TMS_OBS_SPAN("projector.imax_enum.subspace_solve");
         TMS_OBS_COUNT("projector.imax_enum.dag_builds", 1);
+#if TMS_OBS_ACTIVE
+        const int64_t solve_start_ns = obs::MonotonicNanos();
+#endif
         IndexedDag dag = BuildIndexedDag(*s->mu, *s->p, s->tables, &c);
         TMS_OBS_HISTOGRAM("projector.imax_enum.dag_nodes",
                           dag.dag.num_nodes());
         auto path = graph::BestPath(dag.dag, dag.source, dag.sink);
+        TMS_OBS_HISTOGRAM("projector.imax_enum.solve_ns",
+                          obs::MonotonicNanos() - solve_start_ns);
         if (!path.ok()) return std::nullopt;
         IndexedAnswer answer = dag.Decode(*path);
         return ranking::ScoredAnswer{std::move(answer.output),
@@ -96,6 +101,7 @@ StatusOr<ImaxEnumerator> ImaxEnumerator::WithOwnedInputs(
 }
 
 std::optional<ranking::ScoredAnswer> ImaxEnumerator::Next() {
+  obs::ScopeAdoption adopt(obs_ctx_);
   auto answer = lawler_->Next();
   if (answer.has_value()) {
     TMS_OBS_COUNT("projector.imax_enum.answers", 1);

@@ -77,6 +77,7 @@ class ImaxEnumerator : public ranking::AnswerStream {
 
   std::shared_ptr<State> state_;
   std::unique_ptr<ranking::LawlerEnumerator> lawler_;
+  obs::TraceContext obs_ctx_{obs::CurrentTraceContext()};
   obs::DelayRecorder delay_{"projector.imax_enum"};
 };
 

@@ -85,6 +85,7 @@ EmaxEnumerator EmaxEnumerator::WithOwnedInputs(markov::MarkovSequence mu,
 }
 
 std::optional<ranking::ScoredAnswer> EmaxEnumerator::Next() {
+  obs::ScopeAdoption adopt(obs_ctx_);
   auto answer = lawler_->Next();
   if (answer.has_value()) {
     TMS_OBS_COUNT("query.emax_enum.answers", 1);

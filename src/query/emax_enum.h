@@ -20,6 +20,7 @@
 #include "exec/thread_pool.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
+#include "obs/query_scope.h"
 #include "ranking/answer_stream.h"
 #include "ranking/lawler.h"
 #include "transducer/composition_cache.h"
@@ -70,6 +71,7 @@ class EmaxEnumerator : public ranking::AnswerStream {
 
   std::shared_ptr<State> state_;
   std::unique_ptr<ranking::LawlerEnumerator> lawler_;
+  obs::TraceContext obs_ctx_{obs::CurrentTraceContext()};
   obs::DelayRecorder delay_{"query.emax_enum"};
 };
 

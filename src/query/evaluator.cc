@@ -36,11 +36,16 @@ StatusOr<std::vector<AnswerInfo>> Evaluator::TopK(int k,
     info.output = std::move(answer->output);
     info.emax = answer->score;
     if (with_confidence) {
+#if TMS_OBS_ACTIVE
+      const int64_t conf_start_ns = obs::MonotonicNanos();
+#endif
       auto conf =
           query::Confidence(*mu_, *t_, info.output, execution_.backend);
       if (!conf.ok()) return conf.status();
       info.confidence = *conf;
       TMS_OBS_COUNT("query.topk.confidence_calls", 1);
+      TMS_OBS_HISTOGRAM("query.topk.confidence_ns",
+                        obs::MonotonicNanos() - conf_start_ns);
     }
     TMS_OBS_COUNT("query.topk.answers", 1);
     delay.RecordAnswer();

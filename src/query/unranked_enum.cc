@@ -49,6 +49,7 @@ bool UnrankedEnumerator::StopBeforeOracleCall() {
 }
 
 std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
+  obs::ScopeAdoption adopt(obs_ctx_);
   TMS_OBS_SPAN("query.unranked_enum.next");
   if (done_) return std::nullopt;
   // Answer boundary: once any limit fires the stream is over for good,
@@ -57,6 +58,26 @@ std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
   const size_t delta = t_->output_alphabet().size();
   const int64_t calls_before = oracle_calls_;
   (void)calls_before;  // only read by instrumentation
+  // Timed oracle wrappers: `query.unranked_enum.oracle_ns` is this
+  // engine's solve phase in the explain report.
+  auto has_answer = [&](const Str& p) {
+#if TMS_OBS_ACTIVE
+    const int64_t oracle_start_ns = obs::MonotonicNanos();
+#endif
+    bool r = HasAnswerWithPrefix(*mu_, *t_, p, backend_);
+    TMS_OBS_HISTOGRAM("query.unranked_enum.oracle_ns",
+                      obs::MonotonicNanos() - oracle_start_ns);
+    return r;
+  };
+  auto is_possible = [&](const Str& p) {
+#if TMS_OBS_ACTIVE
+    const int64_t oracle_start_ns = obs::MonotonicNanos();
+#endif
+    bool r = IsPossibleAnswer(*mu_, *t_, p, backend_);
+    TMS_OBS_HISTOGRAM("query.unranked_enum.oracle_ns",
+                      obs::MonotonicNanos() - oracle_start_ns);
+    return r;
+  };
   // Counts the oracle calls made for this answer into the registry and
   // records the inter-answer delay on emission.
   auto emit = [&](const Str& answer) {
@@ -74,7 +95,7 @@ std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
     started_ = true;
     if (StopBeforeOracleCall()) return std::nullopt;
     ++oracle_calls_;
-    if (!HasAnswerWithPrefix(*mu_, *t_, prefix_, backend_)) {
+    if (!has_answer(prefix_)) {
       done_ = true;
       TMS_OBS_COUNT("query.unranked_enum.oracle_calls",
                     oracle_calls_ - calls_before);
@@ -83,7 +104,7 @@ std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
     next_symbol_.push_back(0);
     if (StopBeforeOracleCall()) return std::nullopt;
     ++oracle_calls_;
-    if (IsPossibleAnswer(*mu_, *t_, prefix_, backend_)) return emit(prefix_);
+    if (is_possible(prefix_)) return emit(prefix_);
   }
 
   // Resume the DFS: extend the current prefix (or backtrack) until the
@@ -96,7 +117,7 @@ std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
         prefix_.push_back(d);
         if (StopBeforeOracleCall()) return std::nullopt;
         ++oracle_calls_;
-        if (HasAnswerWithPrefix(*mu_, *t_, prefix_, backend_)) {
+        if (has_answer(prefix_)) {
           next_symbol_.back() = d + 1;
           next_symbol_.push_back(0);
           descended = true;
@@ -108,7 +129,7 @@ std::optional<ranking::ScoredAnswer> UnrankedEnumerator::Next() {
     if (descended) {
       if (StopBeforeOracleCall()) return std::nullopt;
       ++oracle_calls_;
-      if (IsPossibleAnswer(*mu_, *t_, prefix_, backend_)) return emit(prefix_);
+      if (is_possible(prefix_)) return emit(prefix_);
       continue;
     }
     // Subtree exhausted: backtrack.

@@ -22,6 +22,7 @@
 #include "exec/run_context.h"
 #include "markov/markov_sequence.h"
 #include "obs/delay.h"
+#include "obs/query_scope.h"
 #include "ranking/answer_stream.h"
 #include "transducer/transducer.h"
 
@@ -87,6 +88,7 @@ class UnrankedEnumerator : public ranking::AnswerStream {
   bool started_ = false;
   bool done_ = false;
   int64_t oracle_calls_ = 0;
+  obs::TraceContext obs_ctx_{obs::CurrentTraceContext()};
   obs::DelayRecorder delay_{"query.unranked_enum"};
 };
 

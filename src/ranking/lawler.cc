@@ -11,7 +11,10 @@ namespace tms::ranking {
 LawlerEnumerator::LawlerEnumerator(SubspaceSolver solver,
                                    exec::ThreadPool* pool,
                                    exec::RunContext* run)
-    : solver_(std::move(solver)), pool_(pool), run_(run) {
+    : solver_(std::move(solver)),
+      pool_(pool),
+      run_(run),
+      obs_ctx_(obs::CurrentTraceContext()) {
   OutputConstraint all = OutputConstraint::All();
   auto best = Solve(all);
   if (best.has_value()) {
@@ -43,6 +46,7 @@ std::optional<ScoredAnswer> LawlerEnumerator::Solve(
 }
 
 std::optional<ScoredAnswer> LawlerEnumerator::Next() {
+  obs::ScopeAdoption adopt(obs_ctx_);
   TMS_OBS_SPAN("ranking.lawler.next");
   // Answer boundary: a stopped run returns nullopt forever after, leaving
   // the already-emitted answers an exact prefix of the unbounded stream.
@@ -70,6 +74,9 @@ std::optional<ScoredAnswer> LawlerEnumerator::Next() {
       solved.push_back(Solve(child));
     }
   }
+#if TMS_OBS_ACTIVE
+  const int64_t merge_start_ns = obs::MonotonicNanos();
+#endif
   int64_t pushed = 0;
   for (size_t i = 0; i < children.size(); ++i) {
     if (!solved[i].has_value()) continue;
@@ -83,6 +90,8 @@ std::optional<ScoredAnswer> LawlerEnumerator::Next() {
     heap_.push_back(Entry{std::move(*solved[i]), std::move(children[i])});
     std::push_heap(heap_.begin(), heap_.end(), EntryLess());
   }
+  TMS_OBS_HISTOGRAM("ranking.lawler.merge_ns",
+                    obs::MonotonicNanos() - merge_start_ns);
   TMS_OBS_COUNT("ranking.lawler.children_pushed", pushed);
   TMS_OBS_HISTOGRAM("ranking.lawler.partition_fanout", fanout);
   TMS_OBS_GAUGE_SET("ranking.lawler.heap_size", heap_.size());

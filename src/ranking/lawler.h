@@ -26,6 +26,7 @@
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "obs/delay.h"
+#include "obs/query_scope.h"
 #include "ranking/answer_stream.h"
 #include "ranking/prefix_constraint.h"
 #include "strings/str.h"
@@ -99,6 +100,10 @@ class LawlerEnumerator : public AnswerStream {
   SubspaceSolver solver_;
   exec::ThreadPool* pool_;
   exec::RunContext* run_;
+  // Trace context of the constructing thread: Next() re-adopts it, so a
+  // stream driven from any thread (or interleaved with other queries'
+  // streams on one thread) keeps attributing to its own query.
+  obs::TraceContext obs_ctx_;
   // A max-heap under EntryLess, maintained with std::push_heap/pop_heap
   // (rather than std::priority_queue, whose top() is const and would force
   // a deep copy of the answer + constraint on every pop).

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/explain.h"
 #include "obs/obs.h"
 
 namespace tms::obs {
@@ -67,6 +68,49 @@ TEST(ObsNoopTest, ExportersHandleEmptySnapshots) {
   EXPECT_EQ(RegistryJson(snap),
             "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
   EXPECT_EQ(PrometheusText(snap), "");
+}
+
+TEST(ObsNoopTest, QueryScopeIsInert) {
+  QueryScope scope("noop-query");
+  EXPECT_EQ(QueryScope::Current(), nullptr);
+  EXPECT_EQ(scope.query_id(), 0u);
+  EXPECT_EQ(scope.root_span_id(), 0u);
+  QueryScope::AddCount("noop.scope.counter", 5);
+  QueryScope::SetGauge("noop.scope.gauge", 1.0);
+  QueryScope::RecordHistogram("noop.scope.hist", 2);
+  EXPECT_TRUE(scope.Snapshot().empty());
+  EXPECT_EQ(CurrentQueryId(), 0u);
+  TraceContext ctx = CurrentTraceContext();
+  EXPECT_EQ(ctx.scope, nullptr);
+  ScopeAdoption adopt(ctx);
+  EXPECT_EQ(CurrentQueryId(), 0u);
+}
+
+TEST(ObsNoopTest, FlightRecorderIsInert) {
+  FlightRecorder& r = FlightRecorder::Global();
+  r.Record(TraceEvent{});
+  r.RecordQueryEnd(QueryEndEvent{});
+  r.OnTruncation("BUDGET_EXHAUSTED", 1, "");
+  EXPECT_EQ(r.dump_count(), 0);
+  EXPECT_EQ(r.LastDump(), "");
+  EXPECT_TRUE(r.SnapshotSpans().empty());
+  EXPECT_TRUE(r.SnapshotQueries().empty());
+  EXPECT_EQ(r.dropped(), 0);
+}
+
+TEST(ObsNoopTest, ExplainReportsZerosWithoutInstrumentation) {
+  // explain.h is plain-data and unconditional; fed a no-op scope's empty
+  // snapshot it must render a complete all-zero report, not crash.
+  ExplainInput input;
+  input.query = "noop";
+  ExplainPhases phases = DerivePhases(input);
+  EXPECT_EQ(phases.compose_ns, 0);
+  EXPECT_EQ(phases.other_ns, 0);
+  std::string json = ExplainJson(input);
+  EXPECT_NE(json.find("\"explain\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"query_id\":0"), std::string::npos);
+  EXPECT_FALSE(ExplainText(input).empty());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 
@@ -241,6 +243,72 @@ TEST_F(ObsTest, PrometheusTextShape) {
             std::string::npos);
   EXPECT_NE(text.find("tms_test_prom_histogram_sum 5"), std::string::npos);
   EXPECT_NE(text.find("tms_test_prom_histogram_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition edge cases.
+
+TEST_F(ObsTest, PrometheusMetricNamePreservesDigitsAndColons) {
+  // Digits are legal in Prometheus names everywhere except the first
+  // character, which the "tms_" prefix guarantees — a name like
+  // "cache.l2.hits" must NOT lose its "2".
+  EXPECT_EQ(PrometheusMetricName("cache.l2.hits"), "tms_cache_l2_hits");
+  EXPECT_EQ(PrometheusMetricName("kernels.gemm.64x64"),
+            "tms_kernels_gemm_64x64");
+  EXPECT_EQ(PrometheusMetricName("p99"), "tms_p99");
+  EXPECT_EQ(PrometheusMetricName("a:b"), "tms_a:b");
+  EXPECT_EQ(PrometheusMetricName("weird name-1!"), "tms_weird_name_1_");
+}
+
+TEST_F(ObsTest, PrometheusNumberSpellsNonFiniteSamples) {
+  std::string s;
+  AppendPrometheusNumber(std::numeric_limits<double>::quiet_NaN(), &s);
+  EXPECT_EQ(s, "NaN");
+  s.clear();
+  AppendPrometheusNumber(std::numeric_limits<double>::infinity(), &s);
+  EXPECT_EQ(s, "+Inf");
+  s.clear();
+  AppendPrometheusNumber(-std::numeric_limits<double>::infinity(), &s);
+  EXPECT_EQ(s, "-Inf");
+  s.clear();
+  AppendPrometheusNumber(2.5, &s);
+  EXPECT_EQ(s, "2.5");
+}
+
+TEST_F(ObsTest, PrometheusGaugeEmitsNonFiniteSpellings) {
+  Registry::Global().gauge("test.prom.inf").Set(
+      std::numeric_limits<double>::infinity());
+  std::string text = PrometheusText(Registry::Global().Snapshot());
+  EXPECT_NE(text.find("tms_test_prom_inf +Inf"), std::string::npos);
+  // The JSON writer, by contrast, must NOT leak bare Inf (invalid JSON).
+  std::string json = RegistryJson(Registry::Global().Snapshot());
+  EXPECT_EQ(json.find("Inf"), std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusLabelEscaping) {
+  EXPECT_EQ(PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusLabelEscape("a\nb"), "a\\nb");
+}
+
+TEST_F(ObsTest, PrometheusSaturatedBucketFoldsIntoInfLine) {
+  // A sample beyond the largest finite bucket lands in the saturated
+  // bucket (upper bound INT64_MAX); the exposition must fold it into the
+  // single le="+Inf" line rather than emitting a bogus finite bound or a
+  // second +Inf line.
+  Histogram& h = Registry::Global().histogram("test.prom.saturated");
+  h.Record(1);
+  h.Record(std::numeric_limits<int64_t>::max());
+  std::string text = PrometheusText(Registry::Global().Snapshot());
+  const std::string inf_line = "tms_test_prom_saturated_bucket{le=\"+Inf\"} 2";
+  size_t first = text.find(inf_line);
+  ASSERT_NE(first, std::string::npos) << text;
+  EXPECT_EQ(text.find("tms_test_prom_saturated_bucket{le=\"+Inf\"}",
+                      first + 1),
+            std::string::npos);
+  EXPECT_EQ(text.find("le=\"9223372036854775807\""), std::string::npos);
+  EXPECT_NE(text.find("tms_test_prom_saturated_count 2"), std::string::npos);
 }
 
 }  // namespace

@@ -27,6 +27,17 @@ DATA="$ROOT/examples/data"
 GDATA="$ROOT/tests/golden/data"
 GOLD="$ROOT/tests/golden"
 
+# A missing golden file is a hard failure, never a skip (same contract
+# as tools/check_stats_schema.sh).
+require_golden() {
+  if [ ! -f "$1" ]; then
+    echo "MISSING golden file: $1" >&2
+    echo "a missing golden is an error, not a skip" >&2
+    echo "generate it deliberately with TMS_UPDATE_GOLDEN=1 $0 $CLI $ROOT" >&2
+    exit 1
+  fi
+}
+
 check_case() { # name sequence query k
   name="$1"; seq="$2"; query="$3"; k="$4"
   out=$("$CLI" topk "$seq" "$query" "$k")
@@ -38,6 +49,8 @@ check_case() { # name sequence query k
     echo "updated $name"
     return 0
   fi
+  require_golden "$GOLD/${name}_topk.golden"
+  require_golden "$GOLD/${name}_stats_keys.golden"
   if ! printf '%s\n' "$out" | diff -u "$GOLD/${name}_topk.golden" -; then
     echo "golden answer stream diverged: $name" >&2
     echo "regenerate deliberately with TMS_UPDATE_GOLDEN=1 $0 $CLI $ROOT" >&2

@@ -1,39 +1,79 @@
 #!/bin/sh
-# Golden-schema check for `tms_cli --stats=json`.
+# Golden-schema check for `tms_cli --stats=json` and `tms_cli explain`.
 #
 # Runs a fixed bounded top-k over the sample data and compares the SET OF
 # JSON KEYS in the emitted document against tests/golden/
-# stats_json_schema.golden. Keys — "command", "results", "exec", every
-# metric name, the histogram field names — are deterministic for a fixed
-# command; metric VALUES (timings, histogram buckets) are not, so only the
-# keys are golden. A failure means the machine-readable schema changed:
-# downstream dashboards parse it, so either fix the regression or update
-# the golden deliberately:
+# stats_json_schema.golden; then runs `explain` with --stats=json and
+# compares its key set against tests/golden/explain_json_schema.golden.
+# Keys — "command", "results", "exec", "explain", every metric name, the
+# histogram and report field names — are deterministic for a fixed
+# command; metric VALUES (timings, histogram buckets) are not, so only
+# the keys are golden. A failure means the machine-readable schema
+# changed: downstream dashboards parse it, so either fix the regression
+# or update the goldens deliberately:
 #
-#   TMS_UPDATE_GOLDEN=1 tools/check_stats_schema.sh <tms_cli> <data> <golden>
+#   TMS_UPDATE_GOLDEN=1 tools/check_stats_schema.sh \
+#       <tms_cli> <data> <golden> <explain-golden>
+#
+# A MISSING golden file is a hard failure, never a skip: a schema check
+# that silently passes because its baseline vanished is worse than no
+# check at all.
 #
 # usage: check_stats_schema.sh <path-to-tms_cli> <data-dir> <golden-file>
+#            <explain-golden-file>
 set -eu
 
 CLI="$1"
 DATA="$2"
 GOLDEN="$3"
+EXPLAIN_GOLDEN="$4"
+
+json_keys() {
+  grep -o '"[^"]*":' | LC_ALL=C sort -u
+}
+
+# fail_missing <golden-path>: refuse to "pass" against a baseline that
+# does not exist.
+fail_missing() {
+  echo "MISSING golden file: $1" >&2
+  echo "a missing golden is an error, not a skip" >&2
+  echo "generate it deliberately with TMS_UPDATE_GOLDEN=1 $0 $CLI $DATA $GOLDEN $EXPLAIN_GOLDEN" >&2
+  exit 1
+}
+
+check_keys() { # keys golden label
+  keys="$1"; golden="$2"; label="$3"
+  if [ -n "${TMS_UPDATE_GOLDEN:-}" ]; then
+    printf '%s\n' "$keys" > "$golden"
+    echo "updated $golden"
+    return 0
+  fi
+  [ -f "$golden" ] || fail_missing "$golden"
+  if ! printf '%s\n' "$keys" | diff -u "$golden" -; then
+    echo "$label key set diverged from $golden" >&2
+    echo "regenerate deliberately with TMS_UPDATE_GOLDEN=1 $0 $CLI $DATA $GOLDEN $EXPLAIN_GOLDEN" >&2
+    exit 1
+  fi
+}
 
 # --max-answers makes the run bounded so the "exec" field and the
 # exec.budget.* counters appear in the document.
-OUT=$("$CLI" topk "$DATA/hospital.tms" "$DATA/place_tracker.tms" 3 \
-      --max-answers=2 --stats=json)
+STATS_OUT=$("$CLI" topk "$DATA/hospital.tms" "$DATA/place_tracker.tms" 3 \
+            --max-answers=2 --stats=json)
+check_keys "$(printf '%s' "$STATS_OUT" | json_keys)" "$GOLDEN" "stats=json"
 
-KEYS=$(printf '%s' "$OUT" | grep -o '"[^"]*":' | LC_ALL=C sort -u)
-
-if [ -n "${TMS_UPDATE_GOLDEN:-}" ]; then
-  printf '%s\n' "$KEYS" > "$GOLDEN"
-  echo "updated $GOLDEN"
-  exit 0
-fi
-
-if ! printf '%s\n' "$KEYS" | diff -u "$GOLDEN" -; then
-  echo "stats=json key set diverged from $GOLDEN" >&2
-  echo "regenerate deliberately with TMS_UPDATE_GOLDEN=1 $0 $*" >&2
+# The explain report: bounded as well (--budget) so the exec section of
+# the report carries a real stop reason and budget consumption. Only the
+# "explain" object is schema-checked — the surrounding document is
+# already covered above, and its metric key set varies with the engine
+# instrumentation, not with the explain schema.
+EXPLAIN_OUT=$("$CLI" explain "$DATA/hospital.tms" "$DATA/place_tracker.tms" 3 \
+              --budget=100000 --stats=json)
+EXPLAIN_OBJ=$(printf '%s' "$EXPLAIN_OUT" \
+              | sed -n 's/.*"explain":{\(.*\)}},"metrics".*/\1/p')
+if [ -z "$EXPLAIN_OBJ" ]; then
+  echo "tms_cli explain --stats=json emitted no \"explain\" object" >&2
   exit 1
 fi
+check_keys "$(printf '%s' "$EXPLAIN_OBJ" | json_keys)" "$EXPLAIN_GOLDEN" \
+           "explain"

@@ -1,19 +1,26 @@
 #!/bin/sh
 # One-command CI verification (docs/ROBUSTNESS.md):
 #
-#   1. tier-1: default build, full test suite
+#   1. tier-1: default build, full test suite + an explicit `ctest -L obs`
+#              pass (the per-query observability suites must be present,
+#              not silently undiscovered)
 #   2. asan:   ASan+UBSan build, `ctest -L robustness` + `-L concurrency`
 #   3. tsan:   TSan build,       `ctest -L robustness` + `-L concurrency`
-#   4. bench:  enumeration + kernel bench reports
+#   4. off:    -DTMS_OBS=OFF -DTMS_FAULTS=OFF build (everything compiled
+#              out), full test suite — proves the zero-overhead surface
+#              builds and behaves
+#   5. bench:  enumeration + kernel bench reports
 #              (BENCH_enumeration_delay.json, BENCH_enumeration_emax.json,
 #              BENCH_twostep_vs_ranked.json, BENCH_sparse_scaling.json)
-#              emitted to build/bench-json/ and checked non-empty; set
+#              emitted to build/bench-json/ and checked non-empty, plus the
+#              per-query explain sidecar
+#              (BENCH_enumeration_delay_explain.json); set
 #              TMS_UPDATE_BASELINES=1 to refresh bench/baselines/
 #
-# Build trees are reused across runs (build/, build-asan/, build-tsan/
-# under the repo root), so incremental invocations are cheap. Pass a stage
-# name (tier1 | asan | tsan | bench) to run just that stage; default is
-# all four.
+# Build trees are reused across runs (build/, build-asan/, build-tsan/,
+# build-off/ under the repo root), so incremental invocations are cheap.
+# Pass a stage name (tier1 | asan | tsan | off | bench) to run just that
+# stage; default is all five.
 #
 #   tools/ci_verify.sh            # everything
 #   tools/ci_verify.sh tsan       # just the TSan stage
@@ -46,6 +53,11 @@ run_stage() {
 case "$STAGE" in
   tier1|all)
     run_stage tier1 "$ROOT/build" --
+    # The obs label must match a non-empty suite: a refactor that breaks
+    # test discovery would otherwise pass tier-1 by running nothing.
+    echo "==> [tier1] ctest -L obs (must be non-empty)"
+    (cd "$ROOT/build" &&
+     ctest --output-on-failure -j "$JOBS" -L obs --no-tests=error)
     ;;
 esac
 case "$STAGE" in
@@ -58,6 +70,16 @@ case "$STAGE" in
   tsan|all)
     run_stage tsan "$ROOT/build-tsan" -L "robustness|concurrency" -- \
       -DTMS_SANITIZE=thread
+    ;;
+esac
+case "$STAGE" in
+  off|all)
+    # Everything observability- and fault-related compiled out: the
+    # TMS_OBS_* macros, QueryScope, the flight recorder, and the fault
+    # points must vanish without breaking any engine, and the full suite
+    # must still pass (the obs suites compile to empty TUs).
+    run_stage off "$ROOT/build-off" -- \
+      -DTMS_OBS=OFF -DTMS_FAULTS=OFF
     ;;
 esac
 case "$STAGE" in
@@ -77,6 +99,9 @@ case "$STAGE" in
       json="$OUT/BENCH_${b#bench_}.json"
       [ -s "$json" ] || { echo "bench report missing: $json" >&2; exit 1; }
     done
+    explain_json="$OUT/BENCH_enumeration_delay_explain.json"
+    [ -s "$explain_json" ] ||
+      { echo "bench explain sidecar missing: $explain_json" >&2; exit 1; }
     if [ -n "${TMS_UPDATE_BASELINES:-}" ]; then
       cp "$OUT"/BENCH_*.json "$ROOT/bench/baselines/"
       echo "==> [bench] baselines refreshed in bench/baselines/"
@@ -84,9 +109,9 @@ case "$STAGE" in
     ;;
 esac
 case "$STAGE" in
-  tier1|asan|tsan|bench|all) ;;
+  tier1|asan|tsan|off|bench|all) ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|off|bench|all]" >&2
     exit 2
     ;;
 esac

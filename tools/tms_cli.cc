@@ -13,6 +13,13 @@
 //       top-k answers by E_max, keyed by sequence file. With --threads=N
 //       the sequences are evaluated concurrently; output is identical at
 //       every thread count.
+//   tms_cli explain <sequence-file> <query-file> [k]
+//       EXPLAIN ANALYZE for a top-k run: executes the query under a
+//       per-query obs::QueryScope and prints the cost report (phase
+//       breakdown, per-answer delay, cache hit rate, kernel backend
+//       traffic, composed-automaton sizes, budget/deadline consumption)
+//       instead of the answers. With --stats=json the report is the
+//       "explain" field of the JSON document.
 //   tms_cli show  <file>
 //       Parse a model/query file and print its canonical form.
 //
@@ -44,6 +51,12 @@
 //                  of the human tables.
 //   --trace=FILE   collect trace spans and write Chrome-trace JSON to
 //                  FILE (open in chrome://tracing or Perfetto).
+//   --explain      append the per-query explain report to any command
+//                  (stderr in human mode, "explain" field of --stats=json).
+//   --flight-dump=off|stderr|FILE
+//                  where a truncation flight-recorder dump goes (see
+//                  docs/OBSERVABILITY.md). Default: stderr, unless the
+//                  TMS_FLIGHT_DUMP environment variable already chose.
 //
 // Sequence files use the `markov-sequence` format; query files use
 // `transducer` or `s-projector` (see src/io/text_format.h). Sample files
@@ -60,6 +73,8 @@
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "io/text_format.h"
+#include "kernels/backend.h"
+#include "obs/explain.h"
 #include "obs/obs.h"
 #include "projector/imax_enum.h"
 #include "projector/sprojector_confidence.h"
@@ -75,6 +90,8 @@ enum class StatsMode { kNone, kText, kJson, kProm };
 struct ObsOptions {
   StatsMode stats = StatsMode::kNone;
   std::string trace_path;
+  bool explain = false;
+  std::string flight_dump;  // "" = default, "off", "stderr", or a path
 };
 
 // --threads=N: total evaluation concurrency. The pool gets N-1 workers;
@@ -106,6 +123,10 @@ struct ExecOptions {
     return options;
   }
 
+  // The run context already created by MakeRun, or null — for the explain
+  // report, which must not conjure a context the command never had.
+  const exec::RunContext* PeekRun() const { return run_.get(); }
+
   // The run context, or null when no limit flag was given (engines treat
   // null as unbounded and skip every check).
   exec::RunContext* MakeRun() {
@@ -129,7 +150,8 @@ struct ExecOptions {
 struct CliOutput {
   bool json = false;
   std::string results;
-  std::string exec_json;  // the "exec" field of --stats=json, or empty
+  std::string exec_json;     // the "exec" field of --stats=json, or empty
+  std::string explain_json;  // the "explain" field of --stats=json, or empty
 };
 
 const char* StopReasonName(exec::StopReason reason) {
@@ -188,11 +210,13 @@ int Usage() {
                "       tms_cli conf <sequence> <query> <output-symbol>...\n"
                "       tms_cli enum <sequence> <query> [limit]\n"
                "       tms_cli batch <query> <k> <sequence>...\n"
+               "       tms_cli explain <sequence> <query> [k]\n"
                "       tms_cli show <file>\n"
                "flags: --threads=N | --deadline-ms=N | --max-answers=N | "
                "--budget=N |\n"
                "       --backend=dense|sparse|auto |\n"
-               "       --stats | --stats=json | --stats=prom | --trace=FILE\n");
+               "       --stats | --stats=json | --stats=prom | --trace=FILE |\n"
+               "       --explain | --flight-dump=off|stderr|FILE\n");
   return 2;
 }
 
@@ -568,6 +592,11 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
     } else if (arg.rfind("--trace=", 0) == 0) {
       opts->trace_path = arg.substr(std::strlen("--trace="));
       if (opts->trace_path.empty()) return false;
+    } else if (arg == "--explain") {
+      opts->explain = true;
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      opts->flight_dump = arg.substr(std::strlen("--flight-dump="));
+      if (opts->flight_dump.empty()) return false;
     } else if (arg.rfind("--threads=", 0) == 0) {
       exec->threads = std::atoi(arg.c_str() + std::strlen("--threads="));
       if (exec->threads <= 0) return false;
@@ -595,7 +624,9 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
                arg.rfind("--deadline-ms", 0) == 0 ||
                arg.rfind("--max-answers", 0) == 0 ||
                arg.rfind("--budget", 0) == 0 ||
-               arg.rfind("--backend", 0) == 0) {
+               arg.rfind("--backend", 0) == 0 ||
+               arg.rfind("--explain", 0) == 0 ||
+               arg.rfind("--flight-dump", 0) == 0) {
       return false;
     } else {
       rest.push_back(arg);
@@ -627,6 +658,12 @@ void EmitStats(const std::string& command, const ObsOptions& opts,
         doc += ",\"exec\":";
         doc += out.exec_json;
       }
+      if (!out.explain_json.empty()) {
+        // ExplainJson returns {"explain":{...}}; splice the key-value
+        // pair into this document rather than nesting it twice.
+        doc += ',';
+        doc += out.explain_json.substr(1, out.explain_json.size() - 2);
+      }
       doc += ",\"metrics\":";
       doc += obs::RegistryJson(snapshot);
       doc += "}\n";
@@ -649,6 +686,26 @@ void EmitStats(const std::string& command, const ObsOptions& opts,
 
 }  // namespace
 
+// Configures where a truncation flight dump goes: the --flight-dump flag
+// wins, then the TMS_FLIGHT_DUMP environment variable (already parsed by
+// the recorder at startup), then the CLI default of stderr — a truncated
+// CLI run should be post-mortem-debuggable out of the box.
+void ConfigureFlightSink(const ObsOptions& opts) {
+  using Sink = obs::FlightRecorder::Sink;
+  if (!opts.flight_dump.empty()) {
+    if (opts.flight_dump == "off") {
+      obs::FlightRecorder::Global().SetDumpSink(Sink::kNone);
+    } else if (opts.flight_dump == "stderr") {
+      obs::FlightRecorder::Global().SetDumpSink(Sink::kStderr);
+    } else {
+      obs::FlightRecorder::Global().SetDumpSink(Sink::kFile,
+                                                opts.flight_dump);
+    }
+  } else if (std::getenv("TMS_FLIGHT_DUMP") == nullptr) {
+    obs::FlightRecorder::Global().SetDumpSink(Sink::kStderr);
+  }
+}
+
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   ObsOptions opts;
@@ -659,37 +716,83 @@ int main(int argc, char** argv) {
     obs::SetEnabled(true);
     obs::SetTracingEnabled(true);
   }
+  ConfigureFlightSink(opts);
 
   if (args.size() < 2) return Usage();
   const std::string command = args[0];
+  // `explain` is `topk` executed for its cost report: the answers are
+  // computed (EXPLAIN ANALYZE semantics — real execution, real numbers)
+  // but only the report is printed.
+  const bool explain_command = command == "explain";
+  const bool want_explain = explain_command || opts.explain;
+  if (want_explain) obs::SetEnabled(true);
+
   CliOutput out;
   out.json = opts.stats == StatsMode::kJson;
 
   int code = 2;
-  if (command == "show") {
-    code = RunShow(args[1], &out);
-  } else if (args.size() < 3) {
-    return Usage();
-  } else if (command == "topk") {
-    int k = args.size() >= 4 ? std::atoi(args[3].c_str()) : 10;
-    if (k <= 0) return Usage();
-    code = RunTopK(args[1], args[2], k, &exec, &out);
-  } else if (command == "batch") {
-    int k = std::atoi(args[2].c_str());
-    if (k <= 0 || args.size() < 4) return Usage();
-    code = RunBatch(args[1],
-                    std::vector<std::string>(args.begin() + 3, args.end()), k,
-                    &exec, &out);
-  } else if (command == "conf") {
-    code = RunConf(args[1], args[2],
-                   std::vector<std::string>(args.begin() + 3, args.end()),
-                   &out);
-  } else if (command == "enum") {
-    int limit = args.size() >= 4 ? std::atoi(args[3].c_str()) : 100;
-    if (limit <= 0) return Usage();
-    code = RunEnum(args[1], args[2], limit, &exec, &out);
-  } else {
-    return Usage();
+  {
+    // Every command runs as one query: its metrics accumulate in the
+    // scope's registry (as well as the global one) and spans opened on
+    // pool workers parent under this scope's root span.
+    obs::QueryScope scope(command);
+    const int64_t query_start_ns = obs::MonotonicNanos();
+    // The explain command computes answers but never prints them; routing
+    // them through the JSON accumulator (discarded unless --stats=json)
+    // suppresses the human tables.
+    const bool suppress_tables = explain_command && !out.json;
+    if (suppress_tables) out.json = true;
+    if (command == "show") {
+      code = RunShow(args[1], &out);
+    } else if (args.size() < 3) {
+      return Usage();
+    } else if (command == "topk" || explain_command) {
+      int k = args.size() >= 4 ? std::atoi(args[3].c_str()) : 10;
+      if (k <= 0) return Usage();
+      code = RunTopK(args[1], args[2], k, &exec, &out);
+    } else if (command == "batch") {
+      int k = std::atoi(args[2].c_str());
+      if (k <= 0 || args.size() < 4) return Usage();
+      code = RunBatch(args[1],
+                      std::vector<std::string>(args.begin() + 3, args.end()),
+                      k, &exec, &out);
+    } else if (command == "conf") {
+      code = RunConf(args[1], args[2],
+                     std::vector<std::string>(args.begin() + 3, args.end()),
+                     &out);
+    } else if (command == "enum") {
+      int limit = args.size() >= 4 ? std::atoi(args[3].c_str()) : 100;
+      if (limit <= 0) return Usage();
+      code = RunEnum(args[1], args[2], limit, &exec, &out);
+    } else {
+      return Usage();
+    }
+    if (suppress_tables) out.json = false;
+
+    if (code == 0 && want_explain) {
+      obs::ExplainInput input;
+      input.query = command;
+      input.query_id = scope.query_id();
+      input.duration_ns = obs::MonotonicNanos() - query_start_ns;
+      input.threads = exec.threads;
+      input.backend = kernels::BackendChoiceName(exec.backend);
+      input.stats = scope.Snapshot();
+      if (const exec::RunContext* run = exec.PeekRun()) {
+        input.stop_reason = StopReasonName(run->stop_reason());
+        input.answers = run->answers_emitted();
+        input.work_charged = run->work_charged();
+      }
+      input.budget = exec.budget;
+      input.deadline_ms = static_cast<double>(exec.deadline_ms);
+      if (out.json) {
+        out.explain_json = obs::ExplainJson(input);
+      } else {
+        // The explain command's report IS the output (stdout); as a flag
+        // on another command it is diagnostics (stderr).
+        std::fputs(obs::ExplainText(input).c_str(),
+                   explain_command ? stdout : stderr);
+      }
+    }
   }
   EmitStats(command, opts, out);
   return code;
