@@ -1,0 +1,29 @@
+#include "common/parse.h"
+
+#include <limits>
+
+namespace tms {
+
+bool ParseNonNegInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  int64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const int digit = c - '0';
+    if (value > (kMax - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParsePositiveInt(std::string_view s, int* out) {
+  int64_t value = 0;
+  if (!ParseNonNegInt64(s, &value)) return false;
+  if (value <= 0 || value > std::numeric_limits<int>::max()) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace tms

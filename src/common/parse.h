@@ -1,0 +1,30 @@
+// Checked numeric parsing for user-supplied input (CLI flags, positional
+// arguments, HTTP query parameters).
+//
+// std::atoi / std::atoll silently read garbage as 0 — "--threads=abc"
+// becomes zero concurrency and a typo'd top-k becomes zero answers — and
+// overflow is undefined behavior. These parsers accept exactly the
+// decimal-digit spellings, reject everything else (empty input, signs,
+// whitespace, trailing bytes, overflow), and report failure instead of
+// guessing.
+
+#ifndef TMS_COMMON_PARSE_H_
+#define TMS_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tms {
+
+/// Parses `s` as a base-10 nonnegative integer into `*out`. False (and
+/// `*out` untouched) on empty input, any non-digit byte (signs and
+/// whitespace included), or a value that overflows int64_t.
+bool ParseNonNegInt64(std::string_view s, int64_t* out);
+
+/// As ParseNonNegInt64, but additionally rejects 0 and values that do not
+/// fit an int — the shape of `k` / `limit` / `--threads` arguments.
+bool ParsePositiveInt(std::string_view s, int* out);
+
+}  // namespace tms
+
+#endif  // TMS_COMMON_PARSE_H_

@@ -48,11 +48,18 @@ RunContext RunContext::Child(int64_t max_answers) const {
   return child;
 }
 
-void RunContext::Latch(StopReason reason) {
+void RunContext::Latch(StopReason reason, const std::string* fault_point) {
   int expected = 0;
   if (!stream_->stop_reason.compare_exchange_strong(
           expected, static_cast<int>(reason), std::memory_order_acq_rel)) {
     return;  // an earlier reason already stopped this stream
+  }
+  // Only the CAS winner ever touches the string, and readers gate on the
+  // release store below — a losing InjectFault never writes, so there is
+  // no check-then-write window for OnTruncation / status() to race with.
+  if (reason == StopReason::kFault) {
+    if (fault_point != nullptr) stream_->fault_point = *fault_point;
+    stream_->fault_point_set.store(true, std::memory_order_release);
   }
   // Hard-limit truncations trigger the flight recorder (answer cap is a
   // client-requested stop, not a failure). The query id was captured at
@@ -84,8 +91,13 @@ void RunContext::Latch(StopReason reason) {
   }
   if (flight_reason != nullptr) {
     obs::FlightRecorder::Global().OnTruncation(
-        flight_reason, stream_->obs_query_id, stream_->fault_point);
+        flight_reason, stream_->obs_query_id, this->fault_point());
   }
+}
+
+std::string RunContext::fault_point() const {
+  if (!stream_->fault_point_set.load(std::memory_order_acquire)) return "";
+  return stream_->fault_point;
 }
 
 bool RunContext::CheckSharedLimits() {
@@ -146,8 +158,7 @@ void RunContext::CountAnswer() {
 }
 
 void RunContext::InjectFault(const std::string& point) {
-  if (stop_reason() == StopReason::kNone) stream_->fault_point = point;
-  Latch(StopReason::kFault);
+  Latch(StopReason::kFault, &point);
 }
 
 StopReason RunContext::stop_reason() const {
@@ -172,7 +183,7 @@ Status RunContext::status() const {
       return Status::Cancelled("run cancelled");
     case StopReason::kFault:
       return Status::Internal("injected resource failure at " +
-                              stream_->fault_point);
+                              fault_point());
   }
   return Status::Internal("unknown stop reason");
 }

@@ -176,12 +176,20 @@ class RunContext {
     std::atomic<int64_t> answers{0};
     int64_t max_answers = kUnlimited;
     uint64_t obs_query_id = 0;  // owning QueryScope at stream creation
-    std::string fault_point;    // written once, before stop_reason latches
+    // Written only by the thread whose kFault CAS won in Latch(); readers
+    // must observe fault_point_set (acquire) before touching the string.
+    // Concurrent InjectFault calls would otherwise race both against each
+    // other and against FlightRecorder::OnTruncation / status() readers.
+    std::string fault_point;
+    std::atomic<bool> fault_point_set{false};
   };
 
   // Latches `reason` if none is set yet (first reason wins) and bumps the
-  // matching exec.budget.* counter.
-  void Latch(StopReason reason);
+  // matching exec.budget.* counter. For kFault, the CAS winner publishes
+  // `*fault_point` (losers' strings are dropped — their reason lost too).
+  void Latch(StopReason reason, const std::string* fault_point = nullptr);
+  // The published fault point, or "" when none is visible yet.
+  std::string fault_point() const;
   // Checks cancel / deadline / drained budget and latches; true = stop.
   bool CheckSharedLimits();
 

@@ -1,0 +1,28 @@
+#include "serve/admission.h"
+
+#include "obs/obs.h"
+
+namespace tms::serve {
+
+bool AdmissionGate::TryEnter() {
+  // Optimistic increment: claim a slot, then check the bound. The losing
+  // decrement below cannot admit a concurrent caller past the limit —
+  // every admitted caller observed its own post-increment value within
+  // bounds.
+  const int now = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (now > max_inflight_) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    TMS_OBS_COUNT("serve.admission.rejected", 1);
+    return false;
+  }
+  TMS_OBS_COUNT("serve.admission.admitted", 1);
+  TMS_OBS_GAUGE_SET("serve.admission.inflight", now);
+  return true;
+}
+
+void AdmissionGate::Exit() {
+  const int now = inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  TMS_OBS_GAUGE_SET("serve.admission.inflight", now);
+}
+
+}  // namespace tms::serve

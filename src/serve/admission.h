@@ -1,0 +1,64 @@
+// Admission control for the serving layer.
+//
+// A long-lived server must bound the number of concurrently executing
+// queries: each one holds composed-automaton state and competes for the
+// shared exec::ThreadPool, and admitting an unbounded number turns
+// overload into latency collapse for everyone. The gate is a simple
+// counting limiter — TryEnter() either admits (and must be paired with
+// Exit()) or refuses, and a refused request is answered 429 so the client
+// can retry against an explicit signal instead of a hung connection.
+//
+// The server enters the gate after parsing the request head but BEFORE
+// buffering the request body: admission is decided on the cheap bytes,
+// and a client that trickles its body holds only its own slot.
+//
+// Observability: serve.admission.admitted / .rejected counters and the
+// serve.admission.inflight gauge (docs/OBSERVABILITY.md).
+
+#ifndef TMS_SERVE_ADMISSION_H_
+#define TMS_SERVE_ADMISSION_H_
+
+#include <atomic>
+
+namespace tms::serve {
+
+/// Thread-safe counting admission gate. `max_inflight` <= 0 refuses every
+/// request (useful for tests and drain mode).
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(int max_inflight) : max_inflight_(max_inflight) {}
+
+  /// True = admitted; the caller MUST call Exit() when the query ends
+  /// (GateGuard does). False = refuse with 429.
+  bool TryEnter();
+  void Exit();
+
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  int max_inflight() const { return max_inflight_; }
+
+ private:
+  const int max_inflight_;
+  std::atomic<int> inflight_{0};
+};
+
+/// RAII pairing for TryEnter/Exit.
+class GateGuard {
+ public:
+  explicit GateGuard(AdmissionGate* gate)
+      : gate_(gate), admitted_(gate->TryEnter()) {}
+  ~GateGuard() {
+    if (admitted_) gate_->Exit();
+  }
+  GateGuard(const GateGuard&) = delete;
+  GateGuard& operator=(const GateGuard&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionGate* gate_;
+  bool admitted_;
+};
+
+}  // namespace tms::serve
+
+#endif  // TMS_SERVE_ADMISSION_H_

@@ -1,0 +1,260 @@
+#include "serve/http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+
+#include "common/parse.h"
+
+namespace tms::serve {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view StripSpaces(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> params;
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        params.emplace_back(std::string(pair), "");
+      } else {
+        params.emplace_back(std::string(pair.substr(0, eq)),
+                            std::string(pair.substr(eq + 1)));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return params;
+}
+
+const std::string* FindParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view name) {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Status ParseRequestHead(std::string_view head, HttpRequest* out) {
+  // Request line: METHOD SP TARGET SP VERSION
+  size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty() || target.front() != '/') {
+    return Status::InvalidArgument("malformed request line");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version");
+  }
+  out->method = std::string(method);
+  const size_t qmark = target.find('?');
+  out->path = std::string(target.substr(0, qmark));
+  out->query = qmark == std::string_view::npos
+                   ? ""
+                   : std::string(target.substr(qmark + 1));
+
+  // Header lines until the end of the head.
+  out->headers.clear();
+  while (line_end != std::string_view::npos) {
+    head.remove_prefix(line_end + 2);
+    if (head.empty()) break;
+    line_end = head.find("\r\n");
+    line = line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    out->headers.emplace_back(
+        ToLower(StripSpaces(line.substr(0, colon))),
+        std::string(StripSpaces(line.substr(colon + 1))));
+  }
+  return Status::Ok();
+}
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string SimpleResponse(int code, std::string_view content_type,
+                           std::string_view body,
+                           std::string_view extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    HttpStatusText(code) + "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string ChunkedResponseHead(int code, std::string_view content_type,
+                                std::string_view extra_headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    HttpStatusText(code) + "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  return out;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool ChunkedWriter::WriteChunk(std::string_view data) {
+  if (data.empty()) return true;
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  if (!SendAll(fd_, size_line)) return false;
+  if (!SendAll(fd_, data)) return false;
+  return SendAll(fd_, "\r\n");
+}
+
+bool ChunkedWriter::Finish() { return SendAll(fd_, "0\r\n\r\n"); }
+
+RequestReader::RequestReader(int fd, std::function<bool()> should_stop)
+    : RequestReader(fd, std::move(should_stop), Limits()) {}
+
+RequestReader::RequestReader(int fd, std::function<bool()> should_stop,
+                             Limits limits)
+    : fd_(fd), should_stop_(std::move(should_stop)), limits_(limits) {}
+
+Status RequestReader::FillSome() {
+  while (true) {
+    if (should_stop_ && should_stop_()) {
+      return Status::Cancelled("server stopping");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, limits_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("poll failed");
+    }
+    if (ready == 0) continue;  // timeout slice: re-check should_stop
+    char chunk[4096];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("recv failed");
+    }
+    if (n == 0) return Status::NotFound("client closed connection");
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return Status::Ok();
+  }
+}
+
+Status RequestReader::ReadHead(HttpRequest* req) {
+  size_t scanned = 0;
+  while (true) {
+    // Resume the terminator scan 3 bytes back: the "\r\n\r\n" may span the
+    // boundary of two recv()s.
+    const size_t from = scanned > 3 ? scanned - 3 : 0;
+    const size_t end = buffer_.find("\r\n\r\n", from);
+    if (end != std::string::npos) {
+      // The limit applies even when the whole head arrived in one recv.
+      if (end > limits_.max_head_bytes) {
+        return Status::OutOfRange("request head too large");
+      }
+      Status st = ParseRequestHead(std::string_view(buffer_).substr(0, end),
+                                   req);
+      if (!st.ok()) return st;
+      buffer_.erase(0, end + 4);  // keep any body bytes already received
+      return Status::Ok();
+    }
+    if (buffer_.size() > limits_.max_head_bytes) {
+      return Status::OutOfRange("request head too large");
+    }
+    scanned = buffer_.size();
+    TMS_RETURN_IF_ERROR(FillSome());
+  }
+}
+
+Status RequestReader::ReadBody(HttpRequest* req) {
+  req->body.clear();
+  const std::string* length_header = req->FindHeader("content-length");
+  if (length_header == nullptr) return Status::Ok();
+  int64_t length = 0;
+  if (!ParseNonNegInt64(*length_header, &length)) {
+    return Status::InvalidArgument("malformed Content-Length");
+  }
+  if (static_cast<size_t>(length) > limits_.max_body_bytes) {
+    return Status::OutOfRange("request body too large");
+  }
+  while (buffer_.size() < static_cast<size_t>(length)) {
+    TMS_RETURN_IF_ERROR(FillSome());
+  }
+  req->body = buffer_.substr(0, static_cast<size_t>(length));
+  buffer_.erase(0, static_cast<size_t>(length));
+  return Status::Ok();
+}
+
+}  // namespace tms::serve

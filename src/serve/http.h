@@ -1,0 +1,145 @@
+// Minimal HTTP/1.1 plumbing for tms_server: request parsing, response
+// formatting, and chunked-transfer streaming over a raw socket.
+//
+// This is deliberately not a general HTTP implementation — it is the
+// smallest self-contained subset (no external dependencies) that lets a
+// long-lived server stream ranked answers incrementally:
+//
+//   * requests: one request line + headers + an optional Content-Length
+//     body; no pipelining (every response carries Connection: close), no
+//     percent-decoding (the server's parameters are plain integers and
+//     identifiers), no Transfer-Encoding on the request side;
+//   * responses: either a fixed body with Content-Length, or a chunked
+//     stream where every chunk the server writes is one NDJSON line — a
+//     client sees answer 1 at answer-1 delay, not after the full top-k;
+//   * blocking socket I/O with a poll() loop on the read side so a
+//     connection parked in "waiting for a request" still observes server
+//     shutdown, and MSG_NOSIGNAL on the write side so a vanished client
+//     is an error return, not SIGPIPE.
+//
+// The pure-parsing pieces (ParseRequestHead, ParseQueryParams) are
+// separated from the fd-bound pieces (RequestReader, SendAll,
+// ChunkedWriter) so they unit-test without sockets.
+
+#ifndef TMS_SERVE_HTTP_H_
+#define TMS_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tms::serve {
+
+/// One parsed request. Header names are lowercased at parse time; values
+/// keep their bytes (leading/trailing whitespace stripped).
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercase as sent)
+  std::string path;    ///< target before '?', e.g. "/query/hospital"
+  std::string query;   ///< raw query string after '?', or ""
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// The value of header `name` (lowercase), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Parses "k=5&deadline_ms=100" into (name, value) pairs, in order.
+/// Pairs without '=' get an empty value. No percent-decoding.
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view query);
+
+/// The value of the first parameter named `name`, or nullptr.
+const std::string* FindParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::string_view name);
+
+/// Parses the request head (request line + header lines, WITHOUT the
+/// terminating blank line) into *out. InvalidArgument on malformed input;
+/// only HTTP/1.0 and HTTP/1.1 are accepted.
+Status ParseRequestHead(std::string_view head, HttpRequest* out);
+
+/// Reason phrase for the status codes the server emits ("OK", "Bad
+/// Request", ...); "Unknown" otherwise.
+const char* HttpStatusText(int code);
+
+/// A complete non-streaming response: status line, Content-Type,
+/// Content-Length, Connection: close, optional extra raw header lines
+/// (each "Name: value\r\n"), blank line, body.
+std::string SimpleResponse(int code, std::string_view content_type,
+                           std::string_view body,
+                           std::string_view extra_headers = {});
+
+/// The header block of a chunked streaming response (no body bytes).
+std::string ChunkedResponseHead(int code, std::string_view content_type,
+                                std::string_view extra_headers = {});
+
+/// Writes all of `data` to `fd`, retrying short writes, MSG_NOSIGNAL.
+/// False on any send error (client gone).
+bool SendAll(int fd, std::string_view data);
+
+/// Writes chunked-transfer chunks to a socket. The caller writes the
+/// ChunkedResponseHead first, then one WriteChunk per NDJSON line, then
+/// Finish(). Any false return means the client is gone; stop streaming.
+class ChunkedWriter {
+ public:
+  explicit ChunkedWriter(int fd) : fd_(fd) {}
+
+  /// One chunk (never call with empty data — an empty chunk terminates
+  /// the stream in the chunked encoding).
+  bool WriteChunk(std::string_view data);
+  /// The terminal zero-length chunk.
+  bool Finish();
+
+ private:
+  int fd_;
+};
+
+/// Reads one request from a connected socket in two stages, so the server
+/// can make admission decisions after the head but before buffering the
+/// body. poll()s in `poll_interval_ms` slices and consults `should_stop`
+/// between slices, so a parked connection observes server shutdown.
+///
+/// Status vocabulary (mapped to responses by the server):
+///   InvalidArgument  -> 400   malformed request
+///   OutOfRange       -> 431/413  head or body over the size limit
+///   Cancelled        -> server stopping; close without a response
+///   NotFound         -> client closed the connection cleanly
+///   Internal         -> socket error
+class RequestReader {
+ public:
+  struct Limits {
+    size_t max_head_bytes = 16 * 1024;
+    size_t max_body_bytes = 1 << 20;
+    int poll_interval_ms = 50;
+  };
+
+  // Two-arg overload uses default Limits (defined out of line: a default
+  // argument would need Limits' member initializers before RequestReader
+  // is complete).
+  RequestReader(int fd, std::function<bool()> should_stop);
+  RequestReader(int fd, std::function<bool()> should_stop, Limits limits);
+
+  /// Reads and parses the request line + headers into *req.
+  Status ReadHead(HttpRequest* req);
+  /// Reads the Content-Length body (if any) into req->body. Call after
+  /// ReadHead on the same reader — leftover bytes are carried over.
+  Status ReadBody(HttpRequest* req);
+
+ private:
+  // Appends up to one recv() of bytes to buffer_; same Status vocabulary.
+  Status FillSome();
+
+  int fd_;
+  std::function<bool()> should_stop_;
+  Limits limits_;
+  std::string buffer_;
+};
+
+}  // namespace tms::serve
+
+#endif  // TMS_SERVE_HTTP_H_

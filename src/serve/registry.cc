@@ -1,0 +1,48 @@
+#include "serve/registry.h"
+
+#include "io/text_format.h"
+
+namespace tms::serve {
+
+StatusOr<ModelRegistry> ModelRegistry::Load(
+    const std::vector<std::pair<std::string, std::string>>& specs) {
+  ModelRegistry registry;
+  for (const auto& [name, path] : specs) {
+    auto text = io::ReadFile(path);
+    if (!text.ok()) return text.status();
+    auto mu = io::ParseMarkovSequence(*text);
+    if (!mu.ok()) {
+      return Status::InvalidArgument("model '" + name + "' (" + path +
+                                     "): " + mu.status().ToString());
+    }
+    TMS_RETURN_IF_ERROR(registry.Insert(name, std::move(*mu)));
+  }
+  return registry;
+}
+
+Status ModelRegistry::Insert(const std::string& name,
+                             markov::MarkovSequence mu) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (models_.count(name) != 0) {
+    return Status::InvalidArgument("duplicate model name '" + name + "'");
+  }
+  models_.emplace(name, std::move(mu));
+  return Status::Ok();
+}
+
+const markov::MarkovSequence* ModelRegistry::Find(
+    const std::string& name) const {
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, mu] : models_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tms::serve

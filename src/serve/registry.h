@@ -1,0 +1,49 @@
+// The model registry a tms_server loads once at startup.
+//
+// The expensive part of answering a query is per-model state (the Markov
+// sequence itself, and everything the engines derive from it); a one-shot
+// CLI re-parses the model on every invocation, a server loads it exactly
+// once and answers every subsequent request against the in-memory copy.
+// Models are registered as `name=path` pairs; the name is the URL segment
+// of POST /query/<name>. The registry is immutable after Load, so
+// concurrent request threads read it without locks.
+
+#ifndef TMS_SERVE_REGISTRY_H_
+#define TMS_SERVE_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_sequence.h"
+
+namespace tms::serve {
+
+/// Immutable name -> MarkovSequence map shared by all request threads.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Loads every `(name, path)` spec; each path must parse as a
+  /// `markov-sequence` text file. Duplicate names and empty names fail.
+  static StatusOr<ModelRegistry> Load(
+      const std::vector<std::pair<std::string, std::string>>& specs);
+
+  /// Registers an in-memory model (tests; programmatic embedding).
+  Status Insert(const std::string& name, markov::MarkovSequence mu);
+
+  /// The model under `name`, or nullptr.
+  const markov::MarkovSequence* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const { return models_.size(); }
+
+ private:
+  std::map<std::string, markov::MarkovSequence> models_;
+};
+
+}  // namespace tms::serve
+
+#endif  // TMS_SERVE_REGISTRY_H_

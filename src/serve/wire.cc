@@ -1,0 +1,48 @@
+#include "serve/wire.h"
+
+#include "obs/export.h"
+
+namespace tms::serve {
+
+const char* StopReasonName(exec::StopReason reason) {
+  switch (reason) {
+    case exec::StopReason::kNone: return "NONE";
+    case exec::StopReason::kAnswerCap: return "ANSWER_CAP";
+    case exec::StopReason::kBudget: return "BUDGET";
+    case exec::StopReason::kDeadline: return "DEADLINE";
+    case exec::StopReason::kCancelled: return "CANCELLED";
+    case exec::StopReason::kFault: return "FAULT";
+  }
+  return "NONE";
+}
+
+std::string ExecJson(const Status& status, exec::StopReason reason,
+                     int64_t answers, int64_t work) {
+  std::string doc = "{\"status\":\"";
+  obs::AppendJsonEscaped(StatusCodeName(status.code()), &doc);
+  doc += "\",\"reason\":\"";
+  doc += StopReasonName(reason);
+  doc += "\",\"truncated\":";
+  doc += reason != exec::StopReason::kNone ? "true" : "false";
+  doc += ",\"answers\":";
+  doc += std::to_string(answers);
+  doc += ",\"work\":";
+  doc += std::to_string(work);
+  doc += '}';
+  return doc;
+}
+
+void AppendAnswerJson(const std::string& answer, const char* score_key,
+                      double score, double confidence, std::string* out) {
+  *out += "{\"answer\":\"";
+  obs::AppendJsonEscaped(answer, out);
+  *out += "\",\"";
+  *out += score_key;
+  *out += "\":";
+  obs::AppendJsonNumber(score, out);
+  *out += ",\"confidence\":";
+  obs::AppendJsonNumber(confidence, out);
+  *out += '}';
+}
+
+}  // namespace tms::serve

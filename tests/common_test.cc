@@ -4,11 +4,46 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 
 namespace tms {
 namespace {
+
+TEST(ParseTest, NonNegInt64AcceptsDigitsOnly) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseNonNegInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseNonNegInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, 9223372036854775807LL);
+  EXPECT_TRUE(ParseNonNegInt64("0042", &v));
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ParseTest, NonNegInt64RejectsGarbage) {
+  int64_t v = 123;
+  EXPECT_FALSE(ParseNonNegInt64("", &v));
+  EXPECT_FALSE(ParseNonNegInt64("abc", &v));
+  EXPECT_FALSE(ParseNonNegInt64("12x", &v));
+  EXPECT_FALSE(ParseNonNegInt64("-1", &v));
+  EXPECT_FALSE(ParseNonNegInt64("+1", &v));
+  EXPECT_FALSE(ParseNonNegInt64(" 1", &v));
+  EXPECT_FALSE(ParseNonNegInt64("1 ", &v));
+  // One past int64 max: atoll would be UB; the checked parser says no.
+  EXPECT_FALSE(ParseNonNegInt64("9223372036854775808", &v));
+  EXPECT_EQ(v, 123) << "failed parse must not clobber the output";
+}
+
+TEST(ParseTest, PositiveIntRejectsZeroAndOverflow) {
+  int v = 7;
+  EXPECT_TRUE(ParsePositiveInt("8", &v));
+  EXPECT_EQ(v, 8);
+  EXPECT_FALSE(ParsePositiveInt("0", &v));
+  EXPECT_FALSE(ParsePositiveInt("2147483648", &v));  // INT_MAX + 1
+  EXPECT_TRUE(ParsePositiveInt("2147483647", &v));
+  EXPECT_EQ(v, 2147483647);
+}
 
 TEST(RngTest, Deterministic) {
   Rng a(42), b(42);

@@ -132,6 +132,56 @@ TEST(RunContextTest, InjectFaultReportsPointInStatus) {
   EXPECT_FALSE(run.ChargeWork());
 }
 
+// Regression (TSan): InjectFault used to write stream_->fault_point after
+// a non-atomic check of stop_reason(), racing both with a concurrent
+// InjectFault and with status() / FlightRecorder::OnTruncation reading
+// the string from the thread that latched first. Now only the kFault CAS
+// winner publishes the string, so hammering InjectFault from many threads
+// while others poll status() must be race-free, and the reported point is
+// exactly one of the injected ones.
+TEST(RunContextTest, ConcurrentInjectFaultPublishesOnePoint) {
+  constexpr int kInjectors = 4;
+  constexpr int kReaders = 2;
+  for (int round = 0; round < 25; ++round) {
+    RunContext run;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kInjectors + kReaders);
+    for (int i = 0; i < kInjectors; ++i) {
+      threads.emplace_back([&run, &go, i] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        run.InjectFault("point." + std::to_string(i));
+      });
+    }
+    for (int i = 0; i < kReaders; ++i) {
+      threads.emplace_back([&run, &go] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        // Keep reading the status message while the injectors race; the
+        // string must never be observed mid-write.
+        for (int spin = 0; spin < 64; ++spin) {
+          Status status = run.status();
+          if (!status.ok()) {
+            EXPECT_EQ(status.code(), StatusCode::kInternal);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(run.stop_reason(), StopReason::kFault);
+    const std::string message = run.status().ToString();
+    int mentioned = 0;
+    for (int i = 0; i < kInjectors; ++i) {
+      if (message.find("point." + std::to_string(i)) != std::string::npos) {
+        ++mentioned;
+      }
+    }
+    EXPECT_EQ(mentioned, 1) << message;
+  }
+}
+
 TEST(RunContextTest, CopiesAliasTheSameStream) {
   RunContext run;
   run.set_max_answers(1);

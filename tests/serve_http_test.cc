@@ -1,0 +1,320 @@
+// Unit tests for the socket-free serving pieces: HTTP parsing and
+// response formatting (serve/http.h), the admission gate
+// (serve/admission.h), the model registry (serve/registry.h), and the
+// shared wire serializers (serve/wire.h). The fd-bound pieces
+// (RequestReader, ChunkedWriter) run over socketpair(2) — still no
+// network. Full-server integration lives in serve_test.cc.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "markov/markov_sequence.h"
+#include "serve/admission.h"
+#include "serve/http.h"
+#include "serve/registry.h"
+#include "serve/wire.h"
+#include "workload/running_example.h"
+
+namespace tms::serve {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ParseRequestHeadTest, ParsesRequestLineAndHeaders) {
+  HttpRequest req;
+  Status st = ParseRequestHead(
+      "POST /query/hospital?k=3&mode=enum HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 42\r\n",
+      &req);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.path, "/query/hospital");
+  EXPECT_EQ(req.query, "k=3&mode=enum");
+  ASSERT_NE(req.FindHeader("content-length"), nullptr);
+  EXPECT_EQ(*req.FindHeader("content-length"), "42");
+  // Header names are lowercased at parse time.
+  ASSERT_NE(req.FindHeader("host"), nullptr);
+  EXPECT_EQ(req.FindHeader("Host"), nullptr);
+}
+
+TEST(ParseRequestHeadTest, RejectsMalformedInput) {
+  HttpRequest req;
+  EXPECT_FALSE(ParseRequestHead("", &req).ok());
+  EXPECT_FALSE(ParseRequestHead("GET /\r\n", &req).ok());  // no version
+  EXPECT_FALSE(ParseRequestHead("GET / HTTP/2.0\r\n", &req).ok());
+  EXPECT_FALSE(
+      ParseRequestHead("GET / HTTP/1.1\r\nno-colon-here\r\n", &req).ok());
+}
+
+TEST(ParseQueryParamsTest, SplitsPairsInOrder) {
+  auto params = ParseQueryParams("k=5&deadline_ms=100&flag");
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].first, "k");
+  EXPECT_EQ(params[0].second, "5");
+  EXPECT_EQ(params[1].first, "deadline_ms");
+  EXPECT_EQ(params[1].second, "100");
+  EXPECT_EQ(params[2].first, "flag");
+  EXPECT_EQ(params[2].second, "");
+  ASSERT_NE(FindParam(params, "k"), nullptr);
+  EXPECT_EQ(*FindParam(params, "k"), "5");
+  EXPECT_EQ(FindParam(params, "absent"), nullptr);
+  EXPECT_TRUE(ParseQueryParams("").empty());
+}
+
+TEST(ResponseTest, SimpleResponseCarriesLengthAndClose) {
+  std::string r = SimpleResponse(404, "application/json", "{}\n");
+  EXPECT_NE(r.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 7), "\r\n\r\n{}\n");
+}
+
+TEST(ResponseTest, ChunkedHeadDeclaresChunkedEncoding) {
+  std::string r = ChunkedResponseHead(200, "application/x-ndjson",
+                                      "X-Query-Id: 7\r\n");
+  EXPECT_NE(r.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_NE(r.find("X-Query-Id: 7\r\n"), std::string::npos);
+  EXPECT_EQ(r.find("Content-Length"), std::string::npos);
+}
+
+// ------------------------------------------------------- socketpair pieces
+
+class SocketPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  void CloseWriteEnd() {
+    close(fds_[0]);
+    fds_[0] = -1;
+  }
+  std::string ReadAll(int fd) {
+    std::string out;
+    char buf[1024];
+    ssize_t n;
+    while ((n = read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+    return out;
+  }
+  int fds_[2];
+};
+
+TEST_F(SocketPairTest, ChunkedWriterFramesEveryChunk) {
+  ChunkedWriter writer(fds_[0]);
+  EXPECT_TRUE(writer.WriteChunk("hello\n"));
+  EXPECT_TRUE(writer.WriteChunk("{\"a\":1}\n"));
+  EXPECT_TRUE(writer.Finish());
+  CloseWriteEnd();
+  EXPECT_EQ(ReadAll(fds_[1]),
+            "6\r\nhello\n\r\n"
+            "8\r\n{\"a\":1}\n\r\n"
+            "0\r\n\r\n");
+}
+
+TEST_F(SocketPairTest, ReaderParsesHeadThenBody) {
+  const std::string wire =
+      "POST /query/m HTTP/1.1\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "abcde";
+  ASSERT_EQ(write(fds_[0], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  CloseWriteEnd();
+  RequestReader reader(fds_[1], nullptr);
+  HttpRequest req;
+  Status st = reader.ReadHead(&req);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_TRUE(req.body.empty());
+  st = reader.ReadBody(&req);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(req.body, "abcde");
+}
+
+TEST_F(SocketPairTest, ReaderSurvivesByteAtATimeDelivery) {
+  // The "\r\n\r\n" scan must work across arbitrary recv boundaries.
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::thread dripper([&] {
+    for (char c : wire) {
+      ASSERT_EQ(write(fds_[0], &c, 1), 1);
+    }
+    CloseWriteEnd();
+  });
+  RequestReader reader(fds_[1], nullptr);
+  HttpRequest req;
+  Status st = reader.ReadHead(&req);
+  dripper.join();
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(req.path, "/healthz");
+}
+
+TEST_F(SocketPairTest, ReaderRejectsOversizedHead) {
+  RequestReader::Limits limits;
+  limits.max_head_bytes = 64;
+  std::string wire = "GET /" + std::string(200, 'x') + " HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(write(fds_[0], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  CloseWriteEnd();
+  RequestReader reader(fds_[1], nullptr, limits);
+  HttpRequest req;
+  EXPECT_EQ(reader.ReadHead(&req).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SocketPairTest, ReaderRejectsOversizedBody) {
+  RequestReader::Limits limits;
+  limits.max_body_bytes = 4;
+  const std::string wire =
+      "POST /q HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+  ASSERT_EQ(write(fds_[0], wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  CloseWriteEnd();
+  RequestReader reader(fds_[1], nullptr, limits);
+  HttpRequest req;
+  ASSERT_TRUE(reader.ReadHead(&req).ok());
+  EXPECT_EQ(reader.ReadBody(&req).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SocketPairTest, ReaderReportsClientCloseAsNotFound) {
+  CloseWriteEnd();
+  RequestReader reader(fds_[1], nullptr);
+  HttpRequest req;
+  EXPECT_EQ(reader.ReadHead(&req).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SocketPairTest, ParkedReaderObservesShouldStop) {
+  // No bytes ever arrive; should_stop flips after a few polls and the
+  // reader must return Cancelled instead of blocking forever.
+  RequestReader::Limits limits;
+  limits.poll_interval_ms = 5;
+  std::atomic<bool> stop{false};
+  RequestReader reader(fds_[1], [&] { return stop.load(); }, limits);
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+  });
+  HttpRequest req;
+  Status st = reader.ReadHead(&req);
+  flipper.join();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(AdmissionGateTest, AdmitsUpToLimitThenRefuses) {
+  AdmissionGate gate(2);
+  EXPECT_TRUE(gate.TryEnter());
+  EXPECT_TRUE(gate.TryEnter());
+  EXPECT_FALSE(gate.TryEnter());
+  gate.Exit();
+  EXPECT_TRUE(gate.TryEnter());
+  gate.Exit();
+  gate.Exit();
+}
+
+TEST(AdmissionGateTest, ZeroRefusesEverything) {
+  AdmissionGate gate(0);
+  EXPECT_FALSE(gate.TryEnter());
+}
+
+TEST(AdmissionGateTest, GateGuardReleasesOnScopeExit) {
+  AdmissionGate gate(1);
+  {
+    GateGuard guard(&gate);
+    EXPECT_TRUE(guard.admitted());
+    GateGuard refused(&gate);
+    EXPECT_FALSE(refused.admitted());
+  }
+  EXPECT_TRUE(gate.TryEnter());
+  gate.Exit();
+}
+
+TEST(AdmissionGateTest, NeverExceedsLimitUnderContention) {
+  AdmissionGate gate(3);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        GateGuard guard(&gate);
+        if (!guard.admitted()) continue;
+        int now = inside.fetch_add(1) + 1;
+        int seen = max_seen.load();
+        while (now > seen && !max_seen.compare_exchange_weak(seen, now)) {
+        }
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(max_seen.load(), 3);
+  EXPECT_TRUE(gate.TryEnter());  // all slots released
+  gate.Exit();
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(ModelRegistryTest, InsertFindAndNames) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Insert("fig1", workload::Figure1Sequence()).ok());
+  EXPECT_NE(registry.Find("fig1"), nullptr);
+  EXPECT_EQ(registry.Find("absent"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"fig1"});
+}
+
+TEST(ModelRegistryTest, RejectsDuplicateAndEmptyNames) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Insert("m", workload::Figure1Sequence()).ok());
+  EXPECT_FALSE(registry.Insert("m", workload::Figure1Sequence()).ok());
+  EXPECT_FALSE(registry.Insert("", workload::Figure1Sequence()).ok());
+}
+
+TEST(ModelRegistryTest, LoadReportsBadPath) {
+  auto registry = ModelRegistry::Load({{"m", "/nonexistent/file.tms"}});
+  EXPECT_FALSE(registry.ok());
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(WireTest, StopReasonSpellingsAreStable) {
+  EXPECT_STREQ(StopReasonName(exec::StopReason::kNone), "NONE");
+  EXPECT_STREQ(StopReasonName(exec::StopReason::kAnswerCap), "ANSWER_CAP");
+  EXPECT_STREQ(StopReasonName(exec::StopReason::kBudget), "BUDGET");
+  EXPECT_STREQ(StopReasonName(exec::StopReason::kDeadline), "DEADLINE");
+  EXPECT_STREQ(StopReasonName(exec::StopReason::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StopReasonName(exec::StopReason::kFault), "FAULT");
+}
+
+TEST(WireTest, ExecJsonShape) {
+  EXPECT_EQ(ExecJson(Status::Ok(), exec::StopReason::kNone, 3, 8),
+            "{\"status\":\"OK\",\"reason\":\"NONE\",\"truncated\":false,"
+            "\"answers\":3,\"work\":8}");
+  EXPECT_EQ(
+      ExecJson(Status::Ok(), exec::StopReason::kAnswerCap, 1, 2),
+      "{\"status\":\"OK\",\"reason\":\"ANSWER_CAP\",\"truncated\":true,"
+      "\"answers\":1,\"work\":2}");
+}
+
+TEST(WireTest, AnswerJsonEscapesAndKeysByScore) {
+  std::string out;
+  AppendAnswerJson("a \"b\"", "emax", 0.5, 0.25, &out);
+  EXPECT_EQ(out,
+            "{\"answer\":\"a \\\"b\\\"\",\"emax\":0.5,\"confidence\":0.25}");
+}
+
+}  // namespace
+}  // namespace tms::serve

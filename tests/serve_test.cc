@@ -1,0 +1,544 @@
+// Integration tests for the full HttpServer (serve/server.h): a real
+// server on an ephemeral loopback port, driven by a raw-socket HTTP/1.1
+// client. Covers the serving acceptance contract:
+//
+//   * the streamed answer lines of POST /query are byte-identical to the
+//     one-shot evaluator path (same engine, same serializers) — including
+//     under truncation, where the stream is an exact prefix;
+//   * per-request limits (deadline_ms / max_answers / budget) map onto
+//     the RunContext truncation contract and surface the right stop
+//     reason in the footer;
+//   * concurrent requests at 1/2/8 engine threads produce identical
+//     bytes, each under its own QueryScope (distinct X-Query-Id);
+//   * admission control refuses over-limit queries with 429, decided
+//     before the body is read;
+//   * shutdown drains: parked connections observe the stop flag, live
+//     streams end with a CANCELLED footer, Shutdown() joins everything.
+//
+// Labeled `serve` (with `concurrency` where threads race); run just these
+// with `ctest -L serve`.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/engine_options.h"
+#include "exec/run_context.h"
+#include "gtest/gtest.h"
+#include "io/text_format.h"
+#include "query/confidence.h"
+#include "query/engine_factory.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "strings/str.h"
+#include "workload/running_example.h"
+
+namespace tms::serve {
+namespace {
+
+// ------------------------------------------------------ raw HTTP client
+
+// Connects to 127.0.0.1:port; returns the fd or -1.
+int Connect(int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string ReadToEof(int fd) {
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  return out;
+}
+
+// One full round trip: send `raw`, read until the server closes.
+std::string RoundTrip(int port, const std::string& raw) {
+  int fd = Connect(port);
+  if (fd < 0) return "";
+  if (send(fd, raw.data(), raw.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(raw.size())) {
+    close(fd);
+    return "";
+  }
+  std::string response = ReadToEof(fd);
+  close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return RoundTrip(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string Post(int port, const std::string& path, const std::string& body) {
+  return RoundTrip(port, "POST " + path + " HTTP/1.1\r\nHost: t\r\n" +
+                             "Content-Length: " +
+                             std::to_string(body.size()) + "\r\n\r\n" +
+                             body);
+}
+
+// A parsed response: status code, headers (raw block), decoded body
+// (de-chunked when Transfer-Encoding: chunked).
+struct Response {
+  int code = 0;
+  std::string head;
+  std::string body;
+};
+
+std::optional<Response> ParseResponse(const std::string& raw) {
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  Response r;
+  r.head = raw.substr(0, head_end + 2);
+  if (raw.compare(0, 9, "HTTP/1.1 ") != 0) return std::nullopt;
+  r.code = std::atoi(raw.c_str() + 9);
+  std::string rest = raw.substr(head_end + 4);
+  if (r.head.find("Transfer-Encoding: chunked") == std::string::npos) {
+    r.body = std::move(rest);
+    return r;
+  }
+  // De-chunk.
+  size_t pos = 0;
+  while (true) {
+    const size_t line_end = rest.find("\r\n", pos);
+    if (line_end == std::string::npos) return std::nullopt;
+    const size_t size = std::strtoul(rest.c_str() + pos, nullptr, 16);
+    pos = line_end + 2;
+    if (size == 0) break;
+    if (pos + size + 2 > rest.size()) return std::nullopt;
+    r.body.append(rest, pos, size);
+    pos += size + 2;  // chunk data + trailing CRLF
+  }
+  return r;
+}
+
+std::vector<std::string> Lines(const std::string& body) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    const size_t end = body.find('\n', pos);
+    if (end == std::string::npos) {
+      lines.push_back(body.substr(pos));
+      break;
+    }
+    lines.push_back(body.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+// The value of a response header, or "".
+std::string HeaderValue(const std::string& head, const std::string& name) {
+  const std::string needle = name + ": ";
+  const size_t pos = head.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t end = head.find("\r\n", pos);
+  return head.substr(pos + needle.size(), end - pos - needle.size());
+}
+
+// ---------------------------------------------------------- test fixture
+
+class ServeTest : public ::testing::Test {
+ protected:
+  // Starts a server over the running example registered as "fig1".
+  void StartServer(ServerOptions options) {
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.Insert("fig1", workload::Figure1Sequence()).ok());
+    server_ = std::make_unique<HttpServer>(std::move(registry),
+                                           std::move(options));
+    Status st = server_->Start();
+    ASSERT_TRUE(st.ok()) << st;
+    port_ = server_->port();
+    ASSERT_GT(port_, 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  std::string QueryBody() {
+    return io::FormatTransducer(workload::Figure2Transducer());
+  }
+
+  // The expected answer lines of a ranked stream, computed through the
+  // same engine + serializer path the one-shot evaluator uses. Comparing
+  // the HTTP body against this IS the byte-identity check: tms_cli's
+  // results array is built from the same AppendAnswerJson calls.
+  std::vector<std::string> ExpectedRankedLines(int k) {
+    markov::MarkovSequence mu = workload::Figure1Sequence();
+    transducer::Transducer t = workload::Figure2Transducer();
+    auto stream =
+        query::MakeEnumerator(query::EnumeratorKind::kEmax, mu, t);
+    EXPECT_TRUE(stream.ok());
+    std::vector<std::string> lines;
+    for (int i = 0; i < k; ++i) {
+      auto answer = (*stream)->Next();
+      if (!answer.has_value()) break;
+      auto conf = query::Confidence(mu, t, answer->output);
+      EXPECT_TRUE(conf.ok());
+      std::string line;
+      AppendAnswerJson(FormatStr(t.output_alphabet(), answer->output),
+                       "emax", answer->score, *conf, &line);
+      lines.push_back(line);
+    }
+    return lines;
+  }
+
+  std::unique_ptr<HttpServer> server_;
+  int port_ = 0;
+};
+
+// ----------------------------------------------------------- basic plane
+
+TEST_F(ServeTest, HealthzModelsAndUnknownRoutes) {
+  StartServer(ServerOptions{});
+  auto health = ParseResponse(Get(port_, "/healthz"));
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->code, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  auto models = ParseResponse(Get(port_, "/models"));
+  ASSERT_TRUE(models.has_value());
+  EXPECT_EQ(models->code, 200);
+  EXPECT_EQ(models->body, "{\"models\":[\"fig1\"]}\n");
+
+  auto missing = ParseResponse(Get(port_, "/nope"));
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->code, 404);
+
+  auto wrong_method = ParseResponse(Post(port_, "/healthz", ""));
+  ASSERT_TRUE(wrong_method.has_value());
+  EXPECT_EQ(wrong_method->code, 405);
+
+  auto no_model = ParseResponse(Post(port_, "/query/ghost", QueryBody()));
+  ASSERT_TRUE(no_model.has_value());
+  EXPECT_EQ(no_model->code, 404);
+}
+
+TEST_F(ServeTest, MetricsExposesPrometheusText) {
+  StartServer(ServerOptions{});
+  // Run one query first so engine counters exist.
+  ASSERT_TRUE(
+      ParseResponse(Post(port_, "/query/fig1?k=1", QueryBody())).has_value());
+  auto metrics = ParseResponse(Get(port_, "/metrics"));
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->code, 200);
+  EXPECT_NE(metrics->head.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("# TYPE tms_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("tms_serve_queries"), std::string::npos);
+}
+
+// -------------------------------------------------- streaming + identity
+
+TEST_F(ServeTest, RankedStreamMatchesEvaluatorBytes) {
+  StartServer(ServerOptions{});
+  auto response = ParseResponse(Post(port_, "/query/fig1?k=3", QueryBody()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 200);
+  EXPECT_NE(response->head.find("application/x-ndjson"), std::string::npos);
+
+  std::vector<std::string> lines = Lines(response->body);
+  std::vector<std::string> expected = ExpectedRankedLines(3);
+  ASSERT_EQ(lines.size(), expected.size() + 1);  // answers + footer
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(lines[i], expected[i]) << "answer line " << i;
+  }
+  const std::string& footer = lines.back();
+  EXPECT_NE(footer.find("\"done\":true"), std::string::npos);
+  EXPECT_NE(footer.find("\"reason\":\"NONE\""), std::string::npos);
+  EXPECT_NE(footer.find("\"truncated\":false"), std::string::npos);
+}
+
+TEST_F(ServeTest, EnumModeStreamsPlainAnswers) {
+  StartServer(ServerOptions{});
+  auto response = ParseResponse(
+      Post(port_, "/query/fig1?mode=enum&k=5", QueryBody()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 200);
+  std::vector<std::string> lines = Lines(response->body);
+  ASSERT_GE(lines.size(), 2u);
+  // Every answer line is one JSON string; the footer closes the stream.
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].front(), '"');
+    EXPECT_EQ(lines[i].back(), '"');
+  }
+  EXPECT_NE(lines.back().find("\"done\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, SProjectorQueryStreamsImaxLines) {
+  StartServer(ServerOptions{});
+  const std::string body =
+      "s-projector\n"
+      "alphabet r1a r1b r2a r2b la lb\n"
+      "prefix . *\n"
+      "pattern ( la | lb ) [^ r2a r2b ] *\n"
+      "suffix ( r2a | r2b ) . *\n"
+      "end\n";
+  auto response = ParseResponse(Post(port_, "/query/fig1?k=2", body));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 200);
+  std::vector<std::string> lines = Lines(response->body);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"imax\":"), std::string::npos);
+  EXPECT_NE(lines.back().find("\"done\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, BadRequestsGet400) {
+  StartServer(ServerOptions{});
+  // Garbage numeric parameter.
+  auto bad_k =
+      ParseResponse(Post(port_, "/query/fig1?k=3x", QueryBody()));
+  ASSERT_TRUE(bad_k.has_value());
+  EXPECT_EQ(bad_k->code, 400);
+  // Unknown parameter.
+  auto unknown =
+      ParseResponse(Post(port_, "/query/fig1?frobnicate=1", QueryBody()));
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->code, 400);
+  // Body that is not a query.
+  auto bad_body = ParseResponse(Post(port_, "/query/fig1", "not a query"));
+  ASSERT_TRUE(bad_body.has_value());
+  EXPECT_EQ(bad_body->code, 400);
+  // A model file is a valid format but not a query.
+  auto model_body = ParseResponse(Post(
+      port_, "/query/fig1",
+      io::FormatMarkovSequence(workload::Figure1Sequence())));
+  ASSERT_TRUE(model_body.has_value());
+  EXPECT_EQ(model_body->code, 400);
+}
+
+// ------------------------------------------------- truncation stop reasons
+
+TEST_F(ServeTest, MaxAnswersTruncatesToExactPrefix) {
+  StartServer(ServerOptions{});
+  auto full = ParseResponse(Post(port_, "/query/fig1?k=3", QueryBody()));
+  auto truncated = ParseResponse(
+      Post(port_, "/query/fig1?k=3&max_answers=1", QueryBody()));
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(truncated.has_value());
+  EXPECT_EQ(truncated->code, 200);
+  std::vector<std::string> full_lines = Lines(full->body);
+  std::vector<std::string> short_lines = Lines(truncated->body);
+  ASSERT_EQ(short_lines.size(), 2u);  // one answer + footer
+  // The truncated stream is an exact byte prefix of the full stream.
+  EXPECT_EQ(short_lines[0], full_lines[0]);
+  EXPECT_NE(short_lines[1].find("\"reason\":\"ANSWER_CAP\""),
+            std::string::npos);
+  EXPECT_NE(short_lines[1].find("\"status\":\"OK\""), std::string::npos);
+  EXPECT_NE(short_lines[1].find("\"truncated\":true"), std::string::npos);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineReportsDeadlineStop) {
+  StartServer(ServerOptions{});
+  auto response = ParseResponse(
+      Post(port_, "/query/fig1?deadline_ms=0", QueryBody()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 200);
+  std::vector<std::string> lines = Lines(response->body);
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines.back().find("\"reason\":\"DEADLINE\""),
+            std::string::npos);
+  EXPECT_NE(lines.back().find("\"status\":\"DEADLINE_EXCEEDED\""),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, ExhaustedBudgetReportsBudgetStop) {
+  StartServer(ServerOptions{});
+  auto response =
+      ParseResponse(Post(port_, "/query/fig1?budget=1", QueryBody()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 200);
+  std::vector<std::string> lines = Lines(response->body);
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines.back().find("\"reason\":\"BUDGET\""), std::string::npos);
+}
+
+// ----------------------------------------------------------- concurrency
+
+class ServeConcurrencyTest : public ServeTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(ServeConcurrencyTest, ConcurrentStreamsAreIdenticalAndScoped) {
+  ServerOptions options;
+  options.threads = GetParam();
+  options.max_inflight = 16;
+  StartServer(options);
+  const std::string body = QueryBody();
+
+  // Sequential baseline at this thread count.
+  auto baseline = ParseResponse(Post(port_, "/query/fig1?k=3", body));
+  ASSERT_TRUE(baseline.has_value());
+  const std::vector<std::string> expected = Lines(baseline->body);
+  ASSERT_EQ(expected.size(), ExpectedRankedLines(3).size() + 1);
+
+  // 8 concurrent clients, same query.
+  constexpr int kClients = 8;
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      return Post(port_, "/query/fig1?k=3", body);
+    }));
+  }
+  std::set<std::string> query_ids;
+  for (auto& f : futures) {
+    auto response = ParseResponse(f.get());
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->code, 200);
+    // Byte-identical answer lines regardless of interleaving.
+    std::vector<std::string> lines = Lines(response->body);
+    ASSERT_EQ(lines.size(), expected.size());
+    for (size_t i = 0; i + 1 < lines.size(); ++i) {
+      EXPECT_EQ(lines[i], expected[i]);
+    }
+    // Each request ran under its own QueryScope.
+    const std::string id = HeaderValue(response->head, "X-Query-Id");
+    ASSERT_FALSE(id.empty());
+    query_ids.insert(id);
+  }
+  EXPECT_EQ(query_ids.size(), static_cast<size_t>(kClients));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeConcurrencyTest,
+                         ::testing::Values(1, 2, 8));
+
+// ------------------------------------------------------------- admission
+
+TEST_F(ServeTest, DrainModeRefusesEveryQuery) {
+  ServerOptions options;
+  options.max_inflight = 0;
+  StartServer(options);
+  auto response = ParseResponse(Post(port_, "/query/fig1", QueryBody()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 429);
+  EXPECT_EQ(HeaderValue(response->head, "Retry-After"), "1");
+  // Non-query endpoints stay available.
+  auto health = ParseResponse(Get(port_, "/healthz"));
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->code, 200);
+}
+
+TEST_F(ServeTest, OverLimitQueryGets429WhileSlotIsHeld) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  StartServer(options);
+  const std::string body = QueryBody();
+
+  // Client A sends the head and *part* of the body, then stalls. The gate
+  // is entered after the head, so A deterministically holds the only
+  // slot while B's query arrives.
+  int holder = Connect(port_);
+  ASSERT_GE(holder, 0);
+  const std::string head =
+      "POST /query/fig1 HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n";
+  ASSERT_EQ(send(holder, head.data(), head.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(head.size()));
+  ASSERT_EQ(send(holder, body.data(), 4, MSG_NOSIGNAL), 4);
+
+  // Wait until A actually occupies the slot (ReadBody runs after the
+  // gate): poll B until it sees 429.
+  auto rejected = ParseResponse(Post(port_, "/query/fig1?k=1", body));
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (rejected.has_value() && rejected->code == 429) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    rejected = ParseResponse(Post(port_, "/query/fig1?k=1", body));
+  }
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->code, 429);
+
+  // A completes its body and still gets its full stream: rejection of B
+  // never disturbed the admitted query.
+  ASSERT_EQ(send(holder, body.data() + 4, body.size() - 4, MSG_NOSIGNAL),
+            static_cast<ssize_t>(body.size() - 4));
+  auto completed = ParseResponse(ReadToEof(holder));
+  close(holder);
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(completed->code, 200);
+  EXPECT_NE(completed->body.find("\"done\":true"), std::string::npos);
+
+  // Slot released: the next query is admitted.
+  auto next = ParseResponse(Post(port_, "/query/fig1?k=1", body));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->code, 200);
+}
+
+// ---------------------------------------------------------------- drain
+
+TEST_F(ServeTest, CancelTokenTruncatesStreamWithCancelledFooter) {
+  StartServer(ServerOptions{});
+  // Fire the server-wide drain token up front: the next query's
+  // RunContext observes it at the first answer boundary, so the stream is
+  // a well-formed empty prefix + CANCELLED footer.
+  server_->cancel_token().Cancel();
+  auto response = ParseResponse(Post(port_, "/query/fig1", QueryBody()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->code, 200);
+  std::vector<std::string> lines = Lines(response->body);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"reason\":\"CANCELLED\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"answers\":0"), std::string::npos);
+}
+
+TEST_F(ServeTest, ShutdownJoinsParkedConnections) {
+  ServerOptions options;
+  options.limits.poll_interval_ms = 5;
+  StartServer(options);
+
+  // Park two connections: one that never sends anything, one stalled
+  // mid-body. Both sit in the reader's poll loop.
+  int idle = Connect(port_);
+  ASSERT_GE(idle, 0);
+  int stalled = Connect(port_);
+  ASSERT_GE(stalled, 0);
+  const std::string partial =
+      "POST /query/fig1 HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\nabc";
+  ASSERT_EQ(send(stalled, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+  // Give the server a moment to accept and park both.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Shutdown must join the accept thread AND both parked connection
+  // threads promptly — a hang here is the regression this guards.
+  auto done = std::async(std::launch::async, [&] { server_->Shutdown(); });
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+
+  // Parked clients observe the close.
+  EXPECT_EQ(ReadToEof(idle), "");
+  close(idle);
+  close(stalled);
+
+  // The listener is gone.
+  int after = Connect(port_);
+  if (after >= 0) close(after);
+  // (Connect may transiently succeed if the port is reused; the real
+  // assertion is that Shutdown returned and joined above.)
+}
+
+}  // namespace
+}  // namespace tms::serve

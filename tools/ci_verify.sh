@@ -5,11 +5,18 @@
 #              pass (the per-query observability suites must be present,
 #              not silently undiscovered)
 #   2. asan:   ASan+UBSan build, `ctest -L robustness` + `-L concurrency`
+#              + `-L serve` (the server's socket/thread machinery runs
+#              under the sanitizers too)
 #   3. tsan:   TSan build,       `ctest -L robustness` + `-L concurrency`
 #   4. off:    -DTMS_OBS=OFF -DTMS_FAULTS=OFF build (everything compiled
 #              out), full test suite — proves the zero-overhead surface
 #              builds and behaves
-#   5. bench:  enumeration + kernel bench reports
+#   5. serve:  `ctest -L serve` in the default build — the serving unit +
+#              integration suites plus the serve_smoke end-to-end script
+#              (ephemeral-port tms_server: healthz, /metrics parse, one
+#              streamed query byte-compared against tms_cli, clean
+#              SIGTERM drain)
+#   6. bench:  enumeration + kernel bench reports
 #              (BENCH_enumeration_delay.json, BENCH_enumeration_emax.json,
 #              BENCH_twostep_vs_ranked.json, BENCH_sparse_scaling.json)
 #              emitted to build/bench-json/ and checked non-empty, plus the
@@ -19,8 +26,8 @@
 #
 # Build trees are reused across runs (build/, build-asan/, build-tsan/,
 # build-off/ under the repo root), so incremental invocations are cheap.
-# Pass a stage name (tier1 | asan | tsan | off | bench) to run just that
-# stage; default is all five.
+# Pass a stage name (tier1 | asan | tsan | off | serve | bench) to run
+# just that stage; default is all six.
 #
 #   tools/ci_verify.sh            # everything
 #   tools/ci_verify.sh tsan       # just the TSan stage
@@ -62,7 +69,7 @@ case "$STAGE" in
 esac
 case "$STAGE" in
   asan|all)
-    run_stage asan "$ROOT/build-asan" -L "robustness|concurrency" -- \
+    run_stage asan "$ROOT/build-asan" -L "robustness|concurrency|serve" -- \
       -DTMS_SANITIZE=address,undefined
     ;;
 esac
@@ -80,6 +87,14 @@ case "$STAGE" in
     # must still pass (the obs suites compile to empty TUs).
     run_stage off "$ROOT/build-off" -- \
       -DTMS_OBS=OFF -DTMS_FAULTS=OFF
+    ;;
+esac
+case "$STAGE" in
+  serve|all)
+    # The serving layer end to end in the default build: unit +
+    # integration suites and the serve_smoke script (the label must be
+    # non-empty — a discovery regression must not pass silently).
+    run_stage serve "$ROOT/build" -L serve --no-tests=error --
     ;;
 esac
 case "$STAGE" in
@@ -109,9 +124,9 @@ case "$STAGE" in
     ;;
 esac
 case "$STAGE" in
-  tier1|asan|tsan|off|bench|all) ;;
+  tier1|asan|tsan|off|serve|bench|all) ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|off|bench|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|off|serve|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -66,8 +66,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/parse.h"
 #include "db/batch_evaluator.h"
 #include "db/collection.h"
 #include "exec/run_context.h"
@@ -80,6 +82,7 @@
 #include "projector/sprojector_confidence.h"
 #include "query/engine_factory.h"
 #include "query/evaluator.h"
+#include "serve/wire.h"
 
 namespace {
 
@@ -154,36 +157,12 @@ struct CliOutput {
   std::string explain_json;  // the "explain" field of --stats=json, or empty
 };
 
-const char* StopReasonName(exec::StopReason reason) {
-  switch (reason) {
-    case exec::StopReason::kNone: return "NONE";
-    case exec::StopReason::kAnswerCap: return "ANSWER_CAP";
-    case exec::StopReason::kBudget: return "BUDGET";
-    case exec::StopReason::kDeadline: return "DEADLINE";
-    case exec::StopReason::kCancelled: return "CANCELLED";
-    case exec::StopReason::kFault: return "FAULT";
-  }
-  return "NONE";
-}
-
-// Builds {"status":...,"reason":...,"truncated":...,"answers":N,"work":N}
-// for a bounded stream (an answer-cap stop is status OK + reason
-// ANSWER_CAP). Batch reuses it per sequence.
-std::string ExecJson(const Status& status, exec::StopReason reason,
-                     int64_t answers, int64_t work) {
-  std::string doc = "{\"status\":\"";
-  obs::AppendJsonEscaped(StatusCodeName(status.code()), &doc);
-  doc += "\",\"reason\":\"";
-  doc += StopReasonName(reason);
-  doc += "\",\"truncated\":";
-  doc += reason != exec::StopReason::kNone ? "true" : "false";
-  doc += ",\"answers\":";
-  doc += std::to_string(answers);
-  doc += ",\"work\":";
-  doc += std::to_string(work);
-  doc += '}';
-  return doc;
-}
+// The wire spellings (StopReasonName / ExecJson / AppendAnswerJson) are
+// shared with tms_server — serve/wire.h — so a streamed /query response
+// stays byte-identical to the CLI's --stats=json results by construction.
+using serve::AppendAnswerJson;
+using serve::ExecJson;
+using serve::StopReasonName;
 
 // After a bounded command: stash the outcome for EmitStats and, in human
 // mode, tell the user on stderr why the output is short.
@@ -252,20 +231,6 @@ StatusOr<Query> LoadQuery(const std::string& path) {
   }
   return Status::InvalidArgument("query file must be a transducer or an "
                                  "s-projector, got: " + *format);
-}
-
-// Appends {"answer":"...","<score_key>":s,"confidence":c} to *out.
-void AppendAnswerJson(const std::string& answer, const char* score_key,
-                      double score, double confidence, std::string* out) {
-  *out += "{\"answer\":\"";
-  obs::AppendJsonEscaped(answer, out);
-  *out += "\",\"";
-  *out += score_key;
-  *out += "\":";
-  obs::AppendJsonNumber(score, out);
-  *out += ",\"confidence\":";
-  obs::AppendJsonNumber(confidence, out);
-  *out += '}';
 }
 
 int RunTopK(const std::string& seq_path, const std::string& query_path,
@@ -564,17 +529,20 @@ int RunShow(const std::string& path, CliOutput* out) {
 }
 
 // Parses the value part of `--flag=N` as a nonnegative integer; false on
-// empty or non-digit input (atoll would silently read "abc" as 0, turning
-// a typo into a budget of zero).
-bool ParseNonNegInt64(const std::string& arg, size_t prefix_len,
-                      int64_t* out) {
-  const char* s = arg.c_str() + prefix_len;
-  if (*s == '\0') return false;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-  }
-  *out = std::atoll(s);
-  return true;
+// empty, non-digit, or overflowing input (atoll would silently read "abc"
+// as 0, turning a typo into a budget of zero).
+bool ParseFlagValue(const std::string& arg, size_t prefix_len, int64_t* out) {
+  return ParseNonNegInt64(std::string_view(arg).substr(prefix_len), out);
+}
+
+// A positional count argument (`k`, `limit`): strictly positive, int-sized.
+// A garbage or nonpositive value is a usage error with its own message —
+// atoi would have read it as 0 and silently produced zero answers.
+bool ParseCountArg(const char* what, const std::string& arg, int* out) {
+  if (ParsePositiveInt(arg, out)) return true;
+  std::fprintf(stderr, "error: %s must be a positive integer, got '%s'\n",
+               what, arg.c_str());
+  return false;
 }
 
 // Strips --stats/--trace/--threads flags from args; returns false on a
@@ -598,20 +566,28 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
       opts->flight_dump = arg.substr(std::strlen("--flight-dump="));
       if (opts->flight_dump.empty()) return false;
     } else if (arg.rfind("--threads=", 0) == 0) {
-      exec->threads = std::atoi(arg.c_str() + std::strlen("--threads="));
-      if (exec->threads <= 0) return false;
+      // Through the checked parser like every other numeric flag:
+      // "--threads=abc" used to atoi to 0 and fall out as a bare usage
+      // error; garbage, zero and negatives are rejected uniformly now.
+      if (!ParsePositiveInt(
+              std::string_view(arg).substr(std::strlen("--threads=")),
+              &exec->threads)) {
+        std::fprintf(stderr, "error: invalid --threads value in '%s'\n",
+                     arg.c_str());
+        return false;
+      }
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
-      if (!ParseNonNegInt64(arg, std::strlen("--deadline-ms="),
-                            &exec->deadline_ms)) {
+      if (!ParseFlagValue(arg, std::strlen("--deadline-ms="),
+                          &exec->deadline_ms)) {
         return false;
       }
     } else if (arg.rfind("--max-answers=", 0) == 0) {
-      if (!ParseNonNegInt64(arg, std::strlen("--max-answers="),
-                            &exec->max_answers)) {
+      if (!ParseFlagValue(arg, std::strlen("--max-answers="),
+                          &exec->max_answers)) {
         return false;
       }
     } else if (arg.rfind("--budget=", 0) == 0) {
-      if (!ParseNonNegInt64(arg, std::strlen("--budget="), &exec->budget)) {
+      if (!ParseFlagValue(arg, std::strlen("--budget="), &exec->budget)) {
         return false;
       }
     } else if (arg.rfind("--backend=", 0) == 0) {
@@ -747,12 +723,13 @@ int main(int argc, char** argv) {
     } else if (args.size() < 3) {
       return Usage();
     } else if (command == "topk" || explain_command) {
-      int k = args.size() >= 4 ? std::atoi(args[3].c_str()) : 10;
-      if (k <= 0) return Usage();
+      int k = 10;
+      if (args.size() >= 4 && !ParseCountArg("k", args[3], &k)) return Usage();
       code = RunTopK(args[1], args[2], k, &exec, &out);
     } else if (command == "batch") {
-      int k = std::atoi(args[2].c_str());
-      if (k <= 0 || args.size() < 4) return Usage();
+      int k = 0;
+      if (!ParseCountArg("k", args[2], &k)) return Usage();
+      if (args.size() < 4) return Usage();
       code = RunBatch(args[1],
                       std::vector<std::string>(args.begin() + 3, args.end()),
                       k, &exec, &out);
@@ -761,8 +738,10 @@ int main(int argc, char** argv) {
                      std::vector<std::string>(args.begin() + 3, args.end()),
                      &out);
     } else if (command == "enum") {
-      int limit = args.size() >= 4 ? std::atoi(args[3].c_str()) : 100;
-      if (limit <= 0) return Usage();
+      int limit = 100;
+      if (args.size() >= 4 && !ParseCountArg("limit", args[3], &limit)) {
+        return Usage();
+      }
       code = RunEnum(args[1], args[2], limit, &exec, &out);
     } else {
       return Usage();
