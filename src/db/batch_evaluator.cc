@@ -65,6 +65,7 @@ BatchEvaluator::TopKPerSequence(int k, bool with_confidence) {
             query::Evaluator::Execution execution;
             execution.cache = cache_.get();
             execution.backend = options_.backend;
+            execution.optimize = options_.optimize;
             eval->set_execution(execution);
             auto topk = eval->TopK(k, with_confidence);
             if (!topk.ok()) {
@@ -131,6 +132,7 @@ std::vector<BatchEvaluator::SequenceResult> BatchEvaluator::EvaluateAll(
         execution.cache = cache_.get();
         execution.run = run;
         execution.backend = options_.backend;
+        execution.optimize = options_.optimize;
         eval->set_execution(execution);
         auto topk = eval->TopK(k, with_confidence);
         if (!topk.ok()) {

@@ -93,7 +93,9 @@ std::string Pct(int64_t part, int64_t whole) {
 ExplainPhases DerivePhases(const ExplainInput& input) {
   ExplainPhases p;
   for (const auto& [name, hist] : input.stats.histograms) {
-    if (EndsWith(name, ".compose_ns")) {
+    if (name == "optimize.optimize_ns") {
+      p.optimize_ns += hist.sum;
+    } else if (EndsWith(name, ".compose_ns")) {
       p.compose_ns += hist.sum;
     } else if (EndsWith(name, ".solve_ns") || EndsWith(name, ".oracle_ns")) {
       p.solve_ns += hist.sum;
@@ -103,8 +105,8 @@ ExplainPhases DerivePhases(const ExplainInput& input) {
       p.confidence_ns += hist.sum;
     }
   }
-  const int64_t accounted =
-      p.compose_ns + p.solve_ns + p.merge_ns + p.confidence_ns;
+  const int64_t accounted = p.optimize_ns + p.compose_ns + p.solve_ns +
+                            p.merge_ns + p.confidence_ns;
   p.other_ns =
       input.duration_ns > accounted ? input.duration_ns - accounted : 0;
   return p;
@@ -132,6 +134,8 @@ std::string ExplainJson(const ExplainInput& input) {
   out += ",\"backend\":\"";
   AppendJsonEscaped(input.backend, &out);
   out += "\",\"phases\":{";
+  AppendKeyI64("optimize_ns", phases.optimize_ns, &out);
+  out += ',';
   AppendKeyI64("compose_ns", phases.compose_ns, &out);
   out += ',';
   AppendKeyI64("solve_ns", phases.solve_ns, &out);
@@ -185,6 +189,10 @@ std::string ExplainJson(const ExplainInput& input) {
   AppendJsonNumber(composed ? composed->Mean() : 0.0, &out);
   out += ',';
   AppendKeyI64("product_states_max", product ? product->max : 0, &out);
+  out += ',';
+  AppendKeyI64("optimize_states_pruned",
+               CounterOr0(input.stats, "optimize.product_states_pruned"),
+               &out);
   out += "},\"exec\":{\"stop_reason\":\"";
   AppendJsonEscaped(input.stop_reason, &out);
   out += "\",";
@@ -216,8 +224,8 @@ std::string ExplainText(const ExplainInput& input) {
   const HistogramSnapshot* product =
       FindHistogram(input.stats, "automata.product.states");
   const int64_t accounted =
-      phases.compose_ns + phases.solve_ns + phases.merge_ns +
-      phases.confidence_ns + phases.other_ns;
+      phases.optimize_ns + phases.compose_ns + phases.solve_ns +
+      phases.merge_ns + phases.confidence_ns + phases.other_ns;
 
   std::string out;
   char buf[256];
@@ -230,8 +238,10 @@ std::string ExplainText(const ExplainInput& input) {
   out += buf;
   std::snprintf(
       buf, sizeof(buf),
-      "  phases:  compose %s (%s) | solve %s (%s) | merge %s (%s) | "
-      "confidence %s (%s) | other %s (%s)\n",
+      "  phases:  optimize %s (%s) | compose %s (%s) | solve %s (%s) | "
+      "merge %s (%s) | confidence %s (%s) | other %s (%s)\n",
+      Ms(phases.optimize_ns).c_str(),
+      Pct(phases.optimize_ns, accounted).c_str(),
       Ms(phases.compose_ns).c_str(), Pct(phases.compose_ns, accounted).c_str(),
       Ms(phases.solve_ns).c_str(), Pct(phases.solve_ns, accounted).c_str(),
       Ms(phases.merge_ns).c_str(), Pct(phases.merge_ns, accounted).c_str(),
@@ -275,10 +285,12 @@ std::string ExplainText(const ExplainInput& input) {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  automata: composed_states mean=%.1f max=%lld "
-                "product_states max=%lld\n",
+                "product_states max=%lld optimize_pruned=%lld\n",
                 composed ? composed->Mean() : 0.0,
                 static_cast<long long>(composed ? composed->max : 0),
-                static_cast<long long>(product ? product->max : 0));
+                static_cast<long long>(product ? product->max : 0),
+                static_cast<long long>(CounterOr0(
+                    input.stats, "optimize.product_states_pruned")));
   out += buf;
   std::string budget = input.budget < 0
                            ? std::string("unlimited")

@@ -8,7 +8,8 @@
 // golden-checks it).
 //
 // The phase breakdown is derived from the *_ns histograms the engines
-// record (compose_ns / solve_ns / oracle_ns / merge_ns / confidence_ns);
+// record (optimize.optimize_ns, then compose_ns / solve_ns / oracle_ns /
+// merge_ns / confidence_ns);
 // whatever wall time they do not account for is reported as `other_ns`
 // (answer emission, heap bookkeeping, instrumentation). Phase sums are
 // CPU-time-like: with a thread pool they can exceed the wall duration.
@@ -48,6 +49,7 @@ struct ExplainInput {
 
 /// The derived phase breakdown, exposed for tests.
 struct ExplainPhases {
+  int64_t optimize_ns = 0;    ///< optimize.optimize_ns (offline passes)
   int64_t compose_ns = 0;     ///< *.compose_ns
   int64_t solve_ns = 0;       ///< *.solve_ns + *.oracle_ns
   int64_t merge_ns = 0;       ///< *.merge_ns

@@ -72,6 +72,10 @@
 
 #else  // !TMS_OBS_ACTIVE
 
+// The macros expand to nothing at all — they do not even reference
+// their operands, so a variable that exists only to feed a metric needs
+// its own #if TMS_OBS_ACTIVE guard (or a (void) cast) to stay
+// -Werror-clean in disabled builds.
 #define TMS_OBS_COUNT(name, delta) ((void)0)
 #define TMS_OBS_GAUGE_SET(name, value) ((void)0)
 #define TMS_OBS_HISTOGRAM(name, value) ((void)0)

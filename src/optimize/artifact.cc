@@ -1,0 +1,120 @@
+#include "optimize/artifact.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "io/text_format.h"
+#include "obs/obs.h"
+
+namespace tms::optimize {
+
+namespace {
+
+constexpr std::string_view kMagic = "# tms-opt-artifact v1";
+constexpr std::string_view kSourcePrefix = "# source-fp ";
+constexpr std::string_view kBodyPrefix = "# body-fp ";
+
+/// Returns the first line of `text` (without the newline) and advances
+/// `text` past it.
+std::string_view TakeLine(std::string_view* text) {
+  const size_t eol = text->find('\n');
+  std::string_view line =
+      eol == std::string_view::npos ? *text : text->substr(0, eol);
+  *text = eol == std::string_view::npos ? std::string_view()
+                                        : text->substr(eol + 1);
+  return line;
+}
+
+Status Reject(std::string msg) {
+  TMS_OBS_COUNT("optimize.artifact_rejected", 1);
+  return Status::InvalidArgument("optimize artifact: " + std::move(msg));
+}
+
+}  // namespace
+
+std::string Fingerprint(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : bytes) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+std::string FormatArtifact(const transducer::Transducer& source,
+                           const transducer::Transducer& optimized) {
+  const std::string body = io::FormatTransducer(optimized);
+  std::string out;
+  out.reserve(body.size() + 96);
+  out.append(kMagic).append("\n");
+  out.append(kSourcePrefix)
+      .append(Fingerprint(io::FormatTransducer(source)))
+      .append("\n");
+  out.append(kBodyPrefix).append(Fingerprint(body)).append("\n");
+  out.append(body);
+  return out;
+}
+
+StatusOr<transducer::Transducer> ParseArtifact(
+    std::string_view text, const transducer::Transducer& source) {
+  std::string_view rest = text;
+  if (TakeLine(&rest) != kMagic) return Reject("bad or missing magic line");
+
+  std::string_view source_line = TakeLine(&rest);
+  if (source_line.substr(0, kSourcePrefix.size()) != kSourcePrefix) {
+    return Reject("missing source-fp line");
+  }
+  const std::string_view source_fp = source_line.substr(kSourcePrefix.size());
+  if (source_fp != Fingerprint(io::FormatTransducer(source))) {
+    return Reject("source fingerprint mismatch (stale artifact?)");
+  }
+
+  std::string_view body_line = TakeLine(&rest);
+  if (body_line.substr(0, kBodyPrefix.size()) != kBodyPrefix) {
+    return Reject("missing body-fp line");
+  }
+  if (body_line.substr(kBodyPrefix.size()) != Fingerprint(rest)) {
+    return Reject("body fingerprint mismatch (corrupted artifact)");
+  }
+
+  StatusOr<transducer::Transducer> parsed = io::ParseTransducer(rest);
+  if (!parsed.ok()) return Reject("body parse: " + parsed.status().message());
+  if (Status valid = parsed->Validate(); !valid.ok()) {
+    return Reject("body validate: " + valid.message());
+  }
+  // The artifact must speak the source's alphabets: downstream code swaps
+  // it in for the source transducer unconditionally.
+  if (!(parsed->input_alphabet() == source.input_alphabet()) ||
+      !(parsed->output_alphabet() == source.output_alphabet())) {
+    return Reject("alphabet mismatch against source transducer");
+  }
+  return parsed;
+}
+
+Status SaveArtifactFile(const std::string& path,
+                        const transducer::Transducer& source,
+                        const transducer::Transducer& optimized) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write artifact: " + path);
+  out << FormatArtifact(source, optimized);
+  out.close();
+  if (!out) return Status::Internal("short write on artifact: " + path);
+  TMS_OBS_COUNT("optimize.artifact_saved", 1);
+  return Status::Ok();
+}
+
+StatusOr<transducer::Transducer> LoadArtifactFile(
+    const std::string& path, const transducer::Transducer& source) {
+  StatusOr<std::string> text = io::ReadFile(path);
+  if (!text.ok()) return text.status();  // quiet NotFound: cold start
+  StatusOr<transducer::Transducer> parsed = ParseArtifact(*text, source);
+  if (parsed.ok()) TMS_OBS_COUNT("optimize.artifact_loaded", 1);
+  return parsed;
+}
+
+}  // namespace tms::optimize

@@ -1,0 +1,59 @@
+// Persisted optimization artifacts: an optimized transducer serialized in
+// the io:: text format, fingerprint-bound to the exact source transducer
+// it was compiled from.
+//
+// Format (all '#' lines are comments to io::ParseTransducer, so an
+// artifact file is ALSO a valid plain transducer file):
+//
+//     # tms-opt-artifact v1
+//     # source-fp <16 hex digits>   FNV-1a of io::FormatTransducer(source)
+//     # body-fp <16 hex digits>     FNV-1a of the body below
+//     <io::FormatTransducer of the optimized transducer>
+//
+// Load-time validation is strict: wrong magic, a source fingerprint that
+// does not match the transducer being optimized, a corrupted body, or a
+// body that fails Transducer::Validate all reject the artifact with the
+// loud `optimize.artifact_rejected` counter — the caller then falls back
+// to compiling on the fly (serve/registry.cc), so a stale or truncated
+// artifact can never change answers, only cold-start cost.
+
+#ifndef TMS_OPTIMIZE_ARTIFACT_H_
+#define TMS_OPTIMIZE_ARTIFACT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "transducer/transducer.h"
+
+namespace tms::optimize {
+
+/// FNV-1a 64-bit, rendered as 16 lowercase hex digits.
+std::string Fingerprint(std::string_view bytes);
+
+/// Serializes `optimized` as an artifact bound to `source`.
+std::string FormatArtifact(const transducer::Transducer& source,
+                           const transducer::Transducer& optimized);
+
+/// Parses and validates an artifact against `source`. Errors: NotFound is
+/// never returned here (that is LoadArtifactFile's miss signal); every
+/// validation failure is InvalidArgument and counted as
+/// `optimize.artifact_rejected` by the caller-facing file API.
+StatusOr<transducer::Transducer> ParseArtifact(
+    std::string_view text, const transducer::Transducer& source);
+
+/// Writes FormatArtifact(source, optimized) to `path`. Counts
+/// `optimize.artifact_saved` on success.
+Status SaveArtifactFile(const std::string& path,
+                        const transducer::Transducer& source,
+                        const transducer::Transducer& optimized);
+
+/// Reads and validates the artifact at `path`. A missing file is a quiet
+/// NotFound (cold start, nothing to reject); any other failure counts
+/// `optimize.artifact_rejected`; success counts `optimize.artifact_loaded`.
+StatusOr<transducer::Transducer> LoadArtifactFile(
+    const std::string& path, const transducer::Transducer& source);
+
+}  // namespace tms::optimize
+
+#endif  // TMS_OPTIMIZE_ARTIFACT_H_

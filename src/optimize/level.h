@@ -1,0 +1,50 @@
+// The optimization level every engine entry point understands.
+//
+// `off` runs queries exactly as written. `on` always runs the offline
+// optimization pass (optimize/transducer_opt.h) before composition. `auto`
+// lets the engine decide per query; today that means "optimize anything
+// non-trivial", because the pass is near-linear and the composed-product
+// prune pays for itself after a handful of subspace solves — the level
+// exists so a future cost model can say no without an API change.
+//
+// This header is dependency-free on purpose: exec/engine_options.h embeds
+// a Level, and everything from automata to serve includes that.
+
+#ifndef TMS_OPTIMIZE_LEVEL_H_
+#define TMS_OPTIMIZE_LEVEL_H_
+
+#include <optional>
+#include <string_view>
+
+namespace tms::optimize {
+
+enum class Level {
+  kOff,   ///< never optimize
+  kAuto,  ///< engine policy (see ShouldOptimize in transducer_opt.h)
+  kOn,    ///< always optimize
+};
+
+/// "off" / "auto" / "on".
+constexpr const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kOff:
+      return "off";
+    case Level::kAuto:
+      return "auto";
+    case Level::kOn:
+      return "on";
+  }
+  return "off";
+}
+
+/// Inverse of LevelName; nullopt on anything else.
+inline std::optional<Level> ParseLevel(std::string_view s) {
+  if (s == "off") return Level::kOff;
+  if (s == "auto") return Level::kAuto;
+  if (s == "on") return Level::kOn;
+  return std::nullopt;
+}
+
+}  // namespace tms::optimize
+
+#endif  // TMS_OPTIMIZE_LEVEL_H_

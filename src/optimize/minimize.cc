@@ -1,0 +1,171 @@
+#include "optimize/minimize.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tms::optimize {
+
+using automata::Dfa;
+using automata::StateId;
+
+Dfa MinimizeDfa(const Dfa& dfa) {
+  const int sigma = static_cast<int>(dfa.alphabet().size());
+  const int n0 = dfa.num_states();
+
+  // Keep only the reachable sub-DFA (it is closed under δ, so it is still
+  // complete). `compact[q]` is q's index among reachable states, in the
+  // input's ascending state order.
+  std::vector<bool> reachable(static_cast<size_t>(n0), false);
+  std::deque<StateId> frontier{dfa.initial()};
+  reachable[static_cast<size_t>(dfa.initial())] = true;
+  while (!frontier.empty()) {
+    StateId q = frontier.front();
+    frontier.pop_front();
+    for (int s = 0; s < sigma; ++s) {
+      StateId q2 = dfa.Next(q, static_cast<Symbol>(s));
+      if (!reachable[static_cast<size_t>(q2)]) {
+        reachable[static_cast<size_t>(q2)] = true;
+        frontier.push_back(q2);
+      }
+    }
+  }
+  std::vector<int> compact(static_cast<size_t>(n0), -1);
+  std::vector<StateId> original;  // compact index -> input state
+  for (StateId q = 0; q < n0; ++q) {
+    if (reachable[static_cast<size_t>(q)]) {
+      compact[static_cast<size_t>(q)] = static_cast<int>(original.size());
+      original.push_back(q);
+    }
+  }
+  const int n = static_cast<int>(original.size());
+
+  // Inverse transitions of the reachable sub-DFA, grouped by (symbol,
+  // target): inv[s * n + q2] = the compact states q with δ(q, s) = q2.
+  std::vector<std::vector<int>> inv(static_cast<size_t>(sigma) *
+                                    static_cast<size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    for (int s = 0; s < sigma; ++s) {
+      int q2 = compact[static_cast<size_t>(
+          dfa.Next(original[static_cast<size_t>(q)], static_cast<Symbol>(s)))];
+      inv[static_cast<size_t>(s) * static_cast<size_t>(n) +
+          static_cast<size_t>(q2)]
+          .push_back(q);
+    }
+  }
+
+  // Hopcroft proper. Blocks are sets of compact states; `block_of[q]`
+  // names q's block; the worklist holds (block, symbol) splitters.
+  std::vector<int> block_of(static_cast<size_t>(n), 0);
+  std::vector<std::set<int>> blocks;
+  {
+    std::set<int> accepting, rejecting;
+    for (int q = 0; q < n; ++q) {
+      if (dfa.IsAccepting(original[static_cast<size_t>(q)])) {
+        accepting.insert(q);
+      } else {
+        rejecting.insert(q);
+      }
+    }
+    if (!accepting.empty()) blocks.push_back(std::move(accepting));
+    if (!rejecting.empty()) blocks.push_back(std::move(rejecting));
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      for (int q : blocks[b]) block_of[static_cast<size_t>(q)] =
+          static_cast<int>(b);
+    }
+  }
+  std::deque<std::pair<int, int>> worklist;  // (block, symbol)
+  {
+    // Seeding with the smaller initial block suffices; seeding with both
+    // is also correct and keeps the code obviously right.
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      for (int s = 0; s < sigma; ++s) {
+        worklist.emplace_back(static_cast<int>(b), s);
+      }
+    }
+  }
+  while (!worklist.empty()) {
+    auto [splitter, s] = worklist.front();
+    worklist.pop_front();
+    // X = the states with a transition on s INTO the splitter block. Taken
+    // as a snapshot: blocks[splitter] may be split below, but any block
+    // split against a stale X is re-enqueued via the new splitters anyway.
+    std::vector<int> x;
+    for (int target : blocks[static_cast<size_t>(splitter)]) {
+      const std::vector<int>& pre =
+          inv[static_cast<size_t>(s) * static_cast<size_t>(n) +
+              static_cast<size_t>(target)];
+      x.insert(x.end(), pre.begin(), pre.end());
+    }
+    if (x.empty()) continue;
+    // Group X by current block, then split every block that X cuts.
+    std::set<int> touched;
+    std::vector<std::vector<int>> in_x(blocks.size());
+    for (int q : x) {
+      int b = block_of[static_cast<size_t>(q)];
+      in_x[static_cast<size_t>(b)].push_back(q);
+      touched.insert(b);
+    }
+    for (int b : touched) {
+      std::set<int>& blk = blocks[static_cast<size_t>(b)];
+      if (in_x[static_cast<size_t>(b)].size() == blk.size()) continue;
+      // Split blk into (blk ∩ X) and (blk \ X); the new block gets the
+      // smaller half onto the worklist (the half already enqueued keeps
+      // working because splitting preserves the union).
+      std::set<int> inside(in_x[static_cast<size_t>(b)].begin(),
+                           in_x[static_cast<size_t>(b)].end());
+      for (int q : inside) blk.erase(q);
+      const int nb = static_cast<int>(blocks.size());
+      for (int q : inside) block_of[static_cast<size_t>(q)] = nb;
+      blocks.push_back(std::move(inside));
+      // Enqueue BOTH halves. Hopcroft's smaller-half rule needs worklist
+      // membership tracking to stay correct; enqueueing both is always
+      // correct, costs at most a constant factor on the automata sizes
+      // this pass sees (query automata, not lexica), and keeps the
+      // invariant obvious.
+      for (int s2 = 0; s2 < sigma; ++s2) {
+        worklist.emplace_back(b, s2);
+        worklist.emplace_back(nb, s2);
+      }
+    }
+  }
+
+  // Stable quotient: classes ordered by smallest member (in compact order,
+  // which is the input's ascending order restricted to reachable states).
+  std::vector<int> order(blocks.size());
+  for (size_t b = 0; b < blocks.size(); ++b) order[b] = static_cast<int>(b);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return *blocks[static_cast<size_t>(a)].begin() <
+           *blocks[static_cast<size_t>(b)].begin();
+  });
+  std::vector<int> new_id(blocks.size(), -1);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    new_id[static_cast<size_t>(order[rank])] = static_cast<int>(rank);
+  }
+
+  Dfa out(dfa.alphabet(), static_cast<int>(blocks.size()));
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const int rep = *blocks[b].begin();
+    const StateId rep_orig = original[static_cast<size_t>(rep)];
+    const StateId id = static_cast<StateId>(new_id[b]);
+    out.SetAccepting(id, dfa.IsAccepting(rep_orig));
+    for (int s = 0; s < sigma; ++s) {
+      int tgt = block_of[static_cast<size_t>(
+          compact[static_cast<size_t>(dfa.Next(rep_orig,
+                                               static_cast<Symbol>(s)))])];
+      out.SetTransition(id, static_cast<Symbol>(s),
+                        static_cast<StateId>(new_id[static_cast<size_t>(tgt)]));
+    }
+  }
+  out.SetInitial(static_cast<StateId>(
+      new_id[static_cast<size_t>(block_of[static_cast<size_t>(
+          compact[static_cast<size_t>(dfa.initial())])])]));
+  TMS_CHECK(out.Validate().ok());
+  return out;
+}
+
+}  // namespace tms::optimize

@@ -1,0 +1,33 @@
+// Hopcroft DFA minimization — the O(|Σ|·n·log n) worklist algorithm.
+//
+// automata::Minimize is a Moore-style refinement kept for its simplicity
+// (and as the differential reference in tests/optimize_property_test.cc);
+// this is the Hopcroft construction the offline optimization pass uses:
+// inverse-transition splitting driven by a worklist of (block, symbol)
+// splitters. (Both halves of every split are re-enqueued — the
+// smaller-half-only refinement needs worklist-membership bookkeeping and
+// only matters for automata far larger than query automata.)
+//
+// Determinism contract: the result is renumbered *stably* — equivalence
+// classes are ordered by their smallest member in the input's state
+// numbering (after dropping unreachable states), and the class of the
+// initial state becomes the initial state of the result. Minimal DFAs are
+// unique up to isomorphism, so the language is exactly preserved; the
+// stable numbering additionally makes the output reproducible across
+// runs, which the golden corpus and the equivalence harness rely on.
+
+#ifndef TMS_OPTIMIZE_MINIMIZE_H_
+#define TMS_OPTIMIZE_MINIMIZE_H_
+
+#include "automata/dfa.h"
+
+namespace tms::optimize {
+
+/// The minimal complete DFA for L(dfa). Unreachable states are dropped
+/// first; the result has the minimum number of states of any complete DFA
+/// accepting the same language.
+automata::Dfa MinimizeDfa(const automata::Dfa& dfa);
+
+}  // namespace tms::optimize
+
+#endif  // TMS_OPTIMIZE_MINIMIZE_H_

@@ -1,0 +1,74 @@
+// The offline optimization passes over query transducers, and the policy
+// deciding when engines run them. Two tiers with different contracts:
+//
+//  * PruneTransducer — drops states that are unreachable from the initial
+//    state or cannot reach an accepting state (the φ = −inf cut of the
+//    max-plus weight push, optimize/weight_push.h), plus every edge into a
+//    dropped state, and renumbers the survivors MONOTONICALLY. This is the
+//    pass behind exec::EngineOptions::optimize, because it is provably
+//    byte-exact for the ranked streams: removed accepting cells never hold
+//    a finite forward value, kept cells keep their exact values, and the
+//    monotone renumbering preserves the ascending (s, q) order of the
+//    first-strict-max backtrack scan in query::EmaxContext::TopAnswer —
+//    even among exactly tied scores.
+//
+//  * MinimizeTransducer — prune followed by a bisimulation quotient
+//    (largest partition where merged states agree on acceptance and on
+//    their (symbol, output, target-class) edge sets). This preserves the
+//    transduction relation — the answer SET and every answer's score —
+//    but merging may reorder the backtrack scan among EXACTLY tied
+//    scores, so it is reserved for the offline artifact path
+//    (`tms_cli optimize`, serve/registry precompile) and never enabled by
+//    the in-engine knob. See docs/OPTIMIZE.md for the invariant table.
+//
+// Both passes are deterministic (stable smallest-member renumbering) and
+// record the optimize.* metrics — including zero deltas, so the stats-key
+// schema is the same whether or not anything was removed.
+
+#ifndef TMS_OPTIMIZE_TRANSDUCER_OPT_H_
+#define TMS_OPTIMIZE_TRANSDUCER_OPT_H_
+
+#include "optimize/level.h"
+#include "transducer/transducer.h"
+
+namespace tms::optimize {
+
+/// What a pass did, for EXPLAIN surfaces and `tms_cli optimize` output.
+struct OptimizeStats {
+  int states_before = 0;
+  int states_after = 0;
+  int edges_before = 0;
+  int edges_after = 0;
+  int states_unreachable = 0;  ///< dropped: not reachable from initial
+  int states_dead = 0;         ///< dropped: reachable but non-co-accessible
+  int states_merged = 0;       ///< MinimizeTransducer only
+};
+
+/// The reachable ∧ co-accessible sub-transducer, stably renumbered.
+/// Stream-byte-exact (see file comment). A transducer with an empty
+/// language prunes to a single non-accepting state.
+transducer::Transducer PruneTransducer(const transducer::Transducer& t,
+                                       OptimizeStats* stats = nullptr);
+
+/// PruneTransducer followed by the bisimulation quotient. Preserves the
+/// transduction relation (answer set + scores); may permute enumeration
+/// order among exactly tied scores. Idempotent.
+transducer::Transducer MinimizeTransducer(const transducer::Transducer& t,
+                                          OptimizeStats* stats = nullptr);
+
+/// The engine policy for `level` on `t`: kOff never, kOn always, kAuto
+/// optimizes anything non-trivial (>= 2 states — a 1-state machine has
+/// nothing to prune and the pass would only cost a copy).
+bool ShouldOptimize(Level level, const transducer::Transducer& t);
+
+/// Records the optimize.* metrics for one prune-equivalent pass executed
+/// OUTSIDE this module — the fused prune-during-specialization of
+/// transducer::CompositionCache computes the same reachable ∧
+/// co-accessible cut without materializing the full product, and must
+/// report it with the exact key set PruneTransducer would have (zero
+/// deltas included; the stats schema cannot depend on the fusion).
+void RecordPrunePass(const OptimizeStats& stats, int64_t elapsed_ns);
+
+}  // namespace tms::optimize
+
+#endif  // TMS_OPTIMIZE_TRANSDUCER_OPT_H_

@@ -1,0 +1,90 @@
+#include "optimize/weight_push.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tms::optimize {
+
+using automata::StateId;
+
+StatusOr<std::vector<double>> DistanceToFinal(const WeightedAutomaton& a) {
+  const size_t n = static_cast<size_t>(a.num_states);
+  std::vector<double> phi(n, kNegInf);
+  for (size_t q = 0; q < n && q < a.final_weight.size(); ++q) {
+    phi[q] = a.final_weight[q];
+  }
+  // Bellman–Ford over reversed arcs: relax φ(source) against
+  // w + φ(target). With n states every simple path is relaxed after n-1
+  // rounds; a change in round n means a reachable cycle keeps improving
+  // the max — a positive-weight cycle, under which no pushed automaton
+  // exists (best completion weights are unbounded).
+  for (int round = 0; round < a.num_states; ++round) {
+    bool changed = false;
+    for (const WeightedAutomaton::Arc& arc : a.arcs) {
+      const double via = arc.weight + phi[static_cast<size_t>(arc.target)];
+      if (via > phi[static_cast<size_t>(arc.source)]) {
+        phi[static_cast<size_t>(arc.source)] = via;
+        changed = true;
+      }
+    }
+    if (!changed) return phi;
+  }
+  // One more pass to distinguish "converged exactly at round n-1" from a
+  // genuinely divergent instance.
+  for (const WeightedAutomaton::Arc& arc : a.arcs) {
+    const double via = arc.weight + phi[static_cast<size_t>(arc.target)];
+    if (via > phi[static_cast<size_t>(arc.source)]) {
+      return Status::InvalidArgument(
+          "weight pushing: positive-weight cycle reaches a final state; "
+          "completion weights diverge");
+    }
+  }
+  return phi;
+}
+
+Status PushWeights(WeightedAutomaton* a) {
+  StatusOr<std::vector<double>> phi_or = DistanceToFinal(*a);
+  if (!phi_or.ok()) return phi_or.status();
+  const std::vector<double>& phi = *phi_or;
+
+  const double phi_initial = phi[static_cast<size_t>(a->initial)];
+  if (phi_initial == kNegInf) {
+    // The language is empty: no accepting path constrains anything, so the
+    // push is the identity (λ absorbing −inf would poison later pushes).
+    return Status::Ok();
+  }
+  a->initial_weight += phi_initial;
+  for (WeightedAutomaton::Arc& arc : a->arcs) {
+    const double ps = phi[static_cast<size_t>(arc.source)];
+    const double pt = phi[static_cast<size_t>(arc.target)];
+    // Dead endpoints (φ = −inf) lie on no accepting path; leave those arcs
+    // untouched rather than writing NaNs (−inf − −inf).
+    if (ps == kNegInf || pt == kNegInf) continue;
+    arc.weight += pt - ps;
+  }
+  for (size_t q = 0; q < a->final_weight.size(); ++q) {
+    if (phi[q] == kNegInf) continue;
+    a->final_weight[q] -= phi[q];
+  }
+  return Status::Ok();
+}
+
+WeightedAutomaton BooleanWeighted(const transducer::Transducer& t) {
+  WeightedAutomaton a;
+  a.num_states = t.num_states();
+  a.initial = static_cast<int>(t.initial());
+  a.final_weight.assign(static_cast<size_t>(t.num_states()), kNegInf);
+  for (StateId q = 0; q < t.num_states(); ++q) {
+    if (t.IsAccepting(q)) a.final_weight[static_cast<size_t>(q)] = 0.0;
+    for (Symbol s = 0; s < static_cast<Symbol>(t.input_alphabet().size());
+         ++s) {
+      for (const transducer::Edge& e : t.Next(q, s)) {
+        a.arcs.push_back({static_cast<int>(q), static_cast<int>(e.target),
+                          0.0});
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace tms::optimize

@@ -1,0 +1,82 @@
+// Weight pushing in the max-plus (tropical) semiring — Mohri's
+// reweighting, specialized to the log-domain scores this system ranks by.
+//
+// For an automaton with arc weights w(e), final weights f(q), and
+// potentials φ(q) = the best (max-plus) completion weight from q to a
+// final state, pushing replaces
+//
+//     w'(e)  = w(e) + φ(target(e)) − φ(source(e))
+//     f'(q)  = f(q) − φ(q)
+//     λ'     = λ + φ(initial)
+//
+// which preserves every accepted path's total weight EXACTLY in exact
+// arithmetic (the per-path sum telescopes) and within 1e-12 relative
+// error in doubles (documented tolerance, docs/OPTIMIZE.md). After the
+// push every co-accessible state has potential 0, every arc weight on the
+// co-accessible subgraph is ≤ 0, and the best completion from any state
+// is 0 — i.e. the prefix weight of a partial path is an ADMISSIBLE bound
+// on any completion, which is what makes pushed weights tight Viterbi/A*
+// heuristics.
+//
+// The engines' query transducers are boolean-weighted (all probability
+// mass lives in the Markov sequence), so the engine pipeline consumes
+// exactly the degenerate case of this machinery: φ(q) = −inf ⇔ q cannot
+// reach a final state ⇔ q is dead — the dead-state prune of
+// optimize/transducer_opt.h IS the φ = −inf cut of this push. The general
+// numeric form lives here for weighted artifacts and is verified by the
+// metamorphic suite (path preservation, zero-potential invariant,
+// idempotence) in tests/optimize_equivalence_test.cc.
+
+#ifndef TMS_OPTIMIZE_WEIGHT_PUSH_H_
+#define TMS_OPTIMIZE_WEIGHT_PUSH_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "transducer/transducer.h"
+
+namespace tms::optimize {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// A weighted automaton over the max-plus semiring (log-domain scores:
+/// ⊕ = max, ⊗ = +, identity −inf / 0).
+struct WeightedAutomaton {
+  struct Arc {
+    int source = 0;
+    int target = 0;
+    double weight = 0.0;
+  };
+
+  int num_states = 0;
+  int initial = 0;
+  double initial_weight = 0.0;  ///< λ — weight charged for entering
+  std::vector<Arc> arcs;
+  /// f(q); kNegInf = non-final.
+  std::vector<double> final_weight;
+
+  /// A path's total = λ + Σ w(arc) + f(last); best over accepting paths.
+};
+
+/// φ(q) = the max-plus shortest distance from q to a final state (best
+/// completion weight), kNegInf for dead states. Bellman–Ford over the
+/// reversed arcs; returns an error if relaxation has not converged after
+/// num_states rounds (a reachable positive-weight cycle — the pushed
+/// automaton would not exist).
+StatusOr<std::vector<double>> DistanceToFinal(const WeightedAutomaton& a);
+
+/// Pushes weights toward the initial state (see the file comment). Arcs
+/// and final weights of states with φ = kNegInf (dead states) are left
+/// untouched — they lie on no accepting path, so no invariant constrains
+/// them; callers prune them instead. Fails iff DistanceToFinal does.
+Status PushWeights(WeightedAutomaton* a);
+
+/// The boolean-weighted view of a transducer: every arc weight 0, final
+/// weight 0 for accepting states and kNegInf otherwise. One arc per
+/// transducer edge, in (state, symbol, edge) order.
+WeightedAutomaton BooleanWeighted(const transducer::Transducer& t);
+
+}  // namespace tms::optimize
+
+#endif  // TMS_OPTIMIZE_WEIGHT_PUSH_H_

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/obs.h"
+#include "optimize/transducer_opt.h"
 #include "query/emax.h"
 
 namespace tms::query {
@@ -25,9 +26,11 @@ struct EmaxEnumerator::State {
   std::optional<EmaxContext> ctx;
   std::optional<transducer::CompositionCache> owned_cache;
   transducer::CompositionCache* cache = nullptr;
+  bool optimized = false;
 
   void Init(const Options& options) {
     ctx.emplace(*mu, options.backend);
+    optimized = optimize::ShouldOptimize(options.optimize, *t);
     if (options.cache != nullptr) {
       cache = options.cache;
     } else {
@@ -47,7 +50,7 @@ EmaxEnumerator::EmaxEnumerator(std::shared_ptr<State> state,
         TMS_OBS_SPAN("query.emax_enum.subspace_solve");
         Stopwatch sw;
         std::shared_ptr<const transducer::Transducer> composed =
-            s->cache->Compose(c);
+            s->cache->Compose(c, s->optimized);
         TMS_OBS_HISTOGRAM("query.emax_enum.compose_ns", sw.Lap());
         TMS_OBS_HISTOGRAM("query.emax_enum.composed_states",
                           composed->num_states());

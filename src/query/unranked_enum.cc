@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "exec/fault.h"
 #include "obs/obs.h"
+#include "optimize/transducer_opt.h"
 #include "query/membership.h"
 
 namespace tms::query {
@@ -11,8 +12,16 @@ UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,
                                        const transducer::Transducer& t,
                                        const exec::EngineOptions& options)
     : mu_(&mu), t_(&t), run_(options.run), backend_(options.backend) {
+  if (optimize::ShouldOptimize(options.optimize, t)) {
+    // The prune preserves the transduction relation, so every oracle
+    // verdict — and therefore the emitted stream — is unchanged; the
+    // oracle just runs on fewer states.
+    opt_t_ = std::make_shared<const transducer::Transducer>(
+        optimize::PruneTransducer(t));
+    t_ = opt_t_.get();
+  }
   max_output_len_ = static_cast<size_t>(mu.length()) *
-                    static_cast<size_t>(t.MaxEmissionLength());
+                    static_cast<size_t>(t_->MaxEmissionLength());
 }
 
 UnrankedEnumerator::UnrankedEnumerator(const markov::MarkovSequence& mu,

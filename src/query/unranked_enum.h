@@ -42,7 +42,11 @@ namespace tms::query {
 /// (docs/ROBUSTNESS.md). A stopped run returns nullopt forever after; the
 /// answers already emitted are an exact prefix of the unbounded stream.
 /// `backend` selects the kernel path of the membership oracle (identical
-/// verdicts either way, see query/membership.h).
+/// verdicts either way, see query/membership.h). `optimize` (at its
+/// engine-policy discretion) swaps in the pruned transducer for every
+/// oracle call — the prune preserves the transduction relation exactly,
+/// so the lexicographic answer stream is identical; only oracle cost
+/// changes (optimize/transducer_opt.h).
 class UnrankedEnumerator : public ranking::AnswerStream {
  public:
   UnrankedEnumerator(const markov::MarkovSequence& mu,
@@ -77,6 +81,10 @@ class UnrankedEnumerator : public ranking::AnswerStream {
   // so moving the enumerator cannot relocate the pointees.
   std::shared_ptr<const markov::MarkovSequence> owned_mu_;
   std::shared_ptr<const transducer::Transducer> owned_t_;
+  // The pruned copy when the optimize knob fires; t_ points here then
+  // (kept separate from owned_t_ so WithOwnedInputs can pin the caller's
+  // original without dropping the pruned machine).
+  std::shared_ptr<const transducer::Transducer> opt_t_;
   const markov::MarkovSequence* mu_;
   const transducer::Transducer* t_;
   exec::RunContext* run_;

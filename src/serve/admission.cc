@@ -23,6 +23,7 @@ bool AdmissionGate::TryEnter() {
 void AdmissionGate::Exit() {
   const int now = inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
   TMS_OBS_GAUGE_SET("serve.admission.inflight", now);
+  (void)now;
 }
 
 }  // namespace tms::serve

@@ -1,6 +1,8 @@
 #include "serve/registry.h"
 
 #include "io/text_format.h"
+#include "optimize/artifact.h"
+#include "optimize/transducer_opt.h"
 
 namespace tms::serve {
 
@@ -36,6 +38,80 @@ const markov::MarkovSequence* ModelRegistry::Find(
     const std::string& name) const {
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : &it->second;
+}
+
+Status ModelRegistry::Precompile(const std::string& model,
+                                 const std::string& name,
+                                 const std::string& query_path,
+                                 optimize::Level level) {
+  const std::string context =
+      "precompile '" + model + ":" + name + "' (" + query_path + "): ";
+  const markov::MarkovSequence* mu = Find(model);
+  if (mu == nullptr) {
+    return Status::InvalidArgument(context + "unknown model");
+  }
+  auto text = io::ReadFile(query_path);
+  if (!text.ok()) return text.status();
+  auto parsed = io::ParseTransducer(*text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(context + parsed.status().ToString());
+  }
+  if (!(mu->nodes() == parsed->input_alphabet())) {
+    return Status::InvalidArgument(
+        context + "query input alphabet does not match the model alphabet");
+  }
+  if (!optimize::ShouldOptimize(level, *parsed)) {
+    return InsertPrecompiled(model, name, std::move(*parsed));
+  }
+  // Cold-start fast path: a fingerprint-valid persisted artifact is the
+  // optimized transducer; anything else (missing, stale, corrupted) falls
+  // back to the on-the-fly pass. Rejections are already counted loudly by
+  // the artifact layer — the server keeps serving correct answers either
+  // way.
+  const std::string artifact_path = query_path + ".opt";
+  StatusOr<transducer::Transducer> optimized =
+      optimize::LoadArtifactFile(artifact_path, *parsed);
+  if (!optimized.ok()) {
+    optimized = optimize::MinimizeTransducer(*parsed);
+    // Best-effort persistence: a read-only query directory costs future
+    // cold starts the pass, never the precompile itself.
+    (void)optimize::SaveArtifactFile(artifact_path, *parsed, *optimized);
+  }
+  return InsertPrecompiled(model, name, std::move(*optimized));
+}
+
+Status ModelRegistry::InsertPrecompiled(const std::string& model,
+                                        const std::string& name,
+                                        transducer::Transducer t) {
+  if (name.empty()) {
+    return Status::InvalidArgument("precompiled name must be non-empty");
+  }
+  if (models_.count(model) == 0) {
+    return Status::InvalidArgument("precompiled query '" + name +
+                                   "' names unknown model '" + model + "'");
+  }
+  auto key = std::make_pair(model, name);
+  if (precompiled_.count(key) != 0) {
+    return Status::InvalidArgument("duplicate precompiled name '" + model +
+                                   ":" + name + "'");
+  }
+  precompiled_.emplace(std::move(key), std::move(t));
+  return Status::Ok();
+}
+
+const transducer::Transducer* ModelRegistry::FindPrecompiled(
+    const std::string& model, const std::string& name) const {
+  auto it = precompiled_.find(std::make_pair(model, name));
+  return it == precompiled_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ModelRegistry::PrecompiledNames() const {
+  std::vector<std::string> names;
+  names.reserve(precompiled_.size());
+  for (const auto& [key, t] : precompiled_) {
+    names.push_back(key.first + ":" + key.second);
+  }
+  return names;
 }
 
 std::vector<std::string> ModelRegistry::Names() const {

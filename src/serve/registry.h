@@ -7,6 +7,16 @@
 // Models are registered as `name=path` pairs; the name is the URL segment
 // of POST /query/<name>. The registry is immutable after Load, so
 // concurrent request threads read it without locks.
+//
+// Alongside the models the registry can hold PRECOMPILED queries:
+// transducers optimized offline (optimize/transducer_opt.h) at startup and
+// served by name via `precompiled=<name>` with an empty request body, so
+// hot queries skip both the body parse and the optimization pass. The
+// precompile step persists its result as a fingerprinted artifact next to
+// the query file (optimize/artifact.h) and loads it back on later cold
+// starts; a corrupted or stale artifact is rejected loudly
+// (`optimize.artifact_rejected`) and the query is recompiled on the fly —
+// never served from the bad file.
 
 #ifndef TMS_SERVE_REGISTRY_H_
 #define TMS_SERVE_REGISTRY_H_
@@ -18,6 +28,8 @@
 
 #include "common/status.h"
 #include "markov/markov_sequence.h"
+#include "optimize/level.h"
+#include "transducer/transducer.h"
 
 namespace tms::serve {
 
@@ -40,8 +52,36 @@ class ModelRegistry {
   std::vector<std::string> Names() const;
   size_t size() const { return models_.size(); }
 
+  /// Precompiles the transducer query at `query_path` for model `model`
+  /// (which must already be registered and share the query's input
+  /// alphabet) and registers it under `(model, name)`.
+  ///
+  /// With `level` kOff the query is registered as parsed — no pass, no
+  /// artifact. Otherwise the artifact `<query_path>.opt` is tried first
+  /// (fingerprint-validated against the parsed query); on NotFound or
+  /// rejection the query is optimized on the fly with
+  /// optimize::MinimizeTransducer and the artifact is rewritten
+  /// best-effort (a read-only query directory only costs the persistence,
+  /// not the precompile).
+  Status Precompile(const std::string& model, const std::string& name,
+                    const std::string& query_path, optimize::Level level);
+
+  /// Registers an in-memory precompiled query (tests; programmatic
+  /// embedding). Same name rules as Insert, scoped per model.
+  Status InsertPrecompiled(const std::string& model, const std::string& name,
+                           transducer::Transducer t);
+
+  /// The precompiled query under `(model, name)`, or nullptr.
+  const transducer::Transducer* FindPrecompiled(
+      const std::string& model, const std::string& name) const;
+
+  /// "model:name" keys, sorted (startup log / introspection).
+  std::vector<std::string> PrecompiledNames() const;
+
  private:
   std::map<std::string, markov::MarkovSequence> models_;
+  std::map<std::pair<std::string, std::string>, transducer::Transducer>
+      precompiled_;
 };
 
 }  // namespace tms::serve

@@ -57,13 +57,16 @@ struct QueryParams {
   int64_t budget = -1;
   bool enum_mode = false;
   kernels::BackendChoice backend = kernels::BackendChoice::kAuto;
+  optimize::Level optimize = optimize::Level::kAuto;
+  std::string precompiled;  // registry-precompiled query name; "" = body
 };
 
 // Returns a 400 message, or "" on success.
 std::string ParseParams(const std::string& query,
                         kernels::BackendChoice default_backend,
-                        QueryParams* out) {
+                        optimize::Level default_optimize, QueryParams* out) {
   out->backend = default_backend;
+  out->optimize = default_optimize;
   for (const auto& [name, value] : ParseQueryParams(query)) {
     if (name == "k") {
       if (!ParsePositiveInt(value, &out->k)) {
@@ -89,6 +92,15 @@ std::string ParseParams(const std::string& query,
         return "backend must be dense|sparse|auto, got '" + value + "'";
       }
       out->backend = *choice;
+    } else if (name == "optimize") {
+      auto level = optimize::ParseLevel(value);
+      if (!level.has_value()) {
+        return "optimize must be off|auto|on, got '" + value + "'";
+      }
+      out->optimize = *level;
+    } else if (name == "precompiled") {
+      if (value.empty()) return "precompiled must name a query";
+      out->precompiled = value;
     } else if (name == "mode") {
       if (value == "enum") {
         out->enum_mode = true;
@@ -352,16 +364,40 @@ void HttpServer::HandleQuery(int fd, RequestReader* reader,
   }
 
   QueryParams params;
-  std::string error = ParseParams(req.query, options_.backend, &params);
+  std::string error = ParseParams(req.query, options_.backend,
+                                  options_.optimize, &params);
   if (!error.empty()) {
     SendJsonError(fd, 400, error);
     return;
   }
   ParsedQuery query;
-  error = ParseQueryBody(req.body, &query);
-  if (!error.empty()) {
-    SendJsonError(fd, 400, error);
-    return;
+  if (!params.precompiled.empty()) {
+    // A precompiled query IS the request: the body stays empty and the
+    // stored transducer — already optimized at registry load — runs with
+    // the pass off (re-optimizing an optimized machine is pure waste).
+    if (!req.body.empty()) {
+      SendJsonError(fd, 400,
+                    "precompiled queries take an empty body; got " +
+                        std::to_string(req.body.size()) + " bytes");
+      return;
+    }
+    const transducer::Transducer* stored =
+        registry_.FindPrecompiled(model_name, params.precompiled);
+    if (stored == nullptr) {
+      SendJsonError(fd, 404, "unknown precompiled query '" +
+                                 params.precompiled + "' for model '" +
+                                 model_name + "'");
+      return;
+    }
+    query.transducer = *stored;
+    params.optimize = optimize::Level::kOff;
+    TMS_OBS_COUNT("serve.precompiled_queries", 1);
+  } else {
+    error = ParseQueryBody(req.body, &query);
+    if (!error.empty()) {
+      SendJsonError(fd, 400, error);
+      return;
+    }
   }
 
   // Request-scoped observability: every metric and span of this query —
@@ -383,6 +419,7 @@ void HttpServer::HandleQuery(int fd, RequestReader* reader,
   engine.pool = pool_.get();
   engine.run = &run;
   engine.backend = params.backend;
+  engine.optimize = params.optimize;
 
   // Keep borrowed inputs alive for the whole stream.
   std::optional<transducer::Transducer> enum_transducer;

@@ -20,7 +20,9 @@
 //                              {"done":true,"exec":{...}} carrying the
 //                              structured stop reason.
 //     parameters: k, mode=ranked|enum, deadline_ms, max_answers, budget,
-//                 backend=dense|sparse|auto
+//                 backend=dense|sparse|auto, optimize=off|auto|on,
+//                 precompiled=<name> (registry-precompiled query, body
+//                 must be empty; see serve/registry.h)
 //
 // Execution model: every admitted query runs on its own connection thread
 // under its own obs::QueryScope (request-scoped metrics, trace
@@ -53,6 +55,7 @@
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "kernels/backend.h"
+#include "optimize/level.h"
 #include "serve/admission.h"
 #include "serve/http.h"
 #include "serve/registry.h"
@@ -75,6 +78,9 @@ struct ServerOptions {
   int max_connections = 64;
   /// Kernel backend for every query unless overridden per request.
   kernels::BackendChoice backend = kernels::BackendChoice::kAuto;
+  /// Query-automaton optimization level for every query unless overridden
+  /// per request (docs/OPTIMIZE.md; byte-identical streams at any level).
+  optimize::Level optimize = optimize::Level::kAuto;
   /// Request size limits / shutdown poll granularity.
   RequestReader::Limits limits;
 };

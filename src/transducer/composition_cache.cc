@@ -1,17 +1,22 @@
 #include "transducer/composition_cache.h"
 
+#include <deque>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "exec/fault.h"
 #include "obs/obs.h"
 
 namespace tms::transducer {
 namespace {
 
-std::string PrefixKey(const Str& prefix) {
-  std::string key = "w:";
+// Optimized entries live under "O"-prefixed keys: the pruned product is
+// answer-stream-identical but not the same object graph, so a knob change
+// must never be served from the other knob's entry.
+std::string PrefixKey(const Str& prefix, bool optimized) {
+  std::string key = optimized ? "Ow:" : "w:";
   for (Symbol s : prefix) {
     key += std::to_string(s);
     key += ',';
@@ -19,8 +24,9 @@ std::string PrefixKey(const Str& prefix) {
   return key;
 }
 
-std::string ConstraintKey(const ranking::OutputConstraint& c) {
-  std::string key = "c:";
+std::string ConstraintKey(const ranking::OutputConstraint& c,
+                          bool optimized) {
+  std::string key = optimized ? "Oc:" : "c:";
   for (Symbol s : c.prefix) {
     key += std::to_string(s);
     key += ',';
@@ -80,8 +86,7 @@ CompositionCache::CompositionCache(const Transducer* t, size_t max_bytes)
 }
 
 std::shared_ptr<const CompositionCache::Base> CompositionCache::BuildBase(
-    const Str& prefix) const {
-  const Transducer& t = *t_;
+    const Str& prefix, const Transducer& t) const {
   const int w = static_cast<int>(prefix.size());
   auto base = std::make_shared<Base>();
   base->nc = w + 3;
@@ -128,7 +133,9 @@ std::shared_ptr<const CompositionCache::Base> CompositionCache::BuildBase(
 }
 
 std::shared_ptr<const Transducer> CompositionCache::Specialize(
-    const Base& base, const ranking::OutputConstraint& constraint) const {
+    const Base& base, const ranking::OutputConstraint& constraint,
+    bool optimized) const {
+  if (optimized) return SpecializePruned(base, constraint);
   auto out = std::make_shared<Transducer>(
       t_->input_alphabet(), t_->output_alphabet(), base.num_states);
   out->SetInitial(base.initial);
@@ -152,9 +159,168 @@ std::shared_ptr<const Transducer> CompositionCache::Specialize(
   return out;
 }
 
+std::shared_ptr<const Transducer> CompositionCache::SpecializePruned(
+    const Base& base, const ranking::OutputConstraint& constraint) const {
+  Stopwatch sw;
+  const int n = base.num_states;
+  const StateId dead_c = static_cast<StateId>(base.nc - 1);
+  const size_t ne = base.edges.size();
+
+  // Per-constraint resolved target of every base edge: crossing symbols
+  // in the excluded set divert into the dead column, exactly as the
+  // unfused specialization redirects them.
+  std::vector<StateId> target(ne);
+  for (size_t i = 0; i < ne; ++i) {
+    const Base::ProductEdge& e = base.edges[i];
+    StateId tgt = e.target;
+    if (e.crossing >= 0 &&
+        constraint.excluded_next.find(e.crossing) !=
+            constraint.excluded_next.end()) {
+      tgt = (tgt / base.nc) * base.nc + dead_c;
+    }
+    target[i] = tgt;
+  }
+
+  // CSR out-edge index by source (counting sort, stable: within a source
+  // the base insertion order — the AddTransition order of the unfused
+  // product — is preserved).
+  std::vector<int> off(static_cast<size_t>(n) + 1, 0);
+  for (const Base::ProductEdge& e : base.edges) {
+    ++off[static_cast<size_t>(e.source) + 1];
+  }
+  for (int q = 0; q < n; ++q) off[static_cast<size_t>(q) + 1] += off[static_cast<size_t>(q)];
+  std::vector<int> by_source(ne);
+  {
+    std::vector<int> cursor(off.begin(), off.end() - 1);
+    for (size_t i = 0; i < ne; ++i) {
+      by_source[static_cast<size_t>(
+          cursor[static_cast<size_t>(base.edges[i].source)]++)] =
+          static_cast<int>(i);
+    }
+  }
+
+  // Forward reachability from the initial product state over the resolved
+  // edges (dead-column states included, so the unreachable/dead stats
+  // split matches what PruneTransducer reports on the full product).
+  std::vector<bool> reachable(static_cast<size_t>(n), false);
+  std::deque<StateId> frontier{base.initial};
+  reachable[static_cast<size_t>(base.initial)] = true;
+  while (!frontier.empty()) {
+    const StateId q = frontier.front();
+    frontier.pop_front();
+    for (int c = off[static_cast<size_t>(q)]; c < off[static_cast<size_t>(q) + 1]; ++c) {
+      const StateId tgt = target[static_cast<size_t>(by_source[static_cast<size_t>(c)])];
+      if (!reachable[static_cast<size_t>(tgt)]) {
+        reachable[static_cast<size_t>(tgt)] = true;
+        frontier.push_back(tgt);
+      }
+    }
+  }
+
+  // Per-constraint acceptance (the allow_equal resolution of the unfused
+  // specialization).
+  auto accepts = [&](size_t s) {
+    return base.accept[s] == Base::kAlways ||
+           (base.accept[s] == Base::kIfEqual && constraint.allow_equal);
+  };
+
+  // Co-accessibility: reverse CSR over the resolved targets, BFS from the
+  // accepting states.
+  std::vector<int> roff(static_cast<size_t>(n) + 1, 0);
+  for (size_t i = 0; i < ne; ++i) ++roff[static_cast<size_t>(target[i]) + 1];
+  for (int q = 0; q < n; ++q) roff[static_cast<size_t>(q) + 1] += roff[static_cast<size_t>(q)];
+  std::vector<int> by_target(ne);
+  {
+    std::vector<int> cursor(roff.begin(), roff.end() - 1);
+    for (size_t i = 0; i < ne; ++i) {
+      by_target[static_cast<size_t>(
+          cursor[static_cast<size_t>(target[i])]++)] = static_cast<int>(i);
+    }
+  }
+  std::vector<bool> coacc(static_cast<size_t>(n), false);
+  for (size_t s = 0; s < static_cast<size_t>(n); ++s) {
+    if (accepts(s)) {
+      coacc[s] = true;
+      frontier.push_back(static_cast<StateId>(s));
+    }
+  }
+  while (!frontier.empty()) {
+    const StateId q = frontier.front();
+    frontier.pop_front();
+    for (int c = roff[static_cast<size_t>(q)]; c < roff[static_cast<size_t>(q) + 1]; ++c) {
+      const StateId src =
+          base.edges[static_cast<size_t>(by_target[static_cast<size_t>(c)])].source;
+      if (!coacc[static_cast<size_t>(src)]) {
+        coacc[static_cast<size_t>(src)] = true;
+        frontier.push_back(src);
+      }
+    }
+  }
+
+  // Keep reachable ∧ co-accessible, renumbered monotonically — the exact
+  // cut and numbering of optimize::PruneTransducer, whose byte-exactness
+  // argument (docs/OPTIMIZE.md) this path inherits.
+  std::vector<StateId> new_id(static_cast<size_t>(n), -1);
+  int kept = 0;
+  optimize::OptimizeStats st;
+  st.states_before = n;
+  st.edges_before = static_cast<int>(ne);
+  for (size_t q = 0; q < static_cast<size_t>(n); ++q) {
+    if (reachable[q] && coacc[q]) {
+      new_id[q] = kept++;
+    } else if (!reachable[q]) {
+      ++st.states_unreachable;
+    } else {
+      ++st.states_dead;
+    }
+  }
+
+  std::shared_ptr<Transducer> out;
+  if (kept == 0) {
+    // Canonical empty transducer, as PruneTransducer builds it: one
+    // non-accepting state, no edges.
+    out = std::make_shared<Transducer>(t_->input_alphabet(),
+                                       t_->output_alphabet(), 1);
+    st.states_after = 1;
+    st.edges_after = 0;
+  } else {
+    out = std::make_shared<Transducer>(t_->input_alphabet(),
+                                       t_->output_alphabet(), kept);
+    out->SetInitial(new_id[static_cast<size_t>(base.initial)]);
+    int emitted = 0;
+    for (size_t q = 0; q < static_cast<size_t>(n); ++q) {
+      if (new_id[q] < 0) continue;
+      out->SetAccepting(new_id[q], accepts(q));
+      for (int c = off[q]; c < off[q + 1]; ++c) {
+        const size_t i = static_cast<size_t>(by_source[static_cast<size_t>(c)]);
+        if (new_id[static_cast<size_t>(target[i])] < 0) continue;  // dead arc
+        const Base::ProductEdge& e = base.edges[i];
+        Status status = out->AddTransition(
+            new_id[q], e.symbol, new_id[static_cast<size_t>(target[i])],
+            e.output);
+        TMS_CHECK(status.ok());
+        ++emitted;
+      }
+    }
+    st.states_after = kept;
+    st.edges_after = emitted;
+  }
+  optimize::RecordPrunePass(st, sw.ElapsedNanos());
+  TMS_OBS_COUNT("optimize.product_states_pruned",
+                st.states_unreachable + st.states_dead);
+  return out;
+}
+
+const Transducer& CompositionCache::OptimizedTransducer() {
+  std::call_once(opt_once_, [this] {
+    opt_t_ = std::make_shared<const Transducer>(optimize::PruneTransducer(*t_));
+  });
+  return *opt_t_;
+}
+
 std::shared_ptr<const CompositionCache::Base> CompositionCache::GetBase(
-    const Str& prefix) {
-  std::string key = PrefixKey(prefix);
+    const Str& prefix, bool optimized) {
+  std::string key = PrefixKey(prefix, optimized);
   {
     std::lock_guard<std::mutex> lock(lock_);
     auto it = map_.find(key);
@@ -167,7 +333,8 @@ std::shared_ptr<const CompositionCache::Base> CompositionCache::GetBase(
     ++stats_.misses;
     TMS_OBS_COUNT("cache.misses", 1);
   }
-  std::shared_ptr<const Base> base = BuildBase(prefix);
+  std::shared_ptr<const Base> base =
+      BuildBase(prefix, optimized ? OptimizedTransducer() : *t_);
   // Simulated allocation failure (exec/fault.h): the build is served
   // uncached and the cache stays consistent — graceful degradation, not
   // an error.
@@ -183,8 +350,8 @@ std::shared_ptr<const CompositionCache::Base> CompositionCache::GetBase(
 }
 
 std::shared_ptr<const Transducer> CompositionCache::Compose(
-    const ranking::OutputConstraint& constraint) {
-  std::string key = ConstraintKey(constraint);
+    const ranking::OutputConstraint& constraint, bool optimized) {
+  std::string key = ConstraintKey(constraint, optimized);
   {
     std::lock_guard<std::mutex> lock(lock_);
     auto it = map_.find(key);
@@ -197,8 +364,9 @@ std::shared_ptr<const Transducer> CompositionCache::Compose(
     ++stats_.misses;
     TMS_OBS_COUNT("cache.misses", 1);
   }
-  std::shared_ptr<const Base> base = GetBase(constraint.prefix);
-  std::shared_ptr<const Transducer> spec = Specialize(*base, constraint);
+  std::shared_ptr<const Base> base = GetBase(constraint.prefix, optimized);
+  std::shared_ptr<const Transducer> spec =
+      Specialize(*base, constraint, optimized);
   if (TMS_FAULT_POINT("cache.insert")) return spec;  // see GetBase
   std::lock_guard<std::mutex> lock(lock_);
   auto it = map_.find(key);

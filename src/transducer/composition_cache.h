@@ -44,6 +44,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "optimize/transducer_opt.h"
 #include "ranking/prefix_constraint.h"
 #include "transducer/transducer.h"
 
@@ -70,8 +71,24 @@ class CompositionCache {
 
   /// The composed transducer for (transducer(), constraint) —
   /// bit-identical to ComposeWithOutputConstraint(transducer(), constraint).
+  ///
+  /// With `optimized` set, both sides of the composition are pruned: the
+  /// query transducer through optimize::PruneTransducer once (lazily,
+  /// shared by all optimized compositions of this cache) before the
+  /// product is built, and the product itself by a FUSED prune — the
+  /// reachable ∧ co-accessible cut is computed on the cached base
+  /// skeleton and only the surviving sub-product is ever materialized, so
+  /// the optimized compose does strictly less allocation work than the
+  /// unoptimized one while returning exactly the transducer
+  /// optimize::PruneTransducer would have produced from the full product
+  /// (tests/optimize_equivalence_test.cc checks this differentially).
+  /// The pruned product yields byte-identical answer streams (the prune
+  /// is stream-exact, see optimize/transducer_opt.h) but is NOT the same
+  /// Transducer object graph, so optimized and unoptimized compositions
+  /// are cached under DISTINCT keys — a lookup can never cross the knob
+  /// (the regression in tests/optimize_equivalence_test.cc pins this).
   std::shared_ptr<const Transducer> Compose(
-      const ranking::OutputConstraint& constraint);
+      const ranking::OutputConstraint& constraint, bool optimized = false);
 
   const Transducer& transducer() const { return *t_; }
 
@@ -89,10 +106,24 @@ class CompositionCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  std::shared_ptr<const Base> GetBase(const Str& prefix);
-  std::shared_ptr<const Base> BuildBase(const Str& prefix) const;
+  std::shared_ptr<const Base> GetBase(const Str& prefix, bool optimized);
+  std::shared_ptr<const Base> BuildBase(const Str& prefix,
+                                        const Transducer& t) const;
   std::shared_ptr<const Transducer> Specialize(
+      const Base& base, const ranking::OutputConstraint& constraint,
+      bool optimized) const;
+
+  /// The optimized-path specialization: resolves every base edge under
+  /// `constraint`, computes the reachable ∧ co-accessible cut over the
+  /// resolved graph, and materializes ONLY the live sub-product —
+  /// Transducer-identical to running optimize::PruneTransducer over the
+  /// full specialized product, without ever building that product.
+  std::shared_ptr<const Transducer> SpecializePruned(
       const Base& base, const ranking::OutputConstraint& constraint) const;
+
+  /// The pruned copy of transducer(), built once on first optimized
+  /// composition (never built when the knob stays off).
+  const Transducer& OptimizedTransducer();
 
   // Map maintenance (all require lock_ held). Touch moves a hit to the
   // LRU front; Insert adds a slot (first writer wins on races) and evicts
@@ -102,6 +133,9 @@ class CompositionCache {
 
   const Transducer* t_;
   const size_t max_bytes_;
+
+  std::once_flag opt_once_;
+  std::shared_ptr<const Transducer> opt_t_;
 
   mutable std::mutex lock_;
   std::unordered_map<std::string, Slot> map_;

@@ -1,12 +1,14 @@
 #!/bin/sh
 # One-command CI verification (docs/ROBUSTNESS.md):
 #
-#   1. tier-1: default build, full test suite + an explicit `ctest -L obs`
-#              pass (the per-query observability suites must be present,
-#              not silently undiscovered)
+#   1. tier-1: default build, full test suite + explicit `ctest -L obs`
+#              and `ctest -L optimize` passes (the per-query observability
+#              and optimization-equivalence suites must be present, not
+#              silently undiscovered)
 #   2. asan:   ASan+UBSan build, `ctest -L robustness` + `-L concurrency`
-#              + `-L serve` (the server's socket/thread machinery runs
-#              under the sanitizers too)
+#              + `-L serve` + `-L optimize` (the server's socket/thread
+#              machinery and the optimization passes run under the
+#              sanitizers too)
 #   3. tsan:   TSan build,       `ctest -L robustness` + `-L concurrency`
 #   4. off:    -DTMS_OBS=OFF -DTMS_FAULTS=OFF build (everything compiled
 #              out), full test suite — proves the zero-overhead surface
@@ -18,7 +20,8 @@
 #              SIGTERM drain)
 #   6. bench:  enumeration + kernel bench reports
 #              (BENCH_enumeration_delay.json, BENCH_enumeration_emax.json,
-#              BENCH_twostep_vs_ranked.json, BENCH_sparse_scaling.json)
+#              BENCH_twostep_vs_ranked.json, BENCH_sparse_scaling.json,
+#              BENCH_optimize.json)
 #              emitted to build/bench-json/ and checked non-empty, plus the
 #              per-query explain sidecar
 #              (BENCH_enumeration_delay_explain.json); set
@@ -65,11 +68,18 @@ case "$STAGE" in
     echo "==> [tier1] ctest -L obs (must be non-empty)"
     (cd "$ROOT/build" &&
      ctest --output-on-failure -j "$JOBS" -L obs --no-tests=error)
+    # Likewise the optimize label: the differential equivalence harness is
+    # the acceptance test of the optimization pass — it running zero tests
+    # must fail, not pass.
+    echo "==> [tier1] ctest -L optimize (must be non-empty)"
+    (cd "$ROOT/build" &&
+     ctest --output-on-failure -j "$JOBS" -L optimize --no-tests=error)
     ;;
 esac
 case "$STAGE" in
   asan|all)
-    run_stage asan "$ROOT/build-asan" -L "robustness|concurrency|serve" -- \
+    run_stage asan "$ROOT/build-asan" \
+      -L "robustness|concurrency|serve|optimize" -- \
       -DTMS_SANITIZE=address,undefined
     ;;
 esac
@@ -100,7 +110,7 @@ esac
 case "$STAGE" in
   bench|all)
     BENCHES="bench_enumeration_delay bench_enumeration_emax \
-             bench_twostep_vs_ranked bench_sparse_scaling"
+             bench_twostep_vs_ranked bench_sparse_scaling bench_optimize"
     echo "==> [bench] configure + build ($ROOT/build)"
     cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
     # shellcheck disable=SC2086

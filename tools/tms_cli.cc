@@ -20,6 +20,11 @@
 //       traffic, composed-automaton sizes, budget/deadline consumption)
 //       instead of the answers. With --stats=json the report is the
 //       "explain" field of the JSON document.
+//   tms_cli optimize <query-file> [artifact-out]
+//       Offline optimization (docs/OPTIMIZE.md): prune + minimize the
+//       transducer query and write a fingerprinted artifact (default
+//       <query-file>.opt) that tms_server loads at registry precompile.
+//       Prints the before/after state and edge counts.
 //   tms_cli show  <file>
 //       Parse a model/query file and print its canonical form.
 //
@@ -37,6 +42,11 @@
 //                    when the transition matrices are sparse enough, see
 //                    docs/SPARSE.md). Output is byte-identical across
 //                    backends; only the running time changes.
+//   --optimize=off|auto|on
+//                    offline optimization of the query automata before
+//                    composition (default auto, see docs/OPTIMIZE.md).
+//                    Like --backend this is a performance knob only:
+//                    answer streams are byte-identical at every level.
 // The answers printed under any of these limits are always an exact prefix
 // of the unbounded output. A truncated run still exits 0: the stop reason
 // goes to stderr (human mode) or the "exec" field (--stats=json).
@@ -78,6 +88,9 @@
 #include "kernels/backend.h"
 #include "obs/explain.h"
 #include "obs/obs.h"
+#include "optimize/artifact.h"
+#include "optimize/level.h"
+#include "optimize/transducer_opt.h"
 #include "projector/imax_enum.h"
 #include "projector/sprojector_confidence.h"
 #include "query/engine_factory.h"
@@ -109,6 +122,9 @@ struct ExecOptions {
   // --backend=dense|sparse|auto: kernel path of every DP underneath.
   // Output is byte-identical across backends (docs/SPARSE.md).
   kernels::BackendChoice backend = kernels::BackendChoice::kAuto;
+  // --optimize=off|auto|on: offline optimization of the query automata
+  // (docs/OPTIMIZE.md). Byte-identical output at every level.
+  optimize::Level optimize = optimize::Level::kAuto;
 
   exec::ThreadPool* MakePool() {
     if (threads > 1 && pool_ == nullptr) {
@@ -123,6 +139,7 @@ struct ExecOptions {
     options.pool = MakePool();
     options.run = MakeRun();
     options.backend = backend;
+    options.optimize = optimize;
     return options;
   }
 
@@ -190,10 +207,12 @@ int Usage() {
                "       tms_cli enum <sequence> <query> [limit]\n"
                "       tms_cli batch <query> <k> <sequence>...\n"
                "       tms_cli explain <sequence> <query> [k]\n"
+               "       tms_cli optimize <query> [artifact-out]\n"
                "       tms_cli show <file>\n"
                "flags: --threads=N | --deadline-ms=N | --max-answers=N | "
                "--budget=N |\n"
-               "       --backend=dense|sparse|auto |\n"
+               "       --backend=dense|sparse|auto | --optimize=off|auto|on "
+               "|\n"
                "       --stats | --stats=json | --stats=prom | --trace=FILE |\n"
                "       --explain | --flight-dump=off|stderr|FILE\n");
   return 2;
@@ -409,6 +428,7 @@ int RunBatch(const std::string& query_path,
   options.threads = exec->threads;
   options.run = exec->MakeRun();
   options.backend = exec->backend;
+  options.optimize = exec->optimize;
   auto batch = db::BatchEvaluator::Create(&collection, &t, options);
   if (!batch.ok()) return Fail(batch.status());
 
@@ -528,6 +548,46 @@ int RunShow(const std::string& path, CliOutput* out) {
   return 0;
 }
 
+// Offline optimization: prune + minimize the transducer query and persist
+// the result as a fingerprinted artifact (optimize/artifact.h) that the
+// server's registry precompile loads at cold start.
+int RunOptimize(const std::string& query_path, const std::string& out_path,
+                CliOutput* out) {
+  auto query = LoadQuery(query_path);
+  if (!query.ok()) return Fail(query.status());
+  if (!query->transducer.has_value()) {
+    return Fail(Status::InvalidArgument(
+        "optimize expects a transducer query; s-projectors compose no "
+        "product automaton and have nothing to optimize"));
+  }
+  const transducer::Transducer& t = *query->transducer;
+  optimize::OptimizeStats stats;
+  transducer::Transducer optimized = optimize::MinimizeTransducer(t, &stats);
+  Status saved = optimize::SaveArtifactFile(out_path, t, optimized);
+  if (!saved.ok()) return Fail(saved);
+  if (out->json) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"artifact\":\"%s\",\"states_before\":%d,"
+                  "\"states_after\":%d,\"edges_before\":%d,"
+                  "\"edges_after\":%d,\"states_unreachable\":%d,"
+                  "\"states_dead\":%d,\"states_merged\":%d}",
+                  out_path.c_str(), stats.states_before, stats.states_after,
+                  stats.edges_before, stats.edges_after,
+                  stats.states_unreachable, stats.states_dead,
+                  stats.states_merged);
+    out->results = buf;
+  } else {
+    std::printf("optimized %s -> %s\n", query_path.c_str(), out_path.c_str());
+    std::printf("  states: %d -> %d (unreachable %d, dead %d, merged %d)\n",
+                stats.states_before, stats.states_after,
+                stats.states_unreachable, stats.states_dead,
+                stats.states_merged);
+    std::printf("  edges:  %d -> %d\n", stats.edges_before, stats.edges_after);
+  }
+  return 0;
+}
+
 // Parses the value part of `--flag=N` as a nonnegative integer; false on
 // empty, non-digit, or overflowing input (atoll would silently read "abc"
 // as 0, turning a typo into a budget of zero).
@@ -595,12 +655,22 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
           kernels::ParseBackendChoice(arg.substr(std::strlen("--backend=")));
       if (!choice.has_value()) return false;
       exec->backend = *choice;
+    } else if (arg.rfind("--optimize=", 0) == 0) {
+      auto level =
+          optimize::ParseLevel(arg.substr(std::strlen("--optimize=")));
+      if (!level.has_value()) {
+        std::fprintf(stderr, "error: invalid --optimize value in '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+      exec->optimize = *level;
     } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0 ||
                arg.rfind("--threads", 0) == 0 ||
                arg.rfind("--deadline-ms", 0) == 0 ||
                arg.rfind("--max-answers", 0) == 0 ||
                arg.rfind("--budget", 0) == 0 ||
                arg.rfind("--backend", 0) == 0 ||
+               arg.rfind("--optimize", 0) == 0 ||
                arg.rfind("--explain", 0) == 0 ||
                arg.rfind("--flight-dump", 0) == 0) {
       return false;
@@ -720,6 +790,10 @@ int main(int argc, char** argv) {
     if (suppress_tables) out.json = true;
     if (command == "show") {
       code = RunShow(args[1], &out);
+    } else if (command == "optimize") {
+      const std::string artifact =
+          args.size() >= 3 ? args[2] : args[1] + ".opt";
+      code = RunOptimize(args[1], artifact, &out);
     } else if (args.size() < 3) {
       return Usage();
     } else if (command == "topk" || explain_command) {

@@ -23,6 +23,17 @@
 //   --max-connections=N open-connection cap; excess connections get 503
 //   --backend=dense|sparse|auto  default kernel backend (per-request
 //                       ?backend= overrides)
+//   --optimize=off|auto|on  default query-automaton optimization level
+//                       (per-request ?optimize= overrides; byte-identical
+//                       streams at any level, docs/OPTIMIZE.md)
+//   --precompile=<model>:<name>=<query-file>  optimize the transducer
+//                       query offline at startup and serve it by name via
+//                       ?precompiled=<name> with an empty body; the
+//                       optimized machine persists as <query-file>.opt and
+//                       later cold starts load the artifact directly
+//                       (fingerprint-checked; corrupt artifacts recompile
+//                       with a loud optimize.artifact_rejected). May
+//                       repeat.
 //   --port-file=PATH    write the bound port to PATH once listening
 //                       (scripts bind port 0 and read this back)
 //
@@ -32,8 +43,10 @@
 
 #include <signal.h>
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,6 +54,7 @@
 
 #include "common/parse.h"
 #include "kernels/backend.h"
+#include "optimize/level.h"
 #include "obs/obs.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -54,8 +68,10 @@ int Usage() {
       stderr,
       "usage: tms_server [--port=N] [--host=ADDR] [--threads=N]\n"
       "                  [--max-inflight=N] [--max-connections=N]\n"
-      "                  [--backend=dense|sparse|auto] [--port-file=PATH]\n"
-      "                  <name>=<sequence-file>...\n");
+      "                  [--backend=dense|sparse|auto] "
+      "[--optimize=off|auto|on]\n"
+      "                  [--precompile=<model>:<name>=<query-file>]...\n"
+      "                  [--port-file=PATH] <name>=<sequence-file>...\n");
   return 2;
 }
 
@@ -80,6 +96,8 @@ int main(int argc, char** argv) {
   serve::ServerOptions options;
   std::string port_file;
   std::vector<std::pair<std::string, std::string>> model_specs;
+  // (model, name, query-file) triples from --precompile flags.
+  std::vector<std::array<std::string, 3>> precompile_specs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +132,29 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.backend = *choice;
+    } else if (view.rfind("--optimize=", 0) == 0) {
+      auto level = optimize::ParseLevel(view.substr(11));
+      if (!level.has_value()) {
+        std::fprintf(stderr, "error: invalid --optimize value in '%s'\n",
+                     arg.c_str());
+        return Usage();
+      }
+      options.optimize = *level;
+    } else if (view.rfind("--precompile=", 0) == 0) {
+      const std::string spec = arg.substr(std::strlen("--precompile="));
+      const size_t colon = spec.find(':');
+      const size_t eq = spec.find('=', colon == std::string::npos ? 0 : colon);
+      if (colon == std::string::npos || eq == std::string::npos ||
+          colon == 0 || eq <= colon + 1 || eq + 1 == spec.size()) {
+        std::fprintf(stderr,
+                     "error: --precompile spec must be "
+                     "<model>:<name>=<query-file>, got '%s'\n",
+                     arg.c_str());
+        return Usage();
+      }
+      precompile_specs.push_back({spec.substr(0, colon),
+                                  spec.substr(colon + 1, eq - colon - 1),
+                                  spec.substr(eq + 1)});
     } else if (view.rfind("--port-file=", 0) == 0) {
       port_file = std::string(view.substr(12));
     } else if (view.rfind("--", 0) == 0) {
@@ -147,6 +188,16 @@ int main(int argc, char** argv) {
   }
   for (const std::string& name : registry->Names()) {
     std::fprintf(stderr, "loaded model '%s'\n", name.c_str());
+  }
+  for (const auto& spec : precompile_specs) {
+    Status st = registry->Precompile(spec[0], spec[1], spec[2],
+                                     options.optimize);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "precompiled query '%s:%s' from %s\n",
+                 spec[0].c_str(), spec[1].c_str(), spec[2].c_str());
   }
 
   // Block the termination signals BEFORE any thread exists so every
