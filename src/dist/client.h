@@ -1,0 +1,113 @@
+// The coordinator's client side of the worker protocol
+// (docs/DISTRIBUTED.md): a minimal blocking HTTP/1.1 client that streams
+// one chunked NDJSON response line by line, and the ShardSource that
+// adapts a worker's `/batch` stream to the k-way merge.
+//
+// serve/http.h is deliberately server-side only; this is the one place
+// in the tree that speaks the client half, and it only needs the subset
+// tms_server emits: status line + headers, then either a Content-Length
+// body or chunked transfer encoding.
+//
+// Failure mapping (the straggler contract): a connection that cannot be
+// opened, times out, or hits EOF *before the terminal chunk* marks the
+// shard failed — everything already received is a clean prefix and the
+// merge keeps the survivors. A worker killed with SIGKILL mid-stream is
+// indistinguishable from a mid-stream EOF, which is exactly the point.
+
+#ifndef TMS_DIST_CLIENT_H_
+#define TMS_DIST_CLIENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/merge_stream.h"
+
+namespace tms::dist {
+
+/// One worker endpoint.
+struct WorkerAddress {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "host:port[,host:port...]" (the `--workers=` flag).
+StatusOr<std::vector<WorkerAddress>> ParseWorkerList(std::string_view csv);
+
+/// One streaming HTTP request. Construction sends the request and reads
+/// the response head; NextLine() then yields body lines.
+class HttpStream {
+ public:
+  struct Options {
+    int connect_timeout_ms = 5000;
+    /// Per-read timeout — bounds how long a silent worker can stall the
+    /// merge before it is declared a straggler.
+    int read_timeout_ms = 30000;
+  };
+
+  ~HttpStream();
+  HttpStream(const HttpStream&) = delete;
+  HttpStream& operator=(const HttpStream&) = delete;
+
+  /// POSTs `body` to http://host:port<target> and reads the response
+  /// head. A non-2xx status is returned as an error (with the response
+  /// body in the message when small).
+  static StatusOr<std::unique_ptr<HttpStream>> Post(
+      const WorkerAddress& worker, const std::string& target,
+      const std::string& body, const Options& options);
+
+  int status_code() const { return status_code_; }
+
+  /// The next body line (without '\n'); nullopt at the clean end of the
+  /// stream (terminal chunk, or Content-Length exhausted). EOF or a
+  /// timeout before that is an error: the worker died mid-stream.
+  StatusOr<std::optional<std::string>> NextLine();
+
+ private:
+  HttpStream() = default;
+
+  /// Refills buf_ from the socket. False at EOF; error via *status.
+  bool Fill(Status* status);
+  /// Appends up to `max` decoded body bytes to body_, honoring the
+  /// transfer encoding. Sets body_done_ at the clean end.
+  Status Decode();
+
+  int fd_ = -1;
+  int status_code_ = 0;
+  bool chunked_ = false;
+  long long content_left_ = 0;  // when !chunked_
+  long long chunk_left_ = 0;    // bytes left in the current chunk
+  bool body_done_ = false;
+  bool saw_eof_ = false;
+  std::string buf_;    // raw bytes from the socket, not yet decoded
+  std::string body_;   // decoded body bytes, not yet returned as lines
+};
+
+/// Adapts one worker's `/batch` NDJSON stream to the merge. Rows pass
+/// through with their verbatim bytes in MergeEntry::line (the merge key
+/// and score are extracted, never re-serialized); the trailing
+/// {"done":true,...} footer becomes the shard's coverage.
+class RemoteShardSource : public ShardSource {
+ public:
+  /// `stream` may be an error (connection refused, non-2xx): the source
+  /// is then born failed and empty — the batch continues without it.
+  RemoteShardSource(int shard_id,
+                    StatusOr<std::unique_ptr<HttpStream>> stream);
+
+  std::optional<MergeEntry> Next() override;
+  ShardCoverage Coverage() const override { return coverage_; }
+
+ private:
+  void Fail(Status status);
+
+  std::unique_ptr<HttpStream> stream_;
+  ShardCoverage coverage_;
+  bool done_ = false;
+};
+
+}  // namespace tms::dist
+
+#endif  // TMS_DIST_CLIENT_H_

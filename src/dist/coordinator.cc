@@ -1,0 +1,45 @@
+#include "dist/coordinator.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace tms::dist {
+
+bool DistOutcome::complete() const {
+  for (const ShardCoverage& c : coverage) {
+    if (c.failed || c.truncated) return false;
+  }
+  return true;
+}
+
+DistOutcome ScatterGather(
+    const std::vector<WorkerAddress>& workers, const std::string& query_body,
+    const CoordinatorOptions& options,
+    const std::function<bool(const std::string&)>& emit) {
+  TMS_OBS_COUNT("dist.coordinator.batches", 1);
+  // Scatter first, merge second: every worker is evaluating while the
+  // coordinator is still opening connections to the rest.
+  std::string target = "/batch";
+  if (!options.params.empty()) target += "?" + options.params;
+  std::vector<std::unique_ptr<ShardSource>> sources;
+  sources.reserve(workers.size());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    sources.push_back(std::make_unique<RemoteShardSource>(
+        static_cast<int>(i),
+        HttpStream::Post(workers[i], target, query_body, options.client)));
+  }
+
+  MergeStream merge(std::move(sources));
+  DistOutcome outcome;
+  while (std::optional<MergeEntry> entry = merge.Next()) {
+    ++outcome.answers;
+    if (!emit(entry->line)) break;
+  }
+  outcome.coverage = merge.Coverage();
+  return outcome;
+}
+
+}  // namespace tms::dist

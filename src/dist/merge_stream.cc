@@ -1,0 +1,162 @@
+#include "dist/merge_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/fault.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/wire.h"
+
+namespace tms::dist {
+
+namespace {
+
+// std::*_heap keeps the *greatest* element (under the comparator) at the
+// front, so "less" here means "merges later": lower score, then greater
+// key, then greater source index (the source index is unreachable for
+// honest range-sharded inputs — keys are unique — but keeps the order
+// total and deterministic against misbehaving workers).
+struct HeadOrder {
+  bool operator()(const MergeStream::Head& a,
+                  const MergeStream::Head& b) const {
+    if (a.entry.score != b.entry.score) return a.entry.score < b.entry.score;
+    if (a.entry.key != b.entry.key) return a.entry.key > b.entry.key;
+    return a.source > b.source;
+  }
+};
+
+}  // namespace
+
+std::optional<MergeEntry> VectorShardSource::Next() {
+  if (next_ >= entries_.size()) return std::nullopt;
+  if (TMS_FAULT_POINT("dist.mid_stream")) {
+    // The stream dies here, mid-flight: everything already emitted is a
+    // clean prefix, everything else is lost — same contract as a worker
+    // process killed between two chunks.
+    coverage_.failed = true;
+    coverage_.status =
+        Status::Internal("injected fault at dist.mid_stream");
+    next_ = entries_.size();
+    return std::nullopt;
+  }
+  return entries_[next_++];
+}
+
+MergeStream::MergeStream(std::vector<std::unique_ptr<ShardSource>> sources)
+    : sources_(std::move(sources)), state_(sources_.size()) {
+  start_ns_ = obs::MonotonicNanos();
+  TMS_OBS_COUNT("dist.merge.streams", static_cast<int64_t>(sources_.size()));
+  heap_.reserve(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) Pull(i);
+}
+
+void MergeStream::PushHead(Head head) {
+  heap_.push_back(std::move(head));
+  std::push_heap(heap_.begin(), heap_.end(), HeadOrder());
+}
+
+void MergeStream::Pull(size_t i) {
+  PerSource& st = state_[i];
+  std::optional<MergeEntry> entry = sources_[i]->Next();
+  if (!entry) {
+    st.done = true;
+    return;
+  }
+  if (st.has_prev &&
+      (entry->score > st.prev_score ||
+       (entry->score == st.prev_score && entry->key < st.prev_key))) {
+    // The shard broke the nonincreasing-score invariant. Trusting it
+    // further could reorder the global stream, so close it here: the
+    // prefix already merged is still correctly ranked.
+    TMS_OBS_COUNT("dist.merge.order_violations", 1);
+    st.done = true;
+    st.forced_failure = Status::InvalidArgument(
+        "shard stream out of order: score " + std::to_string(entry->score) +
+        " for key '" + entry->key + "' after " +
+        std::to_string(st.prev_score) + " for key '" + st.prev_key + "'");
+    return;
+  }
+  st.has_prev = true;
+  st.prev_score = entry->score;
+  st.prev_key = entry->key;
+  PushHead(Head{*std::move(entry), i});
+}
+
+std::optional<MergeEntry> MergeStream::Next() {
+  if (heap_.empty()) {
+    Finish();
+    return std::nullopt;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), HeadOrder());
+  Head best = std::move(heap_.back());
+  heap_.pop_back();
+  state_[best.source].answers++;
+  ++answers_;
+  TMS_OBS_COUNT("dist.merge.answers", 1);
+  Pull(best.source);
+  return std::move(best.entry);
+}
+
+void MergeStream::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  TMS_OBS_HISTOGRAM("dist.merge.merge_ns",
+                    obs::MonotonicNanos() - start_ns_);
+#if TMS_OBS_ACTIVE
+  for (const ShardCoverage& c : Coverage()) {
+    if (c.failed) TMS_OBS_COUNT("dist.merge.failed_shards", 1);
+    if (c.truncated) TMS_OBS_COUNT("dist.merge.truncated_shards", 1);
+  }
+#endif
+}
+
+std::string CoverageJson(const std::vector<ShardCoverage>& coverage) {
+  std::string out = "[";
+  bool first = true;
+  for (const ShardCoverage& c : coverage) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"shard\":";
+    out += std::to_string(c.shard_id);
+    out += ",\"sequences\":";
+    out += std::to_string(c.sequences);
+    out += ",\"failed_sequences\":";
+    out += std::to_string(c.failed_sequences);
+    out += ",\"answers\":";
+    out += std::to_string(c.answers);
+    out += ",\"complete\":";
+    out += (!c.failed && !c.truncated) ? "true" : "false";
+    out += ",\"truncated\":";
+    out += c.truncated ? "true" : "false";
+    out += ",\"reason\":\"";
+    out += serve::StopReasonName(c.reason);
+    out += '"';
+    if (c.failed) {
+      out += ",\"error\":\"";
+      obs::AppendJsonEscaped(c.status.ToString(), &out);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+std::vector<ShardCoverage> MergeStream::Coverage() const {
+  std::vector<ShardCoverage> coverage;
+  coverage.reserve(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    ShardCoverage c = sources_[i]->Coverage();
+    c.answers = state_[i].answers;
+    if (state_[i].forced_failure) {
+      c.failed = true;
+      c.status = *state_[i].forced_failure;
+    }
+    coverage.push_back(std::move(c));
+  }
+  return coverage;
+}
+
+}  // namespace tms::dist

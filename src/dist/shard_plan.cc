@@ -1,0 +1,34 @@
+#include "dist/shard_plan.h"
+
+#include <utility>
+
+namespace tms::dist {
+
+std::vector<ShardRange> PlanShards(const std::vector<std::string>& keys,
+                                   int shards) {
+  if (shards < 1) shards = 1;
+  std::vector<ShardRange> plan(shards);
+  const size_t base = keys.size() / shards;
+  const size_t extra = keys.size() % shards;
+  size_t next = 0;
+  for (int s = 0; s < shards; ++s) {
+    plan[s].shard_id = s;
+    const size_t take = base + (static_cast<size_t>(s) < extra ? 1 : 0);
+    for (size_t i = 0; i < take; ++i) plan[s].keys.push_back(keys[next++]);
+  }
+  return plan;
+}
+
+StatusOr<db::SequenceCollection> BuildShard(
+    const db::SequenceCollection& collection, const ShardRange& range) {
+  db::SequenceCollection shard(collection.nodes());
+  for (const std::string& key : range.keys) {
+    auto mu = collection.Get(key);
+    if (!mu.ok()) return mu.status();
+    Status inserted = shard.Insert(key, **mu);
+    if (!inserted.ok()) return inserted;
+  }
+  return shard;
+}
+
+}  // namespace tms::dist

@@ -1,0 +1,43 @@
+// Shard planning — how a SequenceCollection is split across workers
+// (docs/DISTRIBUTED.md).
+//
+// Shards are contiguous ranges of the collection's sorted key order
+// (range sharding): shard 0 gets the lexicographically smallest keys.
+// Sizes are balanced to within one key — the first size % shards shards
+// get one extra. Contiguity is what makes the sharded merge order
+// independent of the shard count: keys are unique across shards, so the
+// global comparator (score desc, key asc) never needs a shard id to
+// break a tie, and the merged stream is byte-identical for any N.
+
+#ifndef TMS_DIST_SHARD_PLAN_H_
+#define TMS_DIST_SHARD_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/collection.h"
+
+namespace tms::dist {
+
+/// One shard's contiguous slice of the sorted key order.
+struct ShardRange {
+  int shard_id = 0;
+  std::vector<std::string> keys;  // sorted, possibly empty
+};
+
+/// Splits `keys` (already sorted — SequenceCollection::Keys() order) into
+/// `shards` contiguous balanced ranges. Empty ranges are legal (more
+/// shards than keys). `shards` must be >= 1.
+std::vector<ShardRange> PlanShards(const std::vector<std::string>& keys,
+                                   int shards);
+
+/// Materializes one shard as its own SequenceCollection (sequences are
+/// copied; transition steps are shared, so this is cheap). Keys missing
+/// from `collection` are an error.
+StatusOr<db::SequenceCollection> BuildShard(
+    const db::SequenceCollection& collection, const ShardRange& range);
+
+}  // namespace tms::dist
+
+#endif  // TMS_DIST_SHARD_PLAN_H_

@@ -2,6 +2,8 @@
 
 #if TMS_FAULTS_ACTIVE
 
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "obs/obs.h"
@@ -95,6 +97,77 @@ void FaultInjector::ScheduleCallback(const std::string& point,
   a.nth_hit = nth_hit;
   a.fn = std::move(fn);
   AddAction(point, std::move(a));
+}
+
+Status FaultInjector::ArmFromSpec(std::string_view spec) {
+  while (!spec.empty()) {
+    const size_t semi = spec.find(';');
+    std::string_view clause =
+        semi == std::string_view::npos ? spec : spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view()
+                                          : spec.substr(semi + 1);
+    if (clause.empty()) continue;
+    const size_t c1 = clause.find(':');
+    const size_t c2 = c1 == std::string_view::npos
+                          ? std::string_view::npos
+                          : clause.find(':', c1 + 1);
+    if (c2 == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec clause needs point:kind:nth: '" +
+                                     std::string(clause) + "'");
+    }
+    const std::string point(clause.substr(0, c1));
+    const std::string_view kind = clause.substr(c1 + 1, c2 - c1 - 1);
+    const std::string_view nth_text = clause.substr(c2 + 1);
+    int64_t nth = 0;
+    if (nth_text.empty()) {
+      return Status::InvalidArgument("fault spec clause missing nth: '" +
+                                     std::string(clause) + "'");
+    }
+    for (char c : nth_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad nth in fault spec clause '" +
+                                       std::string(clause) + "'");
+      }
+      nth = nth * 10 + (c - '0');
+    }
+    if (point.empty()) {
+      return Status::InvalidArgument("empty point in fault spec clause '" +
+                                     std::string(clause) + "'");
+    }
+    if (kind == "fail") {
+      ScheduleFailure(point, nth);
+    } else if (kind == "exit") {
+      // A worker "crash": no atexit, no stream flush — whatever chunk was
+      // in flight is simply cut. Exit code 17 so harnesses can tell an
+      // injected crash from a real one.
+      ScheduleCallback(point, nth, [](int64_t) { std::_Exit(17); });
+    } else if (kind.substr(0, 5) == "delay" && kind.size() > 7 &&
+               kind.substr(kind.size() - 2) == "ms") {
+      int64_t ms = 0;
+      for (char c : kind.substr(5, kind.size() - 7)) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("bad delay in fault spec clause '" +
+                                         std::string(clause) + "'");
+        }
+        ms = ms * 10 + (c - '0');
+      }
+      ScheduleDelay(point, nth, std::chrono::milliseconds(ms));
+    } else {
+      return Status::InvalidArgument("unknown kind in fault spec clause '" +
+                                     std::string(clause) + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("TMS_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return;
+  Status armed = ArmFromSpec(spec);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "TMS_FAULT_INJECT ignored: %s\n",
+                 armed.ToString().c_str());
+  }
 }
 
 void FaultInjector::Arm() { armed_.store(true, std::memory_order_release); }

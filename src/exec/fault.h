@@ -47,8 +47,10 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "exec/run_context.h"
 
 /// True iff an armed injector scheduled a simulated resource failure for
@@ -82,6 +84,24 @@ class FaultInjector {
   void ScheduleFailure(const std::string& point, int64_t nth_hit);
   void ScheduleCallback(const std::string& point, int64_t nth_hit,
                         std::function<void(int64_t)> fn);
+
+  /// Schedules faults from a spec string — `point:kind:nth` clauses
+  /// separated by ';', with kind one of
+  ///   * `fail`       — a simulated resource failure (ScheduleFailure),
+  ///   * `exit`       — std::_Exit(17) at the hit: the process dies like
+  ///                    a crashed worker, atexit/flush skipped, so an
+  ///                    in-flight chunked stream is cut mid-answer
+  ///                    (tools/dist_smoke.sh kills a shard this way),
+  ///   * `delay<ms>ms`— sleep, e.g. `delay50ms`.
+  /// `nth` is the 1-based hit number (0 = every hit). Example:
+  ///   "dist.mid_stream:exit:2;batch.pre_sequence:fail:1"
+  Status ArmFromSpec(std::string_view spec);
+
+  /// ArmFromSpec(getenv("TMS_FAULT_INJECT")) — a no-op when the variable
+  /// is unset or empty; a bad spec is reported on stderr and otherwise
+  /// ignored. Long-lived processes (tms_server) call this at startup so
+  /// end-to-end fault drills need no test hook.
+  void ArmFromEnv();
 
   /// Arms hit counting without scheduling anything — used to discover
   /// which points a workload passes (the fault-point catalog test).

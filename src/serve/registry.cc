@@ -1,5 +1,6 @@
 #include "serve/registry.h"
 
+#include "io/binary_format.h"
 #include "io/text_format.h"
 #include "optimize/artifact.h"
 #include "optimize/transducer_opt.h"
@@ -10,9 +11,10 @@ StatusOr<ModelRegistry> ModelRegistry::Load(
     const std::vector<std::pair<std::string, std::string>>& specs) {
   ModelRegistry registry;
   for (const auto& [name, path] : specs) {
-    auto text = io::ReadFile(path);
-    if (!text.ok()) return text.status();
-    auto mu = io::ParseMarkovSequence(*text);
+    // Cold-start fast path: a fingerprint-valid `<path>.tmsb` snapshot
+    // skips the text parse; anything stale or corrupt is rejected loudly
+    // and the text file stays authoritative (io/binary_format.h).
+    auto mu = io::LoadMarkovSequenceFile(path, /*refresh_snapshot=*/true);
     if (!mu.ok()) {
       return Status::InvalidArgument("model '" + name + "' (" + path +
                                      "): " + mu.status().ToString());

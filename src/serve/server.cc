@@ -12,6 +12,10 @@
 #include <utility>
 
 #include "common/parse.h"
+#include "db/batch_evaluator.h"
+#include "db/collection.h"
+#include "dist/sharded_batch.h"
+#include "exec/fault.h"
 #include "io/text_format.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -59,6 +63,7 @@ struct QueryParams {
   kernels::BackendChoice backend = kernels::BackendChoice::kAuto;
   optimize::Level optimize = optimize::Level::kAuto;
   std::string precompiled;  // registry-precompiled query name; "" = body
+  int64_t shard = 0;        // shard label; only /batch reads it
 };
 
 // Returns a 400 message, or "" on success.
@@ -101,6 +106,10 @@ std::string ParseParams(const std::string& query,
     } else if (name == "precompiled") {
       if (value.empty()) return "precompiled must name a query";
       out->precompiled = value;
+    } else if (name == "shard") {
+      if (!ParseNonNegInt64(value, &out->shard)) {
+        return "shard must be a nonnegative integer, got '" + value + "'";
+      }
     } else if (name == "mode") {
       if (value == "enum") {
         out->enum_mode = true;
@@ -329,6 +338,14 @@ void HttpServer::HandleConnection(int fd) {
                 request.path.substr(kQueryPrefix.size()));
     return;
   }
+  if (request.path == "/batch") {
+    if (request.method != "POST") {
+      SendJsonError(fd, 405, "batch is POST-only");
+      return;
+    }
+    HandleBatch(fd, &reader, request);
+    return;
+  }
   SendJsonError(fd, 404, "no such endpoint: " + request.path);
 }
 
@@ -511,6 +528,157 @@ void HttpServer::HandleQuery(int fd, RequestReader* reader,
     footer += "\",";
   }
   footer += "\"exec\":";
+  footer += ExecJson(run.status(), run.stop_reason(), run.answers_emitted(),
+                     run.work_charged());
+  footer += "}\n";
+  if (writer.WriteChunk(footer)) writer.Finish();
+}
+
+void HttpServer::HandleBatch(int fd, RequestReader* reader,
+                             const HttpRequest& request) {
+  // The worker half of the dist protocol (docs/DISTRIBUTED.md): this
+  // server's registry IS its shard of the collection. Admission shares
+  // the /query gate — a batch counts as one in-flight query.
+  GateGuard gate(&gate_);
+  if (!gate.admitted()) {
+    SendJsonError(fd, 429,
+                  "batch rejected: " + std::to_string(gate_.max_inflight()) +
+                      " queries already in flight",
+                  "Retry-After: 1\r\n");
+    return;
+  }
+
+  HttpRequest req = request;
+  Status st = reader->ReadBody(&req);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kInvalidArgument) {
+      SendJsonError(fd, 400, st.message());
+    } else if (st.code() == StatusCode::kOutOfRange) {
+      SendJsonError(fd, 413, st.message());
+    }
+    return;
+  }
+
+  QueryParams params;
+  std::string error = ParseParams(req.query, options_.backend,
+                                  options_.optimize, &params);
+  if (!error.empty()) {
+    SendJsonError(fd, 400, error);
+    return;
+  }
+  if (params.enum_mode) {
+    SendJsonError(fd, 400, "batch is ranked-only (mode=enum unsupported)");
+    return;
+  }
+  if (!params.precompiled.empty()) {
+    SendJsonError(fd, 400, "batch does not take precompiled queries");
+    return;
+  }
+  ParsedQuery query;
+  error = ParseQueryBody(req.body, &query);
+  if (!error.empty()) {
+    SendJsonError(fd, 400, error);
+    return;
+  }
+  transducer::Transducer t = query.transducer.has_value()
+                                 ? std::move(*query.transducer)
+                                 : query.sprojector->ToTransducer();
+
+  // The shard: every registered model, keyed by model name. The batch
+  // layer requires one common alphabet; a mixed registry is a 400, not a
+  // crash.
+  const std::vector<std::string> names = registry_.Names();
+  db::SequenceCollection collection(
+      names.empty() ? t.input_alphabet()
+                    : registry_.Find(names.front())->nodes());
+  for (const std::string& name : names) {
+    Status inserted = collection.Insert(name, *registry_.Find(name));
+    if (!inserted.ok()) {
+      SendJsonError(fd, 400, "model '" + name + "': " + inserted.ToString());
+      return;
+    }
+  }
+
+  obs::QueryScope scope("serve.batch");
+  exec::RunContext run;
+  run.set_cancel_token(drain_);
+  if (params.deadline_ms >= 0) run.set_deadline_after_ms(params.deadline_ms);
+  if (params.max_answers >= 0) run.set_max_answers(params.max_answers);
+  if (params.budget >= 0) run.set_work_budget(params.budget);
+
+  db::BatchEvaluator::Options batch_options;
+  batch_options.pool = pool_.get();
+  batch_options.run = &run;
+  batch_options.backend = params.backend;
+  batch_options.optimize = params.optimize;
+  auto batch = db::BatchEvaluator::Create(&collection, &t, batch_options);
+  if (!batch.ok()) {
+    SendJsonError(fd, 400, batch.status().ToString());
+    return;
+  }
+  std::vector<db::BatchEvaluator::SequenceResult> results =
+      batch->EvaluateAll(params.k);
+
+  // Per-shard coverage, the shard's own account for the merged footer.
+  int64_t failed_sequences = 0;
+  bool truncated = false;
+  exec::StopReason reason = exec::StopReason::kNone;
+  for (const db::BatchEvaluator::SequenceResult& r : results) {
+    if (!r.status.ok()) ++failed_sequences;
+    if (r.truncated && !truncated) {
+      truncated = true;
+      reason = r.reason;
+    }
+  }
+
+  TMS_OBS_COUNT("serve.http.200", 1);
+  TMS_OBS_COUNT("dist.worker.batches", 1);
+  std::string head = ChunkedResponseHead(
+      200, "application/x-ndjson",
+      "X-Query-Id: " + std::to_string(scope.query_id()) + "\r\n");
+  if (!SendAll(fd, head)) return;
+  ChunkedWriter writer(fd);
+
+  // Batch-then-stream: ranking is global over the shard, so the first
+  // row can only be known once every sequence has evaluated. Rows are
+  // byte-identical to `tms_cli batch --shards` by shared serializer.
+  bool client_alive = true;
+  for (const dist::RankedRow& row : dist::RankedReferenceRows(results)) {
+    if (TMS_FAULT_POINT("dist.mid_stream")) {
+      // An armed `exit` action never returns; a `fail` action simulates
+      // the worker dying here — cut the stream without a footer, exactly
+      // what the coordinator's straggler path expects.
+      TMS_OBS_COUNT("dist.worker.stream_faults", 1);
+      return;
+    }
+    std::string line;
+    AppendBatchRowJson(row.key,
+                       FormatStr(t.output_alphabet(), row.answer.output),
+                       row.answer.emax, row.answer.confidence, &line);
+    line += '\n';
+    client_alive = writer.WriteChunk(line);
+    if (!client_alive) break;
+    TMS_OBS_COUNT("dist.worker.rows_streamed", 1);
+  }
+  if (!client_alive) {
+    TMS_OBS_COUNT("serve.client_disconnects", 1);
+    return;
+  }
+
+  // Fold any shared limit that fired inside sequence children into the
+  // parent run before reporting it.
+  (void)run.StopRequested();
+  std::string footer = "{\"done\":true,\"shard\":";
+  footer += std::to_string(params.shard);
+  footer += ",\"coverage\":{\"sequences\":";
+  footer += std::to_string(results.size());
+  footer += ",\"failed_sequences\":";
+  footer += std::to_string(failed_sequences);
+  footer += ",\"truncated\":";
+  footer += truncated ? "true" : "false";
+  footer += ",\"reason\":\"";
+  footer += StopReasonName(reason);
+  footer += "\"},\"exec\":";
   footer += ExecJson(run.status(), run.stop_reason(), run.answers_emitted(),
                      run.work_charged());
   footer += "}\n";

@@ -23,6 +23,18 @@
 //                 backend=dense|sparse|auto, optimize=off|auto|on,
 //                 precompiled=<name> (registry-precompiled query, body
 //                 must be empty; see serve/registry.h)
+//   POST /batch             -> the worker half of the dist protocol
+//                              (docs/DISTRIBUTED.md): evaluates the body
+//                              query against EVERY registered model (this
+//                              worker's shard) and streams the globally
+//                              ranked rows — one key-tagged NDJSON line
+//                              per answer (serve::AppendBatchRowJson),
+//                              nonincreasing in emax — then a footer
+//                              {"done":true,"shard":S,"coverage":{...},
+//                              "exec":{...}}. Same parameters as /query
+//                              (k and max_answers apply per sequence;
+//                              deadline/budget bound the whole shard)
+//                              plus shard=<id>, echoed in the footer.
 //
 // Execution model: every admitted query runs on its own connection thread
 // under its own obs::QueryScope (request-scoped metrics, trace
@@ -117,6 +129,7 @@ class HttpServer {
   void HandleConnection(int fd);
   void HandleQuery(int fd, RequestReader* reader, const HttpRequest& request,
                    const std::string& model_name);
+  void HandleBatch(int fd, RequestReader* reader, const HttpRequest& request);
   // Joins connection threads that have announced completion.
   void ReapFinished();
   bool stopping() const { return stopping_.load(std::memory_order_acquire); }

@@ -45,4 +45,14 @@ void AppendAnswerJson(const std::string& answer, const char* score_key,
   *out += '}';
 }
 
+void AppendBatchRowJson(const std::string& key, const std::string& answer,
+                        double emax, double confidence, std::string* out) {
+  *out += "{\"key\":\"";
+  obs::AppendJsonEscaped(key, out);
+  *out += "\",";
+  std::string answer_json;
+  AppendAnswerJson(answer, "emax", emax, confidence, &answer_json);
+  out->append(answer_json, 1, std::string::npos);  // splice past its '{'
+}
+
 }  // namespace tms::serve

@@ -17,6 +17,7 @@
 #include "db/collection.h"
 #include "exec/fault.h"
 #include "exec/run_context.h"
+#include "obs/metrics.h"
 #include "test_util.h"
 #include "workload/random_models.h"
 
@@ -124,6 +125,63 @@ TEST_F(BatchEdgeTest, OneFailingSequenceDoesNotAbortTheBatch) {
       EXPECT_EQ(got[i].answers[j].emax, want[i].answers[j].emax);
     }
   }
+}
+
+TEST_F(BatchEdgeTest, FirstSequenceFailureLeavesTheRestAndTheCacheIntact) {
+  // The very first sequence failing is the adversarial spot for the
+  // status-isolation contract: every later sequence rides the shared
+  // CompositionCache that the victim helped warm on the previous run,
+  // and the merge must not assume index 0 succeeded.
+  obs::SetEnabled(true);
+  Rng rng(4507);
+  db::SequenceCollection collection = SmallCollection(rng, 4);
+  transducer::Transducer t = CopyQuery(collection.nodes(), rng);
+  db::BatchEvaluator::Options options;
+  options.threads = 1;  // deterministic hit order: key order
+  auto batch = db::BatchEvaluator::Create(&collection, &t, options);
+  ASSERT_TRUE(batch.ok());
+
+  // Clean run: warms the batch's shared composition cache.
+  std::vector<db::BatchEvaluator::SequenceResult> want = batch->EvaluateAll(3);
+  ASSERT_EQ(want.size(), 4u);
+  for (const auto& r : want) ASSERT_TRUE(r.status.ok());
+
+#if TMS_OBS_ACTIVE
+  const int64_t hits_before =
+      obs::Registry::Global().counter("cache.hits").value();
+  const int64_t misses_before =
+      obs::Registry::Global().counter("cache.misses").value();
+#endif
+
+  // With threads=1 the first hit is the first key: "seq-0" is the victim.
+  exec::FaultInjector::Global().ScheduleFailure("batch.pre_sequence",
+                                                /*nth_hit=*/1);
+  std::vector<db::BatchEvaluator::SequenceResult> got = batch->EvaluateAll(3);
+  exec::FaultInjector::Global().Reset();
+
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].key, "seq-0");
+  EXPECT_EQ(got[0].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(got[0].answers.empty());
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key);
+    EXPECT_TRUE(got[i].status.ok()) << got[i].status;
+    ASSERT_EQ(got[i].answers.size(), want[i].answers.size());
+    for (size_t j = 0; j < got[i].answers.size(); ++j) {
+      EXPECT_EQ(got[i].answers[j].output, want[i].answers[j].output);
+      EXPECT_EQ(got[i].answers[j].emax, want[i].answers[j].emax);
+    }
+  }
+
+#if TMS_OBS_ACTIVE
+  // The survivors reused the warm cache: hits grew, nothing was
+  // recomputed. A miss here would mean the failure path invalidated or
+  // bypassed shared state.
+  EXPECT_GT(obs::Registry::Global().counter("cache.hits").value(),
+            hits_before);
+  EXPECT_EQ(obs::Registry::Global().counter("cache.misses").value(),
+            misses_before);
+#endif
 }
 
 TEST_F(BatchEdgeTest, SharedBudgetTruncatesLaterSequencesNotTheBatch) {

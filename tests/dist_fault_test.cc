@@ -1,0 +1,248 @@
+// Straggler and fault drills for the sharded batch path (docs/DISTRIBUTED.md
+// + docs/ROBUSTNESS.md): a shard that dies before evaluating
+// (`dist.pre_shard`) or mid-stream (`dist.mid_stream`) contributes a clean
+// prefix, the survivors' rows keep their exact global order, and the
+// coverage vector reports precisely what was lost. Plus the
+// TMS_FAULT_INJECT spec parser (exec::FaultInjector::ArmFromSpec) that
+// tools/dist_smoke.sh drives end to end.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/batch_evaluator.h"
+#include "db/collection.h"
+#include "dist/client.h"
+#include "dist/merge_stream.h"
+#include "dist/shard_plan.h"
+#include "dist/sharded_batch.h"
+#include "exec/fault.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "transducer/transducer.h"
+#include "workload/random_models.h"
+
+namespace tms {
+namespace {
+
+using testing::SeedTrace;
+using testing::TestSeed;
+
+class DistFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    exec::FaultInjector::Global().Reset();
+    Rng rng(TestSeed(20260812));
+    // RandomMarkovSequence interns its nodes under the "n" prefix; the
+    // collection's alphabet must match or Insert rejects the sequence.
+    alphabet_ = workload::MakeSymbols(4, "n");
+    collection_ = db::SequenceCollection(alphabet_);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(collection_
+                      .Insert("seq" + std::to_string(i),
+                              workload::RandomMarkovSequence(4, 4, 3, rng))
+                      .ok());
+    }
+    // The identity transducer guarantees every sequence a full top-k
+    // stream (one answer per world), so the nth mid-stream hit always has
+    // an entry to kill — no seed can make the drill vacuous.
+    query_ = transducer::Transducer(alphabet_, alphabet_, /*num_states=*/1);
+    query_.SetInitial(0);
+    query_.SetAccepting(0);
+    for (Symbol s = 0; s < static_cast<Symbol>(alphabet_.size()); ++s) {
+      ASSERT_TRUE(query_.AddTransition(0, s, 0, Str{s}).ok());
+    }
+  }
+
+  void TearDown() override { exec::FaultInjector::Global().Reset(); }
+
+  std::vector<dist::RankedRow> Reference(int k) {
+    db::BatchEvaluator::Options options;
+    auto batch = db::BatchEvaluator::Create(&collection_, &query_, options);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+    return dist::RankedReferenceRows(batch->EvaluateAll(k));
+  }
+
+  static std::vector<std::pair<std::string, double>> Flatten(
+      const std::vector<dist::RankedRow>& rows) {
+    std::vector<std::pair<std::string, double>> out;
+    for (const dist::RankedRow& r : rows) {
+      out.emplace_back(r.key, r.answer.emax);
+    }
+    return out;
+  }
+
+  Alphabet alphabet_;
+  db::SequenceCollection collection_{Alphabet()};
+  transducer::Transducer query_{Alphabet(), Alphabet()};
+};
+
+TEST_F(DistFaultTest, PreShardFaultLosesExactlyThatShard) {
+  const int k = 3;
+  const std::vector<dist::RankedRow> reference = Reference(k);
+  ASSERT_FALSE(reference.empty());
+  const std::vector<dist::ShardRange> plan =
+      dist::PlanShards(collection_.Keys(), 3);
+
+  // The first shard to evaluate dies before producing anything.
+  exec::FaultInjector::Global().ScheduleFailure("dist.pre_shard",
+                                                /*nth_hit=*/1);
+  dist::ShardedBatchOptions options;
+  options.shards = 3;
+  auto sharded = dist::EvaluateSharded(collection_, query_, k, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_FALSE(sharded->complete());
+
+  ASSERT_EQ(sharded->coverage.size(), 3u);
+  EXPECT_TRUE(sharded->coverage[0].failed);
+  EXPECT_FALSE(sharded->coverage[0].status.ok());
+  EXPECT_EQ(sharded->coverage[0].answers, 0);
+  EXPECT_FALSE(sharded->coverage[1].failed);
+  EXPECT_FALSE(sharded->coverage[2].failed);
+
+  // Expected: the reference stream minus shard 0's keys, order untouched.
+  std::vector<dist::RankedRow> expected;
+  for (const dist::RankedRow& row : reference) {
+    if (std::find(plan[0].keys.begin(), plan[0].keys.end(), row.key) ==
+        plan[0].keys.end()) {
+      expected.push_back(row);
+    }
+  }
+  EXPECT_EQ(Flatten(sharded->rows), Flatten(expected));
+}
+
+TEST_F(DistFaultTest, MidStreamFaultKeepsPerShardCleanPrefixes) {
+  const int k = 3;
+  const std::vector<dist::RankedRow> reference = Reference(k);
+  const std::vector<dist::ShardRange> plan =
+      dist::PlanShards(collection_.Keys(), 2);
+
+  // Per-shard reference streams: the reference restricted to each range.
+  std::vector<std::vector<std::pair<std::string, double>>> per_shard(2);
+  for (const dist::RankedRow& row : reference) {
+    const bool in0 = std::find(plan[0].keys.begin(), plan[0].keys.end(),
+                               row.key) != plan[0].keys.end();
+    per_shard[in0 ? 0 : 1].emplace_back(row.key, row.answer.emax);
+  }
+
+  // Kill one stream a few entries in. Which stream dies depends on merge
+  // pull order — the contract under test is the clean-prefix property,
+  // not which victim the nth hit lands on.
+  exec::FaultInjector::Global().ScheduleFailure("dist.mid_stream",
+                                                /*nth_hit=*/4);
+  dist::ShardedBatchOptions options;
+  options.shards = 2;
+  auto sharded = dist::EvaluateSharded(collection_, query_, k, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_FALSE(sharded->complete());
+
+  int failed_shards = 0;
+  int64_t merged = 0;
+  for (size_t s = 0; s < sharded->coverage.size(); ++s) {
+    const dist::ShardCoverage& c = sharded->coverage[s];
+    merged += c.answers;
+    // Each shard's merged rows are a prefix of its reference stream —
+    // the full stream for survivors, a proper one for the victim.
+    std::vector<std::pair<std::string, double>> got;
+    for (const dist::RankedRow& row : sharded->rows) {
+      const bool in_s = std::find(plan[s].keys.begin(), plan[s].keys.end(),
+                                  row.key) != plan[s].keys.end();
+      if (in_s) got.emplace_back(row.key, row.answer.emax);
+    }
+    ASSERT_LE(got.size(), per_shard[s].size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), per_shard[s].begin()))
+        << "shard " << s << " rows are not a clean prefix";
+    if (c.failed) {
+      ++failed_shards;
+      EXPECT_LT(got.size(), per_shard[s].size());
+    } else {
+      EXPECT_EQ(got.size(), per_shard[s].size());
+    }
+    EXPECT_EQ(static_cast<size_t>(c.answers), got.size());
+  }
+  EXPECT_EQ(failed_shards, 1);
+  EXPECT_EQ(merged, static_cast<int64_t>(sharded->rows.size()));
+
+  // The merged stream itself still obeys the global order.
+  for (size_t i = 1; i < sharded->rows.size(); ++i) {
+    const dist::RankedRow& a = sharded->rows[i - 1];
+    const dist::RankedRow& b = sharded->rows[i];
+    EXPECT_TRUE(a.answer.emax > b.answer.emax ||
+                (a.answer.emax == b.answer.emax && a.key <= b.key))
+        << "merged rows out of order at " << i;
+  }
+}
+
+TEST_F(DistFaultTest, EveryHitFaultKillsEveryShardButNeverCrashes) {
+  exec::FaultInjector::Global().ScheduleFailure("dist.pre_shard",
+                                                /*nth_hit=*/0);
+  dist::ShardedBatchOptions options;
+  options.shards = 4;
+  auto sharded = dist::EvaluateSharded(collection_, query_, 3, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_TRUE(sharded->rows.empty());
+  for (const dist::ShardCoverage& c : sharded->coverage) {
+    EXPECT_TRUE(c.failed);
+    EXPECT_EQ(c.answers, 0);
+  }
+}
+
+TEST_F(DistFaultTest, BornFailedRemoteSourceIsAnEmptyCleanPrefix) {
+  auto source = std::make_unique<dist::RemoteShardSource>(
+      7, Status::Internal("connect refused"));
+  EXPECT_FALSE(source->Next().has_value());
+  dist::ShardCoverage coverage = source->Coverage();
+  EXPECT_EQ(coverage.shard_id, 7);
+  EXPECT_TRUE(coverage.failed);
+  EXPECT_FALSE(coverage.status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// The TMS_FAULT_INJECT spec parser.
+
+class ArmFromSpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { exec::FaultInjector::Global().Reset(); }
+  void TearDown() override { exec::FaultInjector::Global().Reset(); }
+};
+
+TEST_F(ArmFromSpecTest, FailClauseFiresAtTheNthHit) {
+  ASSERT_TRUE(
+      exec::FaultInjector::Global().ArmFromSpec("my.point:fail:2").ok());
+  EXPECT_FALSE(TMS_FAULT_POINT("my.point"));
+  EXPECT_TRUE(TMS_FAULT_POINT("my.point"));
+  EXPECT_FALSE(TMS_FAULT_POINT("my.point"));
+}
+
+TEST_F(ArmFromSpecTest, MultipleClausesArmIndependently) {
+  ASSERT_TRUE(exec::FaultInjector::Global()
+                  .ArmFromSpec("a.point:fail:1;b.point:fail:1")
+                  .ok());
+  EXPECT_TRUE(TMS_FAULT_POINT("a.point"));
+  EXPECT_TRUE(TMS_FAULT_POINT("b.point"));
+}
+
+TEST_F(ArmFromSpecTest, DelayClauseParsesAndDoesNotFail) {
+  ASSERT_TRUE(
+      exec::FaultInjector::Global().ArmFromSpec("d.point:delay1ms:1").ok());
+  EXPECT_FALSE(TMS_FAULT_POINT("d.point"));
+}
+
+TEST_F(ArmFromSpecTest, MalformedSpecsAreRejected) {
+  auto& injector = exec::FaultInjector::Global();
+  EXPECT_FALSE(injector.ArmFromSpec("no-colons").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("point:fail").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("point:explode:1").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("point:fail:abc").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("point:delayxms:1").ok());
+  // Empty specs and empty clauses are no-ops, not errors — a bare or
+  // trailing ';' in TMS_FAULT_INJECT must not kill the process.
+  EXPECT_TRUE(injector.ArmFromSpec("").ok());
+  EXPECT_TRUE(injector.ArmFromSpec("ok.point:fail:1;;").ok());
+}
+
+}  // namespace
+}  // namespace tms

@@ -18,10 +18,14 @@
 #              (ephemeral-port tms_server: healthz, /metrics parse, one
 #              streamed query byte-compared against tms_cli, clean
 #              SIGTERM drain)
-#   6. bench:  enumeration + kernel bench reports
+#   6. dist:   `ctest -L dist` in the default build — the shard-equivalence
+#              + fault suites plus the dist_smoke end-to-end script
+#              (real workers on ephemeral ports, topology byte-identity,
+#              an injected mid-stream crash, a dead worker)
+#   7. bench:  enumeration + kernel bench reports
 #              (BENCH_enumeration_delay.json, BENCH_enumeration_emax.json,
 #              BENCH_twostep_vs_ranked.json, BENCH_sparse_scaling.json,
-#              BENCH_optimize.json)
+#              BENCH_optimize.json, BENCH_shard_merge.json)
 #              emitted to build/bench-json/ and checked non-empty, plus the
 #              per-query explain sidecar
 #              (BENCH_enumeration_delay_explain.json); set
@@ -29,8 +33,8 @@
 #
 # Build trees are reused across runs (build/, build-asan/, build-tsan/,
 # build-off/ under the repo root), so incremental invocations are cheap.
-# Pass a stage name (tier1 | asan | tsan | off | serve | bench) to run
-# just that stage; default is all six.
+# Pass a stage name (tier1 | asan | tsan | off | serve | dist | bench) to
+# run just that stage; default is all seven.
 #
 #   tools/ci_verify.sh            # everything
 #   tools/ci_verify.sh tsan       # just the TSan stage
@@ -74,12 +78,17 @@ case "$STAGE" in
     echo "==> [tier1] ctest -L optimize (must be non-empty)"
     (cd "$ROOT/build" &&
      ctest --output-on-failure -j "$JOBS" -L optimize --no-tests=error)
+    # And the dist label: the shard-equivalence harness is the acceptance
+    # test of the scatter/gather path.
+    echo "==> [tier1] ctest -L dist (must be non-empty)"
+    (cd "$ROOT/build" &&
+     ctest --output-on-failure -j "$JOBS" -L dist --no-tests=error)
     ;;
 esac
 case "$STAGE" in
   asan|all)
     run_stage asan "$ROOT/build-asan" \
-      -L "robustness|concurrency|serve|optimize" -- \
+      -L "robustness|concurrency|serve|optimize|dist" -- \
       -DTMS_SANITIZE=address,undefined
     ;;
 esac
@@ -108,9 +117,19 @@ case "$STAGE" in
     ;;
 esac
 case "$STAGE" in
+  dist|all)
+    # The sharded batch path end to end in the default build: the
+    # differential shard-equivalence + fault suites plus the dist_smoke
+    # script (real workers, topology byte-identity, injected mid-stream
+    # crash, dead worker).
+    run_stage dist "$ROOT/build" -L dist --no-tests=error --
+    ;;
+esac
+case "$STAGE" in
   bench|all)
     BENCHES="bench_enumeration_delay bench_enumeration_emax \
-             bench_twostep_vs_ranked bench_sparse_scaling bench_optimize"
+             bench_twostep_vs_ranked bench_sparse_scaling bench_optimize \
+             bench_shard_merge"
     echo "==> [bench] configure + build ($ROOT/build)"
     cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
     # shellcheck disable=SC2086
@@ -134,9 +153,9 @@ case "$STAGE" in
     ;;
 esac
 case "$STAGE" in
-  tier1|asan|tsan|off|serve|bench|all) ;;
+  tier1|asan|tsan|off|serve|dist|bench|all) ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|off|serve|bench|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|off|serve|dist|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,167 @@
+#!/bin/sh
+# End-to-end smoke test for the scatter/gather path (docs/DISTRIBUTED.md),
+# run by the `dist` stage of tools/ci_verify.sh and registered as the
+# `dist_smoke` ctest:
+#
+#   1. start three single-model workers plus one worker holding all three
+#      models; `tms_cli dist` against the 3-worker topology must produce
+#      row bytes identical to the 1-worker topology (shard-count
+#      independence, end to end over real sockets);
+#   2. restart one worker with TMS_FAULT_INJECT="dist.mid_stream:exit:2"
+#      so it crashes (std::_Exit, no flush) while streaming its second
+#      row: the merge must keep that shard's clean one-row prefix, the
+#      survivors' full streams, and the {"done":true,...} footer must
+#      report exactly that shard as failed with accurate per-shard answer
+#      counts;
+#   3. a worker killed with SIGKILL *before* the query degrades coverage
+#      the same way — the coordinator exits 0 with the survivors' rows.
+#
+#   tools/dist_smoke.sh <tms_server-binary> <tms_cli-binary> <data-dir>
+set -eu
+
+SERVER="$1"
+CLI="$2"
+DATA="$3"
+
+WORK=$(mktemp -d)
+PIDS=""
+cleanup() {
+  status=$?
+  for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+  exit $status
+}
+trap cleanup EXIT INT TERM
+
+# Three models that shard across workers: copies of the sample hospital
+# model under distinct names, so every worker can answer the same query
+# and the merged keys are unambiguous.
+for m in a b c; do cp "$DATA/hospital.tms" "$WORK/$m.tms"; done
+QUERY="$DATA/place_tracker.tms"
+K=3
+
+# start_worker <port-file-suffix> [env VAR=VAL] -- model=path...
+start_worker() {
+  suffix="$1"; shift
+  env_assign=""
+  if [ "$1" != "--" ]; then env_assign="$1"; shift; fi
+  shift  # the --
+  if [ -n "$env_assign" ]; then
+    env "$env_assign" "$SERVER" --port-file="$WORK/port.$suffix" "$@" \
+      2>"$WORK/server.$suffix.log" &
+  else
+    "$SERVER" --port-file="$WORK/port.$suffix" "$@" \
+      2>"$WORK/server.$suffix.log" &
+  fi
+  PIDS="$PIDS $!"
+  eval "PID_$suffix=$!"
+}
+
+wait_port() {
+  suffix="$1"
+  tries=0
+  while [ ! -s "$WORK/port.$suffix" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || {
+      echo "worker $suffix never started" >&2
+      cat "$WORK/server.$suffix.log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  eval "PORT_$suffix=$(cat "$WORK/port.$suffix")"
+}
+
+start_worker all -- a="$WORK/a.tms" b="$WORK/b.tms" c="$WORK/c.tms"
+start_worker w1 -- a="$WORK/a.tms"
+start_worker w2 -- b="$WORK/b.tms"
+start_worker w3 -- c="$WORK/c.tms"
+wait_port all; wait_port w1; wait_port w2; wait_port w3
+echo "==> [dist] workers up: all=$PORT_all w1=$PORT_w1 w2=$PORT_w2 w3=$PORT_w3"
+
+echo "==> [dist] 3-worker merge is byte-identical to the 1-worker stream"
+"$CLI" dist "$QUERY" "$K" --workers="127.0.0.1:$PORT_all" \
+  >"$WORK/one.out" 2>"$WORK/one.err"
+"$CLI" dist "$QUERY" "$K" \
+  --workers="127.0.0.1:$PORT_w1,127.0.0.1:$PORT_w2,127.0.0.1:$PORT_w3" \
+  >"$WORK/three.out" 2>"$WORK/three.err"
+# The per-shard solo streams double as references for the fault drills.
+"$CLI" dist "$QUERY" "$K" --workers="127.0.0.1:$PORT_w2" >"$WORK/solo2.out"
+python3 - "$WORK/one.out" "$WORK/three.out" <<'EOF'
+import json, sys
+def load(path):
+    lines = [l for l in open(path).read().splitlines() if l]
+    footer = json.loads(lines[-1])
+    assert footer.get("done") is True, footer
+    return lines[:-1], footer
+one_rows, one_footer = load(sys.argv[1])
+three_rows, three_footer = load(sys.argv[2])
+assert one_rows, "no merged rows"
+assert one_rows == three_rows, (
+    f"row streams differ:\n1-worker: {one_rows}\n3-worker: {three_rows}")
+assert len(one_footer["shards"]) == 1 and len(three_footer["shards"]) == 3
+for c in one_footer["shards"] + three_footer["shards"]:
+    assert c["complete"] is True, c
+assert sum(c["answers"] for c in three_footer["shards"]) == len(three_rows)
+print(f"    {len(one_rows)} rows byte-identical across topologies")
+EOF
+
+echo "==> [dist] worker crashing mid-stream leaves a clean prefix + coverage"
+# Replace worker 2 with one armed to _Exit(17) while writing its 2nd row.
+eval "kill \$PID_w2" 2>/dev/null || true
+start_worker w2f "TMS_FAULT_INJECT=dist.mid_stream:exit:2" -- b="$WORK/b.tms"
+wait_port w2f
+"$CLI" dist "$QUERY" "$K" \
+  --workers="127.0.0.1:$PORT_w1,127.0.0.1:$PORT_w2f,127.0.0.1:$PORT_w3" \
+  >"$WORK/fault.out" 2>"$WORK/fault.err"
+python3 - "$WORK/fault.out" "$WORK/three.out" "$WORK/solo2.out" <<'EOF'
+import json, sys
+def load(path):
+    lines = [l for l in open(path).read().splitlines() if l]
+    return lines[:-1], json.loads(lines[-1])
+rows, footer = load(sys.argv[1])
+full_rows, _ = load(sys.argv[2])
+solo2_rows, _ = load(sys.argv[3])
+shards = footer["shards"]
+assert len(shards) == 3, footer
+assert shards[0]["complete"] and shards[2]["complete"], footer
+dead = shards[1]
+assert dead["complete"] is False and "error" in dead, dead
+# The crash hit while writing row 2: exactly the one-row clean prefix
+# survives, in its correct merged rank position.
+assert dead["answers"] == 1, dead
+got2 = [r for r in rows if json.loads(r)["key"] == "b"]
+assert got2 == solo2_rows[:1], (got2, solo2_rows[:1])
+# Survivors are untouched: dropping the dead shard's rows from the full
+# 3-worker stream must reproduce the survivors' merged order exactly.
+assert [r for r in rows if json.loads(r)["key"] != "b"] == \
+       [r for r in full_rows if json.loads(r)["key"] != "b"]
+assert sum(c["answers"] for c in shards) == len(rows)
+print(f"    clean prefix of 1 row kept, {len(rows)} rows total, "
+      f"footer error: {dead['error']!r}")
+EOF
+grep -q "shard 1 failed" "$WORK/fault.err" || {
+  echo "coordinator stderr missing the failed-shard note" >&2
+  cat "$WORK/fault.err" >&2
+  exit 1
+}
+
+echo "==> [dist] worker dead before the query degrades coverage, exit 0"
+eval "kill -9 \$PID_w3" 2>/dev/null || true
+eval "wait \$PID_w3" 2>/dev/null || true
+"$CLI" dist "$QUERY" "$K" \
+  --workers="127.0.0.1:$PORT_w1,127.0.0.1:$PORT_w3" \
+  >"$WORK/dead.out" 2>"$WORK/dead.err"
+python3 - "$WORK/dead.out" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+footer = json.loads(lines[-1])
+shards = footer["shards"]
+assert shards[0]["complete"] is True, shards
+assert shards[1]["complete"] is False and shards[1]["answers"] == 0, shards
+keys = {json.loads(r)["key"] for r in lines[:-1]}
+assert keys == {"a"}, keys
+print(f"    survivor kept {len(lines) - 1} rows; dead shard reported")
+EOF
+
+echo "==> [dist] smoke passed"

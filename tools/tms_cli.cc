@@ -12,7 +12,18 @@
 //       One query across many sequences (db::BatchEvaluator): per-sequence
 //       top-k answers by E_max, keyed by sequence file. With --threads=N
 //       the sequences are evaluated concurrently; output is identical at
-//       every thread count.
+//       every thread count. With --shards=N the collection is partitioned
+//       into N shards evaluated independently and k-way-merged back into
+//       ONE globally ranked stream (docs/DISTRIBUTED.md); the merged
+//       stream is byte-identical at every shard count (--shards=1 is the
+//       single-process reference ordering).
+//   tms_cli dist <query-file> <k> --workers=host:port[,host:port...]
+//       Scatter/gather across running tms_server workers: POSTs the query
+//       to every worker's /batch endpoint (worker i = shard i), k-way
+//       merges the ranked NDJSON streams, and prints the merged rows
+//       verbatim followed by a {"done":true,"shards":[...]} coverage
+//       footer. A dead or truncated worker degrades coverage, never the
+//       ordering of the surviving rows.
 //   tms_cli explain <sequence-file> <query-file> [k]
 //       EXPLAIN ANALYZE for a top-k run: executes the query under a
 //       per-query obs::QueryScope and prints the cost report (phase
@@ -82,6 +93,9 @@
 #include "common/parse.h"
 #include "db/batch_evaluator.h"
 #include "db/collection.h"
+#include "dist/client.h"
+#include "dist/coordinator.h"
+#include "dist/sharded_batch.h"
 #include "exec/run_context.h"
 #include "exec/thread_pool.h"
 #include "io/text_format.h"
@@ -115,6 +129,11 @@ struct ObsOptions {
 // N <= 1 means no pool at all — the plain sequential engine.
 struct ExecOptions {
   int threads = 1;
+  // --shards=N for `batch`: 0 = flag absent (classic per-sequence
+  // output); >= 1 = sharded evaluation with a globally ranked merge.
+  int shards = 0;
+  // --workers=host:port,... for `dist`.
+  std::string workers;
   // -1 = unbounded (flag absent).
   int64_t deadline_ms = -1;
   int64_t max_answers = -1;
@@ -206,11 +225,13 @@ int Usage() {
                "       tms_cli conf <sequence> <query> <output-symbol>...\n"
                "       tms_cli enum <sequence> <query> [limit]\n"
                "       tms_cli batch <query> <k> <sequence>...\n"
+               "       tms_cli dist <query> <k> "
+               "--workers=host:port[,host:port...]\n"
                "       tms_cli explain <sequence> <query> [k]\n"
                "       tms_cli optimize <query> [artifact-out]\n"
                "       tms_cli show <file>\n"
-               "flags: --threads=N | --deadline-ms=N | --max-answers=N | "
-               "--budget=N |\n"
+               "flags: --threads=N | --shards=N | --deadline-ms=N | "
+               "--max-answers=N | --budget=N |\n"
                "       --backend=dense|sparse|auto | --optimize=off|auto|on "
                "|\n"
                "       --stats | --stats=json | --stats=prom | --trace=FILE |\n"
@@ -424,6 +445,58 @@ int RunBatch(const std::string& query_path,
     Status st = collection.Insert(path, std::move(*mu));
     if (!st.ok()) return Fail(st);
   }
+  if (exec->shards > 0) {
+    // Sharded evaluation with a globally ranked k-way merge
+    // (docs/DISTRIBUTED.md). --shards=1 is the single-process reference
+    // ordering; every other shard count must reproduce it byte for byte.
+    dist::ShardedBatchOptions sharded_options;
+    sharded_options.shards = exec->shards;
+    sharded_options.threads = exec->threads;
+    sharded_options.run = exec->MakeRun();
+    sharded_options.backend = exec->backend;
+    sharded_options.optimize = exec->optimize;
+    auto sharded = dist::EvaluateSharded(collection, t, k, sharded_options);
+    if (!sharded.ok()) return Fail(sharded.status());
+    out->results = "{\"rows\":[";
+    bool first = true;
+    if (!out->json) {
+      std::printf("%-30s %-30s %-14s %-14s\n", "sequence", "answer", "E_max",
+                  "confidence");
+    }
+    for (const dist::RankedRow& row : sharded->rows) {
+      const std::string answer =
+          FormatStr(t.output_alphabet(), row.answer.output);
+      if (out->json) {
+        if (!first) out->results += ',';
+        first = false;
+        serve::AppendBatchRowJson(row.key, answer, row.answer.emax,
+                                  row.answer.confidence, &out->results);
+      } else {
+        std::printf("%-30s %-30s %-14.6g %-14.6g\n", row.key.c_str(),
+                    answer.c_str(), row.answer.emax, row.answer.confidence);
+      }
+    }
+    out->results += "],\"coverage\":";
+    out->results += dist::CoverageJson(sharded->coverage);
+    out->results += '}';
+    if (!out->json) {
+      for (const dist::ShardCoverage& c : sharded->coverage) {
+        if (c.failed) {
+          std::fprintf(stderr, "shard %d failed: %s\n", c.shard_id,
+                       c.status.ToString().c_str());
+        } else if (c.truncated) {
+          std::fprintf(stderr, "shard %d truncated (%s)\n", c.shard_id,
+                       StopReasonName(c.reason));
+        }
+      }
+    }
+    if (sharded_options.run != nullptr) {
+      (void)sharded_options.run->StopRequested();
+    }
+    ReportRun(exec->PeekRun(), out);
+    return 0;
+  }
+
   db::BatchEvaluator::Options options;
   options.threads = exec->threads;
   options.run = exec->MakeRun();
@@ -513,6 +586,74 @@ int RunBatch(const std::string& query_path,
     }
   }
   out->results += ']';
+  return 0;
+}
+
+// Scatter/gather against running tms_server workers: worker i is shard i.
+// Merged rows are the workers' verbatim NDJSON line bytes; the footer
+// carries per-shard coverage. A dead worker degrades coverage, never the
+// ordering of the surviving rows — and the command still exits 0 (the
+// caller reads completeness from the footer, like any truncated run).
+int RunDist(const std::string& query_path, int k, ExecOptions* exec,
+            CliOutput* out) {
+  if (exec->workers.empty()) {
+    std::fprintf(stderr,
+                 "error: dist requires --workers=host:port[,host:port...]\n");
+    return 2;
+  }
+  auto workers = dist::ParseWorkerList(exec->workers);
+  if (!workers.ok()) return Fail(workers.status());
+  auto body = io::ReadFile(query_path);
+  if (!body.ok()) return Fail(body.status());
+
+  dist::CoordinatorOptions options;
+  options.params = "k=" + std::to_string(k);
+  if (exec->deadline_ms >= 0) {
+    options.params += "&deadline_ms=" + std::to_string(exec->deadline_ms);
+  }
+  if (exec->max_answers >= 0) {
+    options.params += "&max_answers=" + std::to_string(exec->max_answers);
+  }
+  if (exec->budget >= 0) {
+    options.params += "&budget=" + std::to_string(exec->budget);
+  }
+  if (exec->backend != kernels::BackendChoice::kAuto) {
+    options.params +=
+        std::string("&backend=") + kernels::BackendChoiceName(exec->backend);
+  }
+  if (exec->optimize != optimize::Level::kAuto) {
+    options.params +=
+        std::string("&optimize=") + optimize::LevelName(exec->optimize);
+  }
+
+  dist::DistOutcome outcome =
+      dist::ScatterGather(*workers, *body, options,
+                          [](const std::string& line) {
+                            std::fwrite(line.data(), 1, line.size(), stdout);
+                            std::fputc('\n', stdout);
+                            return true;
+                          });
+  std::string footer = "{\"done\":true,\"shards\":";
+  footer += dist::CoverageJson(outcome.coverage);
+  footer += '}';
+  std::printf("%s\n", footer.c_str());
+  std::fflush(stdout);
+  for (const dist::ShardCoverage& c : outcome.coverage) {
+    if (c.failed) {
+      std::fprintf(stderr, "shard %d failed: %s\n", c.shard_id,
+                   c.status.ToString().c_str());
+    } else if (c.truncated) {
+      std::fprintf(stderr, "shard %d truncated (%s)\n", c.shard_id,
+                   StopReasonName(c.reason));
+    }
+  }
+  if (out->json) {
+    // The merged rows already streamed to stdout; the JSON results field
+    // only summarizes.
+    out->results = "{\"answers\":" + std::to_string(outcome.answers) +
+                   ",\"coverage\":" + dist::CoverageJson(outcome.coverage) +
+                   '}';
+  }
   return 0;
 }
 
@@ -625,6 +766,17 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
     } else if (arg.rfind("--flight-dump=", 0) == 0) {
       opts->flight_dump = arg.substr(std::strlen("--flight-dump="));
       if (opts->flight_dump.empty()) return false;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (!ParsePositiveInt(
+              std::string_view(arg).substr(std::strlen("--shards=")),
+              &exec->shards)) {
+        std::fprintf(stderr, "error: invalid --shards value in '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      exec->workers = arg.substr(std::strlen("--workers="));
+      if (exec->workers.empty()) return false;
     } else if (arg.rfind("--threads=", 0) == 0) {
       // Through the checked parser like every other numeric flag:
       // "--threads=abc" used to atoi to 0 and fall out as a bare usage
@@ -666,6 +818,8 @@ bool ParseObsFlags(std::vector<std::string>* args, ObsOptions* opts,
       exec->optimize = *level;
     } else if (arg.rfind("--stats", 0) == 0 || arg.rfind("--trace", 0) == 0 ||
                arg.rfind("--threads", 0) == 0 ||
+               arg.rfind("--shards", 0) == 0 ||
+               arg.rfind("--workers", 0) == 0 ||
                arg.rfind("--deadline-ms", 0) == 0 ||
                arg.rfind("--max-answers", 0) == 0 ||
                arg.rfind("--budget", 0) == 0 ||
@@ -807,6 +961,10 @@ int main(int argc, char** argv) {
       code = RunBatch(args[1],
                       std::vector<std::string>(args.begin() + 3, args.end()),
                       k, &exec, &out);
+    } else if (command == "dist") {
+      int k = 0;
+      if (!ParseCountArg("k", args[2], &k)) return Usage();
+      code = RunDist(args[1], k, &exec, &out);
     } else if (command == "conf") {
       code = RunConf(args[1], args[2],
                      std::vector<std::string>(args.begin() + 3, args.end()),

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/parse.h"
+#include "exec/fault.h"
 #include "kernels/backend.h"
 #include "optimize/level.h"
 #include "obs/obs.h"
@@ -180,6 +181,13 @@ int main(int argc, char** argv) {
   // A server is an observability consumer by definition: /metrics is an
   // endpoint, so the registry must be recording.
   obs::SetEnabled(true);
+
+#if TMS_FAULTS_ACTIVE
+  // Fault-testing builds honor TMS_FAULT_INJECT ("point:kind:nth[;...]")
+  // so robustness harnesses (tools/dist_smoke.sh) can kill a worker
+  // mid-stream without patching the binary.
+  exec::FaultInjector::Global().ArmFromEnv();
+#endif
 
   auto registry = serve::ModelRegistry::Load(model_specs);
   if (!registry.ok()) {
